@@ -1,0 +1,73 @@
+//! Criterion benches of the finite-volume thermal solver — the kernel
+//! behind every figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tsc_thermal::{CgSolver, Heatsink, Problem, SorSolver};
+use tsc_units::{Length, Power, ThermalConductivity};
+
+fn slab(n: usize, nz: usize) -> Problem {
+    let mut p = Problem::uniform_block(
+        n,
+        n,
+        nz,
+        Length::from_millimeters(1.0),
+        Length::from_millimeters(1.0),
+        Length::from_micrometers(100.0),
+        ThermalConductivity::new(10.0),
+    );
+    p.set_bottom_heatsink(Heatsink::two_phase());
+    p.add_power(n / 2, n / 2, nz - 1, Power::from_watts(1.0));
+    p
+}
+
+fn bench_cg_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cg_solver");
+    for n in [8usize, 16, 24] {
+        let p = slab(n, 16);
+        group.bench_with_input(BenchmarkId::new("lateral_cells", n), &p, |b, p| {
+            b.iter(|| CgSolver::new().solve(p).expect("converges"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cg_vs_sor(c: &mut Criterion) {
+    let p = slab(12, 12);
+    let mut group = c.benchmark_group("cg_vs_sor");
+    group.bench_function("cg", |b| {
+        b.iter(|| CgSolver::new().solve(&p).expect("converges"));
+    });
+    group.bench_function("sor", |b| {
+        b.iter(|| {
+            SorSolver::new()
+                .with_tolerance(1e-8)
+                .solve(&p)
+                .expect("converges")
+        });
+    });
+    group.finish();
+}
+
+fn bench_high_contrast(c: &mut Criterion) {
+    // The hard case: ultra-low-k layers against silicon (3 orders of
+    // magnitude contrast) — what the 3D-IC stacks actually look like.
+    let mut p = slab(16, 24);
+    for k in (0..24).step_by(4) {
+        p.set_layer_conductivity(
+            k,
+            ThermalConductivity::new(0.31),
+            ThermalConductivity::new(5.47),
+        );
+    }
+    c.bench_function("cg_high_contrast_stack", |b| {
+        b.iter(|| CgSolver::new().solve(&p).expect("converges"));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cg_scaling,
+    bench_cg_vs_sor,
+    bench_high_contrast
+);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Ablation of the scaffolding design choices (the DESIGN.md §8 axes):
+//! which component buys how much of the 12-tier result, plus sensitivity
+//! to the pillar-constellation pitch and pillar conductivity.
+
+use tsc_bench::{banner, compare, series};
+use tsc_core::beol::{self, BeolProperties};
+use tsc_core::pillars::uniform_routable_map;
+use tsc_core::stack::{solve, StackConfig};
+use tsc_designs::gemmini;
+use tsc_thermal::{Heatsink, SolveError};
+use tsc_units::{Length, Ratio, ThermalConductivity};
+
+const TIERS: usize = 12;
+const CELLS: usize = 14;
+
+fn tj(beol: BeolProperties, pillars: Option<Ratio>) -> Result<f64, SolveError> {
+    let d = gemmini::design();
+    let mut cfg = StackConfig::uniform(TIERS, beol, Heatsink::two_phase())
+        .with_lateral_cells(CELLS)
+        .with_area_dilution(pillars.unwrap_or(Ratio::ZERO));
+    if let Some(budget) = pillars {
+        cfg = cfg.with_pillar_map(uniform_routable_map(&d, budget, CELLS));
+    }
+    Ok(solve(&d, &cfg)?.junction_temperature().celsius())
+}
+
+fn main() -> Result<(), SolveError> {
+    banner("component ablation: 12-tier Gemmini, two-phase heatsink");
+    let ten = Ratio::from_percent(10.0);
+
+    let nothing = tj(BeolProperties::conventional(), None)?;
+    compare(
+        "no scaffolding at all",
+        "(>>125 °C)",
+        format!("{nothing:.1} °C"),
+    );
+
+    let td_only = tj(BeolProperties::scaffolded(), None)?;
+    compare(
+        "thermal dielectric only (no pillars)",
+        "(dielectric alone is not enough, Sec. I)",
+        format!("{td_only:.1} °C"),
+    );
+
+    let pillars_only = tj(BeolProperties::conventional(), Some(ten))?;
+    compare(
+        "pillars only @10 % (no dielectric)",
+        "(fails: Table I needs 34 %)",
+        format!("{pillars_only:.1} °C"),
+    );
+
+    let upper_only = tj(
+        BeolProperties {
+            ilv: beol::ilv_interface(),
+            ..BeolProperties::scaffolded()
+        },
+        Some(ten),
+    )?;
+    compare(
+        "pillars + upper dielectric, ULK bond",
+        "(most of the benefit)",
+        format!("{upper_only:.1} °C"),
+    );
+
+    let full = tj(BeolProperties::scaffolded(), Some(ten))?;
+    compare(
+        "full scaffolding (pillars + dielectric + TD bond)",
+        "<125 °C",
+        format!("{full:.1} °C"),
+    );
+
+    banner("sensitivity: pillar-constellation pitch (10 % pillars)");
+    let d = gemmini::design();
+    let mut pts = Vec::new();
+    for pitch_um in [1.0, 2.0, 3.0, 5.0, 8.0, 12.0] {
+        let mut cfg =
+            StackConfig::uniform(TIERS, BeolProperties::scaffolded(), Heatsink::two_phase())
+                .with_lateral_cells(CELLS)
+                .with_area_dilution(ten)
+                .with_pillar_map(uniform_routable_map(&d, ten, CELLS));
+        cfg.pillar_pitch = Length::from_micrometers(pitch_um);
+        let t = solve(&d, &cfg)?.junction_temperature().celsius();
+        pts.push((pitch_um, t));
+    }
+    series("Tj °C vs pillar pitch µm (gathering penalty)", pts);
+
+    banner("sensitivity: pillar column conductivity (10 % pillars)");
+    let mut pts = Vec::new();
+    for k in [30.0, 60.0, 105.0, 160.0, 242.0] {
+        let mut cfg =
+            StackConfig::uniform(TIERS, BeolProperties::scaffolded(), Heatsink::two_phase())
+                .with_lateral_cells(CELLS)
+                .with_area_dilution(ten)
+                .with_pillar_map(uniform_routable_map(&d, ten, CELLS));
+        cfg.pillar_k = ThermalConductivity::new(k);
+        let t = solve(&d, &cfg)?.junction_temperature().celsius();
+        pts.push((k, t));
+    }
+    series("Tj °C vs pillar k W/m/K (the Fig. 7 size-effect axis)", pts);
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Extension study (beyond the paper): double-sided cooling.
+//!
+//! The paper's stacks reject all heat through one heatsink under the
+//! handle wafer. Monolithic 3D leaves the *top* of the stack available
+//! after encapsulation; PACT-class solvers (and ours) handle a second
+//! Robin boundary natively. How many tiers does a top-side microfluidic
+//! sink buy on top of scaffolding?
+
+use tsc_bench::{banner, compare, series};
+use tsc_core::beol::BeolProperties;
+use tsc_core::pillars::uniform_routable_map;
+use tsc_core::stack::{solve, StackConfig};
+use tsc_designs::gemmini;
+use tsc_thermal::Heatsink;
+use tsc_units::{Ratio, Temperature};
+
+fn max_tiers(top: Option<Heatsink>) -> Result<usize, tsc_thermal::SolveError> {
+    let d = gemmini::design();
+    let limit = Temperature::from_celsius(125.0);
+    let mut best = 0;
+    for n in 1..=24 {
+        let mut cfg = StackConfig::uniform(n, BeolProperties::scaffolded(), Heatsink::two_phase())
+            .with_lateral_cells(12)
+            .with_pillar_map(uniform_routable_map(&d, Ratio::from_percent(10.0), 12));
+        if let Some(hs) = top {
+            cfg = cfg.with_top_heatsink(hs);
+        }
+        if solve(&d, &cfg)?.junction_temperature() <= limit {
+            best = n;
+        } else {
+            break;
+        }
+    }
+    Ok(best)
+}
+
+fn main() -> Result<(), tsc_thermal::SolveError> {
+    banner("extension: double-sided cooling of the scaffolded Gemmini stack");
+    let single = max_tiers(None)?;
+    let dual_mf = max_tiers(Some(Heatsink::microfluidic()))?;
+    let dual_tp = max_tiers(Some(Heatsink::two_phase()))?;
+    compare(
+        "bottom two-phase only",
+        "(the paper's 12-14)",
+        format!("{single} tiers"),
+    );
+    compare(
+        "+ top microfluidic sink",
+        "(extension)",
+        format!("{dual_mf} tiers"),
+    );
+    compare(
+        "+ top two-phase sink (symmetric)",
+        "(extension)",
+        format!("{dual_tp} tiers"),
+    );
+
+    banner("tier profile symmetry under symmetric cooling (12 tiers)");
+    let d = gemmini::design();
+    let cfg = StackConfig::uniform(12, BeolProperties::scaffolded(), Heatsink::two_phase())
+        .with_lateral_cells(12)
+        .with_pillar_map(uniform_routable_map(&d, Ratio::from_percent(10.0), 12))
+        .with_top_heatsink(Heatsink::two_phase());
+    let sol = solve(&d, &cfg)?;
+    series(
+        "tier peak °C (symmetric sinks: hottest in the middle)",
+        sol.tier_profile()
+            .iter()
+            .enumerate()
+            .map(|(t, temp)| (t as f64, temp.celsius())),
+    );
+    Ok(())
+}

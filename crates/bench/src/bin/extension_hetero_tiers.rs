@@ -1,0 +1,73 @@
+//! Extension study: heterogeneous logic/memory tier stacks — the Fig. 1
+//! picture ("silicon memory, memory access devices … also present on
+//! each tier") made quantitative.
+//!
+//! Interleaving cool 3D-SRAM memory tiers between Gemmini logic tiers
+//! trades compute density for thermal headroom; with thermal-aware
+//! ordering (memory tiers on top, away from the sink — or logic tiers
+//! near it) the same silicon runs cooler.
+
+use tsc_bench::{banner, compare, series};
+use tsc_core::beol::BeolProperties;
+use tsc_core::pillars::uniform_routable_map;
+use tsc_core::stack::{solve_hetero, StackConfig};
+use tsc_designs::{gemmini, Design};
+use tsc_thermal::Heatsink;
+use tsc_units::{Ratio, Temperature};
+
+fn tj(tiers: &[&Design]) -> Result<Temperature, tsc_thermal::SolveError> {
+    let d = gemmini::design();
+    let cfg = StackConfig::uniform(tiers.len(), BeolProperties::scaffolded(), Heatsink::two_phase())
+        .with_lateral_cells(12)
+        .with_pillar_map(uniform_routable_map(&d, Ratio::from_percent(10.0), 12));
+    Ok(solve_hetero(tiers, &cfg)?.junction_temperature())
+}
+
+fn main() -> Result<(), tsc_thermal::SolveError> {
+    banner("extension: heterogeneous logic/memory stacks (12 tiers)");
+    let logic = gemmini::design();
+    let memory = gemmini::memory_tier();
+    println!("logic tier:  {logic}");
+    println!("memory tier: {memory}");
+
+    let all_logic: Vec<&Design> = vec![&logic; 12];
+    let interleaved: Vec<&Design> = (0..12)
+        .map(|t| if t % 2 == 0 { &logic } else { &memory })
+        .collect();
+    let logic_low: Vec<&Design> = (0..12)
+        .map(|t| if t < 6 { &logic } else { &memory })
+        .collect();
+    let logic_high: Vec<&Design> = (0..12)
+        .map(|t| if t < 6 { &memory } else { &logic })
+        .collect();
+
+    compare("12 logic tiers", "(the Fig. 9 point)", format!("{}", tj(&all_logic)?));
+    compare(
+        "6 logic + 6 memory, interleaved",
+        "(cooler: half the power)",
+        format!("{}", tj(&interleaved)?),
+    );
+    compare(
+        "6 logic (bottom) + 6 memory (top)",
+        "(coolest ordering)",
+        format!("{}", tj(&logic_low)?),
+    );
+    compare(
+        "6 memory (bottom) + 6 logic (top)",
+        "(worst ordering — logic far from the sink)",
+        format!("{}", tj(&logic_high)?),
+    );
+
+    banner("how many logic tiers fit beside memory tiers? (Tj < 125 °C)");
+    let mut pts = Vec::new();
+    for n_logic in (2..=12).step_by(2) {
+        // n_logic logic tiers at the bottom, memory above, 12 total.
+        let stack: Vec<&Design> = (0..12)
+            .map(|t| if t < n_logic { &logic } else { &memory })
+            .collect();
+        let t = tj(&stack)?;
+        pts.push((n_logic as f64, t.celsius()));
+    }
+    series("Tj °C vs logic tiers (of 12, rest memory)", pts);
+    Ok(())
+}

@@ -1,0 +1,105 @@
+//! Extension study (beyond the paper): closing the electrothermal loop.
+//!
+//! The paper's 125 °C budget exists because leakage grows steeply with
+//! temperature. With the loop closed (leakage doubling every 20 K above
+//! the 100 °C staging point), every configuration runs hotter, supported
+//! tier counts shrink, and past a critical tier count the conventional
+//! stack enters thermal runaway — it has no steady state at all.
+
+use tsc_bench::{banner, compare};
+use tsc_core::beol::BeolProperties;
+use tsc_core::pillars::uniform_routable_map;
+use tsc_core::stack::{build, StackConfig};
+use tsc_designs::gemmini;
+use tsc_thermal::electrothermal::{solve_electrothermal, ElectrothermalError, LeakageModel};
+use tsc_thermal::{CgSolver, Heatsink};
+use tsc_units::{Ratio, TempDelta, Temperature};
+
+fn stack(n: usize, scaffolded: bool) -> tsc_thermal::Problem {
+    let d = gemmini::design();
+    let (beol, map) = if scaffolded {
+        (
+            BeolProperties::scaffolded(),
+            Some(uniform_routable_map(&d, Ratio::from_percent(10.0), 12)),
+        )
+    } else {
+        (
+            BeolProperties::with_dummy_fill(Ratio::from_percent(10.0)),
+            None,
+        )
+    };
+    let mut cfg = StackConfig::uniform(n, beol, Heatsink::two_phase()).with_lateral_cells(12);
+    if let Some(m) = map {
+        cfg = cfg.with_pillar_map(m);
+    }
+    build(&d, &cfg).problem
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("extension: electrothermal loop (leakage doubles every 20 K)");
+    let model = LeakageModel::seven_nm();
+    let limit = Temperature::from_celsius(125.0);
+
+    for (name, scaffolded) in [("scaffolding @10 %", true), ("conventional @10 %", false)] {
+        let mut open_max = 0;
+        let mut closed_max = 0;
+        let mut runaway_at = None;
+        for n in 1..=16 {
+            let p = stack(n, scaffolded);
+            let open = CgSolver::new().solve(&p)?.temperatures.max_temperature();
+            if open <= limit {
+                open_max = n;
+            }
+            match solve_electrothermal(&p, &model, TempDelta::new(0.05), 60) {
+                Ok(sol) => {
+                    if sol.temperatures.max_temperature() <= limit {
+                        closed_max = n;
+                    }
+                }
+                Err(ElectrothermalError::ThermalRunaway { .. }) => {
+                    runaway_at.get_or_insert(n);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        compare(
+            &format!("{name}: tiers <125 °C, open loop"),
+            "(the paper's numbers)",
+            format!("{open_max}"),
+        );
+        compare(
+            &format!("{name}: tiers <125 °C, closed loop"),
+            "(extension)",
+            format!("{closed_max}"),
+        );
+        compare(
+            &format!("{name}: thermal runaway begins at"),
+            "(extension)",
+            match runaway_at {
+                Some(n) => format!("{n} tiers"),
+                None => "never (≤16 tiers)".to_string(),
+            },
+        );
+    }
+
+    banner("converged leakage overhead at the 12-tier scaffolding point");
+    let p = stack(12, true);
+    let open_power = p.total_power();
+    let closed = solve_electrothermal(&p, &model, TempDelta::new(0.05), 60)?;
+    compare(
+        "total power, open vs closed loop",
+        "(leakage adds a few %)",
+        format!(
+            "{:.2} W -> {:.2} W (+{:.1} %)",
+            open_power.watts(),
+            closed.total_power.watts(),
+            (closed.total_power.watts() / open_power.watts() - 1.0) * 100.0
+        ),
+    );
+    compare(
+        "fixed-point iterations",
+        "-",
+        format!("{}", closed.iterations),
+    );
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Fig. 2b/2c — scaffolding vs thermal dummy vias at 12 tiers:
+//! penalties to reach Tj<125 °C, and iso-penalty Tj−T0 comparison.
+
+use tsc_bench::{banner, compare};
+use tsc_core::flows::{run_flow, CoolingStrategy, FlowConfig};
+use tsc_core::scaling::min_area_for_tiers;
+use tsc_designs::gemmini;
+use tsc_phydes::timing::DelayModel;
+use tsc_units::Ratio;
+
+fn main() -> Result<(), tsc_thermal::SolveError> {
+    let d = gemmini::design();
+    banner("Fig. 2b: penalties to reach 12 tiers at Tj<125 °C (Gemmini)");
+
+    for (strategy, paper_area, paper_delay) in [
+        (CoolingStrategy::ConventionalDummyVias, "78 %", "17 %"),
+        (CoolingStrategy::Scaffolding, "10 %", "3 %"),
+    ] {
+        let area = min_area_for_tiers(
+            &d,
+            strategy,
+            12,
+            Ratio::from_percent(100.0),
+            Ratio::from_percent(95.0),
+            0.5,
+            14,
+        )?;
+        match area {
+            Some(a) => {
+                let delay = DelayModel::calibrated()
+                    .delay_penalty(&tsc_core::flows::timing_impact(strategy, a));
+                compare(
+                    &format!("{strategy}: minimum footprint penalty"),
+                    paper_area,
+                    format!("{:.1} %", a.percent()),
+                );
+                compare(
+                    &format!("{strategy}: delay penalty at that footprint"),
+                    paper_delay,
+                    format!("{:.1} %", delay.percent()),
+                );
+            }
+            None => println!("{strategy}: infeasible within 95 % area"),
+        }
+    }
+
+    banner("Fig. 2c: iso-penalty (10 % area / 3 % delay) Tj - T0 at 12 tiers");
+    let mut rises = Vec::new();
+    for strategy in [
+        CoolingStrategy::ConventionalDummyVias,
+        CoolingStrategy::Scaffolding,
+    ] {
+        let cfg = FlowConfig {
+            strategy,
+            tiers: 12,
+            area_budget: Ratio::from_percent(10.0),
+            delay_budget: Ratio::from_percent(3.0),
+            lateral_cells: 14,
+            ..FlowConfig::default()
+        };
+        let r = run_flow(&d, &cfg)?;
+        let rise = (r.junction_temperature - cfg.heatsink.ambient).kelvin();
+        compare(
+            &format!("{strategy}: Tj - T0"),
+            "(Fig. 2c bars)",
+            format!("{rise:.1} K (Tj = {})", r.junction_temperature),
+        );
+        rises.push(rise);
+    }
+    compare(
+        "scaffolding reduction in Tj - T0 vs dummy vias",
+        "10.2x",
+        format!("{:.1}x", rises[0] / rises[1]),
+    );
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Fig. 5 — dielectric constant of polycrystalline diamond vs grain
+//! size, and the Maxwell-Garnett porosity inset (Eq. 2).
+
+use tsc_bench::{banner, compare, series};
+use tsc_materials::dielectric::{
+    design_permittivity, grain_size_permittivity, maxwell_garnett, porosity_for_target, FREE_SPACE,
+    LITERATURE_FILMS, SINGLE_CRYSTAL_DIAMOND,
+};
+use tsc_units::RelativePermittivity;
+
+fn main() {
+    banner("Fig. 5: dielectric constant vs grain size (literature fit)");
+    let sweep: Vec<(f64, f64)> = (0..=50)
+        .map(|i| {
+            let d = 30.0 + (1500.0 - 30.0) * f64::from(i) / 50.0;
+            (d, grain_size_permittivity(d).get())
+        })
+        .collect();
+    series("epsilon(grain size nm)", sweep);
+
+    println!("literature anchors:");
+    for &(d, e) in &LITERATURE_FILMS {
+        compare(
+            &format!("  ε at {d:.0} nm grains"),
+            format!("{e:.1}"),
+            format!("{:.2}", grain_size_permittivity(d).get()),
+        );
+    }
+
+    banner("Fig. 5 inset: Maxwell-Garnett porosity (Eq. 2)");
+    let host = SINGLE_CRYSTAL_DIAMOND;
+    let inset: Vec<(f64, f64)> = (0..=20)
+        .map(|i| {
+            let f = f64::from(i) / 20.0;
+            (f * 100.0, maxwell_garnett(host, FREE_SPACE, f).get())
+        })
+        .collect();
+    series("epsilon(volume % air), bulk diamond host", inset);
+
+    compare(
+        "modern ultra-low-k dielectrics",
+        "ε ≈ 2",
+        format!("{}", RelativePermittivity::ULTRA_LOW_K.get()),
+    );
+    compare(
+        "pessimistic scaffolding design value",
+        "ε = 4",
+        format!("{}", design_permittivity().get()),
+    );
+    let f4 = porosity_for_target(host, design_permittivity()).expect("reachable");
+    compare(
+        "porosity needed for ε = 4 from bulk diamond",
+        "(design space, Fig. 5 inset)",
+        format!("{:.0} % air", f4 * 100.0),
+    );
+    let f2 = porosity_for_target(host, RelativePermittivity::new(2.0)).expect("reachable");
+    compare(
+        "porosity to match today's ultra-low-k (ε = 2)",
+        "(upper bound of inset)",
+        format!("{:.0} % air", f2 * 100.0),
+    );
+}

@@ -1,0 +1,110 @@
+//! Fig. 7 — BEOL thermal-conductivity homogenization: the extracted
+//! lumped table (7c), the fill-vs-area trend (7b), and the pillar
+//! characterization behind Fig. 7a's methodology.
+
+use tsc_bench::{banner, compare, deviation_percent, series};
+use tsc_homogenize::pillar::PillarDesign;
+use tsc_homogenize::{extract_k, slice, Axis};
+use tsc_materials::{THERMAL_DIELECTRIC_DESIGN, ULTRA_LOW_K_ILD};
+use tsc_phydes::fill::FillModel;
+use tsc_units::{Length, Ratio};
+
+fn main() -> Result<(), tsc_thermal::SolveError> {
+    banner("Fig. 7c: homogenized BEOL conductivities (W/m/K)");
+    let lower_geo = slice::SliceGeometry::default_lower();
+    let upper_geo = slice::SliceGeometry::default_upper();
+
+    let m = slice::lower_beol(ULTRA_LOW_K_ILD.conductivity, &lower_geo);
+    let (v, l) = (extract_k(&m, Axis::Z)?, extract_k(&m, Axis::X)?);
+    compare(
+        "V0-V7 ultra-low-k  vertical",
+        "0.31",
+        format!("{:.2} ({:+.0}%)", v.get(), deviation_percent(0.31, v.get())),
+    );
+    compare(
+        "V0-V7 ultra-low-k  lateral",
+        "5.47",
+        format!("{:.2} ({:+.0}%)", l.get(), deviation_percent(5.47, l.get())),
+    );
+
+    let m = slice::upper_beol(ULTRA_LOW_K_ILD.conductivity, &upper_geo);
+    let (v, l) = (extract_k(&m, Axis::Z)?, extract_k(&m, Axis::X)?);
+    compare(
+        "M8-M9 ultra-low-k  vertical",
+        "6.9",
+        format!("{:.2} ({:+.0}%)", v.get(), deviation_percent(6.9, v.get())),
+    );
+    compare(
+        "M8-M9 ultra-low-k  lateral",
+        "13.6",
+        format!("{:.2} ({:+.0}%)", l.get(), deviation_percent(13.6, l.get())),
+    );
+
+    let m = slice::upper_beol(THERMAL_DIELECTRIC_DESIGN.conductivity, &upper_geo);
+    let (v, l) = (extract_k(&m, Axis::Z)?, extract_k(&m, Axis::X)?);
+    compare(
+        "M8-M9 thermal diel. vertical",
+        "93.59",
+        format!(
+            "{:.2} ({:+.0}%)",
+            v.get(),
+            deviation_percent(93.59, v.get())
+        ),
+    );
+    compare(
+        "M8-M9 thermal diel. lateral",
+        "101.73",
+        format!(
+            "{:.2} ({:+.0}%)",
+            l.get(),
+            deviation_percent(101.73, l.get())
+        ),
+    );
+
+    banner("Fig. 7b: achievable metal fill vs area slack");
+    let fill = FillModel::calibrated();
+    let trend: Vec<(f64, f64)> = (0..=10)
+        .map(|i| {
+            let slack = f64::from(i) * 3.0;
+            (
+                slack,
+                fill.achievable_fill(Ratio::from_percent(slack)).percent(),
+            )
+        })
+        .collect();
+    series("fill density % (area slack %)", trend);
+    compare(
+        "fill at zero slack (tight floorplan)",
+        "~44 %",
+        format!("{:.1} %", fill.achievable_fill(Ratio::ZERO).percent()),
+    );
+    compare(
+        "fill at ~23 % slack (Fig. 7b right edge)",
+        "~54 %",
+        format!(
+            "{:.1} %",
+            fill.achievable_fill(Ratio::from_percent(23.0)).percent()
+        ),
+    );
+
+    banner("Fig. 7a methodology: pillar characterization");
+    let pillar = PillarDesign::asap7_100nm();
+    compare(
+        "100 nm x 100 nm pillar effective vertical k",
+        "105 W/m/K",
+        format!("{:.1} W/m/K", pillar.effective_vertical_k().get()),
+    );
+    let sweep: Vec<(f64, f64)> = [50.0, 75.0, 100.0, 150.0, 200.0, 400.0]
+        .iter()
+        .map(|&nm| {
+            let k = pillar
+                .clone()
+                .with_footprint(Length::from_nanometers(nm))
+                .effective_vertical_k()
+                .get();
+            (nm, k)
+        })
+        .collect();
+    series("pillar k (footprint nm) — the size effect of [29]", sweep);
+    Ok(())
+}

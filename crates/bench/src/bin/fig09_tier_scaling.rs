@@ -1,0 +1,108 @@
+//! Fig. 9 — peak temperature vs stacked tier count for the three
+//! designs under conventional 3D thermal and scaffolding, both on the
+//! two-phase heatsink, at the paper's 10 % area / 2.8 % delay point.
+
+use tsc_bench::{banner, compare, series};
+use tsc_core::flows::{CoolingStrategy, FlowConfig};
+use tsc_core::scaling::{max_tiers, tier_curve};
+use tsc_designs::{fujitsu, gemmini, rocket};
+use tsc_units::{Ratio, Temperature};
+
+fn main() -> Result<(), tsc_thermal::SolveError> {
+    banner("Fig. 9: peak temperature vs tier count (two-phase heatsink)");
+
+    let base = |strategy| FlowConfig {
+        strategy,
+        area_budget: Ratio::from_percent(10.0),
+        delay_budget: Ratio::from_percent(2.8),
+        t_limit: Temperature::from_celsius(125.0),
+        lateral_cells: 16,
+        ..FlowConfig::default()
+    };
+
+    // The Fujitsu-scale design is 100x the area: simulate it at the same
+    // physical cell pitch by scaling the cell count (capped for runtime;
+    // power density, the thermal driver, is scale-invariant).
+    let designs = [
+        ("Gemmini DNN accelerator", gemmini::design(), 16usize),
+        ("Rocket RISC-V core", rocket::design(), 16),
+        ("Fujitsu Research accelerator", fujitsu::design(), 24),
+    ];
+
+    for (name, design, cells) in &designs {
+        for strategy in [
+            CoolingStrategy::ConventionalDummyVias,
+            CoolingStrategy::Scaffolding,
+        ] {
+            let cfg = FlowConfig {
+                lateral_cells: *cells,
+                ..base(strategy)
+            };
+            let cap = 16;
+            let curve = tier_curve(design, &cfg, cap)?;
+            series(
+                &format!("{name} / {strategy}: Tj °C vs tiers"),
+                curve.iter().map(|p| (p.tiers as f64, p.junction_celsius)),
+            );
+        }
+    }
+
+    banner("supported tiers at Tj < 125 °C (the Fig. 9 crossings)");
+    let anchors = [
+        (
+            "Gemmini, conventional",
+            gemmini::design(),
+            CoolingStrategy::ConventionalDummyVias,
+            16,
+            "3",
+        ),
+        (
+            "Gemmini, scaffolding",
+            gemmini::design(),
+            CoolingStrategy::Scaffolding,
+            16,
+            "12",
+        ),
+        (
+            "Rocket, scaffolding",
+            rocket::design(),
+            CoolingStrategy::Scaffolding,
+            16,
+            "13",
+        ),
+        (
+            "Fujitsu-scale, scaffolding",
+            fujitsu::design(),
+            CoolingStrategy::Scaffolding,
+            24,
+            "12",
+        ),
+    ];
+    for (label, design, strategy, cells, paper) in anchors {
+        let cfg = FlowConfig {
+            lateral_cells: cells,
+            ..base(strategy)
+        };
+        let n = max_tiers(&design, &cfg, 16)?;
+        compare(label, format!("{paper} tiers"), format!("{n} tiers"));
+    }
+
+    banner("stack power-density bookkeeping");
+    compare(
+        "3 Gemmini tiers",
+        "159 W/cm²",
+        format!(
+            "{:.0} W/cm²",
+            gemmini::stack_flux(3, Ratio::ONE).watts_per_square_cm()
+        ),
+    );
+    compare(
+        "12 Gemmini tiers",
+        "636 W/cm²",
+        format!(
+            "{:.0} W/cm²",
+            gemmini::stack_flux(12, Ratio::ONE).watts_per_square_cm()
+        ),
+    );
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Fig. 10 — supported-tier heatmaps over (area penalty × delay penalty)
+//! for conventional 3D thermal and scaffolding.
+
+use tsc_bench::{banner, compare, heatmap, parallel_sweep};
+use tsc_core::flows::{CoolingStrategy, FlowConfig};
+use tsc_core::scaling::{max_tiers, penalty_map};
+use tsc_designs::gemmini;
+use tsc_units::Ratio;
+
+fn main() -> Result<(), tsc_thermal::SolveError> {
+    banner("Fig. 10: supported tiers over penalty budgets (Gemmini, 125 °C)");
+    let d = gemmini::design();
+    let areas: Vec<f64> = vec![0.0, 2.0, 4.0, 6.0, 9.0, 12.0, 20.0, 40.0, 60.0, 78.0];
+    let delays: Vec<f64> = vec![0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 9.0, 17.0];
+
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    for (strategy, cap) in [
+        (CoolingStrategy::ConventionalDummyVias, 14usize),
+        (CoolingStrategy::Scaffolding, 14),
+    ] {
+        // Each (area, delay) cell is an independent tier search: fan the
+        // grid out across all cores.
+        let jobs: Vec<_> = areas
+            .iter()
+            .flat_map(|&a| delays.iter().map(move |&dl| (a, dl)))
+            .map(|(a, dl)| {
+                let d = &d;
+                move || {
+                    let base = FlowConfig {
+                        strategy,
+                        area_budget: Ratio::from_percent(a),
+                        delay_budget: Ratio::from_percent(dl),
+                        lateral_cells: 12,
+                        ..FlowConfig::default()
+                    };
+                    max_tiers(d, &base, cap).expect("solves")
+                }
+            })
+            .collect();
+        let flat = parallel_sweep(jobs, threads);
+        let rows: Vec<Vec<usize>> = flat
+            .chunks(delays.len())
+            .map(|chunk| chunk.to_vec())
+            .collect();
+        heatmap(&format!("{strategy}"), &delays, &areas, &rows);
+        println!();
+    }
+
+    banner("Fig. 10 anchors");
+    let pick = |cells: &[tsc_core::scaling::PenaltyCell], a: f64, dl: f64| {
+        cells
+            .iter()
+            .find(|c| c.area_percent == a && c.delay_percent == dl)
+            .map(|c| c.supported_tiers)
+            .unwrap_or(0)
+    };
+    let conv = penalty_map(
+        &d,
+        CoolingStrategy::ConventionalDummyVias,
+        &[9.0],
+        &[4.0],
+        14,
+        12,
+    )?;
+    compare(
+        "conventional at ~(9 % area, 4 % delay)",
+        "~4 tiers",
+        format!("{} tiers", pick(&conv, 9.0, 4.0)),
+    );
+    let scaf = penalty_map(&d, CoolingStrategy::Scaffolding, &[9.0], &[3.0], 14, 12)?;
+    compare(
+        "scaffolding at ~(9 % area, 3 % delay)",
+        "~12 tiers",
+        format!("{} tiers", pick(&scaf, 9.0, 3.0)),
+    );
+    Ok(())
+}

@@ -1,0 +1,123 @@
+//! Fig. 11 — heatsink exploration: two-phase (boiling, 100 °C ambient)
+//! vs Si-integrated microfluidics (room-temperature water), at both the
+//! 125 °C and 85 °C junction limits.
+
+use tsc_bench::{banner, compare, series};
+use tsc_core::flows::{CoolingStrategy, FlowConfig};
+use tsc_core::scaling::{max_tiers, tier_curve};
+use tsc_designs::gemmini;
+use tsc_thermal::Heatsink;
+use tsc_units::{Ratio, Temperature};
+
+fn main() -> Result<(), tsc_thermal::SolveError> {
+    banner("Fig. 11: Gemmini peak temperature vs tiers, two heatsinks");
+    let d = gemmini::design();
+    let base = |strategy, heatsink| FlowConfig {
+        strategy,
+        heatsink,
+        area_budget: Ratio::from_percent(10.0),
+        delay_budget: Ratio::from_percent(2.8),
+        lateral_cells: 14,
+        ..FlowConfig::default()
+    };
+
+    for (hs_name, hs) in [
+        ("two-phase (h=1e6, 100 °C)", Heatsink::two_phase()),
+        ("microfluidic (h=1e5, 25 °C)", Heatsink::microfluidic()),
+    ] {
+        for strategy in [
+            CoolingStrategy::ConventionalDummyVias,
+            CoolingStrategy::Scaffolding,
+        ] {
+            let curve = tier_curve(&d, &base(strategy, hs), 14)?;
+            series(
+                &format!("{hs_name} / {strategy}"),
+                curve.iter().map(|p| (p.tiers as f64, p.junction_celsius)),
+            );
+        }
+    }
+
+    banner("supported tiers (Fig. 11 / Observation 3 anchors)");
+    let count = |strategy, hs, limit_c: f64| -> Result<usize, tsc_thermal::SolveError> {
+        let cfg = FlowConfig {
+            t_limit: Temperature::from_celsius(limit_c),
+            ..base(strategy, hs)
+        };
+        max_tiers(&d, &cfg, 14)
+    };
+    compare(
+        "two-phase, scaffolding, Tj<125 °C",
+        "12 tiers",
+        format!(
+            "{} tiers",
+            count(CoolingStrategy::Scaffolding, Heatsink::two_phase(), 125.0)?
+        ),
+    );
+    compare(
+        "two-phase, conventional, Tj<125 °C",
+        "3 tiers",
+        format!(
+            "{} tiers",
+            count(
+                CoolingStrategy::ConventionalDummyVias,
+                Heatsink::two_phase(),
+                125.0
+            )?
+        ),
+    );
+    compare(
+        "microfluidic, scaffolding, Tj<125 °C",
+        "8 tiers",
+        format!(
+            "{} tiers",
+            count(
+                CoolingStrategy::Scaffolding,
+                Heatsink::microfluidic(),
+                125.0
+            )?
+        ),
+    );
+    compare(
+        "microfluidic, conventional, Tj<125 °C",
+        "5 tiers",
+        format!(
+            "{} tiers",
+            count(
+                CoolingStrategy::ConventionalDummyVias,
+                Heatsink::microfluidic(),
+                125.0
+            )?
+        ),
+    );
+    compare(
+        "microfluidic, scaffolding, Tj<85 °C",
+        "5 tiers",
+        format!(
+            "{} tiers",
+            count(CoolingStrategy::Scaffolding, Heatsink::microfluidic(), 85.0)?
+        ),
+    );
+    compare(
+        "microfluidic, conventional, Tj<85 °C",
+        "3 tiers",
+        format!(
+            "{} tiers",
+            count(
+                CoolingStrategy::ConventionalDummyVias,
+                Heatsink::microfluidic(),
+                85.0
+            )?
+        ),
+    );
+    // The two-phase sink cannot serve an 85 °C limit at all: its coolant
+    // boils at 100 °C.
+    compare(
+        "two-phase sink at Tj<85 °C",
+        "impossible (boiling water)",
+        format!(
+            "{} tiers",
+            count(CoolingStrategy::Scaffolding, Heatsink::two_phase(), 85.0)?
+        ),
+    );
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! Fig. 12 — the power-gating co-design toy: one active MAC of four,
+//! single shared pillar + thermal dielectric vs 4× gating-unaware
+//! pillar covering.
+
+use tsc_bench::{banner, compare, series};
+use tsc_core::beol;
+use tsc_core::codesign::{
+    dielectric_sweep, reduction_vs_baseline, solve_toy, Arrangement, ToyConfig,
+};
+use tsc_units::Length;
+
+fn main() -> Result<(), tsc_thermal::SolveError> {
+    banner("Fig. 12: power-gating co-design (one of four MACs active)");
+    let cfg = ToyConfig::default();
+    let side = Length::from_micrometers(1.0);
+
+    let single_td = reduction_vs_baseline(
+        &cfg,
+        beol::upper_thermal_dielectric(),
+        Arrangement::SingleCentral { side },
+    )?;
+    let covering = reduction_vs_baseline(
+        &cfg,
+        beol::upper_ultra_low_k(),
+        Arrangement::UniformCovering {
+            reference_side: side,
+        },
+    )?;
+    let single_ulk = reduction_vs_baseline(
+        &cfg,
+        beol::upper_ultra_low_k(),
+        Arrangement::SingleCentral { side },
+    )?;
+
+    compare(
+        "single shared pillar + thermal dielectric",
+        "40 % peak-T reduction",
+        format!("{:.1} %", single_td.percent()),
+    );
+    compare(
+        "4x pillar covering, no thermal dielectric",
+        "32 % peak-T reduction",
+        format!("{:.1} %", covering.percent()),
+    );
+    compare(
+        "single shared pillar WITHOUT dielectric (the co-design point)",
+        "(useless)",
+        format!("{:.1} %", single_ulk.percent()),
+    );
+
+    let a = solve_toy(
+        &cfg,
+        beol::upper_thermal_dielectric(),
+        Arrangement::SingleCentral { side },
+    )?;
+    let b = solve_toy(
+        &cfg,
+        beol::upper_ultra_low_k(),
+        Arrangement::UniformCovering {
+            reference_side: side,
+        },
+    )?;
+    compare(
+        "pillar-area saving of the shared pillar",
+        "75 % less",
+        format!(
+            "{:.0} % less ({} vs {})",
+            (1.0 - a.pillar_area.fraction() / b.pillar_area.fraction()) * 100.0,
+            a.pillar_area,
+            b.pillar_area
+        ),
+    );
+
+    banner("Fig. 12b: reduction vs thermal-dielectric conductivity");
+    let ks = [5.0, 25.0, 50.0, 105.7, 200.0, 350.0, 500.0];
+    let sweep = dielectric_sweep(&cfg, side, &ks)?;
+    series(
+        "peak-T reduction % vs dielectric k (W/m/K)",
+        sweep.iter().map(|(k, r)| (*k, r.percent())),
+    );
+    let last = sweep.last().expect("swept").1;
+    compare(
+        "reduction at k = 500 W/m/K",
+        ">70 % (paper trend)",
+        format!("{:.1} %", last.percent()),
+    );
+    Ok(())
+}

@@ -1,0 +1,138 @@
+//! The conventional-flow baselines of Sec. IIIB that are not separate
+//! figures: thermal-aware floorplanning (Corblivar-style weight sweep)
+//! and thermal-aware task scheduling.
+
+use tsc_bench::{banner, compare, series};
+use tsc_core::beol::BeolProperties;
+use tsc_core::stack::{solve, StackConfig};
+use tsc_designs::gemmini;
+use tsc_phydes::anneal::Schedule;
+use tsc_phydes::floorplan::{floorplan, FloorplanConfig, Module, Net};
+use tsc_phydes::schedule::{assign, rank_tiers, Task, TierRanking};
+use tsc_thermal::Heatsink;
+use tsc_units::{Length, Power, Ratio};
+
+fn rocket_modules() -> (Vec<Module>, Vec<Net>) {
+    let um = Length::from_micrometers;
+    let modules = vec![
+        Module::soft("PU", um(120.0), um(100.0), Power::from_milliwatts(14.4)),
+        Module::soft("FPU", um(80.0), um(100.0), Power::from_milliwatts(7.2)),
+        Module::hard_macro("ICache", um(84.0), um(84.0), Power::from_milliwatts(2.0)),
+        Module::hard_macro("DCache", um(84.0), um(84.0), Power::from_milliwatts(2.0)),
+        Module::soft("PTW", um(60.0), um(80.0), Power::from_milliwatts(1.7)),
+        Module::soft("ctrl", um(80.0), um(80.0), Power::from_milliwatts(2.6)),
+    ];
+    let nets = vec![
+        Net { a: 0, b: 1 },
+        Net { a: 0, b: 2 },
+        Net { a: 0, b: 3 },
+        Net { a: 0, b: 4 },
+        Net { a: 0, b: 5 },
+        Net { a: 1, b: 3 },
+    ];
+    (modules, nets)
+}
+
+fn main() -> Result<(), tsc_thermal::SolveError> {
+    banner("Sec. IIIB: thermal-aware floorplanning weight sweep (Rocket)");
+    let (modules, nets) = rocket_modules();
+    let mut pts_area = Vec::new();
+    let mut pts_hot = Vec::new();
+    let mut area_at_0 = None;
+    let mut area_at_1 = None;
+    for pct in [0.0, 25.0, 50.0, 75.0, 100.0] {
+        let cfg = FloorplanConfig {
+            temperature_weight: Ratio::from_percent(pct),
+            wirelength_budget: Ratio::from_percent(106.0),
+            schedule: Schedule::standard(),
+            seed: 11,
+        };
+        let r = floorplan(&modules, &nets, &cfg);
+        let area = r.plan.area().square_millimeters();
+        pts_area.push((pct, area));
+        pts_hot.push((pct, r.hotspot.watts_per_square_cm()));
+        if pct == 0.0 {
+            area_at_0 = Some(area);
+        }
+        if pct == 100.0 {
+            area_at_1 = Some(area);
+        }
+    }
+    series("floorplan area mm² vs temperature weight %", pts_area);
+    series("hotspot proxy W/cm² vs temperature weight %", pts_hot);
+    let (a0, a1) = (area_at_0.expect("swept"), area_at_1.expect("swept"));
+    compare(
+        "area growth from 100 % area- to 100 % temperature-weighting",
+        "16 % (4-tier core)",
+        format!("{:.0} %", (a1 / a0 - 1.0) * 100.0),
+    );
+
+    banner("Sec. IIIB: thermal-aware task scheduling (6-tier Gemmini)");
+    // Rank tier copies by solo thermal resistance (all others gated).
+    let d = gemmini::design();
+    let tiers = 6;
+    let mut rankings = Vec::new();
+    for t in 0..tiers {
+        let mut utils = vec![Ratio::ZERO; tiers];
+        utils[t] = Ratio::ONE;
+        let cfg = StackConfig::uniform(tiers, BeolProperties::scaffolded(), Heatsink::two_phase())
+            .with_lateral_cells(10)
+            .with_utilizations(utils);
+        let sol = solve(&d, &cfg)?;
+        rankings.push(TierRanking {
+            tier: t,
+            solo_rise: sol.junction_temperature() - Heatsink::two_phase().ambient,
+        });
+    }
+    let ranked = rank_tiers(rankings.clone());
+    println!("tier ranking by solo rise (coolest first):");
+    for r in &ranked {
+        println!("  tier {}: {:.2} K solo rise", r.tier, r.solo_rise.kelvin());
+    }
+    compare(
+        "lowest-resistance copy",
+        "closest to the heatsink (tier 0)",
+        format!("tier {}", ranked[0].tier),
+    );
+
+    // Assign a mixed workload and compare junction temperature against
+    // the naive (top-down) assignment.
+    let utils_by_power = [1.0, 0.9, 0.72, 0.5, 0.3, 0.1];
+    let tasks: Vec<Task> = utils_by_power
+        .iter()
+        .enumerate()
+        .map(|(i, &u)| Task::new(format!("task{i}"), d.total_power(Ratio::from_fraction(u))))
+        .collect();
+    let plan = assign(rankings, &tasks);
+    let mut smart = vec![Ratio::ZERO; tiers];
+    for &(tier, task) in &plan {
+        smart[tier] = Ratio::from_fraction(utils_by_power[task]);
+    }
+    let naive: Vec<Ratio> = (0..tiers)
+        .map(|t| Ratio::from_fraction(utils_by_power[tiers - 1 - t]))
+        .collect();
+    let tj = |utils: Vec<Ratio>| -> Result<f64, tsc_thermal::SolveError> {
+        let cfg = StackConfig::uniform(tiers, BeolProperties::scaffolded(), Heatsink::two_phase())
+            .with_lateral_cells(10)
+            .with_utilizations(utils);
+        Ok(solve(&d, &cfg)?.junction_temperature().celsius())
+    };
+    let smart_tj = tj(smart)?;
+    let naive_tj = tj(naive)?;
+    compare(
+        "Tj, thermal-aware assignment (hot tasks near the sink)",
+        "(lower)",
+        format!("{smart_tj:.2} °C"),
+    );
+    compare(
+        "Tj, inverted assignment (hot tasks on top)",
+        "(higher)",
+        format!("{naive_tj:.2} °C"),
+    );
+    compare(
+        "scheduling benefit",
+        "(mimics [4])",
+        format!("{:.2} °C", naive_tj - smart_tj),
+    );
+    Ok(())
+}

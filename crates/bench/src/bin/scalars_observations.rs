@@ -1,0 +1,87 @@
+//! Scalar observations quoted in Secs. I and IV: the 85 % ladder share,
+//! the macro-hotspot reduction (Obs. 4b) and the misalignment tolerance
+//! (Obs. 4c).
+
+use tsc_bench::{banner, compare, series};
+use tsc_core::beol::BeolProperties;
+use tsc_core::studies::{
+    macro_hotspot_pair, misaligned_rise, tolerable_misalignment, MacroStudyConfig, MisalignConfig,
+};
+use tsc_thermal::network::{Ladder, TierRung};
+use tsc_thermal::Heatsink;
+use tsc_units::{HeatFlux, Length, TempDelta};
+
+fn main() -> Result<(), tsc_thermal::SolveError> {
+    banner("Sec. I: tier-resistance share of the junction rise (3 tiers)");
+    let rung = TierRung::new(
+        HeatFlux::from_watts_per_square_cm(53.0),
+        BeolProperties::conventional().tier_resistance(),
+    );
+    let ladder = Ladder::uniform(Heatsink::two_phase(), rung, 3);
+    compare(
+        "conduction share of Tj rise, 3-tier conventional stack",
+        "85 %",
+        format!("{:.0} %", ladder.conduction_fraction().percent()),
+    );
+
+    banner("Observation 4b: the 25 µm hard-macro hotspot (6-tier Gemmini)");
+    let cfg = MacroStudyConfig::default();
+    let (ulk, td) = macro_hotspot_pair(&cfg)?;
+    compare(
+        "macro excess rise, ultra-low-k upper layers",
+        "15 °C",
+        format!("{:.1} °C", ulk.kelvin()),
+    );
+    compare(
+        "macro excess rise, thermal dielectric",
+        "5 °C",
+        format!("{:.1} °C", td.kelvin()),
+    );
+    compare(
+        "reduction factor",
+        "3x",
+        format!("{:.1}x", ulk.kelvin() / td.kelvin()),
+    );
+
+    banner("Observation 4c: inter-tier pillar misalignment tolerance");
+    let mcfg = MisalignConfig::default();
+    let offsets: Vec<Length> = [0.1, 0.2, 0.3, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4]
+        .iter()
+        .map(|&um| Length::from_micrometers(um))
+        .collect();
+    for scaffolded in [false, true] {
+        let aligned = misaligned_rise(&mcfg, scaffolded, Length::ZERO)?;
+        let pts: Vec<(f64, f64)> = offsets
+            .iter()
+            .map(|&off| {
+                let r = misaligned_rise(&mcfg, scaffolded, off)?;
+                Ok::<_, tsc_thermal::SolveError>((off.micrometers(), (r - aligned).kelvin()))
+            })
+            .collect::<Result<_, _>>()?;
+        series(
+            &format!(
+                "misalignment penalty K vs offset µm ({})",
+                if scaffolded {
+                    "thermal dielectric"
+                } else {
+                    "ultra-low-k"
+                }
+            ),
+            pts,
+        );
+    }
+    let budget = TempDelta::new(1.0);
+    let tol_ulk = tolerable_misalignment(&mcfg, false, &offsets, budget)?;
+    let tol_td = tolerable_misalignment(&mcfg, true, &offsets, budget)?;
+    compare(
+        "tolerable offset, ultra-low-k",
+        "300 nm",
+        format!("{:.0} nm", tol_ulk.nanometers()),
+    );
+    compare(
+        "tolerable offset, thermal dielectric",
+        "1 µm",
+        format!("{:.2} µm", tol_td.micrometers()),
+    );
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Table I — cooling-strategy penalties across designs at the paper's
+//! near-constant scaffolding tier counts (Gemmini 12, Rocket 13,
+//! Fujitsu-scale 12).
+
+use tsc_bench::{banner, compare};
+use tsc_core::flows::CoolingStrategy;
+use tsc_core::scaling::table1_row;
+use tsc_designs::{fujitsu, gemmini, rocket};
+
+type Row = (
+    &'static str,
+    usize,
+    usize,
+    [(&'static str, &'static str); 3],
+);
+
+fn main() -> Result<(), tsc_thermal::SolveError> {
+    banner("Table I: penalties to reach the scaffolding tier count");
+
+    let paper: [Row; 3] = [
+        (
+            "Gemmini (A), 12 tiers",
+            12,
+            14,
+            [
+                ("conventional 3D thermal", "78 % / 17 %"),
+                ("vertical conduction only", "34 % / 7 %"),
+                ("scaffolding", "10 % / 3 %"),
+            ],
+        ),
+        (
+            "Rocket (B), 13 tiers",
+            13,
+            14,
+            [
+                ("conventional 3D thermal", "69 % / 13 %"),
+                ("vertical conduction only", "25 % / 7 %"),
+                ("scaffolding", "10.6 % / 2.6 %"),
+            ],
+        ),
+        (
+            "Fujitsu-scale (C), 12 tiers",
+            12,
+            20,
+            [
+                ("conventional 3D thermal", "74 % / n/a"),
+                ("vertical conduction only", "30 % / n/a"),
+                ("scaffolding", "9.4 % / n/a"),
+            ],
+        ),
+    ];
+    let designs = [gemmini::design(), rocket::design(), fujitsu::design()];
+
+    for ((label, tiers, cells, rows), design) in paper.iter().zip(&designs) {
+        banner(label);
+        for ((strategy, paper_vals), strat) in rows.iter().zip([
+            CoolingStrategy::ConventionalDummyVias,
+            CoolingStrategy::VerticalOnly,
+            CoolingStrategy::Scaffolding,
+        ]) {
+            let row = table1_row(design, strat, *tiers, *cells)?;
+            let measured = match (row.footprint_percent, row.delay_percent) {
+                (Some(a), Some(dl)) => format!("{a:.1} % / {dl:.1} %"),
+                _ => "infeasible within 95 % area".to_string(),
+            };
+            compare(strategy, paper_vals, measured);
+        }
+    }
+    println!();
+    println!(
+        "note: our chip-scale abstraction smears pillar constellations per \
+         mesh cell, so the vertical-conduction-only column lands below the \
+         paper's 25-34 % — the ordering and the scaffolding column match. \
+         See EXPERIMENTS.md."
+    );
+    Ok(())
+}

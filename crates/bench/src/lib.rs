@@ -1,0 +1,124 @@
+//! Experiment harness shared by the per-figure reproduction binaries.
+//!
+//! Every table and figure of the paper's evaluation has a binary under
+//! `src/bin/` that regenerates it and prints a paper-vs-measured
+//! comparison (recorded in `EXPERIMENTS.md`); the Criterion benches under
+//! `benches/` time the computational kernels behind them.
+
+use std::fmt::Display;
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!();
+    println!("==== {title} ====");
+}
+
+/// Prints one paper-vs-measured comparison row.
+pub fn compare(metric: &str, paper: impl Display, measured: impl Display) {
+    println!("{metric:<58} paper: {paper:<18} measured: {measured}");
+}
+
+/// Prints a labelled series as `x<TAB>y` lines (easy to plot).
+pub fn series(name: &str, points: impl IntoIterator<Item = (f64, f64)>) {
+    println!("-- series: {name}");
+    for (x, y) in points {
+        println!("{x:10.4}\t{y:10.4}");
+    }
+}
+
+/// Prints a small ASCII heat-map of integer values (the Fig. 10 panels).
+///
+/// `rows` is indexed `[y][x]`; `y` grows upward in the printout.
+pub fn heatmap(name: &str, x_labels: &[f64], y_labels: &[f64], rows: &[Vec<usize>]) {
+    println!("-- heatmap: {name} (rows: area %, cols: delay %)");
+    print!("{:>8}", "area\\dly");
+    for x in x_labels {
+        print!("{x:>5.1}");
+    }
+    println!();
+    for (y, row) in y_labels.iter().zip(rows).rev() {
+        print!("{y:>8.1}");
+        for v in row {
+            print!("{v:>5}");
+        }
+        println!();
+    }
+}
+
+/// Relative deviation (percent) of measured from paper — printed in the
+/// experiment summaries.
+#[must_use]
+pub fn deviation_percent(paper: f64, measured: f64) -> f64 {
+    if paper == 0.0 {
+        return 0.0;
+    }
+    (measured - paper) / paper * 100.0
+}
+
+/// Fans `jobs` out across `threads` workers and returns the results in
+/// input order — the executor behind the large parameter sweeps
+/// (Fig. 10 runs ~2000 independent flow solves).
+///
+/// # Panics
+///
+/// Panics if a job panics or `threads` is zero.
+pub fn parallel_sweep<T, F>(jobs: Vec<F>, threads: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    assert!(threads > 0, "need at least one worker");
+    let n = jobs.len();
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let results = parking_lot::Mutex::new(slots);
+    let queue = parking_lot::Mutex::new(jobs.into_iter().enumerate().collect::<Vec<_>>());
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(n.max(1)) {
+            scope.spawn(|_| loop {
+                let job = queue.lock().pop();
+                match job {
+                    Some((idx, f)) => {
+                        let out = f();
+                        results.lock()[idx] = Some(out);
+                    }
+                    None => break,
+                }
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|slot| slot.expect("every job ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deviation_math() {
+        assert!((deviation_percent(100.0, 110.0) - 10.0).abs() < 1e-12);
+        assert!((deviation_percent(100.0, 90.0) + 10.0).abs() < 1e-12);
+        assert_eq!(deviation_percent(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn parallel_sweep_preserves_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0usize..40)
+            .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let out = parallel_sweep(jobs, 4);
+        assert_eq!(out, (0..40).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_sweep_handles_fewer_jobs_than_threads() {
+        let jobs: Vec<Box<dyn FnOnce() -> i32 + Send>> =
+            vec![Box::new(|| 7) as Box<dyn FnOnce() -> i32 + Send>];
+        assert_eq!(parallel_sweep(jobs, 8), vec![7]);
+    }
+}

@@ -1,0 +1,39 @@
+//! Calibration dashboard: junction temperatures per strategy/budget.
+
+use tsc_core::flows::{run_flow, CoolingStrategy, FlowConfig};
+use tsc_designs::gemmini;
+use tsc_units::Ratio;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let d = gemmini::design();
+    let cases = [
+        (CoolingStrategy::Scaffolding, 12, 10.0, 3.0),
+        (CoolingStrategy::VerticalOnly, 12, 10.0, 7.0),
+        (CoolingStrategy::VerticalOnly, 12, 20.0, 7.0),
+        (CoolingStrategy::VerticalOnly, 12, 34.0, 7.0),
+        (CoolingStrategy::ConventionalDummyVias, 12, 10.0, 3.0),
+        (CoolingStrategy::ConventionalDummyVias, 12, 78.0, 17.0),
+        (CoolingStrategy::ConventionalDummyVias, 3, 10.0, 3.0),
+        (CoolingStrategy::ConventionalDummyVias, 4, 10.0, 3.0),
+        (CoolingStrategy::ConventionalDummyVias, 5, 10.0, 3.0),
+    ];
+    for (strategy, tiers, area, delay) in cases {
+        let cfg = FlowConfig {
+            strategy,
+            tiers,
+            area_budget: Ratio::from_percent(area),
+            delay_budget: Ratio::from_percent(delay),
+            lateral_cells: 16,
+            ..FlowConfig::default()
+        };
+        let r = run_flow(&d, &cfg)?;
+        println!(
+            "{strategy:<28} N={tiers:>2} area≤{area:>4}% delay≤{delay:>4}%  spend {:>5.1}%  delay {:>4.1}%  Tj {:>7.2} °C  {}",
+            r.footprint_penalty.percent(),
+            r.delay_penalty.percent(),
+            r.junction_temperature.celsius(),
+            if r.meets_limit { "OK" } else { "FAIL" },
+        );
+    }
+    Ok(())
+}

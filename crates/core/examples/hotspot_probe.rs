@@ -1,0 +1,36 @@
+use tsc_core::flows::{run_flow, CoolingStrategy, FlowConfig};
+use tsc_designs::gemmini;
+use tsc_units::Ratio;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let d = gemmini::design();
+    for (s, a, del) in [
+        (CoolingStrategy::VerticalOnly, 34.0, 7.0),
+        (CoolingStrategy::Scaffolding, 10.0, 3.0),
+    ] {
+        let cfg = FlowConfig {
+            strategy: s,
+            tiers: 12,
+            area_budget: Ratio::from_percent(a),
+            delay_budget: Ratio::from_percent(del),
+            lateral_cells: 16,
+            ..FlowConfig::default()
+        };
+        let r = run_flow(&d, &cfg)?;
+        let hot = r.solution.solution.temperatures.hottest_cell();
+        let die = d.die.width().millimeters();
+        println!(
+            "{s}: Tj {:.2} °C at cell ({}, {}, z{}) of 16 (die {die} mm); tier profile tops: {:?}",
+            r.junction_temperature.celsius(),
+            hot.i,
+            hot.j,
+            hot.k,
+            r.solution
+                .tier_profile()
+                .iter()
+                .map(|t| (t.celsius() * 10.0).round() / 10.0)
+                .collect::<Vec<_>>()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,26 @@
+//! Probe the misalignment penalty curves.
+use tsc_core::studies::{misaligned_rise, MisalignConfig};
+use tsc_units::Length;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for side in [0.8, 1.2] {
+        let cfg = MisalignConfig {
+            pillar_side: Length::from_micrometers(side),
+            cells: 40,
+            ..MisalignConfig::default()
+        };
+        for scaffolded in [false, true] {
+            let aligned = misaligned_rise(&cfg, scaffolded, Length::ZERO)?;
+            print!(
+                "side {side} µm, scaffolded {scaffolded}: aligned {:.2} K; penalties:",
+                aligned.kelvin()
+            );
+            for off in [0.3, 0.6, 1.0, 1.4] {
+                let r = misaligned_rise(&cfg, scaffolded, Length::from_micrometers(off))?;
+                print!("  {off}µm: {:+.2} K", (r - aligned).kelvin());
+            }
+            println!();
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,36 @@
+//! Probe the Fig. 12 toy design space.
+
+use tsc_core::beol;
+use tsc_core::codesign::{reduction_vs_baseline, Arrangement, ToyConfig};
+use tsc_units::Length;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = ToyConfig::default();
+    for side_um in [1.0, 1.5, 2.0] {
+        let side = Length::from_micrometers(side_um);
+        let td = reduction_vs_baseline(
+            &cfg,
+            beol::upper_thermal_dielectric(),
+            Arrangement::SingleCentral { side },
+        )?;
+        let ulk = reduction_vs_baseline(
+            &cfg,
+            beol::upper_ultra_low_k(),
+            Arrangement::SingleCentral { side },
+        )?;
+        let cover = reduction_vs_baseline(
+            &cfg,
+            beol::upper_ultra_low_k(),
+            Arrangement::UniformCovering {
+                reference_side: side,
+            },
+        )?;
+        println!(
+            "pillar {side_um} µm: single+TD {:.1}%  single+ULK {:.1}%  4x-cover+ULK {:.1}%",
+            td.percent(),
+            ulk.percent(),
+            cover.percent()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,276 @@
+//! Homogenized BEOL property sets per cooling strategy.
+//!
+//! The chip-scale solver consumes lumped anisotropic conductivities for
+//! the lower (V0–V7) and upper (M8/V8/M9) BEOL groups — the abstraction
+//! of Fig. 7. The canonical values are the paper's published Fig. 7c
+//! table; [`BeolProperties::from_homogenization`] recomputes the same
+//! quantities from scratch with [`tsc_homogenize`]'s synthetic slices
+//! (see the `fig07_beol` bench), landing within ~10–35 %:
+//!
+//! | group / dielectric      | paper (canonical) | our homogenizer |
+//! |-------------------------|-------------------|-----------------|
+//! | V0–V7, ultra-low-k      | 0.31 / 5.47       | 0.41 / 5.31     |
+//! | M8–M9, ultra-low-k      | 6.9 / 13.6        | 7.88 / 14.74    |
+//! | M8–M9, thermal diel.    | 93.59 / 101.73    | 103.1 / 118.5   |
+
+use tsc_homogenize::{extract_k, slice, Axis};
+use tsc_materials::{Anisotropic, THERMAL_DIELECTRIC_DESIGN, ULTRA_LOW_K_ILD};
+use tsc_phydes::fill::FillModel;
+use tsc_units::{Length, Ratio, ThermalConductivity};
+
+/// Canonical lumped V0–V7 conductivity with ultra-low-k dielectric.
+#[must_use]
+pub fn lower_ultra_low_k() -> Anisotropic {
+    Anisotropic::new(
+        ThermalConductivity::new(0.31),
+        ThermalConductivity::new(5.47),
+    )
+}
+
+/// Canonical lumped M8/V8/M9 conductivity with ultra-low-k dielectric.
+#[must_use]
+pub fn upper_ultra_low_k() -> Anisotropic {
+    Anisotropic::new(
+        ThermalConductivity::new(6.9),
+        ThermalConductivity::new(13.6),
+    )
+}
+
+/// Canonical lumped M8/V8/M9 conductivity with the thermal dielectric.
+#[must_use]
+pub fn upper_thermal_dielectric() -> Anisotropic {
+    Anisotropic::new(
+        ThermalConductivity::new(93.59),
+        ThermalConductivity::new(101.73),
+    )
+}
+
+/// The ILV/bonding interface between tiers: a 100 nm inter-tier layer of
+/// ultra-low-k dielectric crossed by ~1 % inter-layer vias.
+#[must_use]
+pub fn ilv_interface() -> Anisotropic {
+    ilv_with_matrix(ULTRA_LOW_K_ILD.conductivity)
+}
+
+/// The scaffolded bonding interface: the same ILV layer but encapsulated
+/// in thermal dielectric ("thermal dielectric between tiers",
+/// Observation 4c) — this is also what relaxes inter-tier pillar
+/// alignment tolerance.
+#[must_use]
+pub fn ilv_thermal_dielectric() -> Anisotropic {
+    ilv_with_matrix(tsc_materials::THERMAL_DIELECTRIC_DESIGN.conductivity)
+}
+
+fn ilv_with_matrix(matrix: Anisotropic) -> Anisotropic {
+    let f = 0.01;
+    let k = (1.0 - f) * matrix.vertical.get() + f * tsc_materials::copper::LOWER_LEVEL.get();
+    Anisotropic::new(ThermalConductivity::new(k), matrix.lateral)
+}
+
+/// Thickness of the lumped lower BEOL.
+#[must_use]
+pub fn lower_thickness() -> Length {
+    Length::from_micrometers(1.0)
+}
+
+/// Thickness of the upper (M8/V8/M9) group.
+#[must_use]
+pub fn upper_thickness() -> Length {
+    Length::from_nanometers(240.0)
+}
+
+/// Thickness of the ILV/bond interface.
+#[must_use]
+pub fn ilv_thickness() -> Length {
+    Length::from_nanometers(100.0)
+}
+
+/// The lumped BEOL of one tier under a given cooling strategy.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BeolProperties {
+    /// Lumped V0–V7 conductivity.
+    pub lower: Anisotropic,
+    /// Lumped M8/V8/M9 conductivity.
+    pub upper: Anisotropic,
+    /// ILV/bond interface conductivity.
+    pub ilv: Anisotropic,
+}
+
+impl BeolProperties {
+    /// Conventional stack: ultra-low-k everywhere, no thermal fill.
+    #[must_use]
+    pub fn conventional() -> Self {
+        Self {
+            lower: lower_ultra_low_k(),
+            upper: upper_ultra_low_k(),
+            ilv: ilv_interface(),
+        }
+    }
+
+    /// Scaffolded stack: thermal dielectric in the upper group and in
+    /// the inter-tier bond layer. (Pillars are applied separately, per
+    /// cell, by the stack builder.)
+    #[must_use]
+    pub fn scaffolded() -> Self {
+        Self {
+            upper: upper_thermal_dielectric(),
+            ilv: ilv_thermal_dielectric(),
+            ..Self::conventional()
+        }
+    }
+
+    /// Conventional stack with thermal dummy fill bought by `area_slack`
+    /// footprint (Sec. IIIB metallization): the fill model's conductivity
+    /// gains applied to both groups and the ILV interface.
+    #[must_use]
+    pub fn with_dummy_fill(area_slack: Ratio) -> Self {
+        let fill = FillModel::calibrated();
+        let cu = tsc_materials::copper::LOWER_LEVEL;
+        let base = Self::conventional();
+        let boost = |a: Anisotropic| {
+            Anisotropic::new(
+                fill.vertical_conductivity_gain(a.vertical, cu, area_slack),
+                fill.lateral_conductivity_gain(a.lateral, cu, area_slack),
+            )
+        };
+        Self {
+            lower: boost(base.lower),
+            upper: boost(base.upper),
+            ilv: boost(base.ilv),
+        }
+    }
+
+    /// Recomputes the lower/upper values from first principles with the
+    /// voxel homogenizer (slow: fine-grid FEM). `scaffolded` selects the
+    /// upper-group dielectric.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures from the fine-grid extraction.
+    pub fn from_homogenization(scaffolded: bool) -> Result<Self, tsc_thermal::SolveError> {
+        let lower_geo = slice::SliceGeometry::default_lower();
+        let upper_geo = slice::SliceGeometry::default_upper();
+        let lower_model = slice::lower_beol(ULTRA_LOW_K_ILD.conductivity, &lower_geo);
+        let upper_d = if scaffolded {
+            THERMAL_DIELECTRIC_DESIGN.conductivity
+        } else {
+            ULTRA_LOW_K_ILD.conductivity
+        };
+        let upper_model = slice::upper_beol(upper_d, &upper_geo);
+        Ok(Self {
+            lower: Anisotropic::new(
+                extract_k(&lower_model, Axis::Z)?,
+                extract_k(&lower_model, Axis::X)?,
+            ),
+            upper: Anisotropic::new(
+                extract_k(&upper_model, Axis::Z)?,
+                extract_k(&upper_model, Axis::X)?,
+            ),
+            ilv: ilv_interface(),
+        })
+    }
+
+    /// Area-specific vertical resistance of one tier's full BEOL +
+    /// interface (no pillars) — the rung of the compact ladder model.
+    #[must_use]
+    pub fn tier_resistance(&self) -> tsc_units::AreaThermalResistance {
+        self.lower.vertical.slab_resistance(lower_thickness())
+            + self.upper.vertical.slab_resistance(upper_thickness())
+            + self.ilv.vertical.slab_resistance(ilv_thickness())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conventional_tier_resistance_is_microkelvin_class() {
+        // ~2.5e-6 m²K/W per tier — the number that caps conventional
+        // stacks at 3-4 tiers.
+        let r = BeolProperties::conventional().tier_resistance().get();
+        assert!((2.0e-6..3.5e-6).contains(&r), "R'' = {r:.3e}");
+    }
+
+    #[test]
+    fn scaffolding_dielectric_alone_barely_moves_vertical_resistance() {
+        // The dielectric fixes the upper layers and the bond, but the
+        // lower BEOL still dominates vertically. That is why pillars are
+        // needed too.
+        let conv = BeolProperties::conventional().tier_resistance().get();
+        let scaf = BeolProperties::scaffolded().tier_resistance().get();
+        assert!(scaf < conv);
+        assert!(scaf > 0.8 * conv, "dielectric alone is not enough");
+    }
+
+    #[test]
+    fn dummy_fill_cuts_resistance_with_slack() {
+        let base = BeolProperties::conventional().tier_resistance().get();
+        let filled = BeolProperties::with_dummy_fill(Ratio::from_percent(78.0))
+            .tier_resistance()
+            .get();
+        assert!(
+            filled < base / 2.0,
+            "78% slack must at least halve tier resistance: {base:.2e} -> {filled:.2e}"
+        );
+    }
+
+    #[test]
+    fn fill_gains_are_monotone() {
+        let mut last = f64::INFINITY;
+        for pct in [0.0, 10.0, 34.0, 78.0] {
+            let r = BeolProperties::with_dummy_fill(Ratio::from_percent(pct))
+                .tier_resistance()
+                .get();
+            assert!(r <= last);
+            last = r;
+        }
+    }
+
+    #[test]
+    fn canonical_values_have_correct_orderings() {
+        let low = lower_ultra_low_k();
+        let up = upper_ultra_low_k();
+        let td = upper_thermal_dielectric();
+        assert!(low.vertical.get() < low.lateral.get());
+        assert!(up.vertical.get() < up.lateral.get());
+        assert!(td.vertical.get() > 10.0 * up.vertical.get());
+        assert!(td.lateral.get() > 5.0 * up.lateral.get());
+    }
+
+    #[test]
+    fn ilv_interface_is_poor_but_finite() {
+        let ilv = ilv_interface();
+        assert!((1.0..2.0).contains(&ilv.vertical.get()), "{:?}", ilv);
+    }
+
+    /// Slow validation: the canonical (paper) constants match a fresh
+    /// synthetic-slice homogenization within 35 %. Run with `--ignored`.
+    #[test]
+    #[ignore = "fine-grid FEM, run explicitly"]
+    fn canonical_matches_recomputation() {
+        let fresh = BeolProperties::from_homogenization(false).expect("converges");
+        let canon = BeolProperties::conventional();
+        let close = |a: f64, b: f64| (a - b).abs() / b < 0.35;
+        assert!(close(
+            fresh.lower.vertical.get(),
+            canon.lower.vertical.get()
+        ));
+        assert!(close(fresh.lower.lateral.get(), canon.lower.lateral.get()));
+        assert!(close(
+            fresh.upper.vertical.get(),
+            canon.upper.vertical.get()
+        ));
+        assert!(close(fresh.upper.lateral.get(), canon.upper.lateral.get()));
+        let fresh_td = BeolProperties::from_homogenization(true).expect("converges");
+        let canon_td = BeolProperties::scaffolded();
+        assert!(close(
+            fresh_td.upper.vertical.get(),
+            canon_td.upper.vertical.get()
+        ));
+        assert!(close(
+            fresh_td.upper.lateral.get(),
+            canon_td.upper.lateral.get()
+        ));
+    }
+}

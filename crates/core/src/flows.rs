@@ -1,0 +1,361 @@
+//! The two VLSI flows of Fig. 6 with penalty accounting.
+//!
+//! * **Scaffolding** — thermal dielectric in M8/V8/M9 plus pillar
+//!   constellations in the routable area; the footprint budget buys
+//!   pillar density, the delay budget caps it (ε swap, pillar coupling
+//!   and wirelength growth, via the calibrated
+//!   `DelayModel` in `tsc_phydes::timing`).
+//! * **Vertical conduction only** — the pillars without the dielectric
+//!   (the middle column of Table I): more pillars are needed for the
+//!   same cooling because nothing spreads heat toward them.
+//! * **Conventional 3D thermal** — thermal-aware metallization: the
+//!   footprint budget becomes placement-density slack which buys dummy
+//!   fill/vias (Fig. 7b), improving the lumped BEOL conductivity at the
+//!   cost of coupling capacitance.
+//!
+//! Each flow first *spends* its budgets (shrinking the thermal knob until
+//! the delay budget is respected), then runs the chip-scale FVM solve.
+
+use crate::beol::BeolProperties;
+use crate::pillars;
+use crate::stack::{solve, StackConfig, StackSolution};
+use tsc_designs::Design;
+use tsc_phydes::fill::FillModel;
+use tsc_phydes::timing::{DelayModel, TimingImpact};
+use tsc_thermal::{Heatsink, SolveError};
+use tsc_units::{Ratio, Temperature};
+
+/// The cooling strategies compared in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum CoolingStrategy {
+    /// Thermal dielectric + pillars (the contribution).
+    Scaffolding,
+    /// Pillars only, ultra-low-k dielectric (Table I middle column).
+    VerticalOnly,
+    /// Thermal dummy fill / dummy vias (conventional 3D thermal).
+    ConventionalDummyVias,
+}
+
+impl core::fmt::Display for CoolingStrategy {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Self::Scaffolding => "scaffolding",
+            Self::VerticalOnly => "vertical-conduction-only",
+            Self::ConventionalDummyVias => "conventional 3D thermal",
+        })
+    }
+}
+
+/// Configuration of one flow run.
+#[derive(Debug, Clone)]
+pub struct FlowConfig {
+    /// Cooling strategy.
+    pub strategy: CoolingStrategy,
+    /// Stacked tier count.
+    pub tiers: usize,
+    /// Attached heatsink.
+    pub heatsink: Heatsink,
+    /// Junction-temperature limit.
+    pub t_limit: Temperature,
+    /// Maximum footprint penalty the flow may spend.
+    pub area_budget: Ratio,
+    /// Maximum delay penalty the flow may incur.
+    pub delay_budget: Ratio,
+    /// Workload utilization (uniform across tiers).
+    pub utilization: Ratio,
+    /// Lateral mesh resolution.
+    pub lateral_cells: usize,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        Self {
+            strategy: CoolingStrategy::Scaffolding,
+            tiers: 12,
+            heatsink: Heatsink::two_phase(),
+            t_limit: Temperature::from_celsius(125.0),
+            area_budget: Ratio::from_percent(10.0),
+            delay_budget: Ratio::from_percent(3.0),
+            utilization: Ratio::ONE,
+            lateral_cells: 16,
+        }
+    }
+}
+
+/// Outcome of one flow run.
+#[derive(Debug, Clone)]
+pub struct FlowResult {
+    /// Strategy that produced this result.
+    pub strategy: CoolingStrategy,
+    /// Tier count simulated.
+    pub tiers: usize,
+    /// Junction temperature.
+    pub junction_temperature: Temperature,
+    /// Footprint actually spent.
+    pub footprint_penalty: Ratio,
+    /// Delay penalty actually incurred.
+    pub delay_penalty: Ratio,
+    /// Die-average pillar density (zero for the conventional flow).
+    pub pillar_density: Ratio,
+    /// Area slack converted to dummy fill (conventional flow only).
+    pub fill_slack: Ratio,
+    /// Whether the junction stayed within the configured limit.
+    pub meets_limit: bool,
+    /// The chip-scale solution (tier profile, energy balance).
+    pub solution: StackSolution,
+}
+
+/// The timing impact a strategy produces when it spends `area` of
+/// footprint.
+#[must_use]
+pub fn timing_impact(strategy: CoolingStrategy, area: Ratio) -> TimingImpact {
+    match strategy {
+        CoolingStrategy::Scaffolding => TimingImpact {
+            area_penalty: area,
+            upper_epsilon_ratio: 2.0,
+            fill_coupling: 0.0,
+            pillar_density: area,
+        },
+        CoolingStrategy::VerticalOnly => TimingImpact {
+            area_penalty: area,
+            upper_epsilon_ratio: 1.0,
+            fill_coupling: 0.0,
+            pillar_density: area,
+        },
+        CoolingStrategy::ConventionalDummyVias => TimingImpact {
+            area_penalty: area,
+            upper_epsilon_ratio: 1.0,
+            fill_coupling: FillModel::calibrated().coupling_capacitance(area),
+            pillar_density: Ratio::ZERO,
+        },
+    }
+}
+
+/// The largest footprint spend whose delay penalty fits `delay_budget`
+/// (bisection; the delay model is monotone in area).
+#[must_use]
+pub fn max_area_within_delay(
+    strategy: CoolingStrategy,
+    area_budget: Ratio,
+    delay_budget: Ratio,
+) -> Ratio {
+    let model = DelayModel::calibrated();
+    let delay_at = |a: f64| {
+        model
+            .delay_penalty(&timing_impact(strategy, Ratio::from_fraction(a)))
+            .fraction()
+    };
+    let budget = area_budget.fraction();
+    if delay_at(budget) <= delay_budget.fraction() {
+        return area_budget;
+    }
+    let (mut lo, mut hi) = (0.0_f64, budget);
+    for _ in 0..40 {
+        let mid = 0.5 * (lo + hi);
+        if delay_at(mid) <= delay_budget.fraction() {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ratio::from_fraction(lo)
+}
+
+/// Runs one flow end-to-end.
+///
+/// # Errors
+///
+/// Propagates [`SolveError`] from the chip-scale solve.
+///
+/// # Panics
+///
+/// Panics if `config.tiers` is zero.
+pub fn run_flow(design: &Design, config: &FlowConfig) -> Result<FlowResult, SolveError> {
+    assert!(config.tiers > 0, "need at least one tier");
+    let spend = max_area_within_delay(config.strategy, config.area_budget, config.delay_budget);
+    let delay = DelayModel::calibrated().delay_penalty(&timing_impact(config.strategy, spend));
+
+    let (beol, pillar_map, fill_slack) = match config.strategy {
+        CoolingStrategy::Scaffolding => (
+            BeolProperties::scaffolded(),
+            Some(pillars::uniform_routable_map(
+                design,
+                spend,
+                config.lateral_cells,
+            )),
+            Ratio::ZERO,
+        ),
+        CoolingStrategy::VerticalOnly => (
+            BeolProperties::conventional(),
+            Some(pillars::uniform_routable_map(
+                design,
+                spend,
+                config.lateral_cells,
+            )),
+            Ratio::ZERO,
+        ),
+        CoolingStrategy::ConventionalDummyVias => {
+            (BeolProperties::with_dummy_fill(spend), None, spend)
+        }
+    };
+
+    let mut stack_config = StackConfig::uniform(config.tiers, beol, config.heatsink)
+        .with_lateral_cells(config.lateral_cells)
+        .with_utilizations(vec![config.utilization; config.tiers])
+        .with_area_dilution(spend);
+    let pillar_density = match pillar_map {
+        Some(map) => {
+            stack_config = stack_config.with_pillar_map(map);
+            stack_config.average_pillar_density()
+        }
+        None => Ratio::ZERO,
+    };
+
+    let solution = solve(design, &stack_config)?;
+    let tj = solution.junction_temperature();
+    Ok(FlowResult {
+        strategy: config.strategy,
+        tiers: config.tiers,
+        junction_temperature: tj,
+        footprint_penalty: spend,
+        delay_penalty: delay,
+        pillar_density,
+        fill_slack,
+        meets_limit: tj <= config.t_limit,
+        solution,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsc_designs::gemmini;
+
+    fn cfg(strategy: CoolingStrategy, tiers: usize, area: f64, delay: f64) -> FlowConfig {
+        FlowConfig {
+            strategy,
+            tiers,
+            area_budget: Ratio::from_percent(area),
+            delay_budget: Ratio::from_percent(delay),
+            lateral_cells: 12,
+            ..FlowConfig::default()
+        }
+    }
+
+    #[test]
+    fn scaffolding_meets_twelve_tiers_at_paper_budgets() {
+        let d = gemmini::design();
+        let r = run_flow(&d, &cfg(CoolingStrategy::Scaffolding, 12, 10.0, 3.0)).expect("solves");
+        assert!(
+            r.meets_limit,
+            "scaffolded 12-tier Gemmini at 10%/3%: {}",
+            r.junction_temperature
+        );
+        assert!(r.delay_penalty.percent() <= 3.0 + 1e-9);
+        assert!(r.footprint_penalty.percent() <= 10.0 + 1e-9);
+    }
+
+    #[test]
+    fn conventional_fails_twelve_tiers_at_paper_budgets() {
+        let d = gemmini::design();
+        let r = run_flow(
+            &d,
+            &cfg(CoolingStrategy::ConventionalDummyVias, 12, 10.0, 3.0),
+        )
+        .expect("solves");
+        assert!(
+            !r.meets_limit,
+            "conventional must fail 12 tiers at 10%/3%: {}",
+            r.junction_temperature
+        );
+    }
+
+    #[test]
+    fn conventional_needs_seventyeight_percent_for_twelve_tiers() {
+        // Table I: conventional reaches 12 tiers only at ~78% footprint
+        // and ~17% delay.
+        let d = gemmini::design();
+        let r = run_flow(
+            &d,
+            &cfg(CoolingStrategy::ConventionalDummyVias, 12, 78.0, 17.0),
+        )
+        .expect("solves");
+        assert!(
+            r.meets_limit,
+            "conventional at 78%/17% should reach 12 tiers: {}",
+            r.junction_temperature
+        );
+        assert!(
+            r.delay_penalty.percent() > 10.0,
+            "the spend must show up as delay: {}",
+            r.delay_penalty
+        );
+    }
+
+    #[test]
+    fn vertical_only_needs_more_area_than_scaffolding() {
+        // Table I: pillars without the dielectric need ~34% (vs 10%).
+        let d = gemmini::design();
+        let scaf = run_flow(&d, &cfg(CoolingStrategy::Scaffolding, 12, 10.0, 3.0)).expect("solves");
+        let vert_small =
+            run_flow(&d, &cfg(CoolingStrategy::VerticalOnly, 12, 10.0, 7.0)).expect("solves");
+        let vert_big =
+            run_flow(&d, &cfg(CoolingStrategy::VerticalOnly, 12, 34.0, 7.0)).expect("solves");
+        assert!(scaf.meets_limit);
+        assert!(
+            !vert_small.meets_limit,
+            "pillars-only at 10% must fail: {}",
+            vert_small.junction_temperature
+        );
+        assert!(
+            vert_big.meets_limit,
+            "pillars-only at 34% should pass: {}",
+            vert_big.junction_temperature
+        );
+    }
+
+    #[test]
+    fn delay_budget_caps_the_spend() {
+        // With a tiny delay budget the flow cannot spend its full area
+        // budget.
+        let spend = max_area_within_delay(
+            CoolingStrategy::ConventionalDummyVias,
+            Ratio::from_percent(78.0),
+            Ratio::from_percent(5.0),
+        );
+        assert!(
+            spend.percent() < 78.0,
+            "5% delay cannot afford 78% of fill slack: {spend}"
+        );
+        let delay = DelayModel::calibrated().delay_penalty(&timing_impact(
+            CoolingStrategy::ConventionalDummyVias,
+            spend,
+        ));
+        assert!(delay.percent() <= 5.0 + 1e-6);
+    }
+
+    #[test]
+    fn generous_budget_is_not_clipped() {
+        let spend = max_area_within_delay(
+            CoolingStrategy::Scaffolding,
+            Ratio::from_percent(10.0),
+            Ratio::from_percent(50.0),
+        );
+        assert!((spend.percent() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn strategies_report_their_knobs() {
+        let d = gemmini::design();
+        let scaf = run_flow(&d, &cfg(CoolingStrategy::Scaffolding, 6, 10.0, 3.0)).expect("solves");
+        assert!(scaf.pillar_density.fraction() > 0.0);
+        assert_eq!(scaf.fill_slack, Ratio::ZERO);
+        let conv = run_flow(
+            &d,
+            &cfg(CoolingStrategy::ConventionalDummyVias, 6, 30.0, 10.0),
+        )
+        .expect("solves");
+        assert_eq!(conv.pillar_density, Ratio::ZERO);
+        assert!(conv.fill_slack.fraction() > 0.0);
+    }
+}

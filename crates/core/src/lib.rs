@@ -1,0 +1,53 @@
+//! Thermal scaffolding — the paper's contribution.
+//!
+//! This crate implements the co-design flows of Sec. III on top of the
+//! workspace substrates (materials, homogenization, thermal solver,
+//! physical design, designs):
+//!
+//! * [`beol`] — homogenized BEOL property sets per cooling strategy
+//!   (conventional ultra-low-k, dummy-via fill, thermal dielectric), with
+//!   the canonical values extracted by `tsc-homogenize` and a slow
+//!   recomputation path for validation;
+//! * [`stack`] — assembles the full `N`-tier 3D-IC finite-volume problem
+//!   for a design: handle silicon, per-tier device/BEOL/ILV slabs,
+//!   per-tier power maps, pillar columns, heatsink;
+//! * [`pillars`] — the Sec. IIIA pillar placement algorithm: per-heat-
+//!   source minimum pillar count by uniform-cover simulation, pitch
+//!   computation, macro-aware grid placement, escalation;
+//! * [`flows`] — the two VLSI flows (scaffolding vs conventional 3D
+//!   thermal) with footprint/delay penalty accounting;
+//! * [`scaling`] — tier-count searches and penalty sweeps behind
+//!   Figs. 9–11 and Table I;
+//! * [`codesign`] — the power-gating toy study of Fig. 12;
+//! * [`studies`] — the Observation-4 analyses: macro hotspots and
+//!   inter-tier pillar misalignment.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use tsc_core::flows::{run_flow, CoolingStrategy, FlowConfig};
+//! use tsc_designs::gemmini;
+//! use tsc_thermal::Heatsink;
+//! use tsc_units::{Ratio, Temperature};
+//!
+//! let config = FlowConfig {
+//!     strategy: CoolingStrategy::Scaffolding,
+//!     tiers: 12,
+//!     heatsink: Heatsink::two_phase(),
+//!     t_limit: Temperature::from_celsius(125.0),
+//!     area_budget: Ratio::from_percent(10.0),
+//!     delay_budget: Ratio::from_percent(3.0),
+//!     ..FlowConfig::default()
+//! };
+//! let result = run_flow(&gemmini::design(), &config)?;
+//! assert!(result.junction_temperature <= config.t_limit);
+//! # Ok::<(), tsc_thermal::SolveError>(())
+//! ```
+
+pub mod beol;
+pub mod codesign;
+pub mod flows;
+pub mod pillars;
+pub mod scaling;
+pub mod stack;
+pub mod studies;

@@ -1,0 +1,336 @@
+//! Tier-scaling searches and penalty sweeps (Figs. 9–11, Table I).
+
+use crate::flows::{run_flow, CoolingStrategy, FlowConfig};
+use tsc_designs::Design;
+use tsc_thermal::SolveError;
+use tsc_units::Ratio;
+
+/// One point of a tier-scaling curve (Fig. 9 / Fig. 11).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ScalingPoint {
+    /// Tier count.
+    pub tiers: usize,
+    /// Junction temperature at that count.
+    pub junction_celsius: f64,
+    /// Whether the configured limit held.
+    pub meets_limit: bool,
+}
+
+/// Sweeps tier count from 1 to `max_tiers`, producing the Fig. 9 curve
+/// for one design/strategy/heatsink combination.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn tier_curve(
+    design: &Design,
+    base: &FlowConfig,
+    max_tiers: usize,
+) -> Result<Vec<ScalingPoint>, SolveError> {
+    let mut out = Vec::with_capacity(max_tiers);
+    for n in 1..=max_tiers {
+        let cfg = FlowConfig {
+            tiers: n,
+            ..base.clone()
+        };
+        let r = run_flow(design, &cfg)?;
+        out.push(ScalingPoint {
+            tiers: n,
+            junction_celsius: r.junction_temperature.celsius(),
+            meets_limit: r.meets_limit,
+        });
+    }
+    Ok(out)
+}
+
+/// The largest tier count whose junction stays within the limit
+/// (scanning upward and stopping at the first violation, since the
+/// junction rises monotonically with tier count).
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn max_tiers(design: &Design, base: &FlowConfig, cap: usize) -> Result<usize, SolveError> {
+    let mut best = 0;
+    for n in 1..=cap {
+        let cfg = FlowConfig {
+            tiers: n,
+            ..base.clone()
+        };
+        if run_flow(design, &cfg)?.meets_limit {
+            best = n;
+        } else {
+            break;
+        }
+    }
+    Ok(best)
+}
+
+/// One cell of the Fig. 10 penalty maps.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct PenaltyCell {
+    /// Footprint budget (percent).
+    pub area_percent: f64,
+    /// Delay budget (percent).
+    pub delay_percent: f64,
+    /// Supported tiers within 125 °C.
+    pub supported_tiers: usize,
+}
+
+/// Sweeps an (area budget × delay budget) grid, reporting supported tier
+/// counts — the data behind the Fig. 10 heatmaps.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn penalty_map(
+    design: &Design,
+    strategy: CoolingStrategy,
+    area_percents: &[f64],
+    delay_percents: &[f64],
+    cap: usize,
+    lateral_cells: usize,
+) -> Result<Vec<PenaltyCell>, SolveError> {
+    let mut out = Vec::with_capacity(area_percents.len() * delay_percents.len());
+    for &a in area_percents {
+        for &d in delay_percents {
+            let base = FlowConfig {
+                strategy,
+                area_budget: Ratio::from_percent(a),
+                delay_budget: Ratio::from_percent(d),
+                lateral_cells,
+                ..FlowConfig::default()
+            };
+            let n = max_tiers(design, &base, cap)?;
+            out.push(PenaltyCell {
+                area_percent: a,
+                delay_percent: d,
+                supported_tiers: n,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// The minimum footprint budget (bisected to `tol_percent`) that lets a
+/// strategy support `tiers` within the limit, given a generous delay
+/// budget — the Table I search. Returns `None` if even `max_area`
+/// fails.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn min_area_for_tiers(
+    design: &Design,
+    strategy: CoolingStrategy,
+    tiers: usize,
+    delay_budget: Ratio,
+    max_area: Ratio,
+    tol_percent: f64,
+    lateral_cells: usize,
+) -> Result<Option<Ratio>, SolveError> {
+    let feasible = |area: f64| -> Result<bool, SolveError> {
+        let cfg = FlowConfig {
+            strategy,
+            tiers,
+            area_budget: Ratio::from_percent(area),
+            delay_budget,
+            lateral_cells,
+            ..FlowConfig::default()
+        };
+        Ok(run_flow(design, &cfg)?.meets_limit)
+    };
+    let hi0 = max_area.percent();
+    if !feasible(hi0)? {
+        return Ok(None);
+    }
+    let (mut lo, mut hi) = (0.0_f64, hi0);
+    while hi - lo > tol_percent {
+        let mid = 0.5 * (lo + hi);
+        if feasible(mid)? {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(Some(Ratio::from_percent(hi)))
+}
+
+/// Convenience record for Table I rows.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct PenaltyRow {
+    /// Strategy of this row.
+    pub strategy: CoolingStrategy,
+    /// Minimum footprint penalty found (percent), if feasible.
+    pub footprint_percent: Option<f64>,
+    /// Delay penalty at that footprint (percent).
+    pub delay_percent: Option<f64>,
+}
+
+/// Builds one Table I row: minimum footprint for `tiers`, and the delay
+/// penalty that footprint incurs.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn table1_row(
+    design: &Design,
+    strategy: CoolingStrategy,
+    tiers: usize,
+    lateral_cells: usize,
+) -> Result<PenaltyRow, SolveError> {
+    use tsc_phydes::timing::DelayModel;
+    let area = min_area_for_tiers(
+        design,
+        strategy,
+        tiers,
+        Ratio::from_percent(100.0), // generous: report the delay it costs
+        Ratio::from_percent(95.0),
+        0.5,
+        lateral_cells,
+    )?;
+    let delay = area.map(|a| {
+        DelayModel::calibrated()
+            .delay_penalty(&crate::flows::timing_impact(strategy, a))
+            .percent()
+    });
+    Ok(PenaltyRow {
+        strategy,
+        footprint_percent: area.map(|a| a.percent()),
+        delay_percent: delay,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsc_designs::gemmini;
+    use tsc_thermal::Heatsink;
+
+    fn base(strategy: CoolingStrategy, area: f64, delay: f64) -> FlowConfig {
+        FlowConfig {
+            strategy,
+            area_budget: Ratio::from_percent(area),
+            delay_budget: Ratio::from_percent(delay),
+            lateral_cells: 10,
+            ..FlowConfig::default()
+        }
+    }
+
+    #[test]
+    fn tier_curve_is_monotone() {
+        let d = gemmini::design();
+        let curve = tier_curve(
+            &d,
+            &base(CoolingStrategy::ConventionalDummyVias, 10.0, 3.0),
+            6,
+        )
+        .expect("solves");
+        assert_eq!(curve.len(), 6);
+        for w in curve.windows(2) {
+            assert!(w[1].junction_celsius > w[0].junction_celsius);
+        }
+    }
+
+    #[test]
+    fn fig9_shape_conventional_vs_scaffolding() {
+        // The Fig. 9 anchor: at equal 10%/~3% penalties, conventional
+        // supports ~3-4 tiers, scaffolding ~12.
+        let d = gemmini::design();
+        let conv = max_tiers(
+            &d,
+            &base(CoolingStrategy::ConventionalDummyVias, 10.0, 2.8),
+            16,
+        )
+        .expect("solves");
+        let scaf =
+            max_tiers(&d, &base(CoolingStrategy::Scaffolding, 10.0, 2.8), 16).expect("solves");
+        assert!(
+            (3..=5).contains(&conv),
+            "conventional at iso-penalty: {conv} tiers (paper: 3)"
+        );
+        assert!(
+            (11..=16).contains(&scaf),
+            "scaffolding at iso-penalty: {scaf} tiers (paper: 12)"
+        );
+        // Paper reports 4x (12 vs 3); our slightly cooler conventional
+        // baseline lands at 2.5-3x — same story, documented in
+        // EXPERIMENTS.md.
+        assert!(
+            scaf as f64 >= 2.5 * conv as f64,
+            "the 3-4x headline: conventional {conv}, scaffolding {scaf}"
+        );
+    }
+
+    #[test]
+    fn microfluidic_heatsink_flips_low_tier_counts() {
+        // Fig. 11: with Tj<125 °C, microfluidics (25 °C water) gives
+        // conventional more headroom at low counts, but scaffolding
+        // still scales further.
+        let d = gemmini::design();
+        let mf = FlowConfig {
+            heatsink: Heatsink::microfluidic(),
+            ..base(CoolingStrategy::Scaffolding, 10.0, 2.8)
+        };
+        let scaf_mf = max_tiers(&d, &mf, 14).expect("solves");
+        let conv_mf = max_tiers(
+            &d,
+            &FlowConfig {
+                strategy: CoolingStrategy::ConventionalDummyVias,
+                ..mf.clone()
+            },
+            14,
+        )
+        .expect("solves");
+        assert!(
+            scaf_mf > conv_mf,
+            "scaffolding {scaf_mf} vs conventional {conv_mf}"
+        );
+        // Paper: 8 vs 5 tiers.
+        assert!(
+            (6..=10).contains(&scaf_mf),
+            "scaffolded microfluidic: {scaf_mf}"
+        );
+        assert!(
+            (3..=7).contains(&conv_mf),
+            "conventional microfluidic: {conv_mf}"
+        );
+    }
+
+    #[test]
+    fn min_area_search_is_consistent() {
+        let d = gemmini::design();
+        let a = min_area_for_tiers(
+            &d,
+            CoolingStrategy::Scaffolding,
+            10,
+            Ratio::from_percent(100.0),
+            Ratio::from_percent(60.0),
+            1.0,
+            10,
+        )
+        .expect("solves")
+        .expect("feasible");
+        // Supporting 10 tiers needs a nonzero but modest pillar budget.
+        assert!(
+            a.percent() > 0.5 && a.percent() < 20.0,
+            "min area for 10 tiers: {a}"
+        );
+    }
+
+    #[test]
+    fn infeasible_min_area_is_none() {
+        let d = gemmini::design();
+        let a = min_area_for_tiers(
+            &d,
+            CoolingStrategy::ConventionalDummyVias,
+            16,
+            Ratio::from_percent(100.0),
+            Ratio::from_percent(20.0),
+            1.0,
+            10,
+        )
+        .expect("solves");
+        assert!(a.is_none(), "16 conventional tiers in 20% area: impossible");
+    }
+}

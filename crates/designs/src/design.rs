@@ -1,0 +1,348 @@
+//! The design abstraction consumed by the cooling flows.
+
+use tsc_geometry::{Grid2, Rect};
+use tsc_phydes::power::{density, UnitClass};
+use tsc_units::{Area, Frequency, HeatFlux, Length, Power, Ratio};
+
+/// One placed functional unit of a design.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DesignUnit {
+    /// Unit name, e.g. `"systolic-array"` or `"ICache"`.
+    pub name: String,
+    /// Placement on the die.
+    pub rect: Rect,
+    /// Power class (drives the density model).
+    pub class: UnitClass,
+    /// Hard macros (SRAM blocks) exclude pillar insertion.
+    pub is_macro: bool,
+}
+
+impl DesignUnit {
+    /// Creates a unit.
+    #[must_use]
+    pub fn new(name: impl Into<String>, rect: Rect, class: UnitClass, is_macro: bool) -> Self {
+        Self {
+            name: name.into(),
+            rect,
+            class,
+            is_macro,
+        }
+    }
+
+    /// Power density of this unit at the given operating point.
+    #[must_use]
+    pub fn flux(&self, utilization: Ratio, clock: Frequency) -> HeatFlux {
+        density(self.class, utilization, clock)
+    }
+
+    /// Total power of this unit at the given operating point.
+    #[must_use]
+    pub fn power(&self, utilization: Ratio, clock: Frequency) -> Power {
+        self.flux(utilization, clock) * self.rect.area()
+    }
+}
+
+/// A heat source as seen by the pillar-placement algorithm: a region and
+/// its dissipated flux.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HeatSource {
+    /// Name of the originating unit.
+    pub name: String,
+    /// Source region.
+    pub rect: Rect,
+    /// Heat flux over the region.
+    pub flux: HeatFlux,
+    /// Whether the region is a hard macro (pillars must go around it).
+    pub is_macro: bool,
+}
+
+/// A single-tier design: die outline plus placed units.
+///
+/// One `Design` describes one tier; the 3D IC stacks `N` copies (the
+/// paper's designs replicate the tier with the LLC interleaved).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Design {
+    /// Design name.
+    pub name: String,
+    /// Die outline (origin at (0, 0)).
+    pub die: Rect,
+    /// Placed functional units.
+    pub units: Vec<DesignUnit>,
+    /// Nominal clock.
+    pub clock: Frequency,
+}
+
+impl Design {
+    /// Creates a design after validating that every unit fits on the die
+    /// and units do not overlap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a unit leaves the die or two units overlap.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        die: Rect,
+        units: Vec<DesignUnit>,
+        clock: Frequency,
+    ) -> Self {
+        for u in &units {
+            assert!(die.contains_rect(&u.rect), "unit {} leaves the die", u.name);
+        }
+        for i in 0..units.len() {
+            for j in (i + 1)..units.len() {
+                assert!(
+                    !units[i].rect.intersects(&units[j].rect),
+                    "units {} and {} overlap",
+                    units[i].name,
+                    units[j].name
+                );
+            }
+        }
+        Self {
+            name: name.into(),
+            die,
+            units,
+            clock,
+        }
+    }
+
+    /// Die area.
+    #[must_use]
+    pub fn die_area(&self) -> Area {
+        self.die.area()
+    }
+
+    /// Total power of one tier at the given utilization.
+    #[must_use]
+    pub fn total_power(&self, utilization: Ratio) -> Power {
+        self.units
+            .iter()
+            .map(|u| u.power(utilization, self.clock))
+            .sum()
+    }
+
+    /// Die-average heat flux of one tier.
+    #[must_use]
+    pub fn average_flux(&self, utilization: Ratio) -> HeatFlux {
+        self.total_power(utilization) / self.die_area()
+    }
+
+    /// The per-unit heat sources at the given utilization — the input to
+    /// pillar placement.
+    #[must_use]
+    pub fn heat_sources(&self, utilization: Ratio) -> Vec<HeatSource> {
+        self.units
+            .iter()
+            .map(|u| HeatSource {
+                name: u.name.clone(),
+                rect: u.rect,
+                flux: u.flux(utilization, self.clock),
+                is_macro: u.is_macro,
+            })
+            .collect()
+    }
+
+    /// Power-density map (W/m²) over an `nx × ny` grid covering the die.
+    /// Whitespace dissipates nothing; deposition is area-weighted, so the
+    /// rasterized total power equals [`Design::total_power`] at any
+    /// resolution.
+    #[must_use]
+    pub fn power_map(&self, nx: usize, ny: usize, utilization: Ratio) -> Grid2<f64> {
+        let mut map = Grid2::filled(nx, ny, 0.0);
+        for u in &self.units {
+            let flux = u.flux(utilization, self.clock).watts_per_square_meter();
+            map.deposit_rect(&self.die, &u.rect, flux);
+        }
+        map
+    }
+
+    /// Fraction of the die covered by hard macros.
+    #[must_use]
+    pub fn macro_fraction(&self) -> Ratio {
+        let covered: f64 = self
+            .units
+            .iter()
+            .filter(|u| u.is_macro)
+            .map(|u| u.rect.area().square_meters())
+            .sum();
+        Ratio::from_fraction(covered / self.die_area().square_meters())
+    }
+
+    /// Fraction of the die covered by any unit.
+    #[must_use]
+    pub fn utilization_of_area(&self) -> Ratio {
+        let covered: f64 = self
+            .units
+            .iter()
+            .map(|u| u.rect.area().square_meters())
+            .sum();
+        Ratio::from_fraction(covered / self.die_area().square_meters())
+    }
+
+    /// A copy with the die (and every unit) scaled by `factor` in each
+    /// lateral dimension — used for the Fujitsu-scale study.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not strictly positive.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Design {
+        assert!(factor > 0.0, "scale factor must be positive, got {factor}");
+        let scale_rect = |r: &Rect| {
+            Rect::from_origin_size(
+                Length::from_meters(r.min_x().meters() * factor),
+                Length::from_meters(r.min_y().meters() * factor),
+                Length::from_meters(r.width().meters() * factor),
+                Length::from_meters(r.height().meters() * factor),
+            )
+        };
+        Design {
+            name: format!("{} (x{factor})", self.name),
+            die: scale_rect(&self.die),
+            units: self
+                .units
+                .iter()
+                .map(|u| DesignUnit {
+                    name: u.name.clone(),
+                    rect: scale_rect(&u.rect),
+                    class: u.class,
+                    is_macro: u.is_macro,
+                })
+                .collect(),
+            clock: self.clock,
+        }
+    }
+}
+
+impl core::fmt::Display for Design {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{}: {:.3} mm² die, {} units",
+            self.name,
+            self.die_area().square_millimeters(),
+            self.units.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn um(v: f64) -> Length {
+        Length::from_micrometers(v)
+    }
+
+    fn tiny() -> Design {
+        let die = Rect::from_origin_size(Length::ZERO, Length::ZERO, um(100.0), um(100.0));
+        Design::new(
+            "tiny",
+            die,
+            vec![
+                DesignUnit::new(
+                    "array",
+                    Rect::from_origin_size(um(0.0), um(0.0), um(60.0), um(60.0)),
+                    UnitClass::SystolicArray,
+                    false,
+                ),
+                DesignUnit::new(
+                    "sram",
+                    Rect::from_origin_size(um(60.0), um(0.0), um(40.0), um(40.0)),
+                    UnitClass::Sram,
+                    true,
+                ),
+            ],
+            Frequency::from_gigahertz(1.0),
+        )
+    }
+
+    #[test]
+    fn power_accounting() {
+        let d = tiny();
+        let p = d.total_power(Ratio::ONE);
+        // array: 95 W/cm² * 3.6e-5 cm² = 3.42 mW; sram: 25 * 1.6e-5 = 0.4 mW.
+        assert!((p.milliwatts() - (3.42 + 0.4)).abs() < 0.01, "{p}");
+        let avg = d.average_flux(Ratio::ONE);
+        assert!((avg.watts_per_square_cm() - (3.82e-3 / 1e-4)).abs() < 0.1);
+    }
+
+    #[test]
+    fn power_map_conserves_power() {
+        let d = tiny();
+        let map = d.power_map(50, 50, Ratio::ONE);
+        let cell_area = d.die_area().square_meters() / 2500.0;
+        let total: f64 = map.iter().sum::<f64>() * cell_area;
+        assert!(
+            (total - d.total_power(Ratio::ONE).watts()).abs()
+                < 1e-9 * d.total_power(Ratio::ONE).watts(),
+            "area-weighted rasterization is exact: {total} vs {}",
+            d.total_power(Ratio::ONE)
+        );
+    }
+
+    #[test]
+    fn heat_sources_mirror_units() {
+        let d = tiny();
+        let hs = d.heat_sources(Ratio::ONE);
+        assert_eq!(hs.len(), 2);
+        assert!(hs.iter().any(|h| h.is_macro && h.name == "sram"));
+        let array = hs.iter().find(|h| h.name == "array").expect("array");
+        assert!((array.flux.watts_per_square_cm() - 95.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coverage_fractions() {
+        let d = tiny();
+        assert!((d.macro_fraction().percent() - 16.0).abs() < 1e-9);
+        assert!((d.utilization_of_area().percent() - 52.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_preserves_flux_and_grows_power() {
+        let d = tiny();
+        let s = d.scaled(10.0);
+        assert!((s.die_area().square_meters() / d.die_area().square_meters() - 100.0).abs() < 1e-9);
+        let f0 = d.average_flux(Ratio::ONE).watts_per_square_cm();
+        let f1 = s.average_flux(Ratio::ONE).watts_per_square_cm();
+        assert!((f0 - f1).abs() < 1e-9, "flux is scale-invariant");
+        assert!(
+            (s.total_power(Ratio::ONE).watts() / d.total_power(Ratio::ONE).watts() - 100.0).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_units_rejected() {
+        let die = Rect::from_origin_size(Length::ZERO, Length::ZERO, um(100.0), um(100.0));
+        let r = Rect::from_origin_size(um(0.0), um(0.0), um(50.0), um(50.0));
+        let _ = Design::new(
+            "bad",
+            die,
+            vec![
+                DesignUnit::new("a", r, UnitClass::Control, false),
+                DesignUnit::new("b", r, UnitClass::Control, false),
+            ],
+            Frequency::from_gigahertz(1.0),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "leaves the die")]
+    fn out_of_die_units_rejected() {
+        let die = Rect::from_origin_size(Length::ZERO, Length::ZERO, um(100.0), um(100.0));
+        let _ = Design::new(
+            "bad",
+            die,
+            vec![DesignUnit::new(
+                "a",
+                Rect::from_origin_size(um(90.0), um(0.0), um(50.0), um(50.0)),
+                UnitClass::Control,
+                false,
+            )],
+            Frequency::from_gigahertz(1.0),
+        );
+    }
+}

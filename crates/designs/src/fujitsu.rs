@@ -1,0 +1,87 @@
+//! The preliminary Fujitsu Research accelerator — the ~100× scaled
+//! design of Fig. 8b.
+//!
+//! The paper's version carries a 160×160-PE systolic array (100× the
+//! Gemmini PE count), 54 MB of scratchpad and a 351 MB LLC, with power
+//! estimated by proprietary internal simulations and the pillar pattern
+//! generated on a single multiply-accumulate unit and repeated across
+//! the MAC array.
+//!
+//! Substitution: we scale the Gemmini tier 10× in each lateral dimension
+//! (100× area and PE count — power densities are scale-invariant) and
+//! keep the same unit classes. Scaled memory capacities land at 400 MB
+//! LLC-equivalent area (the paper's 351 MB plus scratchpad is within
+//! ~15 % of this area budget). The scaled design demonstrates exactly
+//! what the paper uses it for: that tier scaling and pillar patterns
+//! transfer to much larger dies. No timing is reported for this design
+//! in the paper (Table I marks delay "n/a"), and likewise here.
+
+use crate::design::Design;
+use crate::gemmini;
+
+/// Lateral scale factor relative to Gemmini (100× area / PE count).
+pub const SCALE: f64 = 10.0;
+
+/// PEs per side of the scaled array.
+pub const PE_PER_SIDE: usize = gemmini::PE_PER_SIDE * 10;
+
+/// Builds the Fujitsu-scale accelerator tier.
+///
+/// ```
+/// use tsc_designs::{fujitsu, gemmini};
+/// use tsc_units::Ratio;
+///
+/// let big = fujitsu::design();
+/// let small = gemmini::design();
+/// let ratio = big.die_area().square_meters() / small.die_area().square_meters();
+/// assert!((ratio - 100.0).abs() < 1e-6);
+/// // Power density (the thermal driver) is unchanged by scaling.
+/// let df = big.average_flux(Ratio::ONE) / small.average_flux(Ratio::ONE);
+/// assert!((df - 1.0).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn design() -> Design {
+    let mut d = gemmini::design().scaled(SCALE);
+    d.name = "Fujitsu Research accelerator (preliminary, 100x)".to_string();
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsc_units::Ratio;
+
+    #[test]
+    fn hundredfold_area() {
+        let ratio =
+            design().die_area().square_meters() / gemmini::design().die_area().square_meters();
+        assert!((ratio - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pe_count_matches_paper() {
+        assert_eq!(PE_PER_SIDE, 160);
+    }
+
+    #[test]
+    fn same_power_density_as_gemmini() {
+        let big = design().average_flux(Ratio::ONE).watts_per_square_cm();
+        let small = gemmini::design()
+            .average_flux(Ratio::ONE)
+            .watts_per_square_cm();
+        assert!((big - small).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_power_is_hundredfold() {
+        let big = design().total_power(Ratio::ONE).watts();
+        let small = gemmini::design().total_power(Ratio::ONE).watts();
+        assert!((big / small - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn die_is_centimeter_class() {
+        let d = design();
+        assert!((d.die.width().millimeters() - 26.0).abs() < 1e-6);
+    }
+}

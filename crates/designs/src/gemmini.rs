@@ -1,0 +1,283 @@
+//! The Gemmini-class systolic-array accelerator with interleaved 3D SRAM
+//! LLC (Fig. 2b / Fig. 8a-b).
+//!
+//! Published parameters: 16×16 processing elements, 256 kB scratchpad,
+//! 4 MB last-level cache interleaved with the logic tier, systolic-array
+//! peak power density 95 W/cm² (Fig. 3), per-tier die-average ≈53 W/cm²
+//! (3 stacked tiers dissipate 159 W/cm², Sec. IV Observation 1).
+//!
+//! The LLC follows the Fig. 8a overlay: a fine grid of small SRAM bank
+//! macros (16 kB each, ~84 µm on a side) tiling the L-shaped region
+//! around the array, with routing gaps between banks — the gaps are
+//! where the pillar placement algorithm threads its constellations.
+
+use crate::design::{Design, DesignUnit};
+use crate::sram::SramMacro;
+use tsc_geometry::Rect;
+use tsc_phydes::power::UnitClass;
+use tsc_units::{Frequency, Length, Ratio};
+
+/// Number of processing elements per side of the systolic array.
+pub const PE_PER_SIDE: usize = 16;
+
+/// Scratchpad capacity (bytes).
+pub const SCRATCHPAD_BYTES: usize = 256 << 10;
+
+/// Last-level cache capacity (bytes).
+pub const LLC_BYTES: usize = 4 << 20;
+
+/// Capacity of one LLC bank macro (bytes).
+pub const LLC_BANK_BYTES: usize = 16 << 10;
+
+fn mm(v: f64) -> Length {
+    Length::from_millimeters(v)
+}
+
+/// Builds the single-tier Gemmini design.
+///
+/// ```
+/// use tsc_designs::gemmini;
+/// use tsc_units::Ratio;
+///
+/// let d = gemmini::design();
+/// // Per-tier die-average power density ≈ 53 W/cm² at worst case.
+/// let avg = d.average_flux(Ratio::ONE).watts_per_square_cm();
+/// assert!((avg - 53.0).abs() < 4.0, "{avg}");
+/// ```
+#[must_use]
+pub fn design() -> Design {
+    let die = Rect::from_origin_size(Length::ZERO, Length::ZERO, mm(2.6), mm(2.6));
+    let bank_side = SramMacro::with_capacity(LLC_BANK_BYTES).square_side();
+
+    let mut units = vec![
+        DesignUnit::new(
+            "systolic-array",
+            Rect::from_origin_size(mm(0.0), mm(0.0), mm(1.7), mm(1.7)),
+            UnitClass::SystolicArray,
+            false,
+        ),
+        DesignUnit::new(
+            "controller",
+            Rect::from_origin_size(mm(2.2), mm(1.8), mm(0.30), mm(0.30)),
+            UnitClass::Control,
+            false,
+        ),
+        DesignUnit::new(
+            "accumulator",
+            Rect::from_origin_size(mm(2.2), mm(1.42), mm(0.33), mm(0.33)),
+            UnitClass::Fpu,
+            false,
+        ),
+    ];
+    // Scratchpad: 16 banks of 16 kB in a 4x4 cluster at the top-right
+    // corner, with pillar gaps between banks (everything is banked in an
+    // ultra-dense design — a monolithic 256 kB macro would be the
+    // Observation-4b hotspot).
+    let sp_banks = SCRATCHPAD_BYTES / LLC_BANK_BYTES;
+    let sp_pitch = bank_side + Length::from_micrometers(18.0);
+    for b in 0..sp_banks {
+        let (bi, bj) = (b % 4, b / 4);
+        units.push(DesignUnit::new(
+            format!("scratchpad{b}"),
+            Rect::from_origin_size(
+                mm(2.17) + sp_pitch * bi as f64,
+                mm(2.17) + sp_pitch * bj as f64,
+                bank_side,
+                bank_side,
+            ),
+            UnitClass::Sram,
+            true,
+        ));
+    }
+    // LLC bank grid: 256 banks of 16 kB on a ~102 µm pitch filling the
+    // L-shaped region, skipping anything already placed (with a 10 µm
+    // keep-out that becomes the pillar gap).
+    let total_banks = LLC_BYTES / LLC_BANK_BYTES;
+    let pitch = bank_side + Length::from_micrometers(18.0);
+    let keepout = Length::from_micrometers(10.0);
+    let mut placed = 0usize;
+    let mut y = Length::from_micrometers(30.0);
+    while placed < total_banks && y + bank_side < die.height() {
+        let mut x = Length::from_micrometers(30.0);
+        while placed < total_banks && x + bank_side < die.width() {
+            let r = Rect::from_origin_size(x, y, bank_side, bank_side);
+            let blocked = units
+                .iter()
+                .any(|u| u.rect.inflated(keepout).intersects(&r));
+            if !blocked {
+                units.push(DesignUnit::new(
+                    format!("llc{placed}"),
+                    r,
+                    UnitClass::Sram,
+                    true,
+                ));
+                placed += 1;
+            }
+            x += pitch;
+        }
+        y += pitch;
+    }
+    assert_eq!(
+        placed, total_banks,
+        "die must have room for the full LLC bank grid"
+    );
+    Design::new(
+        "Gemmini DNN accelerator",
+        die,
+        units,
+        Frequency::from_gigahertz(1.0),
+    )
+}
+
+/// Die-average flux of `n` stacked tiers at the given utilization —
+/// the y-axis bookkeeping of Fig. 9 ("3 tiers = 159 W/cm²").
+#[must_use]
+pub fn stack_flux(n: usize, utilization: Ratio) -> tsc_units::HeatFlux {
+    design().average_flux(utilization) * n as f64
+}
+
+/// A *memory tier* on the same footprint: the "silicon memory, memory
+/// access devices, and additional BEOL … also present on each tier" of
+/// Fig. 1. The die is tiled wall-to-wall with 16 kB SRAM banks (≈16 MB
+/// per tier) plus a row of access logic — the heterogeneous counterpart
+/// for logic/memory interleaved stacks.
+#[must_use]
+pub fn memory_tier() -> Design {
+    let die = Rect::from_origin_size(Length::ZERO, Length::ZERO, mm(2.6), mm(2.6));
+    let bank_side = SramMacro::with_capacity(LLC_BANK_BYTES).square_side();
+    let pitch = bank_side + Length::from_micrometers(18.0);
+    let mut units = vec![DesignUnit::new(
+        "access-logic",
+        Rect::from_origin_size(mm(0.03), mm(2.45), mm(2.5), mm(0.12)),
+        UnitClass::Control,
+        false,
+    )];
+    let keepout = Length::from_micrometers(10.0);
+    let mut placed = 0usize;
+    let mut y = Length::from_micrometers(30.0);
+    while y + bank_side < die.height() {
+        let mut x = Length::from_micrometers(30.0);
+        while x + bank_side < die.width() {
+            let r = Rect::from_origin_size(x, y, bank_side, bank_side);
+            let blocked = units.iter().any(|u| u.rect.inflated(keepout).intersects(&r));
+            if !blocked {
+                units.push(DesignUnit::new(
+                    format!("bank{placed}"),
+                    r,
+                    UnitClass::Sram,
+                    true,
+                ));
+                placed += 1;
+            }
+            x += pitch;
+        }
+        y += pitch;
+    }
+    Design::new(
+        "Gemmini 3D SRAM memory tier",
+        die,
+        units,
+        Frequency::from_gigahertz(1.0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_tier_average_near_53() {
+        let avg = design().average_flux(Ratio::ONE).watts_per_square_cm();
+        assert!((avg - 53.0).abs() < 4.0, "per-tier average {avg} W/cm²");
+    }
+
+    #[test]
+    fn three_tiers_near_159() {
+        let f = stack_flux(3, Ratio::ONE).watts_per_square_cm();
+        assert!((f - 159.0).abs() < 12.0, "3-tier stack {f} W/cm²");
+    }
+
+    #[test]
+    fn twelve_tiers_near_636() {
+        let f = stack_flux(12, Ratio::ONE).watts_per_square_cm();
+        assert!((f - 636.0).abs() < 48.0, "12-tier stack {f} W/cm²");
+    }
+
+    #[test]
+    fn array_peaks_at_95() {
+        let d = design();
+        let hs = d.heat_sources(Ratio::ONE);
+        let array = hs
+            .iter()
+            .find(|h| h.name == "systolic-array")
+            .expect("array");
+        assert!((array.flux.watts_per_square_cm() - 95.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn llc_is_256_banks_of_16kb() {
+        let d = design();
+        let banks = d.units.iter().filter(|u| u.name.starts_with("llc")).count();
+        assert_eq!(banks, LLC_BYTES / LLC_BANK_BYTES);
+        assert_eq!(banks, 256);
+    }
+
+    #[test]
+    fn banks_leave_pillar_gaps() {
+        // Between any two adjacent banks there is a routing gap of at
+        // least 10 µm — the lanes the pillar placer uses.
+        let d = design();
+        let banks: Vec<_> = d
+            .units
+            .iter()
+            .filter(|u| u.name.starts_with("llc"))
+            .collect();
+        let a = &banks[0].rect;
+        let nearest = banks[1..]
+            .iter()
+            .map(|b| a.gap_to(&b.rect).micrometers())
+            .fold(f64::INFINITY, f64::min);
+        assert!(nearest >= 10.0, "nearest bank gap {nearest} µm");
+    }
+
+    #[test]
+    fn macros_cover_a_substantial_fraction() {
+        let frac = design().macro_fraction().percent();
+        assert!((25.0..45.0).contains(&frac), "macro fraction {frac}%");
+    }
+
+    #[test]
+    fn design_is_legal_by_construction() {
+        let d = design();
+        assert_eq!(d.units.len(), 3 + 16 + 256);
+    }
+
+    #[test]
+    fn utilization_scaling_lowers_power() {
+        let d = design();
+        let sim = d.average_flux(Ratio::from_percent(72.0));
+        let max = d.average_flux(Ratio::ONE);
+        assert!(sim < max);
+    }
+
+    #[test]
+    fn memory_tier_is_cool_and_dense() {
+        let m = memory_tier();
+        // Same footprint as the logic tier.
+        assert_eq!(m.die, design().die);
+        // Far cooler than the logic tier (SRAM-only).
+        let logic = design().average_flux(Ratio::ONE).watts_per_square_cm();
+        let mem = m.average_flux(Ratio::ONE).watts_per_square_cm();
+        assert!(
+            mem < 0.5 * logic,
+            "memory tier {mem} vs logic tier {logic} W/cm²"
+        );
+        // Dense: ~16 MB of banks per tier.
+        let banks = m.units.iter().filter(|u| u.name.starts_with("bank")).count();
+        let megabytes = banks * LLC_BANK_BYTES / (1 << 20);
+        assert!(
+            (6..=16).contains(&megabytes),
+            "{banks} banks = {megabytes} MB"
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! The three evaluated designs of Sec. IIIC, rebuilt from the paper's
+//! published floorplans, memory sizes and power maps (Fig. 8):
+//!
+//! * [`gemmini`] — a Gemmini-class systolic-array DNN accelerator
+//!   (16×16 PEs, 256 kB scratchpad, 4 MB interleaved 3D SRAM LLC);
+//! * [`rocket`] — a Rocket-class in-order RISC-V core (pipelined PU,
+//!   16 kB 4-way I/D caches, PTW, FPU);
+//! * [`fujitsu`] — the preliminary Fujitsu Research accelerator scaled
+//!   ~100× (160×160 PEs, 54 MB scratchpad, 351 MB LLC), built by tiling
+//!   the MAC pattern exactly as the paper repeats its single-MAC pillar
+//!   pattern across the array;
+//! * [`sram`] — an analytical SRAM area/energy model (the FinCACTI
+//!   substitute) used to size cache macros.
+//!
+//! The RTL itself is not reproduced: the thermal problem is fully
+//! determined by floorplan geometry and the power-density map, both of
+//! which Fig. 8 publishes. [`Design`] carries exactly that.
+
+mod design;
+pub mod fujitsu;
+pub mod gemmini;
+pub mod rocket;
+pub mod sram;
+
+pub use design::{Design, DesignUnit, HeatSource};

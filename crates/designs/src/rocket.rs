@@ -1,0 +1,141 @@
+//! The Rocket-class RISC-V core (Fig. 8c-d).
+//!
+//! Published parameters: pipelined processing unit, 16 kB 4-way
+//! instruction and data caches, page-table walker, floating-point unit.
+//! Power comes from the memory-bound `spmv` workload of riscv-tests;
+//! the processing unit is the hotspot (the 120 W/cm² end of the Fig. 8
+//! color scale). With scaffolding the paper reaches 13 tiers at 10.6 %
+//! footprint / 2.6 % delay penalty.
+
+use crate::design::{Design, DesignUnit};
+use crate::sram::SramMacro;
+use tsc_geometry::Rect;
+use tsc_phydes::power::UnitClass;
+use tsc_units::{Frequency, Length};
+
+/// L1 cache capacity per side (bytes): 16 kB, 4-way.
+pub const L1_BYTES: usize = 16 << 10;
+
+fn mm(v: f64) -> Length {
+    Length::from_millimeters(v)
+}
+
+/// Builds the single-tier Rocket core design.
+///
+/// ```
+/// use tsc_designs::rocket;
+/// use tsc_units::Ratio;
+///
+/// let d = rocket::design();
+/// let avg = d.average_flux(Ratio::ONE).watts_per_square_cm();
+/// // Rocket runs cooler than Gemmini per tier (hence 13 vs 12 tiers).
+/// assert!((30.0..50.0).contains(&avg), "{avg}");
+/// ```
+#[must_use]
+pub fn design() -> Design {
+    let die = Rect::from_origin_size(Length::ZERO, Length::ZERO, mm(0.30), mm(0.25));
+    let cache_side = SramMacro::with_capacity(L1_BYTES).square_side();
+    let units = vec![
+        DesignUnit::new(
+            "PU",
+            Rect::from_origin_size(mm(0.0), mm(0.0), mm(0.12), mm(0.10)),
+            UnitClass::ScalarCore,
+            false,
+        ),
+        DesignUnit::new(
+            "FPU",
+            Rect::from_origin_size(mm(0.13), mm(0.0), mm(0.08), mm(0.10)),
+            UnitClass::Fpu,
+            false,
+        ),
+        DesignUnit::new(
+            "PTW",
+            Rect::from_origin_size(mm(0.22), mm(0.0), mm(0.06), mm(0.08)),
+            UnitClass::Mmu,
+            false,
+        ),
+        DesignUnit::new(
+            "ICache",
+            Rect::from_origin_size(mm(0.0), mm(0.11), cache_side, cache_side),
+            UnitClass::Sram,
+            true,
+        ),
+        DesignUnit::new(
+            "DCache",
+            Rect::from_origin_size(mm(0.10), mm(0.11), cache_side, cache_side),
+            UnitClass::Sram,
+            true,
+        ),
+        DesignUnit::new(
+            "ctrl",
+            Rect::from_origin_size(mm(0.20), mm(0.11), mm(0.08), mm(0.08)),
+            UnitClass::Control,
+            false,
+        ),
+    ];
+    Design::new(
+        "Rocket RISC-V core",
+        die,
+        units,
+        Frequency::from_gigahertz(1.25),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsc_units::Ratio;
+
+    #[test]
+    fn runs_cooler_than_gemmini() {
+        let rocket = design().average_flux(Ratio::ONE).watts_per_square_cm();
+        let gemmini = crate::gemmini::design()
+            .average_flux(Ratio::ONE)
+            .watts_per_square_cm();
+        assert!(
+            rocket < gemmini,
+            "rocket {rocket} must run cooler than gemmini {gemmini}"
+        );
+    }
+
+    #[test]
+    fn pu_is_the_hotspot() {
+        let d = design();
+        let hs = d.heat_sources(Ratio::ONE);
+        let hottest = hs
+            .iter()
+            .max_by(|a, b| {
+                a.flux
+                    .watts_per_square_meter()
+                    .partial_cmp(&b.flux.watts_per_square_meter())
+                    .expect("finite")
+            })
+            .expect("non-empty");
+        assert_eq!(hottest.name, "PU");
+        // ScalarCore at 1.25 GHz: 96 · (0.1 + 0.9·1.25) ≈ 118 W/cm² —
+        // the top of the Fig. 8c color scale.
+        assert!((hottest.flux.watts_per_square_cm() - 117.6).abs() < 1.0);
+    }
+
+    #[test]
+    fn caches_are_macros() {
+        let d = design();
+        for name in ["ICache", "DCache"] {
+            let u = d.units.iter().find(|u| u.name == name).expect("cache");
+            assert!(u.is_macro);
+        }
+        assert_eq!(d.units.len(), 6);
+    }
+
+    #[test]
+    fn die_is_sub_square_millimeter() {
+        let a = design().die_area().square_millimeters();
+        assert!((0.05..0.2).contains(&a), "Rocket die {a} mm²");
+    }
+
+    #[test]
+    fn caches_fit_16kb_footprint() {
+        let side = SramMacro::with_capacity(L1_BYTES).square_side();
+        assert!((side.micrometers() - 84.0).abs() < 10.0, "{side}");
+    }
+}

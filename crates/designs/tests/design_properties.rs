@@ -1,0 +1,77 @@
+//! Property tests over the three evaluated designs: power bookkeeping
+//! must be exact regardless of rasterization resolution, utilization or
+//! lateral scale.
+
+use proptest::prelude::*;
+use tsc_designs::{fujitsu, gemmini, rocket, Design};
+use tsc_units::Ratio;
+
+fn designs() -> Vec<Design> {
+    vec![gemmini::design(), rocket::design(), fujitsu::design()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn power_map_conserves_total_power(
+        which in 0usize..3,
+        cells in 16usize..64,
+        util_pct in 10.0f64..100.0,
+    ) {
+        let d = &designs()[which];
+        let util = Ratio::from_percent(util_pct);
+        let map = d.power_map(cells, cells, util);
+        let cell_area = d.die_area().square_meters() / (cells * cells) as f64;
+        let rasterized: f64 = map.iter().sum::<f64>() * cell_area;
+        let exact = d.total_power(util).watts();
+        // Area-weighted deposition conserves power exactly at any
+        // resolution.
+        prop_assert!((rasterized - exact).abs() / exact < 1e-9,
+            "{}: rasterized {rasterized} vs exact {exact} at {cells} cells",
+            d.name);
+    }
+
+    #[test]
+    fn power_is_linear_in_utilization_above_leakage(
+        which in 0usize..3,
+        u1 in 0.2f64..0.5,
+    ) {
+        // Dynamic power dominates: doubling utilization should raise
+        // power by nearly the dynamic share.
+        let d = &designs()[which];
+        let p1 = d.total_power(Ratio::from_fraction(u1)).watts();
+        let p2 = d.total_power(Ratio::from_fraction(2.0 * u1)).watts();
+        prop_assert!(p2 > p1);
+        let p0 = d.total_power(Ratio::ZERO).watts();
+        // (p2 - p0) = 2 (p1 - p0) exactly, by the affine power model.
+        prop_assert!(((p2 - p0) - 2.0 * (p1 - p0)).abs() < 1e-9 * p2.max(1e-12));
+    }
+
+    #[test]
+    fn lateral_scaling_preserves_density(
+        which in 0usize..3,
+        factor in 1.5f64..6.0,
+    ) {
+        let d = &designs()[which];
+        let s = d.scaled(factor);
+        let f0 = d.average_flux(Ratio::ONE).watts_per_square_meter();
+        let f1 = s.average_flux(Ratio::ONE).watts_per_square_meter();
+        prop_assert!((f0 - f1).abs() / f0 < 1e-9);
+        prop_assert!(
+            (s.die_area().square_meters() / d.die_area().square_meters()
+                - factor * factor).abs() < 1e-6
+        );
+    }
+
+    #[test]
+    fn heat_sources_cover_all_units(which in 0usize..3) {
+        let d = &designs()[which];
+        let hs = d.heat_sources(Ratio::ONE);
+        prop_assert_eq!(hs.len(), d.units.len());
+        // Macro flags survive the conversion.
+        let macros = hs.iter().filter(|h| h.is_macro).count();
+        let unit_macros = d.units.iter().filter(|u| u.is_macro).count();
+        prop_assert_eq!(macros, unit_macros);
+    }
+}

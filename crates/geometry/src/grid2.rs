@@ -1,0 +1,413 @@
+//! Dense 2-D fields over uniform meshes.
+
+use crate::point::{Index2, Point};
+use crate::rect::Rect;
+
+/// A dense row-major 2-D field: power maps, temperature maps, per-cell
+/// conductivity multipliers.
+///
+/// The grid itself is index-space; methods taking a [`Rect`] `domain`
+/// interpret the grid as covering that physical rectangle uniformly.
+///
+/// ```
+/// use tsc_geometry::Grid2;
+/// let mut g = Grid2::filled(4, 3, 1.0_f64);
+/// g[(2, 1)] = 7.0;
+/// assert_eq!(g[(2, 1)], 7.0);
+/// assert_eq!(g.iter().copied().fold(0.0, f64::max), 7.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Grid2<T> {
+    nx: usize,
+    ny: usize,
+    data: Vec<T>,
+}
+
+impl<T: Clone> Grid2<T> {
+    /// Creates an `nx × ny` grid filled with `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn filled(nx: usize, ny: usize, value: T) -> Self {
+        assert!(nx > 0 && ny > 0, "grid dimensions must be positive");
+        Self {
+            nx,
+            ny,
+            data: vec![value; nx * ny],
+        }
+    }
+
+    /// Creates a grid from a generator called with each `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn from_fn(nx: usize, ny: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        assert!(nx > 0 && ny > 0, "grid dimensions must be positive");
+        let mut data = Vec::with_capacity(nx * ny);
+        for j in 0..ny {
+            for i in 0..nx {
+                data.push(f(i, j));
+            }
+        }
+        Self { nx, ny, data }
+    }
+}
+
+impl<T> Grid2<T> {
+    /// Cells in x.
+    #[must_use]
+    pub const fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Cells in y.
+    #[must_use]
+    pub const fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Total cell count.
+    #[must_use]
+    pub const fn len(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Always `false` (constructors reject empty grids); provided for
+    /// API completeness.
+    #[must_use]
+    pub const fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrowing iterator over cells in row-major order.
+    pub fn iter(&self) -> core::slice::Iter<'_, T> {
+        self.data.iter()
+    }
+
+    /// Mutable iterator over cells in row-major order.
+    pub fn iter_mut(&mut self) -> core::slice::IterMut<'_, T> {
+        self.data.iter_mut()
+    }
+
+    /// Iterator yielding `(Index2, &T)`.
+    pub fn enumerate(&self) -> impl Iterator<Item = (Index2, &T)> {
+        let nx = self.nx;
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(f, v)| (Index2::new(f % nx, f / nx), v))
+    }
+
+    /// Checked access.
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> Option<&T> {
+        if i < self.nx && j < self.ny {
+            self.data.get(j * self.nx + i)
+        } else {
+            None
+        }
+    }
+
+    /// Raw row-major slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Applies `f` to every cell, producing a new grid.
+    #[must_use]
+    pub fn map<U>(&self, f: impl Fn(&T) -> U) -> Grid2<U> {
+        Grid2 {
+            nx: self.nx,
+            ny: self.ny,
+            data: self.data.iter().map(f).collect(),
+        }
+    }
+
+    /// Physical rectangle covered by cell `(i, j)` when the grid spans
+    /// `domain`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(i, j)` is out of bounds.
+    #[must_use]
+    pub fn cell_rect(&self, domain: &Rect, i: usize, j: usize) -> Rect {
+        assert!(i < self.nx && j < self.ny, "cell ({i}, {j}) out of bounds");
+        let dx = domain.width() / self.nx as f64;
+        let dy = domain.height() / self.ny as f64;
+        Rect::from_origin_size(
+            domain.min_x() + dx * i as f64,
+            domain.min_y() + dy * j as f64,
+            dx,
+            dy,
+        )
+    }
+
+    /// Center of cell `(i, j)` within `domain`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(i, j)` is out of bounds.
+    #[must_use]
+    pub fn cell_center(&self, domain: &Rect, i: usize, j: usize) -> Point {
+        self.cell_rect(domain, i, j).center()
+    }
+
+    /// Index of the cell containing physical point `p` within `domain`,
+    /// or `None` when outside.
+    #[must_use]
+    pub fn locate(&self, domain: &Rect, p: Point) -> Option<Index2> {
+        if !domain.contains(p) {
+            return None;
+        }
+        let fx = (p.x - domain.min_x()) / domain.width();
+        let fy = (p.y - domain.min_y()) / domain.height();
+        let i = ((fx * self.nx as f64) as usize).min(self.nx - 1);
+        let j = ((fy * self.ny as f64) as usize).min(self.ny - 1);
+        Some(Index2::new(i, j))
+    }
+}
+
+impl<T: Clone> Grid2<T> {
+    /// Sets every cell whose center falls inside `region` (interpreted
+    /// within `domain`) to `value`. Returns the number of painted cells.
+    pub fn paint_rect(&mut self, domain: &Rect, region: &Rect, value: T) -> usize {
+        let mut painted = 0;
+        for j in 0..self.ny {
+            for i in 0..self.nx {
+                if region.contains(self.cell_center(domain, i, j)) {
+                    self.data[j * self.nx + i] = value.clone();
+                    painted += 1;
+                }
+            }
+        }
+        painted
+    }
+}
+
+impl Grid2<f64> {
+    /// Adds `value` to every cell overlapping `region`, weighted by the
+    /// overlapped area fraction of each cell — alias-free deposition that
+    /// conserves `value × region area` exactly (for regions inside the
+    /// domain) at any resolution.
+    pub fn deposit_rect(&mut self, domain: &Rect, region: &Rect, value: f64) {
+        let Some(clipped) = domain.intersection(region) else {
+            return;
+        };
+        // Index range of possibly-overlapping cells.
+        let fx0 = (clipped.min_x() - domain.min_x()) / domain.width();
+        let fx1 = (clipped.max_x() - domain.min_x()) / domain.width();
+        let fy0 = (clipped.min_y() - domain.min_y()) / domain.height();
+        let fy1 = (clipped.max_y() - domain.min_y()) / domain.height();
+        let i0 = ((fx0 * self.nx as f64).floor() as usize).min(self.nx - 1);
+        let i1 = ((fx1 * self.nx as f64).ceil() as usize).min(self.nx);
+        let j0 = ((fy0 * self.ny as f64).floor() as usize).min(self.ny - 1);
+        let j1 = ((fy1 * self.ny as f64).ceil() as usize).min(self.ny);
+        for j in j0..j1 {
+            for i in i0..i1 {
+                let cell = self.cell_rect(domain, i, j);
+                if let Some(ov) = cell.intersection(&clipped) {
+                    let frac = ov.area().square_meters() / cell.area().square_meters();
+                    self.data[j * self.nx + i] += value * frac;
+                }
+            }
+        }
+    }
+
+    /// Largest value (NaN-free inputs assumed).
+    #[must_use]
+    pub fn max_value(&self) -> f64 {
+        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Smallest value.
+    #[must_use]
+    pub fn min_value(&self) -> f64 {
+        self.data.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Arithmetic mean.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.data.iter().sum::<f64>() / self.data.len() as f64
+    }
+
+    /// Sum of all cells.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Index of the maximum cell.
+    #[must_use]
+    pub fn argmax(&self) -> Index2 {
+        let (flat, _) =
+            self.data
+                .iter()
+                .enumerate()
+                .fold((0, f64::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                    if v > bv {
+                        (i, v)
+                    } else {
+                        (bi, bv)
+                    }
+                });
+        Index2::new(flat % self.nx, flat / self.nx)
+    }
+
+    /// Bilinear sample at a fractional cell coordinate `(u, v)` where
+    /// `u ∈ [0, nx-1]`, `v ∈ [0, ny-1]` (clamped).
+    #[must_use]
+    pub fn sample(&self, u: f64, v: f64) -> f64 {
+        let u = u.clamp(0.0, (self.nx - 1) as f64);
+        let v = v.clamp(0.0, (self.ny - 1) as f64);
+        let i0 = u.floor() as usize;
+        let j0 = v.floor() as usize;
+        let i1 = (i0 + 1).min(self.nx - 1);
+        let j1 = (j0 + 1).min(self.ny - 1);
+        let fu = u - i0 as f64;
+        let fv = v - j0 as f64;
+        let at = |i: usize, j: usize| self.data[j * self.nx + i];
+        at(i0, j0) * (1.0 - fu) * (1.0 - fv)
+            + at(i1, j0) * fu * (1.0 - fv)
+            + at(i0, j1) * (1.0 - fu) * fv
+            + at(i1, j1) * fu * fv
+    }
+
+    /// Resamples onto a new `nx × ny` resolution by bilinear interpolation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either target dimension is zero.
+    #[must_use]
+    pub fn resampled(&self, nx: usize, ny: usize) -> Grid2<f64> {
+        assert!(nx > 0 && ny > 0, "grid dimensions must be positive");
+        Grid2::from_fn(nx, ny, |i, j| {
+            let u = if nx == 1 {
+                0.0
+            } else {
+                i as f64 / (nx - 1) as f64 * (self.nx - 1) as f64
+            };
+            let v = if ny == 1 {
+                0.0
+            } else {
+                j as f64 / (ny - 1) as f64 * (self.ny - 1) as f64
+            };
+            self.sample(u, v)
+        })
+    }
+}
+
+impl<T> core::ops::Index<(usize, usize)> for Grid2<T> {
+    type Output = T;
+    fn index(&self, (i, j): (usize, usize)) -> &T {
+        assert!(i < self.nx && j < self.ny, "cell ({i}, {j}) out of bounds");
+        &self.data[j * self.nx + i]
+    }
+}
+
+impl<T> core::ops::IndexMut<(usize, usize)> for Grid2<T> {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
+        assert!(i < self.nx && j < self.ny, "cell ({i}, {j}) out of bounds");
+        &mut self.data[j * self.nx + i]
+    }
+}
+
+impl<T> core::ops::Index<Index2> for Grid2<T> {
+    type Output = T;
+    fn index(&self, ij: Index2) -> &T {
+        &self[(ij.i, ij.j)]
+    }
+}
+
+impl<T> core::ops::IndexMut<Index2> for Grid2<T> {
+    fn index_mut(&mut self, ij: Index2) -> &mut T {
+        &mut self[(ij.i, ij.j)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsc_units::Length;
+
+    fn um(v: f64) -> Length {
+        Length::from_micrometers(v)
+    }
+
+    #[test]
+    fn from_fn_row_major() {
+        let g = Grid2::from_fn(3, 2, |i, j| (i + 10 * j) as f64);
+        assert_eq!(g.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+        assert_eq!(g[(2, 1)], 12.0);
+    }
+
+    #[test]
+    fn paint_rect_counts_cells() {
+        let domain = Rect::from_origin_size(Length::ZERO, Length::ZERO, um(10.0), um(10.0));
+        let mut g = Grid2::filled(10, 10, 0.0);
+        let region = Rect::from_origin_size(um(0.0), um(0.0), um(5.0), um(5.0));
+        let painted = g.paint_rect(&domain, &region, 1.0);
+        assert_eq!(painted, 25);
+        assert_eq!(g.sum(), 25.0);
+    }
+
+    #[test]
+    fn locate_points() {
+        let domain = Rect::from_origin_size(Length::ZERO, Length::ZERO, um(8.0), um(4.0));
+        let g = Grid2::filled(8, 4, 0.0);
+        let ij = g
+            .locate(&domain, Point::new(um(3.5), um(1.5)))
+            .expect("inside");
+        assert_eq!(ij, Index2::new(3, 1));
+        assert!(g.locate(&domain, Point::new(um(9.0), um(1.0))).is_none());
+        // A point exactly on the max boundary snaps to the last cell.
+        let edge = g
+            .locate(&domain, Point::new(um(8.0), um(4.0)))
+            .expect("boundary");
+        assert_eq!(edge, Index2::new(7, 3));
+    }
+
+    #[test]
+    fn statistics() {
+        let g = Grid2::from_fn(4, 4, |i, j| (i * j) as f64);
+        assert_eq!(g.max_value(), 9.0);
+        assert_eq!(g.min_value(), 0.0);
+        assert_eq!(g.argmax(), Index2::new(3, 3));
+    }
+
+    #[test]
+    fn bilinear_sampling_interpolates() {
+        let g = Grid2::from_fn(2, 2, |i, j| (i + j) as f64); // 0 1 / 1 2
+        assert!((g.sample(0.5, 0.5) - 1.0).abs() < 1e-12);
+        assert!((g.sample(1.0, 1.0) - 2.0).abs() < 1e-12);
+        // Clamping beyond the domain.
+        assert!((g.sample(5.0, 5.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resampling_preserves_constants() {
+        let g = Grid2::filled(5, 7, 3.25);
+        let r = g.resampled(13, 3);
+        assert!(r.iter().all(|&v| (v - 3.25).abs() < 1e-12));
+        assert_eq!((r.nx(), r.ny()), (13, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let g = Grid2::filled(2, 2, 0.0);
+        let _ = g[(2, 0)];
+    }
+
+    #[test]
+    fn map_changes_type() {
+        let g = Grid2::filled(2, 2, 2.0_f64);
+        let h = g.map(|&v| v as i64 * 3);
+        assert_eq!(h.as_slice(), &[6, 6, 6, 6]);
+    }
+}

@@ -1,0 +1,329 @@
+//! Dense 3-D fields for volumetric meshes.
+
+use crate::grid2::Grid2;
+
+/// Dimensions of a 3-D mesh.
+///
+/// ```
+/// use tsc_geometry::Dim3;
+/// let d = Dim3::new(4, 3, 2);
+/// assert_eq!(d.len(), 24);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Dim3 {
+    /// Cells in x.
+    pub nx: usize,
+    /// Cells in y.
+    pub ny: usize,
+    /// Cells in z (vertical, stacking direction).
+    pub nz: usize,
+}
+
+impl Dim3 {
+    /// Creates mesh dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        assert!(
+            nx > 0 && ny > 0 && nz > 0,
+            "mesh dimensions must be positive"
+        );
+        Self { nx, ny, nz }
+    }
+
+    /// Total number of cells.
+    #[must_use]
+    pub const fn len(self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Always `false` (constructor rejects empty meshes).
+    #[must_use]
+    pub const fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flat offset of `(i, j, k)`: x fastest, then y, then z.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when out of bounds.
+    #[must_use]
+    pub fn flat(self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(i < self.nx && j < self.ny && k < self.nz);
+        (k * self.ny + j) * self.nx + i
+    }
+
+    /// Inverse of [`Dim3::flat`].
+    #[must_use]
+    pub fn unflat(self, flat: usize) -> Index3 {
+        let i = flat % self.nx;
+        let j = (flat / self.nx) % self.ny;
+        let k = flat / (self.nx * self.ny);
+        Index3 { i, j, k }
+    }
+
+    /// Iterates all `(i, j, k)` indices in flat order.
+    pub fn indices(self) -> impl Iterator<Item = Index3> {
+        (0..self.len()).map(move |f| self.unflat(f))
+    }
+}
+
+/// A 3-D cell index.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
+pub struct Index3 {
+    /// x index.
+    pub i: usize,
+    /// y index.
+    pub j: usize,
+    /// z index (vertical).
+    pub k: usize,
+}
+
+impl Index3 {
+    /// Creates an index.
+    #[must_use]
+    pub const fn new(i: usize, j: usize, k: usize) -> Self {
+        Self { i, j, k }
+    }
+}
+
+impl core::fmt::Display for Index3 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "[{}, {}, {}]", self.i, self.j, self.k)
+    }
+}
+
+/// A dense 3-D field with x-fastest layout (matches [`Dim3::flat`]).
+///
+/// ```
+/// use tsc_geometry::{Dim3, Grid3};
+/// let mut g = Grid3::filled(Dim3::new(2, 2, 2), 0.0_f64);
+/// g[(1, 0, 1)] = 4.0;
+/// assert_eq!(g[(1, 0, 1)], 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Grid3<T> {
+    dim: Dim3,
+    data: Vec<T>,
+}
+
+impl<T: Clone> Grid3<T> {
+    /// Creates a grid filled with `value`.
+    #[must_use]
+    pub fn filled(dim: Dim3, value: T) -> Self {
+        Self {
+            dim,
+            data: vec![value; dim.len()],
+        }
+    }
+
+    /// Creates a grid from a generator.
+    #[must_use]
+    pub fn from_fn(dim: Dim3, mut f: impl FnMut(Index3) -> T) -> Self {
+        let mut data = Vec::with_capacity(dim.len());
+        for flat in 0..dim.len() {
+            data.push(f(dim.unflat(flat)));
+        }
+        Self { dim, data }
+    }
+}
+
+impl<T> Grid3<T> {
+    /// Mesh dimensions.
+    #[must_use]
+    pub const fn dim(&self) -> Dim3 {
+        self.dim
+    }
+
+    /// Raw flat slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable raw flat slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Borrowing iterator in flat order.
+    pub fn iter(&self) -> core::slice::Iter<'_, T> {
+        self.data.iter()
+    }
+
+    /// Checked access.
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize, k: usize) -> Option<&T> {
+        if i < self.dim.nx && j < self.dim.ny && k < self.dim.nz {
+            self.data.get(self.dim.flat(i, j, k))
+        } else {
+            None
+        }
+    }
+}
+
+impl<T: Clone> Grid3<T> {
+    /// Extracts horizontal slice `k` as a [`Grid2`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[must_use]
+    pub fn layer(&self, k: usize) -> Grid2<T> {
+        assert!(k < self.dim.nz, "layer {k} out of range");
+        Grid2::from_fn(self.dim.nx, self.dim.ny, |i, j| {
+            self.data[self.dim.flat(i, j, k)].clone()
+        })
+    }
+
+    /// Overwrites horizontal slice `k` from a [`Grid2`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range or the slice dimensions mismatch.
+    pub fn set_layer(&mut self, k: usize, layer: &Grid2<T>) {
+        assert!(k < self.dim.nz, "layer {k} out of range");
+        assert_eq!(
+            (layer.nx(), layer.ny()),
+            (self.dim.nx, self.dim.ny),
+            "layer dimensions must match"
+        );
+        for j in 0..self.dim.ny {
+            for i in 0..self.dim.nx {
+                self.data[self.dim.flat(i, j, k)] = layer[(i, j)].clone();
+            }
+        }
+    }
+}
+
+impl Grid3<f64> {
+    /// Largest value.
+    #[must_use]
+    pub fn max_value(&self) -> f64 {
+        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Smallest value.
+    #[must_use]
+    pub fn min_value(&self) -> f64 {
+        self.data.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Index of the maximum cell.
+    #[must_use]
+    pub fn argmax(&self) -> Index3 {
+        let (flat, _) =
+            self.data
+                .iter()
+                .enumerate()
+                .fold((0, f64::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                    if v > bv {
+                        (i, v)
+                    } else {
+                        (bi, bv)
+                    }
+                });
+        self.dim.unflat(flat)
+    }
+}
+
+impl<T> core::ops::Index<(usize, usize, usize)> for Grid3<T> {
+    type Output = T;
+    fn index(&self, (i, j, k): (usize, usize, usize)) -> &T {
+        assert!(
+            i < self.dim.nx && j < self.dim.ny && k < self.dim.nz,
+            "cell ({i}, {j}, {k}) out of bounds"
+        );
+        &self.data[self.dim.flat(i, j, k)]
+    }
+}
+
+impl<T> core::ops::IndexMut<(usize, usize, usize)> for Grid3<T> {
+    fn index_mut(&mut self, (i, j, k): (usize, usize, usize)) -> &mut T {
+        assert!(
+            i < self.dim.nx && j < self.dim.ny && k < self.dim.nz,
+            "cell ({i}, {j}, {k}) out of bounds"
+        );
+        &mut self.data[self.dim.flat(i, j, k)]
+    }
+}
+
+impl<T> core::ops::Index<Index3> for Grid3<T> {
+    type Output = T;
+    fn index(&self, ijk: Index3) -> &T {
+        &self[(ijk.i, ijk.j, ijk.k)]
+    }
+}
+
+impl<T> core::ops::IndexMut<Index3> for Grid3<T> {
+    fn index_mut(&mut self, ijk: Index3) -> &mut T {
+        &mut self[(ijk.i, ijk.j, ijk.k)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_unflat_round_trip() {
+        let dim = Dim3::new(5, 4, 3);
+        for flat in 0..dim.len() {
+            let ijk = dim.unflat(flat);
+            assert_eq!(dim.flat(ijk.i, ijk.j, ijk.k), flat);
+        }
+    }
+
+    #[test]
+    fn x_is_fastest_axis() {
+        let dim = Dim3::new(3, 2, 2);
+        assert_eq!(dim.flat(1, 0, 0), 1);
+        assert_eq!(dim.flat(0, 1, 0), 3);
+        assert_eq!(dim.flat(0, 0, 1), 6);
+    }
+
+    #[test]
+    fn layer_round_trip() {
+        let dim = Dim3::new(3, 3, 2);
+        let mut g = Grid3::filled(dim, 0.0);
+        let layer = Grid2::from_fn(3, 3, |i, j| (i + j) as f64);
+        g.set_layer(1, &layer);
+        assert_eq!(g.layer(1), layer);
+        assert!(g.layer(0).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn argmax_finds_peak() {
+        let dim = Dim3::new(4, 4, 4);
+        let mut g = Grid3::filled(dim, 1.0);
+        g[(2, 3, 1)] = 9.0;
+        assert_eq!(g.argmax(), Index3::new(2, 3, 1));
+        assert_eq!(g.max_value(), 9.0);
+        assert_eq!(g.min_value(), 1.0);
+    }
+
+    #[test]
+    fn indices_cover_all_cells() {
+        let dim = Dim3::new(2, 3, 4);
+        assert_eq!(dim.indices().count(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn grid3_bounds_check() {
+        let g = Grid3::filled(Dim3::new(2, 2, 2), 0.0);
+        let _ = g[(0, 0, 2)];
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_rejected() {
+        let _ = Dim3::new(0, 2, 2);
+    }
+}

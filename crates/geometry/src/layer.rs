@@ -1,0 +1,311 @@
+//! Vertical layer stacks: the material recipe of a 3D IC.
+
+use tsc_units::Length;
+
+/// The role a slab plays in the stack — used by mesh builders to decide
+/// which slabs carry heat sources and which may receive thermal dielectric
+/// or pillars.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum LayerKind {
+    /// Active device silicon (heat-generating).
+    DeviceSilicon,
+    /// Lumped lower BEOL (V0–V7 routing + ILD).
+    BeolLower,
+    /// Upper BEOL layers (M8/V8/M9) — the scaffolding dielectric target.
+    BeolUpper,
+    /// Inter-layer-via / bonding interface between tiers.
+    IlvInterface,
+    /// Bulk handle silicon.
+    HandleSilicon,
+    /// Heat-spreading or custom slab.
+    Other,
+}
+
+impl core::fmt::Display for LayerKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            Self::DeviceSilicon => "device-Si",
+            Self::BeolLower => "BEOL-lower",
+            Self::BeolUpper => "BEOL-upper",
+            Self::IlvInterface => "ILV",
+            Self::HandleSilicon => "handle-Si",
+            Self::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One slab of a [`LayerStack`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LayerSlab {
+    /// Human-readable name (e.g. `"tier3/M8-M9"`).
+    pub name: String,
+    /// Slab thickness.
+    pub thickness: Length,
+    /// Role of the slab.
+    pub kind: LayerKind,
+    /// Optional tier index this slab belongs to (0 = closest to heatsink).
+    pub tier: Option<usize>,
+}
+
+impl LayerSlab {
+    /// Creates a slab.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thickness` is not strictly positive.
+    #[must_use]
+    pub fn new(name: impl Into<String>, thickness: Length, kind: LayerKind) -> Self {
+        assert!(
+            thickness.meters() > 0.0,
+            "slab thickness must be positive, got {thickness}"
+        );
+        Self {
+            name: name.into(),
+            thickness,
+            kind,
+            tier: None,
+        }
+    }
+
+    /// Builder-style tier annotation.
+    #[must_use]
+    pub fn with_tier(mut self, tier: usize) -> Self {
+        self.tier = Some(tier);
+        self
+    }
+}
+
+/// An ordered stack of slabs, bottom (heatsink side, z = 0) to top.
+///
+/// ```
+/// use tsc_geometry::{LayerKind, LayerSlab, LayerStack};
+/// use tsc_units::Length;
+///
+/// let mut stack = LayerStack::new();
+/// stack.push(LayerSlab::new("handle", Length::from_micrometers(10.0), LayerKind::HandleSilicon));
+/// stack.push(LayerSlab::new("device", Length::from_nanometers(100.0), LayerKind::DeviceSilicon));
+/// assert!((stack.total_thickness().micrometers() - 10.1).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LayerStack {
+    slabs: Vec<LayerSlab>,
+}
+
+impl LayerStack {
+    /// Creates an empty stack.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a slab on top.
+    pub fn push(&mut self, slab: LayerSlab) {
+        self.slabs.push(slab);
+    }
+
+    /// Number of slabs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slabs.len()
+    }
+
+    /// `true` when no slabs have been added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slabs.is_empty()
+    }
+
+    /// Borrowing iterator, bottom to top.
+    pub fn iter(&self) -> core::slice::Iter<'_, LayerSlab> {
+        self.slabs.iter()
+    }
+
+    /// Slab at index (0 = bottom).
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<&LayerSlab> {
+        self.slabs.get(index)
+    }
+
+    /// Total stack height.
+    #[must_use]
+    pub fn total_thickness(&self) -> Length {
+        self.slabs.iter().map(|s| s.thickness).sum()
+    }
+
+    /// z coordinate of the *bottom* face of slab `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds the slab count.
+    #[must_use]
+    pub fn z_bottom(&self, index: usize) -> Length {
+        assert!(index <= self.slabs.len(), "slab index out of range");
+        self.slabs[..index].iter().map(|s| s.thickness).sum()
+    }
+
+    /// Index of the slab containing height `z`, or `None` if outside.
+    /// A boundary z belongs to the slab above it (except the very top).
+    #[must_use]
+    pub fn slab_at(&self, z: Length) -> Option<usize> {
+        if z.meters() < 0.0 {
+            return None;
+        }
+        let mut acc = Length::ZERO;
+        for (idx, slab) in self.slabs.iter().enumerate() {
+            acc += slab.thickness;
+            if z < acc {
+                return Some(idx);
+            }
+        }
+        // Allow the exact top face to resolve to the last slab.
+        if !self.slabs.is_empty() && z == acc {
+            return Some(self.slabs.len() - 1);
+        }
+        None
+    }
+
+    /// Splits every slab into mesh cells no thicker than `max_cell`,
+    /// returning per-cell `(slab_index, cell_thickness)` bottom to top.
+    ///
+    /// Every slab receives at least one cell; cells within a slab are
+    /// equal-thickness so that slab interfaces always coincide with cell
+    /// interfaces (essential for accuracy across high-contrast layers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_cell` is not strictly positive.
+    #[must_use]
+    pub fn discretize(&self, max_cell: Length) -> Vec<(usize, Length)> {
+        assert!(
+            max_cell.meters() > 0.0,
+            "max cell thickness must be positive"
+        );
+        let mut cells = Vec::new();
+        for (idx, slab) in self.slabs.iter().enumerate() {
+            let n = (slab.thickness.meters() / max_cell.meters())
+                .ceil()
+                .max(1.0) as usize;
+            let dz = slab.thickness / n as f64;
+            for _ in 0..n {
+                cells.push((idx, dz));
+            }
+        }
+        cells
+    }
+
+    /// All slab indices of a given kind.
+    pub fn slabs_of_kind(&self, kind: LayerKind) -> impl Iterator<Item = usize> + '_ {
+        self.slabs
+            .iter()
+            .enumerate()
+            .filter(move |(_, s)| s.kind == kind)
+            .map(|(i, _)| i)
+    }
+}
+
+impl core::ops::Index<usize> for LayerStack {
+    type Output = LayerSlab;
+    fn index(&self, index: usize) -> &LayerSlab {
+        &self.slabs[index]
+    }
+}
+
+impl FromIterator<LayerSlab> for LayerStack {
+    fn from_iter<I: IntoIterator<Item = LayerSlab>>(iter: I) -> Self {
+        Self {
+            slabs: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<LayerSlab> for LayerStack {
+    fn extend<I: IntoIterator<Item = LayerSlab>>(&mut self, iter: I) {
+        self.slabs.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stack() -> LayerStack {
+        [
+            LayerSlab::new(
+                "handle",
+                Length::from_micrometers(10.0),
+                LayerKind::HandleSilicon,
+            ),
+            LayerSlab::new(
+                "device0",
+                Length::from_nanometers(100.0),
+                LayerKind::DeviceSilicon,
+            )
+            .with_tier(0),
+            LayerSlab::new("beol0", Length::from_micrometers(1.0), LayerKind::BeolLower)
+                .with_tier(0),
+            LayerSlab::new(
+                "upper0",
+                Length::from_nanometers(240.0),
+                LayerKind::BeolUpper,
+            )
+            .with_tier(0),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn thickness_accumulates() {
+        let s = sample_stack();
+        assert!((s.total_thickness().micrometers() - 11.34).abs() < 1e-9);
+        assert!((s.z_bottom(1).micrometers() - 10.0).abs() < 1e-9);
+        assert!((s.z_bottom(4).micrometers() - 11.34).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slab_lookup_by_height() {
+        let s = sample_stack();
+        assert_eq!(s.slab_at(Length::from_micrometers(5.0)), Some(0));
+        assert_eq!(s.slab_at(Length::from_micrometers(10.05)), Some(1));
+        assert_eq!(s.slab_at(Length::from_micrometers(11.0)), Some(2));
+        assert_eq!(s.slab_at(Length::from_micrometers(11.34)), Some(3));
+        assert_eq!(s.slab_at(Length::from_micrometers(12.0)), None);
+        assert_eq!(s.slab_at(Length::from_micrometers(-1.0)), None);
+    }
+
+    #[test]
+    fn discretization_respects_interfaces() {
+        let s = sample_stack();
+        let cells = s.discretize(Length::from_micrometers(0.5));
+        // Every slab has >= 1 cell and per-slab thicknesses sum to the slab.
+        for (idx, slab) in s.iter().enumerate() {
+            let total: Length = cells
+                .iter()
+                .filter(|(si, _)| *si == idx)
+                .map(|(_, dz)| *dz)
+                .sum();
+            assert!(
+                total.approx_eq(slab.thickness, 1e-15),
+                "slab {idx} thickness mismatch"
+            );
+        }
+        // The 10 µm handle silicon splits into 20 cells of 0.5 µm.
+        assert_eq!(cells.iter().filter(|(si, _)| *si == 0).count(), 20);
+        // Thin slabs are never merged away.
+        assert_eq!(cells.iter().filter(|(si, _)| *si == 1).count(), 1);
+    }
+
+    #[test]
+    fn kind_filter() {
+        let s = sample_stack();
+        let uppers: Vec<_> = s.slabs_of_kind(LayerKind::BeolUpper).collect();
+        assert_eq!(uppers, vec![3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_thickness_slab_rejected() {
+        let _ = LayerSlab::new("bad", Length::ZERO, LayerKind::Other);
+    }
+}

@@ -1,0 +1,42 @@
+//! Layout and mesh geometry for 3D-IC thermal co-design.
+//!
+//! This crate provides the spatial vocabulary shared by the floorplanner,
+//! the pillar placer and the thermal solvers:
+//!
+//! * [`Point`] / [`Rect`] — unit-safe 2-D layout primitives (floorplan
+//!   units, macros, pillar footprints);
+//! * [`Grid2`] / [`Grid3`] — dense row-major fields over uniform meshes
+//!   (power maps, temperature maps, conductivity fields);
+//! * [`LayerStack`] — the vertical material recipe of a 3D IC (device
+//!   silicon, lumped BEOL, thermal-dielectric layers, handle wafer), with
+//!   helpers to discretize each slab into mesh cells.
+//!
+//! # Example
+//!
+//! ```
+//! use tsc_geometry::{Grid2, Rect};
+//! use tsc_units::Length;
+//!
+//! // A 64x64 power map over a 1 mm x 1 mm die, with a hot 250 µm square.
+//! let die = Rect::from_origin_size(
+//!     Length::ZERO, Length::ZERO,
+//!     Length::from_millimeters(1.0), Length::from_millimeters(1.0));
+//! let mut map = Grid2::filled(64, 64, 0.0_f64);
+//! let hot = Rect::from_origin_size(
+//!     Length::from_micrometers(100.0), Length::from_micrometers(100.0),
+//!     Length::from_micrometers(250.0), Length::from_micrometers(250.0));
+//! map.paint_rect(&die, &hot, 95.0);
+//! assert!(map.iter().any(|&v| v == 95.0));
+//! ```
+
+mod grid2;
+mod grid3;
+mod layer;
+mod point;
+mod rect;
+
+pub use grid2::Grid2;
+pub use grid3::{Dim3, Grid3, Index3};
+pub use layer::{LayerKind, LayerSlab, LayerStack};
+pub use point::{Index2, Point};
+pub use rect::Rect;

@@ -1,0 +1,146 @@
+//! Points and grid indices.
+
+use tsc_units::Length;
+
+/// A 2-D point in physical layout coordinates.
+///
+/// ```
+/// use tsc_geometry::Point;
+/// use tsc_units::Length;
+/// let a = Point::new(Length::from_micrometers(3.0), Length::from_micrometers(4.0));
+/// let b = Point::origin();
+/// assert!((a.distance(b).micrometers() - 5.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: Length,
+    /// Vertical coordinate.
+    pub y: Length,
+}
+
+impl Point {
+    /// Creates a point from coordinates.
+    #[must_use]
+    pub const fn new(x: Length, y: Length) -> Self {
+        Self { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    #[must_use]
+    pub const fn origin() -> Self {
+        Self {
+            x: Length::ZERO,
+            y: Length::ZERO,
+        }
+    }
+
+    /// Euclidean distance to `other`.
+    #[must_use]
+    pub fn distance(self, other: Self) -> Length {
+        let dx = self.x.meters() - other.x.meters();
+        let dy = self.y.meters() - other.y.meters();
+        Length::from_meters(dx.hypot(dy))
+    }
+
+    /// Manhattan (L1) distance to `other` — the natural routing metric.
+    #[must_use]
+    pub fn manhattan_distance(self, other: Self) -> Length {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Component-wise translation.
+    #[must_use]
+    pub fn translated(self, dx: Length, dy: Length) -> Self {
+        Self {
+            x: self.x + dx,
+            y: self.y + dy,
+        }
+    }
+}
+
+impl core::fmt::Display for Point {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "({:.3} µm, {:.3} µm)",
+            self.x.micrometers(),
+            self.y.micrometers()
+        )
+    }
+}
+
+/// A 2-D cell index into a [`Grid2`](crate::Grid2).
+///
+/// ```
+/// use tsc_geometry::Index2;
+/// let ij = Index2::new(3, 5);
+/// assert_eq!(ij.flat(8), 5 * 8 + 3);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
+pub struct Index2 {
+    /// Column index (x direction).
+    pub i: usize,
+    /// Row index (y direction).
+    pub j: usize,
+}
+
+impl Index2 {
+    /// Creates an index.
+    #[must_use]
+    pub const fn new(i: usize, j: usize) -> Self {
+        Self { i, j }
+    }
+
+    /// Row-major flat offset for a grid `nx` cells wide.
+    #[must_use]
+    pub const fn flat(self, nx: usize) -> usize {
+        self.j * nx + self.i
+    }
+}
+
+impl core::fmt::Display for Index2 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "[{}, {}]", self.i, self.j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(Length::from_micrometers(0.0), Length::ZERO);
+        let b = Point::new(Length::from_micrometers(3.0), Length::from_micrometers(4.0));
+        assert!((a.distance(b).micrometers() - 5.0).abs() < 1e-9);
+        assert!((b.distance(a).micrometers() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        let a = Point::origin();
+        let b = Point::new(Length::from_micrometers(3.0), Length::from_micrometers(4.0));
+        assert!((a.manhattan_distance(b).micrometers() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn translation() {
+        let p = Point::origin().translated(
+            Length::from_nanometers(100.0),
+            Length::from_nanometers(-50.0),
+        );
+        assert!((p.x.nanometers() - 100.0).abs() < 1e-9);
+        assert!((p.y.nanometers() + 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flat_indexing_is_row_major() {
+        assert_eq!(Index2::new(0, 0).flat(10), 0);
+        assert_eq!(Index2::new(9, 0).flat(10), 9);
+        assert_eq!(Index2::new(0, 1).flat(10), 10);
+        assert_eq!(Index2::new(4, 3).flat(10), 34);
+    }
+}

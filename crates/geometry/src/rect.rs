@@ -1,0 +1,306 @@
+//! Axis-aligned rectangles in physical layout coordinates.
+
+use crate::point::Point;
+use tsc_units::{Area, Length};
+
+/// An axis-aligned rectangle: floorplan units, macros, pillar footprints,
+/// BEOL slices.
+///
+/// Stored as the lower-left corner plus a non-negative size.
+///
+/// ```
+/// use tsc_geometry::Rect;
+/// use tsc_units::Length;
+/// let macro_blk = Rect::square(
+///     Length::from_micrometers(10.0),
+///     Length::from_micrometers(10.0),
+///     Length::from_micrometers(25.0),
+/// );
+/// assert!((macro_blk.area().square_micrometers() - 625.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Rect {
+    origin: Point,
+    width: Length,
+    height: Length,
+}
+
+impl Rect {
+    /// Creates a rectangle from its lower-left corner and size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is negative.
+    #[must_use]
+    pub fn from_origin_size(x: Length, y: Length, width: Length, height: Length) -> Self {
+        assert!(
+            width.meters() >= 0.0 && height.meters() >= 0.0,
+            "rectangle size must be non-negative, got {width} x {height}"
+        );
+        Self {
+            origin: Point::new(x, y),
+            width,
+            height,
+        }
+    }
+
+    /// Creates a square of the given side at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side` is negative.
+    #[must_use]
+    pub fn square(x: Length, y: Length, side: Length) -> Self {
+        Self::from_origin_size(x, y, side, side)
+    }
+
+    /// Creates a rectangle centered at `center`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is negative.
+    #[must_use]
+    pub fn centered(center: Point, width: Length, height: Length) -> Self {
+        Self::from_origin_size(
+            center.x - width / 2.0,
+            center.y - height / 2.0,
+            width,
+            height,
+        )
+    }
+
+    /// Lower-left corner.
+    #[must_use]
+    pub const fn origin(&self) -> Point {
+        self.origin
+    }
+
+    /// Width (x extent).
+    #[must_use]
+    pub const fn width(&self) -> Length {
+        self.width
+    }
+
+    /// Height (y extent).
+    #[must_use]
+    pub const fn height(&self) -> Length {
+        self.height
+    }
+
+    /// Minimum x coordinate.
+    #[must_use]
+    pub fn min_x(&self) -> Length {
+        self.origin.x
+    }
+
+    /// Maximum x coordinate.
+    #[must_use]
+    pub fn max_x(&self) -> Length {
+        self.origin.x + self.width
+    }
+
+    /// Minimum y coordinate.
+    #[must_use]
+    pub fn min_y(&self) -> Length {
+        self.origin.y
+    }
+
+    /// Maximum y coordinate.
+    #[must_use]
+    pub fn max_y(&self) -> Length {
+        self.origin.y + self.height
+    }
+
+    /// Geometric center.
+    #[must_use]
+    pub fn center(&self) -> Point {
+        Point::new(
+            self.origin.x + self.width / 2.0,
+            self.origin.y + self.height / 2.0,
+        )
+    }
+
+    /// Enclosed area.
+    #[must_use]
+    pub fn area(&self) -> Area {
+        self.width * self.height
+    }
+
+    /// `true` when either dimension is zero.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.width.meters() == 0.0 || self.height.meters() == 0.0
+    }
+
+    /// `true` when `p` lies inside or on the boundary.
+    #[must_use]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min_x() && p.x <= self.max_x() && p.y >= self.min_y() && p.y <= self.max_y()
+    }
+
+    /// `true` when `other` lies fully inside `self` (boundaries may touch).
+    #[must_use]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.min_x() >= self.min_x()
+            && other.max_x() <= self.max_x()
+            && other.min_y() >= self.min_y()
+            && other.max_y() <= self.max_y()
+    }
+
+    /// `true` when the interiors overlap (touching edges do not count).
+    #[must_use]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min_x() < other.max_x()
+            && other.min_x() < self.max_x()
+            && self.min_y() < other.max_y()
+            && other.min_y() < self.max_y()
+    }
+
+    /// The overlapping region, if any.
+    #[must_use]
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        let x0 = self.min_x().max(other.min_x());
+        let y0 = self.min_y().max(other.min_y());
+        let x1 = self.max_x().min(other.max_x());
+        let y1 = self.max_y().min(other.max_y());
+        Some(Rect::from_origin_size(x0, y0, x1 - x0, y1 - y0))
+    }
+
+    /// Smallest rectangle containing both.
+    #[must_use]
+    pub fn union(&self, other: &Rect) -> Rect {
+        let x0 = self.min_x().min(other.min_x());
+        let y0 = self.min_y().min(other.min_y());
+        let x1 = self.max_x().max(other.max_x());
+        let y1 = self.max_y().max(other.max_y());
+        Rect::from_origin_size(x0, y0, x1 - x0, y1 - y0)
+    }
+
+    /// Grows (positive `margin`) or shrinks (negative) on every side.
+    /// Shrinking saturates at zero size around the center.
+    #[must_use]
+    pub fn inflated(&self, margin: Length) -> Rect {
+        let new_w = (self.width + margin * 2.0).max(Length::ZERO);
+        let new_h = (self.height + margin * 2.0).max(Length::ZERO);
+        Rect::centered(self.center(), new_w, new_h)
+    }
+
+    /// Translated copy.
+    #[must_use]
+    pub fn translated(&self, dx: Length, dy: Length) -> Rect {
+        Rect {
+            origin: self.origin.translated(dx, dy),
+            width: self.width,
+            height: self.height,
+        }
+    }
+
+    /// Shortest distance between boundaries (zero when intersecting or
+    /// touching).
+    #[must_use]
+    pub fn gap_to(&self, other: &Rect) -> Length {
+        let dx = (other.min_x() - self.max_x())
+            .max(self.min_x() - other.max_x())
+            .max(Length::ZERO);
+        let dy = (other.min_y() - self.max_y())
+            .max(self.min_y() - other.max_y())
+            .max(Length::ZERO);
+        Length::from_meters(dx.meters().hypot(dy.meters()))
+    }
+}
+
+impl core::fmt::Display for Rect {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} + {:.3} µm x {:.3} µm",
+            self.origin,
+            self.width.micrometers(),
+            self.height.micrometers()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn um(v: f64) -> Length {
+        Length::from_micrometers(v)
+    }
+
+    fn rect(x: f64, y: f64, w: f64, h: f64) -> Rect {
+        Rect::from_origin_size(um(x), um(y), um(w), um(h))
+    }
+
+    #[test]
+    fn bounds_and_center() {
+        let r = rect(1.0, 2.0, 4.0, 6.0);
+        assert!((r.max_x().micrometers() - 5.0).abs() < 1e-9);
+        assert!((r.max_y().micrometers() - 8.0).abs() < 1e-9);
+        assert!((r.center().x.micrometers() - 3.0).abs() < 1e-9);
+        assert!((r.center().y.micrometers() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn containment() {
+        let outer = rect(0.0, 0.0, 10.0, 10.0);
+        let inner = rect(2.0, 2.0, 3.0, 3.0);
+        assert!(outer.contains_rect(&inner));
+        assert!(!inner.contains_rect(&outer));
+        assert!(outer.contains(Point::new(um(10.0), um(10.0)))); // boundary
+        assert!(!outer.contains(Point::new(um(10.1), um(5.0))));
+    }
+
+    #[test]
+    fn intersection_geometry() {
+        let a = rect(0.0, 0.0, 4.0, 4.0);
+        let b = rect(2.0, 2.0, 4.0, 4.0);
+        let i = a.intersection(&b).expect("overlap");
+        assert!((i.area().square_micrometers() - 4.0).abs() < 1e-9);
+        // Touching edges are not an intersection.
+        let c = rect(4.0, 0.0, 2.0, 2.0);
+        assert!(!a.intersects(&c));
+        assert!(a.intersection(&c).is_none());
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = rect(0.0, 0.0, 1.0, 1.0);
+        let b = rect(5.0, 5.0, 1.0, 1.0);
+        let u = a.union(&b);
+        assert!(u.contains_rect(&a) && u.contains_rect(&b));
+        assert!((u.area().square_micrometers() - 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inflate_and_deflate() {
+        let r = rect(5.0, 5.0, 10.0, 10.0);
+        let big = r.inflated(um(1.0));
+        assert!((big.width().micrometers() - 12.0).abs() < 1e-9);
+        let gone = r.inflated(um(-6.0));
+        assert!(gone.is_empty());
+    }
+
+    #[test]
+    fn gap_between_rects() {
+        let a = rect(0.0, 0.0, 2.0, 2.0);
+        let b = rect(5.0, 0.0, 2.0, 2.0);
+        assert!((a.gap_to(&b).micrometers() - 3.0).abs() < 1e-9);
+        // Diagonal gap is Euclidean.
+        let c = rect(5.0, 6.0, 2.0, 2.0);
+        assert!((a.gap_to(&c).micrometers() - 5.0).abs() < 1e-9);
+        // Overlap -> zero.
+        let d = rect(1.0, 1.0, 2.0, 2.0);
+        assert_eq!(a.gap_to(&d).meters(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_size_rejected() {
+        let _ = rect(0.0, 0.0, -1.0, 1.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for the geometry substrate: index algebra, painting,
+//! point location and layer discretization.
+
+use proptest::prelude::*;
+use tsc_geometry::{Dim3, Grid2, LayerKind, LayerSlab, LayerStack, Point, Rect};
+use tsc_units::Length;
+
+fn um(v: f64) -> Length {
+    Length::from_micrometers(v)
+}
+
+proptest! {
+    #[test]
+    fn flat_unflat_round_trips(
+        nx in 1usize..12, ny in 1usize..12, nz in 1usize..12,
+    ) {
+        let dim = Dim3::new(nx, ny, nz);
+        for flat in 0..dim.len() {
+            let ijk = dim.unflat(flat);
+            prop_assert_eq!(dim.flat(ijk.i, ijk.j, ijk.k), flat);
+        }
+    }
+
+    #[test]
+    fn locate_agrees_with_cell_rect(
+        nx in 2usize..20, ny in 2usize..20,
+        fx in 0.001f64..0.999, fy in 0.001f64..0.999,
+    ) {
+        let domain = Rect::from_origin_size(Length::ZERO, Length::ZERO, um(100.0), um(80.0));
+        let g = Grid2::filled(nx, ny, 0.0_f64);
+        let p = Point::new(domain.width() * fx, domain.height() * fy);
+        let ij = g.locate(&domain, p).expect("inside the domain");
+        let cell = g.cell_rect(&domain, ij.i, ij.j);
+        prop_assert!(cell.contains(p), "cell {cell} must contain {p}");
+    }
+
+    #[test]
+    fn paint_rect_count_matches_sum(
+        nx in 2usize..24,
+        x0 in 0.0f64..50.0, y0 in 0.0f64..50.0,
+        w in 1.0f64..50.0, h in 1.0f64..50.0,
+    ) {
+        let domain = Rect::from_origin_size(Length::ZERO, Length::ZERO, um(100.0), um(100.0));
+        let region = Rect::from_origin_size(um(x0), um(y0), um(w), um(h));
+        let mut g = Grid2::filled(nx, nx, 0.0_f64);
+        let painted = g.paint_rect(&domain, &region, 1.0);
+        prop_assert_eq!(painted as f64, g.sum());
+        prop_assert!(painted <= g.len());
+    }
+
+    #[test]
+    fn rect_intersection_is_commutative_and_contained(
+        ax in 0.0f64..50.0, ay in 0.0f64..50.0, aw in 1.0f64..60.0, ah in 1.0f64..60.0,
+        bx in 0.0f64..50.0, by in 0.0f64..50.0, bw in 1.0f64..60.0, bh in 1.0f64..60.0,
+    ) {
+        let a = Rect::from_origin_size(um(ax), um(ay), um(aw), um(ah));
+        let b = Rect::from_origin_size(um(bx), um(by), um(bw), um(bh));
+        match (a.intersection(&b), b.intersection(&a)) {
+            (Some(i1), Some(i2)) => {
+                prop_assert!((i1.area().square_meters() - i2.area().square_meters()).abs()
+                    < 1e-24);
+                // Reconstructing the intersection as origin+size can move
+                // its far edge by one ulp; allow that.
+                let eps = Length::from_meters(1e-15);
+                prop_assert!(a.inflated(eps).contains_rect(&i1));
+                prop_assert!(b.inflated(eps).contains_rect(&i1));
+                prop_assert!(i1.area().square_meters()
+                    <= a.area().square_meters().min(b.area().square_meters()) + 1e-24);
+            }
+            (None, None) => prop_assert!(!a.intersects(&b)),
+            _ => prop_assert!(false, "intersection must be symmetric"),
+        }
+    }
+
+    #[test]
+    fn discretization_preserves_total_thickness(
+        t1 in 0.05f64..20.0, t2 in 0.05f64..20.0, t3 in 0.05f64..20.0,
+        cell in 0.1f64..5.0,
+    ) {
+        let stack: LayerStack = [
+            LayerSlab::new("a", um(t1), LayerKind::HandleSilicon),
+            LayerSlab::new("b", um(t2), LayerKind::DeviceSilicon),
+            LayerSlab::new("c", um(t3), LayerKind::BeolLower),
+        ].into_iter().collect();
+        let cells = stack.discretize(um(cell));
+        let total: Length = cells.iter().map(|(_, dz)| *dz).sum();
+        prop_assert!(total.approx_eq(stack.total_thickness(), 1e-12));
+        // No cell exceeds the cap (within float slop).
+        for (_, dz) in &cells {
+            prop_assert!(dz.micrometers() <= cell * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn bilinear_sampling_is_bounded(
+        nx in 2usize..10, ny in 2usize..10,
+        u in 0.0f64..20.0, v in 0.0f64..20.0,
+    ) {
+        let g = Grid2::from_fn(nx, ny, |i, j| ((i * 7 + j * 13) % 11) as f64);
+        let s = g.sample(u, v);
+        prop_assert!(s >= g.min_value() - 1e-12 && s <= g.max_value() + 1e-12);
+    }
+}

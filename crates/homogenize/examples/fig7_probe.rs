@@ -1,0 +1,31 @@
+//! Quick probe of the Fig. 7c homogenization table at default resolution.
+
+use tsc_homogenize::{extract_k, slice, Axis};
+use tsc_materials::{THERMAL_DIELECTRIC_DESIGN, ULTRA_LOW_K_ILD};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lower = slice::SliceGeometry::default_lower();
+    let upper = slice::SliceGeometry::default_upper();
+
+    let m = slice::lower_beol(ULTRA_LOW_K_ILD.conductivity, &lower);
+    println!(
+        "V0-V7 ULK:        vertical {:.3}  lateral {:.3}   (paper: 0.31 / 5.47)",
+        extract_k(&m, Axis::Z)?.get(),
+        extract_k(&m, Axis::X)?.get()
+    );
+
+    let m = slice::upper_beol(ULTRA_LOW_K_ILD.conductivity, &upper);
+    println!(
+        "M8-M9 ULK:        vertical {:.2}  lateral {:.2}   (paper: 6.9 / 13.6)",
+        extract_k(&m, Axis::Z)?.get(),
+        extract_k(&m, Axis::X)?.get()
+    );
+
+    let m = slice::upper_beol(THERMAL_DIELECTRIC_DESIGN.conductivity, &upper);
+    println!(
+        "M8-M9 thermal-d:  vertical {:.2}  lateral {:.2}   (paper: 93.59 / 101.73)",
+        extract_k(&m, Axis::Z)?.get(),
+        extract_k(&m, Axis::X)?.get()
+    );
+    Ok(())
+}

@@ -1,0 +1,217 @@
+//! Effective-conductivity extraction: the numerical experiment of Fig. 7a.
+
+use crate::voxel::VoxelModel;
+use tsc_thermal::{CgSolver, Heatsink, Problem, SolveError};
+use tsc_units::{HeatTransferCoefficient, Temperature, ThermalConductivity};
+
+/// The extraction direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Axis {
+    /// In-plane, along wires of even metal layers.
+    X,
+    /// In-plane, along wires of odd metal layers.
+    Y,
+    /// Cross-plane (stacking direction).
+    Z,
+}
+
+impl core::fmt::Display for Axis {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Self::X => "x",
+            Self::Y => "y",
+            Self::Z => "z",
+        })
+    }
+}
+
+/// Near-ideal film coefficient used to emulate fixed-temperature faces.
+/// Its series resistance (1/h = 1e-12 m²K/W) is negligible against any
+/// realistic BEOL slab (≥1e-9 m²K/W).
+const DIRICHLET_H: f64 = 1.0e12;
+
+/// Extracts the effective conductivity of a voxel model along `axis`:
+/// hold the two opposite faces at 300 K and 301 K, solve, measure the
+/// through-flux `Q`, and return `k_eff = Q·L/(A·ΔT)`.
+///
+/// # Errors
+///
+/// Propagates [`SolveError`] if the fine-grid solve fails to converge.
+///
+/// ```
+/// use tsc_homogenize::{extract_k, Axis, VoxelModel};
+/// use tsc_units::{Length, ThermalConductivity};
+///
+/// let nm = Length::from_nanometers;
+/// let m = VoxelModel::new(3, 3, 3, nm(300.0), nm(300.0), nm(300.0),
+///     ThermalConductivity::new(7.5));
+/// let k = extract_k(&m, Axis::Z)?;
+/// assert!((k.get() - 7.5).abs() < 1e-6); // homogeneous block is exact
+/// # Ok::<(), tsc_thermal::SolveError>(())
+/// ```
+pub fn extract_k(model: &VoxelModel, axis: Axis) -> Result<ThermalConductivity, SolveError> {
+    let m = model.rotated_to_z(axis);
+    let dim = m.dim();
+    let (sx, sy, sz) = m.extents();
+    let dz = sz / dim.nz as f64;
+    let mut p = Problem::new(
+        dim.nx,
+        dim.ny,
+        sx / dim.nx as f64,
+        sy / dim.ny as f64,
+        vec![dz; dim.nz],
+        ThermalConductivity::new(1.0),
+    );
+    let kz = m.kz_field();
+    let kxy = m.kxy_field();
+    for k in 0..dim.nz {
+        for j in 0..dim.ny {
+            for i in 0..dim.nx {
+                p.set_conductivity(
+                    i,
+                    j,
+                    k,
+                    ThermalConductivity::new(kz[(i, j, k)]),
+                    ThermalConductivity::new(kxy[(i, j, k)]),
+                );
+            }
+        }
+    }
+    let cold = Temperature::from_kelvin(300.0);
+    let hot = Temperature::from_kelvin(301.0);
+    p.set_bottom_heatsink(Heatsink::new(
+        HeatTransferCoefficient::new(DIRICHLET_H),
+        cold,
+    ));
+    p.set_top_heatsink(Heatsink::new(
+        HeatTransferCoefficient::new(DIRICHLET_H),
+        hot,
+    ));
+
+    let sol = CgSolver::new().with_tolerance(1e-11).solve(&p)?;
+    // Heat enters at the hot (top) face and leaves at the cold (bottom)
+    // face; the bottom boundary power is the through-flux.
+    let q = p.boundary_power_bottom(&sol.temperatures).watts();
+    let area = (sx * sy).square_meters();
+    // Subtract the two emulation-film drops (q/(h·A) each) so the
+    // extracted value reflects conduction alone.
+    let film_drop = 2.0 * q / (DIRICHLET_H * area);
+    let delta_t = (hot - cold).kelvin() - film_drop;
+    Ok(ThermalConductivity::new(q * sz.meters() / (area * delta_t)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsc_units::Length;
+
+    fn nm(v: f64) -> Length {
+        Length::from_nanometers(v)
+    }
+
+    #[test]
+    fn homogeneous_block_recovers_k_along_all_axes() {
+        let m = VoxelModel::new(
+            4,
+            5,
+            6,
+            nm(400.0),
+            nm(500.0),
+            nm(600.0),
+            ThermalConductivity::new(13.6),
+        );
+        for axis in [Axis::X, Axis::Y, Axis::Z] {
+            let k = extract_k(&m, axis).expect("converges");
+            assert!((k.get() - 13.6).abs() < 1e-5, "axis {axis}: {k}");
+        }
+    }
+
+    #[test]
+    fn laminate_matches_series_and_parallel_rules() {
+        // 50/50 laminate of 100 and 1 W/m/K stacked along z.
+        let mut m = VoxelModel::new(
+            4,
+            4,
+            8,
+            nm(400.0),
+            nm(400.0),
+            nm(800.0),
+            ThermalConductivity::new(1.0),
+        );
+        m.paint_z_range(4, 8, ThermalConductivity::new(100.0));
+        let kz = extract_k(&m, Axis::Z).expect("z");
+        let kx = extract_k(&m, Axis::X).expect("x");
+        let series = 1.0 / (0.5 / 1.0 + 0.5 / 100.0);
+        let parallel = 0.5 * 1.0 + 0.5 * 100.0;
+        assert!((kz.get() - series).abs() / series < 0.01, "kz {kz}");
+        assert!((kx.get() - parallel).abs() / parallel < 0.01, "kx {kx}");
+    }
+
+    #[test]
+    fn continuous_column_dominates_vertical() {
+        // A 1/16-area continuous metal column through poor dielectric.
+        let mut m = VoxelModel::new(
+            4,
+            4,
+            6,
+            nm(400.0),
+            nm(400.0),
+            nm(600.0),
+            ThermalConductivity::new(0.2),
+        );
+        m.paint_box(1..2, 1..2, 0..6, ThermalConductivity::new(105.0));
+        let kz = extract_k(&m, Axis::Z).expect("z");
+        let expected = 0.2 * (15.0 / 16.0) + 105.0 / 16.0;
+        assert!(
+            (kz.get() - expected).abs() / expected < 0.05,
+            "kz {kz} vs parallel-rule {expected}"
+        );
+    }
+
+    #[test]
+    fn broken_column_conducts_poorly() {
+        // The same column with one missing voxel layer collapses toward
+        // the dielectric value — the physics behind via continuity.
+        let mut m = VoxelModel::new(
+            4,
+            4,
+            6,
+            nm(400.0),
+            nm(400.0),
+            nm(600.0),
+            ThermalConductivity::new(0.2),
+        );
+        m.paint_box(1..2, 1..2, 0..3, ThermalConductivity::new(105.0));
+        m.paint_box(1..2, 1..2, 4..6, ThermalConductivity::new(105.0));
+        let kz = extract_k(&m, Axis::Z).expect("z");
+        let continuous = 0.2 * (15.0 / 16.0) + 105.0 / 16.0;
+        assert!(
+            kz.get() < continuous / 3.0,
+            "a broken column must lose most of its conduction: {kz}"
+        );
+    }
+
+    #[test]
+    fn anisotropic_voxels_respected() {
+        let mut m = VoxelModel::new(
+            3,
+            3,
+            3,
+            nm(300.0),
+            nm(300.0),
+            nm(300.0),
+            ThermalConductivity::new(1.0),
+        );
+        m.paint_box_anisotropic(
+            0..3,
+            0..3,
+            0..3,
+            ThermalConductivity::new(30.0),
+            ThermalConductivity::new(105.7),
+        );
+        let kz = extract_k(&m, Axis::Z).expect("z");
+        let kx = extract_k(&m, Axis::X).expect("x");
+        assert!((kz.get() - 30.0).abs() < 1e-4);
+        assert!((kx.get() - 105.7).abs() < 1e-3);
+    }
+}

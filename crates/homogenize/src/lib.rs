@@ -1,0 +1,46 @@
+//! BEOL thermal homogenization — the COMSOL-substitute of the workspace.
+//!
+//! The paper lumps BEOL sections into homogeneous anisotropic slabs whose
+//! conductivities come from finite-element analysis of a representative
+//! slice (Fig. 7, following Wei et al. \[5\]). This crate reproduces that
+//! methodology with the workspace's own finite-volume kernel run at
+//! nanometer resolution:
+//!
+//! * [`VoxelModel`] — a fine voxel model of a BEOL slice (wires, vias,
+//!   dielectric), with axis rotation so any direction can be extracted;
+//! * [`extract_k`] — imposes a 1 K temperature difference across two
+//!   opposite faces (emulated by near-ideal convective films), measures
+//!   the through-flux, and returns `k_eff = Q·L/(A·ΔT)`;
+//! * [`slice`](mod@slice) — synthetic-slice generators standing in for the paper's
+//!   "pick a slice of the real design within 1 % of average density":
+//!   segmented routing wires, power-delivery vias, and either ultra-low-k
+//!   or thermal dielectric fill;
+//! * [`pillar`] — thermal-pillar characterization: effective vertical
+//!   conductivity of a stacked-stripe + max-density-via column
+//!   (the paper reports ≈105 W/m/K at a 100 nm × 100 nm footprint).
+//!
+//! # Example: Voigt/Reuss sanity
+//!
+//! ```
+//! use tsc_homogenize::{extract_k, Axis, VoxelModel};
+//! use tsc_units::{Length, ThermalConductivity};
+//!
+//! // A 50/50 laminate: 2 layers of k=100 and k=1.
+//! let nm = Length::from_nanometers;
+//! let mut m = VoxelModel::new(4, 4, 4, nm(400.0), nm(400.0), nm(400.0),
+//!     ThermalConductivity::new(1.0));
+//! m.paint_z_range(2, 4, ThermalConductivity::new(100.0));
+//! let kz = extract_k(&m, Axis::Z)?;        // series: ~1.98
+//! let kx = extract_k(&m, Axis::X)?;        // parallel: ~50.5
+//! assert!((kz.get() - 1.98).abs() < 0.05);
+//! assert!((kx.get() - 50.5).abs() < 0.5);
+//! # Ok::<(), tsc_thermal::SolveError>(())
+//! ```
+
+mod extract;
+pub mod pillar;
+pub mod slice;
+mod voxel;
+
+pub use extract::{extract_k, Axis};
+pub use voxel::VoxelModel;

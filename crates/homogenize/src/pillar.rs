@@ -1,0 +1,227 @@
+//! Thermal-pillar characterization.
+//!
+//! A pillar is a vertically aligned stack of metal rectangles (one per
+//! interconnect layer, formed with the `add stripe` command in the
+//! paper's Innovus flow) with maximum-density vias between adjacent
+//! layers, integrated into the power mesh. The paper's COMSOL
+//! characterization finds ≈105 W/m/K effective vertical conductivity at a
+//! 100 nm × 100 nm footprint; smaller pillars conduct worse because the
+//! copper size effect \[29\] bites harder at via dimensions.
+//!
+//! Two models are provided:
+//! * [`PillarDesign::effective_vertical_k`] — a series-composition closed
+//!   form (metal layers in series with via layers) using the
+//!   size-dependent copper model; fast enough to call inside placement
+//!   loops;
+//! * [`PillarDesign::voxel_model`] — a fine voxel model of the pillar in
+//!   its surrounding dielectric for FEM cross-checks and the Fig. 3
+//!   pillar-reach experiment.
+
+use crate::voxel::VoxelModel;
+use tsc_materials::{copper, Anisotropic};
+use tsc_units::{Length, Ratio, ThermalConductivity};
+
+/// Geometry of one thermal pillar.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PillarDesign {
+    /// Side of the (square) pillar footprint.
+    pub footprint: Length,
+    /// Fraction of the BEOL height occupied by metal (stripe) layers;
+    /// the rest is via layers.
+    pub metal_height_fraction: Ratio,
+    /// Effective critical dimension of the stripe copper at a 100 nm
+    /// footprint (scales proportionally with footprint).
+    pub stripe_dimension_at_100nm: Length,
+    /// Effective critical dimension of the max-density via copper at a
+    /// 100 nm footprint (scales proportionally with footprint).
+    pub via_dimension_at_100nm: Length,
+}
+
+impl PillarDesign {
+    /// The paper's design point: 100 nm × 100 nm footprint, calibrated so
+    /// the effective conductivity is ≈105 W/m/K.
+    #[must_use]
+    pub fn asap7_100nm() -> Self {
+        Self {
+            footprint: Length::from_nanometers(100.0),
+            metal_height_fraction: Ratio::from_fraction(0.55),
+            stripe_dimension_at_100nm: Length::from_nanometers(100.0),
+            via_dimension_at_100nm: Length::from_nanometers(32.0),
+        }
+    }
+
+    /// The same stack at a different footprint (copper dimensions scale
+    /// proportionally, capturing the size effect).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `footprint` is not strictly positive.
+    #[must_use]
+    pub fn with_footprint(mut self, footprint: Length) -> Self {
+        assert!(
+            footprint.meters() > 0.0,
+            "pillar footprint must be positive, got {footprint}"
+        );
+        self.footprint = footprint;
+        self
+    }
+
+    /// Footprint area of one pillar.
+    #[must_use]
+    pub fn area(&self) -> tsc_units::Area {
+        self.footprint.squared()
+    }
+
+    fn scale(&self) -> f64 {
+        self.footprint.meters() / 100.0e-9
+    }
+
+    /// Effective vertical conductivity of the pillar column: metal layers
+    /// in series with via layers, each at its size-dependent copper
+    /// conductivity.
+    ///
+    /// ```
+    /// use tsc_homogenize::pillar::PillarDesign;
+    /// let k = PillarDesign::asap7_100nm().effective_vertical_k();
+    /// assert!((k.get() - 105.0).abs() < 10.0);
+    /// ```
+    #[must_use]
+    pub fn effective_vertical_k(&self) -> ThermalConductivity {
+        let s = self.scale();
+        let k_stripe = copper::conductivity(self.stripe_dimension_at_100nm * s);
+        let k_via = copper::conductivity(self.via_dimension_at_100nm * s);
+        let fm = self.metal_height_fraction.fraction();
+        let fv = 1.0 - fm;
+        ThermalConductivity::new(1.0 / (fm / k_stripe.get() + fv / k_via.get()))
+    }
+
+    /// A voxel model of one pillar centered in a square dielectric region
+    /// of side `region` and height `height` — the geometry of the Fig. 3
+    /// pillar-reach experiment and the placement-time characterization.
+    ///
+    /// The pillar column is painted with its effective conductivity (the
+    /// series model), the surroundings with `dielectric`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region` is smaller than the footprint or `voxels` < 3.
+    #[must_use]
+    pub fn voxel_model(
+        &self,
+        dielectric: Anisotropic,
+        region: Length,
+        height: Length,
+        voxels: usize,
+    ) -> VoxelModel {
+        assert!(
+            region.meters() >= self.footprint.meters(),
+            "region must contain the pillar"
+        );
+        assert!(voxels >= 3, "need at least 3 voxels per side");
+        let nz = ((height.meters() / (region.meters() / voxels as f64)).round() as usize).max(3);
+        let mut m = VoxelModel::new(
+            voxels,
+            voxels,
+            nz,
+            region,
+            region,
+            height,
+            ThermalConductivity::new(1.0),
+        );
+        m.paint_box_anisotropic(
+            0..voxels,
+            0..voxels,
+            0..nz,
+            dielectric.vertical,
+            dielectric.lateral,
+        );
+        // Pillar column: centered, at least one voxel wide.
+        let frac = self.footprint.meters() / region.meters();
+        let side = ((frac * voxels as f64).round() as usize).max(1);
+        let lo = (voxels - side) / 2;
+        m.paint_box(
+            lo..lo + side,
+            lo..lo + side,
+            0..nz,
+            self.effective_vertical_k(),
+        );
+        m
+    }
+}
+
+impl Default for PillarDesign {
+    fn default() -> Self {
+        Self::asap7_100nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{extract_k, Axis};
+    use tsc_materials::ULTRA_LOW_K_ILD;
+
+    #[test]
+    fn design_point_is_105() {
+        let k = PillarDesign::asap7_100nm().effective_vertical_k();
+        assert!(
+            (k.get() - 105.0).abs() < 10.0,
+            "100 nm pillar should be ~105 W/m/K, got {k}"
+        );
+    }
+
+    #[test]
+    fn smaller_pillars_conduct_worse() {
+        let base = PillarDesign::asap7_100nm();
+        let k100 = base.effective_vertical_k().get();
+        let k50 = base
+            .clone()
+            .with_footprint(Length::from_nanometers(50.0))
+            .effective_vertical_k()
+            .get();
+        let k200 = base
+            .with_footprint(Length::from_nanometers(200.0))
+            .effective_vertical_k()
+            .get();
+        assert!(k50 < k100 && k100 < k200, "{k50} < {k100} < {k200}");
+    }
+
+    #[test]
+    fn voxel_model_extraction_matches_mixture() {
+        // A pillar occupying f of the region raises vertical k to about
+        // (1-f)·k_d + f·k_p (parallel rule).
+        let design = PillarDesign::asap7_100nm();
+        let region = Length::from_nanometers(500.0);
+        let m = design.voxel_model(
+            ULTRA_LOW_K_ILD.conductivity,
+            region,
+            Length::from_micrometers(1.0),
+            15,
+        );
+        let kz = extract_k(&m, Axis::Z).expect("z");
+        // Painted column is 3x3 voxels of 15 -> f = 9/225 = 0.04.
+        let f = 9.0 / 225.0;
+        let expected = (1.0 - f) * 0.2 + f * design.effective_vertical_k().get();
+        assert!(
+            (kz.get() - expected).abs() / expected < 0.05,
+            "kz = {kz}, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn area_at_design_point() {
+        let a = PillarDesign::asap7_100nm().area();
+        assert!((a.square_micrometers() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "contain the pillar")]
+    fn region_must_contain_pillar() {
+        let _ = PillarDesign::asap7_100nm().voxel_model(
+            ULTRA_LOW_K_ILD.conductivity,
+            Length::from_nanometers(50.0),
+            Length::from_micrometers(1.0),
+            5,
+        );
+    }
+}

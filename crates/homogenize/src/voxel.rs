@@ -1,0 +1,304 @@
+//! Fine voxel models of BEOL structures.
+
+use tsc_geometry::{Dim3, Grid3};
+use tsc_units::{Length, ThermalConductivity};
+
+/// A voxelized material model: each voxel carries an anisotropic
+/// conductivity pair `(vertical kz, lateral kxy)`.
+///
+/// Coordinates are voxel indices; physical extents are carried alongside
+/// so extraction can convert flux to conductivity. Paint methods take
+/// half-open voxel ranges.
+#[derive(Debug, Clone)]
+pub struct VoxelModel {
+    dim: Dim3,
+    size_x: Length,
+    size_y: Length,
+    size_z: Length,
+    kz: Grid3<f64>,
+    kxy: Grid3<f64>,
+}
+
+impl VoxelModel {
+    /// Creates an `nx × ny × nz` voxel model spanning the given physical
+    /// extents, filled with an isotropic background.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero, any extent non-positive, or the
+    /// background conductivity non-positive.
+    #[must_use]
+    pub fn new(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        size_x: Length,
+        size_y: Length,
+        size_z: Length,
+        background: ThermalConductivity,
+    ) -> Self {
+        assert!(
+            size_x.meters() > 0.0 && size_y.meters() > 0.0 && size_z.meters() > 0.0,
+            "extents must be positive"
+        );
+        assert!(background.get() > 0.0, "background k must be positive");
+        let dim = Dim3::new(nx, ny, nz);
+        Self {
+            dim,
+            size_x,
+            size_y,
+            size_z,
+            kz: Grid3::filled(dim, background.get()),
+            kxy: Grid3::filled(dim, background.get()),
+        }
+    }
+
+    /// Voxel dimensions.
+    #[must_use]
+    pub fn dim(&self) -> Dim3 {
+        self.dim
+    }
+
+    /// Physical extents `(x, y, z)`.
+    #[must_use]
+    pub fn extents(&self) -> (Length, Length, Length) {
+        (self.size_x, self.size_y, self.size_z)
+    }
+
+    /// Anisotropic conductivity at a voxel: `(vertical, lateral)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[must_use]
+    pub fn k_at(&self, i: usize, j: usize, k: usize) -> (ThermalConductivity, ThermalConductivity) {
+        (
+            ThermalConductivity::new(self.kz[(i, j, k)]),
+            ThermalConductivity::new(self.kxy[(i, j, k)]),
+        )
+    }
+
+    /// Paints an isotropic box over half-open voxel ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a range is empty, exceeds the model, or `k` is
+    /// non-positive.
+    pub fn paint_box(
+        &mut self,
+        x: core::ops::Range<usize>,
+        y: core::ops::Range<usize>,
+        z: core::ops::Range<usize>,
+        k: ThermalConductivity,
+    ) {
+        self.paint_box_anisotropic(x, y, z, k, k);
+    }
+
+    /// Paints an anisotropic box (`vertical`, `lateral`) over half-open
+    /// voxel ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a range is empty, exceeds the model, or either
+    /// conductivity is non-positive.
+    pub fn paint_box_anisotropic(
+        &mut self,
+        x: core::ops::Range<usize>,
+        y: core::ops::Range<usize>,
+        z: core::ops::Range<usize>,
+        vertical: ThermalConductivity,
+        lateral: ThermalConductivity,
+    ) {
+        assert!(
+            !x.is_empty() && !y.is_empty() && !z.is_empty(),
+            "paint ranges must be non-empty"
+        );
+        assert!(
+            x.end <= self.dim.nx && y.end <= self.dim.ny && z.end <= self.dim.nz,
+            "paint ranges exceed the model"
+        );
+        assert!(
+            vertical.get() > 0.0 && lateral.get() > 0.0,
+            "conductivity must be positive"
+        );
+        for k in z {
+            for j in y.clone() {
+                for i in x.clone() {
+                    self.kz[(i, j, k)] = vertical.get();
+                    self.kxy[(i, j, k)] = lateral.get();
+                }
+            }
+        }
+    }
+
+    /// Paints all voxels with `z ∈ [z0, z1)` (a full layer).
+    ///
+    /// # Panics
+    ///
+    /// As for [`VoxelModel::paint_box`].
+    pub fn paint_z_range(&mut self, z0: usize, z1: usize, k: ThermalConductivity) {
+        self.paint_box(0..self.dim.nx, 0..self.dim.ny, z0..z1, k);
+    }
+
+    /// Volume fraction of voxels whose lateral conductivity differs from
+    /// `background` — a quick metal-density readout for calibration.
+    #[must_use]
+    pub fn fraction_not(&self, background: ThermalConductivity) -> f64 {
+        let n = self.dim.len() as f64;
+        let painted = self
+            .kxy
+            .iter()
+            .filter(|&&v| (v - background.get()).abs() > 1e-12)
+            .count() as f64;
+        painted / n
+    }
+
+    /// A copy with axes permuted so the requested axis becomes +z — this
+    /// lets the z-boundary solver extract any direction.
+    #[must_use]
+    pub fn rotated_to_z(&self, axis: crate::Axis) -> VoxelModel {
+        match axis {
+            crate::Axis::Z => self.clone(),
+            crate::Axis::X => {
+                // New z = old x; new x = old z. The *vertical* conductivity
+                // along new z is the old lateral (x) value, and vice versa.
+                let dim = Dim3::new(self.dim.nz, self.dim.ny, self.dim.nx);
+                let mut out = VoxelModel {
+                    dim,
+                    size_x: self.size_z,
+                    size_y: self.size_y,
+                    size_z: self.size_x,
+                    kz: Grid3::filled(dim, 1.0),
+                    kxy: Grid3::filled(dim, 1.0),
+                };
+                for k in 0..dim.nz {
+                    for j in 0..dim.ny {
+                        for i in 0..dim.nx {
+                            // (i', j', k') = (k, j, i) in the old frame.
+                            // Conduction along the new z axis is conduction
+                            // along old x, i.e. the old lateral value.
+                            out.kz[(i, j, k)] = self.kxy[(k, j, i)];
+                            // The transversely-isotropic FVM cell cannot
+                            // distinguish the two rotated lateral
+                            // directions (old z and old y); we keep the old
+                            // lateral value, a second-order approximation
+                            // that only affects cross-redistribution.
+                            out.kxy[(i, j, k)] = self.kxy[(k, j, i)];
+                        }
+                    }
+                }
+                out
+            }
+            crate::Axis::Y => {
+                let dim = Dim3::new(self.dim.nx, self.dim.nz, self.dim.ny);
+                let mut out = VoxelModel {
+                    dim,
+                    size_x: self.size_x,
+                    size_y: self.size_z,
+                    size_z: self.size_y,
+                    kz: Grid3::filled(dim, 1.0),
+                    kxy: Grid3::filled(dim, 1.0),
+                };
+                for k in 0..dim.nz {
+                    for j in 0..dim.ny {
+                        for i in 0..dim.nx {
+                            out.kz[(i, j, k)] = self.kxy[(i, k, j)];
+                            out.kxy[(i, j, k)] = self.kxy[(i, k, j)];
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Raw vertical-conductivity field (for the extraction solver).
+    pub(crate) fn kz_field(&self) -> &Grid3<f64> {
+        &self.kz
+    }
+
+    /// Raw lateral-conductivity field (for the extraction solver).
+    pub(crate) fn kxy_field(&self) -> &Grid3<f64> {
+        &self.kxy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Axis;
+
+    fn nm(v: f64) -> Length {
+        Length::from_nanometers(v)
+    }
+
+    fn model() -> VoxelModel {
+        VoxelModel::new(
+            4,
+            3,
+            2,
+            nm(400.0),
+            nm(300.0),
+            nm(200.0),
+            ThermalConductivity::new(0.2),
+        )
+    }
+
+    #[test]
+    fn paint_and_read_back() {
+        let mut m = model();
+        m.paint_box(1..3, 0..2, 0..1, ThermalConductivity::new(242.0));
+        let (v, l) = m.k_at(1, 1, 0);
+        assert_eq!(v.get(), 242.0);
+        assert_eq!(l.get(), 242.0);
+        let (v, l) = m.k_at(0, 0, 0);
+        assert_eq!(v.get(), 0.2);
+        assert_eq!(l.get(), 0.2);
+    }
+
+    #[test]
+    fn metal_fraction() {
+        let mut m = model();
+        m.paint_box(0..2, 0..3, 0..2, ThermalConductivity::new(242.0));
+        assert!((m.fraction_not(ThermalConductivity::new(0.2)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_swaps_extents() {
+        let m = model();
+        let rx = m.rotated_to_z(Axis::X);
+        assert_eq!(rx.dim(), Dim3::new(2, 3, 4));
+        let (sx, sy, sz) = rx.extents();
+        assert!((sx.nanometers() - 200.0).abs() < 1e-9);
+        assert!((sy.nanometers() - 300.0).abs() < 1e-9);
+        assert!((sz.nanometers() - 400.0).abs() < 1e-9);
+        let ry = m.rotated_to_z(Axis::Y);
+        assert_eq!(ry.dim(), Dim3::new(4, 2, 3));
+    }
+
+    #[test]
+    fn x_rotation_maps_lateral_to_vertical() {
+        let mut m = model();
+        // Column of high lateral k along x at (j=1, k=1).
+        m.paint_box_anisotropic(
+            0..4,
+            1..2,
+            1..2,
+            ThermalConductivity::new(0.2),
+            ThermalConductivity::new(100.0),
+        );
+        let r = m.rotated_to_z(Axis::X);
+        // In the rotated frame, that column runs along z at (i=1, j=1).
+        let (v, _) = r.k_at(1, 1, 0);
+        assert_eq!(v.get(), 100.0);
+        let (v2, _) = r.k_at(1, 1, 3);
+        assert_eq!(v2.get(), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn paint_out_of_bounds_rejected() {
+        let mut m = model();
+        m.paint_box(0..5, 0..1, 0..1, ThermalConductivity::new(1.0));
+    }
+}

@@ -1,0 +1,105 @@
+//! Size-dependent thermal conductivity of damascene copper wires.
+//!
+//! Electron scattering at wire surfaces and grain boundaries suppresses
+//! the conductivity of nanoscale copper well below the 400 W/m/K bulk
+//! value (Lugo & Oliva \[29\]). The paper's BEOL abstraction uses
+//! 105 W/m/K for the narrow lower-level wires (V0–V7) and 242 W/m/K for
+//! the wide upper-level wires (M8–M9) — see Fig. 1 and Fig. 7.
+//!
+//! We model the suppression with a Fuchs-Sondheimer-style reciprocal law
+//! `k(w) = k_bulk / (1 + λ_c/w)` calibrated to those two anchor points.
+
+use tsc_units::{Length, ThermalConductivity};
+
+/// Bulk copper thermal conductivity.
+pub const BULK: ThermalConductivity = ThermalConductivity::new(400.0);
+
+/// Effective scattering length of the reciprocal suppression law,
+/// calibrated so 50 nm-class wires give ~105 W/m/K and 220 nm-class wires
+/// ~242 W/m/K.
+pub const SCATTERING_LENGTH: Length = Length::new(140.5e-9);
+
+/// Critical dimension of the narrow lower-level (V0–V7) wires in the
+/// 7 nm-class stack.
+pub const LOWER_WIRE_DIMENSION: Length = Length::new(50.0e-9);
+
+/// Critical dimension of the wide upper-level (M8–M9) wires.
+pub const UPPER_WIRE_DIMENSION: Length = Length::new(215.0e-9);
+
+/// Size-dependent copper conductivity `k(w) = k_bulk / (1 + λ_c/w)`.
+///
+/// # Panics
+///
+/// Panics if `dimension` is not strictly positive.
+///
+/// ```
+/// use tsc_materials::copper;
+/// use tsc_units::Length;
+/// let narrow = copper::conductivity(Length::from_nanometers(50.0));
+/// let wide = copper::conductivity(Length::from_nanometers(215.0));
+/// assert!((narrow.get() - 105.0).abs() < 5.0);
+/// assert!((wide.get() - 242.0).abs() < 8.0);
+/// ```
+#[must_use]
+pub fn conductivity(dimension: Length) -> ThermalConductivity {
+    assert!(
+        dimension.meters() > 0.0,
+        "wire dimension must be positive, got {dimension}"
+    );
+    let k = BULK.get() / (1.0 + SCATTERING_LENGTH.meters() / dimension.meters());
+    ThermalConductivity::new(k)
+}
+
+/// The paper's fixed abstraction for lower-level (V0–V7) copper.
+pub const LOWER_LEVEL: ThermalConductivity = ThermalConductivity::new(105.0);
+
+/// The paper's fixed abstraction for upper-level (M8–M9) copper.
+pub const UPPER_LEVEL: ThermalConductivity = ThermalConductivity::new(242.0);
+
+/// Effective conductivity of a 100 nm × 100 nm thermal pillar (stacked
+/// stripes with max-density vias): the paper reports 105 W/m/K from
+/// COMSOL characterization — the via layers throttle the column to
+/// roughly the narrow-wire value.
+pub const PILLAR_100NM: ThermalConductivity = ThermalConductivity::new(105.0);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_match_paper_values() {
+        let narrow = conductivity(LOWER_WIRE_DIMENSION);
+        let wide = conductivity(UPPER_WIRE_DIMENSION);
+        assert!(
+            (narrow.get() - LOWER_LEVEL.get()).abs() < 5.0,
+            "narrow wires: {narrow}"
+        );
+        assert!(
+            (wide.get() - UPPER_LEVEL.get()).abs() < 8.0,
+            "wide wires: {wide}"
+        );
+    }
+
+    #[test]
+    fn conductivity_monotone_in_width() {
+        let mut last = 0.0;
+        for nm in [10.0, 30.0, 50.0, 100.0, 215.0, 500.0, 5000.0] {
+            let k = conductivity(Length::from_nanometers(nm)).get();
+            assert!(k > last);
+            last = k;
+        }
+    }
+
+    #[test]
+    fn approaches_bulk_for_wide_wires() {
+        let k = conductivity(Length::from_micrometers(100.0));
+        assert!(k.get() > 0.99 * BULK.get());
+        assert!(k.get() < BULK.get());
+    }
+
+    #[test]
+    #[should_panic(expected = "wire dimension must be positive")]
+    fn zero_width_rejected() {
+        let _ = conductivity(Length::ZERO);
+    }
+}

@@ -1,0 +1,265 @@
+//! Effective thermal conductivity of nanocrystalline diamond (Eq. 1, Fig. 4).
+//!
+//! The paper fits the film conductivity of low-temperature-grown
+//! polycrystalline diamond to the grain-size ETC model of Dong, Wen &
+//! Melnik (Sci. Rep. 4, 7037):
+//!
+//! ```text
+//!            k0 / (1 + Λ0/d^0.76)
+//! k_film = ───────────────────────────────────
+//!          1 + R · [k0 / (1 + Λ0/d^0.76)] / d
+//! ```
+//!
+//! where `k0` is the single-crystal conductivity, `Λ0` the single-crystal
+//! phonon mean free path, `d` the grain size and `R` the grain-boundary
+//! thermal resistance (the paper extracts `R = 1.15 m²K/GW`).
+//!
+//! The numerator is the intra-grain size effect (phonons scattered by grain
+//! boundaries before completing a bulk mean free path); the denominator
+//! adds one grain-boundary Kapitza resistance per grain traversed.
+
+use tsc_units::{AreaThermalResistance, Length, ThermalConductivity};
+
+/// Exponent of the grain-size term in Eq. 1 (empirical, from \[24\]).
+pub const GRAIN_SIZE_EXPONENT: f64 = 0.76;
+
+/// The calibrated ETC model of Eq. 1.
+///
+/// ```
+/// use tsc_materials::diamond::EtcModel;
+/// use tsc_units::Length;
+///
+/// let m = EtcModel::calibrated();
+/// // The paper's design point: a 160 nm grain film (one upper-layer
+/// // thickness) conducts 105.7 W/m/K in-plane.
+/// let k = m.in_plane_conductivity(Length::from_nanometers(160.0));
+/// assert!((k.get() - 105.7).abs() < 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EtcModel {
+    /// Single-crystal thermal conductivity `k0`.
+    pub single_crystal_k: ThermalConductivity,
+    /// Single-crystal phonon mean free path `Λ0`.
+    pub phonon_mfp: Length,
+    /// Grain-boundary (Kapitza) thermal resistance `R`.
+    pub grain_boundary_resistance: AreaThermalResistance,
+}
+
+impl EtcModel {
+    /// The model calibrated as in the paper: `R = 1.15 m²K/GW`, with `k0`
+    /// and `Λ0` chosen so the 160 nm grain film reproduces the reported
+    /// 105.7 W/m/K and large-grain films approach the single-crystal bound.
+    #[must_use]
+    pub fn calibrated() -> Self {
+        Self {
+            single_crystal_k: ThermalConductivity::new(2200.0),
+            phonon_mfp: Length::from_nanometers(189.4),
+            grain_boundary_resistance: AreaThermalResistance::from_m2_kelvin_per_gigawatt(1.15),
+        }
+    }
+
+    /// Intra-grain ("size-effect only") conductivity, the numerator of
+    /// Eq. 1: `k0 / (1 + Λ0/d^0.76)` with lengths in nanometers as in \[24\].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grain_size` is not strictly positive.
+    #[must_use]
+    pub fn intra_grain_conductivity(&self, grain_size: Length) -> ThermalConductivity {
+        let d_nm = grain_size.nanometers();
+        assert!(d_nm > 0.0, "grain size must be positive, got {grain_size}");
+        let lambda_nm = self.phonon_mfp.nanometers();
+        let k = self.single_crystal_k.get() / (1.0 + lambda_nm / d_nm.powf(GRAIN_SIZE_EXPONENT));
+        ThermalConductivity::new(k)
+    }
+
+    /// In-plane film conductivity of Eq. 1: intra-grain conduction in
+    /// series with one grain-boundary resistance per grain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grain_size` is not strictly positive.
+    #[must_use]
+    pub fn in_plane_conductivity(&self, grain_size: Length) -> ThermalConductivity {
+        let k_size = self.intra_grain_conductivity(grain_size).get();
+        let gb = self.grain_boundary_resistance.get() * k_size / grain_size.meters();
+        ThermalConductivity::new(k_size / (1.0 + gb))
+    }
+
+    /// Through-plane conductivity of a film of the given `thickness`,
+    /// accounting for the film/substrate thermal boundary resistance
+    /// `tbr` at both faces (the "ETC approach" of \[25\]):
+    /// `k_tp = k_ip / (1 + 2·R_b·k_ip/t)`.
+    ///
+    /// Sweeping `tbr` from the experimentally demonstrated maximum
+    /// ([`Self::TBR_DEMONSTRATED`]) to an ideal zero spans the paper's
+    /// 30–105.7 W/m/K through-plane range for the 240 nm scaffolding layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thickness` is not strictly positive.
+    #[must_use]
+    pub fn through_plane_conductivity(
+        &self,
+        grain_size: Length,
+        thickness: Length,
+        tbr: AreaThermalResistance,
+    ) -> ThermalConductivity {
+        assert!(
+            thickness.meters() > 0.0,
+            "film thickness must be positive, got {thickness}"
+        );
+        let k_ip = self.in_plane_conductivity(grain_size).get();
+        let denom = 1.0 + 2.0 * tbr.get() * k_ip / thickness.meters();
+        ThermalConductivity::new(k_ip / denom)
+    }
+
+    /// Experimentally demonstrated film boundary resistance used as the
+    /// pessimistic end of the through-plane sweep. Calibrated so that a
+    /// 240 nm / 160 nm-grain film lands at the paper's 30 W/m/K floor.
+    pub const TBR_DEMONSTRATED: AreaThermalResistance = AreaThermalResistance::new(2.86e-9);
+}
+
+impl Default for EtcModel {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+/// The experimental films the model was fitted to (grain size, growth
+/// temperature °C) — Malakoutian et al. 2020-2022.
+pub const EXPERIMENTAL_FILMS: [(f64, f64); 3] = [(350.0, 500.0), (650.0, 400.0), (1900.0, 650.0)];
+
+/// Conservative upper end of the in-plane sweep used in the physical
+/// design flow: a large-grain (>1 µm) thin film at 500 W/m/K.
+pub const IN_PLANE_MAX: ThermalConductivity = ThermalConductivity::new(500.0);
+
+/// Lower end of the sweep: the 160 nm grain film at 105.7 W/m/K (one
+/// upper-layer thickness of the 7 nm PDK).
+pub const IN_PLANE_MIN: ThermalConductivity = ThermalConductivity::new(105.7);
+
+/// Through-plane range floor from the paper (30 W/m/K).
+pub const THROUGH_PLANE_MIN: ThermalConductivity = ThermalConductivity::new(30.0);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nm(v: f64) -> Length {
+        Length::from_nanometers(v)
+    }
+
+    #[test]
+    fn design_point_matches_paper() {
+        let m = EtcModel::calibrated();
+        let k = m.in_plane_conductivity(nm(160.0));
+        assert!(
+            (k.get() - 105.7).abs() < 2.0,
+            "160 nm grain film should be ~105.7 W/m/K, got {k}"
+        );
+    }
+
+    #[test]
+    fn conductivity_increases_with_grain_size() {
+        let m = EtcModel::calibrated();
+        let sizes = [10.0, 50.0, 160.0, 350.0, 650.0, 1000.0, 1900.0];
+        let ks: Vec<f64> = sizes
+            .iter()
+            .map(|&d| m.in_plane_conductivity(nm(d)).get())
+            .collect();
+        for w in ks.windows(2) {
+            assert!(w[1] > w[0], "k must grow with grain size: {ks:?}");
+        }
+    }
+
+    #[test]
+    fn bounded_by_single_crystal() {
+        let m = EtcModel::calibrated();
+        for d in [1.0, 10.0, 100.0, 1000.0, 100_000.0] {
+            let k = m.in_plane_conductivity(nm(d));
+            assert!(k.get() < m.single_crystal_k.get());
+            assert!(k.get() > 0.0);
+        }
+    }
+
+    #[test]
+    fn large_grain_film_is_conservatively_500() {
+        let m = EtcModel::calibrated();
+        // Films > 1 µm comfortably exceed the conservative 500 W/m/K the
+        // paper adopts as its optimistic design value.
+        let k = m.in_plane_conductivity(nm(1900.0));
+        assert!(k.get() > IN_PLANE_MAX.get(), "1.9 µm film: {k}");
+    }
+
+    #[test]
+    fn gain_over_ultra_low_k_exceeds_500x() {
+        let m = EtcModel::calibrated();
+        let k = m.in_plane_conductivity(nm(160.0));
+        assert!(k.get() / 0.2 > 500.0);
+    }
+
+    #[test]
+    fn through_plane_range_matches_paper() {
+        let m = EtcModel::calibrated();
+        let t = nm(240.0);
+        let g = nm(160.0);
+        let worst = m.through_plane_conductivity(g, t, EtcModel::TBR_DEMONSTRATED);
+        let best = m.through_plane_conductivity(g, t, AreaThermalResistance::ZERO);
+        assert!(
+            (worst.get() - 30.0).abs() < 3.0,
+            "pessimistic through-plane should be ~30, got {worst}"
+        );
+        assert!(
+            (best.get() - 105.7).abs() < 2.0,
+            "ideal through-plane equals in-plane, got {best}"
+        );
+    }
+
+    #[test]
+    fn through_plane_never_exceeds_in_plane() {
+        let m = EtcModel::calibrated();
+        for d in [100.0, 200.0, 500.0] {
+            for t in [100.0, 240.0, 1000.0] {
+                let ip = m.in_plane_conductivity(nm(d));
+                let tp = m.through_plane_conductivity(nm(d), nm(t), EtcModel::TBR_DEMONSTRATED);
+                assert!(tp.get() <= ip.get() + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn experimental_films_in_plausible_band() {
+        // The three measured growths should fall between the design floor
+        // and the single-crystal bound — the fit cannot invert the data.
+        let m = EtcModel::calibrated();
+        for &(d, _temp) in &EXPERIMENTAL_FILMS {
+            let k = m.in_plane_conductivity(nm(d)).get();
+            assert!(
+                (100.0..2200.0).contains(&k),
+                "film with {d} nm grains: {k} W/m/K"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "grain size must be positive")]
+    fn zero_grain_rejected() {
+        let _ = EtcModel::calibrated().in_plane_conductivity(Length::ZERO);
+    }
+
+    #[test]
+    fn intra_grain_dominates_small_sizes() {
+        // At very small grains the size effect, not the boundary term,
+        // controls k: removing the boundary resistance changes k by less
+        // than the size effect itself.
+        let m = EtcModel::calibrated();
+        let no_gb = EtcModel {
+            grain_boundary_resistance: AreaThermalResistance::ZERO,
+            ..m
+        };
+        let k_full = m.in_plane_conductivity(nm(5.0)).get();
+        let k_nogb = no_gb.in_plane_conductivity(nm(5.0)).get();
+        let k_bulk = m.single_crystal_k.get();
+        assert!(k_nogb / k_full < k_bulk / k_nogb);
+    }
+}

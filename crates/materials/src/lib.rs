@@ -1,0 +1,46 @@
+//! Material property models for thermal scaffolding (Sec. II of the paper).
+//!
+//! Four physical models plus a small material database:
+//!
+//! * [`diamond`] — the effective-thermal-conductivity (ETC) model of Eq. 1:
+//!   in-plane conductivity of low-temperature-grown nanocrystalline diamond
+//!   as a function of grain size, calibrated to the experimental films of
+//!   Malakoutian et al. (350 nm, 650 nm and 1.9 µm growths), and the
+//!   through-plane thin-film correction;
+//! * [`dielectric`] — the Maxwell-Garnett mixing rule of Eq. 2 for the
+//!   permittivity of porous diamond, and the grain-size dielectric
+//!   suppression observed in the literature (Fig. 5);
+//! * [`copper`] — size-dependent thermal conductivity of damascene copper
+//!   wires (105 W/m/K for narrow lower-level wires up to 242 W/m/K for wide
+//!   upper-level wires, Fig. 1/Fig. 7);
+//! * [`silicon`] — thickness-dependent thermal conductivity of silicon
+//!   films (30/65 W/m/K vertical/lateral at 100 nm, 180 W/m/K at 10 µm,
+//!   Fig. 1).
+//!
+//! [`Material`] bundles anisotropic conductivity with permittivity, and
+//! [`MaterialDb`] holds the standard palette used by the mesh builders.
+//!
+//! # Example: the "500×" headline of Fig. 4
+//!
+//! ```
+//! use tsc_materials::{diamond::EtcModel, ULTRA_LOW_K_ILD};
+//! use tsc_units::Length;
+//!
+//! let etc = EtcModel::calibrated();
+//! let k_film = etc.in_plane_conductivity(Length::from_nanometers(160.0));
+//! let gain = k_film / ULTRA_LOW_K_ILD.conductivity.lateral;
+//! assert!(gain > 500.0, "thermal dielectric must beat ultra-low-k by >500x");
+//! ```
+
+pub mod copper;
+pub mod diamond;
+pub mod dielectric;
+pub mod silicon;
+
+mod database;
+
+pub use database::{
+    Anisotropic, Material, MaterialDb, AIR, BULK_SILICON, COPPER_LOWER, COPPER_UPPER,
+    DEVICE_SILICON_THIN, THERMAL_DIELECTRIC_CONSERVATIVE, THERMAL_DIELECTRIC_DESIGN,
+    THERMAL_DIELECTRIC_OPTIMISTIC, ULTRA_LOW_K_ILD,
+};

@@ -1,0 +1,120 @@
+//! Thickness-dependent thermal conductivity of silicon films.
+//!
+//! Thin monolithic-3D device layers conduct far worse than bulk silicon
+//! because phonon mean free paths exceed the film thickness (Jeong, Datta
+//! & Lundstrom — the Landauer treatment cited as \[14\]). The paper's
+//! abstraction (Fig. 1):
+//!
+//! | film            | vertical k | lateral k |
+//! |-----------------|-----------:|----------:|
+//! | 0.1 µm 3D layer |    30      |    65     |
+//! | 10 µm handle    |   180      |   180     |
+//!
+//! We reproduce those anchors with reciprocal thickness laws
+//! `k(t) = k_bulk / (1 + Λ/t)` fitted per direction.
+
+use tsc_units::{Length, ThermalConductivity};
+
+/// Effective bulk limit of the fitted law (slightly above the 10 µm film).
+pub const BULK_LIMIT: ThermalConductivity = ThermalConductivity::new(189.6);
+
+/// Phonon mean free path controlling cross-plane (vertical) suppression.
+pub const MFP_VERTICAL: Length = Length::new(0.532e-6);
+
+/// Phonon mean free path controlling in-plane (lateral) suppression.
+pub const MFP_LATERAL: Length = Length::new(0.1917e-6);
+
+/// Vertical (cross-plane) conductivity of a silicon film of thickness `t`.
+///
+/// # Panics
+///
+/// Panics if `t` is not strictly positive.
+///
+/// ```
+/// use tsc_materials::silicon;
+/// use tsc_units::Length;
+/// let k = silicon::vertical_conductivity(Length::from_nanometers(100.0));
+/// assert!((k.get() - 30.0).abs() < 1.0);
+/// ```
+#[must_use]
+pub fn vertical_conductivity(t: Length) -> ThermalConductivity {
+    suppressed(t, MFP_VERTICAL)
+}
+
+/// Lateral (in-plane) conductivity of a silicon film of thickness `t`.
+///
+/// # Panics
+///
+/// Panics if `t` is not strictly positive.
+///
+/// ```
+/// use tsc_materials::silicon;
+/// use tsc_units::Length;
+/// let k = silicon::lateral_conductivity(Length::from_nanometers(100.0));
+/// assert!((k.get() - 65.0).abs() < 2.0);
+/// ```
+#[must_use]
+pub fn lateral_conductivity(t: Length) -> ThermalConductivity {
+    suppressed(t, MFP_LATERAL)
+}
+
+fn suppressed(t: Length, mfp: Length) -> ThermalConductivity {
+    assert!(t.meters() > 0.0, "film thickness must be positive, got {t}");
+    ThermalConductivity::new(BULK_LIMIT.get() / (1.0 + mfp.meters() / t.meters()))
+}
+
+/// Fixed abstraction: vertical k of the 100 nm 3D device layer.
+pub const THIN_FILM_VERTICAL: ThermalConductivity = ThermalConductivity::new(30.0);
+
+/// Fixed abstraction: lateral k of the 100 nm 3D device layer.
+pub const THIN_FILM_LATERAL: ThermalConductivity = ThermalConductivity::new(65.0);
+
+/// Fixed abstraction: the 10 µm handle silicon.
+pub const HANDLE: ThermalConductivity = ThermalConductivity::new(180.0);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nm(v: f64) -> Length {
+        Length::from_nanometers(v)
+    }
+
+    #[test]
+    fn anchors_match_paper() {
+        assert!((vertical_conductivity(nm(100.0)).get() - 30.0).abs() < 1.0);
+        assert!((lateral_conductivity(nm(100.0)).get() - 65.0).abs() < 2.0);
+        assert!((vertical_conductivity(Length::from_micrometers(10.0)).get() - 180.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn lateral_beats_vertical_in_thin_films() {
+        for t in [50.0, 100.0, 200.0, 500.0] {
+            assert!(lateral_conductivity(nm(t)).get() > vertical_conductivity(nm(t)).get());
+        }
+    }
+
+    #[test]
+    fn anisotropy_vanishes_in_thick_films() {
+        let t = Length::from_micrometers(100.0);
+        let v = vertical_conductivity(t).get();
+        let l = lateral_conductivity(t).get();
+        assert!((l - v) / v < 0.01, "thick films are isotropic: {v} vs {l}");
+    }
+
+    #[test]
+    fn monotone_in_thickness() {
+        let mut last = 0.0;
+        for t in [10.0, 50.0, 100.0, 1000.0, 10_000.0] {
+            let k = vertical_conductivity(nm(t)).get();
+            assert!(k > last);
+            last = k;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "film thickness must be positive")]
+    fn zero_thickness_rejected() {
+        let _ = vertical_conductivity(Length::ZERO);
+    }
+}

@@ -1,0 +1,36 @@
+//! A 7 nm-class predictive metal stack — the ASAP7 substitute.
+//!
+//! The paper implements its flows on the ASAP7 PDK \[11\]. ASAP7's layer
+//! geometry is published; this crate reproduces the quantities the
+//! thermal/physical-design flows actually consume:
+//!
+//! * [`MetalStack`] — layer thicknesses/pitches of M1–M9 and the via
+//!   layers, the 240 nm M8/V8/M9 "scaffolding target" group, and the
+//!   per-layer dielectric assignment (ultra-low-k everywhere, or thermal
+//!   dielectric in the upper group — the scaffolding modification);
+//! * [`wire`] — per-length wire resistance and capacitance from layer
+//!   geometry and dielectric permittivity (parallel-plate + coupling),
+//!   and the repeatered-wire (buffered Elmore) delay per length that the
+//!   timing-penalty model builds on.
+//!
+//! # Example: the scaffolding dielectric swap
+//!
+//! ```
+//! use tsc_pdk::MetalStack;
+//!
+//! let baseline = MetalStack::asap7();
+//! let scaffolded = MetalStack::asap7().with_thermal_dielectric_upper();
+//! // Upper-layer signal capacitance doubles (ε 2 -> 4)...
+//! let c0 = baseline.upper_wire_capacitance_per_length();
+//! let c1 = scaffolded.upper_wire_capacitance_per_length();
+//! assert!((c1 / c0 - 2.0).abs() < 1e-9);
+//! // ...but repeatered delay only grows by sqrt(2) on those layers.
+//! let d0 = baseline.upper_repeatered_delay_per_length();
+//! let d1 = scaffolded.upper_repeatered_delay_per_length();
+//! assert!((d1 / d0 - 2.0_f64.sqrt()).abs() < 1e-6);
+//! ```
+
+mod stack;
+pub mod wire;
+
+pub use stack::{Layer, LayerGroup, MetalStack};

@@ -1,0 +1,116 @@
+//! Wire parasitics and delay-per-length models.
+//!
+//! Simple closed forms adequate for *ratio* analysis — the paper's delay
+//! penalties are relative numbers (3 %, 7 %, 17 %), so what matters is
+//! how delay responds to dielectric constant, wirelength and coupling
+//! loading, not absolute picoseconds.
+
+use crate::stack::Layer;
+use tsc_units::{RelativePermittivity, VACUUM_PERMITTIVITY};
+
+/// Copper resistivity at small dimensions (Ω·m). Bulk copper is
+/// 1.7e-8 Ω·m; surface/grain scattering at 7 nm-class wire dimensions
+/// roughly triples it.
+pub const COPPER_RESISTIVITY: f64 = 5.0e-8;
+
+/// Per-length resistance of a wire on `layer` (Ω/m): `ρ / (w·t)`.
+///
+/// ```
+/// use tsc_pdk::{wire, MetalStack};
+/// let s = MetalStack::asap7();
+/// let r_m2 = wire::resistance_per_length(s.layer("M2").expect("M2"));
+/// let r_m8 = wire::resistance_per_length(s.layer("M8").expect("M8"));
+/// assert!(r_m2 > r_m8); // thin wires resist more
+/// ```
+#[must_use]
+pub fn resistance_per_length(layer: &Layer) -> f64 {
+    COPPER_RESISTIVITY / (layer.width.meters() * layer.thickness.meters())
+}
+
+/// Per-length capacitance of a wire on `layer` (F/m): two sidewall
+/// (coupling) plates to neighbours at minimum spacing plus two
+/// area plates to the layers above/below (spaced one layer thickness),
+/// all in the given dielectric.
+#[must_use]
+pub fn capacitance_per_length(layer: &Layer, eps: RelativePermittivity) -> f64 {
+    let e = eps.get() * VACUUM_PERMITTIVITY;
+    let side = 2.0 * e * layer.thickness.meters() / layer.spacing().meters();
+    let updown = 2.0 * e * layer.width.meters() / layer.thickness.meters();
+    side + updown
+}
+
+/// Per-length delay of an optimally repeatered wire (s/m):
+/// `d/L = 2·sqrt(R_buf·C_buf·r·c)` up to a constant — we use the
+/// canonical `sqrt(r·c·R_buf·C_buf)` form with a 7 nm-class buffer
+/// (R_buf = 2 kΩ, C_buf = 0.1 fF).
+///
+/// Key property: delay per length scales with `sqrt(c)`, so doubling the
+/// dielectric constant costs `sqrt(2) ≈ 1.41×` on affected layers — the
+/// basis of the paper's "2× ε is acceptable" argument.
+#[must_use]
+pub fn repeatered_delay_per_length(layer: &Layer, eps: RelativePermittivity) -> f64 {
+    const R_BUF: f64 = 2.0e3;
+    const C_BUF: f64 = 1.0e-16;
+    let r = resistance_per_length(layer);
+    let c = capacitance_per_length(layer, eps);
+    2.0 * (R_BUF * C_BUF * r * c).sqrt()
+}
+
+/// Multiplicative delay factor from *extra* sidewall loading (dummy fill
+/// or adjacent grounded pillar metal): extra capacitance fraction `dc`
+/// slows a repeatered wire by `sqrt(1 + dc)`.
+#[must_use]
+pub fn coupling_slowdown(extra_cap_fraction: f64) -> f64 {
+    assert!(
+        extra_cap_fraction >= 0.0,
+        "extra capacitance cannot be negative, got {extra_cap_fraction}"
+    );
+    (1.0 + extra_cap_fraction).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stack::MetalStack;
+
+    fn m8() -> Layer {
+        MetalStack::asap7().layer("M8").expect("M8").clone()
+    }
+
+    #[test]
+    fn capacitance_linear_in_epsilon() {
+        let layer = m8();
+        let c2 = capacitance_per_length(&layer, RelativePermittivity::ULTRA_LOW_K);
+        let c4 = capacitance_per_length(&layer, RelativePermittivity::THERMAL_DIELECTRIC);
+        assert!((c4 / c2 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeatered_delay_scales_sqrt_epsilon() {
+        let layer = m8();
+        let d2 = repeatered_delay_per_length(&layer, RelativePermittivity::ULTRA_LOW_K);
+        let d4 = repeatered_delay_per_length(&layer, RelativePermittivity::THERMAL_DIELECTRIC);
+        assert!((d4 / d2 - 2.0_f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wire_cap_is_order_pf_per_cm() {
+        // Sanity: ~2 pF/cm is the canonical on-chip wire capacitance.
+        let layer = m8();
+        let c = capacitance_per_length(&layer, RelativePermittivity::ULTRA_LOW_K);
+        let pf_per_cm = c * 1e12 / 100.0;
+        assert!((0.2..20.0).contains(&pf_per_cm), "{pf_per_cm} pF/cm");
+    }
+
+    #[test]
+    fn coupling_slowdown_baseline() {
+        assert_eq!(coupling_slowdown(0.0), 1.0);
+        assert!((coupling_slowdown(1.0) - 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be negative")]
+    fn negative_coupling_rejected() {
+        let _ = coupling_slowdown(-0.1);
+    }
+}

@@ -1,0 +1,177 @@
+//! A small, generic simulated-annealing engine.
+//!
+//! Used by the thermal-aware floorplanner (the Corblivar substitute) and
+//! available for any other combinatorial search in the workspace.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A problem state that annealing can explore.
+pub trait AnnealState: Clone {
+    /// Proposes a random neighbour of `self`.
+    fn neighbour(&self, rng: &mut StdRng) -> Self;
+    /// Cost to minimize (lower is better). Must be finite.
+    fn cost(&self) -> f64;
+}
+
+/// Annealing schedule parameters.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Schedule {
+    /// Initial acceptance temperature (in cost units).
+    pub t_start: f64,
+    /// Final temperature; the run stops when reached.
+    pub t_end: f64,
+    /// Geometric cooling factor per round, in `(0, 1)`.
+    pub cooling: f64,
+    /// Proposals per temperature round.
+    pub moves_per_round: usize,
+}
+
+impl Schedule {
+    /// A schedule sized for floorplans of tens of modules.
+    #[must_use]
+    pub fn standard() -> Self {
+        Self {
+            t_start: 1.0,
+            t_end: 1e-4,
+            cooling: 0.92,
+            moves_per_round: 120,
+        }
+    }
+
+    /// A fast schedule for tests.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            t_start: 0.5,
+            t_end: 1e-3,
+            cooling: 0.85,
+            moves_per_round: 40,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.t_start > self.t_end && self.t_end > 0.0,
+            "need t_start > t_end > 0"
+        );
+        assert!(
+            self.cooling > 0.0 && self.cooling < 1.0,
+            "cooling must be in (0, 1)"
+        );
+        assert!(self.moves_per_round > 0, "moves_per_round must be positive");
+    }
+}
+
+/// Outcome of an annealing run.
+#[derive(Debug, Clone)]
+pub struct AnnealResult<S> {
+    /// The best state found.
+    pub best: S,
+    /// Cost of the best state.
+    pub best_cost: f64,
+    /// Total proposals evaluated.
+    pub proposals: usize,
+    /// Proposals accepted.
+    pub accepted: usize,
+}
+
+/// Runs simulated annealing from `initial` with the given schedule and
+/// RNG seed (runs are deterministic per seed).
+///
+/// # Panics
+///
+/// Panics if the schedule is invalid (see [`Schedule`] field docs).
+pub fn anneal<S: AnnealState>(initial: S, schedule: &Schedule, seed: u64) -> AnnealResult<S> {
+    schedule.validate();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut current = initial.clone();
+    let mut current_cost = current.cost();
+    let mut best = initial;
+    let mut best_cost = current_cost;
+    let mut proposals = 0;
+    let mut accepted = 0;
+
+    let mut t = schedule.t_start;
+    while t > schedule.t_end {
+        for _ in 0..schedule.moves_per_round {
+            let cand = current.neighbour(&mut rng);
+            let cand_cost = cand.cost();
+            proposals += 1;
+            let delta = cand_cost - current_cost;
+            if delta <= 0.0 || rng.gen::<f64>() < (-delta / t).exp() {
+                current = cand;
+                current_cost = cand_cost;
+                accepted += 1;
+                if current_cost < best_cost {
+                    best = current.clone();
+                    best_cost = current_cost;
+                }
+            }
+        }
+        t *= schedule.cooling;
+    }
+
+    AnnealResult {
+        best,
+        best_cost,
+        proposals,
+        accepted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy problem: minimize (x - 7)² over integers via ±1 moves.
+    #[derive(Clone, Debug)]
+    struct Quad(i64);
+
+    impl AnnealState for Quad {
+        fn neighbour(&self, rng: &mut StdRng) -> Self {
+            Quad(self.0 + if rng.gen::<bool>() { 1 } else { -1 })
+        }
+        fn cost(&self) -> f64 {
+            let d = (self.0 - 7) as f64;
+            d * d
+        }
+    }
+
+    #[test]
+    fn finds_the_minimum() {
+        let r = anneal(Quad(-40), &Schedule::standard(), 1);
+        assert_eq!(r.best.0, 7);
+        assert_eq!(r.best_cost, 0.0);
+        assert!(r.accepted > 0 && r.accepted <= r.proposals);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = anneal(Quad(-40), &Schedule::quick(), 42);
+        let b = anneal(Quad(-40), &Schedule::quick(), 42);
+        assert_eq!(a.best.0, b.best.0);
+        assert_eq!(a.proposals, b.proposals);
+        assert_eq!(a.accepted, b.accepted);
+    }
+
+    #[test]
+    fn best_cost_never_worse_than_initial() {
+        for seed in 0..5 {
+            let initial = Quad(100);
+            let c0 = initial.cost();
+            let r = anneal(initial, &Schedule::quick(), seed);
+            assert!(r.best_cost <= c0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cooling must be in (0, 1)")]
+    fn invalid_schedule_rejected() {
+        let bad = Schedule {
+            cooling: 1.5,
+            ..Schedule::quick()
+        };
+        let _ = anneal(Quad(0), &bad, 0);
+    }
+}

@@ -1,0 +1,604 @@
+//! Sequence-pair floorplanning with thermal-aware simulated annealing —
+//! the Corblivar \[31\] substitute of Sec. IIIB.
+//!
+//! A floorplan is encoded as a *sequence pair* `(Γ⁺, Γ⁻)`: module `a`
+//! sits left of `b` when `a` precedes `b` in both sequences, and below
+//! `b` when `a` precedes `b` in `Γ⁻` only. Positions follow from longest
+//! paths in the induced horizontal/vertical constraint graphs, which
+//! guarantees overlap-free placements by construction.
+//!
+//! The annealing cost blends die area with a fast peak-power-density
+//! proxy for temperature, swept by `temperature_weight` exactly as the
+//! paper sweeps its cost from 100 % area to 100 % temperature, under a
+//! half-perimeter wirelength budget.
+
+use crate::anneal::{anneal, AnnealState, Schedule};
+use rand::rngs::StdRng;
+use rand::Rng;
+use tsc_geometry::Rect;
+use tsc_units::{Area, HeatFlux, Length, Power, Ratio};
+
+/// A floorplan module (functional unit or macro).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Module {
+    /// Name, e.g. `"FPU"` or `"systolic-array"`.
+    pub name: String,
+    /// Module width.
+    pub width: Length,
+    /// Module height.
+    pub height: Length,
+    /// Peak power dissipated by the module.
+    pub power: Power,
+    /// Hard macros cannot be resized/rotated and exclude pillars.
+    pub is_macro: bool,
+}
+
+impl Module {
+    /// Creates a soft module.
+    #[must_use]
+    pub fn soft(name: impl Into<String>, width: Length, height: Length, power: Power) -> Self {
+        Self {
+            name: name.into(),
+            width,
+            height,
+            power,
+            is_macro: false,
+        }
+    }
+
+    /// Creates a hard macro.
+    #[must_use]
+    pub fn hard_macro(
+        name: impl Into<String>,
+        width: Length,
+        height: Length,
+        power: Power,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            width,
+            height,
+            power,
+            is_macro: true,
+        }
+    }
+
+    /// Module area.
+    #[must_use]
+    pub fn area(&self) -> Area {
+        self.width * self.height
+    }
+
+    /// Peak heat flux of the module.
+    #[must_use]
+    pub fn flux(&self) -> HeatFlux {
+        self.power / self.area()
+    }
+}
+
+/// A two-pin net between modules (by index), for HPWL accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Net {
+    /// First endpoint (module index).
+    pub a: usize,
+    /// Second endpoint (module index).
+    pub b: usize,
+}
+
+/// A placed floorplan: module rectangles plus bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Floorplan {
+    /// Placements, parallel to the input module list.
+    pub placements: Vec<Rect>,
+    /// Bounding box of the placement.
+    pub bounding_box: Rect,
+}
+
+impl Floorplan {
+    /// Total half-perimeter wirelength over `nets`.
+    #[must_use]
+    pub fn hpwl(&self, nets: &[Net]) -> Length {
+        nets.iter()
+            .map(|n| {
+                let ca = self.placements[n.a].center();
+                let cb = self.placements[n.b].center();
+                ca.manhattan_distance(cb)
+            })
+            .sum()
+    }
+
+    /// Die area (bounding box).
+    #[must_use]
+    pub fn area(&self) -> Area {
+        self.bounding_box.area()
+    }
+
+    /// `true` when no two placements overlap (sequence-pair placements
+    /// always satisfy this; exposed for validation).
+    #[must_use]
+    pub fn is_legal(&self) -> bool {
+        for i in 0..self.placements.len() {
+            for j in (i + 1)..self.placements.len() {
+                if self.placements[i].intersects(&self.placements[j]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// The peak local power density (W/m²) over a coarse grid, smoothed over
+/// a spreading radius — the fast thermal proxy inside the SA loop.
+///
+/// The proxy correlates with junction temperature: clustered hot modules
+/// score worse than spread ones.
+#[must_use]
+pub fn hotspot_proxy(modules: &[Module], plan: &Floorplan) -> HeatFlux {
+    const GRID: usize = 24;
+    let bb = plan.bounding_box;
+    if bb.area().square_meters() <= 0.0 {
+        return HeatFlux::ZERO;
+    }
+    let mut density = vec![0.0_f64; GRID * GRID];
+    let dx = bb.width() / GRID as f64;
+    let dy = bb.height() / GRID as f64;
+    let cell_area = (dx * dy).square_meters();
+    for (m, r) in modules.iter().zip(&plan.placements) {
+        // Deposit module power over covered cells.
+        for gj in 0..GRID {
+            for gi in 0..GRID {
+                let cell = Rect::from_origin_size(
+                    bb.min_x() + dx * gi as f64,
+                    bb.min_y() + dy * gj as f64,
+                    dx,
+                    dy,
+                );
+                if let Some(ov) = cell.intersection(r) {
+                    let share = ov.area().square_meters() / r.area().square_meters();
+                    density[gj * GRID + gi] += m.power.watts() * share / cell_area;
+                }
+            }
+        }
+    }
+    // Repeated smoothing passes approximate lateral spreading in the
+    // stack (a spreading radius of a few grid cells): the proxy then
+    // rewards *separating* hot modules, not just shrinking them.
+    let mut smooth = density;
+    for _ in 0..6 {
+        let mut next = vec![0.0_f64; GRID * GRID];
+        for j in 0..GRID {
+            for i in 0..GRID {
+                let mut acc = 0.0;
+                let mut w = 0.0;
+                for (di, dj, wt) in [
+                    (0i64, 0i64, 2.0),
+                    (1, 0, 1.0),
+                    (-1, 0, 1.0),
+                    (0, 1, 1.0),
+                    (0, -1, 1.0),
+                ] {
+                    let ii = i as i64 + di;
+                    let jj = j as i64 + dj;
+                    if (0..GRID as i64).contains(&ii) && (0..GRID as i64).contains(&jj) {
+                        acc += wt * smooth[jj as usize * GRID + ii as usize];
+                        w += wt;
+                    }
+                }
+                next[j * GRID + i] = acc / w;
+            }
+        }
+        smooth = next;
+    }
+    HeatFlux::new(smooth.iter().copied().fold(0.0, f64::max))
+}
+
+/// Configuration of the thermal-aware floorplanner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FloorplanConfig {
+    /// Weight of the temperature proxy in the cost, in `[0, 1]`:
+    /// `0` = pure area (timing-driven), `1` = pure temperature.
+    pub temperature_weight: Ratio,
+    /// HPWL budget as a multiple of the initial plan's HPWL (the paper
+    /// keeps wirelength growth within 5 %).
+    pub wirelength_budget: Ratio,
+    /// Annealing schedule.
+    pub schedule: Schedule,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FloorplanConfig {
+    fn default() -> Self {
+        Self {
+            temperature_weight: Ratio::ZERO,
+            wirelength_budget: Ratio::from_percent(105.0),
+            schedule: Schedule::standard(),
+            seed: 7,
+        }
+    }
+}
+
+/// Sequence-pair state explored by the annealer.
+#[derive(Clone)]
+struct SpState<'a> {
+    modules: &'a [Module],
+    nets: &'a [Net],
+    gamma_pos: Vec<usize>,
+    gamma_neg: Vec<usize>,
+    rotated: Vec<bool>,
+    temperature_weight: f64,
+    // Normalizers fixed at construction so cost terms are comparable.
+    area_norm: f64,
+    flux_norm: f64,
+    hpwl_limit: f64,
+}
+
+impl SpState<'_> {
+    fn place(&self) -> Floorplan {
+        place_sequence_pair(
+            self.modules,
+            &self.gamma_pos,
+            &self.gamma_neg,
+            &self.rotated,
+        )
+    }
+}
+
+impl AnnealState for SpState<'_> {
+    fn neighbour(&self, rng: &mut StdRng) -> Self {
+        let mut s = self.clone();
+        let n = s.gamma_pos.len();
+        if n < 2 {
+            return s;
+        }
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        match rng.gen_range(0..3) {
+            0 => s.gamma_pos.swap(i, j),
+            1 => {
+                s.gamma_pos.swap(i, j);
+                s.gamma_neg.swap(i, j);
+            }
+            _ => {
+                // Rotate a random soft module.
+                let m = rng.gen_range(0..n);
+                if !s.modules[m].is_macro {
+                    s.rotated[m] = !s.rotated[m];
+                }
+            }
+        }
+        s
+    }
+
+    fn cost(&self) -> f64 {
+        let plan = self.place();
+        let area = plan.area().square_meters() / self.area_norm;
+        let flux = hotspot_proxy(self.modules, &plan).watts_per_square_meter() / self.flux_norm;
+        let hpwl = plan.hpwl(self.nets).meters();
+        let over = (hpwl / self.hpwl_limit - 1.0).max(0.0);
+        let w = self.temperature_weight;
+        (1.0 - w) * area + w * flux + 10.0 * over
+    }
+}
+
+/// Places a sequence pair by longest-path evaluation.
+///
+/// # Panics
+///
+/// Panics if the sequences are not permutations of `0..modules.len()`.
+#[must_use]
+pub fn place_sequence_pair(
+    modules: &[Module],
+    gamma_pos: &[usize],
+    gamma_neg: &[usize],
+    rotated: &[bool],
+) -> Floorplan {
+    let n = modules.len();
+    assert!(
+        gamma_pos.len() == n && gamma_neg.len() == n && rotated.len() == n,
+        "sequence/rotation lengths must match module count"
+    );
+    // Position of each module in each sequence.
+    let mut pos_p = vec![0usize; n];
+    let mut pos_n = vec![0usize; n];
+    for (idx, &m) in gamma_pos.iter().enumerate() {
+        pos_p[m] = idx;
+    }
+    for (idx, &m) in gamma_neg.iter().enumerate() {
+        pos_n[m] = idx;
+    }
+    let dims = |m: usize| -> (f64, f64) {
+        let (w, h) = (modules[m].width.meters(), modules[m].height.meters());
+        if rotated[m] {
+            (h, w)
+        } else {
+            (w, h)
+        }
+    };
+    // Longest-path x: process modules in Γ⁺ order; x[b] = max over a
+    // "left of b" of x[a] + w[a]. a is left of b iff it precedes b in
+    // both sequences.
+    let mut x = vec![0.0_f64; n];
+    let mut y = vec![0.0_f64; n];
+    for &b in gamma_pos {
+        let mut best = 0.0_f64;
+        for a in 0..n {
+            if a != b && pos_p[a] < pos_p[b] && pos_n[a] < pos_n[b] {
+                best = best.max(x[a] + dims(a).0);
+            }
+        }
+        x[b] = best;
+    }
+    // Longest-path y: a is below b iff a follows b in Γ⁺ but precedes it
+    // in Γ⁻.
+    for &b in gamma_neg.iter() {
+        let mut best = 0.0_f64;
+        for a in 0..n {
+            if a != b && pos_p[a] > pos_p[b] && pos_n[a] < pos_n[b] {
+                best = best.max(y[a] + dims(a).1);
+            }
+        }
+        y[b] = best;
+    }
+    let placements: Vec<Rect> = (0..n)
+        .map(|m| {
+            let (w, h) = dims(m);
+            Rect::from_origin_size(
+                Length::from_meters(x[m]),
+                Length::from_meters(y[m]),
+                Length::from_meters(w),
+                Length::from_meters(h),
+            )
+        })
+        .collect();
+    let bounding_box = placements
+        .iter()
+        .fold(None::<Rect>, |acc, r| {
+            Some(match acc {
+                None => *r,
+                Some(bb) => bb.union(r),
+            })
+        })
+        .unwrap_or_else(|| {
+            Rect::from_origin_size(Length::ZERO, Length::ZERO, Length::ZERO, Length::ZERO)
+        });
+    // Anchor the bounding box at the origin.
+    Floorplan {
+        placements,
+        bounding_box,
+    }
+}
+
+/// Result of a floorplanning run.
+#[derive(Debug, Clone)]
+pub struct FloorplanResult {
+    /// The chosen plan.
+    pub plan: Floorplan,
+    /// Peak power-density proxy of the plan.
+    pub hotspot: HeatFlux,
+    /// HPWL of the plan.
+    pub wirelength: Length,
+}
+
+/// Runs thermal-aware floorplanning over `modules` and `nets`.
+///
+/// # Panics
+///
+/// Panics if `modules` is empty or `temperature_weight` is not in `[0, 1]`.
+#[must_use]
+pub fn floorplan(modules: &[Module], nets: &[Net], config: &FloorplanConfig) -> FloorplanResult {
+    assert!(!modules.is_empty(), "floorplan needs at least one module");
+    assert!(
+        config.temperature_weight.is_proper(),
+        "temperature weight must be within [0, 1]"
+    );
+    let n = modules.len();
+    let identity: Vec<usize> = (0..n).collect();
+    let rotated = vec![false; n];
+    let initial_plan = place_sequence_pair(modules, &identity, &identity, &rotated);
+    let total_area: f64 = modules.iter().map(|m| m.area().square_meters()).sum();
+    let flux_norm = hotspot_proxy(modules, &initial_plan)
+        .watts_per_square_meter()
+        .max(1e-9);
+    let mk_state = |weight: f64, hpwl_limit: f64| SpState {
+        modules,
+        nets,
+        gamma_pos: identity.clone(),
+        gamma_neg: identity.clone(),
+        rotated: rotated.clone(),
+        temperature_weight: weight,
+        area_norm: total_area.max(1e-18),
+        flux_norm,
+        hpwl_limit,
+    };
+    // The wirelength budget is relative to the *timing-driven* plan
+    // (Sec. IIIB keeps wirelength growth within 5 % of it), so run a
+    // pure-area pass first to establish that reference.
+    let reference_hpwl = if config.temperature_weight.fraction() > 0.0 {
+        let area_only = anneal(mk_state(0.0, f64::INFINITY), &config.schedule, config.seed);
+        area_only.best.place().hpwl(nets).meters().max(1e-12)
+    } else {
+        initial_plan.hpwl(nets).meters().max(1e-12)
+    };
+    let initial = mk_state(
+        config.temperature_weight.fraction(),
+        reference_hpwl * config.wirelength_budget.fraction(),
+    );
+    let result = anneal(initial, &config.schedule, config.seed);
+    let plan = result.best.place();
+    let hotspot = hotspot_proxy(modules, &plan);
+    let wirelength = plan.hpwl(nets);
+    FloorplanResult {
+        plan,
+        hotspot,
+        wirelength,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn um(v: f64) -> Length {
+        Length::from_micrometers(v)
+    }
+
+    fn modules() -> Vec<Module> {
+        vec![
+            Module::soft("array", um(200.0), um(200.0), Power::from_watts(0.5)),
+            Module::soft("ctrl", um(100.0), um(60.0), Power::from_watts(0.05)),
+            Module::hard_macro("sram0", um(80.0), um(120.0), Power::from_watts(0.08)),
+            Module::hard_macro("sram1", um(80.0), um(120.0), Power::from_watts(0.08)),
+            Module::soft("dma", um(60.0), um(60.0), Power::from_watts(0.03)),
+            Module::soft("fpu", um(90.0), um(70.0), Power::from_watts(0.2)),
+        ]
+    }
+
+    fn nets() -> Vec<Net> {
+        vec![
+            Net { a: 0, b: 1 },
+            Net { a: 0, b: 2 },
+            Net { a: 0, b: 3 },
+            Net { a: 1, b: 4 },
+            Net { a: 0, b: 5 },
+        ]
+    }
+
+    #[test]
+    fn sequence_pair_placement_is_legal() {
+        let ms = modules();
+        let n = ms.len();
+        let id: Vec<usize> = (0..n).collect();
+        let plan = place_sequence_pair(&ms, &id, &id, &vec![false; n]);
+        assert!(plan.is_legal());
+        // Identity pair places everything in one row.
+        let total_w: f64 = ms.iter().map(|m| m.width.meters()).sum();
+        assert!((plan.bounding_box.width().meters() - total_w).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversed_negative_sequence_stacks_vertically() {
+        let ms = modules();
+        let n = ms.len();
+        let id: Vec<usize> = (0..n).collect();
+        let rev: Vec<usize> = (0..n).rev().collect();
+        let plan = place_sequence_pair(&ms, &id, &rev, &vec![false; n]);
+        assert!(plan.is_legal());
+        let total_h: f64 = ms.iter().map(|m| m.height.meters()).sum();
+        assert!((plan.bounding_box.height().meters() - total_h).abs() < 1e-12);
+    }
+
+    #[test]
+    fn annealing_packs_tighter_than_a_row() {
+        let ms = modules();
+        let n = ms.len();
+        let id: Vec<usize> = (0..n).collect();
+        let row = place_sequence_pair(&ms, &id, &id, &vec![false; n]);
+        let cfg = FloorplanConfig {
+            schedule: Schedule::quick(),
+            ..FloorplanConfig::default()
+        };
+        let result = floorplan(&ms, &nets(), &cfg);
+        assert!(result.plan.is_legal());
+        assert!(
+            result.plan.area().square_meters() < row.area().square_meters(),
+            "SA should beat the single-row layout"
+        );
+        // Dead space under 2x of module area.
+        let total: f64 = ms.iter().map(|m| m.area().square_meters()).sum();
+        assert!(result.plan.area().square_meters() < 2.0 * total);
+    }
+
+    #[test]
+    fn temperature_weighting_trades_area_for_cooler_plans() {
+        // The Sec. IIIB observation: 100% temperature weighting costs
+        // extra area but lowers the hotspot proxy.
+        let ms = modules();
+        let cool_cfg = FloorplanConfig {
+            temperature_weight: Ratio::ONE,
+            wirelength_budget: Ratio::from_percent(400.0),
+            schedule: Schedule::quick(),
+            seed: 3,
+        };
+        let tight_cfg = FloorplanConfig {
+            temperature_weight: Ratio::ZERO,
+            wirelength_budget: Ratio::from_percent(400.0),
+            schedule: Schedule::quick(),
+            seed: 3,
+        };
+        let cool = floorplan(&ms, &nets(), &cool_cfg);
+        let tight = floorplan(&ms, &nets(), &tight_cfg);
+        assert!(
+            cool.hotspot.watts_per_square_meter() <= tight.hotspot.watts_per_square_meter() * 1.001,
+            "temperature weighting should not raise the hotspot: {} vs {}",
+            cool.hotspot.watts_per_square_cm(),
+            tight.hotspot.watts_per_square_cm()
+        );
+        assert!(
+            cool.plan.area().square_meters() >= tight.plan.area().square_meters() * 0.999,
+            "cooler plans spend area"
+        );
+    }
+
+    #[test]
+    fn rotation_skips_macros() {
+        let ms = modules();
+        let cfg = FloorplanConfig {
+            schedule: Schedule::quick(),
+            ..FloorplanConfig::default()
+        };
+        let result = floorplan(&ms, &nets(), &cfg);
+        // Hard macros keep their aspect (80 x 120).
+        for (m, r) in ms.iter().zip(&result.plan.placements) {
+            if m.is_macro {
+                let kept = (r.width().meters() - m.width.meters()).abs() < 1e-12;
+                assert!(kept, "macro {} must not rotate", m.name);
+            }
+        }
+    }
+
+    #[test]
+    fn hotspot_proxy_prefers_spread_heat() {
+        // Two hot modules adjacent vs far apart.
+        let hot = |name: &str| Module::soft(name, um(50.0), um(50.0), Power::from_watts(0.5));
+        let ms = vec![hot("a"), hot("b")];
+        let adjacent = Floorplan {
+            placements: vec![
+                Rect::from_origin_size(um(0.0), um(0.0), um(50.0), um(50.0)),
+                Rect::from_origin_size(um(50.0), um(0.0), um(50.0), um(50.0)),
+            ],
+            bounding_box: Rect::from_origin_size(um(0.0), um(0.0), um(100.0), um(100.0)),
+        };
+        let spread = Floorplan {
+            placements: vec![
+                Rect::from_origin_size(um(0.0), um(0.0), um(50.0), um(50.0)),
+                Rect::from_origin_size(um(50.0), um(50.0), um(50.0), um(50.0)),
+            ],
+            bounding_box: Rect::from_origin_size(um(0.0), um(0.0), um(100.0), um(100.0)),
+        };
+        let pa = hotspot_proxy(&ms, &adjacent);
+        let ps = hotspot_proxy(&ms, &spread);
+        assert!(
+            ps.watts_per_square_meter() <= pa.watts_per_square_meter() * (1.0 + 1e-9),
+            "spreading heat must not raise the proxy: {pa} vs {ps}"
+        );
+    }
+
+    #[test]
+    fn hpwl_accounts_all_nets() {
+        let ms = modules();
+        let n = ms.len();
+        let id: Vec<usize> = (0..n).collect();
+        let plan = place_sequence_pair(&ms, &id, &id, &vec![false; n]);
+        let one = plan.hpwl(&[Net { a: 0, b: 1 }]);
+        let two = plan.hpwl(&[Net { a: 0, b: 1 }, Net { a: 0, b: 1 }]);
+        assert!((two.meters() - 2.0 * one.meters()).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one module")]
+    fn empty_module_list_rejected() {
+        let _ = floorplan(&[], &[], &FloorplanConfig::default());
+    }
+}

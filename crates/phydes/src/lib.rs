@@ -1,0 +1,32 @@
+//! Physical-design substrate: floorplanning, dummy fill, timing
+//! penalties, power estimation and thermal-aware task scheduling.
+//!
+//! This crate stands in for the commercial flow of Fig. 6 (Innovus
+//! floorplanning and fill, Corblivar simulated annealing, DC/PTPX power
+//! estimation) with open reimplementations of the published algorithms:
+//!
+//! * [`floorplan`] — sequence-pair floorplanning with simulated
+//!   annealing; the cost blends area and a fast peak-temperature proxy
+//!   with the weight sweep of Sec. IIIB, under an HPWL wirelength
+//!   constraint;
+//! * [`anneal`] — the generic annealing engine behind it;
+//! * [`fill`] — the timing-aware dummy-fill model: achievable fill
+//!   density rises with area slack (Fig. 7b), bought with coupling
+//!   capacitance; dummy *vias* convert fill into vertical conduction;
+//! * [`timing`] — the critical-path delay-penalty model calibrated to
+//!   the paper's three design points (scaffolding 10 % area → 3 % delay;
+//!   pillars-only 34 % → 7 %; dummy fill 78 % → 17 %);
+//! * [`power`] — activity-based module power (utilization scaling of
+//!   Sec. IIIC, 72 % simulated → 100 % worst-case);
+//! * [`schedule`] — thermal-aware task assignment: rank tier copies by
+//!   simulated thermal resistance, give the hottest-running copies the
+//!   coolest tasks (Sec. IIIB).
+
+pub mod anneal;
+pub mod fill;
+pub mod floorplan;
+pub mod power;
+pub mod schedule;
+pub mod synthesis;
+pub mod timing;
+pub mod trace;

@@ -1,0 +1,174 @@
+//! Activity-based power estimation — the VCS/PrimePower substitute.
+//!
+//! The paper simulates benchmark activity (spmv on Rocket, matrix
+//! multiplication on the systolic array), extracts per-functional-unit
+//! maximum power, and scales systolic-array power from the simulated
+//! 72 % utilization to a 100 % worst case. The thermal flows only
+//! consume the resulting W/cm² maps, so this module models exactly
+//! that: nominal peak densities per unit type, scaled by utilization
+//! and clock frequency.
+
+use tsc_units::{Frequency, HeatFlux, Ratio};
+
+/// Functional-unit classes with their peak power densities at 100 %
+/// utilization and the nominal 1 GHz clock (values consistent with the
+/// Fig. 8 power maps: the systolic array peaks at 95 W/cm² at 1 GHz, and
+/// the Rocket pipeline reaches the ~120 W/cm² top of the Fig. 8c color
+/// scale at its 1.25 GHz clock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum UnitClass {
+    /// Systolic-array processing elements.
+    SystolicArray,
+    /// In-order scalar pipeline.
+    ScalarCore,
+    /// Floating-point unit.
+    Fpu,
+    /// SRAM macro (cache/scratchpad).
+    Sram,
+    /// Control / miscellaneous logic.
+    Control,
+    /// Page-table walker and MMU logic.
+    Mmu,
+}
+
+impl UnitClass {
+    /// Peak power density at 100 % utilization, 1 GHz.
+    #[must_use]
+    pub fn nominal_density(self) -> HeatFlux {
+        let w_per_cm2 = match self {
+            Self::SystolicArray => 95.0,
+            Self::ScalarCore => 96.0,
+            Self::Fpu => 90.0,
+            Self::Sram => 25.0,
+            Self::Control => 40.0,
+            Self::Mmu => 35.0,
+        };
+        HeatFlux::from_watts_per_square_cm(w_per_cm2)
+    }
+
+    /// Leakage floor as a fraction of nominal (dissipated even at zero
+    /// utilization).
+    #[must_use]
+    pub fn leakage_fraction(self) -> Ratio {
+        match self {
+            Self::Sram => Ratio::from_percent(30.0),
+            _ => Ratio::from_percent(10.0),
+        }
+    }
+}
+
+/// The utilization measured in the paper's simulated matmul workload.
+#[must_use]
+pub fn simulated_utilization() -> Ratio {
+    Ratio::from_percent(72.0)
+}
+
+/// Power density of a unit at the given utilization and clock:
+/// `leakage + (1 − leakage) · u · (f / 1 GHz)` of nominal.
+///
+/// # Panics
+///
+/// Panics if `utilization` is outside `[0, 1]` or `clock` non-positive.
+///
+/// ```
+/// use tsc_phydes::power::{density, UnitClass};
+/// use tsc_units::{Frequency, Ratio};
+///
+/// let full = density(UnitClass::SystolicArray, Ratio::ONE, Frequency::from_gigahertz(1.0));
+/// assert!((full.watts_per_square_cm() - 95.0).abs() < 1e-9);
+/// let sim = density(UnitClass::SystolicArray, Ratio::from_percent(72.0),
+///     Frequency::from_gigahertz(1.0));
+/// assert!(sim < full);
+/// ```
+#[must_use]
+pub fn density(class: UnitClass, utilization: Ratio, clock: Frequency) -> HeatFlux {
+    assert!(
+        utilization.is_proper(),
+        "utilization must be within [0, 1], got {utilization}"
+    );
+    assert!(clock.get() > 0.0, "clock must be positive");
+    let nominal = class.nominal_density();
+    let leak = class.leakage_fraction().fraction();
+    let f_scale = clock.gigahertz();
+    let dynamic = (1.0 - leak) * utilization.fraction() * f_scale;
+    nominal * (leak + dynamic)
+}
+
+/// Worst-case scaling of Sec. IIIC: measured density at simulated
+/// utilization, scaled to the 100 % worst case.
+#[must_use]
+pub fn worst_case_from_simulated(measured: HeatFlux) -> HeatFlux {
+    measured * (1.0 / simulated_utilization().fraction())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_at_full_utilization() {
+        let d = density(
+            UnitClass::SystolicArray,
+            Ratio::ONE,
+            Frequency::from_gigahertz(1.0),
+        );
+        assert!((d.watts_per_square_cm() - 95.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leakage_floor_at_idle() {
+        let d = density(UnitClass::Sram, Ratio::ZERO, Frequency::from_gigahertz(1.0));
+        assert!((d.watts_per_square_cm() - 0.3 * 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotone_in_utilization_and_clock() {
+        let ghz = Frequency::from_gigahertz(1.0);
+        let half = density(UnitClass::Fpu, Ratio::from_percent(50.0), ghz);
+        let full = density(UnitClass::Fpu, Ratio::ONE, ghz);
+        assert!(half < full);
+        let fast = density(UnitClass::Fpu, Ratio::ONE, Frequency::from_gigahertz(1.25));
+        assert!(full < fast);
+    }
+
+    #[test]
+    fn worst_case_scaling_matches_paper() {
+        // 72% simulated -> 100%: measured * (100/72).
+        let measured = HeatFlux::from_watts_per_square_cm(68.4);
+        let wc = worst_case_from_simulated(measured);
+        assert!((wc.watts_per_square_cm() - 95.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn scalar_core_is_the_hottest_class() {
+        let ghz = Frequency::from_gigahertz(1.0);
+        let core = density(UnitClass::ScalarCore, Ratio::ONE, ghz);
+        for c in [
+            UnitClass::SystolicArray,
+            UnitClass::Fpu,
+            UnitClass::Sram,
+            UnitClass::Control,
+            UnitClass::Mmu,
+        ] {
+            assert!(density(c, Ratio::ONE, ghz) <= core);
+        }
+        // At Rocket's 1.25 GHz clock the pipeline reaches the top of the
+        // Fig. 8c color scale (~120 W/cm²).
+        let fast = density(
+            UnitClass::ScalarCore,
+            Ratio::ONE,
+            Frequency::from_gigahertz(1.25),
+        );
+        assert!((fast.watts_per_square_cm() - 117.6).abs() < 0.5, "{fast}");
+    }
+
+    #[test]
+    #[should_panic(expected = "within [0, 1]")]
+    fn utilization_validated() {
+        let _ = density(
+            UnitClass::Fpu,
+            Ratio::from_percent(150.0),
+            Frequency::from_gigahertz(1.0),
+        );
+    }
+}

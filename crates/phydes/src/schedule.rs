@@ -1,0 +1,226 @@
+//! Thermal-aware task scheduling (Sec. IIIB).
+//!
+//! An `N`-tier design carries `N` copies of the same core. The paper
+//! ranks copies by *effective thermal resistance* — simulate each copy
+//! alone (all others gated) and compare peak temperatures — then assigns
+//! the highest-power tasks to the copies with the lowest resistance
+//! (those closest to the heatsink). This mimics thermal-aware task
+//! assignment of known workloads; the paper notes dynamic swapping \[4\]
+//! achieves similar results.
+
+use tsc_units::{Power, TempDelta};
+
+/// One tier copy's measured standing: its index and the peak temperature
+/// rise when running alone.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TierRanking {
+    /// Tier index (0 = closest to the heatsink).
+    pub tier: usize,
+    /// Peak rise above ambient with all other tiers power-gated.
+    pub solo_rise: TempDelta,
+}
+
+/// A schedulable task with its power draw.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Task {
+    /// Task name.
+    pub name: String,
+    /// Power the task dissipates on whichever tier runs it.
+    pub power: Power,
+}
+
+impl Task {
+    /// Creates a task.
+    #[must_use]
+    pub fn new(name: impl Into<String>, power: Power) -> Self {
+        Self {
+            name: name.into(),
+            power,
+        }
+    }
+}
+
+/// Ranks tiers by effective thermal resistance (coolest-running first).
+///
+/// Ties preserve tier order (lower tiers first), matching the physical
+/// intuition that lower tiers sit closer to the sink.
+#[must_use]
+pub fn rank_tiers(mut rankings: Vec<TierRanking>) -> Vec<TierRanking> {
+    rankings.sort_by(|a, b| {
+        a.solo_rise
+            .kelvin()
+            .partial_cmp(&b.solo_rise.kelvin())
+            .expect("temperature rises are finite")
+            .then(a.tier.cmp(&b.tier))
+    });
+    rankings
+}
+
+/// Assigns tasks to tiers: highest-power task onto the
+/// lowest-resistance tier, and so on. Returns `(tier, task index)`
+/// pairs, one per task (tasks beyond the tier count are unassigned and
+/// omitted).
+///
+/// ```
+/// use tsc_phydes::schedule::{assign, Task, TierRanking};
+/// use tsc_units::{Power, TempDelta};
+///
+/// let rankings = vec![
+///     TierRanking { tier: 0, solo_rise: TempDelta::new(2.0) },
+///     TierRanking { tier: 1, solo_rise: TempDelta::new(5.0) },
+/// ];
+/// let tasks = vec![
+///     Task::new("light", Power::from_watts(1.0)),
+///     Task::new("heavy", Power::from_watts(10.0)),
+/// ];
+/// let plan = assign(rankings, &tasks);
+/// // The heavy task (index 1) lands on the low-resistance tier 0.
+/// assert_eq!(plan[0], (0, 1));
+/// assert_eq!(plan[1], (1, 0));
+/// ```
+#[must_use]
+pub fn assign(rankings: Vec<TierRanking>, tasks: &[Task]) -> Vec<(usize, usize)> {
+    let ranked = rank_tiers(rankings);
+    let mut task_order: Vec<usize> = (0..tasks.len()).collect();
+    task_order.sort_by(|&a, &b| {
+        tasks[b]
+            .power
+            .watts()
+            .partial_cmp(&tasks[a].power.watts())
+            .expect("powers are finite")
+            .then(a.cmp(&b))
+    });
+    ranked
+        .into_iter()
+        .zip(task_order)
+        .map(|(r, t)| (r.tier, t))
+        .collect()
+}
+
+/// The total "thermal work" of an assignment: Σ power × solo-rise of the
+/// hosting tier. Lower is better; the greedy assignment minimizes this
+/// by the rearrangement inequality.
+#[must_use]
+pub fn thermal_work(
+    rankings: &[TierRanking],
+    tasks: &[Task],
+    assignment: &[(usize, usize)],
+) -> f64 {
+    assignment
+        .iter()
+        .map(|&(tier, task)| {
+            let rise = rankings
+                .iter()
+                .find(|r| r.tier == tier)
+                .expect("tier exists")
+                .solo_rise
+                .kelvin();
+            tasks[task].power.watts() * rise
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rankings() -> Vec<TierRanking> {
+        vec![
+            TierRanking {
+                tier: 0,
+                solo_rise: TempDelta::new(1.0),
+            },
+            TierRanking {
+                tier: 1,
+                solo_rise: TempDelta::new(3.0),
+            },
+            TierRanking {
+                tier: 2,
+                solo_rise: TempDelta::new(6.0),
+            },
+        ]
+    }
+
+    fn tasks() -> Vec<Task> {
+        vec![
+            Task::new("medium", Power::from_watts(5.0)),
+            Task::new("heavy", Power::from_watts(9.0)),
+            Task::new("light", Power::from_watts(1.0)),
+        ]
+    }
+
+    #[test]
+    fn ranking_sorts_by_rise() {
+        let shuffled = vec![rankings()[2], rankings()[0], rankings()[1]];
+        let ranked = rank_tiers(shuffled);
+        assert_eq!(
+            ranked.iter().map(|r| r.tier).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn heavy_tasks_get_cool_tiers() {
+        let plan = assign(rankings(), &tasks());
+        // Tier 0 (coolest) hosts task 1 (heavy 9 W).
+        assert_eq!(plan[0], (0, 1));
+        // Tier 2 (hottest) hosts task 2 (light 1 W).
+        assert_eq!(plan[2], (2, 2));
+    }
+
+    #[test]
+    fn greedy_beats_reversed_assignment() {
+        let r = rankings();
+        let t = tasks();
+        let greedy = assign(r.clone(), &t);
+        let reversed: Vec<(usize, usize)> = vec![(0, 2), (1, 0), (2, 1)];
+        assert!(thermal_work(&r, &t, &greedy) < thermal_work(&r, &t, &reversed));
+    }
+
+    #[test]
+    fn greedy_is_optimal_over_all_permutations() {
+        // Rearrangement inequality, verified exhaustively for 3 tasks.
+        let r = rankings();
+        let t = tasks();
+        let greedy_work = thermal_work(&r, &t, &assign(r.clone(), &t));
+        let perms = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
+        for p in perms {
+            let a: Vec<(usize, usize)> =
+                p.iter().enumerate().map(|(tier, &tk)| (tier, tk)).collect();
+            assert!(greedy_work <= thermal_work(&r, &t, &a) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn more_tasks_than_tiers_drops_the_coolest_tasks() {
+        let mut t = tasks();
+        t.push(Task::new("extra", Power::from_watts(0.5)));
+        let plan = assign(rankings(), &t);
+        assert_eq!(plan.len(), 3);
+        // The 0.5 W task is unassigned.
+        assert!(plan.iter().all(|&(_, task)| task != 3));
+    }
+
+    #[test]
+    fn tie_breaking_is_deterministic() {
+        let r = vec![
+            TierRanking {
+                tier: 1,
+                solo_rise: TempDelta::new(2.0),
+            },
+            TierRanking {
+                tier: 0,
+                solo_rise: TempDelta::new(2.0),
+            },
+        ];
+        let ranked = rank_tiers(r);
+        assert_eq!(ranked[0].tier, 0, "ties resolve to the lower tier");
+    }
+}

@@ -1,0 +1,190 @@
+//! Synthesis-time period/area trade — the Design Compiler substitute of
+//! Sec. IIIC.
+//!
+//! The paper sweeps the synthesis target period from 0.1 ns to 2 ns:
+//! synthesis fails to close below 0.7 ns (Rocket) / 0.9 ns (Gemmini),
+//! and relaxing from that minimum to 0.8 ns / 1.0 ns buys ~10 % area
+//! (fewer buffers, smaller cells). We model the classic area-vs-period
+//! banana curve `A(T) = A∞ · (1 + c/(T − T_min))`, calibrated to those
+//! two published points, and the timing report arithmetic (delay =
+//! target period + worst negative slack) used for the penalty metric.
+
+use tsc_units::{Delay, Ratio};
+
+/// The area-vs-target-period model of one design's synthesis run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SynthesisModel {
+    /// Below this target period synthesis does not close.
+    pub min_period: Delay,
+    /// Asymptotic (fully relaxed) area, arbitrary units.
+    pub relaxed_area: f64,
+    /// Curvature constant of the banana curve (seconds).
+    pub curvature: f64,
+}
+
+impl SynthesisModel {
+    /// Rocket: closes at 0.7 ns; 0.8 ns target recovers ~10 % area.
+    #[must_use]
+    pub fn rocket() -> Self {
+        Self::calibrated(Delay::from_nanoseconds(0.7), Delay::from_nanoseconds(0.8))
+    }
+
+    /// Gemmini: closes at 0.9 ns; 1.0 ns target recovers ~10 % area.
+    #[must_use]
+    pub fn gemmini() -> Self {
+        Self::calibrated(Delay::from_nanoseconds(0.9), Delay::from_nanoseconds(1.0))
+    }
+
+    /// Calibrates the curve so that the area at `min_period` is ~10 %
+    /// above the area at `target` (the paper's reported saving), with
+    /// the relaxed area normalized to 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `target > min_period`.
+    #[must_use]
+    pub fn calibrated(min_period: Delay, target: Delay) -> Self {
+        assert!(
+            target > min_period,
+            "target period must exceed the closure minimum"
+        );
+        // A(T) = 1 + c/(T - Tmin). Pick c so A(T_min + eps_syn)/A(target)
+        // = 1.10, where eps_syn is the smallest slack synthesis actually
+        // achieves at the wall (~2% of Tmin).
+        let eps = 0.02 * min_period.get();
+        let dt = target.get() - min_period.get();
+        // 1 + c/eps = 1.1 * (1 + c/dt)  =>  c (1/eps - 1.1/dt) = 0.1.
+        let c = 0.1 / (1.0 / eps - 1.1 / dt);
+        Self {
+            min_period,
+            relaxed_area: 1.0,
+            curvature: c,
+        }
+    }
+
+    /// Area (arbitrary units) at a target period; `None` when synthesis
+    /// cannot close.
+    #[must_use]
+    pub fn area(&self, target: Delay) -> Option<f64> {
+        let eps = 0.02 * self.min_period.get();
+        let wall = self.min_period.get() + eps;
+        if target.get() < wall {
+            return None;
+        }
+        Some(self.relaxed_area * (1.0 + self.curvature / (target.get() - self.min_period.get())))
+    }
+
+    /// Area saving of relaxing from the closure wall to `target`.
+    #[must_use]
+    pub fn saving(&self, target: Delay) -> Option<Ratio> {
+        let eps = 0.02 * self.min_period.get();
+        let at_wall = self.area(Delay::new(self.min_period.get() + eps))?;
+        let at_target = self.area(target)?;
+        Some(Ratio::from_fraction(1.0 - at_target / at_wall))
+    }
+}
+
+/// A place-and-route timing report: the paper's delay metric is the sum
+/// of the target period and the worst negative slack.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TimingReport {
+    /// Synthesis/P&R target period.
+    pub target_period: Delay,
+    /// Worst negative slack (negative = failing, positive = margin
+    /// convention: stored as the amount the worst path *exceeds* the
+    /// period; 0 when met).
+    pub worst_negative_slack: Delay,
+}
+
+impl TimingReport {
+    /// A report that meets timing exactly.
+    #[must_use]
+    pub fn met(target_period: Delay) -> Self {
+        Self {
+            target_period,
+            worst_negative_slack: Delay::ZERO,
+        }
+    }
+
+    /// The paper's delay metric: `target period + WNS`.
+    #[must_use]
+    pub fn delay(&self) -> Delay {
+        self.target_period + self.worst_negative_slack
+    }
+
+    /// Delay penalty relative to a baseline report.
+    #[must_use]
+    pub fn penalty_vs(&self, baseline: &TimingReport) -> Ratio {
+        Ratio::from_fraction(self.delay() / baseline.delay() - 1.0)
+    }
+
+    /// Applies a multiplicative slowdown (from the
+    /// [`DelayModel`](crate::timing::DelayModel)) to the worst path.
+    #[must_use]
+    pub fn slowed_by(&self, penalty: Ratio) -> Self {
+        let new_delay = self.delay().get() * (1.0 + penalty.fraction());
+        Self {
+            target_period: self.target_period,
+            worst_negative_slack: Delay::new(new_delay - self.target_period.get()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_walls_match_paper() {
+        assert!(SynthesisModel::rocket()
+            .area(Delay::from_nanoseconds(0.65))
+            .is_none());
+        assert!(SynthesisModel::rocket()
+            .area(Delay::from_nanoseconds(0.8))
+            .is_some());
+        assert!(SynthesisModel::gemmini()
+            .area(Delay::from_nanoseconds(0.85))
+            .is_none());
+    }
+
+    #[test]
+    fn ten_percent_saving_at_paper_targets() {
+        let r = SynthesisModel::rocket()
+            .saving(Delay::from_nanoseconds(0.8))
+            .expect("closes");
+        assert!((r.percent() - 10.0).abs() < 1.5, "Rocket saving {r}");
+        let g = SynthesisModel::gemmini()
+            .saving(Delay::from_nanoseconds(1.0))
+            .expect("closes");
+        assert!((g.percent() - 10.0).abs() < 1.5, "Gemmini saving {g}");
+    }
+
+    #[test]
+    fn area_monotone_decreasing_in_period() {
+        let m = SynthesisModel::gemmini();
+        let mut last = f64::INFINITY;
+        for ns in [0.92, 1.0, 1.2, 1.5, 2.0] {
+            let a = m.area(Delay::from_nanoseconds(ns)).expect("closes");
+            assert!(a < last, "area must fall as timing relaxes");
+            last = a;
+        }
+        assert!(last > m.relaxed_area, "never below the asymptote");
+    }
+
+    #[test]
+    fn timing_report_arithmetic() {
+        let base = TimingReport::met(Delay::from_nanoseconds(1.0));
+        assert!((base.delay().nanoseconds() - 1.0).abs() < 1e-12);
+        let slowed = base.slowed_by(Ratio::from_percent(3.0));
+        assert!((slowed.delay().nanoseconds() - 1.03).abs() < 1e-12);
+        assert!((slowed.penalty_vs(&base).percent() - 3.0).abs() < 1e-9);
+        assert!((slowed.worst_negative_slack.picoseconds() - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed")]
+    fn degenerate_calibration_rejected() {
+        let _ =
+            SynthesisModel::calibrated(Delay::from_nanoseconds(1.0), Delay::from_nanoseconds(0.9));
+    }
+}

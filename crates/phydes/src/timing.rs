@@ -1,0 +1,213 @@
+//! Critical-path delay-penalty model.
+//!
+//! The paper reports delay penalties of cooling strategies relative to
+//! the timing-driven baseline (sum of target period and worst negative
+//! slack). We model the critical path as three components — cell delay,
+//! lower-metal wire delay, upper-metal (global) wire delay — and apply
+//! the physical effects of each cooling strategy:
+//!
+//! * **wirelength growth**: spending footprint stretches wires by
+//!   `sqrt(1 + area penalty)`; repeatered wire delay is linear in length;
+//! * **dielectric swap** (scaffolding): upper-metal capacitance doubles
+//!   (ε 2 → 4), slowing repeatered upper wires by `sqrt(ε ratio)`
+//!   — but only the small global-routing share of the path sees it;
+//! * **coupling load**: dummy fill and pillar metal add sidewall
+//!   capacitance to signal wires (`sqrt(1 + Δc/c)` slowdown).
+//!
+//! Calibration: the component shares and coupling coefficients are set
+//! so the model lands on the paper's three Gemmini anchor points
+//! (Table I): scaffolding 10 % area → 3 % delay; pillars-only 34 % →
+//! 7 %; dummy fill 78 % → 17 %.
+
+use tsc_pdk::wire::coupling_slowdown;
+use tsc_units::Ratio;
+
+/// The critical-path composition and coupling coefficients.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DelayModel {
+    /// Cell-delay share of the critical path.
+    pub cell_fraction: f64,
+    /// Lower-metal wire share.
+    pub lower_wire_fraction: f64,
+    /// Upper-metal (global) wire share — small, which is why the 2× ε
+    /// costs so little.
+    pub upper_wire_fraction: f64,
+    /// Extra wire capacitance per unit of pillar areal density
+    /// (grounded pillar metal adjacent to signal wires).
+    pub pillar_cap_coeff: f64,
+}
+
+/// What a cooling strategy did to the layout, as seen by timing.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TimingImpact {
+    /// Footprint penalty (whitespace, pillars, fill slack).
+    pub area_penalty: Ratio,
+    /// Ratio of upper-dielectric ε to the ultra-low-k baseline
+    /// (1.0 = no swap, 2.0 = thermal dielectric).
+    pub upper_epsilon_ratio: f64,
+    /// Extra signal capacitance fraction from dummy fill.
+    pub fill_coupling: f64,
+    /// Areal density of pillars in the routed region.
+    pub pillar_density: Ratio,
+}
+
+impl TimingImpact {
+    /// No cooling modifications: the timing-driven baseline.
+    #[must_use]
+    pub fn baseline() -> Self {
+        Self {
+            area_penalty: Ratio::ZERO,
+            upper_epsilon_ratio: 1.0,
+            fill_coupling: 0.0,
+            pillar_density: Ratio::ZERO,
+        }
+    }
+}
+
+impl DelayModel {
+    /// The model calibrated to the paper's Gemmini anchors.
+    #[must_use]
+    pub fn calibrated() -> Self {
+        Self {
+            cell_fraction: 0.675,
+            lower_wire_fraction: 0.3045,
+            upper_wire_fraction: 0.0205,
+            pillar_cap_coeff: 0.3,
+        }
+    }
+
+    /// Delay penalty of a cooling strategy relative to the baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the impact contains negative quantities or the path
+    /// fractions do not sum to 1.
+    #[must_use]
+    pub fn delay_penalty(&self, impact: &TimingImpact) -> Ratio {
+        let total = self.cell_fraction + self.lower_wire_fraction + self.upper_wire_fraction;
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "path fractions must sum to 1, got {total}"
+        );
+        assert!(
+            impact.area_penalty.fraction() >= 0.0
+                && impact.upper_epsilon_ratio >= 1.0
+                && impact.fill_coupling >= 0.0
+                && impact.pillar_density.fraction() >= 0.0,
+            "timing impact quantities must be non-negative"
+        );
+        let wl = (1.0 + impact.area_penalty.fraction()).sqrt();
+        let coupling = coupling_slowdown(
+            impact.fill_coupling + self.pillar_cap_coeff * impact.pillar_density.fraction(),
+        );
+        let lower = self.lower_wire_fraction * wl * coupling;
+        let upper = self.upper_wire_fraction * wl * coupling * impact.upper_epsilon_ratio.sqrt();
+        let relative = self.cell_fraction + lower + upper;
+        Ratio::from_fraction(relative - 1.0)
+    }
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> DelayModel {
+        DelayModel::calibrated()
+    }
+
+    #[test]
+    fn baseline_has_zero_penalty() {
+        let p = model().delay_penalty(&TimingImpact::baseline());
+        assert!(p.fraction().abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaffolding_anchor_three_percent() {
+        // 10% area, ε 2->4, 10% pillar density, no fill.
+        let p = model().delay_penalty(&TimingImpact {
+            area_penalty: Ratio::from_percent(10.0),
+            upper_epsilon_ratio: 2.0,
+            fill_coupling: 0.0,
+            pillar_density: Ratio::from_percent(10.0),
+        });
+        assert!(
+            (p.percent() - 3.0).abs() < 0.2,
+            "scaffolding anchor: got {p}"
+        );
+    }
+
+    #[test]
+    fn pillars_only_anchor_seven_percent() {
+        // Vertical conduction only: 34% area in pillars, no dielectric.
+        let p = model().delay_penalty(&TimingImpact {
+            area_penalty: Ratio::from_percent(34.0),
+            upper_epsilon_ratio: 1.0,
+            fill_coupling: 0.0,
+            pillar_density: Ratio::from_percent(34.0),
+        });
+        assert!(
+            (p.percent() - 7.0).abs() < 0.2,
+            "pillars-only anchor: got {p}"
+        );
+    }
+
+    #[test]
+    fn dummy_fill_anchor_seventeen_percent() {
+        // Conventional 3D thermal at 12 tiers: 78% area slack spent on
+        // fill (extra fill 0.343 -> coupling 0.309 with the fill model).
+        let fill = crate::fill::FillModel::calibrated();
+        let slack = Ratio::from_percent(78.0);
+        let p = model().delay_penalty(&TimingImpact {
+            area_penalty: slack,
+            upper_epsilon_ratio: 1.0,
+            fill_coupling: fill.coupling_capacitance(slack),
+            pillar_density: Ratio::ZERO,
+        });
+        assert!(
+            (p.percent() - 17.0).abs() < 0.5,
+            "dummy-fill anchor: got {p}"
+        );
+    }
+
+    #[test]
+    fn penalty_monotone_in_area() {
+        let m = model();
+        let mut last = -1.0;
+        for a in [0.0, 5.0, 10.0, 20.0, 40.0, 80.0] {
+            let p = m
+                .delay_penalty(&TimingImpact {
+                    area_penalty: Ratio::from_percent(a),
+                    ..TimingImpact::baseline()
+                })
+                .percent();
+            assert!(p > last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn epsilon_swap_alone_is_cheap() {
+        // The headline argument: doubling ε in M8-M9 alone costs ~1%.
+        let p = model().delay_penalty(&TimingImpact {
+            upper_epsilon_ratio: 2.0,
+            ..TimingImpact::baseline()
+        });
+        assert!(p.percent() < 2.0, "ε swap alone: {p}");
+        assert!(p.percent() > 0.5, "ε swap is not free: {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn invalid_impact_rejected() {
+        let _ = model().delay_penalty(&TimingImpact {
+            upper_epsilon_ratio: 0.5,
+            ..TimingImpact::baseline()
+        });
+    }
+}

@@ -1,0 +1,154 @@
+//! Post-solve analysis: energy accounting and spatial profiles.
+
+use crate::field::TemperatureField;
+use tsc_units::{Power, TempDelta, Temperature};
+
+/// Global energy balance of a steady solve: in steady state, injected
+/// power must equal the power extracted through the convective boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EnergyBalance {
+    /// Total heat injected by sources.
+    pub injected: Power,
+    /// Total heat extracted through heatsinks.
+    pub extracted: Power,
+}
+
+impl EnergyBalance {
+    /// Relative imbalance `|in − out| / max(in, tiny)`.
+    #[must_use]
+    pub fn relative_error(&self) -> f64 {
+        let inj = self.injected.watts();
+        let ext = self.extracted.watts();
+        (inj - ext).abs() / inj.abs().max(f64::MIN_POSITIVE)
+    }
+
+    /// `true` when the balance closes within `tol` (relative).
+    #[must_use]
+    pub fn is_closed(&self, tol: f64) -> bool {
+        self.relative_error() <= tol
+    }
+}
+
+impl core::fmt::Display for EnergyBalance {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "in {} / out {} (err {:.2e})",
+            self.injected,
+            self.extracted,
+            self.relative_error()
+        )
+    }
+}
+
+/// Extracts a horizontal temperature profile along +x in layer `k`,
+/// starting at cell `(i0, j0)`, as `(cell offset, ΔT above the row
+/// minimum)` pairs — the shape plotted in Fig. 3 (temperature vs distance
+/// from a thermal structure).
+///
+/// # Panics
+///
+/// Panics when the starting cell or the layer is out of bounds.
+#[must_use]
+pub fn line_profile(
+    field: &TemperatureField,
+    i0: usize,
+    j0: usize,
+    k: usize,
+) -> Vec<(usize, TempDelta)> {
+    let dim = field.dim();
+    assert!(
+        i0 < dim.nx && j0 < dim.ny && k < dim.nz,
+        "start out of bounds"
+    );
+    let temps: Vec<Temperature> = (i0..dim.nx).map(|i| field.at(i, j0, k)).collect();
+    let floor = temps
+        .iter()
+        .copied()
+        .fold(Temperature::from_kelvin(f64::INFINITY), Temperature::min);
+    temps
+        .into_iter()
+        .enumerate()
+        .map(|(off, t)| (off, t - floor))
+        .collect()
+}
+
+/// Renders one z layer of a temperature field as ASCII art, shading from
+/// the layer minimum (` `) to the layer maximum (`@`). Each cell is one
+/// character; rows print north-up (largest `j` first).
+///
+/// # Panics
+///
+/// Panics when `k` is out of range.
+#[must_use]
+pub fn render_layer_ascii(field: &TemperatureField, k: usize) -> String {
+    const SHADES: &[u8] = b" .:-=+*#%@";
+    let layer = field.layer_kelvin(k);
+    let (lo, hi) = (layer.min_value(), layer.max_value());
+    let span = (hi - lo).max(1e-12);
+    let mut out = String::with_capacity((layer.nx() + 1) * layer.ny());
+    for j in (0..layer.ny()).rev() {
+        for i in 0..layer.nx() {
+            let t = (layer[(i, j)] - lo) / span;
+            let idx = ((t * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1);
+            out.push(SHADES[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsc_geometry::{Dim3, Grid3};
+
+    #[test]
+    fn balance_error() {
+        let e = EnergyBalance {
+            injected: Power::from_watts(10.0),
+            extracted: Power::from_watts(9.999),
+        };
+        assert!(e.relative_error() < 2e-4);
+        assert!(e.is_closed(1e-3));
+        assert!(!e.is_closed(1e-6));
+    }
+
+    #[test]
+    fn zero_power_balance_is_closed() {
+        let e = EnergyBalance {
+            injected: Power::ZERO,
+            extracted: Power::ZERO,
+        };
+        assert!(e.is_closed(1e-12));
+    }
+
+    #[test]
+    fn ascii_rendering_shades_extremes() {
+        let mut g = Grid3::filled(Dim3::new(3, 2, 1), 300.0);
+        g[(2, 1, 0)] = 350.0;
+        let f = TemperatureField::from_kelvin(g);
+        let art = render_layer_ascii(&f, 0);
+        let rows: Vec<&str> = art.lines().collect();
+        assert_eq!(rows.len(), 2);
+        // Hottest cell is '@' at the top-right (north-up), coldest ' '.
+        assert!(rows[0].ends_with('@'), "{art}");
+        assert!(rows[1].starts_with(' '), "{art}");
+    }
+
+    #[test]
+    fn profile_descends_from_hotspot() {
+        let mut g = Grid3::filled(Dim3::new(8, 1, 1), 300.0);
+        for i in 0..8 {
+            g[(i, 0, 0)] = 310.0 - i as f64;
+        }
+        let f = TemperatureField::from_kelvin(g);
+        let prof = line_profile(&f, 0, 0, 0);
+        assert_eq!(prof.len(), 8);
+        assert!((prof[0].1.kelvin() - 7.0).abs() < 1e-12);
+        assert!((prof[7].1.kelvin() - 0.0).abs() < 1e-12);
+        for w in prof.windows(2) {
+            assert!(w[1].1 <= w[0].1);
+        }
+    }
+}

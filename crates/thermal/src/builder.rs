@@ -1,0 +1,331 @@
+//! Mesh construction from layer stacks — the bridge between physical
+//! design data (floorplans, material assignments, power maps) and the
+//! finite-volume [`Problem`].
+
+use crate::heatsink::Heatsink;
+use crate::problem::Problem;
+use tsc_geometry::{Grid2, LayerKind, LayerSlab};
+use tsc_materials::Anisotropic;
+use tsc_units::{Length, ThermalConductivity};
+
+/// One slab of the stack with its material and optional heat source.
+#[derive(Debug, Clone)]
+pub struct SlabSpec {
+    /// Geometry and role of the slab.
+    pub slab: LayerSlab,
+    /// Anisotropic conductivity of the slab material.
+    pub conductivity: Anisotropic,
+    /// Power-density map (W/m²) dissipated inside this slab, if any.
+    /// Resampled to the mesh resolution; the power is deposited in the
+    /// slab's bottom-most mesh layer (device layers are one cell thick).
+    pub power: Option<Grid2<f64>>,
+}
+
+impl SlabSpec {
+    /// Creates a passive (unpowered) slab.
+    #[must_use]
+    pub fn passive(slab: LayerSlab, conductivity: Anisotropic) -> Self {
+        Self {
+            slab,
+            conductivity,
+            power: None,
+        }
+    }
+
+    /// Creates a powered slab.
+    #[must_use]
+    pub fn powered(slab: LayerSlab, conductivity: Anisotropic, power: Grid2<f64>) -> Self {
+        Self {
+            slab,
+            conductivity,
+            power: Some(power),
+        }
+    }
+}
+
+/// Builds a [`Problem`] from an ordered list of [`SlabSpec`]s
+/// (bottom/heatsink side first).
+///
+/// ```
+/// use tsc_geometry::{LayerKind, LayerSlab};
+/// use tsc_materials::{Anisotropic, BULK_SILICON};
+/// use tsc_thermal::{Heatsink, SlabSpec, StackMeshBuilder, CgSolver};
+/// use tsc_units::Length;
+///
+/// let mut b = StackMeshBuilder::new(
+///     8, 8,
+///     Length::from_millimeters(1.0), Length::from_millimeters(1.0));
+/// b.push(SlabSpec::passive(
+///     LayerSlab::new("handle", Length::from_micrometers(10.0), LayerKind::HandleSilicon),
+///     BULK_SILICON.conductivity,
+/// ));
+/// b.set_bottom_heatsink(Heatsink::two_phase());
+/// let problem = b.build();
+/// assert_eq!(problem.dim().nz, 1); // one 10 µm slab within the default cell cap
+/// ```
+#[derive(Debug, Clone)]
+pub struct StackMeshBuilder {
+    nx: usize,
+    ny: usize,
+    width: Length,
+    depth: Length,
+    slabs: Vec<SlabSpec>,
+    max_cell: Length,
+    bottom: Option<Heatsink>,
+    top: Option<Heatsink>,
+}
+
+impl StackMeshBuilder {
+    /// Creates a builder over an `nx × ny` lateral mesh spanning
+    /// `width × depth`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero or an extent non-positive.
+    #[must_use]
+    pub fn new(nx: usize, ny: usize, width: Length, depth: Length) -> Self {
+        assert!(nx > 0 && ny > 0, "lateral mesh dimensions must be positive");
+        assert!(
+            width.meters() > 0.0 && depth.meters() > 0.0,
+            "lateral extents must be positive"
+        );
+        Self {
+            nx,
+            ny,
+            width,
+            depth,
+            slabs: Vec::new(),
+            max_cell: Length::from_micrometers(10.0),
+            bottom: None,
+            top: None,
+        }
+    }
+
+    /// Sets the maximum vertical cell thickness (default 10 µm). Thinner
+    /// slabs always get at least one cell; thicker slabs are subdivided.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_cell` is non-positive.
+    pub fn set_max_cell_thickness(&mut self, max_cell: Length) {
+        assert!(max_cell.meters() > 0.0, "cell thickness must be positive");
+        self.max_cell = max_cell;
+    }
+
+    /// Appends a slab on top of the stack.
+    pub fn push(&mut self, spec: SlabSpec) {
+        self.slabs.push(spec);
+    }
+
+    /// Attaches the heatsink to the bottom face.
+    pub fn set_bottom_heatsink(&mut self, hs: Heatsink) {
+        self.bottom = Some(hs);
+    }
+
+    /// Attaches a heatsink to the top face.
+    pub fn set_top_heatsink(&mut self, hs: Heatsink) {
+        self.top = Some(hs);
+    }
+
+    /// Number of slabs staged.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slabs.len()
+    }
+
+    /// `true` when no slabs are staged.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slabs.is_empty()
+    }
+
+    /// Index of the first mesh z-layer of each slab after discretization
+    /// (parallel to the staged slabs).
+    #[must_use]
+    pub fn slab_layer_offsets(&self) -> Vec<usize> {
+        let mut offsets = Vec::with_capacity(self.slabs.len());
+        let mut z = 0;
+        for spec in &self.slabs {
+            offsets.push(z);
+            z += self.cells_for(spec);
+        }
+        offsets
+    }
+
+    fn cells_for(&self, spec: &SlabSpec) -> usize {
+        (spec.slab.thickness.meters() / self.max_cell.meters())
+            .ceil()
+            .max(1.0) as usize
+    }
+
+    /// Builds the finite-volume problem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no slabs were staged.
+    #[must_use]
+    pub fn build(&self) -> Problem {
+        assert!(
+            !self.slabs.is_empty(),
+            "stack must contain at least one slab"
+        );
+        let mut dz = Vec::new();
+        let mut slab_of_cell = Vec::new();
+        for (s, spec) in self.slabs.iter().enumerate() {
+            let n = self.cells_for(spec);
+            let t = spec.slab.thickness / n as f64;
+            for _ in 0..n {
+                dz.push(t);
+                slab_of_cell.push(s);
+            }
+        }
+
+        let mut p = Problem::new(
+            self.nx,
+            self.ny,
+            self.width / self.nx as f64,
+            self.depth / self.ny as f64,
+            dz,
+            ThermalConductivity::new(1.0),
+        );
+        for (k, &s) in slab_of_cell.iter().enumerate() {
+            let c = self.slabs[s].conductivity;
+            p.set_layer_conductivity(k, c.vertical, c.lateral);
+        }
+        // Deposit power in the bottom cell of each powered slab.
+        let offsets = self.slab_layer_offsets();
+        for (s, spec) in self.slabs.iter().enumerate() {
+            if let Some(map) = &spec.power {
+                p.add_flux_map(offsets[s], map);
+            }
+        }
+        if let Some(hs) = self.bottom {
+            p.set_bottom_heatsink(hs);
+        }
+        if let Some(hs) = self.top {
+            p.set_top_heatsink(hs);
+        }
+        p
+    }
+
+    /// Lateral mesh width in cells.
+    #[must_use]
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Lateral mesh depth in cells.
+    #[must_use]
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Kinds of the staged slabs, bottom to top (for diagnostics).
+    #[must_use]
+    pub fn kinds(&self) -> Vec<LayerKind> {
+        self.slabs.iter().map(|s| s.slab.kind).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::CgSolver;
+    use tsc_materials::{BULK_SILICON, DEVICE_SILICON_THIN, ULTRA_LOW_K_ILD};
+
+    fn device_slab(power_w_per_m2: f64, nx: usize, ny: usize) -> SlabSpec {
+        SlabSpec::powered(
+            LayerSlab::new(
+                "device",
+                Length::from_nanometers(100.0),
+                LayerKind::DeviceSilicon,
+            ),
+            DEVICE_SILICON_THIN.conductivity,
+            Grid2::filled(nx, ny, power_w_per_m2),
+        )
+    }
+
+    fn builder() -> StackMeshBuilder {
+        let mut b = StackMeshBuilder::new(
+            8,
+            8,
+            Length::from_millimeters(1.0),
+            Length::from_millimeters(1.0),
+        );
+        b.push(SlabSpec::passive(
+            LayerSlab::new(
+                "handle",
+                Length::from_micrometers(10.0),
+                LayerKind::HandleSilicon,
+            ),
+            BULK_SILICON.conductivity,
+        ));
+        b.push(device_slab(53.0e4, 8, 8)); // 53 W/cm²
+        b.push(SlabSpec::passive(
+            LayerSlab::new("beol", Length::from_micrometers(1.0), LayerKind::BeolLower),
+            ULTRA_LOW_K_ILD.conductivity,
+        ));
+        b.set_bottom_heatsink(Heatsink::two_phase());
+        b
+    }
+
+    #[test]
+    fn offsets_track_discretization() {
+        let b = builder();
+        assert_eq!(b.slab_layer_offsets(), vec![0, 1, 2]);
+        let p = b.build();
+        assert_eq!(p.dim().nz, 3);
+        assert!((p.dz()[0].micrometers() - 10.0).abs() < 1e-9);
+        assert!((p.dz()[1].nanometers() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_lands_in_device_layer() {
+        let p = builder().build();
+        // 53 W/cm² over 1 mm² = 0.53 W, all in z layer 1.
+        assert!((p.total_power().watts() - 0.53).abs() < 1e-9);
+        assert!((p.cell_power(0, 0, 1).watts() - 0.53 / 64.0).abs() < 1e-9);
+        assert_eq!(p.cell_power(0, 0, 0).watts(), 0.0);
+    }
+
+    #[test]
+    fn conductivities_follow_materials() {
+        let p = builder().build();
+        assert!((p.kz_at(0, 0, 0).get() - 180.0).abs() < 1e-9);
+        assert!((p.kz_at(0, 0, 1).get() - 30.0).abs() < 1e-9);
+        assert!((p.kxy_at(0, 0, 1).get() - 65.0).abs() < 1e-9);
+        assert!((p.kz_at(0, 0, 2).get() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_tier_solves_to_sane_temperature() {
+        let p = builder().build();
+        let sol = CgSolver::new().solve(&p).expect("converges");
+        let tj = sol.temperatures.max_temperature();
+        // One tier of 53 W/cm² on a two-phase sink: ~0.5 °C above the
+        // 100 °C ambient (heatsink film dominates).
+        assert!(tj.celsius() > 100.0 && tj.celsius() < 102.0, "Tj = {tj}");
+        assert!(sol.energy.relative_error() < 1e-6);
+    }
+
+    #[test]
+    fn thick_slabs_subdivide() {
+        let mut b = builder();
+        b.set_max_cell_thickness(Length::from_micrometers(2.5));
+        assert_eq!(b.slab_layer_offsets(), vec![0, 4, 5]);
+        let p = b.build();
+        assert_eq!(p.dim().nz, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slab")]
+    fn empty_stack_rejected() {
+        let b = StackMeshBuilder::new(
+            2,
+            2,
+            Length::from_micrometers(1.0),
+            Length::from_micrometers(1.0),
+        );
+        let _ = b.build();
+    }
+}

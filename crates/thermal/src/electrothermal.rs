@@ -1,0 +1,266 @@
+//! Electrothermal fixed-point iteration: leakage power grows with
+//! temperature, temperature grows with power.
+//!
+//! The paper's 125 °C limit exists because leakage (and reliability)
+//! degrade steeply with junction temperature; PACT-class flows close the
+//! loop by iterating power and temperature. This module implements the
+//! standard fixed-point scheme with an exponential leakage model
+//! `P(T) = P_dyn + P_leak0 · exp((T − T_ref)/T_char)` and detects
+//! *thermal runaway* — the regime where each iteration heats the stack
+//! faster than the sink can respond.
+
+use crate::field::TemperatureField;
+use crate::problem::Problem;
+use crate::solver::{CgSolver, SolveError};
+use tsc_units::{Power, Ratio, TempDelta, Temperature};
+
+/// The leakage feedback model.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LeakageModel {
+    /// Fraction of each cell's staged power that is leakage at `t_ref`.
+    pub leakage_fraction: Ratio,
+    /// Reference temperature at which the staged powers were computed.
+    pub t_ref: Temperature,
+    /// Characteristic temperature of the exponential growth
+    /// (sub-threshold leakage roughly doubles every ~15-25 K at 7 nm).
+    pub doubling_interval: TempDelta,
+}
+
+impl LeakageModel {
+    /// A 7 nm-class model: 10 % leakage at the 100 °C staging point,
+    /// doubling every 20 K.
+    #[must_use]
+    pub fn seven_nm() -> Self {
+        Self {
+            leakage_fraction: Ratio::from_percent(10.0),
+            t_ref: Temperature::from_celsius(100.0),
+            doubling_interval: TempDelta::new(20.0),
+        }
+    }
+
+    /// Power multiplier of a cell at temperature `t`.
+    #[must_use]
+    pub fn multiplier(&self, t: Temperature) -> f64 {
+        let leak = self.leakage_fraction.fraction();
+        let dt = (t - self.t_ref).kelvin();
+        let growth = 2.0_f64.powf(dt / self.doubling_interval.kelvin());
+        (1.0 - leak) + leak * growth
+    }
+}
+
+/// Outcome of an electrothermal solve.
+#[derive(Debug, Clone)]
+pub struct ElectrothermalSolution {
+    /// The converged temperature field.
+    pub temperatures: TemperatureField,
+    /// Total power including the converged leakage.
+    pub total_power: Power,
+    /// Fixed-point iterations used.
+    pub iterations: usize,
+}
+
+/// Failure modes of the coupled solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ElectrothermalError {
+    /// The inner linear solve failed.
+    Solve(SolveError),
+    /// The fixed point diverged: each iteration raised the junction
+    /// temperature further — thermal runaway.
+    ThermalRunaway {
+        /// Junction temperature when divergence was declared.
+        junction: Temperature,
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+}
+
+impl core::fmt::Display for ElectrothermalError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Solve(e) => write!(f, "inner solve failed: {e}"),
+            Self::ThermalRunaway {
+                junction,
+                iterations,
+            } => write!(
+                f,
+                "thermal runaway after {iterations} iterations (junction at {junction})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ElectrothermalError {}
+
+impl From<SolveError> for ElectrothermalError {
+    fn from(e: SolveError) -> Self {
+        Self::Solve(e)
+    }
+}
+
+/// Solves the coupled problem: iterate `T → P(T) → T` until the junction
+/// moves less than `tol` kelvin, or declare runaway.
+///
+/// The staged powers in `base` are interpreted as measured at
+/// `model.t_ref`; each iteration rescales every cell's power by the local
+/// temperature multiplier and re-solves.
+///
+/// # Errors
+///
+/// [`ElectrothermalError::Solve`] on inner-solver failure;
+/// [`ElectrothermalError::ThermalRunaway`] when the junction keeps
+/// accelerating upward (or exceeds 1000 °C) instead of converging.
+pub fn solve_electrothermal(
+    base: &Problem,
+    model: &LeakageModel,
+    tol: TempDelta,
+    max_iterations: usize,
+) -> Result<ElectrothermalSolution, ElectrothermalError> {
+    assert!(tol.kelvin() > 0.0, "tolerance must be positive");
+    assert!(max_iterations > 0, "need at least one iteration");
+    let dim = base.dim();
+    let solver = CgSolver::new().with_tolerance(1e-8);
+
+    let mut current = base.clone();
+    let mut solution = solver.solve(&current)?;
+    let mut last_tj = solution.temperatures.max_temperature();
+    let mut last_step = f64::INFINITY;
+
+    for iteration in 1..=max_iterations {
+        // Rescale each cell's power by the local multiplier.
+        let mut next = base.clone();
+        for k in 0..dim.nz {
+            for j in 0..dim.ny {
+                for i in 0..dim.nx {
+                    let p0 = base.cell_power(i, j, k);
+                    if p0.watts() == 0.0 {
+                        continue;
+                    }
+                    let t = solution.temperatures.at(i, j, k);
+                    let extra = p0 * (model.multiplier(t) - 1.0);
+                    next.add_power(i, j, k, extra);
+                }
+            }
+        }
+        solution = solver.solve(&next)?;
+        let tj = solution.temperatures.max_temperature();
+        let step = (tj - last_tj).kelvin();
+
+        if tj.celsius() > 1000.0 || (step > last_step.max(0.0) && step > 5.0) {
+            return Err(ElectrothermalError::ThermalRunaway {
+                junction: tj,
+                iterations: iteration,
+            });
+        }
+        if step.abs() <= tol.kelvin() {
+            return Ok(ElectrothermalSolution {
+                total_power: next.total_power(),
+                temperatures: solution.temperatures,
+                iterations: iteration,
+            });
+        }
+        last_tj = tj;
+        last_step = step;
+        current = next;
+    }
+    let _ = current;
+    Err(ElectrothermalError::ThermalRunaway {
+        junction: last_tj,
+        iterations: max_iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heatsink::Heatsink;
+    use tsc_units::{Length, ThermalConductivity};
+
+    fn problem(watts: f64, k: f64) -> Problem {
+        let mut p = Problem::uniform_block(
+            6,
+            6,
+            4,
+            Length::from_millimeters(1.0),
+            Length::from_millimeters(1.0),
+            Length::from_micrometers(100.0),
+            ThermalConductivity::new(k),
+        );
+        p.set_bottom_heatsink(Heatsink::two_phase());
+        p.add_power(3, 3, 3, Power::from_watts(watts));
+        p
+    }
+
+    #[test]
+    fn multiplier_shape() {
+        let m = LeakageModel::seven_nm();
+        // At the reference temperature the multiplier is exactly 1.
+        assert!((m.multiplier(Temperature::from_celsius(100.0)) - 1.0).abs() < 1e-12);
+        // 20 K hotter: leakage doubled -> 0.9 + 0.2 = 1.1.
+        assert!((m.multiplier(Temperature::from_celsius(120.0)) - 1.1).abs() < 1e-12);
+        // Cooler than reference: below 1 but above the dynamic floor.
+        let cold = m.multiplier(Temperature::from_celsius(40.0));
+        assert!(cold < 1.0 && cold > 0.9);
+    }
+
+    #[test]
+    fn mild_feedback_converges_slightly_hotter() {
+        let p = problem(0.5, 100.0);
+        let open_loop = CgSolver::new().solve(&p).expect("solves");
+        let closed = solve_electrothermal(&p, &LeakageModel::seven_nm(), TempDelta::new(0.01), 50)
+            .expect("converges");
+        let t_open = open_loop.temperatures.max_temperature();
+        let t_closed = closed.temperatures.max_temperature();
+        assert!(
+            t_closed > t_open,
+            "leakage feedback heats: {t_open} vs {t_closed}"
+        );
+        assert!(
+            (t_closed - t_open).kelvin() < 5.0,
+            "mild case stays mild: {t_open} -> {t_closed}"
+        );
+        assert!(closed.total_power.watts() > p.total_power().watts());
+        assert!(closed.iterations >= 1);
+    }
+
+    #[test]
+    fn strong_feedback_runs_away() {
+        // A poorly conducting stack with heavy power: every extra kelvin
+        // buys more leakage than the sink can remove.
+        let p = problem(40.0, 0.4);
+        let err = solve_electrothermal(
+            &p,
+            &LeakageModel {
+                leakage_fraction: Ratio::from_percent(30.0),
+                ..LeakageModel::seven_nm()
+            },
+            TempDelta::new(0.01),
+            60,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, ElectrothermalError::ThermalRunaway { .. }),
+            "expected runaway, got {err}"
+        );
+    }
+
+    #[test]
+    fn zero_leakage_matches_open_loop() {
+        let p = problem(0.5, 100.0);
+        let open_loop = CgSolver::new().solve(&p).expect("solves");
+        let closed = solve_electrothermal(
+            &p,
+            &LeakageModel {
+                leakage_fraction: Ratio::ZERO,
+                ..LeakageModel::seven_nm()
+            },
+            TempDelta::new(0.001),
+            10,
+        )
+        .expect("converges immediately");
+        assert!(closed
+            .temperatures
+            .max_temperature()
+            .approx_eq(open_loop.temperatures.max_temperature(), 1e-6));
+        assert_eq!(closed.iterations, 1);
+    }
+}

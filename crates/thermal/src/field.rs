@@ -1,0 +1,133 @@
+//! Solved temperature fields.
+
+use tsc_geometry::{Dim3, Grid2, Grid3, Index3};
+use tsc_units::Temperature;
+
+/// A steady-state temperature field over the solution mesh (kelvin).
+///
+/// ```
+/// use tsc_geometry::{Dim3, Grid3};
+/// use tsc_thermal::TemperatureField;
+/// use tsc_units::Temperature;
+///
+/// let mut raw = Grid3::filled(Dim3::new(2, 2, 1), 373.15);
+/// raw[(1, 1, 0)] = 398.15;
+/// let field = TemperatureField::from_kelvin(raw);
+/// assert!((field.max_temperature().celsius() - 125.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemperatureField {
+    kelvin: Grid3<f64>,
+}
+
+impl TemperatureField {
+    /// Wraps a raw field of kelvin values.
+    #[must_use]
+    pub fn from_kelvin(kelvin: Grid3<f64>) -> Self {
+        Self { kelvin }
+    }
+
+    /// Mesh dimensions.
+    #[must_use]
+    pub fn dim(&self) -> Dim3 {
+        self.kelvin.dim()
+    }
+
+    /// Temperature of a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[must_use]
+    pub fn at(&self, i: usize, j: usize, k: usize) -> Temperature {
+        Temperature::from_kelvin(self.kelvin[(i, j, k)])
+    }
+
+    /// The hottest cell temperature — the junction temperature `Tj`.
+    #[must_use]
+    pub fn max_temperature(&self) -> Temperature {
+        Temperature::from_kelvin(self.kelvin.max_value())
+    }
+
+    /// The coolest cell temperature.
+    #[must_use]
+    pub fn min_temperature(&self) -> Temperature {
+        Temperature::from_kelvin(self.kelvin.min_value())
+    }
+
+    /// Location of the hottest cell.
+    #[must_use]
+    pub fn hottest_cell(&self) -> Index3 {
+        self.kelvin.argmax()
+    }
+
+    /// The hottest temperature within one z layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is out of range.
+    #[must_use]
+    pub fn layer_max(&self, k: usize) -> Temperature {
+        Temperature::from_kelvin(self.layer_kelvin(k).max_value())
+    }
+
+    /// A horizontal temperature map (kelvin) of z layer `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is out of range.
+    #[must_use]
+    pub fn layer_kelvin(&self, k: usize) -> Grid2<f64> {
+        self.kelvin.layer(k)
+    }
+
+    /// Raw kelvin field.
+    #[must_use]
+    pub fn as_kelvin(&self) -> &Grid3<f64> {
+        &self.kelvin
+    }
+
+    /// Volume-unweighted mean temperature.
+    #[must_use]
+    pub fn mean_temperature(&self) -> Temperature {
+        let n = self.kelvin.dim().len() as f64;
+        Temperature::from_kelvin(self.kelvin.iter().sum::<f64>() / n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field() -> TemperatureField {
+        let mut g = Grid3::filled(Dim3::new(3, 3, 2), 300.0);
+        g[(2, 1, 1)] = 350.0;
+        g[(0, 0, 0)] = 290.0;
+        TemperatureField::from_kelvin(g)
+    }
+
+    #[test]
+    fn extrema() {
+        let f = field();
+        assert!((f.max_temperature().kelvin() - 350.0).abs() < 1e-12);
+        assert!((f.min_temperature().kelvin() - 290.0).abs() < 1e-12);
+        assert_eq!(f.hottest_cell(), Index3::new(2, 1, 1));
+    }
+
+    #[test]
+    fn layer_views() {
+        let f = field();
+        assert!((f.layer_max(1).kelvin() - 350.0).abs() < 1e-12);
+        assert!((f.layer_max(0).kelvin() - 300.0).abs() < 1e-12);
+        let m = f.layer_kelvin(1);
+        assert_eq!(m.nx(), 3);
+        assert!((m.max_value() - 350.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_between_extremes() {
+        let f = field();
+        let mean = f.mean_temperature();
+        assert!(mean > f.min_temperature() && mean < f.max_temperature());
+    }
+}

@@ -1,0 +1,85 @@
+//! Heatsink abstractions: the paper reduces every cooling technology to a
+//! heat-transfer coefficient plus an ambient (coolant inlet) temperature.
+
+use tsc_units::{HeatTransferCoefficient, Temperature};
+
+/// A convective boundary condition modelling an attached heatsink.
+///
+/// ```
+/// use tsc_thermal::Heatsink;
+/// let hs = Heatsink::two_phase();
+/// assert_eq!(hs.h.get(), 1.0e6);
+/// assert!((hs.ambient.celsius() - 100.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Heatsink {
+    /// Heat-transfer coefficient of the sink.
+    pub h: HeatTransferCoefficient,
+    /// Coolant/ambient temperature the sink rejects to.
+    pub ambient: Temperature,
+}
+
+impl Heatsink {
+    /// Creates a heatsink from its two parameters.
+    #[must_use]
+    pub const fn new(h: HeatTransferCoefficient, ambient: Temperature) -> Self {
+        Self { h, ambient }
+    }
+
+    /// Two-phase porous-copper cooling (Palko et al. \[7\]):
+    /// `h = 10⁶ W/m²/K`, but the water must boil — 100 °C ambient.
+    #[must_use]
+    pub fn two_phase() -> Self {
+        Self {
+            h: HeatTransferCoefficient::TWO_PHASE,
+            ambient: Temperature::from_celsius(100.0),
+        }
+    }
+
+    /// Si-integrated microfluidic cooling (Tuckerman & Pease \[36\]):
+    /// `h = 10⁵ W/m²/K` with room-temperature (25 °C) water.
+    #[must_use]
+    pub fn microfluidic() -> Self {
+        Self {
+            h: HeatTransferCoefficient::MICROFLUIDIC,
+            ambient: Temperature::from_celsius(25.0),
+        }
+    }
+
+    /// A conventional forced-air sink for comparison studies:
+    /// `h = 10⁴ W/m²/K` at 25 °C.
+    #[must_use]
+    pub fn forced_air() -> Self {
+        Self {
+            h: HeatTransferCoefficient::new(1.0e4),
+            ambient: Temperature::from_celsius(25.0),
+        }
+    }
+}
+
+impl core::fmt::Display for Heatsink {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "heatsink(h={}, ambient={})", self.h, self.ambient)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_sinks_match_paper() {
+        assert_eq!(Heatsink::two_phase().h.get(), 1e6);
+        assert!((Heatsink::two_phase().ambient.celsius() - 100.0).abs() < 1e-12);
+        assert_eq!(Heatsink::microfluidic().h.get(), 1e5);
+        assert!((Heatsink::microfluidic().ambient.celsius() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn microfluidic_cooler_ambient_but_weaker_h() {
+        let tp = Heatsink::two_phase();
+        let mf = Heatsink::microfluidic();
+        assert!(mf.ambient < tp.ambient);
+        assert!(mf.h < tp.h);
+    }
+}

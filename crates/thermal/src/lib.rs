@@ -1,0 +1,56 @@
+//! Chip-scale steady-state thermal simulation — the PACT/Celsius substitute.
+//!
+//! Solves the anisotropic steady-state heat equation `∇·(k∇T) + q = 0` on a
+//! structured finite-volume mesh:
+//!
+//! * uniform lateral resolution (`nx × ny` cells of pitch `dx × dy`),
+//!   non-uniform vertical resolution so slab interfaces of a
+//!   [`tsc_geometry::LayerStack`] always coincide with cell faces;
+//! * per-cell anisotropic conductivity (vertical `kz`, lateral `kxy`) —
+//!   this is where thermal-dielectric layers and pillar columns enter;
+//! * Robin (convective) boundaries on the bottom and/or top face modelling
+//!   the attached heatsink (`G = h·A` to ambient); all side walls
+//!   adiabatic, matching the PACT default used in the paper;
+//! * two independent solvers: Jacobi-preconditioned conjugate gradients
+//!   ([`CgSolver`], the workhorse) and successive over-relaxation
+//!   ([`SorSolver`], the cross-check).
+//!
+//! # Example: a one-layer slab with a uniform source
+//!
+//! ```
+//! use tsc_thermal::{Heatsink, Problem, CgSolver};
+//! use tsc_units::{HeatFlux, Length, Temperature, ThermalConductivity};
+//!
+//! // 1 mm x 1 mm x 10 µm silicon slab on a two-phase heatsink,
+//! // dissipating 100 W/cm² at its top surface.
+//! let mut p = Problem::uniform_block(
+//!     16, 16, 4,
+//!     Length::from_millimeters(1.0), Length::from_millimeters(1.0),
+//!     Length::from_micrometers(10.0),
+//!     ThermalConductivity::new(148.0),
+//! );
+//! p.set_bottom_heatsink(Heatsink::two_phase());
+//! p.add_uniform_top_flux(HeatFlux::from_watts_per_square_cm(100.0));
+//! let solution = CgSolver::new().solve(&p)?;
+//! let tj = solution.temperatures.max_temperature();
+//! assert!(tj > Temperature::from_celsius(100.0)); // above ambient
+//! assert!(tj < Temperature::from_celsius(102.0)); // tiny rise for thin Si
+//! # Ok::<(), tsc_thermal::SolveError>(())
+//! ```
+
+mod analysis;
+mod builder;
+pub mod electrothermal;
+mod field;
+mod heatsink;
+pub mod network;
+mod problem;
+mod solver;
+pub mod transient;
+
+pub use analysis::{line_profile, render_layer_ascii, EnergyBalance};
+pub use builder::{SlabSpec, StackMeshBuilder};
+pub use field::TemperatureField;
+pub use heatsink::Heatsink;
+pub use problem::Problem;
+pub use solver::{CgSolver, Solution, SolveError, SolverStats, SorSolver};

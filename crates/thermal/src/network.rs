@@ -1,0 +1,256 @@
+//! Compact 1-D thermal ladder networks.
+//!
+//! The fast analysis path (Sec. I of the paper, and the proxy inside
+//! floorplanning cost loops): each tier is a heat-flux source separated
+//! from the tier below by an area-specific resistance; all heat exits
+//! through the heatsink at the bottom. Resistance `m` (between node `m−1`
+//! and node `m`) carries the combined flux of every tier at or above `m`,
+//! which is what makes the junction rise quadratic in tier count.
+
+use crate::heatsink::Heatsink;
+use tsc_units::{AreaThermalResistance, HeatFlux, Ratio, TempDelta, Temperature};
+
+/// One rung of the ladder: a tier's heat flux and the conduction
+/// resistance between this tier's source plane and the node below it.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TierRung {
+    /// Heat flux dissipated by this tier.
+    pub flux: HeatFlux,
+    /// Area-specific resistance from this tier down to the previous node
+    /// (tier BEOL + ILV + device-layer contribution).
+    pub resistance: AreaThermalResistance,
+}
+
+impl TierRung {
+    /// Creates a rung.
+    #[must_use]
+    pub const fn new(flux: HeatFlux, resistance: AreaThermalResistance) -> Self {
+        Self { flux, resistance }
+    }
+}
+
+/// A compact vertical ladder: heatsink at the bottom, `N` rungs above it
+/// (rung 0 closest to the sink).
+///
+/// ```
+/// use tsc_thermal::{network::{Ladder, TierRung}, Heatsink};
+/// use tsc_units::{AreaThermalResistance, HeatFlux};
+///
+/// let rung = TierRung::new(
+///     HeatFlux::from_watts_per_square_cm(53.0),
+///     AreaThermalResistance::new(3.3e-6),
+/// );
+/// let ladder = Ladder::uniform(Heatsink::two_phase(), rung, 3);
+/// let tj = ladder.junction_temperature();
+/// assert!(tj.celsius() > 100.0 && tj.celsius() < 125.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Ladder {
+    heatsink: Heatsink,
+    rungs: Vec<TierRung>,
+}
+
+impl Ladder {
+    /// Creates a ladder from explicit rungs (index 0 nearest the sink).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rungs` is empty.
+    #[must_use]
+    pub fn new(heatsink: Heatsink, rungs: Vec<TierRung>) -> Self {
+        assert!(!rungs.is_empty(), "ladder needs at least one rung");
+        Self { heatsink, rungs }
+    }
+
+    /// Creates a homogeneous `n`-tier ladder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn uniform(heatsink: Heatsink, rung: TierRung, n: usize) -> Self {
+        assert!(n > 0, "ladder needs at least one rung");
+        Self {
+            heatsink,
+            rungs: vec![rung; n],
+        }
+    }
+
+    /// Number of tiers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rungs.len()
+    }
+
+    /// `false` always (constructors reject empty ladders).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rungs.is_empty()
+    }
+
+    /// Total heat flux through the heatsink.
+    #[must_use]
+    pub fn total_flux(&self) -> HeatFlux {
+        self.rungs.iter().map(|r| r.flux).sum()
+    }
+
+    /// Temperature rise across the heatsink film.
+    #[must_use]
+    pub fn heatsink_rise(&self) -> TempDelta {
+        self.total_flux() / self.heatsink.h
+    }
+
+    /// Node temperatures, rung 0 first.
+    #[must_use]
+    pub fn node_temperatures(&self) -> Vec<Temperature> {
+        let mut above: Vec<HeatFlux> = Vec::with_capacity(self.rungs.len());
+        // above[m] = flux crossing resistance m = sum of fluxes of rungs >= m.
+        let mut acc = HeatFlux::ZERO;
+        for rung in self.rungs.iter().rev() {
+            acc += rung.flux;
+            above.push(acc);
+        }
+        above.reverse();
+
+        let mut t = self.heatsink.ambient + self.heatsink_rise();
+        let mut out = Vec::with_capacity(self.rungs.len());
+        for (rung, crossing) in self.rungs.iter().zip(above) {
+            t += crossing * rung.resistance;
+            out.push(t);
+        }
+        out
+    }
+
+    /// The junction (hottest node) temperature — the top of the ladder.
+    #[must_use]
+    pub fn junction_temperature(&self) -> Temperature {
+        *self
+            .node_temperatures()
+            .last()
+            .expect("ladder is never empty")
+    }
+
+    /// Conduction (ladder) share of the total junction rise —
+    /// the paper's "85 % of Tj comes from the tiers" decomposition.
+    #[must_use]
+    pub fn conduction_fraction(&self) -> Ratio {
+        let total = (self.junction_temperature() - self.heatsink.ambient).kelvin();
+        if total <= 0.0 {
+            return Ratio::ZERO;
+        }
+        let sink = self.heatsink_rise().kelvin();
+        Ratio::from_fraction((total - sink) / total)
+    }
+
+    /// The largest tier count for which the junction stays at or below
+    /// `limit`, assuming every added tier repeats `rung`. Returns 0 when
+    /// even one tier violates the limit, and caps the search at
+    /// `max_tiers`.
+    #[must_use]
+    pub fn max_tiers_within(
+        heatsink: Heatsink,
+        rung: TierRung,
+        limit: Temperature,
+        max_tiers: usize,
+    ) -> usize {
+        let mut best = 0;
+        for n in 1..=max_tiers {
+            let ladder = Ladder::uniform(heatsink, rung.clone(), n);
+            if ladder.junction_temperature() <= limit {
+                best = n;
+            } else {
+                break;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rung(q: f64, r: f64) -> TierRung {
+        TierRung::new(
+            HeatFlux::from_watts_per_square_cm(q),
+            AreaThermalResistance::new(r),
+        )
+    }
+
+    #[test]
+    fn matches_closed_form_for_uniform_stack() {
+        let n = 5;
+        let ladder = Ladder::uniform(Heatsink::two_phase(), rung(53.0, 3.3e-6), n);
+        let expected = tsc_units::ops::stack_junction_temperature(
+            n,
+            HeatFlux::from_watts_per_square_cm(53.0),
+            AreaThermalResistance::new(3.3e-6),
+            tsc_units::HeatTransferCoefficient::TWO_PHASE,
+            Temperature::from_celsius(100.0),
+        );
+        assert!(ladder.junction_temperature().approx_eq(expected, 1e-9));
+    }
+
+    #[test]
+    fn node_temperatures_ascend() {
+        let ladder = Ladder::uniform(Heatsink::two_phase(), rung(50.0, 2e-6), 6);
+        let nodes = ladder.node_temperatures();
+        assert_eq!(nodes.len(), 6);
+        for w in nodes.windows(2) {
+            assert!(w[1] > w[0], "temperature must rise up the stack");
+        }
+    }
+
+    #[test]
+    fn conduction_dominates_three_tier_conventional() {
+        // The Sec. I observation: ~85% of the rise is conduction.
+        let ladder = Ladder::uniform(Heatsink::two_phase(), rung(53.0, 3.3e-6), 3);
+        let f = ladder.conduction_fraction();
+        assert!(f.percent() > 75.0 && f.percent() < 95.0, "{f}");
+    }
+
+    #[test]
+    fn heterogeneous_rungs_respect_order() {
+        // A poor tier near the sink penalizes everyone above it more than
+        // the same poor tier at the top.
+        let poor = rung(50.0, 1e-5);
+        let good = rung(50.0, 1e-7);
+        let poor_bottom = Ladder::new(
+            Heatsink::two_phase(),
+            vec![poor.clone(), good.clone(), good.clone()],
+        );
+        let poor_top = Ladder::new(Heatsink::two_phase(), vec![good.clone(), good, poor]);
+        assert!(poor_bottom.junction_temperature() > poor_top.junction_temperature());
+    }
+
+    #[test]
+    fn max_tiers_search() {
+        let limit = Temperature::from_celsius(125.0);
+        let conventional = rung(53.0, 3.3e-6);
+        let scaffolded = rung(53.0, 1.2e-7);
+        let n_conv = Ladder::max_tiers_within(Heatsink::two_phase(), conventional, limit, 20);
+        let n_scaf = Ladder::max_tiers_within(Heatsink::two_phase(), scaffolded, limit, 20);
+        assert!((2..=5).contains(&n_conv), "conventional: {n_conv}");
+        assert!(n_scaf >= 10, "scaffolded: {n_scaf}");
+    }
+
+    #[test]
+    fn impossible_limit_gives_zero() {
+        let n = Ladder::max_tiers_within(
+            Heatsink::two_phase(),
+            rung(500.0, 1e-4),
+            Temperature::from_celsius(101.0),
+            20,
+        );
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn total_flux_sums_rungs() {
+        let ladder = Ladder::new(
+            Heatsink::microfluidic(),
+            vec![rung(10.0, 1e-6), rung(20.0, 1e-6), rung(30.0, 1e-6)],
+        );
+        assert!((ladder.total_flux().watts_per_square_cm() - 60.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,788 @@
+//! Linear solvers for the assembled finite-volume system.
+//!
+//! The discretized problem is `A·T = b` with `A` symmetric positive
+//! definite whenever at least one convective boundary is present:
+//!
+//! * diagonal: sum of all face conductances incident on the cell (plus the
+//!   boundary conductance for cells on a heatsink face);
+//! * off-diagonal: minus the shared face conductance;
+//! * right-hand side: injected power plus `G_boundary · T_ambient`.
+//!
+//! [`CgSolver`] (Jacobi-preconditioned conjugate gradients) is the
+//! workhorse; [`SorSolver`] (successive over-relaxation) provides an
+//! algorithmically independent cross-check used by the validation tests.
+
+use crate::analysis::EnergyBalance;
+use crate::field::TemperatureField;
+use crate::problem::Problem;
+use tsc_geometry::{Dim3, Grid3};
+use tsc_units::Power;
+
+/// Failure modes of a solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// Neither face carries a heatsink: the pure-Neumann problem is
+    /// singular (temperature defined only up to a constant).
+    NoBoundary,
+    /// The iteration did not reach the tolerance within the budget.
+    NotConverged {
+        /// Iterations performed.
+        iterations: usize,
+        /// Final relative residual.
+        residual: f64,
+    },
+}
+
+impl core::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::NoBoundary => {
+                write!(f, "no heatsink attached: steady-state problem is singular")
+            }
+            Self::NotConverged {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "solver did not converge within {iterations} iterations (residual {residual:.3e})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Convergence statistics of a successful solve.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SolverStats {
+    /// Iterations used.
+    pub iterations: usize,
+    /// Final relative residual `‖b − A·T‖ / ‖b‖`.
+    pub residual: f64,
+}
+
+/// A solved thermal problem.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// The temperature field.
+    pub temperatures: TemperatureField,
+    /// Convergence statistics.
+    pub stats: SolverStats,
+    /// Global energy balance (injected vs extracted power).
+    pub energy: EnergyBalance,
+}
+
+/// Pre-assembled face conductances and right-hand side.
+#[derive(Debug)]
+pub(crate) struct Assembled {
+    dim: Dim3,
+    gx: Vec<f64>,
+    gy: Vec<f64>,
+    gz: Vec<f64>,
+    g_bottom: Vec<f64>,
+    g_top: Vec<f64>,
+    diag: Vec<f64>,
+    rhs: Vec<f64>,
+    t_bottom: f64,
+    t_top: f64,
+    initial_guess: f64,
+}
+
+impl Assembled {
+    /// Mesh dimensions of the assembled system.
+    pub(crate) fn dim(&self) -> Dim3 {
+        self.dim
+    }
+
+    /// The assembled right-hand side (power + boundary terms).
+    pub(crate) fn rhs(&self) -> &[f64] {
+        &self.rhs
+    }
+
+    /// Jacobi-preconditioned CG on the diagonally shifted system
+    /// `(A + diag(shift))·x = rhs`, warm-started from `x` — the inner
+    /// solve of implicit-Euler transient stepping.
+    pub(crate) fn cg_shifted(
+        &self,
+        shift: &[f64],
+        rhs: &[f64],
+        x: &mut [f64],
+        tol: f64,
+        max_iter: usize,
+    ) -> Result<SolverStats, SolveError> {
+        let n = self.dim.len();
+        debug_assert_eq!(shift.len(), n);
+        debug_assert_eq!(rhs.len(), n);
+        debug_assert_eq!(x.len(), n);
+        let b_norm = norm(rhs).max(f64::MIN_POSITIVE);
+        let matvec_shifted = |v: &[f64], out: &mut [f64]| {
+            self.matvec(v, out);
+            for c in 0..n {
+                out[c] += shift[c] * v[c];
+            }
+        };
+        let mut r = vec![0.0; n];
+        let mut ax = vec![0.0; n];
+        matvec_shifted(x, &mut ax);
+        for c in 0..n {
+            r[c] = rhs[c] - ax[c];
+        }
+        let diag: Vec<f64> = self.diag.iter().zip(shift).map(|(d, s)| d + s).collect();
+        let mut z: Vec<f64> = r.iter().zip(&diag).map(|(ri, di)| ri / di).collect();
+        let mut pv = z.clone();
+        let mut rz = dot(&r, &z);
+        let mut ap = vec![0.0; n];
+        let mut residual = norm(&r) / b_norm;
+        let mut iterations = 0;
+        while residual > tol && iterations < max_iter {
+            matvec_shifted(&pv, &mut ap);
+            let alpha = rz / dot(&pv, &ap);
+            for c in 0..n {
+                x[c] += alpha * pv[c];
+                r[c] -= alpha * ap[c];
+            }
+            for c in 0..n {
+                z[c] = r[c] / diag[c];
+            }
+            let rz_next = dot(&r, &z);
+            let beta = rz_next / rz;
+            rz = rz_next;
+            for c in 0..n {
+                pv[c] = z[c] + beta * pv[c];
+            }
+            residual = norm(&r) / b_norm;
+            iterations += 1;
+        }
+        if residual > tol {
+            return Err(SolveError::NotConverged {
+                iterations,
+                residual,
+            });
+        }
+        Ok(SolverStats {
+            iterations,
+            residual,
+        })
+    }
+
+    pub(crate) fn build(p: &Problem) -> Result<Self, SolveError> {
+        let bottom = p.bottom_heatsink();
+        let top = p.top_heatsink();
+        if bottom.is_none() && top.is_none() {
+            return Err(SolveError::NoBoundary);
+        }
+        let dim = p.dim();
+        let (nx, ny, nz) = (dim.nx, dim.ny, dim.nz);
+        let mut gx = vec![0.0; (nx.saturating_sub(1)) * ny * nz];
+        let mut gy = vec![0.0; nx * ny.saturating_sub(1) * nz];
+        let mut gz = vec![0.0; nx * ny * nz.saturating_sub(1)];
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    if i + 1 < nx {
+                        gx[(k * ny + j) * (nx - 1) + i] = p.gx(i, j, k);
+                    }
+                    if j + 1 < ny {
+                        gy[(k * (ny - 1) + j) * nx + i] = p.gy(i, j, k);
+                    }
+                    if k + 1 < nz {
+                        gz[(k * ny + j) * nx + i] = p.gz(i, j, k);
+                    }
+                }
+            }
+        }
+        let mut g_bottom = vec![0.0; nx * ny];
+        let mut g_top = vec![0.0; nx * ny];
+        for j in 0..ny {
+            for i in 0..nx {
+                g_bottom[j * nx + i] = p.g_bottom(i, j);
+                g_top[j * nx + i] = p.g_top(i, j);
+            }
+        }
+        let t_bottom = bottom.map_or(0.0, |hs| hs.ambient.kelvin());
+        let t_top = top.map_or(0.0, |hs| hs.ambient.kelvin());
+
+        let n = dim.len();
+        let mut diag = vec![0.0; n];
+        let mut rhs = p.power_flat().to_vec();
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let c = dim.flat(i, j, k);
+                    let mut d = 0.0;
+                    if i + 1 < nx {
+                        d += gx[(k * ny + j) * (nx - 1) + i];
+                    }
+                    if i > 0 {
+                        d += gx[(k * ny + j) * (nx - 1) + i - 1];
+                    }
+                    if j + 1 < ny {
+                        d += gy[(k * (ny - 1) + j) * nx + i];
+                    }
+                    if j > 0 {
+                        d += gy[(k * (ny - 1) + j - 1) * nx + i];
+                    }
+                    if k + 1 < nz {
+                        d += gz[(k * ny + j) * nx + i];
+                    }
+                    if k > 0 {
+                        d += gz[((k - 1) * ny + j) * nx + i];
+                    }
+                    if k == 0 {
+                        let g = g_bottom[j * nx + i];
+                        d += g;
+                        rhs[c] += g * t_bottom;
+                    }
+                    if k == nz - 1 {
+                        let g = g_top[j * nx + i];
+                        d += g;
+                        rhs[c] += g * t_top;
+                    }
+                    diag[c] = d;
+                }
+            }
+        }
+        let initial_guess = if bottom.is_some() { t_bottom } else { t_top };
+        Ok(Self {
+            dim,
+            gx,
+            gy,
+            gz,
+            g_bottom,
+            g_top,
+            diag,
+            rhs,
+            t_bottom,
+            t_top,
+            initial_guess,
+        })
+    }
+
+    /// `y = A·x` (matrix-free seven-point stencil).
+    fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        let (nx, ny, nz) = (self.dim.nx, self.dim.ny, self.dim.nz);
+        for (c, out) in y.iter_mut().enumerate() {
+            *out = self.diag[c] * x[c];
+        }
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let c = self.dim.flat(i, j, k);
+                    if i + 1 < nx {
+                        let g = self.gx[(k * ny + j) * (nx - 1) + i];
+                        let d = c + 1;
+                        y[c] -= g * x[d];
+                        y[d] -= g * x[c];
+                    }
+                    if j + 1 < ny {
+                        let g = self.gy[(k * (ny - 1) + j) * nx + i];
+                        let d = c + nx;
+                        y[c] -= g * x[d];
+                        y[d] -= g * x[c];
+                    }
+                    if k + 1 < nz {
+                        let g = self.gz[(k * ny + j) * nx + i];
+                        let d = c + nx * ny;
+                        y[c] -= g * x[d];
+                        y[d] -= g * x[c];
+                    }
+                }
+            }
+        }
+    }
+
+    fn energy_balance(&self, t: &[f64], injected: f64) -> EnergyBalance {
+        let (nx, ny, nz) = (self.dim.nx, self.dim.ny, self.dim.nz);
+        let mut extracted = 0.0;
+        for j in 0..ny {
+            for i in 0..nx {
+                let cb = self.dim.flat(i, j, 0);
+                extracted += self.g_bottom[j * nx + i] * (t[cb] - self.t_bottom);
+                let ct = self.dim.flat(i, j, nz - 1);
+                extracted += self.g_top[j * nx + i] * (t[ct] - self.t_top);
+            }
+        }
+        EnergyBalance {
+            injected: Power::from_watts(injected),
+            extracted: Power::from_watts(extracted),
+        }
+    }
+
+    fn into_solution(self, t: Vec<f64>, stats: SolverStats, injected: f64) -> Solution {
+        let energy = self.energy_balance(&t, injected);
+        let mut grid = Grid3::filled(self.dim, 0.0);
+        grid.as_mut_slice().copy_from_slice(&t);
+        Solution {
+            temperatures: TemperatureField::from_kelvin(grid),
+            stats,
+            energy,
+        }
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Jacobi-preconditioned conjugate-gradient solver.
+///
+/// ```
+/// use tsc_thermal::CgSolver;
+/// let solver = CgSolver::new().with_tolerance(1e-10).with_max_iterations(20_000);
+/// assert!(solver.tolerance() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgSolver {
+    tol: f64,
+    max_iter: usize,
+}
+
+impl CgSolver {
+    /// Default solver: relative tolerance `1e-9`, generous iteration cap.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            tol: 1e-9,
+            max_iter: 50_000,
+        }
+    }
+
+    /// Builder: sets the relative residual tolerance.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < tol < 1`.
+    #[must_use]
+    pub fn with_tolerance(mut self, tol: f64) -> Self {
+        assert!(tol > 0.0 && tol < 1.0, "tolerance must be in (0, 1)");
+        self.tol = tol;
+        self
+    }
+
+    /// Builder: sets the iteration cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_iter` is zero.
+    #[must_use]
+    pub fn with_max_iterations(mut self, max_iter: usize) -> Self {
+        assert!(max_iter > 0, "iteration cap must be positive");
+        self.max_iter = max_iter;
+        self
+    }
+
+    /// Configured tolerance.
+    #[must_use]
+    pub fn tolerance(&self) -> f64 {
+        self.tol
+    }
+
+    /// Solves the problem.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::NoBoundary`] when no heatsink is attached;
+    /// [`SolveError::NotConverged`] when the residual stalls above the
+    /// tolerance.
+    pub fn solve(&self, p: &Problem) -> Result<Solution, SolveError> {
+        let asm = Assembled::build(p)?;
+        let n = asm.dim.len();
+        let b_norm = norm(&asm.rhs).max(f64::MIN_POSITIVE);
+
+        let mut x = vec![asm.initial_guess; n];
+        let mut r = vec![0.0; n];
+        let mut ax = vec![0.0; n];
+        asm.matvec(&x, &mut ax);
+        for c in 0..n {
+            r[c] = asm.rhs[c] - ax[c];
+        }
+        let mut z: Vec<f64> = r.iter().zip(&asm.diag).map(|(ri, di)| ri / di).collect();
+        let mut pv = z.clone();
+        let mut rz = dot(&r, &z);
+        let mut ap = vec![0.0; n];
+        let mut residual = norm(&r) / b_norm;
+        let mut iterations = 0;
+
+        while residual > self.tol && iterations < self.max_iter {
+            asm.matvec(&pv, &mut ap);
+            let alpha = rz / dot(&pv, &ap);
+            for c in 0..n {
+                x[c] += alpha * pv[c];
+                r[c] -= alpha * ap[c];
+            }
+            for c in 0..n {
+                z[c] = r[c] / asm.diag[c];
+            }
+            let rz_next = dot(&r, &z);
+            let beta = rz_next / rz;
+            rz = rz_next;
+            for c in 0..n {
+                pv[c] = z[c] + beta * pv[c];
+            }
+            residual = norm(&r) / b_norm;
+            iterations += 1;
+        }
+
+        if residual > self.tol {
+            return Err(SolveError::NotConverged {
+                iterations,
+                residual,
+            });
+        }
+        let injected = p.total_power().watts();
+        Ok(asm.into_solution(
+            x,
+            SolverStats {
+                iterations,
+                residual,
+            },
+            injected,
+        ))
+    }
+}
+
+impl Default for CgSolver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Successive over-relaxation (Gauss-Seidel with relaxation factor ω).
+///
+/// Slower than CG on large meshes but algorithmically independent — used
+/// to cross-check CG solutions as the paper cross-checks PACT against
+/// COMSOL and Celsius.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SorSolver {
+    omega: f64,
+    tol: f64,
+    max_sweeps: usize,
+}
+
+impl SorSolver {
+    /// Default: ω = 1.9, tolerance 1e-9.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            omega: 1.9,
+            tol: 1e-9,
+            max_sweeps: 200_000,
+        }
+    }
+
+    /// Builder: relaxation factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < omega < 2` (SOR stability bound).
+    #[must_use]
+    pub fn with_omega(mut self, omega: f64) -> Self {
+        assert!(
+            omega > 0.0 && omega < 2.0,
+            "SOR requires 0 < omega < 2, got {omega}"
+        );
+        self.omega = omega;
+        self
+    }
+
+    /// Builder: relative residual tolerance.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < tol < 1`.
+    #[must_use]
+    pub fn with_tolerance(mut self, tol: f64) -> Self {
+        assert!(tol > 0.0 && tol < 1.0, "tolerance must be in (0, 1)");
+        self.tol = tol;
+        self
+    }
+
+    /// Builder: sweep cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_sweeps` is zero.
+    #[must_use]
+    pub fn with_max_sweeps(mut self, max_sweeps: usize) -> Self {
+        assert!(max_sweeps > 0, "sweep cap must be positive");
+        self.max_sweeps = max_sweeps;
+        self
+    }
+
+    /// Solves the problem.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`CgSolver::solve`].
+    pub fn solve(&self, p: &Problem) -> Result<Solution, SolveError> {
+        let asm = Assembled::build(p)?;
+        let dim = asm.dim;
+        let (nx, ny, nz) = (dim.nx, dim.ny, dim.nz);
+        let n = dim.len();
+        let b_norm = norm(&asm.rhs).max(f64::MIN_POSITIVE);
+        let mut x = vec![asm.initial_guess; n];
+        let mut sweeps = 0;
+        let mut residual = f64::INFINITY;
+
+        while sweeps < self.max_sweeps {
+            for k in 0..nz {
+                for j in 0..ny {
+                    for i in 0..nx {
+                        let c = dim.flat(i, j, k);
+                        let mut sigma = 0.0;
+                        if i > 0 {
+                            sigma += asm.gx[(k * ny + j) * (nx - 1) + i - 1] * x[c - 1];
+                        }
+                        if i + 1 < nx {
+                            sigma += asm.gx[(k * ny + j) * (nx - 1) + i] * x[c + 1];
+                        }
+                        if j > 0 {
+                            sigma += asm.gy[(k * (ny - 1) + j - 1) * nx + i] * x[c - nx];
+                        }
+                        if j + 1 < ny {
+                            sigma += asm.gy[(k * (ny - 1) + j) * nx + i] * x[c + nx];
+                        }
+                        if k > 0 {
+                            sigma += asm.gz[((k - 1) * ny + j) * nx + i] * x[c - nx * ny];
+                        }
+                        if k + 1 < nz {
+                            sigma += asm.gz[(k * ny + j) * nx + i] * x[c + nx * ny];
+                        }
+                        let gs = (asm.rhs[c] + sigma) / asm.diag[c];
+                        x[c] += self.omega * (gs - x[c]);
+                    }
+                }
+            }
+            sweeps += 1;
+            if sweeps % 10 == 0 || sweeps == self.max_sweeps {
+                let mut ax = vec![0.0; n];
+                asm.matvec(&x, &mut ax);
+                let r: f64 = asm
+                    .rhs
+                    .iter()
+                    .zip(&ax)
+                    .map(|(b, a)| (b - a) * (b - a))
+                    .sum::<f64>()
+                    .sqrt();
+                residual = r / b_norm;
+                if residual <= self.tol {
+                    break;
+                }
+            }
+        }
+
+        if residual > self.tol {
+            return Err(SolveError::NotConverged {
+                iterations: sweeps,
+                residual,
+            });
+        }
+        let injected = p.total_power().watts();
+        Ok(asm.into_solution(
+            x,
+            SolverStats {
+                iterations: sweeps,
+                residual,
+            },
+            injected,
+        ))
+    }
+}
+
+impl Default for SorSolver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heatsink::Heatsink;
+    use tsc_units::{HeatFlux, HeatTransferCoefficient, Length, Temperature, ThermalConductivity};
+
+    fn slab(nx: usize, ny: usize, nz: usize, k: f64) -> Problem {
+        Problem::uniform_block(
+            nx,
+            ny,
+            nz,
+            Length::from_millimeters(1.0),
+            Length::from_millimeters(1.0),
+            Length::from_micrometers(100.0),
+            ThermalConductivity::new(k),
+        )
+    }
+
+    #[test]
+    fn no_boundary_is_singular() {
+        let p = slab(4, 4, 4, 100.0);
+        assert_eq!(
+            CgSolver::new().solve(&p).unwrap_err(),
+            SolveError::NoBoundary
+        );
+        assert_eq!(
+            SorSolver::new().solve(&p).unwrap_err(),
+            SolveError::NoBoundary
+        );
+    }
+
+    /// Analytic 1-D check: uniform flux q'' through a slab of thickness L,
+    /// conductivity k, into a sink of coefficient h:
+    /// `T_top = T_amb + q''/h + q''·L/k` (within half-cell discretization).
+    #[test]
+    fn one_dimensional_slab_matches_analytic() {
+        let mut p = slab(4, 4, 32, 10.0);
+        p.set_bottom_heatsink(Heatsink::new(
+            HeatTransferCoefficient::new(1e5),
+            Temperature::from_celsius(25.0),
+        ));
+        let q = HeatFlux::from_watts_per_square_cm(100.0);
+        p.add_uniform_top_flux(q);
+        let sol = CgSolver::new().solve(&p).expect("converges");
+        let t_top = sol.temperatures.layer_max(31).celsius();
+        // Source sits at the top cell *center*, so conduction spans
+        // L - dz/2 of the slab.
+        let l_eff = 100e-6 * (1.0 - 0.5 / 32.0);
+        let expected = 25.0 + 1e6 / 1e5 + 1e6 * l_eff / 10.0;
+        assert!(
+            (t_top - expected).abs() < 0.05,
+            "expected {expected:.3} °C, got {t_top:.3} °C"
+        );
+    }
+
+    #[test]
+    fn energy_is_conserved() {
+        let mut p = slab(8, 8, 8, 50.0);
+        p.set_bottom_heatsink(Heatsink::two_phase());
+        p.add_power(3, 4, 7, tsc_units::Power::from_watts(2.5));
+        p.add_power(1, 1, 3, tsc_units::Power::from_watts(0.5));
+        let sol = CgSolver::new().solve(&p).expect("converges");
+        assert!(
+            sol.energy.relative_error() < 1e-6,
+            "balance error {}",
+            sol.energy.relative_error()
+        );
+    }
+
+    #[test]
+    fn maximum_principle_holds() {
+        // With all heat injected and a single sink, every temperature sits
+        // at or above ambient and the peak is at a heated cell.
+        let mut p = slab(8, 8, 6, 20.0);
+        p.set_bottom_heatsink(Heatsink::microfluidic());
+        p.add_power(4, 4, 5, tsc_units::Power::from_watts(1.0));
+        let sol = CgSolver::new().solve(&p).expect("converges");
+        let ambient = Temperature::from_celsius(25.0);
+        assert!(sol.temperatures.min_temperature() >= ambient - tsc_units::TempDelta::new(1e-9));
+        assert_eq!(
+            sol.temperatures.hottest_cell(),
+            tsc_geometry::Index3::new(4, 4, 5)
+        );
+    }
+
+    #[test]
+    fn cg_and_sor_agree() {
+        let mut p = slab(6, 6, 6, 5.0);
+        p.set_bottom_heatsink(Heatsink::two_phase());
+        p.add_power(2, 3, 5, tsc_units::Power::from_watts(1.0));
+        p.set_layer_conductivity(
+            3,
+            ThermalConductivity::new(0.5),
+            ThermalConductivity::new(2.0),
+        );
+        let a = CgSolver::new().solve(&p).expect("cg");
+        let b = SorSolver::new()
+            .with_tolerance(1e-10)
+            .solve(&p)
+            .expect("sor");
+        let ta = a.temperatures.max_temperature().kelvin();
+        let tb = b.temperatures.max_temperature().kelvin();
+        assert!(
+            (ta - tb).abs() < 1e-3,
+            "solvers disagree: {ta:.6} vs {tb:.6}"
+        );
+    }
+
+    #[test]
+    fn top_heatsink_works_alone() {
+        let mut p = slab(4, 4, 4, 100.0);
+        p.set_top_heatsink(Heatsink::forced_air());
+        p.add_power(0, 0, 0, tsc_units::Power::from_watts(0.1));
+        let sol = CgSolver::new().solve(&p).expect("converges");
+        assert!(sol.energy.relative_error() < 1e-6);
+        // Heat must flow up: bottom is hotter than top.
+        assert!(sol.temperatures.layer_max(0) > sol.temperatures.layer_max(3));
+    }
+
+    #[test]
+    fn hotter_with_more_power() {
+        let mut p1 = slab(6, 6, 4, 10.0);
+        p1.set_bottom_heatsink(Heatsink::two_phase());
+        p1.add_power(3, 3, 3, tsc_units::Power::from_watts(1.0));
+        let mut p2 = p1.clone();
+        p2.add_power(3, 3, 3, tsc_units::Power::from_watts(1.0));
+        let t1 = CgSolver::new()
+            .solve(&p1)
+            .expect("p1")
+            .temperatures
+            .max_temperature();
+        let t2 = CgSolver::new()
+            .solve(&p2)
+            .expect("p2")
+            .temperatures
+            .max_temperature();
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn cooler_with_pillar_inclusion() {
+        // A poor-conductivity stack heated at the top; blending a 10%
+        // high-k column under the source must reduce the peak.
+        let make = |with_pillar: bool| {
+            let mut p = slab(6, 6, 8, 0.5);
+            p.set_bottom_heatsink(Heatsink::two_phase());
+            p.add_power(3, 3, 7, tsc_units::Power::from_watts(0.5));
+            if with_pillar {
+                for k in 0..8 {
+                    p.blend_vertical_inclusion(3, 3, k, 0.1, ThermalConductivity::new(105.0));
+                }
+            }
+            CgSolver::new()
+                .solve(&p)
+                .expect("solve")
+                .temperatures
+                .max_temperature()
+        };
+        let without = make(false);
+        let with = make(true);
+        assert!(
+            with.kelvin() + 1.0 < without.kelvin(),
+            "pillar must cool: {with} vs {without}"
+        );
+    }
+
+    #[test]
+    fn unconverged_reports_stats() {
+        let mut p = slab(8, 8, 8, 0.2);
+        p.set_bottom_heatsink(Heatsink::two_phase());
+        p.add_power(4, 4, 7, tsc_units::Power::from_watts(1.0));
+        let err = CgSolver::new()
+            .with_max_iterations(1)
+            .solve(&p)
+            .unwrap_err();
+        match err {
+            SolveError::NotConverged {
+                iterations,
+                residual,
+            } => {
+                assert_eq!(iterations, 1);
+                assert!(residual > 0.0);
+            }
+            other => panic!("expected NotConverged, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! Transient thermal simulation: implicit-Euler time stepping on the
+//! same finite-volume discretization as the steady solver.
+//!
+//! PACT (the paper's chip-scale simulator) provides both steady and
+//! transient modes; the paper's discussion of thermal-aware scheduling
+//! ("scheduling task execution to control temporal power profiles" \[4\])
+//! and fine-grained power gating (Fig. 12) is inherently temporal, so
+//! this module completes the substitution.
+//!
+//! Each step solves `(C/Δt + A)·T' = C/Δt·T + b` with the same
+//! Jacobi-preconditioned CG kernel; implicit Euler is unconditionally
+//! stable, so Δt is chosen for accuracy, not stability.
+
+use crate::field::TemperatureField;
+use crate::problem::Problem;
+use crate::solver::{Assembled, SolveError, SolverStats};
+use tsc_geometry::Grid3;
+use tsc_units::Temperature;
+
+/// Volumetric heat capacities (J/m³/K) of the stack materials, for
+/// building capacity fields.
+pub mod capacity {
+    /// Crystalline silicon.
+    pub const SILICON: f64 = 1.63e6;
+    /// Copper.
+    pub const COPPER: f64 = 3.45e6;
+    /// Porous organosilicate / ultra-low-k dielectric.
+    pub const ULTRA_LOW_K: f64 = 1.5e6;
+    /// Polycrystalline diamond.
+    pub const DIAMOND: f64 = 1.78e6;
+}
+
+/// A running transient simulation.
+///
+/// Assembles the conduction operator once; each [`TransientRun::step`]
+/// advances time by `dt`. Power can be re-staged mid-run (power gating,
+/// task migration) with [`TransientRun::restage_power`].
+///
+/// ```
+/// use tsc_geometry::Grid3;
+/// use tsc_thermal::{transient::{capacity, TransientRun}, Heatsink, Problem};
+/// use tsc_units::{Length, Power, Temperature, ThermalConductivity};
+///
+/// let mut p = Problem::uniform_block(4, 4, 2,
+///     Length::from_millimeters(1.0), Length::from_millimeters(1.0),
+///     Length::from_micrometers(100.0), ThermalConductivity::new(100.0));
+/// p.set_bottom_heatsink(Heatsink::two_phase());
+/// p.add_power(2, 2, 1, Power::from_watts(1.0));
+/// let caps = Grid3::filled(p.dim(), capacity::SILICON);
+/// let mut run = TransientRun::new(&p, &caps, 1e-6,
+///     Temperature::from_celsius(100.0))?;
+/// run.step()?;
+/// assert!(run.time_seconds() > 0.0);
+/// assert!(run.temperatures().max_temperature() > Temperature::from_celsius(100.0));
+/// # Ok::<(), tsc_thermal::SolveError>(())
+/// ```
+#[derive(Debug)]
+pub struct TransientRun {
+    asm: Assembled,
+    /// Per-cell heat capacity over Δt: `c_v · V / Δt` (W/K).
+    cap_over_dt: Vec<f64>,
+    temperatures: Vec<f64>,
+    dt: f64,
+    time: f64,
+    tol: f64,
+    max_iter: usize,
+}
+
+impl TransientRun {
+    /// Starts a run from a uniform initial temperature.
+    ///
+    /// `capacity_per_volume` holds volumetric heat capacities (J/m³/K)
+    /// per cell; `dt` is the time step in seconds.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::NoBoundary`] when the problem has no heatsink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not strictly positive, or the capacity grid's
+    /// dimensions mismatch the problem, or any capacity is non-positive.
+    pub fn new(
+        problem: &Problem,
+        capacity_per_volume: &Grid3<f64>,
+        dt: f64,
+        initial: Temperature,
+    ) -> Result<Self, SolveError> {
+        assert!(dt > 0.0, "time step must be positive, got {dt}");
+        assert_eq!(
+            capacity_per_volume.dim(),
+            problem.dim(),
+            "capacity grid must match the problem mesh"
+        );
+        assert!(
+            capacity_per_volume.iter().all(|&c| c > 0.0),
+            "heat capacities must be positive"
+        );
+        let asm = Assembled::build(problem)?;
+        let dim = problem.dim();
+        let cell_base = (problem.dx() * problem.dy()).square_meters();
+        let mut cap_over_dt = vec![0.0; dim.len()];
+        for k in 0..dim.nz {
+            let vol = cell_base * problem.dz()[k].meters();
+            for j in 0..dim.ny {
+                for i in 0..dim.nx {
+                    let c = capacity_per_volume[(i, j, k)];
+                    cap_over_dt[dim.flat(i, j, k)] = c * vol / dt;
+                }
+            }
+        }
+        Ok(Self {
+            asm,
+            cap_over_dt,
+            temperatures: vec![initial.kelvin(); dim.len()],
+            dt,
+            time: 0.0,
+            tol: 1e-9,
+            max_iter: 20_000,
+        })
+    }
+
+    /// Elapsed simulated time in seconds.
+    #[must_use]
+    pub fn time_seconds(&self) -> f64 {
+        self.time
+    }
+
+    /// Time step in seconds.
+    #[must_use]
+    pub fn dt_seconds(&self) -> f64 {
+        self.dt
+    }
+
+    /// Current temperature field.
+    #[must_use]
+    pub fn temperatures(&self) -> TemperatureField {
+        let mut grid = Grid3::filled(self.asm.dim(), 0.0);
+        grid.as_mut_slice().copy_from_slice(&self.temperatures);
+        TemperatureField::from_kelvin(grid)
+    }
+
+    /// Re-derives heat sources and boundary conditions from a modified
+    /// problem (same mesh): the power-gating / task-migration hook.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::NoBoundary`] when the new problem has no heatsink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mesh dimensions changed.
+    pub fn restage_power(&mut self, problem: &Problem) -> Result<(), SolveError> {
+        assert_eq!(
+            problem.dim(),
+            self.asm.dim(),
+            "restaged problem must keep the same mesh"
+        );
+        self.asm = Assembled::build(problem)?;
+        Ok(())
+    }
+
+    /// Advances one implicit-Euler step.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::NotConverged`] if the inner CG solve stalls.
+    pub fn step(&mut self) -> Result<SolverStats, SolveError> {
+        let n = self.temperatures.len();
+        // rhs = b + (C/dt)·T ; matrix = A + diag(C/dt).
+        let mut rhs = self.asm.rhs().to_vec();
+        let _ = n;
+        for ((r, c), t) in rhs
+            .iter_mut()
+            .zip(&self.cap_over_dt)
+            .zip(&self.temperatures)
+        {
+            *r += c * t;
+        }
+        let stats = self.asm.cg_shifted(
+            &self.cap_over_dt,
+            &rhs,
+            &mut self.temperatures,
+            self.tol,
+            self.max_iter,
+        )?;
+        self.time += self.dt;
+        Ok(stats)
+    }
+
+    /// Advances `steps` steps, returning the stats of the last one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first inner-solve failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is zero.
+    pub fn run(&mut self, steps: usize) -> Result<SolverStats, SolveError> {
+        assert!(steps > 0, "need at least one step");
+        let mut last = None;
+        for _ in 0..steps {
+            last = Some(self.step()?);
+        }
+        Ok(last.expect("steps > 0"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heatsink::Heatsink;
+    use crate::solver::CgSolver;
+    use tsc_units::{Length, Power, ThermalConductivity};
+
+    fn problem(powered: bool) -> Problem {
+        let mut p = Problem::uniform_block(
+            4,
+            4,
+            3,
+            Length::from_millimeters(1.0),
+            Length::from_millimeters(1.0),
+            Length::from_micrometers(100.0),
+            ThermalConductivity::new(100.0),
+        );
+        p.set_bottom_heatsink(Heatsink::two_phase());
+        if powered {
+            p.add_power(2, 2, 2, Power::from_watts(2.0));
+        }
+        p
+    }
+
+    fn caps(p: &Problem) -> Grid3<f64> {
+        Grid3::filled(p.dim(), capacity::SILICON)
+    }
+
+    #[test]
+    fn converges_to_steady_state() {
+        let p = problem(true);
+        let steady = CgSolver::new().solve(&p).expect("steady");
+        let mut run = TransientRun::new(&p, &caps(&p), 5e-6, Heatsink::two_phase().ambient)
+            .expect("well-posed");
+        run.run(400).expect("steps");
+        let t_end = run.temperatures().max_temperature().kelvin();
+        let t_ss = steady.temperatures.max_temperature().kelvin();
+        assert!(
+            (t_end - t_ss).abs() < 0.01 * (t_ss - 373.15).max(0.1),
+            "transient must settle at steady state: {t_end} vs {t_ss}"
+        );
+    }
+
+    #[test]
+    fn heating_is_monotone_from_ambient() {
+        let p = problem(true);
+        let mut run = TransientRun::new(&p, &caps(&p), 2e-6, Heatsink::two_phase().ambient)
+            .expect("well-posed");
+        let mut last = run.temperatures().max_temperature().kelvin();
+        for _ in 0..20 {
+            run.step().expect("step");
+            let now = run.temperatures().max_temperature().kelvin();
+            assert!(now >= last - 1e-12, "implicit Euler heating is monotone");
+            last = now;
+        }
+    }
+
+    #[test]
+    fn lumped_rc_time_constant() {
+        // A single giant step (dt >> tau) lands directly on steady state;
+        // a step of exactly tau covers 1/(1+dt/tau)... for implicit Euler
+        // the single-step update is T1 = (T0 + (dt/C)(q + G·Ta)) / (1 + dt·G/C);
+        // with dt -> infinity that is the steady solution. Verify.
+        let p = problem(true);
+        let steady = CgSolver::new().solve(&p).expect("steady");
+        let mut run = TransientRun::new(&p, &caps(&p), 1.0, Heatsink::two_phase().ambient)
+            .expect("well-posed"); // 1 s >> all time constants
+        run.step().expect("step");
+        let t1 = run.temperatures().max_temperature().kelvin();
+        let t_ss = steady.temperatures.max_temperature().kelvin();
+        assert!((t1 - t_ss).abs() < 0.05, "{t1} vs {t_ss}");
+    }
+
+    #[test]
+    fn gating_cools_the_stack() {
+        let p_on = problem(true);
+        let p_off = problem(false);
+        let mut run = TransientRun::new(&p_on, &caps(&p_on), 5e-6, Heatsink::two_phase().ambient)
+            .expect("well-posed");
+        run.run(100).expect("heat up");
+        let hot = run.temperatures().max_temperature();
+        run.restage_power(&p_off).expect("same mesh");
+        run.run(100).expect("cool down");
+        let cooled = run.temperatures().max_temperature();
+        assert!(cooled < hot, "gating must cool: {hot} -> {cooled}");
+        let residual_rise = cooled.kelvin() - Heatsink::two_phase().ambient.kelvin();
+        let hot_rise = hot.kelvin() - Heatsink::two_phase().ambient.kelvin();
+        assert!(
+            residual_rise < 0.25 * hot_rise,
+            "gated stack must decay most of its rise: {residual_rise} of {hot_rise}"
+        );
+    }
+
+    #[test]
+    fn smaller_dt_tracks_the_same_trajectory() {
+        let p = problem(true);
+        let amb = Heatsink::two_phase().ambient;
+        let mut coarse = TransientRun::new(&p, &caps(&p), 4e-6, amb).expect("well-posed");
+        let mut fine = TransientRun::new(&p, &caps(&p), 1e-6, amb).expect("well-posed");
+        coarse.run(5).expect("coarse");
+        fine.run(20).expect("fine");
+        let tc = coarse.temperatures().max_temperature().kelvin() - amb.kelvin();
+        let tf = fine.temperatures().max_temperature().kelvin() - amb.kelvin();
+        // First-order scheme: coarse lags fine but within ~25%.
+        assert!(
+            (tc - tf).abs() / tf.max(1e-9) < 0.25,
+            "dt refinement consistency: {tc} vs {tf}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "time step must be positive")]
+    fn zero_dt_rejected() {
+        let p = problem(true);
+        let _ = TransientRun::new(&p, &caps(&p), 0.0, Heatsink::two_phase().ambient);
+    }
+
+    #[test]
+    fn no_boundary_is_reported() {
+        let mut p = problem(true);
+        p = {
+            // Rebuild without a heatsink.
+            let mut q = Problem::uniform_block(
+                4,
+                4,
+                3,
+                Length::from_millimeters(1.0),
+                Length::from_millimeters(1.0),
+                Length::from_micrometers(100.0),
+                ThermalConductivity::new(100.0),
+            );
+            q.add_power(0, 0, 0, Power::from_watts(1.0));
+            let _ = p;
+            q
+        };
+        let caps = Grid3::filled(p.dim(), capacity::SILICON);
+        let err = TransientRun::new(&p, &caps, 1e-6, Temperature::from_celsius(25.0));
+        assert!(matches!(err, Err(SolveError::NoBoundary)));
+    }
+}

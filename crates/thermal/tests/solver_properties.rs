@@ -1,0 +1,170 @@
+//! Property-based tests for the finite-volume solver: physical invariants
+//! that must hold for *any* well-posed problem.
+
+use proptest::prelude::*;
+use tsc_thermal::{CgSolver, Heatsink, Problem, SorSolver};
+use tsc_units::{
+    HeatTransferCoefficient, Length, Power, TempDelta, Temperature, ThermalConductivity,
+};
+
+/// A small random problem: dimensions, conductivity contrast, heat
+/// placement and sink parameters all fuzzed.
+#[derive(Debug, Clone)]
+struct RandomCase {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    k_base: f64,
+    k_layer: f64,
+    hot_layer: usize,
+    hot_i: usize,
+    hot_j: usize,
+    hot_k: usize,
+    watts: f64,
+    h: f64,
+    ambient_c: f64,
+}
+
+fn random_case() -> impl Strategy<Value = RandomCase> {
+    (
+        2usize..7,
+        2usize..7,
+        2usize..6,
+        0.1f64..200.0,
+        0.1f64..200.0,
+        0usize..6,
+        0usize..7,
+        0usize..7,
+        0usize..6,
+        0.01f64..5.0,
+        1e4f64..1e6,
+        20.0f64..110.0,
+    )
+        .prop_map(
+            |(nx, ny, nz, k_base, k_layer, hot_layer, hot_i, hot_j, hot_k, watts, h, ambient_c)| {
+                RandomCase {
+                    nx,
+                    ny,
+                    nz,
+                    k_base,
+                    k_layer,
+                    hot_layer: hot_layer % nz,
+                    hot_i: hot_i % nx,
+                    hot_j: hot_j % ny,
+                    hot_k: hot_k % nz,
+                    watts,
+                    h,
+                    ambient_c,
+                }
+            },
+        )
+}
+
+fn build(case: &RandomCase) -> Problem {
+    let mut p = Problem::uniform_block(
+        case.nx,
+        case.ny,
+        case.nz,
+        Length::from_millimeters(1.0),
+        Length::from_millimeters(1.0),
+        Length::from_micrometers(50.0),
+        ThermalConductivity::new(case.k_base),
+    );
+    p.set_layer_conductivity(
+        case.hot_layer,
+        ThermalConductivity::new(case.k_layer),
+        ThermalConductivity::new(case.k_layer),
+    );
+    p.set_bottom_heatsink(Heatsink::new(
+        HeatTransferCoefficient::new(case.h),
+        Temperature::from_celsius(case.ambient_c),
+    ));
+    p.add_power(
+        case.hot_i,
+        case.hot_j,
+        case.hot_k,
+        Power::from_watts(case.watts),
+    );
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn energy_always_balances(case in random_case()) {
+        // The residual tolerance is 1e-9, but ill-conditioned random
+        // cases (high contrast + weak sinks) amplify it into the energy
+        // functional; 1e-4 relative is still far beyond any physical
+        // modelling error.
+        let sol = CgSolver::new().solve(&build(&case)).expect("well-posed");
+        prop_assert!(sol.energy.relative_error() < 1e-4,
+            "imbalance {}", sol.energy.relative_error());
+    }
+
+    #[test]
+    fn maximum_principle(case in random_case()) {
+        let sol = CgSolver::new().solve(&build(&case)).expect("well-posed");
+        let ambient = Temperature::from_celsius(case.ambient_c);
+        // No cell may fall below ambient (single sink, sources only).
+        prop_assert!(sol.temperatures.min_temperature() >= ambient - TempDelta::new(1e-9));
+        // The hottest cell is the heated one.
+        let hottest = sol.temperatures.hottest_cell();
+        prop_assert_eq!((hottest.i, hottest.j, hottest.k),
+            (case.hot_i, case.hot_j, case.hot_k));
+    }
+
+    #[test]
+    fn power_scaling_is_linear(case in random_case()) {
+        // Steady conduction is linear: doubling power doubles every rise.
+        let p1 = build(&case);
+        let mut p2 = build(&case);
+        p2.add_power(case.hot_i, case.hot_j, case.hot_k, Power::from_watts(case.watts));
+        let s1 = CgSolver::new().solve(&p1).expect("p1");
+        let s2 = CgSolver::new().solve(&p2).expect("p2");
+        let ambient = Temperature::from_celsius(case.ambient_c);
+        let rise1 = (s1.temperatures.max_temperature() - ambient).kelvin();
+        let rise2 = (s2.temperatures.max_temperature() - ambient).kelvin();
+        prop_assert!((rise2 - 2.0 * rise1).abs() <= 1e-6 * rise1.max(1e-12),
+            "rise1 {rise1}, rise2 {rise2}");
+    }
+
+    #[test]
+    fn better_conductivity_never_hurts(case in random_case()) {
+        let p1 = build(&case);
+        let mut better = case.clone();
+        better.k_base *= 2.0;
+        better.k_layer *= 2.0;
+        let p2 = build(&better);
+        let t1 = CgSolver::new().solve(&p1).expect("p1").temperatures.max_temperature();
+        let t2 = CgSolver::new().solve(&p2).expect("p2").temperatures.max_temperature();
+        prop_assert!(t2 <= t1 + TempDelta::new(1e-9),
+            "doubling k heated the chip: {t1} -> {t2}");
+    }
+
+    #[test]
+    fn stronger_heatsink_never_hurts(case in random_case()) {
+        let p1 = build(&case);
+        let mut better = case.clone();
+        better.h *= 3.0;
+        let p2 = build(&better);
+        let t1 = CgSolver::new().solve(&p1).expect("p1").temperatures.max_temperature();
+        let t2 = CgSolver::new().solve(&p2).expect("p2").temperatures.max_temperature();
+        prop_assert!(t2 <= t1 + TempDelta::new(1e-9));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn cg_and_sor_agree_on_random_problems(case in random_case()) {
+        let p = build(&case);
+        let a = CgSolver::new().solve(&p).expect("cg");
+        let b = SorSolver::new().with_tolerance(1e-10).solve(&p).expect("sor");
+        let ta = a.temperatures.max_temperature().kelvin();
+        let tb = b.temperatures.max_temperature().kelvin();
+        prop_assert!((ta - tb).abs() < 1e-3 * (ta - 273.15).abs().max(1.0),
+            "cg {ta} vs sor {tb}");
+    }
+}

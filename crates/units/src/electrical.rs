@@ -1,0 +1,210 @@
+//! Electrical quantities used by the BEOL delay model: capacitance, wire
+//! resistance, delay, frequency, and relative permittivity.
+
+quantity! {
+    /// Capacitance, stored in farads.
+    ///
+    /// ```
+    /// use tsc_units::{Capacitance, ElectricalResistance};
+    /// let c = Capacitance::from_femtofarads(200.0);
+    /// let r = ElectricalResistance::new(1000.0);
+    /// assert!(((r * c).picoseconds() - 200.0).abs() < 1e-9);
+    /// ```
+    Capacitance, "F", "Creates a capacitance from farads."
+}
+
+quantity! {
+    /// Electrical resistance, stored in ohms.
+    ///
+    /// ```
+    /// use tsc_units::ElectricalResistance;
+    /// let r = ElectricalResistance::new(25.0);
+    /// assert_eq!((r * 2.0).get(), 50.0);
+    /// ```
+    ElectricalResistance, "Ω", "Creates an electrical resistance from ohms."
+}
+
+quantity! {
+    /// A signal delay, stored in seconds.
+    ///
+    /// ```
+    /// use tsc_units::Delay;
+    /// let period = Delay::from_nanoseconds(1.0);
+    /// let slack = Delay::from_picoseconds(-30.0);
+    /// assert!(((period - slack).picoseconds() - 1030.0).abs() < 1e-9);
+    /// ```
+    Delay, "s", "Creates a delay from seconds."
+}
+
+quantity! {
+    /// A clock frequency, stored in hertz.
+    ///
+    /// ```
+    /// use tsc_units::Frequency;
+    /// let f = Frequency::from_gigahertz(1.0);
+    /// assert!((f.period().nanoseconds() - 1.0).abs() < 1e-12);
+    /// ```
+    Frequency, "Hz", "Creates a frequency from hertz."
+}
+
+quantity! {
+    /// Relative permittivity (dielectric constant), dimensionless.
+    ///
+    /// The paper's two dielectrics: porous ultra-low-k at ε ≈ 2 and the
+    /// nanocrystalline-diamond thermal dielectric at a pessimistic ε ≈ 4.
+    ///
+    /// ```
+    /// use tsc_units::RelativePermittivity;
+    /// let ultra_low_k = RelativePermittivity::ULTRA_LOW_K;
+    /// let diamond = RelativePermittivity::THERMAL_DIELECTRIC;
+    /// assert!((diamond / ultra_low_k - 2.0).abs() < 1e-9);
+    /// ```
+    RelativePermittivity, "(dimensionless)", "Creates a relative permittivity."
+}
+
+/// Vacuum permittivity ε₀ in F/m.
+pub const VACUUM_PERMITTIVITY: f64 = 8.854_187_812_8e-12;
+
+impl Capacitance {
+    /// Creates a capacitance from femtofarads.
+    #[must_use]
+    pub fn from_femtofarads(ff: f64) -> Self {
+        Self::new(ff * 1e-15)
+    }
+
+    /// Value in femtofarads.
+    #[must_use]
+    pub fn femtofarads(self) -> f64 {
+        self.get() * 1e15
+    }
+}
+
+impl Delay {
+    /// Creates a delay from nanoseconds.
+    #[must_use]
+    pub fn from_nanoseconds(ns: f64) -> Self {
+        Self::new(ns * 1e-9)
+    }
+
+    /// Creates a delay from picoseconds.
+    #[must_use]
+    pub fn from_picoseconds(ps: f64) -> Self {
+        Self::new(ps * 1e-12)
+    }
+
+    /// Value in nanoseconds.
+    #[must_use]
+    pub fn nanoseconds(self) -> f64 {
+        self.get() * 1e9
+    }
+
+    /// Value in picoseconds.
+    #[must_use]
+    pub fn picoseconds(self) -> f64 {
+        self.get() * 1e12
+    }
+
+    /// The frequency whose period equals this delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the delay is zero or negative.
+    #[must_use]
+    pub fn to_frequency(self) -> Frequency {
+        assert!(self.get() > 0.0, "period must be positive, got {self}");
+        Frequency::new(1.0 / self.get())
+    }
+}
+
+impl Frequency {
+    /// Creates a frequency from gigahertz.
+    #[must_use]
+    pub fn from_gigahertz(ghz: f64) -> Self {
+        Self::new(ghz * 1e9)
+    }
+
+    /// Creates a frequency from megahertz.
+    #[must_use]
+    pub fn from_megahertz(mhz: f64) -> Self {
+        Self::new(mhz * 1e6)
+    }
+
+    /// Value in gigahertz.
+    #[must_use]
+    pub fn gigahertz(self) -> f64 {
+        self.get() * 1e-9
+    }
+
+    /// The clock period for this frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero or negative.
+    #[must_use]
+    pub fn period(self) -> Delay {
+        assert!(self.get() > 0.0, "frequency must be positive, got {self}");
+        Delay::new(1.0 / self.get())
+    }
+}
+
+impl RelativePermittivity {
+    /// Porous ultra-low-k inter-layer dielectric: ε ≈ 2 (Lee & Shue,
+    /// IEDM 2020 trend).
+    pub const ULTRA_LOW_K: Self = Self::new(2.0);
+
+    /// Nanocrystalline diamond thermal dielectric: pessimistic ε ≈ 4
+    /// (Sec. II, Maxwell-Garnett over literature spread).
+    pub const THERMAL_DIELECTRIC: Self = Self::new(4.0);
+}
+
+impl core::ops::Mul<Capacitance> for ElectricalResistance {
+    type Output = Delay;
+    /// The RC time constant `τ = R·C` (Elmore delay building block).
+    fn mul(self, rhs: Capacitance) -> Delay {
+        Delay::new(self.get() * rhs.get())
+    }
+}
+
+impl core::ops::Mul<ElectricalResistance> for Capacitance {
+    type Output = Delay;
+    fn mul(self, rhs: ElectricalResistance) -> Delay {
+        rhs * self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rc_is_delay() {
+        let tau = ElectricalResistance::new(100.0) * Capacitance::from_femtofarads(10.0);
+        assert!((tau.picoseconds() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequency_period_round_trip() {
+        let f = Frequency::from_gigahertz(1.25);
+        assert!((f.period().to_frequency().gigahertz() - 1.25).abs() < 1e-9);
+        assert!((Frequency::from_megahertz(800.0).period().nanoseconds() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_delay_has_no_frequency() {
+        let _ = Delay::ZERO.to_frequency();
+    }
+
+    #[test]
+    fn named_permittivities() {
+        assert_eq!(RelativePermittivity::ULTRA_LOW_K.get(), 2.0);
+        assert_eq!(RelativePermittivity::THERMAL_DIELECTRIC.get(), 4.0);
+    }
+
+    #[test]
+    fn delay_unit_conversions() {
+        let d = Delay::from_nanoseconds(0.9);
+        assert!((d.picoseconds() - 900.0).abs() < 1e-9);
+        assert!((Delay::from_picoseconds(900.0).nanoseconds() - 0.9).abs() < 1e-12);
+    }
+}

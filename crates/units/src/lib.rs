@@ -1,0 +1,259 @@
+//! Unit-safe physical quantities for thermal/electrical chip simulation.
+//!
+//! Every physical value exchanged between the crates of this workspace is a
+//! newtype over `f64` with an explicit SI storage convention, so that a
+//! thermal conductivity can never be confused with a heat-transfer
+//! coefficient, or a temperature with a temperature *difference* — the two
+//! classic unit bugs in thermal simulators.
+//!
+//! # Conventions
+//!
+//! * Lengths are stored in **meters**, powers in **watts**, temperatures in
+//!   **kelvin** (with Celsius constructors/accessors).
+//! * Quantities are `Copy` and support the arithmetic that is physically
+//!   meaningful: you can add two [`Power`]s, scale a [`Length`], divide two
+//!   [`Area`]s to get a plain ratio, and multiply an [`Area`] by a
+//!   [`HeatFlux`] to get a [`Power`] — but you cannot add a `Power` to an
+//!   `Area`.
+//! * Cross-quantity products/quotients live in [`ops`] and each encodes one
+//!   physical law (e.g. `q = h · ΔT`).
+//!
+//! # Example
+//!
+//! ```
+//! use tsc_units::{Length, HeatFlux, HeatTransferCoefficient};
+//!
+//! // A 1 cm x 1 cm die dissipating 636 W/cm^2 through a two-phase heatsink.
+//! let side = Length::from_micrometers(10_000.0);
+//! let area = side * side;
+//! let flux = HeatFlux::from_watts_per_square_cm(636.0);
+//! let power = flux * area;
+//! assert!((power.watts() - 636.0).abs() < 1e-9);
+//!
+//! // Temperature rise across the heatsink: ΔT = q'' / h.
+//! let h = HeatTransferCoefficient::new(1.0e6);
+//! let rise = flux / h;
+//! assert!((rise.kelvin() - 6.36).abs() < 1e-9);
+//! ```
+
+/// Declares a `Copy` newtype quantity over `f64` with same-unit arithmetic.
+///
+/// Generates: constructors (`new`), raw accessor, `Add`/`Sub` with `Self`,
+/// `Mul`/`Div` by `f64`, `Div<Self> -> f64` (dimensionless ratio), `Neg`,
+/// `Sum`, ordering helpers (`min`/`max`/`clamp`/`abs`), and `Display`.
+macro_rules! quantity {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $unit:literal, $ctor_doc:literal
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+        pub struct $name(f64);
+
+        impl $name {
+            #[doc = $ctor_doc]
+            #[must_use]
+            pub const fn new(raw: f64) -> Self {
+                Self(raw)
+            }
+
+            /// Zero value of this quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Raw value in the SI storage unit (
+            #[doc = $unit]
+            /// ).
+            #[must_use]
+            pub const fn get(self) -> f64 {
+                self.0
+            }
+
+            /// Absolute value.
+            #[must_use]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// The smaller of `self` and `other`.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// The larger of `self` and `other`.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Clamps `self` into `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi` or either bound is NaN.
+            #[must_use]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// `true` when the raw value is finite (not NaN/∞).
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Approximate equality within `tol` (absolute, same unit).
+            #[must_use]
+            pub fn approx_eq(self, other: Self, tol: f64) -> bool {
+                (self.0 - other.0).abs() <= tol
+            }
+        }
+
+        impl core::ops::Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl core::ops::AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl core::ops::Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl core::ops::SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl core::ops::Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl core::ops::Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl core::ops::Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl core::ops::Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl core::ops::Div for $name {
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl core::iter::Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl<'a> core::iter::Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl core::fmt::Display for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, "{} {}", self.0, $unit)
+            }
+        }
+    };
+}
+
+mod electrical;
+mod length;
+pub mod ops;
+mod power;
+mod ratio;
+mod temperature;
+mod thermal;
+
+pub use electrical::{
+    Capacitance, Delay, ElectricalResistance, Frequency, RelativePermittivity, VACUUM_PERMITTIVITY,
+};
+pub use length::{Area, Length, Volume};
+pub use power::{HeatFlux, Power, VolumetricHeat};
+pub use ratio::Ratio;
+pub use temperature::{TempDelta, Temperature};
+pub use thermal::{
+    AreaThermalResistance, HeatTransferCoefficient, ThermalConductance, ThermalConductivity,
+    ThermalResistance,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantities_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Length>();
+        assert_send_sync::<Power>();
+        assert_send_sync::<Temperature>();
+        assert_send_sync::<ThermalConductivity>();
+    }
+
+    #[test]
+    fn same_unit_arithmetic() {
+        let a = Power::from_watts(2.0);
+        let b = Power::from_watts(3.0);
+        assert_eq!((a + b).watts(), 5.0);
+        assert_eq!((b - a).watts(), 1.0);
+        assert_eq!((a * 2.0).watts(), 4.0);
+        assert_eq!((b / 3.0).watts(), 1.0);
+        assert!((b / a - 1.5).abs() < 1e-12);
+        assert_eq!((-a).watts(), -2.0);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Power = (1..=4).map(|i| Power::from_watts(f64::from(i))).sum();
+        assert_eq!(total.watts(), 10.0);
+    }
+
+    #[test]
+    fn min_max_clamp() {
+        let lo = Length::from_nanometers(100.0);
+        let hi = Length::from_nanometers(300.0);
+        let x = Length::from_nanometers(500.0);
+        assert_eq!(x.clamp(lo, hi), hi);
+        assert_eq!(lo.min(hi), lo);
+        assert_eq!(lo.max(hi), hi);
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        let k = ThermalConductivity::new(105.7);
+        assert_eq!(format!("{k}"), "105.7 W/m/K");
+    }
+}

@@ -1,0 +1,161 @@
+//! Power quantities: total [`Power`], areal [`HeatFlux`], and volumetric
+//! heat generation [`VolumetricHeat`].
+
+use crate::length::{Area, Volume};
+
+quantity! {
+    /// Dissipated power, stored in watts.
+    ///
+    /// ```
+    /// use tsc_units::Power;
+    /// let tier = Power::from_watts(53.0);
+    /// let stack: Power = std::iter::repeat(tier).take(12).sum();
+    /// assert!((stack.watts() - 636.0).abs() < 1e-9);
+    /// ```
+    Power, "W", "Creates a power from watts."
+}
+
+quantity! {
+    /// Areal power density (heat flux), stored in W/m².
+    ///
+    /// The paper quotes densities in W/cm² (e.g. the Gemmini systolic array
+    /// peaks at 95 W/cm²); use [`HeatFlux::from_watts_per_square_cm`].
+    ///
+    /// ```
+    /// use tsc_units::HeatFlux;
+    /// let q = HeatFlux::from_watts_per_square_cm(95.0);
+    /// assert!((q.watts_per_square_meter() - 9.5e5).abs() < 1e-6);
+    /// ```
+    HeatFlux, "W/m^2", "Creates a heat flux from watts per square meter."
+}
+
+quantity! {
+    /// Volumetric heat generation, stored in W/m³.
+    ///
+    /// Used when a heat source is smeared through the thickness of a device
+    /// layer in the finite-volume solver.
+    ///
+    /// ```
+    /// use tsc_units::VolumetricHeat;
+    /// let g = VolumetricHeat::new(1e12);
+    /// assert_eq!(g.get(), 1e12);
+    /// ```
+    VolumetricHeat, "W/m^3", "Creates a volumetric heat generation rate from W/m³."
+}
+
+impl Power {
+    /// Creates a power from watts (alias of [`Power::new`]).
+    #[must_use]
+    pub const fn from_watts(w: f64) -> Self {
+        Self::new(w)
+    }
+
+    /// Creates a power from milliwatts.
+    #[must_use]
+    pub fn from_milliwatts(mw: f64) -> Self {
+        Self::new(mw * 1e-3)
+    }
+
+    /// Value in watts.
+    #[must_use]
+    pub const fn watts(self) -> f64 {
+        self.get()
+    }
+
+    /// Value in milliwatts.
+    #[must_use]
+    pub fn milliwatts(self) -> f64 {
+        self.get() * 1e3
+    }
+}
+
+impl HeatFlux {
+    /// Creates a heat flux from W/cm² (the paper's customary unit).
+    #[must_use]
+    pub fn from_watts_per_square_cm(w_per_cm2: f64) -> Self {
+        Self::new(w_per_cm2 * 1e4)
+    }
+
+    /// Value in W/m².
+    #[must_use]
+    pub const fn watts_per_square_meter(self) -> f64 {
+        self.get()
+    }
+
+    /// Value in W/cm².
+    #[must_use]
+    pub fn watts_per_square_cm(self) -> f64 {
+        self.get() * 1e-4
+    }
+}
+
+impl core::ops::Mul<Area> for HeatFlux {
+    type Output = Power;
+    fn mul(self, rhs: Area) -> Power {
+        Power::new(self.get() * rhs.get())
+    }
+}
+
+impl core::ops::Mul<HeatFlux> for Area {
+    type Output = Power;
+    fn mul(self, rhs: HeatFlux) -> Power {
+        rhs * self
+    }
+}
+
+impl core::ops::Div<Area> for Power {
+    type Output = HeatFlux;
+    fn div(self, rhs: Area) -> HeatFlux {
+        HeatFlux::new(self.get() / rhs.get())
+    }
+}
+
+impl core::ops::Mul<Volume> for VolumetricHeat {
+    type Output = Power;
+    fn mul(self, rhs: Volume) -> Power {
+        Power::new(self.get() * rhs.get())
+    }
+}
+
+impl core::ops::Div<Volume> for Power {
+    type Output = VolumetricHeat;
+    fn div(self, rhs: Volume) -> VolumetricHeat {
+        VolumetricHeat::new(self.get() / rhs.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::length::Length;
+
+    #[test]
+    fn flux_times_area_is_power() {
+        // 95 W/cm^2 over a 0.5 cm^2 array -> 47.5 W.
+        let q = HeatFlux::from_watts_per_square_cm(95.0);
+        let a = Area::from_square_cm(0.5);
+        assert!(((q * a).watts() - 47.5).abs() < 1e-9);
+        assert!(((a * q).watts() - 47.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_div_area_is_flux() {
+        let p = Power::from_watts(636.0);
+        let a = Area::from_square_cm(1.0);
+        assert!(((p / a).watts_per_square_cm() - 636.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn volumetric_round_trip() {
+        let v = Length::from_micrometers(100.0).squared() * Length::from_nanometers(100.0);
+        let p = Power::from_watts(0.01);
+        let g = p / v;
+        assert!(((g * v).watts() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn milliwatt_conversion() {
+        assert!((Power::from_milliwatts(250.0).watts() - 0.25).abs() < 1e-12);
+        assert!((Power::from_watts(0.25).milliwatts() - 250.0).abs() < 1e-9);
+    }
+}

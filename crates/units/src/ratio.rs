@@ -1,0 +1,169 @@
+//! Dimensionless ratios expressed in percent-friendly form.
+
+/// A dimensionless ratio with percentage constructors/accessors.
+///
+/// Used for the paper's headline overheads — footprint penalty, delay
+/// penalty, metal fill density, utilization, porosity — all of which are
+/// quoted in percent.
+///
+/// ```
+/// use tsc_units::Ratio;
+/// let footprint_penalty = Ratio::from_percent(10.0);
+/// let delay_penalty = Ratio::from_fraction(0.03);
+/// assert!((footprint_penalty.fraction() - 0.10).abs() < 1e-12);
+/// assert!((delay_penalty.percent() - 3.0).abs() < 1e-12);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize,
+)]
+pub struct Ratio(f64);
+
+impl Ratio {
+    /// Zero.
+    pub const ZERO: Self = Self(0.0);
+
+    /// One hundred percent.
+    pub const ONE: Self = Self(1.0);
+
+    /// Creates a ratio from a fraction (`0.10` = 10 %).
+    #[must_use]
+    pub const fn from_fraction(fraction: f64) -> Self {
+        Self(fraction)
+    }
+
+    /// Creates a ratio from a percentage (`10.0` = 10 %).
+    #[must_use]
+    pub fn from_percent(percent: f64) -> Self {
+        Self(percent / 100.0)
+    }
+
+    /// Value as a fraction.
+    #[must_use]
+    pub const fn fraction(self) -> f64 {
+        self.0
+    }
+
+    /// Value as a percentage.
+    #[must_use]
+    pub fn percent(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// The complementary ratio `1 − self`.
+    #[must_use]
+    pub fn complement(self) -> Self {
+        Self(1.0 - self.0)
+    }
+
+    /// The smaller of `self` and `other`.
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+
+    /// The larger of `self` and `other`.
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+
+    /// Clamps into `[0, 1]`.
+    #[must_use]
+    pub fn saturate(self) -> Self {
+        Self(self.0.clamp(0.0, 1.0))
+    }
+
+    /// `true` when in `[0, 1]`.
+    #[must_use]
+    pub fn is_proper(self) -> bool {
+        (0.0..=1.0).contains(&self.0)
+    }
+
+    /// Approximate equality within `tol` (as fraction).
+    #[must_use]
+    pub fn approx_eq(self, other: Self, tol: f64) -> bool {
+        (self.0 - other.0).abs() <= tol
+    }
+}
+
+impl core::ops::Add for Ratio {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl core::ops::Sub for Ratio {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 - rhs.0)
+    }
+}
+
+impl core::ops::Mul for Ratio {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        Self(self.0 * rhs.0)
+    }
+}
+
+impl core::ops::Mul<f64> for Ratio {
+    type Output = Self;
+    fn mul(self, rhs: f64) -> Self {
+        Self(self.0 * rhs)
+    }
+}
+
+impl core::ops::Div for Ratio {
+    type Output = f64;
+    fn div(self, rhs: Self) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl core::fmt::Display for Ratio {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.2}%", self.percent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_fraction_round_trip() {
+        let r = Ratio::from_percent(78.0);
+        assert!((r.fraction() - 0.78).abs() < 1e-12);
+        assert!((Ratio::from_fraction(0.78).percent() - 78.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complement() {
+        assert!((Ratio::from_percent(34.0).complement().percent() - 66.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturate_and_proper() {
+        assert!(Ratio::from_fraction(1.4)
+            .saturate()
+            .approx_eq(Ratio::ONE, 1e-12));
+        assert!(Ratio::from_fraction(-0.1)
+            .saturate()
+            .approx_eq(Ratio::ZERO, 1e-12));
+        assert!(Ratio::from_percent(50.0).is_proper());
+        assert!(!Ratio::from_percent(150.0).is_proper());
+    }
+
+    #[test]
+    fn display_as_percent() {
+        assert_eq!(format!("{}", Ratio::from_percent(10.2)), "10.20%");
+    }
+
+    #[test]
+    fn ratio_products_compose() {
+        // 90% placement density of an 80% utilization region.
+        let r = Ratio::from_percent(90.0) * Ratio::from_percent(80.0);
+        assert!((r.percent() - 72.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,178 @@
+//! Absolute temperatures and temperature differences.
+//!
+//! The distinction matters: `125 °C − 100 °C` is a 25 K *difference*, not a
+//! 25 °C absolute temperature, and adding two absolute temperatures is
+//! meaningless. [`Temperature`] therefore only supports subtraction (giving
+//! a [`TempDelta`]) and offsetting by a delta.
+
+/// An absolute temperature, stored in kelvin.
+///
+/// ```
+/// use tsc_units::Temperature;
+/// let limit = Temperature::from_celsius(125.0);
+/// let ambient = Temperature::from_celsius(100.0);
+/// let budget = limit - ambient;
+/// assert!((budget.kelvin() - 25.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+pub struct Temperature(f64);
+
+quantity! {
+    /// A temperature difference, stored in kelvin.
+    ///
+    /// ```
+    /// use tsc_units::TempDelta;
+    /// let per_tier = TempDelta::new(3.0);
+    /// assert_eq!((per_tier * 4.0).kelvin(), 12.0);
+    /// ```
+    TempDelta, "K", "Creates a temperature difference from kelvin."
+}
+
+impl Temperature {
+    /// Absolute zero.
+    pub const ABSOLUTE_ZERO: Self = Self(0.0);
+
+    /// Creates an absolute temperature from kelvin.
+    #[must_use]
+    pub const fn from_kelvin(k: f64) -> Self {
+        Self(k)
+    }
+
+    /// Creates an absolute temperature from degrees Celsius.
+    #[must_use]
+    pub fn from_celsius(c: f64) -> Self {
+        Self(c + 273.15)
+    }
+
+    /// Value in kelvin.
+    #[must_use]
+    pub const fn kelvin(self) -> f64 {
+        self.0
+    }
+
+    /// Value in degrees Celsius.
+    #[must_use]
+    pub fn celsius(self) -> f64 {
+        self.0 - 273.15
+    }
+
+    /// The warmer of `self` and `other`.
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+
+    /// The cooler of `self` and `other`.
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+
+    /// `true` when the raw value is finite (not NaN/∞).
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Approximate equality within `tol` kelvin.
+    #[must_use]
+    pub fn approx_eq(self, other: Self, tol: f64) -> bool {
+        (self.0 - other.0).abs() <= tol
+    }
+}
+
+impl TempDelta {
+    /// Value in kelvin (identical magnitude in °C).
+    #[must_use]
+    pub const fn kelvin(self) -> f64 {
+        self.get()
+    }
+}
+
+impl core::ops::Sub for Temperature {
+    type Output = TempDelta;
+    fn sub(self, rhs: Self) -> TempDelta {
+        TempDelta::new(self.0 - rhs.0)
+    }
+}
+
+impl core::ops::Add<TempDelta> for Temperature {
+    type Output = Temperature;
+    fn add(self, rhs: TempDelta) -> Temperature {
+        Temperature(self.0 + rhs.get())
+    }
+}
+
+impl core::ops::Sub<TempDelta> for Temperature {
+    type Output = Temperature;
+    fn sub(self, rhs: TempDelta) -> Temperature {
+        Temperature(self.0 - rhs.get())
+    }
+}
+
+impl core::ops::AddAssign<TempDelta> for Temperature {
+    fn add_assign(&mut self, rhs: TempDelta) {
+        self.0 += rhs.get();
+    }
+}
+
+impl core::fmt::Display for Temperature {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.2} °C", self.celsius())
+    }
+}
+
+impl Default for Temperature {
+    /// Room temperature, 25 °C — the conventional single-phase ambient.
+    fn default() -> Self {
+        Self::from_celsius(25.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn celsius_kelvin_round_trip() {
+        let t = Temperature::from_celsius(125.0);
+        assert!((t.kelvin() - 398.15).abs() < 1e-12);
+        assert!((t.celsius() - 125.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subtraction_yields_delta() {
+        let hot = Temperature::from_celsius(125.0);
+        let cold = Temperature::from_celsius(100.0);
+        assert!((hot - cold).approx_eq(TempDelta::new(25.0), 1e-12));
+    }
+
+    #[test]
+    fn offset_by_delta() {
+        let ambient = Temperature::from_celsius(100.0);
+        let rise = TempDelta::new(6.36);
+        let t = ambient + rise;
+        assert!((t.celsius() - 106.36).abs() < 1e-12);
+        assert!(((t - rise).celsius() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Temperature::from_celsius(85.0) < Temperature::from_celsius(125.0));
+        let a = Temperature::from_celsius(85.0);
+        let b = Temperature::from_celsius(125.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn display_in_celsius() {
+        let t = Temperature::from_celsius(125.0);
+        assert_eq!(format!("{t}"), "125.00 °C");
+    }
+
+    #[test]
+    fn default_is_room_temperature() {
+        assert!((Temperature::default().celsius() - 25.0).abs() < 1e-12);
+    }
+}

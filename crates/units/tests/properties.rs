@@ -1,0 +1,122 @@
+//! Property-based tests for the unit algebra.
+
+use proptest::prelude::*;
+use tsc_units::{
+    ops, Area, AreaThermalResistance, HeatFlux, HeatTransferCoefficient, Length, Power, Ratio,
+    TempDelta, Temperature, ThermalConductivity,
+};
+
+fn finite_positive() -> impl Strategy<Value = f64> {
+    // Stay within a range where f64 round-off cannot dominate.
+    1e-12..1e12
+}
+
+proptest! {
+    #[test]
+    fn length_conversions_round_trip(nm in finite_positive()) {
+        let l = Length::from_nanometers(nm);
+        prop_assert!((l.nanometers() - nm).abs() <= nm * 1e-12);
+        prop_assert!((Length::from_micrometers(l.micrometers()).meters() - l.meters()).abs()
+            <= l.meters() * 1e-12);
+    }
+
+    #[test]
+    fn area_of_square_inverts_side(um in 1e-3..1e4f64) {
+        let side = Length::from_micrometers(um);
+        let recovered = side.squared().side_of_square();
+        prop_assert!((recovered.micrometers() - um).abs() <= um * 1e-9);
+    }
+
+    #[test]
+    fn temperature_offset_cancels(c in -200.0..1000.0f64, dk in -500.0..500.0f64) {
+        let t = Temperature::from_celsius(c);
+        let d = TempDelta::new(dk);
+        let back = (t + d) - d;
+        prop_assert!(back.approx_eq(t, 1e-9));
+    }
+
+    #[test]
+    fn power_sum_is_commutative(w1 in finite_positive(), w2 in finite_positive()) {
+        let a = Power::from_watts(w1);
+        let b = Power::from_watts(w2);
+        prop_assert!((a + b).approx_eq(b + a, 1e-9 * (w1 + w2)));
+    }
+
+    #[test]
+    fn flux_area_power_triangle(q in 1e-3..1e4f64, cm2 in 1e-4..1e2f64) {
+        let flux = HeatFlux::from_watts_per_square_cm(q);
+        let area = Area::from_square_cm(cm2);
+        let p = flux * area;
+        let q_back = p / area;
+        prop_assert!((q_back.watts_per_square_cm() - q).abs() <= q * 1e-12);
+    }
+
+    #[test]
+    fn mixture_rules_are_bounded(
+        k_hi in 1.0..1000.0f64,
+        k_lo in 0.01..1.0f64,
+        pct in 0.0..100.0f64,
+    ) {
+        let hi = ThermalConductivity::new(k_hi);
+        let lo = ThermalConductivity::new(k_lo);
+        let f = Ratio::from_percent(pct);
+        let par = ops::parallel_rule(hi, lo, f);
+        let ser = ops::series_rule(hi, lo, f);
+        // Both bounded by constituents; Voigt >= Reuss always.
+        prop_assert!(par.get() <= k_hi.max(k_lo) + 1e-9);
+        prop_assert!(ser.get() >= k_hi.min(k_lo) - 1e-9);
+        prop_assert!(par.get() + 1e-12 >= ser.get());
+    }
+
+    #[test]
+    fn stack_temperature_monotone_in_tiers(
+        n in 1usize..20,
+        q in 1.0..200.0f64,
+        r in 1e-8..1e-5f64,
+    ) {
+        let flux = HeatFlux::from_watts_per_square_cm(q);
+        let res = AreaThermalResistance::new(r);
+        let h = HeatTransferCoefficient::TWO_PHASE;
+        let amb = Temperature::from_celsius(100.0);
+        let t_n = ops::stack_junction_temperature(n, flux, res, h, amb);
+        let t_n1 = ops::stack_junction_temperature(n + 1, flux, res, h, amb);
+        prop_assert!(t_n1 > t_n, "adding a tier must heat the stack");
+        prop_assert!(t_n > amb, "junction must sit above ambient");
+    }
+
+    #[test]
+    fn stack_temperature_monotone_in_resistance(
+        q in 1.0..200.0f64,
+        r1 in 1e-8..1e-5f64,
+        factor in 1.01..100.0f64,
+    ) {
+        let flux = HeatFlux::from_watts_per_square_cm(q);
+        let h = HeatTransferCoefficient::TWO_PHASE;
+        let amb = Temperature::from_celsius(100.0);
+        let t_lo = ops::stack_junction_temperature(6, flux, AreaThermalResistance::new(r1), h, amb);
+        let t_hi = ops::stack_junction_temperature(
+            6, flux, AreaThermalResistance::new(r1 * factor), h, amb);
+        prop_assert!(t_hi > t_lo, "higher tier resistance must run hotter");
+    }
+
+    #[test]
+    fn ladder_fraction_is_proper(
+        n in 1usize..16,
+        q in 1.0..500.0f64,
+        r in 1e-9..1e-4f64,
+    ) {
+        let f = ops::ladder_fraction_of_rise(
+            n,
+            HeatFlux::from_watts_per_square_cm(q),
+            AreaThermalResistance::new(r),
+            HeatTransferCoefficient::MICROFLUIDIC,
+        );
+        prop_assert!(f.is_proper());
+    }
+
+    #[test]
+    fn ratio_complement_involutes(pct in 0.0..100.0f64) {
+        let r = Ratio::from_percent(pct);
+        prop_assert!(r.complement().complement().approx_eq(r, 1e-12));
+    }
+}

@@ -1,0 +1,60 @@
+//! The software/hardware co-design toy of Fig. 12: four individually
+//! power-gated MAC units, only one active at a time. Compare a single
+//! shared pillar (reachable through the thermal dielectric) against a
+//! gating-unaware 4x pillar covering.
+//!
+//! ```sh
+//! cargo run --release --example codesign_gating
+//! ```
+
+use thermal_scaffolding::core::beol;
+use thermal_scaffolding::core::codesign::{
+    dielectric_sweep, reduction_vs_baseline, Arrangement, ToyConfig,
+};
+use thermal_scaffolding::units::Length;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = ToyConfig::default();
+    let side = Length::from_micrometers(1.0);
+    println!(
+        "toy: 4 MAC heat sources in a {} µm domain, one active at a time",
+        cfg.domain.micrometers()
+    );
+
+    let single_td = reduction_vs_baseline(
+        &cfg,
+        beol::upper_thermal_dielectric(),
+        Arrangement::SingleCentral { side },
+    )?;
+    let single_ulk = reduction_vs_baseline(
+        &cfg,
+        beol::upper_ultra_low_k(),
+        Arrangement::SingleCentral { side },
+    )?;
+    let covering = reduction_vs_baseline(
+        &cfg,
+        beol::upper_ultra_low_k(),
+        Arrangement::UniformCovering {
+            reference_side: side,
+        },
+    )?;
+
+    println!("peak-temperature reduction vs no pillars:");
+    println!("  one shared pillar + thermal dielectric : {single_td}");
+    println!("  one shared pillar, ultra-low-k         : {single_ulk}  <- useless without the dielectric");
+    println!("  4x pillar covering, ultra-low-k        : {covering}   <- 4x the pillar area");
+    println!();
+
+    println!("reduction vs dielectric conductivity (the Fig. 12b curve):");
+    for (k, r) in dielectric_sweep(&cfg, side, &[5.0, 50.0, 105.7, 250.0, 500.0])? {
+        let bars = "#".repeat((r.percent() / 2.0) as usize);
+        println!("  k = {k:>6.1} W/m/K: {:>6.1} % {bars}", r.percent());
+    }
+    println!();
+    println!(
+        "co-design takeaway: once software guarantees one-of-N activity,\n\
+         the dielectric lets a single pillar serve all N gated units at\n\
+         75 % less pillar footprint."
+    );
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Explore how far tier stacking goes under different heatsinks and
+//! junction-temperature limits (the Fig. 11 / Observation 3 questions).
+//!
+//! ```sh
+//! cargo run --release --example heatsink_explorer
+//! ```
+
+use thermal_scaffolding::core::flows::{CoolingStrategy, FlowConfig};
+use thermal_scaffolding::core::scaling::max_tiers;
+use thermal_scaffolding::designs::gemmini;
+use thermal_scaffolding::thermal::Heatsink;
+use thermal_scaffolding::units::{HeatTransferCoefficient, Ratio, Temperature};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let design = gemmini::design();
+    let sinks = [
+        (
+            "two-phase porous copper (boiling water)",
+            Heatsink::two_phase(),
+        ),
+        ("Si-integrated microfluidics", Heatsink::microfluidic()),
+        ("forced air", Heatsink::forced_air()),
+        (
+            "hypothetical h = 3e5, 25 °C",
+            Heatsink::new(
+                HeatTransferCoefficient::new(3.0e5),
+                Temperature::from_celsius(25.0),
+            ),
+        ),
+    ];
+    let limits = [125.0, 105.0, 85.0];
+
+    println!("supported Gemmini tiers (scaffolding at 10 % area / 3 % delay):");
+    println!(
+        "{:<42} {:>8} {:>8} {:>8}",
+        "heatsink", "125 °C", "105 °C", "85 °C"
+    );
+    for (name, heatsink) in sinks {
+        print!("{name:<42}");
+        for limit in limits {
+            let cfg = FlowConfig {
+                strategy: CoolingStrategy::Scaffolding,
+                heatsink,
+                t_limit: Temperature::from_celsius(limit),
+                area_budget: Ratio::from_percent(10.0),
+                delay_budget: Ratio::from_percent(3.0),
+                lateral_cells: 12,
+                ..FlowConfig::default()
+            };
+            let n = max_tiers(&design, &cfg, 16)?;
+            print!(" {n:>8}");
+        }
+        println!();
+    }
+    println!();
+    println!(
+        "reading: the two-phase sink dominates at the 125 °C limit but its\n\
+         boiling coolant makes sub-100 °C limits unreachable; microfluidics\n\
+         trade peak heat removal for a 25 °C ambient — exactly the Fig. 11\n\
+         crossover."
+    );
+    Ok(())
+}

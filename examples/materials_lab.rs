@@ -1,0 +1,63 @@
+//! A tour of the Sec. II materials models: grow a diamond film, trade
+//! porosity against permittivity, and size copper wires.
+//!
+//! ```sh
+//! cargo run --release --example materials_lab
+//! ```
+
+use thermal_scaffolding::materials::diamond::EtcModel;
+use thermal_scaffolding::materials::dielectric::{
+    maxwell_garnett, porosity_for_target, FREE_SPACE, SINGLE_CRYSTAL_DIAMOND,
+};
+use thermal_scaffolding::materials::{copper, silicon};
+use thermal_scaffolding::units::{Length, RelativePermittivity};
+
+fn main() {
+    println!("-- nanocrystalline diamond (Eq. 1) --");
+    let etc = EtcModel::calibrated();
+    for grain_nm in [20.0, 80.0, 160.0, 350.0, 650.0, 1900.0] {
+        let k = etc.in_plane_conductivity(Length::from_nanometers(grain_nm));
+        println!(
+            "  {grain_nm:>6.0} nm grains -> {:>7.1} W/m/K in-plane",
+            k.get()
+        );
+    }
+    println!(
+        "  the 160 nm film beats porous ultra-low-k ILD (0.2 W/m/K) by {:.0}x",
+        etc.in_plane_conductivity(Length::from_nanometers(160.0))
+            .get()
+            / 0.2
+    );
+
+    println!();
+    println!("-- porous diamond permittivity (Eq. 2) --");
+    for pct in [0, 10, 20, 30, 50] {
+        let e = maxwell_garnett(SINGLE_CRYSTAL_DIAMOND, FREE_SPACE, f64::from(pct) / 100.0);
+        println!("  {pct:>3} % air -> ε = {:.2}", e.get());
+    }
+    let f = porosity_for_target(
+        SINGLE_CRYSTAL_DIAMOND,
+        RelativePermittivity::THERMAL_DIELECTRIC,
+    )
+    .expect("ε = 4 is reachable");
+    println!("  the design point ε = 4 needs {:.0} % porosity", f * 100.0);
+
+    println!();
+    println!("-- size-dependent copper --");
+    for nm in [20.0, 50.0, 100.0, 215.0, 1000.0] {
+        println!(
+            "  {nm:>6.0} nm wires -> {:>5.0} W/m/K",
+            copper::conductivity(Length::from_nanometers(nm)).get()
+        );
+    }
+
+    println!();
+    println!("-- thin-film silicon --");
+    for nm in [50.0, 100.0, 500.0, 10_000.0] {
+        println!(
+            "  {nm:>7.0} nm film -> vertical {:>5.1}, lateral {:>5.1} W/m/K",
+            silicon::vertical_conductivity(Length::from_nanometers(nm)).get(),
+            silicon::lateral_conductivity(Length::from_nanometers(nm)).get()
+        );
+    }
+}

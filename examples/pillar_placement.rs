@@ -1,0 +1,89 @@
+//! Run the Sec. IIIA pillar placement algorithm on the Rocket core and
+//! render the resulting constellation as ASCII art (the Fig. 8c/8d
+//! overlay).
+//!
+//! ```sh
+//! cargo run --release --example pillar_placement
+//! ```
+
+use thermal_scaffolding::core::beol::BeolProperties;
+use thermal_scaffolding::core::pillars::{place, PlacementConfig};
+use thermal_scaffolding::core::stack::{solve, StackConfig};
+use thermal_scaffolding::designs::rocket;
+use thermal_scaffolding::thermal::Heatsink;
+use thermal_scaffolding::units::Temperature;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let design = rocket::design();
+    println!("placing pillars on: {design}");
+
+    let config = PlacementConfig {
+        tiers: 8,
+        t_target: Temperature::from_celsius(125.0),
+        lateral_cells: 10,
+        ..PlacementConfig::paper_default()
+    };
+    let plan = place(&design, &config)?
+        .ok_or("infeasible: some source cannot be cooled at this tier count")?;
+
+    println!(
+        "placed {} pillars ({} footprint penalty)",
+        plan.count(),
+        plan.area_penalty
+    );
+
+    // ASCII overlay: units as letters, pillar density as shading.
+    let cells = 40;
+    let mut canvas = vec![vec![' '; cells]; cells];
+    for u in &design.units {
+        let tag = u.name.chars().next().unwrap_or('?');
+        for (j, row) in canvas.iter_mut().enumerate() {
+            for (i, ch) in row.iter_mut().enumerate() {
+                let x = design.die.width() * ((i as f64 + 0.5) / cells as f64);
+                let y = design.die.height() * ((j as f64 + 0.5) / cells as f64);
+                if u.rect
+                    .contains(thermal_scaffolding::geometry::Point::new(x, y))
+                {
+                    *ch = if u.is_macro {
+                        tag.to_ascii_uppercase()
+                    } else {
+                        tag
+                    };
+                }
+            }
+        }
+    }
+    let density = plan.density_map.resampled(cells, cells);
+    for (j, row) in canvas.iter_mut().enumerate() {
+        for (i, ch) in row.iter_mut().enumerate() {
+            let d = density[(i, j)];
+            if d > 0.15 {
+                *ch = '#';
+            } else if d > 0.05 {
+                *ch = '+';
+            } else if d > 0.005 && *ch == ' ' {
+                *ch = '.';
+            }
+        }
+    }
+    println!("floorplan with pillar overlay (#/+/. = pillar density):");
+    for row in canvas.iter().rev() {
+        println!("  {}", row.iter().collect::<String>());
+    }
+
+    // Verify the plan thermally.
+    let stack = StackConfig::uniform(
+        config.tiers,
+        BeolProperties::scaffolded(),
+        Heatsink::two_phase(),
+    )
+    .with_lateral_cells(16)
+    .with_pillar_map(plan.density_map.clone());
+    let solution = solve(&design, &stack)?;
+    println!(
+        "verification solve: Tj = {} (target {})",
+        solution.junction_temperature(),
+        config.t_target
+    );
+    Ok(())
+}

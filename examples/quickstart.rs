@@ -1,0 +1,76 @@
+//! Quickstart: stack a DNN accelerator 12 tiers high, cool it with
+//! thermal scaffolding, and check the junction temperature.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use thermal_scaffolding::core::flows::{run_flow, CoolingStrategy, FlowConfig};
+use thermal_scaffolding::designs::gemmini;
+use thermal_scaffolding::thermal::Heatsink;
+use thermal_scaffolding::units::{Ratio, Temperature};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A single-tier design: the Gemmini-class accelerator with its
+    //    interleaved SRAM LLC (floorplan + power map, Fig. 8a).
+    let design = gemmini::design();
+    println!("design: {design}");
+    println!(
+        "per-tier worst-case power: {:.2} W ({:.0} W/cm² die average)",
+        design.total_power(Ratio::ONE).watts(),
+        design.average_flux(Ratio::ONE).watts_per_square_cm()
+    );
+
+    // 2. The scaffolding flow: thermal dielectric in M8/V8/M9 + pillar
+    //    constellations bought with a 10 % footprint / 3 % delay budget.
+    let config = FlowConfig {
+        strategy: CoolingStrategy::Scaffolding,
+        tiers: 12,
+        heatsink: Heatsink::two_phase(),
+        t_limit: Temperature::from_celsius(125.0),
+        area_budget: Ratio::from_percent(10.0),
+        delay_budget: Ratio::from_percent(3.0),
+        ..FlowConfig::default()
+    };
+    let result = run_flow(&design, &config)?;
+
+    println!(
+        "scaffolded {} tiers: Tj = {} (limit {}) — {}",
+        result.tiers,
+        result.junction_temperature,
+        config.t_limit,
+        if result.meets_limit { "OK" } else { "TOO HOT" }
+    );
+    println!(
+        "spent: {:.1} % footprint, {:.1} % delay, {:.1} % pillar density",
+        result.footprint_penalty.percent(),
+        result.delay_penalty.percent(),
+        result.pillar_density.percent()
+    );
+
+    // 3. The same stack with conventional 3D thermal fails dramatically.
+    let conventional = run_flow(
+        &design,
+        &FlowConfig {
+            strategy: CoolingStrategy::ConventionalDummyVias,
+            ..config
+        },
+    )?;
+    println!(
+        "conventional 3D thermal at the same budgets: Tj = {} — {}",
+        conventional.junction_temperature,
+        if conventional.meets_limit {
+            "OK"
+        } else {
+            "TOO HOT"
+        }
+    );
+
+    // 4. Tier-by-tier profile of the scaffolded stack.
+    println!("tier profile (bottom to top):");
+    for (t, temp) in result.solution.tier_profile().iter().enumerate() {
+        println!("  tier {t:>2}: {temp}");
+    }
+    println!("energy balance: {}", result.solution.solution.energy);
+    Ok(())
+}

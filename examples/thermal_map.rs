@@ -1,0 +1,40 @@
+//! Render the top-tier temperature map of a 12-tier scaffolded Gemmini
+//! stack — where the hotspots live and what the pillars do about them.
+//!
+//! ```sh
+//! cargo run --release --example thermal_map
+//! ```
+
+use thermal_scaffolding::core::flows::{run_flow, CoolingStrategy, FlowConfig};
+use thermal_scaffolding::designs::gemmini;
+use thermal_scaffolding::thermal::render_layer_ascii;
+use thermal_scaffolding::units::Ratio;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let design = gemmini::design();
+    for strategy in [
+        CoolingStrategy::Scaffolding,
+        CoolingStrategy::ConventionalDummyVias,
+    ] {
+        let cfg = FlowConfig {
+            strategy,
+            tiers: 12,
+            area_budget: Ratio::from_percent(10.0),
+            delay_budget: Ratio::from_percent(3.0),
+            lateral_cells: 32,
+            ..FlowConfig::default()
+        };
+        let r = run_flow(&design, &cfg)?;
+        let top = *r.solution.layout.device_layers.last().expect("tiers");
+        println!(
+            "== {strategy}: top-tier device layer (Tj = {}, range shaded min->max) ==",
+            r.junction_temperature
+        );
+        println!(
+            "{}",
+            render_layer_ascii(&r.solution.solution.temperatures, top)
+        );
+        println!("   legend: systolic array bottom-left (hot), LLC bank field right/top\n");
+    }
+    Ok(())
+}

@@ -1,0 +1,14 @@
+//! Facade crate re-exporting the whole thermal-scaffolding workspace.
+//!
+//! See the crate-level docs of each member crate; the README gives the
+//! architecture overview and EXPERIMENTS.md the paper-vs-measured index.
+
+pub use tsc_core as core;
+pub use tsc_designs as designs;
+pub use tsc_geometry as geometry;
+pub use tsc_homogenize as homogenize;
+pub use tsc_materials as materials;
+pub use tsc_pdk as pdk;
+pub use tsc_phydes as phydes;
+pub use tsc_thermal as thermal;
+pub use tsc_units as units;

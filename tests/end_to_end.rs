@@ -1,0 +1,126 @@
+//! Cross-crate integration tests: materials → homogenization → stack →
+//! flows, exercising the public API exactly as a downstream user would.
+
+use thermal_scaffolding::core::beol::BeolProperties;
+use thermal_scaffolding::core::flows::{run_flow, CoolingStrategy, FlowConfig};
+use thermal_scaffolding::core::stack::{compact_ladder, solve, StackConfig};
+use thermal_scaffolding::designs::{gemmini, rocket};
+use thermal_scaffolding::thermal::Heatsink;
+use thermal_scaffolding::units::{Ratio, Temperature};
+
+fn quick_flow(strategy: CoolingStrategy, tiers: usize) -> FlowConfig {
+    FlowConfig {
+        strategy,
+        tiers,
+        lateral_cells: 10,
+        ..FlowConfig::default()
+    }
+}
+
+#[test]
+fn headline_result_end_to_end() {
+    // The abstract in one test: 12-tier 7nm-class stack under 125 °C
+    // with scaffolding; iso-budget conventional cooling fails.
+    let d = gemmini::design();
+    let scaf = run_flow(&d, &quick_flow(CoolingStrategy::Scaffolding, 12)).expect("solves");
+    assert!(
+        scaf.meets_limit,
+        "scaffolding @12 tiers: {}",
+        scaf.junction_temperature
+    );
+    let conv =
+        run_flow(&d, &quick_flow(CoolingStrategy::ConventionalDummyVias, 12)).expect("solves");
+    assert!(
+        !conv.meets_limit,
+        "conventional @12 tiers: {}",
+        conv.junction_temperature
+    );
+    // Energy is conserved through the whole pipeline.
+    assert!(scaf.solution.solution.energy.is_closed(1e-6));
+    assert!(conv.solution.solution.energy.is_closed(1e-6));
+}
+
+#[test]
+fn designs_share_the_flow_api() {
+    for design in [gemmini::design(), rocket::design()] {
+        let r = run_flow(&design, &quick_flow(CoolingStrategy::Scaffolding, 6)).expect("solves");
+        assert!(
+            r.junction_temperature > Temperature::from_celsius(100.0),
+            "{}: above ambient",
+            design.name
+        );
+        assert!(
+            r.meets_limit,
+            "{}: 6 scaffolded tiers fit easily",
+            design.name
+        );
+    }
+}
+
+#[test]
+fn compact_ladder_brackets_fvm() {
+    // The ladder (no hotspots) must under-predict; within a small factor.
+    let d = gemmini::design();
+    let cfg = StackConfig::uniform(6, BeolProperties::conventional(), Heatsink::two_phase())
+        .with_lateral_cells(10);
+    let fvm = solve(&d, &cfg).expect("solves").junction_temperature();
+    let ladder = compact_ladder(&d, &cfg).junction_temperature();
+    let amb = Heatsink::two_phase().ambient;
+    let ratio = (fvm - amb).kelvin() / (ladder - amb).kelvin();
+    assert!(
+        (1.0..3.0).contains(&ratio),
+        "hotspot factor out of band: {ratio:.2} (fvm {fvm}, ladder {ladder})"
+    );
+}
+
+#[test]
+fn budgets_are_respected_not_just_reported() {
+    let d = gemmini::design();
+    for strategy in [
+        CoolingStrategy::Scaffolding,
+        CoolingStrategy::VerticalOnly,
+        CoolingStrategy::ConventionalDummyVias,
+    ] {
+        let cfg = FlowConfig {
+            area_budget: Ratio::from_percent(15.0),
+            delay_budget: Ratio::from_percent(2.0),
+            ..quick_flow(strategy, 4)
+        };
+        let r = run_flow(&d, &cfg).expect("solves");
+        assert!(
+            r.footprint_penalty.percent() <= 15.0 + 1e-9,
+            "{strategy}: area {}",
+            r.footprint_penalty
+        );
+        assert!(
+            r.delay_penalty.percent() <= 2.0 + 1e-6,
+            "{strategy}: delay {}",
+            r.delay_penalty
+        );
+    }
+}
+
+#[test]
+fn utilization_lowers_junction_temperature() {
+    let d = gemmini::design();
+    let hot = run_flow(&d, &quick_flow(CoolingStrategy::Scaffolding, 8)).expect("solves");
+    let cfg = FlowConfig {
+        utilization: Ratio::from_percent(72.0),
+        ..quick_flow(CoolingStrategy::Scaffolding, 8)
+    };
+    let sim = run_flow(&d, &cfg).expect("solves");
+    assert!(sim.junction_temperature < hot.junction_temperature);
+}
+
+#[test]
+fn beol_recipes_order_correctly() {
+    // Scaffolded < dummy-filled (at high slack) < conventional in
+    // per-tier vertical resistance.
+    let conv = BeolProperties::conventional().tier_resistance().get();
+    let scaf = BeolProperties::scaffolded().tier_resistance().get();
+    let filled = BeolProperties::with_dummy_fill(Ratio::from_percent(78.0))
+        .tier_resistance()
+        .get();
+    assert!(scaf < conv);
+    assert!(filled < conv);
+}

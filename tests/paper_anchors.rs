@@ -1,0 +1,92 @@
+//! Regression tests pinning the paper's headline numbers (the rows of
+//! EXPERIMENTS.md). Tolerances are bands around the paper's reported
+//! values wide enough to absorb mesh/resolution choices but tight
+//! enough that a physics regression trips them.
+
+use thermal_scaffolding::core::beol::BeolProperties;
+use thermal_scaffolding::core::flows::{timing_impact, CoolingStrategy};
+use thermal_scaffolding::homogenize::pillar::PillarDesign;
+use thermal_scaffolding::materials::diamond::EtcModel;
+use thermal_scaffolding::materials::dielectric::{
+    maxwell_garnett, FREE_SPACE, SINGLE_CRYSTAL_DIAMOND,
+};
+use thermal_scaffolding::phydes::fill::FillModel;
+use thermal_scaffolding::phydes::timing::DelayModel;
+use thermal_scaffolding::thermal::network::{Ladder, TierRung};
+use thermal_scaffolding::thermal::Heatsink;
+use thermal_scaffolding::units::{HeatFlux, Length, Ratio};
+
+#[test]
+fn fig4_anchor_160nm_film() {
+    let k = EtcModel::calibrated()
+        .in_plane_conductivity(Length::from_nanometers(160.0))
+        .get();
+    assert!((k - 105.7).abs() < 2.0, "Fig. 4: {k}");
+}
+
+#[test]
+fn fig5_anchor_design_epsilon() {
+    // ε = 4 sits inside the Maxwell-Garnett porosity window of bulk
+    // diamond.
+    let e0 = maxwell_garnett(SINGLE_CRYSTAL_DIAMOND, FREE_SPACE, 0.0).get();
+    let e50 = maxwell_garnett(SINGLE_CRYSTAL_DIAMOND, FREE_SPACE, 0.5).get();
+    assert!(e50 < 4.0 && 4.0 < e0, "Fig. 5 inset window: {e50}..{e0}");
+}
+
+#[test]
+fn fig7_anchor_pillar_conductivity() {
+    let k = PillarDesign::asap7_100nm().effective_vertical_k().get();
+    assert!((k - 105.0).abs() < 10.0, "Fig. 7 pillar: {k}");
+}
+
+#[test]
+fn table1_anchor_delay_model() {
+    let model = DelayModel::calibrated();
+    let scaf = model
+        .delay_penalty(&timing_impact(
+            CoolingStrategy::Scaffolding,
+            Ratio::from_percent(10.0),
+        ))
+        .percent();
+    assert!((scaf - 3.0).abs() < 0.3, "scaffolding delay: {scaf}");
+    let fill = model
+        .delay_penalty(&timing_impact(
+            CoolingStrategy::ConventionalDummyVias,
+            Ratio::from_percent(78.0),
+        ))
+        .percent();
+    assert!((fill - 17.0).abs() < 1.0, "dummy-fill delay: {fill}");
+}
+
+#[test]
+fn sec1_anchor_ladder_dominance() {
+    let ladder = Ladder::uniform(
+        Heatsink::two_phase(),
+        TierRung::new(
+            HeatFlux::from_watts_per_square_cm(53.0),
+            BeolProperties::conventional().tier_resistance(),
+        ),
+        3,
+    );
+    let share = ladder.conduction_fraction().percent();
+    assert!((80.0..95.0).contains(&share), "Sec. I 85% share: {share}");
+}
+
+#[test]
+fn fig7b_anchor_fill_trend() {
+    let fill = FillModel::calibrated();
+    let f0 = fill.achievable_fill(Ratio::ZERO).percent();
+    let f23 = fill.achievable_fill(Ratio::from_percent(23.0)).percent();
+    assert!(
+        (f0 - 44.0).abs() < 1.0 && (f23 - 54.0).abs() < 1.0,
+        "{f0} -> {f23}"
+    );
+}
+
+#[test]
+fn headline_500x_dielectric_gain() {
+    let k = EtcModel::calibrated()
+        .in_plane_conductivity(Length::from_nanometers(160.0))
+        .get();
+    assert!(k / 0.2 > 500.0, "the 500x headline: {}x", k / 0.2);
+}
