@@ -1,7 +1,7 @@
-//! Criterion benches of the end-to-end cooling flows (the Fig. 9/10/11
-//! inner loop) and the compact-ladder fast path.
+//! Benches of the end-to-end cooling flows (the Fig. 9/10/11 inner
+//! loop) and the compact-ladder fast path, on the in-repo harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tsc_bench::timing::Bench;
 use tsc_core::beol::BeolProperties;
 use tsc_core::flows::{run_flow, CoolingStrategy, FlowConfig};
 use tsc_core::stack::{build, compact_ladder, StackConfig};
@@ -20,66 +20,39 @@ fn cfg(strategy: CoolingStrategy, tiers: usize) -> FlowConfig {
     }
 }
 
-fn bench_flow_per_strategy(c: &mut Criterion) {
+fn main() {
     let d = gemmini::design();
-    let mut group = c.benchmark_group("run_flow_6_tiers");
-    group.sample_size(10);
+
+    let b = Bench::group("run_flow_6_tiers");
     for strategy in [
         CoolingStrategy::Scaffolding,
         CoolingStrategy::VerticalOnly,
         CoolingStrategy::ConventionalDummyVias,
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{strategy}")),
-            &strategy,
-            |b, &s| {
-                b.iter(|| run_flow(&d, &cfg(s, 6)).expect("solves"));
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_tier_count_scaling(c: &mut Criterion) {
-    let d = gemmini::design();
-    let mut group = c.benchmark_group("run_flow_tiers");
-    group.sample_size(10);
-    for tiers in [3usize, 6, 12] {
-        group.bench_with_input(BenchmarkId::from_parameter(tiers), &tiers, |b, &n| {
-            b.iter(|| run_flow(&d, &cfg(CoolingStrategy::Scaffolding, n)).expect("solves"));
+        b.run(&format!("{strategy}"), 5, || {
+            run_flow(&d, &cfg(strategy, 6)).expect("solves")
         });
     }
-    group.finish();
-}
 
-fn bench_stack_assembly_vs_solve(c: &mut Criterion) {
-    let d = gemmini::design();
+    let b = Bench::group("run_flow_tiers");
+    for tiers in [3usize, 6, 12] {
+        b.run(&format!("{tiers}"), 5, || {
+            run_flow(&d, &cfg(CoolingStrategy::Scaffolding, tiers)).expect("solves")
+        });
+    }
+
     let stack_cfg = StackConfig::uniform(12, BeolProperties::scaffolded(), Heatsink::two_phase())
         .with_lateral_cells(10);
-    c.bench_function("stack_build_only", |b| {
-        b.iter(|| build(&d, &stack_cfg));
-    });
+    let b = Bench::group("stack");
+    b.run("stack_build_only", 10, || build(&d, &stack_cfg));
     let problem = build(&d, &stack_cfg).problem;
-    let mut group = c.benchmark_group("stack_solve_only");
-    group.sample_size(10);
-    group.bench_function("cg_12_tiers", |b| {
-        b.iter(|| {
-            CgSolver::new()
-                .with_tolerance(1e-8)
-                .solve(&problem)
-                .expect("converges")
-        });
+    b.run("cg_12_tiers", 5, || {
+        CgSolver::new()
+            .with_tolerance(1e-8)
+            .solve(&problem)
+            .expect("converges")
     });
-    group.finish();
-    c.bench_function("compact_ladder_12_tiers", |b| {
-        b.iter(|| compact_ladder(&d, &stack_cfg).junction_temperature());
+    b.run("compact_ladder_12_tiers", 10, || {
+        compact_ladder(&d, &stack_cfg).junction_temperature()
     });
 }
-
-criterion_group!(
-    benches,
-    bench_flow_per_strategy,
-    bench_tier_count_scaling,
-    bench_stack_assembly_vs_solve
-);
-criterion_main!(benches);

@@ -1,6 +1,7 @@
-//! Criterion benches of the BEOL homogenization (Fig. 7) kernels.
+//! Benches of the BEOL homogenization (Fig. 7) kernels, on the in-repo
+//! measured-median harness (`tsc_bench::timing`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tsc_bench::timing::Bench;
 use tsc_homogenize::pillar::PillarDesign;
 use tsc_homogenize::{extract_k, slice, Axis};
 use tsc_materials::{THERMAL_DIELECTRIC_DESIGN, ULTRA_LOW_K_ILD};
@@ -22,55 +23,38 @@ fn coarse_upper() -> slice::SliceGeometry {
     }
 }
 
-fn bench_slice_generation(c: &mut Criterion) {
-    c.bench_function("lower_beol_slice_build", |b| {
-        b.iter(|| slice::lower_beol(ULTRA_LOW_K_ILD.conductivity, &coarse_lower()));
+fn main() {
+    let b = Bench::group("slice_generation");
+    b.run("lower_beol_slice_build", 10, || {
+        slice::lower_beol(ULTRA_LOW_K_ILD.conductivity, &coarse_lower())
     });
-    c.bench_function("upper_beol_slice_build", |b| {
-        b.iter(|| slice::upper_beol(THERMAL_DIELECTRIC_DESIGN.conductivity, &coarse_upper()));
+    b.run("upper_beol_slice_build", 10, || {
+        slice::upper_beol(THERMAL_DIELECTRIC_DESIGN.conductivity, &coarse_upper())
     });
-}
 
-fn bench_extraction(c: &mut Criterion) {
     let lower = slice::lower_beol(ULTRA_LOW_K_ILD.conductivity, &coarse_lower());
     let upper = slice::upper_beol(ULTRA_LOW_K_ILD.conductivity, &coarse_upper());
-    let mut group = c.benchmark_group("extract_k");
-    group.sample_size(20);
-    group.bench_function("lower_vertical", |b| {
-        b.iter(|| extract_k(&lower, Axis::Z).expect("converges"));
+    let b = Bench::group("extract_k");
+    b.run("lower_vertical", 10, || {
+        extract_k(&lower, Axis::Z).expect("converges")
     });
-    group.bench_function("lower_lateral", |b| {
-        b.iter(|| extract_k(&lower, Axis::X).expect("converges"));
+    b.run("lower_lateral", 10, || {
+        extract_k(&lower, Axis::X).expect("converges")
     });
-    group.bench_function("upper_vertical", |b| {
-        b.iter(|| extract_k(&upper, Axis::Z).expect("converges"));
+    b.run("upper_vertical", 10, || {
+        extract_k(&upper, Axis::Z).expect("converges")
     });
-    group.finish();
-}
 
-fn bench_pillar_models(c: &mut Criterion) {
     let design = PillarDesign::asap7_100nm();
-    c.bench_function("pillar_series_model", |b| {
-        b.iter(|| design.effective_vertical_k());
-    });
+    let b = Bench::group("pillar_models");
+    b.run("pillar_series_model", 20, || design.effective_vertical_k());
     let model = design.voxel_model(
         ULTRA_LOW_K_ILD.conductivity,
         Length::from_nanometers(500.0),
         Length::from_micrometers(1.0),
         15,
     );
-    let mut group = c.benchmark_group("pillar_fem");
-    group.sample_size(20);
-    group.bench_function("pillar_voxel_extraction", |b| {
-        b.iter(|| extract_k(&model, Axis::Z).expect("converges"));
+    b.run("pillar_voxel_extraction", 10, || {
+        extract_k(&model, Axis::Z).expect("converges")
     });
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_slice_generation,
-    bench_extraction,
-    bench_pillar_models
-);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
-//! Criterion benches of the physical-design kernels: sequence-pair
-//! evaluation, SA floorplanning, fill/delay models, scheduling.
+//! Benches of the physical-design kernels: sequence-pair evaluation,
+//! SA floorplanning, fill/delay models, scheduling. In-repo harness.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tsc_bench::timing::Bench;
 use tsc_core::flows::{timing_impact, CoolingStrategy};
 use tsc_phydes::anneal::Schedule;
 use tsc_phydes::fill::FillModel;
@@ -28,47 +28,37 @@ fn nets(n: usize) -> Vec<Net> {
     (1..n).map(|i| Net { a: i - 1, b: i }).collect()
 }
 
-fn bench_sequence_pair(c: &mut Criterion) {
+fn main() {
     let ms = modules(20);
     let order: Vec<usize> = (0..20).collect();
     let rot = vec![false; 20];
-    c.bench_function("place_sequence_pair_20", |b| {
-        b.iter(|| place_sequence_pair(&ms, &order, &order, &rot));
+    let b = Bench::group("sequence_pair");
+    b.run("place_sequence_pair_20", 20, || {
+        place_sequence_pair(&ms, &order, &order, &rot)
     });
-}
 
-fn bench_sa_floorplan(c: &mut Criterion) {
-    let ms = modules(10);
+    let ms10 = modules(10);
     let ns = nets(10);
     let cfg = FloorplanConfig {
         schedule: Schedule::quick(),
         ..FloorplanConfig::default()
     };
-    let mut group = c.benchmark_group("sa_floorplan");
-    group.sample_size(10);
-    group.bench_function("quick_10_modules", |b| {
-        b.iter(|| floorplan(&ms, &ns, &cfg));
-    });
-    group.finish();
-}
+    let b = Bench::group("sa_floorplan");
+    b.run("quick_10_modules", 5, || floorplan(&ms10, &ns, &cfg));
 
-fn bench_models(c: &mut Criterion) {
+    let b = Bench::group("models");
     let fill = FillModel::calibrated();
-    c.bench_function("fill_model_eval", |b| {
-        b.iter(|| fill.coupling_capacitance(Ratio::from_percent(40.0)));
+    b.run("fill_model_eval", 20, || {
+        fill.coupling_capacitance(Ratio::from_percent(40.0))
     });
     let delay = DelayModel::calibrated();
-    c.bench_function("delay_model_eval", |b| {
-        b.iter(|| {
-            delay.delay_penalty(&timing_impact(
-                CoolingStrategy::Scaffolding,
-                Ratio::from_percent(10.0),
-            ))
-        });
+    b.run("delay_model_eval", 20, || {
+        delay.delay_penalty(&timing_impact(
+            CoolingStrategy::Scaffolding,
+            Ratio::from_percent(10.0),
+        ))
     });
-}
 
-fn bench_scheduling(c: &mut Criterion) {
     let rankings: Vec<TierRanking> = (0..12)
         .map(|t| TierRanking {
             tier: t,
@@ -78,16 +68,8 @@ fn bench_scheduling(c: &mut Criterion) {
     let tasks: Vec<Task> = (0..12)
         .map(|i| Task::new(format!("t{i}"), Power::from_watts(f64::from(i as u32))))
         .collect();
-    c.bench_function("thermal_aware_assignment_12", |b| {
-        b.iter(|| assign(rankings.clone(), &tasks));
+    let b = Bench::group("scheduling");
+    b.run("thermal_aware_assignment_12", 20, || {
+        assign(rankings.clone(), &tasks)
     });
 }
-
-criterion_group!(
-    benches,
-    bench_sequence_pair,
-    bench_sa_floorplan,
-    bench_models,
-    bench_scheduling
-);
-criterion_main!(benches);

@@ -1,7 +1,14 @@
-//! Criterion benches of the finite-volume thermal solver — the kernel
-//! behind every figure.
+//! Benches of the finite-volume thermal solver — the kernel behind
+//! every figure — including the serial-vs-parallel comparison on the
+//! paper's Gemmini 12-tier stack.
+//!
+//! Run with `cargo bench --bench solver`; set `BENCH_FAST=1` for a
+//! 3-sample smoke pass. Results are recorded in `EXPERIMENTS.md`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tsc_bench::timing::Bench;
+use tsc_core::beol::BeolProperties;
+use tsc_core::stack::{build, StackConfig};
+use tsc_designs::gemmini;
 use tsc_thermal::{CgSolver, Heatsink, Problem, SorSolver};
 use tsc_units::{Length, Power, ThermalConductivity};
 
@@ -20,35 +27,36 @@ fn slab(n: usize, nz: usize) -> Problem {
     p
 }
 
-fn bench_cg_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cg_solver");
+/// The paper's end-to-end fixture: the Gemmini accelerator stacked 12
+/// tiers high on a two-phase heatsink, scaffolded BEOL. `lateral` cells
+/// per die edge; the mesh has `1 + 12·4 = 49` z-slabs.
+fn gemmini_12_tier(lateral: usize) -> Problem {
+    let cfg = StackConfig::uniform(12, BeolProperties::scaffolded(), Heatsink::two_phase())
+        .with_lateral_cells(lateral);
+    build(&gemmini::design(), &cfg).problem
+}
+
+fn bench_cg_scaling(b: &Bench) {
     for n in [8usize, 16, 24] {
         let p = slab(n, 16);
-        group.bench_with_input(BenchmarkId::new("lateral_cells", n), &p, |b, p| {
-            b.iter(|| CgSolver::new().solve(p).expect("converges"));
+        b.run(&format!("lateral_cells/{n}"), 10, || {
+            CgSolver::new().solve(&p).expect("converges")
         });
     }
-    group.finish();
 }
 
-fn bench_cg_vs_sor(c: &mut Criterion) {
+fn bench_cg_vs_sor(b: &Bench) {
     let p = slab(12, 12);
-    let mut group = c.benchmark_group("cg_vs_sor");
-    group.bench_function("cg", |b| {
-        b.iter(|| CgSolver::new().solve(&p).expect("converges"));
+    b.run("cg", 10, || CgSolver::new().solve(&p).expect("converges"));
+    b.run("sor", 10, || {
+        SorSolver::new()
+            .with_tolerance(1e-8)
+            .solve(&p)
+            .expect("converges")
     });
-    group.bench_function("sor", |b| {
-        b.iter(|| {
-            SorSolver::new()
-                .with_tolerance(1e-8)
-                .solve(&p)
-                .expect("converges")
-        });
-    });
-    group.finish();
 }
 
-fn bench_high_contrast(c: &mut Criterion) {
+fn bench_high_contrast(b: &Bench) {
     // The hard case: ultra-low-k layers against silicon (3 orders of
     // magnitude contrast) — what the 3D-IC stacks actually look like.
     let mut p = slab(16, 24);
@@ -59,15 +67,92 @@ fn bench_high_contrast(c: &mut Criterion) {
             ThermalConductivity::new(5.47),
         );
     }
-    c.bench_function("cg_high_contrast_stack", |b| {
-        b.iter(|| CgSolver::new().solve(&p).expect("converges"));
+    b.run("cg_high_contrast_stack", 10, || {
+        CgSolver::new().solve(&p).expect("converges")
     });
 }
 
-criterion_group!(
-    benches,
-    bench_cg_scaling,
-    bench_cg_vs_sor,
-    bench_high_contrast
-);
-criterion_main!(benches);
+/// Serial vs parallel on the Gemmini 12-tier mesh: the tentpole
+/// comparison. Also cross-checks that the parallel CG and the red-black
+/// SOR land on the same temperature field (≤ 1e-3 K) and that parallel
+/// CG reproduces serial CG exactly.
+fn bench_parallel_gemmini(b: &Bench) {
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let fast = std::env::var_os("BENCH_FAST").is_some();
+    let lateral = if fast { 32 } else { 64 };
+    let p = gemmini_12_tier(lateral);
+    let cells = lateral * lateral * 49;
+    println!(
+        "  gemmini 12-tier mesh: {lateral}x{lateral}x49 = {cells} cells, host threads: {threads}"
+    );
+
+    let serial_solver = CgSolver::new().with_tolerance(1e-8).with_threads(1);
+    let parallel_solver = CgSolver::new()
+        .with_tolerance(1e-8)
+        .with_threads(threads)
+        .with_parallel_crossover(0);
+
+    let serial = b.run("cg_serial", 5, || serial_solver.solve(&p).expect("serial"));
+    let parallel = b.run("cg_parallel", 5, || {
+        parallel_solver.solve(&p).expect("parallel")
+    });
+    println!(
+        "  cg speedup: {:.2}x on {} threads",
+        serial.seconds() / parallel.seconds(),
+        threads
+    );
+
+    // Correctness cross-checks ride along with the timing run.
+    let s = serial_solver.solve(&p).expect("serial");
+    let q = parallel_solver.solve(&p).expect("parallel");
+    let max_diff = s
+        .temperatures
+        .iter_kelvin()
+        .zip(q.temperatures.iter_kelvin())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0_f64, f64::max);
+    assert!(
+        max_diff <= 1e-9,
+        "parallel CG deviates from serial by {max_diff} K"
+    );
+    println!(
+        "  parallel vs serial CG: max |dT| = {max_diff:.3e} K, \
+         {} iterations, {} matvecs, solve {:.3}s (assembly {:.3}s)",
+        q.stats.iterations, q.stats.matvecs, q.stats.solve_seconds, q.stats.assembly_seconds
+    );
+
+    // SOR cross-check on a smaller mesh (SOR converges far slower on the
+    // full fixture; the cross-check is about agreement, not speed).
+    let p_small = gemmini_12_tier(16);
+    let cg = CgSolver::new()
+        .with_tolerance(1e-10)
+        .solve(&p_small)
+        .expect("cg");
+    let sor = SorSolver::new()
+        .with_tolerance(1e-9)
+        .with_threads(threads)
+        .with_parallel_crossover(0)
+        .solve(&p_small)
+        .expect("sor");
+    let tj_cg = cg.temperatures.max_temperature().kelvin();
+    let tj_sor = sor.temperatures.max_temperature().kelvin();
+    assert!(
+        (tj_cg - tj_sor).abs() <= 1e-3,
+        "CG/SOR cross-check failed: {tj_cg} vs {tj_sor}"
+    );
+    println!(
+        "  cg/sor cross-check (16x16x49): |dTj| = {:.3e} K",
+        (tj_cg - tj_sor).abs()
+    );
+}
+
+fn main() {
+    let b = Bench::group("cg_solver");
+    bench_cg_scaling(&b);
+    let b = Bench::group("cg_vs_sor");
+    bench_cg_vs_sor(&b);
+    let b = Bench::group("high_contrast");
+    bench_high_contrast(&b);
+    let b = Bench::group("parallel_gemmini");
+    bench_parallel_gemmini(&b);
+}

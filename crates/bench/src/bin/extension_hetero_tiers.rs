@@ -17,9 +17,13 @@ use tsc_units::{Ratio, Temperature};
 
 fn tj(tiers: &[&Design]) -> Result<Temperature, tsc_thermal::SolveError> {
     let d = gemmini::design();
-    let cfg = StackConfig::uniform(tiers.len(), BeolProperties::scaffolded(), Heatsink::two_phase())
-        .with_lateral_cells(12)
-        .with_pillar_map(uniform_routable_map(&d, Ratio::from_percent(10.0), 12));
+    let cfg = StackConfig::uniform(
+        tiers.len(),
+        BeolProperties::scaffolded(),
+        Heatsink::two_phase(),
+    )
+    .with_lateral_cells(12)
+    .with_pillar_map(uniform_routable_map(&d, Ratio::from_percent(10.0), 12));
     Ok(solve_hetero(tiers, &cfg)?.junction_temperature())
 }
 
@@ -41,7 +45,11 @@ fn main() -> Result<(), tsc_thermal::SolveError> {
         .map(|t| if t < 6 { &memory } else { &logic })
         .collect();
 
-    compare("12 logic tiers", "(the Fig. 9 point)", format!("{}", tj(&all_logic)?));
+    compare(
+        "12 logic tiers",
+        "(the Fig. 9 point)",
+        format!("{}", tj(&all_logic)?),
+    );
     compare(
         "6 logic + 6 memory, interleaved",
         "(cooler: half the power)",

@@ -2,10 +2,15 @@
 //!
 //! Every table and figure of the paper's evaluation has a binary under
 //! `src/bin/` that regenerates it and prints a paper-vs-measured
-//! comparison (recorded in `EXPERIMENTS.md`); the Criterion benches under
-//! `benches/` time the computational kernels behind them.
+//! comparison (recorded in `EXPERIMENTS.md`); the harness-free benches
+//! under `benches/` time the computational kernels behind them using the
+//! in-repo [`timing`] module (the workspace builds without network
+//! access, so Criterion is replaced by a ~100-line measured-median
+//! harness).
 
 use std::fmt::Display;
+
+pub mod timing;
 
 /// Prints a section banner.
 pub fn banner(title: &str) {
@@ -71,25 +76,25 @@ where
     let n = jobs.len();
     let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
-    let results = parking_lot::Mutex::new(slots);
-    let queue = parking_lot::Mutex::new(jobs.into_iter().enumerate().collect::<Vec<_>>());
-    crossbeam::thread::scope(|scope| {
+    let results = std::sync::Mutex::new(slots);
+    let queue = std::sync::Mutex::new(jobs.into_iter().enumerate().collect::<Vec<_>>());
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(n.max(1)) {
-            scope.spawn(|_| loop {
-                let job = queue.lock().pop();
+            scope.spawn(|| loop {
+                let job = queue.lock().expect("queue lock").pop();
                 match job {
                     Some((idx, f)) => {
                         let out = f();
-                        results.lock()[idx] = Some(out);
+                        results.lock().expect("results lock")[idx] = Some(out);
                     }
                     None => break,
                 }
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
     results
         .into_inner()
+        .expect("no worker panicked")
         .into_iter()
         .map(|slot| slot.expect("every job ran"))
         .collect()

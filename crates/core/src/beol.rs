@@ -86,7 +86,7 @@ pub fn ilv_thickness() -> Length {
 }
 
 /// The lumped BEOL of one tier under a given cooling strategy.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BeolProperties {
     /// Lumped V0–V7 conductivity.
     pub lower: Anisotropic,

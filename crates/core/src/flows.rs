@@ -26,7 +26,7 @@ use tsc_thermal::{Heatsink, SolveError};
 use tsc_units::{Ratio, Temperature};
 
 /// The cooling strategies compared in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CoolingStrategy {
     /// Thermal dielectric + pillars (the contribution).
     Scaffolding,

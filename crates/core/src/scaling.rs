@@ -6,7 +6,7 @@ use tsc_thermal::SolveError;
 use tsc_units::Ratio;
 
 /// One point of a tier-scaling curve (Fig. 9 / Fig. 11).
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ScalingPoint {
     /// Tier count.
     pub tiers: usize,
@@ -67,7 +67,7 @@ pub fn max_tiers(design: &Design, base: &FlowConfig, cap: usize) -> Result<usize
 }
 
 /// One cell of the Fig. 10 penalty maps.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PenaltyCell {
     /// Footprint budget (percent).
     pub area_percent: f64,
@@ -157,7 +157,7 @@ pub fn min_area_for_tiers(
 }
 
 /// Convenience record for Table I rows.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PenaltyRow {
     /// Strategy of this row.
     pub strategy: CoolingStrategy,

@@ -396,9 +396,7 @@ pub fn solve_hetero(
     config: &StackConfig,
 ) -> Result<StackSolution, SolveError> {
     let stack = build_hetero(designs, config);
-    let solution = CgSolver::new()
-        .with_tolerance(1e-8)
-        .solve(&stack.problem)?;
+    let solution = CgSolver::new().with_tolerance(1e-8).solve(&stack.problem)?;
     Ok(StackSolution {
         solution,
         layout: stack.layout,

@@ -5,7 +5,7 @@ use tsc_phydes::power::{density, UnitClass};
 use tsc_units::{Area, Frequency, HeatFlux, Length, Power, Ratio};
 
 /// One placed functional unit of a design.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DesignUnit {
     /// Unit name, e.g. `"systolic-array"` or `"ICache"`.
     pub name: String,
@@ -44,7 +44,7 @@ impl DesignUnit {
 
 /// A heat source as seen by the pillar-placement algorithm: a region and
 /// its dissipated flux.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HeatSource {
     /// Name of the originating unit.
     pub name: String,
@@ -60,7 +60,7 @@ pub struct HeatSource {
 ///
 /// One `Design` describes one tier; the 3D IC stacks `N` copies (the
 /// paper's designs replicate the tier with the LLC interleaved).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Design {
     /// Design name.
     pub name: String,

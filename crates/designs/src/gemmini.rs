@@ -159,7 +159,9 @@ pub fn memory_tier() -> Design {
         let mut x = Length::from_micrometers(30.0);
         while x + bank_side < die.width() {
             let r = Rect::from_origin_size(x, y, bank_side, bank_side);
-            let blocked = units.iter().any(|u| u.rect.inflated(keepout).intersects(&r));
+            let blocked = units
+                .iter()
+                .any(|u| u.rect.inflated(keepout).intersects(&r));
             if !blocked {
                 units.push(DesignUnit::new(
                     format!("bank{placed}"),
@@ -273,7 +275,11 @@ mod tests {
             "memory tier {mem} vs logic tier {logic} W/cm²"
         );
         // Dense: ~16 MB of banks per tier.
-        let banks = m.units.iter().filter(|u| u.name.starts_with("bank")).count();
+        let banks = m
+            .units
+            .iter()
+            .filter(|u| u.name.starts_with("bank"))
+            .count();
         let megabytes = banks * LLC_BANK_BYTES / (1 << 20);
         assert!(
             (6..=16).contains(&megabytes),

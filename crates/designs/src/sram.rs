@@ -22,7 +22,7 @@ pub const READ_ENERGY_PER_BIT_J: f64 = 5.0e-15;
 pub const LEAKAGE_PER_BIT_W: f64 = 15.0e-12;
 
 /// An SRAM macro sized from a capacity.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SramMacro {
     /// Capacity in bytes.
     pub bytes: usize,

@@ -1,77 +1,95 @@
-//! Property tests over the three evaluated designs: power bookkeeping
-//! must be exact regardless of rasterization resolution, utilization or
-//! lateral scale.
+//! Randomized property tests over the three evaluated designs: power
+//! bookkeeping must be exact regardless of rasterization resolution,
+//! utilization or lateral scale.
+//!
+//! Cases come from a deterministic [`Rng64`] stream; shrunk
+//! counterexamples the old proptest runs found are kept as explicit
+//! cases.
 
-use proptest::prelude::*;
 use tsc_designs::{fujitsu, gemmini, rocket, Design};
+use tsc_rng::Rng64;
 use tsc_units::Ratio;
+
+const CASES: usize = 12;
 
 fn designs() -> Vec<Design> {
     vec![gemmini::design(), rocket::design(), fujitsu::design()]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+fn check_power_map_conserves(which: usize, cells: usize, util_pct: f64) {
+    let d = &designs()[which];
+    let util = Ratio::from_percent(util_pct);
+    let map = d.power_map(cells, cells, util);
+    let cell_area = d.die_area().square_meters() / (cells * cells) as f64;
+    let rasterized: f64 = map.iter().sum::<f64>() * cell_area;
+    let exact = d.total_power(util).watts();
+    // Area-weighted deposition conserves power exactly at any resolution.
+    assert!(
+        (rasterized - exact).abs() / exact < 1e-9,
+        "{}: rasterized {rasterized} vs exact {exact} at {cells} cells",
+        d.name
+    );
+}
 
-    #[test]
-    fn power_map_conserves_total_power(
-        which in 0usize..3,
-        cells in 16usize..64,
-        util_pct in 10.0f64..100.0,
-    ) {
-        let d = &designs()[which];
-        let util = Ratio::from_percent(util_pct);
-        let map = d.power_map(cells, cells, util);
-        let cell_area = d.die_area().square_meters() / (cells * cells) as f64;
-        let rasterized: f64 = map.iter().sum::<f64>() * cell_area;
-        let exact = d.total_power(util).watts();
-        // Area-weighted deposition conserves power exactly at any
-        // resolution.
-        prop_assert!((rasterized - exact).abs() / exact < 1e-9,
-            "{}: rasterized {rasterized} vs exact {exact} at {cells} cells",
-            d.name);
+#[test]
+fn power_map_conserves_total_power() {
+    // Shrunk counterexamples found by the former proptest suite.
+    check_power_map_conserves(2, 38, 10.0);
+    check_power_map_conserves(0, 51, 10.0);
+    let mut rng = Rng64::seed_from_u64(0x4001);
+    for _ in 0..CASES {
+        check_power_map_conserves(
+            rng.gen_range(0..3),
+            rng.gen_range(16..64),
+            rng.gen_range_f64(10.0..100.0),
+        );
     }
+}
 
-    #[test]
-    fn power_is_linear_in_utilization_above_leakage(
-        which in 0usize..3,
-        u1 in 0.2f64..0.5,
-    ) {
+#[test]
+fn power_is_linear_in_utilization_above_leakage() {
+    let mut rng = Rng64::seed_from_u64(0x4002);
+    for _ in 0..CASES {
+        let which = rng.gen_range(0..3);
+        let u1 = rng.gen_range_f64(0.2..0.5);
         // Dynamic power dominates: doubling utilization should raise
         // power by nearly the dynamic share.
         let d = &designs()[which];
         let p1 = d.total_power(Ratio::from_fraction(u1)).watts();
         let p2 = d.total_power(Ratio::from_fraction(2.0 * u1)).watts();
-        prop_assert!(p2 > p1);
+        assert!(p2 > p1);
         let p0 = d.total_power(Ratio::ZERO).watts();
         // (p2 - p0) = 2 (p1 - p0) exactly, by the affine power model.
-        prop_assert!(((p2 - p0) - 2.0 * (p1 - p0)).abs() < 1e-9 * p2.max(1e-12));
+        assert!(((p2 - p0) - 2.0 * (p1 - p0)).abs() < 1e-9 * p2.max(1e-12));
     }
+}
 
-    #[test]
-    fn lateral_scaling_preserves_density(
-        which in 0usize..3,
-        factor in 1.5f64..6.0,
-    ) {
+#[test]
+fn lateral_scaling_preserves_density() {
+    let mut rng = Rng64::seed_from_u64(0x4003);
+    for _ in 0..CASES {
+        let which = rng.gen_range(0..3);
+        let factor = rng.gen_range_f64(1.5..6.0);
         let d = &designs()[which];
         let s = d.scaled(factor);
         let f0 = d.average_flux(Ratio::ONE).watts_per_square_meter();
         let f1 = s.average_flux(Ratio::ONE).watts_per_square_meter();
-        prop_assert!((f0 - f1).abs() / f0 < 1e-9);
-        prop_assert!(
-            (s.die_area().square_meters() / d.die_area().square_meters()
-                - factor * factor).abs() < 1e-6
+        assert!((f0 - f1).abs() / f0 < 1e-9);
+        assert!(
+            (s.die_area().square_meters() / d.die_area().square_meters() - factor * factor).abs()
+                < 1e-6
         );
     }
+}
 
-    #[test]
-    fn heat_sources_cover_all_units(which in 0usize..3) {
-        let d = &designs()[which];
+#[test]
+fn heat_sources_cover_all_units() {
+    for d in &designs() {
         let hs = d.heat_sources(Ratio::ONE);
-        prop_assert_eq!(hs.len(), d.units.len());
+        assert_eq!(hs.len(), d.units.len());
         // Macro flags survive the conversion.
         let macros = hs.iter().filter(|h| h.is_macro).count();
         let unit_macros = d.units.iter().filter(|u| u.is_macro).count();
-        prop_assert_eq!(macros, unit_macros);
+        assert_eq!(macros, unit_macros);
     }
 }

@@ -16,7 +16,7 @@ use crate::rect::Rect;
 /// assert_eq!(g[(2, 1)], 7.0);
 /// assert_eq!(g.iter().copied().fold(0.0, f64::max), 7.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Grid2<T> {
     nx: usize,
     ny: usize,

@@ -9,7 +9,7 @@ use crate::grid2::Grid2;
 /// let d = Dim3::new(4, 3, 2);
 /// assert_eq!(d.len(), 24);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Dim3 {
     /// Cells in x.
     pub nx: usize,
@@ -73,9 +73,7 @@ impl Dim3 {
 }
 
 /// A 3-D cell index.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Index3 {
     /// x index.
     pub i: usize,
@@ -107,7 +105,7 @@ impl core::fmt::Display for Index3 {
 /// g[(1, 0, 1)] = 4.0;
 /// assert_eq!(g[(1, 0, 1)], 4.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Grid3<T> {
     dim: Dim3,
     data: Vec<T>,

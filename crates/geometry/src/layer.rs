@@ -5,7 +5,7 @@ use tsc_units::Length;
 /// The role a slab plays in the stack — used by mesh builders to decide
 /// which slabs carry heat sources and which may receive thermal dielectric
 /// or pillars.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LayerKind {
     /// Active device silicon (heat-generating).
     DeviceSilicon,
@@ -36,7 +36,7 @@ impl core::fmt::Display for LayerKind {
 }
 
 /// One slab of a [`LayerStack`].
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LayerSlab {
     /// Human-readable name (e.g. `"tier3/M8-M9"`).
     pub name: String,
@@ -87,7 +87,7 @@ impl LayerSlab {
 /// stack.push(LayerSlab::new("device", Length::from_nanometers(100.0), LayerKind::DeviceSilicon));
 /// assert!((stack.total_thickness().micrometers() - 10.1).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct LayerStack {
     slabs: Vec<LayerSlab>,
 }

@@ -11,7 +11,7 @@ use tsc_units::Length;
 /// let b = Point::origin();
 /// assert!((a.distance(b).micrometers() - 5.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Point {
     /// Horizontal coordinate.
     pub x: Length,
@@ -77,9 +77,7 @@ impl core::fmt::Display for Point {
 /// let ij = Index2::new(3, 5);
 /// assert_eq!(ij.flat(8), 5 * 8 + 3);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Index2 {
     /// Column index (x direction).
     pub i: usize,

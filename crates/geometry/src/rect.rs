@@ -18,7 +18,7 @@ use tsc_units::{Area, Length};
 /// );
 /// assert!((macro_blk.area().square_micrometers() - 625.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Rect {
     origin: Point,
     width: Length,

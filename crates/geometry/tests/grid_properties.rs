@@ -1,103 +1,156 @@
-//! Property tests for the geometry substrate: index algebra, painting,
-//! point location and layer discretization.
+//! Randomized property tests for the geometry substrate: index algebra,
+//! painting, point location and layer discretization.
+//!
+//! Cases are drawn from a deterministic [`Rng64`] stream per test (the
+//! hermetic replacement for proptest); shrunk counterexamples that the
+//! old proptest runs discovered are kept as explicit cases.
 
-use proptest::prelude::*;
 use tsc_geometry::{Dim3, Grid2, LayerKind, LayerSlab, LayerStack, Point, Rect};
+use tsc_rng::Rng64;
 use tsc_units::Length;
+
+const CASES: usize = 256;
 
 fn um(v: f64) -> Length {
     Length::from_micrometers(v)
 }
 
-proptest! {
-    #[test]
-    fn flat_unflat_round_trips(
-        nx in 1usize..12, ny in 1usize..12, nz in 1usize..12,
-    ) {
-        let dim = Dim3::new(nx, ny, nz);
+#[test]
+fn flat_unflat_round_trips() {
+    let mut rng = Rng64::seed_from_u64(0x2001);
+    for _ in 0..64 {
+        let dim = Dim3::new(
+            rng.gen_range(1..12),
+            rng.gen_range(1..12),
+            rng.gen_range(1..12),
+        );
         for flat in 0..dim.len() {
             let ijk = dim.unflat(flat);
-            prop_assert_eq!(dim.flat(ijk.i, ijk.j, ijk.k), flat);
+            assert_eq!(dim.flat(ijk.i, ijk.j, ijk.k), flat);
         }
     }
+}
 
-    #[test]
-    fn locate_agrees_with_cell_rect(
-        nx in 2usize..20, ny in 2usize..20,
-        fx in 0.001f64..0.999, fy in 0.001f64..0.999,
-    ) {
+#[test]
+fn locate_agrees_with_cell_rect() {
+    let mut rng = Rng64::seed_from_u64(0x2002);
+    for _ in 0..CASES {
+        let nx = rng.gen_range(2..20);
+        let ny = rng.gen_range(2..20);
+        let fx = rng.gen_range_f64(0.001..0.999);
+        let fy = rng.gen_range_f64(0.001..0.999);
         let domain = Rect::from_origin_size(Length::ZERO, Length::ZERO, um(100.0), um(80.0));
         let g = Grid2::filled(nx, ny, 0.0_f64);
         let p = Point::new(domain.width() * fx, domain.height() * fy);
         let ij = g.locate(&domain, p).expect("inside the domain");
         let cell = g.cell_rect(&domain, ij.i, ij.j);
-        prop_assert!(cell.contains(p), "cell {cell} must contain {p}");
+        assert!(cell.contains(p), "cell {cell} must contain {p}");
     }
+}
 
-    #[test]
-    fn paint_rect_count_matches_sum(
-        nx in 2usize..24,
-        x0 in 0.0f64..50.0, y0 in 0.0f64..50.0,
-        w in 1.0f64..50.0, h in 1.0f64..50.0,
-    ) {
+#[test]
+fn paint_rect_count_matches_sum() {
+    let mut rng = Rng64::seed_from_u64(0x2003);
+    for _ in 0..CASES {
+        let nx = rng.gen_range(2..24);
+        let x0 = rng.gen_range_f64(0.0..50.0);
+        let y0 = rng.gen_range_f64(0.0..50.0);
+        let w = rng.gen_range_f64(1.0..50.0);
+        let h = rng.gen_range_f64(1.0..50.0);
         let domain = Rect::from_origin_size(Length::ZERO, Length::ZERO, um(100.0), um(100.0));
         let region = Rect::from_origin_size(um(x0), um(y0), um(w), um(h));
         let mut g = Grid2::filled(nx, nx, 0.0_f64);
         let painted = g.paint_rect(&domain, &region, 1.0);
-        prop_assert_eq!(painted as f64, g.sum());
-        prop_assert!(painted <= g.len());
+        assert_eq!(painted as f64, g.sum());
+        assert!(painted <= g.len());
     }
+}
 
-    #[test]
-    fn rect_intersection_is_commutative_and_contained(
-        ax in 0.0f64..50.0, ay in 0.0f64..50.0, aw in 1.0f64..60.0, ah in 1.0f64..60.0,
-        bx in 0.0f64..50.0, by in 0.0f64..50.0, bw in 1.0f64..60.0, bh in 1.0f64..60.0,
-    ) {
-        let a = Rect::from_origin_size(um(ax), um(ay), um(aw), um(ah));
-        let b = Rect::from_origin_size(um(bx), um(by), um(bw), um(bh));
-        match (a.intersection(&b), b.intersection(&a)) {
-            (Some(i1), Some(i2)) => {
-                prop_assert!((i1.area().square_meters() - i2.area().square_meters()).abs()
-                    < 1e-24);
-                // Reconstructing the intersection as origin+size can move
-                // its far edge by one ulp; allow that.
-                let eps = Length::from_meters(1e-15);
-                prop_assert!(a.inflated(eps).contains_rect(&i1));
-                prop_assert!(b.inflated(eps).contains_rect(&i1));
-                prop_assert!(i1.area().square_meters()
-                    <= a.area().square_meters().min(b.area().square_meters()) + 1e-24);
-            }
-            (None, None) => prop_assert!(!a.intersects(&b)),
-            _ => prop_assert!(false, "intersection must be symmetric"),
+#[allow(clippy::too_many_arguments)]
+fn check_rect_intersection(ax: f64, ay: f64, aw: f64, ah: f64, bx: f64, by: f64, bw: f64, bh: f64) {
+    let a = Rect::from_origin_size(um(ax), um(ay), um(aw), um(ah));
+    let b = Rect::from_origin_size(um(bx), um(by), um(bw), um(bh));
+    match (a.intersection(&b), b.intersection(&a)) {
+        (Some(i1), Some(i2)) => {
+            assert!((i1.area().square_meters() - i2.area().square_meters()).abs() < 1e-24);
+            // Reconstructing the intersection as origin+size can move
+            // its far edge by one ulp; allow that.
+            let eps = Length::from_meters(1e-15);
+            assert!(a.inflated(eps).contains_rect(&i1));
+            assert!(b.inflated(eps).contains_rect(&i1));
+            assert!(
+                i1.area().square_meters()
+                    <= a.area().square_meters().min(b.area().square_meters()) + 1e-24
+            );
         }
+        (None, None) => assert!(!a.intersects(&b)),
+        _ => panic!("intersection must be symmetric"),
     }
+}
 
-    #[test]
-    fn discretization_preserves_total_thickness(
-        t1 in 0.05f64..20.0, t2 in 0.05f64..20.0, t3 in 0.05f64..20.0,
-        cell in 0.1f64..5.0,
-    ) {
+#[test]
+fn rect_intersection_is_commutative_and_contained() {
+    // Shrunk counterexample found by the former proptest suite.
+    check_rect_intersection(
+        0.0,
+        8.124730964566123,
+        29.475265245695795,
+        40.409809773590986,
+        0.0,
+        10.353305944873979,
+        1.0,
+        58.65809322325121,
+    );
+    let mut rng = Rng64::seed_from_u64(0x2004);
+    for _ in 0..CASES {
+        check_rect_intersection(
+            rng.gen_range_f64(0.0..50.0),
+            rng.gen_range_f64(0.0..50.0),
+            rng.gen_range_f64(1.0..60.0),
+            rng.gen_range_f64(1.0..60.0),
+            rng.gen_range_f64(0.0..50.0),
+            rng.gen_range_f64(0.0..50.0),
+            rng.gen_range_f64(1.0..60.0),
+            rng.gen_range_f64(1.0..60.0),
+        );
+    }
+}
+
+#[test]
+fn discretization_preserves_total_thickness() {
+    let mut rng = Rng64::seed_from_u64(0x2005);
+    for _ in 0..CASES {
+        let t1 = rng.gen_range_f64(0.05..20.0);
+        let t2 = rng.gen_range_f64(0.05..20.0);
+        let t3 = rng.gen_range_f64(0.05..20.0);
+        let cell = rng.gen_range_f64(0.1..5.0);
         let stack: LayerStack = [
             LayerSlab::new("a", um(t1), LayerKind::HandleSilicon),
             LayerSlab::new("b", um(t2), LayerKind::DeviceSilicon),
             LayerSlab::new("c", um(t3), LayerKind::BeolLower),
-        ].into_iter().collect();
+        ]
+        .into_iter()
+        .collect();
         let cells = stack.discretize(um(cell));
         let total: Length = cells.iter().map(|(_, dz)| *dz).sum();
-        prop_assert!(total.approx_eq(stack.total_thickness(), 1e-12));
+        assert!(total.approx_eq(stack.total_thickness(), 1e-12));
         // No cell exceeds the cap (within float slop).
         for (_, dz) in &cells {
-            prop_assert!(dz.micrometers() <= cell * (1.0 + 1e-9));
+            assert!(dz.micrometers() <= cell * (1.0 + 1e-9));
         }
     }
+}
 
-    #[test]
-    fn bilinear_sampling_is_bounded(
-        nx in 2usize..10, ny in 2usize..10,
-        u in 0.0f64..20.0, v in 0.0f64..20.0,
-    ) {
+#[test]
+fn bilinear_sampling_is_bounded() {
+    let mut rng = Rng64::seed_from_u64(0x2006);
+    for _ in 0..CASES {
+        let nx = rng.gen_range(2..10);
+        let ny = rng.gen_range(2..10);
+        let u = rng.gen_range_f64(0.0..20.0);
+        let v = rng.gen_range_f64(0.0..20.0);
         let g = Grid2::from_fn(nx, ny, |i, j| ((i * 7 + j * 13) % 11) as f64);
         let s = g.sample(u, v);
-        prop_assert!(s >= g.min_value() - 1e-12 && s <= g.max_value() + 1e-12);
+        assert!(s >= g.min_value() - 1e-12 && s <= g.max_value() + 1e-12);
     }
 }

@@ -5,7 +5,7 @@ use tsc_thermal::{CgSolver, Heatsink, Problem, SolveError};
 use tsc_units::{HeatTransferCoefficient, Temperature, ThermalConductivity};
 
 /// The extraction direction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Axis {
     /// In-plane, along wires of even metal layers.
     X,

@@ -22,7 +22,7 @@ use tsc_materials::{copper, Anisotropic};
 use tsc_units::{Length, Ratio, ThermalConductivity};
 
 /// Geometry of one thermal pillar.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PillarDesign {
     /// Side of the (square) pillar footprint.
     pub footprint: Length,

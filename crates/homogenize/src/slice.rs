@@ -15,7 +15,7 @@ use tsc_materials::Anisotropic;
 use tsc_units::{Length, ThermalConductivity};
 
 /// Calibration knobs of a synthetic slice.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SliceGeometry {
     /// Metal density per metal layer (Fig. 7b range: 0.44–0.54).
     pub wire_density: f64,

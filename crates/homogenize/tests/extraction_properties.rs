@@ -1,27 +1,37 @@
-//! Property tests of the k-extraction kernel: for any laminate or
-//! inclusion geometry the extracted conductivity must respect the
-//! classical Voigt/Reuss bounds and basic symmetries.
+//! Randomized property tests of the k-extraction kernel: for any
+//! laminate or inclusion geometry the extracted conductivity must
+//! respect the classical Voigt/Reuss bounds and basic symmetries.
+//!
+//! Cases come from a deterministic [`Rng64`] stream per test — the
+//! hermetic replacement for the former proptest dependency.
 
-use proptest::prelude::*;
 use tsc_homogenize::{extract_k, Axis, VoxelModel};
+use tsc_rng::Rng64;
 use tsc_units::{Length, ThermalConductivity};
+
+const CASES: usize = 16;
 
 fn nm(v: f64) -> Length {
     Length::from_nanometers(v)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn laminate_within_voigt_reuss(
-        k_a in 0.1f64..300.0,
-        k_b in 0.1f64..300.0,
-        split in 1usize..7,
-    ) {
+#[test]
+fn laminate_within_voigt_reuss() {
+    let mut rng = Rng64::seed_from_u64(0x3001);
+    for _ in 0..CASES {
+        let k_a = rng.gen_range_f64(0.1..300.0);
+        let k_b = rng.gen_range_f64(0.1..300.0);
+        let split = rng.gen_range(1..7);
         // An 8-layer stack split into two materials at a random plane.
-        let mut m = VoxelModel::new(4, 4, 8, nm(400.0), nm(400.0), nm(800.0),
-            ThermalConductivity::new(k_a));
+        let mut m = VoxelModel::new(
+            4,
+            4,
+            8,
+            nm(400.0),
+            nm(400.0),
+            nm(800.0),
+            ThermalConductivity::new(k_a),
+        );
         m.paint_z_range(split, 8, ThermalConductivity::new(k_b));
         let f_a = split as f64 / 8.0;
         let voigt = f_a * k_a + (1.0 - f_a) * k_b;
@@ -30,54 +40,98 @@ proptest! {
         let kx = extract_k(&m, Axis::X).expect("converges").get();
         // Cross-plane equals Reuss, in-plane equals Voigt (exact for
         // laminates), both within numerical tolerance.
-        prop_assert!((kz - reuss).abs() / reuss < 0.02, "kz {kz} vs Reuss {reuss}");
-        prop_assert!((kx - voigt).abs() / voigt < 0.02, "kx {kx} vs Voigt {voigt}");
+        assert!(
+            (kz - reuss).abs() / reuss < 0.02,
+            "kz {kz} vs Reuss {reuss}"
+        );
+        assert!(
+            (kx - voigt).abs() / voigt < 0.02,
+            "kx {kx} vs Voigt {voigt}"
+        );
     }
+}
 
-    #[test]
-    fn homogeneous_block_is_isotropic(k in 0.05f64..500.0) {
-        let m = VoxelModel::new(3, 4, 5, nm(300.0), nm(400.0), nm(500.0),
-            ThermalConductivity::new(k));
+#[test]
+fn homogeneous_block_is_isotropic() {
+    let mut rng = Rng64::seed_from_u64(0x3002);
+    for _ in 0..CASES {
+        let k = rng.gen_range_f64(0.05..500.0);
+        let m = VoxelModel::new(
+            3,
+            4,
+            5,
+            nm(300.0),
+            nm(400.0),
+            nm(500.0),
+            ThermalConductivity::new(k),
+        );
         for axis in [Axis::X, Axis::Y, Axis::Z] {
             let got = extract_k(&m, axis).expect("converges").get();
-            prop_assert!((got - k).abs() / k < 1e-6, "{axis}: {got} vs {k}");
+            assert!((got - k).abs() / k < 1e-6, "{axis}: {got} vs {k}");
         }
     }
+}
 
-    #[test]
-    fn inclusions_move_k_toward_inclusion(
-        k_bg in 0.1f64..10.0,
-        k_inc in 20.0f64..300.0,
-        side in 1usize..3,
-    ) {
+#[test]
+fn inclusions_move_k_toward_inclusion() {
+    let mut rng = Rng64::seed_from_u64(0x3003);
+    for _ in 0..CASES {
+        let k_bg = rng.gen_range_f64(0.1..10.0);
+        let k_inc = rng.gen_range_f64(20.0..300.0);
+        let side = rng.gen_range(1..3);
         // A centered high-k column raises vertical k but never beyond the
         // parallel-rule (Voigt) bound.
         let n = 5usize;
-        let mut m = VoxelModel::new(n, n, 4, nm(500.0), nm(500.0), nm(400.0),
-            ThermalConductivity::new(k_bg));
+        let mut m = VoxelModel::new(
+            n,
+            n,
+            4,
+            nm(500.0),
+            nm(500.0),
+            nm(400.0),
+            ThermalConductivity::new(k_bg),
+        );
         let lo = (n - side) / 2;
-        m.paint_box(lo..lo + side, lo..lo + side, 0..4, ThermalConductivity::new(k_inc));
+        m.paint_box(
+            lo..lo + side,
+            lo..lo + side,
+            0..4,
+            ThermalConductivity::new(k_inc),
+        );
         let f = (side * side) as f64 / (n * n) as f64;
         let voigt = f * k_inc + (1.0 - f) * k_bg;
         let kz = extract_k(&m, Axis::Z).expect("converges").get();
-        prop_assert!(kz > k_bg, "inclusion must help: {kz} vs {k_bg}");
-        prop_assert!(kz <= voigt * (1.0 + 1e-6), "Voigt bound: {kz} vs {voigt}");
+        assert!(kz > k_bg, "inclusion must help: {kz} vs {k_bg}");
+        assert!(kz <= voigt * (1.0 + 1e-6), "Voigt bound: {kz} vs {voigt}");
     }
+}
 
-    #[test]
-    fn swapping_materials_swaps_nothing_at_half_fill(
-        k_a in 0.5f64..50.0,
-        k_b in 0.5f64..50.0,
-    ) {
+#[test]
+fn swapping_materials_swaps_nothing_at_half_fill() {
+    let mut rng = Rng64::seed_from_u64(0x3004);
+    for _ in 0..CASES {
+        let k_a = rng.gen_range_f64(0.5..50.0);
+        let k_b = rng.gen_range_f64(0.5..50.0);
         // A 50/50 laminate's k_eff is symmetric in the two materials.
         let build = |top: f64, bottom: f64| {
-            let mut m = VoxelModel::new(4, 4, 8, nm(400.0), nm(400.0), nm(800.0),
-                ThermalConductivity::new(bottom));
+            let mut m = VoxelModel::new(
+                4,
+                4,
+                8,
+                nm(400.0),
+                nm(400.0),
+                nm(800.0),
+                ThermalConductivity::new(bottom),
+            );
             m.paint_z_range(4, 8, ThermalConductivity::new(top));
             m
         };
-        let k1 = extract_k(&build(k_a, k_b), Axis::Z).expect("converges").get();
-        let k2 = extract_k(&build(k_b, k_a), Axis::Z).expect("converges").get();
-        prop_assert!((k1 - k2).abs() / k1 < 1e-6, "{k1} vs {k2}");
+        let k1 = extract_k(&build(k_a, k_b), Axis::Z)
+            .expect("converges")
+            .get();
+        let k2 = extract_k(&build(k_b, k_a), Axis::Z)
+            .expect("converges")
+            .get();
+        assert!((k1 - k2).abs() / k1 < 1e-6, "{k1} vs {k2}");
     }
 }

@@ -12,7 +12,7 @@ use tsc_units::{RelativePermittivity, ThermalConductivity};
 /// let k = Anisotropic::isotropic(ThermalConductivity::new(180.0));
 /// assert_eq!(k.vertical.get(), k.lateral.get());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Anisotropic {
     /// Cross-plane (z, stacking-direction) conductivity.
     pub vertical: ThermalConductivity,
@@ -45,7 +45,7 @@ impl Anisotropic {
 
 /// A material: a name, anisotropic thermal conductivity, and (for
 /// dielectrics) a relative permittivity.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Material {
     /// Identifier, e.g. `"ultra-low-k ILD"`.
     pub name: &'static str,

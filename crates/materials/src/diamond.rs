@@ -35,7 +35,7 @@ pub const GRAIN_SIZE_EXPONENT: f64 = 0.76;
 /// let k = m.in_plane_conductivity(Length::from_nanometers(160.0));
 /// assert!((k.get() - 105.7).abs() < 2.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EtcModel {
     /// Single-crystal thermal conductivity `k0`.
     pub single_crystal_k: ThermalConductivity,

@@ -6,7 +6,7 @@ use tsc_units::{Capacitance, Delay, Length, RelativePermittivity};
 /// Which group of the BEOL a layer belongs to — the thermal abstraction
 /// boundary of the paper (M8–M9 modeled separately from V0–V7, which \[5\]
 /// shows is necessary for 5 % accuracy).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LayerGroup {
     /// Local/intermediate routing lumped as V0–V7.
     Lower,
@@ -15,7 +15,7 @@ pub enum LayerGroup {
 }
 
 /// One interconnect layer.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Layer {
     /// Name, e.g. `"M8"` or `"V3"`.
     pub name: &'static str,

@@ -3,19 +3,18 @@
 //! Used by the thermal-aware floorplanner (the Corblivar substitute) and
 //! available for any other combinatorial search in the workspace.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tsc_rng::Rng64;
 
 /// A problem state that annealing can explore.
 pub trait AnnealState: Clone {
     /// Proposes a random neighbour of `self`.
-    fn neighbour(&self, rng: &mut StdRng) -> Self;
+    fn neighbour(&self, rng: &mut Rng64) -> Self;
     /// Cost to minimize (lower is better). Must be finite.
     fn cost(&self) -> f64;
 }
 
 /// Annealing schedule parameters.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Schedule {
     /// Initial acceptance temperature (in cost units).
     pub t_start: f64,
@@ -84,7 +83,7 @@ pub struct AnnealResult<S> {
 /// Panics if the schedule is invalid (see [`Schedule`] field docs).
 pub fn anneal<S: AnnealState>(initial: S, schedule: &Schedule, seed: u64) -> AnnealResult<S> {
     schedule.validate();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut current = initial.clone();
     let mut current_cost = current.cost();
     let mut best = initial;
@@ -99,7 +98,7 @@ pub fn anneal<S: AnnealState>(initial: S, schedule: &Schedule, seed: u64) -> Ann
             let cand_cost = cand.cost();
             proposals += 1;
             let delta = cand_cost - current_cost;
-            if delta <= 0.0 || rng.gen::<f64>() < (-delta / t).exp() {
+            if delta <= 0.0 || rng.gen_f64() < (-delta / t).exp() {
                 current = cand;
                 current_cost = cand_cost;
                 accepted += 1;
@@ -129,8 +128,8 @@ mod tests {
     struct Quad(i64);
 
     impl AnnealState for Quad {
-        fn neighbour(&self, rng: &mut StdRng) -> Self {
-            Quad(self.0 + if rng.gen::<bool>() { 1 } else { -1 })
+        fn neighbour(&self, rng: &mut Rng64) -> Self {
+            Quad(self.0 + if rng.gen_bool() { 1 } else { -1 })
         }
         fn cost(&self) -> f64 {
             let d = (self.0 - 7) as f64;

@@ -20,7 +20,7 @@
 use tsc_units::{Ratio, ThermalConductivity};
 
 /// The calibrated dummy-fill model.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FillModel {
     /// Fill density achieved with no area slack (Fig. 7b left edge).
     pub baseline_fill: Ratio,

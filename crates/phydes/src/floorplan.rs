@@ -13,13 +13,12 @@
 //! half-perimeter wirelength budget.
 
 use crate::anneal::{anneal, AnnealState, Schedule};
-use rand::rngs::StdRng;
-use rand::Rng;
 use tsc_geometry::Rect;
+use tsc_rng::Rng64;
 use tsc_units::{Area, HeatFlux, Length, Power, Ratio};
 
 /// A floorplan module (functional unit or macro).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Module {
     /// Name, e.g. `"FPU"` or `"systolic-array"`.
     pub name: String,
@@ -77,7 +76,7 @@ impl Module {
 }
 
 /// A two-pin net between modules (by index), for HPWL accounting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Net {
     /// First endpoint (module index).
     pub a: usize,
@@ -246,7 +245,7 @@ impl SpState<'_> {
 }
 
 impl AnnealState for SpState<'_> {
-    fn neighbour(&self, rng: &mut StdRng) -> Self {
+    fn neighbour(&self, rng: &mut Rng64) -> Self {
         let mut s = self.clone();
         let n = s.gamma_pos.len();
         if n < 2 {

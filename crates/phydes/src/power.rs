@@ -15,7 +15,7 @@ use tsc_units::{Frequency, HeatFlux, Ratio};
 /// Fig. 8 power maps: the systolic array peaks at 95 W/cm² at 1 GHz, and
 /// the Rocket pipeline reaches the ~120 W/cm² top of the Fig. 8c color
 /// scale at its 1.25 GHz clock).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UnitClass {
     /// Systolic-array processing elements.
     SystolicArray,

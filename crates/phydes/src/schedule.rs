@@ -12,7 +12,7 @@ use tsc_units::{Power, TempDelta};
 
 /// One tier copy's measured standing: its index and the peak temperature
 /// rise when running alone.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TierRanking {
     /// Tier index (0 = closest to the heatsink).
     pub tier: usize,
@@ -21,7 +21,7 @@ pub struct TierRanking {
 }
 
 /// A schedulable task with its power draw.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Task {
     /// Task name.
     pub name: String,

@@ -12,7 +12,7 @@
 use tsc_units::{Delay, Ratio};
 
 /// The area-vs-target-period model of one design's synthesis run.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SynthesisModel {
     /// Below this target period synthesis does not close.
     pub min_period: Delay,
@@ -86,7 +86,7 @@ impl SynthesisModel {
 
 /// A place-and-route timing report: the paper's delay metric is the sum
 /// of the target period and the worst negative slack.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimingReport {
     /// Synthesis/P&R target period.
     pub target_period: Delay,

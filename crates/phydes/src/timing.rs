@@ -23,7 +23,7 @@ use tsc_pdk::wire::coupling_slowdown;
 use tsc_units::Ratio;
 
 /// The critical-path composition and coupling coefficients.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DelayModel {
     /// Cell-delay share of the critical path.
     pub cell_fraction: f64,
@@ -38,7 +38,7 @@ pub struct DelayModel {
 }
 
 /// What a cooling strategy did to the layout, as seen by timing.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimingImpact {
     /// Footprint penalty (whitespace, pillars, fill slack).
     pub area_penalty: Ratio,

@@ -17,7 +17,7 @@
 use tsc_units::Ratio;
 
 /// One phase of a trace: a duration and a utilization per tracked unit.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Phase {
     /// Phase length in cycles.
     pub cycles: u64,
@@ -26,7 +26,7 @@ pub struct Phase {
 }
 
 /// A phase-structured activity trace over named units.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     /// Names of the tracked units (parallel to each phase's vector).
     pub units: Vec<String>,
@@ -147,7 +147,7 @@ pub fn spmv(phases: usize) -> Trace {
 /// A synthetic CSR sparse matrix with deterministic, power-law-ish row
 /// lengths — the input to the honest SpMV timing model below (the
 /// riscv-tests `spmv` benchmark substitute of Sec. IIIC).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SparseMatrix {
     /// Number of rows.
     pub rows: usize,
@@ -185,7 +185,7 @@ impl SparseMatrix {
 }
 
 /// Timing parameters of the in-order core running SpMV.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SpmvTiming {
     /// Cycles of useful work per non-zero (load ×2, FMA, index math).
     pub cycles_per_nnz: u64,
@@ -244,8 +244,7 @@ pub fn spmv_from_matrix(
         let total = (compute + stalls).max(1);
         let core_util = Ratio::from_fraction(compute as f64 / total as f64);
         // Two accesses per nnz against a single-ported cache.
-        let cache_util =
-            Ratio::from_fraction((2.0 * nnz as f64 / total as f64).min(1.0));
+        let cache_util = Ratio::from_fraction((2.0 * nnz as f64 / total as f64).min(1.0));
         phases.push(Phase {
             cycles: total,
             utilization: vec![core_util, cache_util],
@@ -344,8 +343,7 @@ mod tests {
         let m = SparseMatrix::synthetic(256, 12);
         let planar = spmv_from_matrix(&m, &SpmvTiming::planar_baseline(), 32);
         let dense = spmv_from_matrix(&m, &SpmvTiming::ultra_dense_3d(), 32);
-        let up = dense.average_utilization(0).fraction()
-            / planar.average_utilization(0).fraction();
+        let up = dense.average_utilization(0).fraction() / planar.average_utilization(0).fraction();
         assert!(up > 2.5, "3D memory speedup on spmv: {up:.2}x");
         // And the wall-clock (cycles) shrinks accordingly.
         assert!(dense.total_cycles() < planar.total_cycles() / 2);

@@ -5,7 +5,7 @@ use tsc_units::{Power, TempDelta, Temperature};
 
 /// Global energy balance of a steady solve: in steady state, injected
 /// power must equal the power extracted through the convective boundaries.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyBalance {
     /// Total heat injected by sources.
     pub injected: Power,

@@ -11,11 +11,11 @@
 
 use crate::field::TemperatureField;
 use crate::problem::Problem;
-use crate::solver::{CgSolver, SolveError};
+use crate::solver::{Assembled, CgSolver, SolveError};
 use tsc_units::{Power, Ratio, TempDelta, Temperature};
 
 /// The leakage feedback model.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LeakageModel {
     /// Fraction of each cell's staged power that is leakage at `t_ref`.
     pub leakage_fraction: Ratio,
@@ -104,6 +104,12 @@ impl From<SolveError> for ElectrothermalError {
 /// `model.t_ref`; each iteration rescales every cell's power by the local
 /// temperature multiplier and re-solves.
 ///
+/// The conduction operator is assembled **once**: power feedback only
+/// touches the right-hand side, so every fixed-point iteration reuses
+/// the same [`Assembled`] system and warm-starts CG from the previous
+/// temperature field — after the first solve each iteration typically
+/// converges in a fraction of the cold-start iteration count.
+///
 /// # Errors
 ///
 /// [`ElectrothermalError::Solve`] on inner-solver failure;
@@ -117,32 +123,50 @@ pub fn solve_electrothermal(
 ) -> Result<ElectrothermalSolution, ElectrothermalError> {
     assert!(tol.kelvin() > 0.0, "tolerance must be positive");
     assert!(max_iterations > 0, "need at least one iteration");
-    let dim = base.dim();
-    let solver = CgSolver::new().with_tolerance(1e-8);
+    let asm = Assembled::build(base).map_err(ElectrothermalError::from)?;
+    let params = CgSolver::new().with_tolerance(1e-8).params();
+    let base_power = base.power_flat().to_vec();
 
-    let mut current = base.clone();
-    let mut solution = solver.solve(&current)?;
-    let mut last_tj = solution.temperatures.max_temperature();
+    let mut x = vec![asm.initial_guess(); base.dim().len()];
+    asm.cg_core(None, asm.rhs(), &mut x, &params)?;
+    let mut last_tj = Temperature::from_kelvin(x.iter().copied().fold(f64::NEG_INFINITY, f64::max));
     let mut last_step = f64::INFINITY;
 
     for iteration in 1..=max_iterations {
-        // Rescale each cell's power by the local multiplier.
-        let mut next = base.clone();
-        for k in 0..dim.nz {
-            for j in 0..dim.ny {
-                for i in 0..dim.nx {
-                    let p0 = base.cell_power(i, j, k);
-                    if p0.watts() == 0.0 {
-                        continue;
-                    }
-                    let t = solution.temperatures.at(i, j, k);
-                    let extra = p0 * (model.multiplier(t) - 1.0);
-                    next.add_power(i, j, k, extra);
-                }
+        // Rescale each cell's power by the local multiplier derived from
+        // the previous iterate, then re-solve over the same operator.
+        let mut total = 0.0;
+        let power: Vec<f64> = base_power
+            .iter()
+            .zip(&x)
+            .map(|(&p0, &t)| {
+                let p = if p0 == 0.0 {
+                    0.0
+                } else {
+                    p0 * model.multiplier(Temperature::from_kelvin(t))
+                };
+                total += p;
+                p
+            })
+            .collect();
+        let rhs = asm.rhs_with_power(&power);
+        let stats = match asm.cg_core(None, &rhs, &mut x, &params) {
+            Ok(stats) => stats,
+            // The feedback scaled powers beyond the representable range
+            // (the exponential multiplier overflows well before f64 does
+            // on its own): numerically indistinguishable from runaway.
+            // The divergence-unsafe solver used to mask this by leaking
+            // NaN temperatures out of an `Ok` and idling to the
+            // iteration cap.
+            Err(SolveError::Diverged { .. }) => {
+                return Err(ElectrothermalError::ThermalRunaway {
+                    junction: last_tj,
+                    iterations: iteration,
+                })
             }
-        }
-        solution = solver.solve(&next)?;
-        let tj = solution.temperatures.max_temperature();
+            Err(e) => return Err(e.into()),
+        };
+        let tj = Temperature::from_kelvin(x.iter().copied().fold(f64::NEG_INFINITY, f64::max));
         let step = (tj - last_tj).kelvin();
 
         if tj.celsius() > 1000.0 || (step > last_step.max(0.0) && step > 5.0) {
@@ -152,17 +176,16 @@ pub fn solve_electrothermal(
             });
         }
         if step.abs() <= tol.kelvin() {
+            let solution = asm.solution(&x, stats, total);
             return Ok(ElectrothermalSolution {
-                total_power: next.total_power(),
+                total_power: Power::from_watts(total),
                 temperatures: solution.temperatures,
                 iterations: iteration,
             });
         }
         last_tj = tj;
         last_step = step;
-        current = next;
     }
-    let _ = current;
     Err(ElectrothermalError::ThermalRunaway {
         junction: last_tj,
         iterations: max_iterations,

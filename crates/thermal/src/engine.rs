@@ -1,0 +1,303 @@
+//! Scoped-thread parallel execution engine shared by the solvers.
+//!
+//! The finite-volume operators are matrix-free stencils over a flat
+//! `nx·ny·nz` array, so the natural unit of work distribution is the
+//! **z-slab** (one `nx·ny` plane): bands of whole slabs are contiguous in
+//! the flat (x-fastest) ordering, give each worker cache-friendly
+//! streaming access, and make the gather-form seven-point stencil
+//! race-free — every worker writes only its own band and reads its
+//! neighbours' boundary slabs immutably.
+//!
+//! Workers are `std::thread::scope` threads spawned per parallel region.
+//! That costs a few tens of microseconds per region, which is why the
+//! solvers only engage the engine above a crossover problem size (see
+//! [`crate::CgSolver::with_parallel_crossover`]); below it, a
+//! single-band plan runs the identical code serially on the caller's
+//! thread, so small problems pay nothing and results stay bitwise
+//! reproducible per thread count.
+
+use std::ops::Range;
+use tsc_geometry::Dim3;
+
+/// How a solve distributes its element-wise and stencil work.
+///
+/// A plan is a partition of the flat cell range into contiguous,
+/// slab-aligned bands: `bands.len() == 1` means serial execution on the
+/// calling thread (no spawns at all).
+#[derive(Debug, Clone)]
+pub(crate) struct ExecPlan {
+    bands: Vec<Range<usize>>,
+}
+
+impl ExecPlan {
+    /// Builds a plan for `dim` using up to `threads` workers, falling
+    /// back to serial when the problem is below `crossover` cells or
+    /// fewer slabs than workers exist.
+    pub(crate) fn new(dim: Dim3, threads: usize, crossover: usize) -> Self {
+        let n = dim.len();
+        let slab = dim.nx * dim.ny;
+        let t = if threads > 1 && n >= crossover {
+            threads.min(dim.nz.max(1))
+        } else {
+            1
+        };
+        let mut bands = Vec::with_capacity(t);
+        let (base, rem) = (dim.nz / t, dim.nz % t);
+        let mut k0 = 0;
+        for b in 0..t {
+            let nk = base + usize::from(b < rem);
+            bands.push(k0 * slab..(k0 + nk) * slab);
+            k0 += nk;
+        }
+        Self { bands }
+    }
+
+    /// The slab-aligned flat ranges, one per worker.
+    #[cfg(test)]
+    pub(crate) fn bands(&self) -> &[Range<usize>] {
+        &self.bands
+    }
+
+    /// Number of workers this plan engages (1 = serial).
+    pub(crate) fn threads(&self) -> usize {
+        self.bands.len()
+    }
+
+    /// Runs `f` once per band with a mutable view of `out` restricted to
+    /// that band, returning each band's result in band order.
+    ///
+    /// Serial plans call `f` inline; parallel plans fan the bands out
+    /// across scoped threads. `f` receives the band's absolute flat
+    /// range plus the matching sub-slice of `out` (indexed from 0).
+    pub(crate) fn map_mut<R, F>(&self, out: &mut [f64], f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Range<usize>, &mut [f64]) -> R + Sync,
+    {
+        if self.bands.len() == 1 {
+            let r = self.bands[0].clone();
+            return vec![f(r.clone(), &mut out[r])];
+        }
+        let chunks = split_mut(out, &self.bands);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .bands
+                .iter()
+                .cloned()
+                .zip(chunks)
+                .map(|(range, chunk)| {
+                    let f = &f;
+                    s.spawn(move || f(range, chunk))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("solver worker panicked"))
+                .collect()
+        })
+    }
+
+    /// Like [`ExecPlan::map_mut`] but with three banded mutable arrays —
+    /// the fused CG update (`x`, `r`, `z`) region.
+    pub(crate) fn map3_mut<R, F>(&self, a: &mut [f64], b: &mut [f64], c: &mut [f64], f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Range<usize>, &mut [f64], &mut [f64], &mut [f64]) -> R + Sync,
+    {
+        if self.bands.len() == 1 {
+            let r = self.bands[0].clone();
+            return vec![f(
+                r.clone(),
+                &mut a[r.clone()],
+                &mut b[r.clone()],
+                &mut c[r],
+            )];
+        }
+        let (ca, cb, cc) = (
+            split_mut(a, &self.bands),
+            split_mut(b, &self.bands),
+            split_mut(c, &self.bands),
+        );
+        std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .bands
+                .iter()
+                .cloned()
+                .zip(ca)
+                .zip(cb.into_iter().zip(cc))
+                .map(|((range, sa), (sb, sc))| {
+                    let f = &f;
+                    s.spawn(move || f(range, sa, sb, sc))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("solver worker panicked"))
+                .collect()
+        })
+    }
+
+    /// Runs `f` once per band against a [`SharedSlice`] — the red-black
+    /// SOR region, where disjointness of writes is by cell colour rather
+    /// than by band and so cannot be expressed as sub-slice ownership.
+    pub(crate) fn for_each_shared<F>(&self, x: &mut [f64], f: F)
+    where
+        F: Fn(Range<usize>, &SharedSlice<'_>) + Sync,
+    {
+        let shared = SharedSlice::new(x);
+        if self.bands.len() == 1 {
+            f(self.bands[0].clone(), &shared);
+            return;
+        }
+        std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .bands
+                .iter()
+                .cloned()
+                .map(|range| {
+                    let f = &f;
+                    let shared = &shared;
+                    s.spawn(move || f(range, shared))
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("solver worker panicked");
+            }
+        })
+    }
+}
+
+/// Splits one mutable slice into per-band sub-slices (bands must be a
+/// contiguous partition starting at 0).
+fn split_mut<'a>(mut s: &'a mut [f64], bands: &[Range<usize>]) -> Vec<&'a mut [f64]> {
+    let mut out = Vec::with_capacity(bands.len());
+    for r in bands {
+        let (head, tail) = s.split_at_mut(r.len());
+        out.push(head);
+        s = tail;
+    }
+    debug_assert!(s.is_empty(), "bands must partition the slice");
+    out
+}
+
+/// A shared view of a mutable `f64` slice for stencil passes whose write
+/// pattern is provably disjoint but not band-contiguous.
+///
+/// Red-black SOR writes only cells of the active colour
+/// (`(i + j + k) % 2 == colour`) inside the worker's own k-band, and
+/// reads only cells of the *other* colour (every stencil neighbour flips
+/// parity) — no cell is ever written by two workers in the same pass,
+/// and no cell is read while any worker may write it. The unsafe
+/// surface is confined to this type; callers uphold the invariant above.
+pub(crate) struct SharedSlice<'a> {
+    ptr: *mut f64,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [f64]>,
+}
+
+// SAFETY: access discipline is delegated to the caller per the type-level
+// contract (disjoint writes, no read of a concurrently written cell).
+unsafe impl Sync for SharedSlice<'_> {}
+unsafe impl Send for SharedSlice<'_> {}
+
+impl<'a> SharedSlice<'a> {
+    pub(crate) fn new(s: &'a mut [f64]) -> Self {
+        Self {
+            ptr: s.as_mut_ptr(),
+            len: s.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Reads element `i`.
+    ///
+    /// # Safety
+    ///
+    /// `i < len`, and no concurrent writer may target `i` during this
+    /// pass (guaranteed by the colour discipline).
+    #[inline]
+    pub(crate) unsafe fn get(&self, i: usize) -> f64 {
+        debug_assert!(i < self.len);
+        unsafe { *self.ptr.add(i) }
+    }
+
+    /// Writes element `i`.
+    ///
+    /// # Safety
+    ///
+    /// `i < len`, and `i` must belong exclusively to the calling worker
+    /// for this pass (own band, active colour).
+    #[inline]
+    pub(crate) unsafe fn set(&self, i: usize, v: f64) {
+        debug_assert!(i < self.len);
+        unsafe { *self.ptr.add(i) = v }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bands_partition_and_align_to_slabs() {
+        let dim = Dim3::new(3, 4, 10); // slab = 12
+        let plan = ExecPlan::new(dim, 4, 0);
+        assert_eq!(plan.threads(), 4);
+        let mut expect_start = 0;
+        for band in plan.bands() {
+            assert_eq!(band.start, expect_start);
+            assert_eq!(band.len() % 12, 0, "band must hold whole slabs");
+            expect_start = band.end;
+        }
+        assert_eq!(expect_start, dim.len());
+    }
+
+    #[test]
+    fn below_crossover_is_serial() {
+        let dim = Dim3::new(4, 4, 4);
+        let plan = ExecPlan::new(dim, 8, 1_000_000);
+        assert_eq!(plan.threads(), 1);
+        assert_eq!(plan.bands(), std::slice::from_ref(&(0..dim.len())));
+    }
+
+    #[test]
+    fn never_more_bands_than_slabs() {
+        let dim = Dim3::new(8, 8, 3);
+        let plan = ExecPlan::new(dim, 16, 0);
+        assert_eq!(plan.threads(), 3);
+    }
+
+    #[test]
+    fn map_mut_covers_every_cell() {
+        let dim = Dim3::new(2, 2, 9);
+        let plan = ExecPlan::new(dim, 4, 0);
+        let mut out = vec![0.0; dim.len()];
+        let partials = plan.map_mut(&mut out, |range, chunk| {
+            for (local, c) in range.clone().enumerate() {
+                chunk[local] = c as f64;
+            }
+            range.len()
+        });
+        assert_eq!(partials.iter().sum::<usize>(), dim.len());
+        for (c, v) in out.iter().enumerate() {
+            assert_eq!(*v, c as f64);
+        }
+    }
+
+    #[test]
+    fn shared_slice_roundtrips() {
+        let dim = Dim3::new(2, 2, 4);
+        let plan = ExecPlan::new(dim, 2, 0);
+        let mut x = vec![1.0; dim.len()];
+        plan.for_each_shared(&mut x, |range, shared| {
+            for c in range {
+                // SAFETY: bands are disjoint; each worker touches only
+                // its own band here.
+                unsafe { shared.set(c, shared.get(c) + c as f64) };
+            }
+        });
+        for (c, v) in x.iter().enumerate() {
+            assert_eq!(*v, 1.0 + c as f64);
+        }
+    }
+}

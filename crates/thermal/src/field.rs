@@ -33,6 +33,12 @@ impl TemperatureField {
         self.kelvin.dim()
     }
 
+    /// Iterates over every cell temperature in kelvin, in flat
+    /// (x-fastest) order.
+    pub fn iter_kelvin(&self) -> impl Iterator<Item = f64> + '_ {
+        self.kelvin.iter().copied()
+    }
+
     /// Temperature of a cell.
     ///
     /// # Panics

@@ -11,7 +11,7 @@ use tsc_units::{HeatTransferCoefficient, Temperature};
 /// assert_eq!(hs.h.get(), 1.0e6);
 /// assert!((hs.ambient.celsius() - 100.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Heatsink {
     /// Heat-transfer coefficient of the sink.
     pub h: HeatTransferCoefficient,

@@ -12,8 +12,18 @@
 //!   the attached heatsink (`G = h·A` to ambient); all side walls
 //!   adiabatic, matching the PACT default used in the paper;
 //! * two independent solvers: Jacobi-preconditioned conjugate gradients
-//!   ([`CgSolver`], the workhorse) and successive over-relaxation
-//!   ([`SorSolver`], the cross-check).
+//!   ([`CgSolver`], the workhorse) and red-black successive
+//!   over-relaxation ([`SorSolver`], the cross-check).
+//!
+//! Both solvers share a scoped-thread parallel engine: matrix-free
+//! stencil products and reductions chunk across z-slab bands, with
+//! per-slab ordered reductions so any thread count reproduces the
+//! serial arithmetic bitwise (`CgSolver::with_threads`,
+//! `CgSolver::with_parallel_crossover`). Solves are divergence-safe —
+//! a non-finite residual surfaces as [`SolveError::Diverged`], never as
+//! an `Ok` carrying NaN temperatures — and every [`Solution`] carries a
+//! full observability record ([`SolverStats`]: iteration count, matvec
+//! count, assembly/solve wall time, sampled residual trajectory).
 //!
 //! # Example: a one-layer slab with a uniform source
 //!
@@ -41,6 +51,7 @@
 mod analysis;
 mod builder;
 pub mod electrothermal;
+mod engine;
 mod field;
 mod heatsink;
 pub mod network;
@@ -53,4 +64,6 @@ pub use builder::{SlabSpec, StackMeshBuilder};
 pub use field::TemperatureField;
 pub use heatsink::Heatsink;
 pub use problem::Problem;
-pub use solver::{CgSolver, Solution, SolveError, SolverStats, SorSolver};
+pub use solver::{
+    CgSolver, Solution, SolveError, SolverStats, SorSolver, DEFAULT_PARALLEL_CROSSOVER,
+};

@@ -12,7 +12,7 @@ use tsc_units::{AreaThermalResistance, HeatFlux, Ratio, TempDelta, Temperature};
 
 /// One rung of the ladder: a tier's heat flux and the conduction
 /// resistance between this tier's source plane and the node below it.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TierRung {
     /// Heat flux dissipated by this tier.
     pub flux: HeatFlux,
@@ -44,7 +44,7 @@ impl TierRung {
 /// let tj = ladder.junction_temperature();
 /// assert!(tj.celsius() > 100.0 && tj.celsius() < 125.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ladder {
     heatsink: Heatsink,
     rungs: Vec<TierRung>,

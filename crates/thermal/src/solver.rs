@@ -9,14 +9,49 @@
 //! * right-hand side: injected power plus `G_boundary · T_ambient`.
 //!
 //! [`CgSolver`] (Jacobi-preconditioned conjugate gradients) is the
-//! workhorse; [`SorSolver`] (successive over-relaxation) provides an
-//! algorithmically independent cross-check used by the validation tests.
+//! workhorse; [`SorSolver`] (red-black successive over-relaxation)
+//! provides an algorithmically independent cross-check used by the
+//! validation tests.
+//!
+//! # Parallel execution
+//!
+//! Both solvers share the scoped-thread engine in [`crate::engine`]: the
+//! matrix-free seven-point `matvec` is evaluated in *gather* form (each
+//! cell computes its own output from its neighbours), which chunks
+//! race-free across z-slab bands, and the SOR sweep uses red-black
+//! ordering so each colour pass has provably disjoint writes. Reductions
+//! (dot products, norms) are accumulated **per z-slab and summed in slab
+//! order**, so the arithmetic is bitwise identical for every thread
+//! count — `with_threads(8)` reproduces `with_threads(1)` exactly.
+//! Below [`DEFAULT_PARALLEL_CROSSOVER`] cells the identical code runs
+//! serially on the calling thread (see
+//! [`CgSolver::with_parallel_crossover`]).
+//!
+//! # Divergence safety
+//!
+//! No solver path returns `Ok` with a non-finite residual or temperature:
+//! every convergence check is guarded by `residual.is_finite()`, and a
+//! non-finite residual (NaN power input, degenerate diagonal, arithmetic
+//! overflow) surfaces as [`SolveError::Diverged`] instead of spinning out
+//! the whole iteration budget or — worse — passing a `NaN > tol`
+//! comparison and reporting success.
 
 use crate::analysis::EnergyBalance;
+use crate::engine::ExecPlan;
 use crate::field::TemperatureField;
 use crate::problem::Problem;
+use std::time::Instant;
 use tsc_geometry::{Dim3, Grid3};
 use tsc_units::Power;
+
+/// Problem size (cells) below which the solvers stay serial by default:
+/// scoped-thread spawn overhead beats the stencil work on small meshes.
+pub const DEFAULT_PARALLEL_CROSSOVER: usize = 32_768;
+
+/// Worker count used when none is configured: one per available core.
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
 
 /// Failure modes of a solve.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,6 +64,15 @@ pub enum SolveError {
         /// Iterations performed.
         iterations: usize,
         /// Final relative residual.
+        residual: f64,
+    },
+    /// The iteration produced a non-finite residual or iterate — NaN
+    /// power input, a degenerate (zero) diagonal, or overflow. The
+    /// returned residual is the poisoned value (NaN or ∞).
+    Diverged {
+        /// Iterations performed before divergence was detected.
+        iterations: usize,
+        /// The non-finite residual that triggered the bail-out.
         residual: f64,
     },
 }
@@ -46,19 +90,39 @@ impl core::fmt::Display for SolveError {
                 f,
                 "solver did not converge within {iterations} iterations (residual {residual:.3e})"
             ),
+            Self::Diverged {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "solver diverged after {iterations} iterations (residual {residual})"
+            ),
         }
     }
 }
 
 impl std::error::Error for SolveError {}
 
-/// Convergence statistics of a successful solve.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+/// Observability record of a solve: convergence, work and timing.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SolverStats {
-    /// Iterations used.
+    /// Iterations (CG) or sweeps (SOR) used.
     pub iterations: usize,
     /// Final relative residual `‖b − A·T‖ / ‖b‖`.
     pub residual: f64,
+    /// Matrix-vector products evaluated (CG: one per iteration plus the
+    /// initial residual; SOR: one per residual check).
+    pub matvecs: usize,
+    /// Wall-clock seconds spent assembling the operator.
+    pub assembly_seconds: f64,
+    /// Wall-clock seconds spent iterating (excludes assembly).
+    pub solve_seconds: f64,
+    /// Worker threads the execution plan engaged (1 = serial path).
+    pub threads: usize,
+    /// Sampled residual trajectory `(iteration, relative residual)`:
+    /// the initial residual, every stride-th iteration, and the final
+    /// residual. See [`CgSolver::with_trajectory_stride`].
+    pub trajectory: Vec<(usize, f64)>,
 }
 
 /// A solved thermal problem.
@@ -66,10 +130,20 @@ pub struct SolverStats {
 pub struct Solution {
     /// The temperature field.
     pub temperatures: TemperatureField,
-    /// Convergence statistics.
+    /// Convergence statistics and solve observability.
     pub stats: SolverStats,
     /// Global energy balance (injected vs extracted power).
     pub energy: EnergyBalance,
+}
+
+/// Tuning knobs threaded through the shared CG kernel.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CgParams {
+    pub tol: f64,
+    pub max_iter: usize,
+    pub threads: usize,
+    pub crossover: usize,
+    pub traj_stride: usize,
 }
 
 /// Pre-assembled face conductances and right-hand side.
@@ -82,10 +156,15 @@ pub(crate) struct Assembled {
     g_bottom: Vec<f64>,
     g_top: Vec<f64>,
     diag: Vec<f64>,
+    /// Boundary contribution only (`G_boundary · T_ambient` per cell).
+    rhs_boundary: Vec<f64>,
+    /// Full right-hand side: staged power plus `rhs_boundary`.
     rhs: Vec<f64>,
     t_bottom: f64,
     t_top: f64,
     initial_guess: f64,
+    /// Wall-clock seconds [`Assembled::build`] took, carried into stats.
+    assembly_seconds: f64,
 }
 
 impl Assembled {
@@ -99,73 +178,26 @@ impl Assembled {
         &self.rhs
     }
 
-    /// Jacobi-preconditioned CG on the diagonally shifted system
-    /// `(A + diag(shift))·x = rhs`, warm-started from `x` — the inner
-    /// solve of implicit-Euler transient stepping.
-    pub(crate) fn cg_shifted(
-        &self,
-        shift: &[f64],
-        rhs: &[f64],
-        x: &mut [f64],
-        tol: f64,
-        max_iter: usize,
-    ) -> Result<SolverStats, SolveError> {
-        let n = self.dim.len();
-        debug_assert_eq!(shift.len(), n);
-        debug_assert_eq!(rhs.len(), n);
-        debug_assert_eq!(x.len(), n);
-        let b_norm = norm(rhs).max(f64::MIN_POSITIVE);
-        let matvec_shifted = |v: &[f64], out: &mut [f64]| {
-            self.matvec(v, out);
-            for c in 0..n {
-                out[c] += shift[c] * v[c];
-            }
-        };
-        let mut r = vec![0.0; n];
-        let mut ax = vec![0.0; n];
-        matvec_shifted(x, &mut ax);
-        for c in 0..n {
-            r[c] = rhs[c] - ax[c];
-        }
-        let diag: Vec<f64> = self.diag.iter().zip(shift).map(|(d, s)| d + s).collect();
-        let mut z: Vec<f64> = r.iter().zip(&diag).map(|(ri, di)| ri / di).collect();
-        let mut pv = z.clone();
-        let mut rz = dot(&r, &z);
-        let mut ap = vec![0.0; n];
-        let mut residual = norm(&r) / b_norm;
-        let mut iterations = 0;
-        while residual > tol && iterations < max_iter {
-            matvec_shifted(&pv, &mut ap);
-            let alpha = rz / dot(&pv, &ap);
-            for c in 0..n {
-                x[c] += alpha * pv[c];
-                r[c] -= alpha * ap[c];
-            }
-            for c in 0..n {
-                z[c] = r[c] / diag[c];
-            }
-            let rz_next = dot(&r, &z);
-            let beta = rz_next / rz;
-            rz = rz_next;
-            for c in 0..n {
-                pv[c] = z[c] + beta * pv[c];
-            }
-            residual = norm(&r) / b_norm;
-            iterations += 1;
-        }
-        if residual > tol {
-            return Err(SolveError::NotConverged {
-                iterations,
-                residual,
-            });
-        }
-        Ok(SolverStats {
-            iterations,
-            residual,
-        })
+    /// Ambient-referenced starting temperature for iterations.
+    pub(crate) fn initial_guess(&self) -> f64 {
+        self.initial_guess
+    }
+
+    /// Rebuilds the right-hand side for a different per-cell power
+    /// staging (watts per cell) over the same operator — the
+    /// electrothermal loop re-solves with rescaled power without paying
+    /// for reassembly.
+    pub(crate) fn rhs_with_power(&self, power_watts: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(power_watts.len(), self.rhs_boundary.len());
+        self.rhs_boundary
+            .iter()
+            .zip(power_watts)
+            .map(|(b, p)| b + p)
+            .collect()
     }
 
     pub(crate) fn build(p: &Problem) -> Result<Self, SolveError> {
+        let t0 = Instant::now();
         let bottom = p.bottom_heatsink();
         let top = p.top_heatsink();
         if bottom.is_none() && top.is_none() {
@@ -204,7 +236,7 @@ impl Assembled {
 
         let n = dim.len();
         let mut diag = vec![0.0; n];
-        let mut rhs = p.power_flat().to_vec();
+        let mut rhs_boundary = vec![0.0; n];
         for k in 0..nz {
             for j in 0..ny {
                 for i in 0..nx {
@@ -231,17 +263,23 @@ impl Assembled {
                     if k == 0 {
                         let g = g_bottom[j * nx + i];
                         d += g;
-                        rhs[c] += g * t_bottom;
+                        rhs_boundary[c] += g * t_bottom;
                     }
                     if k == nz - 1 {
                         let g = g_top[j * nx + i];
                         d += g;
-                        rhs[c] += g * t_top;
+                        rhs_boundary[c] += g * t_top;
                     }
                     diag[c] = d;
                 }
             }
         }
+        let rhs: Vec<f64> = p
+            .power_flat()
+            .iter()
+            .zip(&rhs_boundary)
+            .map(|(q, b)| q + b)
+            .collect();
         let initial_guess = if bottom.is_some() { t_bottom } else { t_top };
         Ok(Self {
             dim,
@@ -251,43 +289,266 @@ impl Assembled {
             g_bottom,
             g_top,
             diag,
+            rhs_boundary,
             rhs,
             t_bottom,
             t_top,
             initial_guess,
+            assembly_seconds: t0.elapsed().as_secs_f64(),
         })
     }
 
-    /// `y = A·x` (matrix-free seven-point stencil).
-    fn matvec(&self, x: &[f64], y: &mut [f64]) {
+    /// Gather-form `y[range] = (A + diag(shift))·x` over one slab-aligned
+    /// band: every cell of the band computes its own output from its
+    /// neighbours, so bands never write outside themselves and the same
+    /// code serves the serial and parallel paths.
+    fn matvec_range(
+        &self,
+        x: &[f64],
+        out: &mut [f64],
+        range: std::ops::Range<usize>,
+        shift: Option<&[f64]>,
+    ) {
         let (nx, ny, nz) = (self.dim.nx, self.dim.ny, self.dim.nz);
-        for (c, out) in y.iter_mut().enumerate() {
-            *out = self.diag[c] * x[c];
-        }
-        for k in 0..nz {
+        let slab = nx * ny;
+        debug_assert_eq!(range.start % slab, 0, "bands must be slab-aligned");
+        debug_assert_eq!(range.end % slab, 0, "bands must be slab-aligned");
+        let (k_lo, k_hi) = (range.start / slab, range.end / slab);
+        for k in k_lo..k_hi {
             for j in 0..ny {
                 for i in 0..nx {
-                    let c = self.dim.flat(i, j, k);
+                    let c = (k * ny + j) * nx + i;
+                    let mut acc = self.diag[c] * x[c];
                     if i + 1 < nx {
-                        let g = self.gx[(k * ny + j) * (nx - 1) + i];
-                        let d = c + 1;
-                        y[c] -= g * x[d];
-                        y[d] -= g * x[c];
+                        acc -= self.gx[(k * ny + j) * (nx - 1) + i] * x[c + 1];
+                    }
+                    if i > 0 {
+                        acc -= self.gx[(k * ny + j) * (nx - 1) + i - 1] * x[c - 1];
                     }
                     if j + 1 < ny {
-                        let g = self.gy[(k * (ny - 1) + j) * nx + i];
-                        let d = c + nx;
-                        y[c] -= g * x[d];
-                        y[d] -= g * x[c];
+                        acc -= self.gy[(k * (ny - 1) + j) * nx + i] * x[c + nx];
+                    }
+                    if j > 0 {
+                        acc -= self.gy[(k * (ny - 1) + j - 1) * nx + i] * x[c - nx];
                     }
                     if k + 1 < nz {
-                        let g = self.gz[(k * ny + j) * nx + i];
-                        let d = c + nx * ny;
-                        y[c] -= g * x[d];
-                        y[d] -= g * x[c];
+                        acc -= self.gz[(k * ny + j) * nx + i] * x[c + slab];
                     }
+                    if k > 0 {
+                        acc -= self.gz[((k - 1) * ny + j) * nx + i] * x[c - slab];
+                    }
+                    if let Some(s) = shift {
+                        acc += s[c] * x[c];
+                    }
+                    out[c - range.start] = acc;
                 }
             }
+        }
+    }
+
+    /// Relative true residual `‖b − A·x‖ / bnorm`, reduced per-slab so
+    /// the value is independent of the thread count.
+    fn residual_norm(
+        &self,
+        plan: &ExecPlan,
+        x: &[f64],
+        b: &[f64],
+        b_norm: f64,
+        ax: &mut [f64],
+    ) -> f64 {
+        let slab = self.dim.nx * self.dim.ny;
+        let parts = plan.map_mut(ax, |range, chunk| {
+            self.matvec_range(x, chunk, range.clone(), None);
+            slab_sums(range, slab, |c, local| {
+                let d = b[c] - chunk[local];
+                d * d
+            })
+        });
+        ordered_sum(parts.into_iter().flatten()).sqrt() / b_norm
+    }
+
+    /// Jacobi-preconditioned CG on `(A + diag(shift))·x = rhs`,
+    /// warm-started from `x` — the shared kernel behind the steady
+    /// solver ([`CgSolver::solve`]), the transient stepper and the
+    /// electrothermal loop.
+    ///
+    /// Three fused regions per iteration run under the execution plan:
+    /// `ap = A·pv` with `⟨pv, ap⟩`; the `x`/`r`/`z` update with
+    /// `⟨r, z⟩` and `⟨r, r⟩`; and the direction update
+    /// `pv = z + β·pv`. All reductions are per-slab ordered sums, so
+    /// results are bitwise identical across thread counts.
+    pub(crate) fn cg_core(
+        &self,
+        shift: Option<&[f64]>,
+        rhs: &[f64],
+        x: &mut [f64],
+        params: &CgParams,
+    ) -> Result<SolverStats, SolveError> {
+        let t0 = Instant::now();
+        let n = self.dim.len();
+        let slab = self.dim.nx * self.dim.ny;
+        debug_assert_eq!(rhs.len(), n);
+        debug_assert_eq!(x.len(), n);
+        let plan = ExecPlan::new(self.dim, params.threads, params.crossover);
+        let b_norm = norm(rhs).max(f64::MIN_POSITIVE);
+        let shifted_diag: Vec<f64>;
+        let diag: &[f64] = match shift {
+            Some(s) => {
+                debug_assert_eq!(s.len(), n);
+                shifted_diag = self.diag.iter().zip(s).map(|(d, sv)| d + sv).collect();
+                &shifted_diag
+            }
+            None => &self.diag,
+        };
+
+        let mut r = vec![0.0; n];
+        let mut z = vec![0.0; n];
+        let mut pv = vec![0.0; n];
+        let mut ap = vec![0.0; n];
+        let mut matvecs = 0_usize;
+
+        plan.map_mut(&mut ap, |range, chunk| {
+            self.matvec_range(x, chunk, range, shift);
+        });
+        matvecs += 1;
+        for (((rv, zv), pvv), ((bv, av), dv)) in r
+            .iter_mut()
+            .zip(&mut z)
+            .zip(&mut pv)
+            .zip(rhs.iter().zip(&ap).zip(diag))
+        {
+            *rv = bv - av;
+            *zv = *rv / dv;
+            *pvv = *zv;
+        }
+        let mut rz = dot(&r, &z);
+        let mut residual = norm(&r) / b_norm;
+        let mut iterations = 0_usize;
+        let mut trajectory = vec![(0, residual)];
+
+        while residual > params.tol && residual.is_finite() && iterations < params.max_iter {
+            // Region 1: ap = (A + shift)·pv, fused with ⟨pv, ap⟩.
+            let parts = plan.map_mut(&mut ap, |range, chunk| {
+                self.matvec_range(&pv, chunk, range.clone(), shift);
+                slab_sums(range, slab, |c, local| pv[c] * chunk[local])
+            });
+            matvecs += 1;
+            let p_ap = ordered_sum(parts.into_iter().flatten());
+            let alpha = rz / p_ap;
+
+            // Region 2: x += α·pv, r -= α·ap, z = M⁻¹r, fused with
+            // ⟨r, z⟩ and ⟨r, r⟩.
+            let parts = plan.map3_mut(x, &mut r, &mut z, |range, xs, rs, zs| {
+                let rz_parts = slab_sums(range.clone(), slab, |c, local| {
+                    xs[local] += alpha * pv[c];
+                    let rv = rs[local] - alpha * ap[c];
+                    rs[local] = rv;
+                    let zv = rv / diag[c];
+                    zs[local] = zv;
+                    rv * zv
+                });
+                let rr_parts = slab_sums(range, slab, |_, local| rs[local] * rs[local]);
+                (rz_parts, rr_parts)
+            });
+            let rz_next = ordered_sum(parts.iter().flat_map(|(a, _)| a.iter().copied()));
+            let rr = ordered_sum(parts.iter().flat_map(|(_, b)| b.iter().copied()));
+            let beta = rz_next / rz;
+            rz = rz_next;
+
+            // Region 3: pv = z + β·pv.
+            plan.map_mut(&mut pv, |range, chunk| {
+                for (local, c) in range.enumerate() {
+                    chunk[local] = z[c] + beta * chunk[local];
+                }
+            });
+
+            residual = rr.sqrt() / b_norm;
+            iterations += 1;
+            if iterations.is_multiple_of(params.traj_stride) {
+                trajectory.push((iterations, residual));
+            }
+        }
+
+        if trajectory.last().map(|&(it, _)| it) != Some(iterations) {
+            trajectory.push((iterations, residual));
+        }
+        if !residual.is_finite() || !x.iter().all(|v| v.is_finite()) {
+            return Err(SolveError::Diverged {
+                iterations,
+                residual,
+            });
+        }
+        if residual > params.tol {
+            return Err(SolveError::NotConverged {
+                iterations,
+                residual,
+            });
+        }
+        Ok(SolverStats {
+            iterations,
+            residual,
+            matvecs,
+            assembly_seconds: self.assembly_seconds,
+            solve_seconds: t0.elapsed().as_secs_f64(),
+            threads: plan.threads(),
+            trajectory,
+        })
+    }
+
+    /// One red-black SOR sweep: the even-parity cells (`(i+j+k) % 2 == 0`)
+    /// update first, then the odd. Every stencil neighbour of a cell has
+    /// opposite parity, so within one colour pass all writes are
+    /// independent — bands update concurrently and the result is
+    /// identical for any thread count.
+    fn sor_sweep(&self, plan: &ExecPlan, x: &mut [f64], omega: f64) {
+        let (nx, ny, nz) = (self.dim.nx, self.dim.ny, self.dim.nz);
+        let slab = nx * ny;
+        for colour in 0..2_usize {
+            plan.for_each_shared(x, |range, shared| {
+                let (k_lo, k_hi) = (range.start / slab, range.end / slab);
+                for k in k_lo..k_hi {
+                    for j in 0..ny {
+                        let i0 = (colour + j + k) % 2;
+                        for i in (i0..nx).step_by(2) {
+                            let c = (k * ny + j) * nx + i;
+                            // SAFETY: `c` has the active colour inside this
+                            // worker's own band (exclusive writer); every
+                            // index read below is a stencil neighbour of
+                            // `c` and therefore of the *other* colour — no
+                            // concurrent pass writes it.
+                            unsafe {
+                                let mut sigma = 0.0;
+                                if i > 0 {
+                                    sigma += self.gx[(k * ny + j) * (nx - 1) + i - 1]
+                                        * shared.get(c - 1);
+                                }
+                                if i + 1 < nx {
+                                    sigma +=
+                                        self.gx[(k * ny + j) * (nx - 1) + i] * shared.get(c + 1);
+                                }
+                                if j > 0 {
+                                    sigma += self.gy[(k * (ny - 1) + j - 1) * nx + i]
+                                        * shared.get(c - nx);
+                                }
+                                if j + 1 < ny {
+                                    sigma +=
+                                        self.gy[(k * (ny - 1) + j) * nx + i] * shared.get(c + nx);
+                                }
+                                if k > 0 {
+                                    sigma +=
+                                        self.gz[((k - 1) * ny + j) * nx + i] * shared.get(c - slab);
+                                }
+                                if k + 1 < nz {
+                                    sigma += self.gz[(k * ny + j) * nx + i] * shared.get(c + slab);
+                                }
+                                let old = shared.get(c);
+                                let gs = (self.rhs[c] + sigma) / self.diag[c];
+                                shared.set(c, old + omega * (gs - old));
+                            }
+                        }
+                    }
+                }
+            });
         }
     }
 
@@ -308,16 +569,46 @@ impl Assembled {
         }
     }
 
-    fn into_solution(self, t: Vec<f64>, stats: SolverStats, injected: f64) -> Solution {
-        let energy = self.energy_balance(&t, injected);
+    /// Packages a converged iterate without consuming the operator, so
+    /// repeated solves (transient stepping, electrothermal fixed point)
+    /// reuse one assembly.
+    pub(crate) fn solution(&self, t: &[f64], stats: SolverStats, injected: f64) -> Solution {
+        let energy = self.energy_balance(t, injected);
         let mut grid = Grid3::filled(self.dim, 0.0);
-        grid.as_mut_slice().copy_from_slice(&t);
+        grid.as_mut_slice().copy_from_slice(t);
         Solution {
             temperatures: TemperatureField::from_kelvin(grid),
             stats,
             energy,
         }
     }
+}
+
+/// Per-slab partial sums of `f(c, local)` over a slab-aligned band —
+/// the building block that keeps reductions independent of the band
+/// partitioning (see the module docs).
+fn slab_sums<F>(range: std::ops::Range<usize>, slab: usize, mut f: F) -> Vec<f64>
+where
+    F: FnMut(usize, usize) -> f64,
+{
+    let start = range.start;
+    let mut out = Vec::with_capacity(range.len() / slab);
+    let mut c = range.start;
+    while c < range.end {
+        let mut acc = 0.0;
+        for cc in c..c + slab {
+            acc += f(cc, cc - start);
+        }
+        out.push(acc);
+        c += slab;
+    }
+    out
+}
+
+/// Sequential left-to-right sum — the deterministic final reduction over
+/// per-slab partials.
+fn ordered_sum(parts: impl Iterator<Item = f64>) -> f64 {
+    parts.fold(0.0, |acc, v| acc + v)
 }
 
 fn dot(a: &[f64], b: &[f64]) -> f64 {
@@ -339,15 +630,22 @@ fn norm(a: &[f64]) -> f64 {
 pub struct CgSolver {
     tol: f64,
     max_iter: usize,
+    threads: usize,
+    crossover: usize,
+    traj_stride: usize,
 }
 
 impl CgSolver {
-    /// Default solver: relative tolerance `1e-9`, generous iteration cap.
+    /// Default solver: relative tolerance `1e-9`, generous iteration cap,
+    /// one worker per available core above the parallel crossover.
     #[must_use]
     pub fn new() -> Self {
         Self {
             tol: 1e-9,
             max_iter: 50_000,
+            threads: default_threads(),
+            crossover: DEFAULT_PARALLEL_CROSSOVER,
+            traj_stride: 100,
         }
     }
 
@@ -375,10 +673,56 @@ impl CgSolver {
         self
     }
 
+    /// Builder: caps the worker threads (default: one per available
+    /// core). `1` forces the serial path regardless of problem size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be positive");
+        self.threads = threads;
+        self
+    }
+
+    /// Builder: problem size (cells) below which the solve stays serial
+    /// even when multiple threads are configured. `0` parallelises
+    /// everything (useful for testing), large values force serial.
+    #[must_use]
+    pub fn with_parallel_crossover(mut self, cells: usize) -> Self {
+        self.crossover = cells;
+        self
+    }
+
+    /// Builder: records the residual into
+    /// [`SolverStats::trajectory`] every `stride` iterations (the
+    /// initial and final residuals are always recorded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    #[must_use]
+    pub fn with_trajectory_stride(mut self, stride: usize) -> Self {
+        assert!(stride > 0, "trajectory stride must be positive");
+        self.traj_stride = stride;
+        self
+    }
+
     /// Configured tolerance.
     #[must_use]
     pub fn tolerance(&self) -> f64 {
         self.tol
+    }
+
+    pub(crate) fn params(&self) -> CgParams {
+        CgParams {
+            tol: self.tol,
+            max_iter: self.max_iter,
+            threads: self.threads,
+            crossover: self.crossover,
+            traj_stride: self.traj_stride,
+        }
     }
 
     /// Solves the problem.
@@ -387,61 +731,14 @@ impl CgSolver {
     ///
     /// [`SolveError::NoBoundary`] when no heatsink is attached;
     /// [`SolveError::NotConverged`] when the residual stalls above the
-    /// tolerance.
+    /// tolerance; [`SolveError::Diverged`] when the iteration turns
+    /// non-finite (never `Ok` with a NaN temperature).
     pub fn solve(&self, p: &Problem) -> Result<Solution, SolveError> {
         let asm = Assembled::build(p)?;
-        let n = asm.dim.len();
-        let b_norm = norm(&asm.rhs).max(f64::MIN_POSITIVE);
-
-        let mut x = vec![asm.initial_guess; n];
-        let mut r = vec![0.0; n];
-        let mut ax = vec![0.0; n];
-        asm.matvec(&x, &mut ax);
-        for c in 0..n {
-            r[c] = asm.rhs[c] - ax[c];
-        }
-        let mut z: Vec<f64> = r.iter().zip(&asm.diag).map(|(ri, di)| ri / di).collect();
-        let mut pv = z.clone();
-        let mut rz = dot(&r, &z);
-        let mut ap = vec![0.0; n];
-        let mut residual = norm(&r) / b_norm;
-        let mut iterations = 0;
-
-        while residual > self.tol && iterations < self.max_iter {
-            asm.matvec(&pv, &mut ap);
-            let alpha = rz / dot(&pv, &ap);
-            for c in 0..n {
-                x[c] += alpha * pv[c];
-                r[c] -= alpha * ap[c];
-            }
-            for c in 0..n {
-                z[c] = r[c] / asm.diag[c];
-            }
-            let rz_next = dot(&r, &z);
-            let beta = rz_next / rz;
-            rz = rz_next;
-            for c in 0..n {
-                pv[c] = z[c] + beta * pv[c];
-            }
-            residual = norm(&r) / b_norm;
-            iterations += 1;
-        }
-
-        if residual > self.tol {
-            return Err(SolveError::NotConverged {
-                iterations,
-                residual,
-            });
-        }
+        let mut x = vec![asm.initial_guess; asm.dim.len()];
+        let stats = asm.cg_core(None, &asm.rhs, &mut x, &self.params())?;
         let injected = p.total_power().watts();
-        Ok(asm.into_solution(
-            x,
-            SolverStats {
-                iterations,
-                residual,
-            },
-            injected,
-        ))
+        Ok(asm.solution(&x, stats, injected))
     }
 }
 
@@ -451,26 +748,41 @@ impl Default for CgSolver {
     }
 }
 
-/// Successive over-relaxation (Gauss-Seidel with relaxation factor ω).
+/// Red-black successive over-relaxation (Gauss-Seidel with relaxation
+/// factor ω, odd-even ordering).
 ///
 /// Slower than CG on large meshes but algorithmically independent — used
 /// to cross-check CG solutions as the paper cross-checks PACT against
-/// COMSOL and Celsius.
+/// COMSOL and Celsius. The red-black ordering makes each half-sweep
+/// embarrassingly parallel and thread-count independent (see the module
+/// docs).
+///
+/// The true residual `‖b − A·x‖ / ‖b‖` is evaluated every
+/// [`SorSolver::with_check_interval`] sweeps **and unconditionally after
+/// the final sweep**, so the reported residual always describes the
+/// returned field — convergence can never be declared (or a budget
+/// exhausted) against a stale checkpoint.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SorSolver {
     omega: f64,
     tol: f64,
     max_sweeps: usize,
+    check_interval: usize,
+    threads: usize,
+    crossover: usize,
 }
 
 impl SorSolver {
-    /// Default: ω = 1.9, tolerance 1e-9.
+    /// Default: ω = 1.9, tolerance 1e-9, residual check every 10 sweeps.
     #[must_use]
     pub fn new() -> Self {
         Self {
             omega: 1.9,
             tol: 1e-9,
             max_sweeps: 200_000,
+            check_interval: 10,
+            threads: default_threads(),
+            crossover: DEFAULT_PARALLEL_CROSSOVER,
         }
     }
 
@@ -513,68 +825,78 @@ impl SorSolver {
         self
     }
 
+    /// Builder: sweeps between true-residual evaluations. The final
+    /// sweep is always followed by a residual check regardless of the
+    /// interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    #[must_use]
+    pub fn with_check_interval(mut self, interval: usize) -> Self {
+        assert!(interval > 0, "check interval must be positive");
+        self.check_interval = interval;
+        self
+    }
+
+    /// Builder: caps the worker threads (default: one per available
+    /// core). See [`CgSolver::with_threads`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be positive");
+        self.threads = threads;
+        self
+    }
+
+    /// Builder: serial/parallel crossover in cells. See
+    /// [`CgSolver::with_parallel_crossover`].
+    #[must_use]
+    pub fn with_parallel_crossover(mut self, cells: usize) -> Self {
+        self.crossover = cells;
+        self
+    }
+
     /// Solves the problem.
     ///
     /// # Errors
     ///
     /// Same failure modes as [`CgSolver::solve`].
     pub fn solve(&self, p: &Problem) -> Result<Solution, SolveError> {
+        let t0 = Instant::now();
         let asm = Assembled::build(p)?;
-        let dim = asm.dim;
-        let (nx, ny, nz) = (dim.nx, dim.ny, dim.nz);
-        let n = dim.len();
+        let n = asm.dim.len();
+        let plan = ExecPlan::new(asm.dim, self.threads, self.crossover);
         let b_norm = norm(&asm.rhs).max(f64::MIN_POSITIVE);
         let mut x = vec![asm.initial_guess; n];
-        let mut sweeps = 0;
-        let mut residual = f64::INFINITY;
+        let mut scratch = vec![0.0; n];
+        let mut sweeps = 0_usize;
+        let mut matvecs = 0_usize;
+        let mut trajectory = Vec::new();
 
-        while sweeps < self.max_sweeps {
-            for k in 0..nz {
-                for j in 0..ny {
-                    for i in 0..nx {
-                        let c = dim.flat(i, j, k);
-                        let mut sigma = 0.0;
-                        if i > 0 {
-                            sigma += asm.gx[(k * ny + j) * (nx - 1) + i - 1] * x[c - 1];
-                        }
-                        if i + 1 < nx {
-                            sigma += asm.gx[(k * ny + j) * (nx - 1) + i] * x[c + 1];
-                        }
-                        if j > 0 {
-                            sigma += asm.gy[(k * (ny - 1) + j - 1) * nx + i] * x[c - nx];
-                        }
-                        if j + 1 < ny {
-                            sigma += asm.gy[(k * (ny - 1) + j) * nx + i] * x[c + nx];
-                        }
-                        if k > 0 {
-                            sigma += asm.gz[((k - 1) * ny + j) * nx + i] * x[c - nx * ny];
-                        }
-                        if k + 1 < nz {
-                            sigma += asm.gz[(k * ny + j) * nx + i] * x[c + nx * ny];
-                        }
-                        let gs = (asm.rhs[c] + sigma) / asm.diag[c];
-                        x[c] += self.omega * (gs - x[c]);
-                    }
-                }
-            }
+        let residual = loop {
+            asm.sor_sweep(&plan, &mut x, self.omega);
             sweeps += 1;
-            if sweeps % 10 == 0 || sweeps == self.max_sweeps {
-                let mut ax = vec![0.0; n];
-                asm.matvec(&x, &mut ax);
-                let r: f64 = asm
-                    .rhs
-                    .iter()
-                    .zip(&ax)
-                    .map(|(b, a)| (b - a) * (b - a))
-                    .sum::<f64>()
-                    .sqrt();
-                residual = r / b_norm;
-                if residual <= self.tol {
-                    break;
+            let last = sweeps == self.max_sweeps;
+            if sweeps.is_multiple_of(self.check_interval) || last {
+                let r = asm.residual_norm(&plan, &x, &asm.rhs, b_norm, &mut scratch);
+                matvecs += 1;
+                trajectory.push((sweeps, r));
+                if !r.is_finite() || r <= self.tol || last {
+                    break r;
                 }
             }
-        }
+        };
 
+        if !residual.is_finite() {
+            return Err(SolveError::Diverged {
+                iterations: sweeps,
+                residual,
+            });
+        }
         if residual > self.tol {
             return Err(SolveError::NotConverged {
                 iterations: sweeps,
@@ -582,14 +904,16 @@ impl SorSolver {
             });
         }
         let injected = p.total_power().watts();
-        Ok(asm.into_solution(
-            x,
-            SolverStats {
-                iterations: sweeps,
-                residual,
-            },
-            injected,
-        ))
+        let stats = SolverStats {
+            iterations: sweeps,
+            residual,
+            matvecs,
+            assembly_seconds: asm.assembly_seconds,
+            solve_seconds: t0.elapsed().as_secs_f64() - asm.assembly_seconds,
+            threads: plan.threads(),
+            trajectory,
+        };
+        Ok(asm.solution(&x, stats, injected))
     }
 }
 
@@ -781,6 +1105,157 @@ mod tests {
             } => {
                 assert_eq!(iterations, 1);
                 assert!(residual > 0.0);
+            }
+            other => panic!("expected NotConverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nan_power_is_reported_as_divergence() {
+        // A NaN heat source poisons the right-hand side; both solvers
+        // must refuse with `Diverged` rather than return garbage or spin
+        // out their entire iteration budget.
+        let mut p = slab(4, 4, 4, 50.0);
+        p.set_bottom_heatsink(Heatsink::two_phase());
+        p.add_power(1, 1, 1, tsc_units::Power::from_watts(f64::NAN));
+        match CgSolver::new().solve(&p).unwrap_err() {
+            SolveError::Diverged { residual, .. } => assert!(residual.is_nan()),
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+        match SorSolver::new().solve(&p).unwrap_err() {
+            SolveError::Diverged {
+                iterations,
+                residual,
+            } => {
+                assert!(!residual.is_finite());
+                // Detected at the first residual checkpoint, not after
+                // the 200 000-sweep budget.
+                assert!(iterations <= 10, "took {iterations} sweeps to notice");
+            }
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn poisoned_operator_diverges_instead_of_converging() {
+        // Zero out the diagonal after assembly: the Jacobi preconditioner
+        // divides by it, so the first iteration turns non-finite. The
+        // kernel must bail out immediately with `Diverged`.
+        let mut p = slab(4, 4, 4, 50.0);
+        p.set_bottom_heatsink(Heatsink::two_phase());
+        p.add_power(1, 1, 1, tsc_units::Power::from_watts(1.0));
+        let mut asm = Assembled::build(&p).expect("well-posed");
+        asm.diag.iter_mut().for_each(|d| *d = 0.0);
+        let mut x = vec![asm.initial_guess; asm.dim.len()];
+        let err = asm
+            .cg_core(None, &asm.rhs.clone(), &mut x, &CgSolver::new().params())
+            .unwrap_err();
+        match err {
+            SolveError::Diverged { iterations, .. } => {
+                assert!(iterations <= 1, "bail-out must be immediate")
+            }
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_record_work_and_trajectory() {
+        let mut p = slab(8, 8, 8, 20.0);
+        p.set_bottom_heatsink(Heatsink::two_phase());
+        p.add_power(4, 4, 7, tsc_units::Power::from_watts(1.0));
+        let sol = CgSolver::new()
+            .with_trajectory_stride(5)
+            .solve(&p)
+            .expect("converges");
+        let s = &sol.stats;
+        assert!(s.iterations > 0);
+        assert_eq!(s.matvecs, s.iterations + 1);
+        assert!(s.assembly_seconds >= 0.0);
+        assert!(s.solve_seconds > 0.0);
+        assert!(s.threads >= 1);
+        assert_eq!(s.trajectory.first().map(|t| t.0), Some(0));
+        assert_eq!(s.trajectory.last().map(|t| t.0), Some(s.iterations));
+        assert!(
+            s.trajectory.windows(2).all(|w| w[0].0 < w[1].0),
+            "trajectory iterations must be strictly increasing"
+        );
+        assert!(s.trajectory.last().map(|t| t.1) <= Some(1e-9));
+    }
+
+    #[test]
+    fn forced_parallel_cg_is_bitwise_identical_to_serial() {
+        let mut p = slab(6, 6, 7, 15.0);
+        p.set_bottom_heatsink(Heatsink::two_phase());
+        p.add_power(3, 2, 6, tsc_units::Power::from_watts(0.8));
+        p.set_layer_conductivity(
+            2,
+            ThermalConductivity::new(1.5),
+            ThermalConductivity::new(4.0),
+        );
+        let serial = CgSolver::new().with_threads(1).solve(&p).expect("serial");
+        let parallel = CgSolver::new()
+            .with_threads(3)
+            .with_parallel_crossover(0)
+            .solve(&p)
+            .expect("parallel");
+        // Per-slab ordered reductions make the parallel path reproduce
+        // the serial arithmetic exactly, not just approximately.
+        assert_eq!(serial.stats.iterations, parallel.stats.iterations);
+        for (a, b) in serial
+            .temperatures
+            .iter_kelvin()
+            .zip(parallel.temperatures.iter_kelvin())
+        {
+            assert_eq!(a, b, "parallel CG must match serial bitwise");
+        }
+        assert!(parallel.stats.threads > 1, "plan must actually fan out");
+    }
+
+    #[test]
+    fn forced_parallel_sor_is_bitwise_identical_to_serial() {
+        let mut p = slab(5, 7, 6, 8.0);
+        p.set_bottom_heatsink(Heatsink::two_phase());
+        p.add_power(2, 3, 5, tsc_units::Power::from_watts(0.4));
+        let serial = SorSolver::new().with_threads(1).solve(&p).expect("serial");
+        let parallel = SorSolver::new()
+            .with_threads(3)
+            .with_parallel_crossover(0)
+            .solve(&p)
+            .expect("parallel");
+        assert_eq!(serial.stats.iterations, parallel.stats.iterations);
+        for (a, b) in serial
+            .temperatures
+            .iter_kelvin()
+            .zip(parallel.temperatures.iter_kelvin())
+        {
+            assert_eq!(a, b, "parallel SOR must match serial bitwise");
+        }
+    }
+
+    #[test]
+    fn sor_final_residual_describes_returned_field() {
+        // Pick a sweep budget that is NOT a multiple of the check
+        // interval: the final sweep must still get a true residual
+        // check, and the reported value must match an independent
+        // recomputation against the returned field.
+        let mut p = slab(6, 6, 4, 30.0);
+        p.set_bottom_heatsink(Heatsink::two_phase());
+        p.add_power(3, 3, 3, tsc_units::Power::from_watts(1.0));
+        let err = SorSolver::new()
+            .with_check_interval(10)
+            .with_max_sweeps(7)
+            .solve(&p)
+            .unwrap_err();
+        match err {
+            SolveError::NotConverged {
+                iterations,
+                residual,
+            } => {
+                assert_eq!(iterations, 7);
+                assert!(
+                    residual.is_finite() && residual > 0.0,
+                    "stale or sentinel residual leaked: {residual}"
+                );
             }
             other => panic!("expected NotConverged, got {other:?}"),
         }

@@ -13,7 +13,7 @@
 
 use crate::field::TemperatureField;
 use crate::problem::Problem;
-use crate::solver::{Assembled, SolveError, SolverStats};
+use crate::solver::{Assembled, CgParams, SolveError, SolverStats, DEFAULT_PARALLEL_CROSSOVER};
 use tsc_geometry::Grid3;
 use tsc_units::Temperature;
 
@@ -64,6 +64,8 @@ pub struct TransientRun {
     time: f64,
     tol: f64,
     max_iter: usize,
+    threads: usize,
+    crossover: usize,
 }
 
 impl TransientRun {
@@ -117,7 +119,22 @@ impl TransientRun {
             time: 0.0,
             tol: 1e-9,
             max_iter: 20_000,
+            threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            crossover: DEFAULT_PARALLEL_CROSSOVER,
         })
+    }
+
+    /// Builder: caps the worker threads of the inner CG solves (default:
+    /// one per available core above the parallel crossover).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be positive");
+        self.threads = threads;
+        self
     }
 
     /// Elapsed simulated time in seconds.
@@ -166,10 +183,8 @@ impl TransientRun {
     ///
     /// [`SolveError::NotConverged`] if the inner CG solve stalls.
     pub fn step(&mut self) -> Result<SolverStats, SolveError> {
-        let n = self.temperatures.len();
         // rhs = b + (C/dt)·T ; matrix = A + diag(C/dt).
         let mut rhs = self.asm.rhs().to_vec();
-        let _ = n;
         for ((r, c), t) in rhs
             .iter_mut()
             .zip(&self.cap_over_dt)
@@ -177,12 +192,18 @@ impl TransientRun {
         {
             *r += c * t;
         }
-        let stats = self.asm.cg_shifted(
-            &self.cap_over_dt,
+        let params = CgParams {
+            tol: self.tol,
+            max_iter: self.max_iter,
+            threads: self.threads,
+            crossover: self.crossover,
+            traj_stride: usize::MAX,
+        };
+        let stats = self.asm.cg_core(
+            Some(&self.cap_over_dt),
             &rhs,
             &mut self.temperatures,
-            self.tol,
-            self.max_iter,
+            &params,
         )?;
         self.time += self.dt;
         Ok(stats)

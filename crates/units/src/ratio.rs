@@ -13,9 +13,7 @@
 /// assert!((footprint_penalty.fraction() - 0.10).abs() < 1e-12);
 /// assert!((delay_penalty.percent() - 3.0).abs() < 1e-12);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Ratio(f64);
 
 impl Ratio {

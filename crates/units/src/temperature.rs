@@ -14,7 +14,7 @@
 /// let budget = limit - ambient;
 /// assert!((budget.kelvin() - 25.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Temperature(f64);
 
 quantity! {

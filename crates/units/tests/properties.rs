@@ -1,122 +1,170 @@
-//! Property-based tests for the unit algebra.
+//! Randomized property tests for the unit algebra.
+//!
+//! Each test fuzzes its invariant over a deterministic [`Rng64`] stream
+//! (seeded per test), so failures reproduce exactly; this replaces the
+//! former proptest dependency, which cannot be fetched in the hermetic
+//! build environment.
 
-use proptest::prelude::*;
+use tsc_rng::Rng64;
 use tsc_units::{
     ops, Area, AreaThermalResistance, HeatFlux, HeatTransferCoefficient, Length, Power, Ratio,
     TempDelta, Temperature, ThermalConductivity,
 };
 
-fn finite_positive() -> impl Strategy<Value = f64> {
-    // Stay within a range where f64 round-off cannot dominate.
-    1e-12..1e12
+const CASES: usize = 256;
+
+/// Log-uniform positive magnitude in [1e-12, 1e12] — the range where
+/// f64 round-off cannot dominate the assertions below.
+fn finite_positive(rng: &mut Rng64) -> f64 {
+    10f64.powf(rng.gen_range_f64(-12.0..12.0))
 }
 
-proptest! {
-    #[test]
-    fn length_conversions_round_trip(nm in finite_positive()) {
+#[test]
+fn length_conversions_round_trip() {
+    let mut rng = Rng64::seed_from_u64(0x1001);
+    for _ in 0..CASES {
+        let nm = finite_positive(&mut rng);
         let l = Length::from_nanometers(nm);
-        prop_assert!((l.nanometers() - nm).abs() <= nm * 1e-12);
-        prop_assert!((Length::from_micrometers(l.micrometers()).meters() - l.meters()).abs()
-            <= l.meters() * 1e-12);
+        assert!((l.nanometers() - nm).abs() <= nm * 1e-12);
+        assert!(
+            (Length::from_micrometers(l.micrometers()).meters() - l.meters()).abs()
+                <= l.meters() * 1e-12
+        );
     }
+}
 
-    #[test]
-    fn area_of_square_inverts_side(um in 1e-3..1e4f64) {
+#[test]
+fn area_of_square_inverts_side() {
+    let mut rng = Rng64::seed_from_u64(0x1002);
+    for _ in 0..CASES {
+        let um = rng.gen_range_f64(1e-3..1e4);
         let side = Length::from_micrometers(um);
         let recovered = side.squared().side_of_square();
-        prop_assert!((recovered.micrometers() - um).abs() <= um * 1e-9);
+        assert!((recovered.micrometers() - um).abs() <= um * 1e-9);
     }
+}
 
-    #[test]
-    fn temperature_offset_cancels(c in -200.0..1000.0f64, dk in -500.0..500.0f64) {
+#[test]
+fn temperature_offset_cancels() {
+    let mut rng = Rng64::seed_from_u64(0x1003);
+    for _ in 0..CASES {
+        let c = rng.gen_range_f64(-200.0..1000.0);
+        let dk = rng.gen_range_f64(-500.0..500.0);
         let t = Temperature::from_celsius(c);
         let d = TempDelta::new(dk);
         let back = (t + d) - d;
-        prop_assert!(back.approx_eq(t, 1e-9));
+        assert!(back.approx_eq(t, 1e-9));
     }
+}
 
-    #[test]
-    fn power_sum_is_commutative(w1 in finite_positive(), w2 in finite_positive()) {
+#[test]
+fn power_sum_is_commutative() {
+    let mut rng = Rng64::seed_from_u64(0x1004);
+    for _ in 0..CASES {
+        let w1 = finite_positive(&mut rng);
+        let w2 = finite_positive(&mut rng);
         let a = Power::from_watts(w1);
         let b = Power::from_watts(w2);
-        prop_assert!((a + b).approx_eq(b + a, 1e-9 * (w1 + w2)));
+        assert!((a + b).approx_eq(b + a, 1e-9 * (w1 + w2)));
     }
+}
 
-    #[test]
-    fn flux_area_power_triangle(q in 1e-3..1e4f64, cm2 in 1e-4..1e2f64) {
+#[test]
+fn flux_area_power_triangle() {
+    let mut rng = Rng64::seed_from_u64(0x1005);
+    for _ in 0..CASES {
+        let q = rng.gen_range_f64(1e-3..1e4);
+        let cm2 = rng.gen_range_f64(1e-4..1e2);
         let flux = HeatFlux::from_watts_per_square_cm(q);
         let area = Area::from_square_cm(cm2);
         let p = flux * area;
         let q_back = p / area;
-        prop_assert!((q_back.watts_per_square_cm() - q).abs() <= q * 1e-12);
+        assert!((q_back.watts_per_square_cm() - q).abs() <= q * 1e-12);
     }
+}
 
-    #[test]
-    fn mixture_rules_are_bounded(
-        k_hi in 1.0..1000.0f64,
-        k_lo in 0.01..1.0f64,
-        pct in 0.0..100.0f64,
-    ) {
+#[test]
+fn mixture_rules_are_bounded() {
+    let mut rng = Rng64::seed_from_u64(0x1006);
+    for _ in 0..CASES {
+        let k_hi = rng.gen_range_f64(1.0..1000.0);
+        let k_lo = rng.gen_range_f64(0.01..1.0);
+        let pct = rng.gen_range_f64(0.0..100.0);
         let hi = ThermalConductivity::new(k_hi);
         let lo = ThermalConductivity::new(k_lo);
         let f = Ratio::from_percent(pct);
         let par = ops::parallel_rule(hi, lo, f);
         let ser = ops::series_rule(hi, lo, f);
         // Both bounded by constituents; Voigt >= Reuss always.
-        prop_assert!(par.get() <= k_hi.max(k_lo) + 1e-9);
-        prop_assert!(ser.get() >= k_hi.min(k_lo) - 1e-9);
-        prop_assert!(par.get() + 1e-12 >= ser.get());
+        assert!(par.get() <= k_hi.max(k_lo) + 1e-9);
+        assert!(ser.get() >= k_hi.min(k_lo) - 1e-9);
+        assert!(par.get() + 1e-12 >= ser.get());
     }
+}
 
-    #[test]
-    fn stack_temperature_monotone_in_tiers(
-        n in 1usize..20,
-        q in 1.0..200.0f64,
-        r in 1e-8..1e-5f64,
-    ) {
+#[test]
+fn stack_temperature_monotone_in_tiers() {
+    let mut rng = Rng64::seed_from_u64(0x1007);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..20);
+        let q = rng.gen_range_f64(1.0..200.0);
+        let r = rng.gen_range_f64(1e-8..1e-5);
         let flux = HeatFlux::from_watts_per_square_cm(q);
         let res = AreaThermalResistance::new(r);
         let h = HeatTransferCoefficient::TWO_PHASE;
         let amb = Temperature::from_celsius(100.0);
         let t_n = ops::stack_junction_temperature(n, flux, res, h, amb);
         let t_n1 = ops::stack_junction_temperature(n + 1, flux, res, h, amb);
-        prop_assert!(t_n1 > t_n, "adding a tier must heat the stack");
-        prop_assert!(t_n > amb, "junction must sit above ambient");
+        assert!(t_n1 > t_n, "adding a tier must heat the stack");
+        assert!(t_n > amb, "junction must sit above ambient");
     }
+}
 
-    #[test]
-    fn stack_temperature_monotone_in_resistance(
-        q in 1.0..200.0f64,
-        r1 in 1e-8..1e-5f64,
-        factor in 1.01..100.0f64,
-    ) {
+#[test]
+fn stack_temperature_monotone_in_resistance() {
+    let mut rng = Rng64::seed_from_u64(0x1008);
+    for _ in 0..CASES {
+        let q = rng.gen_range_f64(1.0..200.0);
+        let r1 = rng.gen_range_f64(1e-8..1e-5);
+        let factor = rng.gen_range_f64(1.01..100.0);
         let flux = HeatFlux::from_watts_per_square_cm(q);
         let h = HeatTransferCoefficient::TWO_PHASE;
         let amb = Temperature::from_celsius(100.0);
         let t_lo = ops::stack_junction_temperature(6, flux, AreaThermalResistance::new(r1), h, amb);
         let t_hi = ops::stack_junction_temperature(
-            6, flux, AreaThermalResistance::new(r1 * factor), h, amb);
-        prop_assert!(t_hi > t_lo, "higher tier resistance must run hotter");
+            6,
+            flux,
+            AreaThermalResistance::new(r1 * factor),
+            h,
+            amb,
+        );
+        assert!(t_hi > t_lo, "higher tier resistance must run hotter");
     }
+}
 
-    #[test]
-    fn ladder_fraction_is_proper(
-        n in 1usize..16,
-        q in 1.0..500.0f64,
-        r in 1e-9..1e-4f64,
-    ) {
+#[test]
+fn ladder_fraction_is_proper() {
+    let mut rng = Rng64::seed_from_u64(0x1009);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..16);
+        let q = rng.gen_range_f64(1.0..500.0);
+        let r = rng.gen_range_f64(1e-9..1e-4);
         let f = ops::ladder_fraction_of_rise(
             n,
             HeatFlux::from_watts_per_square_cm(q),
             AreaThermalResistance::new(r),
             HeatTransferCoefficient::MICROFLUIDIC,
         );
-        prop_assert!(f.is_proper());
+        assert!(f.is_proper());
     }
+}
 
-    #[test]
-    fn ratio_complement_involutes(pct in 0.0..100.0f64) {
+#[test]
+fn ratio_complement_involutes() {
+    let mut rng = Rng64::seed_from_u64(0x100a);
+    for _ in 0..CASES {
+        let pct = rng.gen_range_f64(0.0..100.0);
         let r = Ratio::from_percent(pct);
-        prop_assert!(r.complement().complement().approx_eq(r, 1e-12));
+        assert!(r.complement().complement().approx_eq(r, 1e-12));
     }
 }
