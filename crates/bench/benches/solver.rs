@@ -5,11 +5,12 @@
 //! Run with `cargo bench --bench solver`; set `BENCH_FAST=1` for a
 //! 3-sample smoke pass. Results are recorded in `EXPERIMENTS.md`.
 
+use tsc_bench::json::Json;
 use tsc_bench::timing::Bench;
 use tsc_core::beol::BeolProperties;
 use tsc_core::stack::{build, StackConfig};
 use tsc_designs::gemmini;
-use tsc_thermal::{CgSolver, Heatsink, Problem, SorSolver};
+use tsc_thermal::{CgSolver, Heatsink, MgSolver, Preconditioner, Problem, Solution, SorSolver};
 use tsc_units::{Length, Power, ThermalConductivity};
 
 fn slab(n: usize, nz: usize) -> Problem {
@@ -146,6 +147,135 @@ fn bench_parallel_gemmini(b: &Bench) {
     );
 }
 
+fn max_dev_kelvin(a: &Solution, b: &Solution) -> f64 {
+    a.temperatures
+        .iter_kelvin()
+        .zip(b.temperatures.iter_kelvin())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0_f64, f64::max)
+}
+
+fn record(mesh: &str, cells: usize, solver: &str, tol: f64, sol: &Solution, seconds: f64) -> Json {
+    Json::object()
+        .field("mesh", mesh)
+        .field("cells", cells)
+        .field("solver", solver)
+        .field("preconditioner", sol.stats.preconditioner.to_string())
+        .field("tolerance", tol)
+        .field("iterations", sol.stats.iterations)
+        .field("matvecs", sol.stats.matvecs)
+        .field("cycles", sol.stats.cycles)
+        .field("wall_seconds_median", seconds)
+}
+
+/// Jacobi-CG vs MG-PCG on the Gemmini 12-tier mesh — the PR-2
+/// acceptance comparison — plus the standalone multigrid cycle on the
+/// high-contrast slab. (Standalone stationary MG is preconditioner-only
+/// on the full fixture: 49 thin tiers of three-orders-of-magnitude
+/// contrast put the V-cycle's condition number near 200, which CG
+/// absorbs in O(√κ) iterations while plain iteration needs O(κ) — same
+/// split every production aggregation-multigrid code makes.) Emits
+/// `BENCH_SOLVER.json` at the repo root with one machine-readable
+/// entry per solver.
+fn bench_multigrid_gemmini(b: &Bench) {
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let fast = std::env::var_os("BENCH_FAST").is_some();
+    let lateral = if fast { 32 } else { 64 };
+    let p = gemmini_12_tier(lateral);
+    let cells = lateral * lateral * 49;
+    let mesh = format!("gemmini_12_tier/{lateral}x{lateral}x49");
+    let tol = 1e-11;
+    println!("  mesh: {mesh} = {cells} cells");
+
+    let jacobi = CgSolver::new().with_tolerance(tol).with_threads(threads);
+    let mg_pcg = jacobi.with_preconditioner(Preconditioner::Multigrid);
+
+    let samples = 5;
+    let t_jacobi = b.run("cg_jacobi", samples, || jacobi.solve(&p).expect("jacobi"));
+    let t_mg_pcg = b.run("cg_mg_pcg", samples, || mg_pcg.solve(&p).expect("mg-pcg"));
+
+    let s_jacobi = jacobi.solve(&p).expect("jacobi");
+    let s_mg_pcg = mg_pcg.solve(&p).expect("mg-pcg");
+
+    let dev_pcg = max_dev_kelvin(&s_jacobi, &s_mg_pcg);
+    assert!(
+        dev_pcg <= 1e-6,
+        "MG-PCG deviates from Jacobi-CG by {dev_pcg} K"
+    );
+    let reduction = s_jacobi.stats.iterations as f64 / s_mg_pcg.stats.iterations as f64;
+    assert!(
+        reduction >= 3.0,
+        "MG-PCG iteration reduction below 3x: jacobi {} vs mg-pcg {}",
+        s_jacobi.stats.iterations,
+        s_mg_pcg.stats.iterations
+    );
+    println!(
+        "  jacobi-cg: {} iterations, {} matvecs; mg-pcg: {} iterations \
+         ({} V-cycles, {} matvecs)",
+        s_jacobi.stats.iterations,
+        s_jacobi.stats.matvecs,
+        s_mg_pcg.stats.iterations,
+        s_mg_pcg.stats.cycles,
+        s_mg_pcg.stats.matvecs,
+    );
+    println!("  mg-pcg iteration reduction: {reduction:.1}x, max |dT| = {dev_pcg:.3e} K");
+
+    // Standalone cycle cross-check on the high-contrast slab (the
+    // hardest mesh it converges on as a stationary iteration).
+    let mut hc = slab(16, 24);
+    for k in (0..24).step_by(4) {
+        hc.set_layer_conductivity(
+            k,
+            ThermalConductivity::new(0.31),
+            ThermalConductivity::new(5.47),
+        );
+    }
+    let mg = MgSolver::new().with_tolerance(tol).with_threads(threads);
+    let t_mg = b.run("mg_standalone_high_contrast", samples, || {
+        mg.solve(&hc).expect("mg")
+    });
+    let s_mg = mg.solve(&hc).expect("mg");
+    let s_hc_cg = jacobi.solve(&hc).expect("jacobi");
+    let dev_mg = max_dev_kelvin(&s_hc_cg, &s_mg);
+    assert!(
+        dev_mg <= 1e-6,
+        "standalone MG deviates from Jacobi-CG by {dev_mg} K"
+    );
+    println!(
+        "  mg standalone (high-contrast 16x16x24): {} cycles, max |dT| = {dev_mg:.3e} K",
+        s_mg.stats.cycles
+    );
+
+    let doc = Json::object()
+        .field("bench", "solver")
+        .field("fast_mode", fast)
+        .field("threads", threads)
+        .field(
+            "entries",
+            vec![
+                record(&mesh, cells, "cg", tol, &s_jacobi, t_jacobi.seconds()),
+                record(&mesh, cells, "cg", tol, &s_mg_pcg, t_mg_pcg.seconds()),
+                record(
+                    "high_contrast_slab/16x16x24",
+                    16 * 16 * 24,
+                    "multigrid",
+                    tol,
+                    &s_mg,
+                    t_mg.seconds(),
+                ),
+            ],
+        )
+        .field(
+            "mg_vs_jacobi",
+            Json::object()
+                .field("iteration_reduction", reduction)
+                .field("max_abs_dt_kelvin", dev_pcg),
+        );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_SOLVER.json");
+    std::fs::write(path, doc.pretty()).expect("write BENCH_SOLVER.json");
+    println!("  wrote {path}");
+}
+
 fn main() {
     let b = Bench::group("cg_solver");
     bench_cg_scaling(&b);
@@ -155,4 +285,6 @@ fn main() {
     bench_high_contrast(&b);
     let b = Bench::group("parallel_gemmini");
     bench_parallel_gemmini(&b);
+    let b = Bench::group("multigrid_gemmini");
+    bench_multigrid_gemmini(&b);
 }

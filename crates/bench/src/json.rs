@@ -1,0 +1,202 @@
+//! Minimal JSON emission for machine-readable bench records.
+//!
+//! The hermetic build has no serde, so the few JSON artifacts the bench
+//! targets produce (`BENCH_SOLVER.json`) are written through this
+//! ~100-line value tree instead. Emission only — nothing in the
+//! workspace parses JSON back.
+
+use std::fmt::Write as _;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (non-finite values serialize as `null`, which is
+    /// what serde_json does by default).
+    Num(f64),
+    /// A string (escaped on write).
+    Str(String),
+    /// An ordered array.
+    Array(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An object builder starting empty.
+    #[must_use]
+    pub fn object() -> Self {
+        Self::Object(Vec::new())
+    }
+
+    /// Adds (or appends — keys are not deduplicated) a field to an
+    /// object; chainable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    #[must_use]
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Self {
+        match &mut self {
+            Self::Object(fields) => fields.push((key.to_string(), value.into())),
+            other => panic!("field() on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Serializes with two-space indentation and a trailing newline.
+    #[must_use]
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth + 1);
+        let close = "  ".repeat(depth);
+        match self {
+            Self::Null => out.push_str("null"),
+            Self::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Self::Num(x) if x.is_finite() => {
+                // Integers print without the trailing ".0" f64 Display
+                // would add via {:?}; everything else keeps full
+                // round-trip precision.
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    let _ = write!(out, "{}", *x as i64);
+                } else {
+                    let _ = write!(out, "{x:?}");
+                }
+            }
+            Self::Num(_) => out.push_str("null"),
+            Self::Str(s) => write_escaped(out, s),
+            Self::Array(items) if items.is_empty() => out.push_str("[]"),
+            Self::Array(items) => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    item.write_into(out, depth + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close);
+                out.push(']');
+            }
+            Self::Object(fields) if fields.is_empty() => out.push_str("{}"),
+            Self::Object(fields) => {
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    out.push_str(&pad);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write_into(out, depth + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Self {
+        Self::Bool(b)
+    }
+}
+impl From<f64> for Json {
+    fn from(x: f64) -> Self {
+        Self::Num(x)
+    }
+}
+impl From<usize> for Json {
+    fn from(n: usize) -> Self {
+        Self::Num(n as f64)
+    }
+}
+impl From<&str> for Json {
+    fn from(s: &str) -> Self {
+        Self::Str(s.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Self {
+        Self::Str(s)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(items: Vec<Json>) -> Self {
+        Self::Array(items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structure() {
+        let doc = Json::object()
+            .field("name", "solver")
+            .field("fast", true)
+            .field("cells", 200_704usize)
+            .field("seconds", 0.125)
+            .field("entries", vec![Json::object().field("iterations", 42usize)]);
+        let text = doc.pretty();
+        assert!(text.starts_with("{\n"));
+        assert!(text.ends_with("}\n"));
+        assert!(text.contains("\"cells\": 200704"));
+        assert!(text.contains("\"seconds\": 0.125"));
+        assert!(text.contains("\"iterations\": 42"));
+        assert!(!text.contains("200704.0"), "integers stay integral");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let doc = Json::object().field("k\"e\\y", "line\nbreak\tand \u{1} ctrl");
+        let text = doc.pretty();
+        assert!(text.contains(r#""k\"e\\y""#));
+        assert!(text.contains("line\\nbreak\\tand \\u0001 ctrl"));
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        let doc = Json::object()
+            .field("nan", f64::NAN)
+            .field("inf", f64::INFINITY);
+        let text = doc.pretty();
+        assert!(text.contains("\"nan\": null"));
+        assert!(text.contains("\"inf\": null"));
+    }
+
+    #[test]
+    fn empty_containers_are_compact() {
+        let doc = Json::object()
+            .field("a", Json::Array(Vec::new()))
+            .field("o", Json::object());
+        let text = doc.pretty();
+        assert!(text.contains("\"a\": []"));
+        assert!(text.contains("\"o\": {}"));
+    }
+}

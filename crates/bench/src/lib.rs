@@ -10,6 +10,7 @@
 
 use std::fmt::Display;
 
+pub mod json;
 pub mod timing;
 
 /// Prints a section banner.

@@ -20,7 +20,7 @@ use crate::beol::{self, BeolProperties};
 use tsc_geometry::{Grid2, Rect};
 use tsc_homogenize::pillar::PillarDesign;
 use tsc_materials::Anisotropic;
-use tsc_thermal::{CgSolver, Heatsink, Problem, SolveError};
+use tsc_thermal::{CgSolver, Heatsink, Problem, SolveContext, SolveError};
 use tsc_units::{HeatFlux, Length, Ratio, TempDelta, ThermalConductivity};
 
 /// Geometry of the toy problem.
@@ -97,6 +97,22 @@ pub fn solve_toy(
     cfg: &ToyConfig,
     upper_dielectric: Anisotropic,
     arrangement: Arrangement,
+) -> Result<ToyResult, SolveError> {
+    solve_toy_with(cfg, upper_dielectric, arrangement, &mut SolveContext::new())
+}
+
+/// [`solve_toy`] against a caller-owned [`SolveContext`]: every toy
+/// variant shares the mesh geometry, so sweeps over dielectrics and
+/// arrangements warm-start from the previous variant's field.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn solve_toy_with(
+    cfg: &ToyConfig,
+    upper_dielectric: Anisotropic,
+    arrangement: Arrangement,
+    ctx: &mut SolveContext,
 ) -> Result<ToyResult, SolveError> {
     let n = cfg.cells;
     let beol = BeolProperties {
@@ -195,7 +211,10 @@ pub fn solve_toy(
     }
     p.set_bottom_heatsink(cfg.heatsink);
 
-    let sol = CgSolver::new().with_tolerance(1e-9).solve(&p)?;
+    let solver = CgSolver::new()
+        .with_tolerance(1e-9)
+        .with_preconditioner(tsc_thermal::Preconditioner::Multigrid);
+    let sol = ctx.solve(&p, &solver)?;
     let peak = sol.temperatures.layer_max(5);
     Ok(ToyResult {
         peak_rise: peak - cfg.heatsink.ambient,
@@ -215,8 +234,28 @@ pub fn reduction_vs_baseline(
     upper_dielectric: Anisotropic,
     arrangement: Arrangement,
 ) -> Result<Ratio, SolveError> {
-    let base = solve_toy(cfg, crate::beol::upper_ultra_low_k(), Arrangement::None)?;
-    let with = solve_toy(cfg, upper_dielectric, arrangement)?;
+    reduction_vs_baseline_with(cfg, upper_dielectric, arrangement, &mut SolveContext::new())
+}
+
+/// [`reduction_vs_baseline`] against a caller-owned [`SolveContext`];
+/// the baseline and the arrangement solve share warm starts.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn reduction_vs_baseline_with(
+    cfg: &ToyConfig,
+    upper_dielectric: Anisotropic,
+    arrangement: Arrangement,
+    ctx: &mut SolveContext,
+) -> Result<Ratio, SolveError> {
+    let base = solve_toy_with(
+        cfg,
+        crate::beol::upper_ultra_low_k(),
+        Arrangement::None,
+        ctx,
+    )?;
+    let with = solve_toy_with(cfg, upper_dielectric, arrangement, ctx)?;
     Ok(Ratio::from_fraction(
         1.0 - with.peak_rise.kelvin() / base.peak_rise.kelvin(),
     ))
@@ -233,6 +272,16 @@ pub fn dielectric_sweep(
     pillar_side: Length,
     ks: &[f64],
 ) -> Result<Vec<(f64, Ratio)>, SolveError> {
+    // One context for the whole sweep: the baseline is dielectric-
+    // independent, so it is solved once, and every sweep point
+    // warm-starts from its predecessor's field.
+    let mut ctx = SolveContext::new();
+    let base = solve_toy_with(
+        cfg,
+        crate::beol::upper_ultra_low_k(),
+        Arrangement::None,
+        &mut ctx,
+    )?;
     let mut out = Vec::with_capacity(ks.len());
     for &k in ks {
         // Through-plane tracks in-plane at the ETC ratio of the design
@@ -241,9 +290,16 @@ pub fn dielectric_sweep(
             ThermalConductivity::new((k * 88.0 / 105.7).max(0.2)),
             ThermalConductivity::new(k.max(0.2)),
         );
-        let r =
-            reduction_vs_baseline(cfg, upper, Arrangement::SingleCentral { side: pillar_side })?;
-        out.push((k, r));
+        let with = solve_toy_with(
+            cfg,
+            upper,
+            Arrangement::SingleCentral { side: pillar_side },
+            &mut ctx,
+        )?;
+        out.push((
+            k,
+            Ratio::from_fraction(1.0 - with.peak_rise.kelvin() / base.peak_rise.kelvin()),
+        ));
     }
     Ok(out)
 }

@@ -18,11 +18,11 @@
 
 use crate::beol::BeolProperties;
 use crate::pillars;
-use crate::stack::{solve, StackConfig, StackSolution};
+use crate::stack::{solve, solve_with, StackConfig, StackSolution};
 use tsc_designs::Design;
 use tsc_phydes::fill::FillModel;
 use tsc_phydes::timing::{DelayModel, TimingImpact};
-use tsc_thermal::{Heatsink, SolveError};
+use tsc_thermal::{Heatsink, SolveContext, SolveError};
 use tsc_units::{Ratio, Temperature};
 
 /// The cooling strategies compared in the paper.
@@ -171,6 +171,34 @@ pub fn max_area_within_delay(
 ///
 /// Panics if `config.tiers` is zero.
 pub fn run_flow(design: &Design, config: &FlowConfig) -> Result<FlowResult, SolveError> {
+    run_flow_inner(design, config, None)
+}
+
+/// [`run_flow`] against a caller-owned [`SolveContext`]: budget sweeps
+/// at a fixed tier count ([`crate::scaling::min_area_for_tiers`]) solve
+/// the same mesh repeatedly, so the context's warm starts and cached
+/// multigrid hierarchy carry across flow runs.
+///
+/// # Errors
+///
+/// Propagates [`SolveError`] from the chip-scale solve.
+///
+/// # Panics
+///
+/// Panics if `config.tiers` is zero.
+pub fn run_flow_with(
+    design: &Design,
+    config: &FlowConfig,
+    ctx: &mut SolveContext,
+) -> Result<FlowResult, SolveError> {
+    run_flow_inner(design, config, Some(ctx))
+}
+
+fn run_flow_inner(
+    design: &Design,
+    config: &FlowConfig,
+    ctx: Option<&mut SolveContext>,
+) -> Result<FlowResult, SolveError> {
     assert!(config.tiers > 0, "need at least one tier");
     let spend = max_area_within_delay(config.strategy, config.area_budget, config.delay_budget);
     let delay = DelayModel::calibrated().delay_penalty(&timing_impact(config.strategy, spend));
@@ -211,7 +239,10 @@ pub fn run_flow(design: &Design, config: &FlowConfig) -> Result<FlowResult, Solv
         None => Ratio::ZERO,
     };
 
-    let solution = solve(design, &stack_config)?;
+    let solution = match ctx {
+        Some(ctx) => solve_with(design, &stack_config, ctx)?,
+        None => solve(design, &stack_config)?,
+    };
     let tj = solution.junction_temperature();
     Ok(FlowResult {
         strategy: config.strategy,

@@ -18,11 +18,11 @@
 //! consumed by the chip-scale solver.
 
 use crate::beol::BeolProperties;
-use crate::stack::{solve, StackConfig};
+use crate::stack::{solve_with, StackConfig};
 use tsc_designs::Design;
 use tsc_geometry::{Grid2, Point, Rect};
 use tsc_homogenize::pillar::PillarDesign;
-use tsc_thermal::{Heatsink, SolveError};
+use tsc_thermal::{Heatsink, SolveContext, SolveError};
 use tsc_units::{Area, Length, Ratio, Temperature};
 
 /// A complete pillar plan for one tier (replicated across tiers, since
@@ -137,17 +137,38 @@ pub fn minimum_source_density(
     source: &Rect,
     config: &PlacementConfig,
 ) -> Result<Option<Ratio>, SolveError> {
+    minimum_source_density_with(design, source, config, &mut SolveContext::new())
+}
+
+/// [`minimum_source_density`] against a caller-owned [`SolveContext`].
+///
+/// Every bisection probe solves the same mesh with a slightly different
+/// pillar map, so the context warm-starts each solve from the previous
+/// density's temperature field — the probes differ by a perturbation,
+/// and CG converges in a fraction of the cold iteration count. Callers
+/// sweeping many sources ([`place`]) share one context across all of
+/// them.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn minimum_source_density_with(
+    design: &Design,
+    source: &Rect,
+    config: &PlacementConfig,
+    ctx: &mut SolveContext,
+) -> Result<Option<Ratio>, SolveError> {
     let cells = config.lateral_cells;
     // The target is the peak *within this source's own footprint* — the
     // per-source decomposition of Sec. IIIA (other sources get their own
     // pillar searches).
-    let tj_at = |density: f64| -> Result<Temperature, SolveError> {
+    let mut tj_at = |density: f64| -> Result<Temperature, SolveError> {
         let mut map = Grid2::filled(cells, cells, 0.0);
         map.paint_rect(&design.die, source, density);
         let cfg = StackConfig::uniform(config.tiers, config.beol, config.heatsink)
             .with_lateral_cells(cells)
             .with_pillar_map(map);
-        let sol = solve(design, &cfg)?;
+        let sol = solve_with(design, &cfg, ctx)?;
         let mut peak = Temperature::ABSOLUTE_ZERO;
         let probe = Grid2::<f64>::filled(cells, cells, 0.0);
         for &dev in &sol.layout.device_layers {
@@ -264,13 +285,18 @@ pub fn place(design: &Design, config: &PlacementConfig) -> Result<Option<PillarP
         .filter(|u| u.is_macro)
         .map(|u| u.rect)
         .collect();
+    // One context for the whole run: every density probe and every
+    // escalation verify solves the same mesh geometry, so warm starts
+    // carry across sources and attempts.
+    let mut ctx = SolveContext::new();
     // Step 1: per-source minimum uniform-cover densities.
     let mut source_densities = Vec::new();
     for source in design.heat_sources(Ratio::ONE) {
         if source.is_macro {
             continue;
         }
-        let Some(density) = minimum_source_density(design, &source.rect, config)? else {
+        let Some(density) = minimum_source_density_with(design, &source.rect, config, &mut ctx)?
+        else {
             return Ok(None);
         };
         if density.fraction() > 0.0 {
@@ -296,7 +322,7 @@ pub fn place(design: &Design, config: &PlacementConfig) -> Result<Option<PillarP
         let verify = StackConfig::uniform(config.tiers, config.beol, config.heatsink)
             .with_lateral_cells(config.lateral_cells)
             .with_pillar_map(density_map.clone());
-        let tj = solve(design, &verify)?.junction_temperature();
+        let tj = solve_with(design, &verify, &mut ctx)?.junction_temperature();
         if tj <= config.t_target || source_densities.is_empty() {
             let area_penalty = Ratio::from_fraction(
                 positions.len() as f64 * config.pillar.area().square_meters()
@@ -530,6 +556,48 @@ mod tests {
             density.fraction() > 0.0 && density.fraction() < 0.5,
             "array density {density}"
         );
+    }
+
+    #[test]
+    fn warm_started_bisection_cuts_matvecs() {
+        // The whole point of threading a SolveContext through the
+        // bisection: consecutive density probes differ by a perturbation,
+        // so warm-started solves need measurably fewer fine-grid matvecs
+        // than cold ones — at the same solve count and (essentially) the
+        // same answer.
+        let d = gemmini::design();
+        let config = PlacementConfig {
+            tiers: 8,
+            lateral_cells: 8,
+            ..PlacementConfig::paper_default()
+        };
+        let array = d.units[0].rect;
+        let mut warm = SolveContext::new();
+        let a = minimum_source_density_with(&d, &array, &config, &mut warm)
+            .expect("solves")
+            .expect("feasible");
+        let mut cold = SolveContext::new().with_warm_start(false);
+        let b = minimum_source_density_with(&d, &array, &config, &mut cold)
+            .expect("solves")
+            .expect("feasible");
+        // Identical bisection path up to one resolution step (a probe
+        // landing exactly on the target could flip under the ~1e-8
+        // solver tolerance).
+        assert!(
+            (a.fraction() - b.fraction()).abs() <= config.max_density.fraction() / 4096.0 + 1e-12,
+            "warm {a} vs cold {b}"
+        );
+        let (sw, sc) = (warm.stats(), cold.stats());
+        assert_eq!(sw.solves, sc.solves, "same probe count");
+        assert_eq!(sw.warm_starts, sw.solves - 1, "all but the first warm");
+        assert_eq!(sc.warm_starts, 0);
+        assert!(
+            5 * sw.total_matvecs <= 4 * sc.total_matvecs,
+            "warm starts must cut matvecs by >=20%: {} vs {}",
+            sw.total_matvecs,
+            sc.total_matvecs
+        );
+        assert!(sw.total_iterations < sc.total_iterations);
     }
 
     #[test]

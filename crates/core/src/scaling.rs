@@ -1,8 +1,8 @@
 //! Tier-scaling searches and penalty sweeps (Figs. 9–11, Table I).
 
-use crate::flows::{run_flow, CoolingStrategy, FlowConfig};
+use crate::flows::{run_flow, run_flow_with, CoolingStrategy, FlowConfig};
 use tsc_designs::Design;
-use tsc_thermal::SolveError;
+use tsc_thermal::{SolveContext, SolveError};
 use tsc_units::Ratio;
 
 /// One point of a tier-scaling curve (Fig. 9 / Fig. 11).
@@ -129,7 +129,10 @@ pub fn min_area_for_tiers(
     tol_percent: f64,
     lateral_cells: usize,
 ) -> Result<Option<Ratio>, SolveError> {
-    let feasible = |area: f64| -> Result<bool, SolveError> {
+    // The mesh is fixed (tier count and resolution never change inside
+    // the bisection), so one context warm-starts every probe.
+    let mut ctx = SolveContext::new();
+    let mut feasible = |area: f64| -> Result<bool, SolveError> {
         let cfg = FlowConfig {
             strategy,
             tiers,
@@ -138,7 +141,7 @@ pub fn min_area_for_tiers(
             lateral_cells,
             ..FlowConfig::default()
         };
-        Ok(run_flow(design, &cfg)?.meets_limit)
+        Ok(run_flow_with(design, &cfg, &mut ctx)?.meets_limit)
     };
     let hi0 = max_area.percent();
     if !feasible(hi0)? {

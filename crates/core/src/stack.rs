@@ -16,7 +16,9 @@ use tsc_designs::Design;
 use tsc_geometry::Grid2;
 use tsc_homogenize::pillar::PillarDesign;
 use tsc_materials::{BULK_SILICON, DEVICE_SILICON_THIN};
-use tsc_thermal::{CgSolver, Heatsink, Problem, Solution, SolveError};
+use tsc_thermal::{
+    CgSolver, Heatsink, Preconditioner, Problem, Solution, SolveContext, SolveError,
+};
 use tsc_units::{Length, Ratio, Temperature, ThermalConductivity};
 
 /// Configuration of a stacked-chip thermal simulation.
@@ -380,6 +382,36 @@ impl StackSolution {
 pub fn solve(design: &Design, config: &StackConfig) -> Result<StackSolution, SolveError> {
     let stack = build(design, config);
     let solution = CgSolver::new().with_tolerance(1e-8).solve(&stack.problem)?;
+    Ok(StackSolution {
+        solution,
+        layout: stack.layout,
+    })
+}
+
+/// The solver configuration the cached hot loops use: multigrid-
+/// preconditioned CG at the same tolerance as [`solve`].
+#[must_use]
+pub fn hot_loop_solver() -> CgSolver {
+    CgSolver::new()
+        .with_tolerance(1e-8)
+        .with_preconditioner(Preconditioner::Multigrid)
+}
+
+/// Builds and solves through a [`SolveContext`]: repeated solves over
+/// the same mesh geometry (density bisection, placement escalation,
+/// codesign sweeps) reuse the assembled operator and multigrid
+/// hierarchy, and warm-start from the previous temperature field.
+///
+/// # Errors
+///
+/// Propagates [`SolveError`] from the finite-volume solve.
+pub fn solve_with(
+    design: &Design,
+    config: &StackConfig,
+    ctx: &mut SolveContext,
+) -> Result<StackSolution, SolveError> {
+    let stack = build(design, config);
+    let solution = ctx.solve(&stack.problem, &hot_loop_solver())?;
     Ok(StackSolution {
         solution,
         layout: stack.layout,

@@ -16,8 +16,15 @@ use crate::beol::{self, BeolProperties};
 use tsc_geometry::{Grid2, Point, Rect};
 use tsc_homogenize::pillar::PillarDesign;
 use tsc_materials::Anisotropic;
-use tsc_thermal::{CgSolver, Heatsink, Problem, SolveError};
+use tsc_thermal::{CgSolver, Heatsink, Preconditioner, Problem, SolveContext, SolveError};
 use tsc_units::{HeatFlux, Length, Ratio, TempDelta, ThermalConductivity};
+
+/// The MG-preconditioned solver the study hot loops share.
+fn study_solver() -> CgSolver {
+    CgSolver::new()
+        .with_tolerance(1e-9)
+        .with_preconditioner(Preconditioner::Multigrid)
+}
 
 // ---------------------------------------------------------------------
 // Macro hotspot study
@@ -60,6 +67,21 @@ impl Default for MacroStudyConfig {
 ///
 /// Propagates solver failures.
 pub fn macro_hotspot(cfg: &MacroStudyConfig, upper: Anisotropic) -> Result<TempDelta, SolveError> {
+    macro_hotspot_with(cfg, upper, &mut SolveContext::new())
+}
+
+/// [`macro_hotspot`] against a caller-owned [`SolveContext`]: the two
+/// dielectric variants share the mesh, so the second solve warm-starts
+/// from the first.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn macro_hotspot_with(
+    cfg: &MacroStudyConfig,
+    upper: Anisotropic,
+    ctx: &mut SolveContext,
+) -> Result<TempDelta, SolveError> {
     let n = cfg.cells;
     let beol = BeolProperties {
         upper,
@@ -126,7 +148,7 @@ pub fn macro_hotspot(cfg: &MacroStudyConfig, upper: Anisotropic) -> Result<TempD
         }
     }
     p.set_bottom_heatsink(heatsink);
-    let sol = CgSolver::new().with_tolerance(1e-9).solve(&p)?;
+    let sol = ctx.solve(&p, &study_solver())?;
 
     // Excess of the macro center over the far-field pillared region, on
     // the top tier (worst case).
@@ -144,9 +166,10 @@ pub fn macro_hotspot(cfg: &MacroStudyConfig, upper: Anisotropic) -> Result<TempD
 ///
 /// Propagates solver failures.
 pub fn macro_hotspot_pair(cfg: &MacroStudyConfig) -> Result<(TempDelta, TempDelta), SolveError> {
+    let mut ctx = SolveContext::new();
     Ok((
-        macro_hotspot(cfg, beol::upper_ultra_low_k())?,
-        macro_hotspot(cfg, beol::upper_thermal_dielectric())?,
+        macro_hotspot_with(cfg, beol::upper_ultra_low_k(), &mut ctx)?,
+        macro_hotspot_with(cfg, beol::upper_thermal_dielectric(), &mut ctx)?,
     ))
 }
 
@@ -197,6 +220,22 @@ pub fn misaligned_rise(
     cfg: &MisalignConfig,
     scaffolded: bool,
     offset: Length,
+) -> Result<TempDelta, SolveError> {
+    misaligned_rise_with(cfg, scaffolded, offset, &mut SolveContext::new())
+}
+
+/// [`misaligned_rise`] against a caller-owned [`SolveContext`]: offset
+/// scans move a pillar block over a fixed mesh, so each solve
+/// warm-starts from the previous offset's field.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn misaligned_rise_with(
+    cfg: &MisalignConfig,
+    scaffolded: bool,
+    offset: Length,
+    ctx: &mut SolveContext,
 ) -> Result<TempDelta, SolveError> {
     let n = cfg.cells;
     let beol = if scaffolded {
@@ -274,7 +313,7 @@ pub fn misaligned_rise(
         }
     }
     p.set_bottom_heatsink(heatsink);
-    let sol = CgSolver::new().with_tolerance(1e-9).solve(&p)?;
+    let sol = ctx.solve(&p, &study_solver())?;
     let top = *device_layers.last().expect("three tiers");
     Ok(sol.temperatures.layer_max(top) - heatsink.ambient)
 }
@@ -289,8 +328,9 @@ pub fn misalignment_penalty(
     scaffolded: bool,
     offset: Length,
 ) -> Result<TempDelta, SolveError> {
-    let aligned = misaligned_rise(cfg, scaffolded, Length::ZERO)?;
-    let shifted = misaligned_rise(cfg, scaffolded, offset)?;
+    let mut ctx = SolveContext::new();
+    let aligned = misaligned_rise_with(cfg, scaffolded, Length::ZERO, &mut ctx)?;
+    let shifted = misaligned_rise_with(cfg, scaffolded, offset, &mut ctx)?;
     Ok(shifted - aligned)
 }
 
@@ -306,10 +346,11 @@ pub fn tolerable_misalignment(
     offsets: &[Length],
     budget: TempDelta,
 ) -> Result<Length, SolveError> {
-    let aligned = misaligned_rise(cfg, scaffolded, Length::ZERO)?;
+    let mut ctx = SolveContext::new();
+    let aligned = misaligned_rise_with(cfg, scaffolded, Length::ZERO, &mut ctx)?;
     let mut best = Length::ZERO;
     for &off in offsets {
-        let rise = misaligned_rise(cfg, scaffolded, off)?;
+        let rise = misaligned_rise_with(cfg, scaffolded, off, &mut ctx)?;
         if (rise - aligned).kelvin() <= budget.kelvin() {
             best = off;
         } else {

@@ -1,0 +1,390 @@
+//! Cross-solve reuse cache for repeated solves on one geometry.
+//!
+//! The placement and codesign flows re-solve the same mesh dozens of
+//! times in a row (pillar-density bisection, placement verification,
+//! dielectric sweeps), usually changing *only* the power map or only
+//! the conductivity field between solves. A [`SolveContext`] keeps the
+//! expensive per-geometry state alive across those solves:
+//!
+//! * the assembled operator (face-conductance arrays + diagonal),
+//! * the multigrid hierarchy and its factored coarsest level,
+//! * the previous temperature field, used to warm-start the next solve.
+//!
+//! # Invalidation rules
+//!
+//! Before each solve the context compares the incoming [`Problem`]
+//! against a snapshot of the cached operator's inputs:
+//!
+//! | change between solves            | action                                  |
+//! |----------------------------------|-----------------------------------------|
+//! | power map only                   | full reuse: new RHS, warm-started field |
+//! | conductivity / heatsink / mesh   | re-assemble operator + hierarchy; the   |
+//! |                                  | warm field survives if the cell count   |
+//! |                                  | is unchanged (a nearby design's field   |
+//! |                                  | is still an excellent initial guess)    |
+//! | cell count                       | cold start                              |
+//! | any failed solve                 | warm field dropped (never seed from a   |
+//! |                                  | possibly-poisoned iterate)              |
+//!
+//! The snapshot covers everything [`crate::Problem`]'s conductance
+//! assembly reads — mesh dimensions, cell pitches, layer thicknesses,
+//! both heatsinks and both conductivity grids — so a cached operator can
+//! never be silently stale.
+
+use crate::multigrid::{MgHierarchy, MgParams, MgWorkspace};
+use crate::problem::Problem;
+use crate::solver::{Assembled, CgSolver, Preconditioner, Solution, SolveError};
+use tsc_geometry::Dim3;
+use tsc_units::Length;
+
+use crate::heatsink::Heatsink;
+
+/// Snapshot of every [`Problem`] input the assembled operator depends
+/// on; the cached operator is valid exactly while these match.
+#[derive(Debug, Clone, PartialEq)]
+struct OperatorKey {
+    dim: Dim3,
+    dx: Length,
+    dy: Length,
+    dz: Vec<Length>,
+    bottom: Option<Heatsink>,
+    top: Option<Heatsink>,
+    kz: Vec<f64>,
+    kxy: Vec<f64>,
+}
+
+impl OperatorKey {
+    fn snapshot(p: &Problem) -> Self {
+        Self {
+            dim: p.dim(),
+            dx: p.dx(),
+            dy: p.dy(),
+            dz: p.dz().to_vec(),
+            bottom: p.bottom_heatsink(),
+            top: p.top_heatsink(),
+            kz: p.kz_flat().to_vec(),
+            kxy: p.kxy_flat().to_vec(),
+        }
+    }
+
+    /// Allocation-free validity check against an incoming problem.
+    fn matches(&self, p: &Problem) -> bool {
+        self.dim == p.dim()
+            && self.dx == p.dx()
+            && self.dy == p.dy()
+            && self.dz.as_slice() == p.dz()
+            && self.bottom == p.bottom_heatsink()
+            && self.top == p.top_heatsink()
+            && self.kz.as_slice() == p.kz_flat()
+            && self.kxy.as_slice() == p.kxy_flat()
+    }
+}
+
+/// Work counters accumulated across every solve through one context —
+/// the observability record behind the cache-effectiveness tests and
+/// the `BENCH_SOLVER.json` entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ContextStats {
+    /// Solves requested through the context.
+    pub solves: usize,
+    /// Operator (re-)assemblies actually performed.
+    pub assemblies: usize,
+    /// Multigrid hierarchy constructions actually performed.
+    pub hierarchy_builds: usize,
+    /// Solves that reused the cached operator as-is.
+    pub operator_reuses: usize,
+    /// Solves warm-started from a previous temperature field.
+    pub warm_starts: usize,
+    /// Total solver iterations across all solves.
+    pub total_iterations: usize,
+    /// Total fine-grid matrix-vector products across all solves.
+    pub total_matvecs: usize,
+    /// Total multigrid V-cycles across all solves.
+    pub total_cycles: usize,
+}
+
+/// Reuse cache for repeated [`CgSolver`] solves over one geometry (see
+/// the module docs for the invalidation rules).
+///
+/// ```
+/// use tsc_thermal::{CgSolver, Heatsink, Preconditioner, Problem, SolveContext};
+/// use tsc_units::{Length, Power, ThermalConductivity};
+///
+/// let mut p = Problem::uniform_block(
+///     8, 8, 6,
+///     Length::from_millimeters(1.0), Length::from_millimeters(1.0),
+///     Length::from_micrometers(60.0),
+///     ThermalConductivity::new(120.0),
+/// );
+/// p.set_bottom_heatsink(Heatsink::two_phase());
+/// p.add_power(4, 4, 5, Power::from_watts(1.0));
+///
+/// let solver = CgSolver::new().with_preconditioner(Preconditioner::Multigrid);
+/// let mut ctx = SolveContext::new();
+/// let first = ctx.solve(&p, &solver)?;
+/// p.add_power(2, 2, 5, Power::from_watts(0.5)); // power-only delta
+/// let second = ctx.solve(&p, &solver)?;
+/// assert!(second.temperatures.max_temperature() > first.temperatures.max_temperature());
+/// assert_eq!(ctx.stats().assemblies, 1); // operator reused
+/// # Ok::<(), tsc_thermal::SolveError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct SolveContext {
+    key: Option<OperatorKey>,
+    asm: Option<Assembled>,
+    hierarchy: Option<MgHierarchy>,
+    workspace: Option<MgWorkspace>,
+    warm: Option<Vec<f64>>,
+    warm_start: bool,
+    stats: ContextStats,
+}
+
+impl SolveContext {
+    /// An empty context with warm-starting enabled.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            warm_start: true,
+            ..Self::default()
+        }
+    }
+
+    /// Builder: enables/disables warm-starting from the previous solve's
+    /// temperature field (enabled by default; disabling is mainly for
+    /// A/B measurements of the warm-start benefit).
+    #[must_use]
+    pub fn with_warm_start(mut self, enabled: bool) -> Self {
+        self.warm_start = enabled;
+        if !enabled {
+            self.warm = None;
+        }
+        self
+    }
+
+    /// Accumulated work counters.
+    #[must_use]
+    pub fn stats(&self) -> ContextStats {
+        self.stats
+    }
+
+    /// Drops every cached artifact (operator, hierarchy, warm field).
+    /// The next solve pays full assembly cost; counters are kept.
+    pub fn invalidate(&mut self) {
+        self.key = None;
+        self.asm = None;
+        self.hierarchy = None;
+        self.workspace = None;
+        self.warm = None;
+    }
+
+    /// Solves `p` with `solver`'s tolerances and preconditioner, reusing
+    /// whatever cached state is still valid (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`CgSolver::solve`]. A failed solve drops
+    /// the warm-start field but keeps the cached operator (it is not
+    /// implicated by an RHS-driven divergence).
+    pub fn solve(&mut self, p: &Problem, solver: &CgSolver) -> Result<Solution, SolveError> {
+        self.stats.solves += 1;
+        let reuse = match (&self.key, &self.asm) {
+            (Some(key), Some(_)) => key.matches(p),
+            _ => false,
+        };
+        if reuse {
+            self.stats.operator_reuses += 1;
+        } else {
+            let asm = Assembled::build(p)?;
+            self.key = Some(OperatorKey::snapshot(p));
+            self.asm = Some(asm);
+            self.hierarchy = None;
+            self.workspace = None;
+            self.stats.assemblies += 1;
+        }
+
+        let params = solver.params();
+        let Self {
+            asm,
+            hierarchy,
+            workspace,
+            warm,
+            warm_start,
+            stats,
+            ..
+        } = self;
+        let asm = asm.as_ref().expect("operator cached above");
+        let rhs = asm.rhs_with_power(p.power_flat());
+        let n = asm.dim.len();
+        let mut x = match warm {
+            Some(w) if *warm_start && w.len() == n => {
+                stats.warm_starts += 1;
+                w.clone()
+            }
+            _ => vec![asm.initial_guess; n],
+        };
+
+        let result = match solver.preconditioner() {
+            Preconditioner::Multigrid => {
+                if hierarchy.is_none() {
+                    let mg = MgHierarchy::build(
+                        asm,
+                        &MgParams::with_exec(params.threads, params.crossover),
+                    )?;
+                    *workspace = Some(mg.workspace());
+                    *hierarchy = Some(mg);
+                    stats.hierarchy_builds += 1;
+                }
+                let mg = hierarchy.as_ref().expect("hierarchy cached above");
+                let ws = workspace.as_mut().expect("workspace cached above");
+                asm.cg_core_mg(&rhs, &mut x, &params, mg, ws)
+            }
+            _ => asm.cg_core(None, &rhs, &mut x, &params),
+        };
+
+        match result {
+            Ok(solver_stats) => {
+                stats.total_iterations += solver_stats.iterations;
+                stats.total_matvecs += solver_stats.matvecs;
+                stats.total_cycles += solver_stats.cycles;
+                if *warm_start {
+                    *warm = Some(x.clone());
+                }
+                Ok(asm.solution(&x, solver_stats, p.total_power().watts()))
+            }
+            Err(e) => {
+                // Never seed a later solve from a possibly-poisoned field.
+                *warm = None;
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heatsink::Heatsink;
+    use tsc_units::{Power, ThermalConductivity};
+
+    fn problem() -> Problem {
+        let mut p = Problem::uniform_block(
+            8,
+            8,
+            8,
+            Length::from_millimeters(1.0),
+            Length::from_millimeters(1.0),
+            Length::from_micrometers(80.0),
+            ThermalConductivity::new(60.0),
+        );
+        p.set_bottom_heatsink(Heatsink::two_phase());
+        p.add_power(4, 4, 7, Power::from_watts(1.0));
+        p
+    }
+
+    fn mg_solver() -> CgSolver {
+        CgSolver::new()
+            .with_tolerance(1e-9)
+            .with_preconditioner(Preconditioner::Multigrid)
+    }
+
+    #[test]
+    fn power_only_delta_reuses_operator_and_hierarchy() {
+        let mut p = problem();
+        let mut ctx = SolveContext::new();
+        let solver = mg_solver();
+        ctx.solve(&p, &solver).expect("first");
+        p.add_power(2, 2, 7, Power::from_watts(0.5));
+        ctx.solve(&p, &solver).expect("second");
+        let s = ctx.stats();
+        assert_eq!(s.solves, 2);
+        assert_eq!(s.assemblies, 1);
+        assert_eq!(s.hierarchy_builds, 1);
+        assert_eq!(s.operator_reuses, 1);
+        assert_eq!(s.warm_starts, 1);
+    }
+
+    #[test]
+    fn conductivity_delta_reassembles() {
+        let mut p = problem();
+        let mut ctx = SolveContext::new();
+        let solver = mg_solver();
+        ctx.solve(&p, &solver).expect("first");
+        p.set_layer_conductivity(
+            3,
+            ThermalConductivity::new(5.0),
+            ThermalConductivity::new(5.0),
+        );
+        ctx.solve(&p, &solver).expect("second");
+        let s = ctx.stats();
+        assert_eq!(s.assemblies, 2);
+        assert_eq!(s.hierarchy_builds, 2);
+        assert_eq!(s.operator_reuses, 0);
+        // Same cell count: the previous field still warm-starts.
+        assert_eq!(s.warm_starts, 1);
+    }
+
+    #[test]
+    fn context_matches_direct_solve() {
+        let p = problem();
+        let mut ctx = SolveContext::new();
+        let via_ctx = ctx.solve(&p, &mg_solver()).expect("ctx");
+        let direct = mg_solver().solve(&p).expect("direct");
+        let max_diff = via_ctx
+            .temperatures
+            .iter_kelvin()
+            .zip(direct.temperatures.iter_kelvin())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0_f64, f64::max);
+        assert_eq!(max_diff, 0.0, "first context solve must be identical");
+    }
+
+    #[test]
+    fn warm_start_cuts_iterations_on_repeat_solves() {
+        let p = problem();
+        let solver = mg_solver();
+        let mut warm = SolveContext::new();
+        let mut cold = SolveContext::new().with_warm_start(false);
+        for ctx in [&mut warm, &mut cold] {
+            for _ in 0..3 {
+                ctx.solve(&p, &solver).expect("converges");
+            }
+        }
+        assert_eq!(cold.stats().warm_starts, 0);
+        assert_eq!(warm.stats().warm_starts, 2);
+        assert!(
+            warm.stats().total_iterations < cold.stats().total_iterations,
+            "warm {} vs cold {}",
+            warm.stats().total_iterations,
+            cold.stats().total_iterations
+        );
+    }
+
+    #[test]
+    fn failed_solve_drops_warm_field_but_recovers() {
+        let mut p = problem();
+        let mut ctx = SolveContext::new();
+        let solver = mg_solver();
+        ctx.solve(&p, &solver).expect("clean solve");
+        p.add_power(1, 1, 1, Power::from_watts(f64::NAN));
+        assert!(ctx.solve(&p, &solver).is_err());
+        // Rebuild a clean problem: the poisoned warm field must be gone
+        // and the context must still produce a correct solution.
+        let clean = problem();
+        let sol = ctx.solve(&clean, &solver).expect("recovered");
+        assert!(sol.stats.residual.is_finite());
+        assert!(sol.temperatures.iter_kelvin().all(f64::is_finite));
+    }
+
+    #[test]
+    fn jacobi_solves_work_through_the_context_too() {
+        let p = problem();
+        let mut ctx = SolveContext::new();
+        let solver = CgSolver::new().with_tolerance(1e-9);
+        ctx.solve(&p, &solver).expect("first");
+        ctx.solve(&p, &solver).expect("second");
+        let s = ctx.stats();
+        assert_eq!(s.assemblies, 1);
+        assert_eq!(s.hierarchy_builds, 0, "no hierarchy for Jacobi");
+        assert!(s.total_cycles == 0);
+    }
+}

@@ -10,8 +10,9 @@
 //! faster than the sink can respond.
 
 use crate::field::TemperatureField;
+use crate::multigrid::{MgHierarchy, MgParams};
 use crate::problem::Problem;
-use crate::solver::{Assembled, CgSolver, SolveError};
+use crate::solver::{Assembled, CgSolver, Preconditioner, SolveError};
 use tsc_units::{Power, Ratio, TempDelta, Temperature};
 
 /// The leakage feedback model.
@@ -121,14 +122,53 @@ pub fn solve_electrothermal(
     tol: TempDelta,
     max_iterations: usize,
 ) -> Result<ElectrothermalSolution, ElectrothermalError> {
+    solve_electrothermal_with(
+        base,
+        model,
+        tol,
+        max_iterations,
+        &CgSolver::new().with_tolerance(1e-8),
+    )
+}
+
+/// [`solve_electrothermal`] with an explicit inner solver configuration.
+///
+/// With [`Preconditioner::Multigrid`] the V-cycle hierarchy is built
+/// **once** (the operator never changes — only the right-hand side does)
+/// and reused by every fixed-point iteration, compounding with the
+/// warm start.
+///
+/// # Errors
+///
+/// As [`solve_electrothermal`].
+pub fn solve_electrothermal_with(
+    base: &Problem,
+    model: &LeakageModel,
+    tol: TempDelta,
+    max_iterations: usize,
+    solver: &CgSolver,
+) -> Result<ElectrothermalSolution, ElectrothermalError> {
     assert!(tol.kelvin() > 0.0, "tolerance must be positive");
     assert!(max_iterations > 0, "need at least one iteration");
     let asm = Assembled::build(base).map_err(ElectrothermalError::from)?;
-    let params = CgSolver::new().with_tolerance(1e-8).params();
+    let params = solver.params();
+    let mut mg = match solver.preconditioner() {
+        Preconditioner::Multigrid => {
+            let hierarchy =
+                MgHierarchy::build(&asm, &MgParams::with_exec(params.threads, params.crossover))?;
+            let workspace = hierarchy.workspace();
+            Some((hierarchy, workspace))
+        }
+        _ => None,
+    };
+    let mut solve_once = |rhs: &[f64], x: &mut [f64]| match &mut mg {
+        Some((hierarchy, workspace)) => asm.cg_core_mg(rhs, x, &params, hierarchy, workspace),
+        None => asm.cg_core(None, rhs, x, &params),
+    };
     let base_power = base.power_flat().to_vec();
 
     let mut x = vec![asm.initial_guess(); base.dim().len()];
-    asm.cg_core(None, asm.rhs(), &mut x, &params)?;
+    solve_once(asm.rhs(), &mut x)?;
     let mut last_tj = Temperature::from_kelvin(x.iter().copied().fold(f64::NEG_INFINITY, f64::max));
     let mut last_step = f64::INFINITY;
 
@@ -150,7 +190,7 @@ pub fn solve_electrothermal(
             })
             .collect();
         let rhs = asm.rhs_with_power(&power);
-        let stats = match asm.cg_core(None, &rhs, &mut x, &params) {
+        let stats = match solve_once(&rhs, &mut x) {
             Ok(stats) => stats,
             // The feedback scaled powers beyond the representable range
             // (the exponential multiplier overflows well before f64 does
@@ -264,6 +304,29 @@ mod tests {
             matches!(err, ElectrothermalError::ThermalRunaway { .. }),
             "expected runaway, got {err}"
         );
+    }
+
+    #[test]
+    fn multigrid_inner_solver_matches_jacobi() {
+        let p = problem(0.5, 100.0);
+        let model = LeakageModel::seven_nm();
+        let tol = TempDelta::new(0.01);
+        let jacobi = solve_electrothermal(&p, &model, tol, 50).expect("jacobi converges");
+        let mg = solve_electrothermal_with(
+            &p,
+            &model,
+            tol,
+            50,
+            &CgSolver::new()
+                .with_tolerance(1e-8)
+                .with_preconditioner(Preconditioner::Multigrid),
+        )
+        .expect("mg converges");
+        assert_eq!(mg.iterations, jacobi.iterations);
+        let dev = (mg.temperatures.max_temperature() - jacobi.temperatures.max_temperature())
+            .kelvin()
+            .abs();
+        assert!(dev < 1e-5, "MG fixed point must match Jacobi: |dT| = {dev}");
     }
 
     #[test]

@@ -97,6 +97,37 @@ impl ExecPlan {
         })
     }
 
+    /// Like [`ExecPlan::map_mut`] but with two banded mutable arrays —
+    /// the fused MG-preconditioned CG update (`x`, `r`) region, which
+    /// has no Jacobi `z` array to scale in place.
+    pub(crate) fn map2_mut<R, F>(&self, a: &mut [f64], b: &mut [f64], f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Range<usize>, &mut [f64], &mut [f64]) -> R + Sync,
+    {
+        if self.bands.len() == 1 {
+            let r = self.bands[0].clone();
+            return vec![f(r.clone(), &mut a[r.clone()], &mut b[r])];
+        }
+        let (ca, cb) = (split_mut(a, &self.bands), split_mut(b, &self.bands));
+        std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .bands
+                .iter()
+                .cloned()
+                .zip(ca.into_iter().zip(cb))
+                .map(|(range, (sa, sb))| {
+                    let f = &f;
+                    s.spawn(move || f(range, sa, sb))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("solver worker panicked"))
+                .collect()
+        })
+    }
+
     /// Like [`ExecPlan::map_mut`] but with three banded mutable arrays —
     /// the fused CG update (`x`, `r`, `z`) region.
     pub(crate) fn map3_mut<R, F>(&self, a: &mut [f64], b: &mut [f64], c: &mut [f64], f: F) -> Vec<R>

@@ -50,10 +50,12 @@
 
 mod analysis;
 mod builder;
+mod context;
 pub mod electrothermal;
 mod engine;
 mod field;
 mod heatsink;
+mod multigrid;
 pub mod network;
 mod problem;
 mod solver;
@@ -61,9 +63,12 @@ pub mod transient;
 
 pub use analysis::{line_profile, render_layer_ascii, EnergyBalance};
 pub use builder::{SlabSpec, StackMeshBuilder};
+pub use context::{ContextStats, SolveContext};
 pub use field::TemperatureField;
 pub use heatsink::Heatsink;
+pub use multigrid::MgSolver;
 pub use problem::Problem;
 pub use solver::{
-    CgSolver, Solution, SolveError, SolverStats, SorSolver, DEFAULT_PARALLEL_CROSSOVER,
+    CgSolver, Preconditioner, Solution, SolveError, SolverStats, SorSolver,
+    DEFAULT_PARALLEL_CROSSOVER,
 };

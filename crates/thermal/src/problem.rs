@@ -338,6 +338,17 @@ impl Problem {
         self.power.as_slice()
     }
 
+    /// Raw cross-plane conductivity slice in flat order — the
+    /// [`crate::SolveContext`] compares it to detect operator changes.
+    pub(crate) fn kz_flat(&self) -> &[f64] {
+        self.kz.as_slice()
+    }
+
+    /// Raw in-plane conductivity slice in flat order.
+    pub(crate) fn kxy_flat(&self) -> &[f64] {
+        self.kxy.as_slice()
+    }
+
     /// Heat flowing *out* through the bottom heatsink for a given solved
     /// field (positive = extracted). Zero when no bottom sink is attached.
     ///
