@@ -1,0 +1,477 @@
+//! A minimal Rust lexer for the lint pass.
+//!
+//! This is not a full Rust parser — the rules in [`crate::rules`] only
+//! need a *token stream with line numbers* plus the comment text, so the
+//! lexer's one job is to never confuse the things that trip naive
+//! `grep`-style linting: string literals (including raw and byte
+//! strings), char literals vs. lifetimes, nested block comments, and
+//! float vs. integer vs. range punctuation (`1.0` vs `1..2`).
+//!
+//! Comments are captured (with their line numbers) rather than
+//! discarded: the `SAFETY:` rule and the `tsc-analyze: allow(...)`
+//! directive parser both read them.
+
+/// What a token is, at the granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unsafe`, `static`, `HashMap`, …).
+    Ident,
+    /// Floating-point literal (`1.0`, `1e5`, `2.5e-3`, `1f64`).
+    Float,
+    /// Integer literal (`42`, `0xff`, `1_000`).
+    Int,
+    /// String literal of any flavour (contents dropped).
+    Str,
+    /// Char literal (`'a'`, `'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Punctuation, possibly multi-character (`==`, `::`, `+=`, `{`).
+    Punct,
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// One comment (line, block or doc) with its starting line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: usize,
+}
+
+/// Lexer output: the token stream plus every comment encountered.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` into tokens and comments. Unterminated constructs are
+/// tolerated (the lexer consumes to end of input) — the lint must never
+/// panic on weird-but-compiling source, and fixture snippets need not be
+/// complete files.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.char_indices().collect(),
+        src,
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<(usize, char)>,
+    src: &'a str,
+    pos: usize,
+    line: usize,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Lexed {
+        while self.pos < self.chars.len() {
+            let (_, c) = self.chars[self.pos];
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                c if c.is_whitespace() => self.pos += 1,
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(),
+                'b' if self.peek(1) == Some('"') => {
+                    self.pos += 1;
+                    self.string();
+                }
+                'b' if self.peek(1) == Some('r') && matches!(self.peek(2), Some('"' | '#')) => {
+                    self.pos += 1;
+                    self.raw_string();
+                }
+                'r' if matches!(self.peek(1), Some('"')) => self.raw_string(),
+                'r' if self.peek(1) == Some('#') && self.raw_string_ahead() => self.raw_string(),
+                '\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c.is_alphabetic() || c == '_' => self.ident(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    /// Distinguishes a raw string `r#"…"#` from a raw identifier
+    /// `r#ident` when sitting on the `r`.
+    fn raw_string_ahead(&self) -> bool {
+        let mut i = 1;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn line_comment(&mut self) {
+        let start_line = self.line;
+        let begin = self.chars[self.pos].0;
+        while self.pos < self.chars.len() && self.chars[self.pos].1 != '\n' {
+            self.pos += 1;
+        }
+        let end = self
+            .chars
+            .get(self.pos)
+            .map_or(self.src.len(), |&(off, _)| off);
+        self.out.comments.push(Comment {
+            text: self.src[begin..end].to_string(),
+            line: start_line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start_line = self.line;
+        let begin = self.chars[self.pos].0;
+        self.pos += 2;
+        let mut depth = 1_usize;
+        while self.pos < self.chars.len() && depth > 0 {
+            match (self.chars[self.pos].1, self.peek(1)) {
+                ('/', Some('*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                ('*', Some('/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                ('\n', _) => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        let end = self
+            .chars
+            .get(self.pos)
+            .map_or(self.src.len(), |&(off, _)| off);
+        self.out.comments.push(Comment {
+            text: self.src[begin..end].to_string(),
+            line: start_line,
+        });
+    }
+
+    fn string(&mut self) {
+        let line = self.line;
+        self.pos += 1; // opening quote
+        while self.pos < self.chars.len() {
+            match self.chars[self.pos].1 {
+                '\\' => self.pos += 2,
+                '"' => {
+                    self.pos += 1;
+                    break;
+                }
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokenKind::Str, String::new(), line);
+    }
+
+    fn raw_string(&mut self) {
+        let line = self.line;
+        self.pos += 1; // the `r`
+        let mut hashes = 0_usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        'outer: while self.pos < self.chars.len() {
+            match self.chars[self.pos].1 {
+                '"' => {
+                    // Need `hashes` trailing '#' to close.
+                    for i in 1..=hashes {
+                        if self.peek(i) != Some('#') {
+                            self.pos += 1;
+                            continue 'outer;
+                        }
+                    }
+                    self.pos += 1 + hashes;
+                    break;
+                }
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokenKind::Str, String::new(), line);
+    }
+
+    /// `'a'` (char) vs `'a` (lifetime): a lifetime is a quote followed by
+    /// an identifier **not** closed by another quote.
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        let is_lifetime = match self.peek(1) {
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                let mut i = 2;
+                while self
+                    .peek(i)
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                {
+                    i += 1;
+                }
+                self.peek(i) != Some('\'')
+            }
+            _ => false,
+        };
+        if is_lifetime {
+            let begin = self.chars[self.pos].0;
+            self.pos += 1;
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+            {
+                self.pos += 1;
+            }
+            let end = self
+                .chars
+                .get(self.pos)
+                .map_or(self.src.len(), |&(off, _)| off);
+            self.push(TokenKind::Lifetime, self.src[begin..end].to_string(), line);
+        } else {
+            self.pos += 1; // opening quote
+            while self.pos < self.chars.len() {
+                match self.chars[self.pos].1 {
+                    '\\' => self.pos += 2,
+                    '\'' => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => self.pos += 1,
+                }
+            }
+            self.push(TokenKind::Char, String::new(), line);
+        }
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let begin = self.chars[self.pos].0;
+        let mut is_float = false;
+        // Radix prefixes are always integers.
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x' | 'o' | 'b')) {
+            self.pos += 2;
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+            {
+                self.pos += 1;
+            }
+        } else {
+            while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                self.pos += 1;
+            }
+            // Fractional part: a dot NOT starting a range (`1..2`) or a
+            // method/field access (`1.max(2)`).
+            if self.peek(0) == Some('.')
+                && !matches!(self.peek(1), Some(c) if c.is_alphabetic() || c == '_' || c == '.')
+            {
+                is_float = true;
+                self.pos += 1;
+                while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                    self.pos += 1;
+                }
+            }
+            // Exponent.
+            if matches!(self.peek(0), Some('e' | 'E')) {
+                let mut i = 1;
+                if matches!(self.peek(1), Some('+' | '-')) {
+                    i = 2;
+                }
+                if self.peek(i).is_some_and(|c| c.is_ascii_digit()) {
+                    is_float = true;
+                    self.pos += i;
+                    while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                        self.pos += 1;
+                    }
+                }
+            }
+            // Type suffix.
+            if self.suffix_ahead("f64") || self.suffix_ahead("f32") {
+                is_float = true;
+                self.pos += 3;
+            } else {
+                while self
+                    .peek(0)
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+                {
+                    self.pos += 1;
+                }
+            }
+        }
+        let end = self
+            .chars
+            .get(self.pos)
+            .map_or(self.src.len(), |&(off, _)| off);
+        let kind = if is_float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        };
+        self.push(kind, self.src[begin..end].to_string(), line);
+    }
+
+    fn suffix_ahead(&self, s: &str) -> bool {
+        s.chars().enumerate().all(|(i, c)| self.peek(i) == Some(c))
+            && !self
+                .peek(s.len())
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let begin = self.chars[self.pos].0;
+        // Raw identifier `r#type`.
+        if self.peek(0) == Some('r') && self.peek(1) == Some('#') {
+            self.pos += 2;
+        }
+        while self
+            .peek(0)
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        {
+            self.pos += 1;
+        }
+        let end = self
+            .chars
+            .get(self.pos)
+            .map_or(self.src.len(), |&(off, _)| off);
+        self.push(TokenKind::Ident, self.src[begin..end].to_string(), line);
+    }
+
+    fn punct(&mut self) {
+        let line = self.line;
+        let c = self.chars[self.pos].1;
+        let two: Option<&str> = match (c, self.peek(1)) {
+            ('=', Some('=')) => Some("=="),
+            ('!', Some('=')) => Some("!="),
+            ('<', Some('=')) => Some("<="),
+            ('>', Some('=')) => Some(">="),
+            ('+', Some('=')) => Some("+="),
+            ('-', Some('=')) => Some("-="),
+            ('*', Some('=')) => Some("*="),
+            ('/', Some('=')) => Some("/="),
+            (':', Some(':')) => Some("::"),
+            ('-', Some('>')) => Some("->"),
+            ('=', Some('>')) => Some("=>"),
+            ('.', Some('.')) => Some(".."),
+            ('&', Some('&')) => Some("&&"),
+            ('|', Some('|')) => Some("||"),
+            _ => None,
+        };
+        if let Some(t) = two {
+            self.pos += 2;
+            self.push(TokenKind::Punct, t.to_string(), line);
+        } else {
+            self.pos += 1;
+            self.push(TokenKind::Punct, c.to_string(), line);
+        }
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: usize) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn floats_vs_ints_vs_ranges() {
+        let t = kinds("1.0 1e5 2.5e-3 1f64 42 0xff 1..2 1_000");
+        assert_eq!(t[0].0, TokenKind::Float);
+        assert_eq!(t[1].0, TokenKind::Float);
+        assert_eq!(t[2].0, TokenKind::Float);
+        assert_eq!(t[3].0, TokenKind::Float);
+        assert_eq!(t[4].0, TokenKind::Int);
+        assert_eq!(t[5].0, TokenKind::Int);
+        assert_eq!(t[6], (TokenKind::Int, "1".into()));
+        assert_eq!(t[7], (TokenKind::Punct, "..".into()));
+        assert_eq!(t[8], (TokenKind::Int, "2".into()));
+        assert_eq!(t[9].0, TokenKind::Int);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let lexed = lex(r##"let s = "unsafe == 1.0"; let r = r#"static mut"#;"##);
+        assert!(lexed
+            .tokens
+            .iter()
+            .all(|t| t.text != "unsafe" && t.text != "static"));
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Str)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let t = kinds("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        assert!(t
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Lifetime && s == "'a"));
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokenKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let lexed = lex("// first\nlet x = 1; // trailing\n/* block\nspans */\n");
+        assert_eq!(lexed.comments.len(), 3);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[1].line, 2);
+        assert_eq!(lexed.comments[2].line, 3);
+        assert!(lexed.comments[2].text.contains("spans"));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let lexed = lex("/* outer /* inner */ still outer */ let x = 1;");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.tokens.iter().any(|t| t.text == "x"));
+    }
+
+    #[test]
+    fn line_numbers_advance_inside_strings() {
+        let lexed = lex("let a = \"two\nlines\";\nlet b = 2;");
+        let b = lexed.tokens.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 3);
+    }
+}

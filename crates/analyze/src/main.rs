@@ -1,0 +1,96 @@
+//! The `tsc-analyze` gate binary.
+//!
+//! ```text
+//! cargo run -p tsc-analyze                                   # lint pass
+//! cargo run -p tsc-analyze --features race-check -- --race-check
+//!                                                            # lint + dynamic race checks
+//! ```
+//!
+//! Exit status: `0` clean, `1` violations or race-check failures,
+//! `2` usage / environment errors.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+use tsc_analyze::{lint_workspace, walk};
+
+fn main() -> ExitCode {
+    let mut race_check = false;
+    let mut lint = true;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--race-check" => race_check = true,
+            "--no-lint" => lint = false,
+            "--help" | "-h" => {
+                println!(
+                    "tsc-analyze: in-repo static-analysis gate\n\n\
+                     USAGE: tsc-analyze [--race-check] [--no-lint]\n\n\
+                     --race-check  also run the dynamic write-set race checker and the\n\
+                     \x20             schedule-perturbation harness (requires building with\n\
+                     \x20             `--features race-check`)\n\
+                     --no-lint     skip the source lint pass"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("tsc-analyze: unknown argument `{other}` (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut failed = false;
+
+    if lint {
+        let root = walk::workspace_root();
+        match lint_workspace(&root) {
+            Ok(report) => {
+                for (file, v) in &report.violations {
+                    let rel = file.strip_prefix(&root).unwrap_or(file);
+                    eprintln!("{}:{}: [{}] {}", rel.display(), v.line, v.rule, v.message);
+                }
+                if report.clean() {
+                    println!("tsc-analyze: lint clean ({} files)", report.files);
+                } else {
+                    eprintln!(
+                        "tsc-analyze: {} violation(s) across {} files",
+                        report.violations.len(),
+                        report.files
+                    );
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("tsc-analyze: cannot walk workspace: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if race_check {
+        #[cfg(feature = "race-check")]
+        {
+            match tsc_analyze::dynamic::run() {
+                Ok(summary) => println!("{summary}"),
+                Err(e) => {
+                    eprintln!("tsc-analyze: race check FAILED: {e}");
+                    failed = true;
+                }
+            }
+        }
+        #[cfg(not(feature = "race-check"))]
+        {
+            eprintln!(
+                "tsc-analyze: built without the race checker — rerun as\n  \
+                 cargo run -p tsc-analyze --features race-check -- --race-check"
+            );
+            return ExitCode::from(2);
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

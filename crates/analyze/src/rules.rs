@@ -1,0 +1,669 @@
+//! The lint rules and the allow-list machinery.
+//!
+//! Every rule reports `file:line` diagnostics and is individually
+//! suppressible at the violation site with an *explained* directive:
+//!
+//! ```text
+//! // tsc-analyze: allow(<rule>): <why this site is sound>
+//! ```
+//!
+//! on the same line as the violation or in the comment block immediately
+//! above it. A directive without an explanation is itself a violation —
+//! the point of the gate is that every exception carries its argument.
+//!
+//! | rule            | scope                    | what it enforces |
+//! |-----------------|--------------------------|------------------|
+//! | `safety-comment`| everywhere               | every `unsafe` site carries `// SAFETY:` (or a `# Safety` doc section) |
+//! | `no-static-mut` | everywhere               | no `static mut` items |
+//! | `no-unwrap`     | numeric library code     | no `.unwrap()` / `.expect()` outside `#[cfg(test)]` |
+//! | `float-eq`      | numeric library code     | no `==` / `!=` against float literals (use tolerance helpers) |
+//! | `hash-iter`     | numeric library code     | no `HashMap`/`HashSet` iteration feeding numeric reductions (nondeterministic order) |
+//!
+//! "Numeric library code" means `src/` (excluding `src/bin/`) of the
+//! numeric crates ([`NUMERIC_CRATES`]), outside `#[cfg(test)]` items —
+//! tests and benches legitimately unwrap and compare bitwise.
+
+use crate::lexer::{lex, Comment, Token, TokenKind};
+use std::collections::BTreeSet;
+
+/// Crates whose library code carries the numeric-policy rules
+/// (`no-unwrap`, `float-eq`, `hash-iter`).
+pub const NUMERIC_CRATES: &[&str] = &[
+    "thermal",
+    "core",
+    "homogenize",
+    "phydes",
+    "units",
+    "geometry",
+    "materials",
+    "pdk",
+    "designs",
+];
+
+/// Every rule name the allow-list accepts.
+pub const RULES: &[&str] = &[
+    "safety-comment",
+    "no-static-mut",
+    "no-unwrap",
+    "float-eq",
+    "hash-iter",
+];
+
+/// How a file participates in the lint pass (derived from its path by
+/// [`crate::walk::classify`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileClass {
+    /// Library code: under a crate's `src/`, not under `src/bin/`,
+    /// `tests/`, `benches/` or `examples/`.
+    pub is_library: bool,
+    /// Belongs to one of [`NUMERIC_CRATES`].
+    pub is_numeric: bool,
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// 1-based line.
+    pub line: usize,
+    /// Rule identifier (one of [`RULES`], or the meta-rules
+    /// `allow-missing-reason` / `unknown-rule`).
+    pub rule: &'static str,
+    pub message: String,
+}
+
+/// An `// tsc-analyze: allow(rule): reason` directive.
+#[derive(Debug, Clone)]
+struct Directive {
+    line: usize,
+    rule: String,
+    reason: String,
+}
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "values",
+    "values_mut",
+    "into_values",
+    "keys",
+    "into_keys",
+    "drain",
+];
+
+const REDUCERS: &[&str] = &[
+    "sum",
+    "product",
+    "fold",
+    "reduce",
+    "min_by",
+    "max_by",
+    "min_by_key",
+    "max_by_key",
+];
+
+/// Lints one file's source text. Returns the surviving (non-suppressed)
+/// violations, sorted by line.
+pub fn lint_source(src: &str, class: FileClass) -> Vec<Violation> {
+    let lexed = lex(src);
+    let ctx = Context::build(&lexed.tokens, &lexed.comments);
+    let mut raw = Vec::new();
+
+    rule_safety_comment(&lexed.tokens, &ctx, &mut raw);
+    rule_static_mut(&lexed.tokens, &mut raw);
+    if class.is_library && class.is_numeric {
+        rule_no_unwrap(&lexed.tokens, &ctx, &mut raw);
+        rule_float_eq(&lexed.tokens, &ctx, &mut raw);
+        rule_hash_iter(&lexed.tokens, &ctx, &mut raw);
+    }
+
+    let mut out: Vec<Violation> = raw
+        .into_iter()
+        .filter(|v| !ctx.suppressed(v.line, v.rule))
+        .collect();
+    // Malformed directives are violations in their own right and cannot
+    // be suppressed.
+    for d in &ctx.directives {
+        if !RULES.contains(&d.rule.as_str()) {
+            out.push(Violation {
+                line: d.line,
+                rule: "unknown-rule",
+                message: format!(
+                    "allow-list names unknown rule `{}` (known: {})",
+                    d.rule,
+                    RULES.join(", ")
+                ),
+            });
+        } else if d.reason.is_empty() {
+            out.push(Violation {
+                line: d.line,
+                rule: "allow-missing-reason",
+                message: format!(
+                    "allow({}) requires an explanation: `// tsc-analyze: allow({}): <why>`",
+                    d.rule, d.rule
+                ),
+            });
+        }
+    }
+    out.sort_by_key(|v| (v.line, v.rule));
+    out
+}
+
+/// Per-file line/region knowledge shared by the rules.
+struct Context {
+    /// Lines whose only content is comments (no tokens at all).
+    comment_only: BTreeSet<usize>,
+    /// Lines whose tokens all belong to `#[...]` attributes.
+    attr_only: BTreeSet<usize>,
+    /// Comments grouped by starting line.
+    comments: Vec<Comment>,
+    /// Inclusive line ranges covered by `#[cfg(test)]` items.
+    test_regions: Vec<(usize, usize)>,
+    directives: Vec<Directive>,
+}
+
+impl Context {
+    fn build(tokens: &[Token], comments: &[Comment]) -> Self {
+        let attr_spans = attribute_spans(tokens);
+        let mut token_lines = BTreeSet::new();
+        let mut code_lines = BTreeSet::new();
+        for (i, t) in tokens.iter().enumerate() {
+            token_lines.insert(t.line);
+            let in_attr = attr_spans.iter().any(|&(a, b)| i >= a && i <= b);
+            if !in_attr {
+                code_lines.insert(t.line);
+            }
+        }
+        let comment_only = comments
+            .iter()
+            .map(|c| c.line)
+            .filter(|l| !token_lines.contains(l))
+            .collect();
+        let attr_only = token_lines
+            .iter()
+            .copied()
+            .filter(|l| !code_lines.contains(l))
+            .collect();
+        let directives = comments.iter().flat_map(parse_directives).collect();
+        Self {
+            comment_only,
+            attr_only,
+            comments: comments.to_vec(),
+            test_regions: test_regions(tokens, &attr_spans),
+            directives,
+        }
+    }
+
+    fn in_test(&self, line: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(a, b)| line >= a && line <= b)
+    }
+
+    /// Comment text reachable from a violation at `line`: comments on the
+    /// line itself plus the contiguous comment/attribute block above it.
+    fn reachable_lines(&self, line: usize) -> Vec<usize> {
+        let mut lines = vec![line];
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            if self.comment_only.contains(&l) || self.attr_only.contains(&l) {
+                lines.push(l);
+            } else {
+                break;
+            }
+        }
+        lines
+    }
+
+    fn suppressed(&self, line: usize, rule: &str) -> bool {
+        let reach = self.reachable_lines(line);
+        self.directives
+            .iter()
+            .any(|d| d.rule == rule && !d.reason.is_empty() && reach.contains(&d.line))
+    }
+
+    /// True when the `unsafe` at `line` carries a safety argument: a
+    /// `SAFETY:` comment on the same line or in the comment/attribute
+    /// block above, or a `# Safety` doc section above (the convention for
+    /// `unsafe fn` declarations).
+    fn has_safety_comment(&self, line: usize) -> bool {
+        let reach = self.reachable_lines(line);
+        self.comments.iter().any(|c| {
+            reach.contains(&c.line) && (c.text.contains("SAFETY:") || c.text.contains("# Safety"))
+        })
+    }
+}
+
+/// Token index spans `(start, end)` (inclusive) of every `#[...]` /
+/// `#![...]` attribute.
+fn attribute_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].text == "#" {
+            let mut j = i + 1;
+            if j < tokens.len() && tokens[j].text == "!" {
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j].text == "[" {
+                let mut depth = 0_i32;
+                let mut k = j;
+                while k < tokens.len() {
+                    match tokens[k].text.as_str() {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                spans.push((i, k.min(tokens.len() - 1)));
+                i = k + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Inclusive line ranges of items annotated `#[cfg(test)]` (or any
+/// `cfg(...)` mentioning `test`): from the attribute to the end of the
+/// following item (its matching `}` or terminating `;`).
+fn test_regions(tokens: &[Token], attr_spans: &[(usize, usize)]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    for &(a, b) in attr_spans {
+        let attr: Vec<&str> = tokens[a..=b].iter().map(|t| t.text.as_str()).collect();
+        if !(attr.contains(&"cfg") && attr.contains(&"test")) {
+            continue;
+        }
+        // Skip any further attributes stacked on the same item.
+        let mut i = b + 1;
+        while i < tokens.len() && tokens[i].text == "#" {
+            if let Some(&(_, e)) = attr_spans.iter().find(|&&(s, _)| s == i) {
+                i = e + 1;
+            } else {
+                break;
+            }
+        }
+        // Find the item extent: first top-level `{...}` or a `;` that
+        // arrives before any brace opens.
+        let mut depth = 0_i32;
+        let mut opened = false;
+        let mut end_line = tokens.get(i).map_or(tokens[b].line, |t| t.line);
+        while i < tokens.len() {
+            match tokens[i].text.as_str() {
+                "{" => {
+                    depth += 1;
+                    opened = true;
+                }
+                "}" => {
+                    depth -= 1;
+                    if opened && depth == 0 {
+                        end_line = tokens[i].line;
+                        break;
+                    }
+                }
+                ";" if !opened && depth == 0 => {
+                    end_line = tokens[i].line;
+                    break;
+                }
+                _ => {}
+            }
+            end_line = tokens[i].line;
+            i += 1;
+        }
+        regions.push((tokens[a].line, end_line));
+    }
+    regions
+}
+
+fn parse_directives(c: &Comment) -> Vec<Directive> {
+    let mut out = Vec::new();
+    // Directives live in plain comments only: doc comments *describe*
+    // the directive syntax (this crate's own docs would otherwise trip
+    // the parser) and are rendered to users, not to the gate.
+    let trimmed = c.text.trim_start();
+    if ["///", "//!", "/**", "/*!"]
+        .iter()
+        .any(|p| trimmed.starts_with(p))
+    {
+        return out;
+    }
+    let mut rest = c.text.as_str();
+    while let Some(at) = rest.find("tsc-analyze:") {
+        rest = &rest[at + "tsc-analyze:".len()..];
+        let Some(open) = rest.find("allow(") else {
+            break;
+        };
+        let after = &rest[open + "allow(".len()..];
+        let Some(close) = after.find(')') else { break };
+        let rule = after[..close].trim().to_string();
+        let tail = &after[close + 1..];
+        let reason = tail
+            .strip_prefix(':')
+            .map_or("", |r| r.trim())
+            // A reason ends at the next directive, if any.
+            .split("tsc-analyze:")
+            .next()
+            .unwrap_or("")
+            .trim()
+            .to_string();
+        out.push(Directive {
+            line: c.line,
+            rule,
+            reason,
+        });
+        rest = tail;
+    }
+    out
+}
+
+fn rule_safety_comment(tokens: &[Token], ctx: &Context, out: &mut Vec<Violation>) {
+    for t in tokens {
+        if t.kind == TokenKind::Ident && t.text == "unsafe" && !ctx.has_safety_comment(t.line) {
+            out.push(Violation {
+                line: t.line,
+                rule: "safety-comment",
+                message: "`unsafe` without a `// SAFETY:` comment (or `# Safety` doc section) \
+                          stating why the invariants hold"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+fn rule_static_mut(tokens: &[Token], out: &mut Vec<Violation>) {
+    for w in tokens.windows(2) {
+        if w[0].text == "static" && w[1].text == "mut" {
+            out.push(Violation {
+                line: w[0].line,
+                rule: "no-static-mut",
+                message: "`static mut` is a data race waiting to happen — use an atomic, \
+                          `OnceLock`, or pass state explicitly"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+fn rule_no_unwrap(tokens: &[Token], ctx: &Context, out: &mut Vec<Violation>) {
+    for i in 1..tokens.len().saturating_sub(1) {
+        let t = &tokens[i];
+        if t.kind == TokenKind::Ident
+            && (t.text == "unwrap" || t.text == "expect")
+            && tokens[i - 1].text == "."
+            && tokens[i + 1].text == "("
+            && !ctx.in_test(t.line)
+        {
+            out.push(Violation {
+                line: t.line,
+                rule: "no-unwrap",
+                message: format!(
+                    "`.{}()` in numeric library code — propagate a `Result` (e.g. \
+                     `SolveError`) or allow-list with the invariant that makes it infallible",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+fn rule_float_eq(tokens: &[Token], ctx: &Context, out: &mut Vec<Violation>) {
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Punct || (t.text != "==" && t.text != "!=") || ctx.in_test(t.line) {
+            continue;
+        }
+        let float_neighbour = [i.checked_sub(1), Some(i + 1)]
+            .into_iter()
+            .flatten()
+            .filter_map(|j| tokens.get(j))
+            .any(|n| n.kind == TokenKind::Float);
+        if float_neighbour {
+            out.push(Violation {
+                line: t.line,
+                rule: "float-eq",
+                message: format!(
+                    "`{}` against a float literal on temperatures/residuals — compare through \
+                     a tolerance helper, or allow-list the exact-value invariant",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+fn rule_hash_iter(tokens: &[Token], ctx: &Context, out: &mut Vec<Violation>) {
+    // Names bound to HashMap/HashSet in this file (type ascriptions and
+    // constructor assignments).
+    let mut tracked: BTreeSet<&str> = BTreeSet::new();
+    for i in 0..tokens.len() {
+        if tokens[i].kind != TokenKind::Ident
+            || (tokens[i].text != "HashMap" && tokens[i].text != "HashSet")
+        {
+            continue;
+        }
+        let mut j = i;
+        // Walk back over `: & mut` decoration to the bound name.
+        while j > 0 {
+            j -= 1;
+            match tokens[j].text.as_str() {
+                ":" | "&" | "mut" | "=" => continue,
+                _ => break,
+            }
+        }
+        if tokens[j].kind == TokenKind::Ident && j + 1 < i {
+            tracked.insert(tokens[j].text.as_str());
+        }
+    }
+    if tracked.is_empty() {
+        return;
+    }
+
+    let flag = |out: &mut Vec<Violation>, line: usize, name: &str| {
+        out.push(Violation {
+            line,
+            rule: "hash-iter",
+            message: format!(
+                "iteration over hash-ordered `{name}` feeds a numeric reduction — iteration \
+                 order is nondeterministic across runs; use `BTreeMap`/`BTreeSet` or sort first"
+            ),
+        });
+    };
+
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if ctx.in_test(t.line) {
+            continue;
+        }
+        // `map.values().sum()` — an iterator chain ending in a reducer.
+        if t.kind == TokenKind::Ident
+            && tracked.contains(t.text.as_str())
+            && tokens.get(i + 1).is_some_and(|n| n.text == ".")
+            && tokens
+                .get(i + 2)
+                .is_some_and(|n| ITER_METHODS.contains(&n.text.as_str()))
+        {
+            let chain_end = tokens[i + 3..]
+                .iter()
+                .take(80)
+                .take_while(|n| n.text != ";")
+                .any(|n| n.kind == TokenKind::Ident && REDUCERS.contains(&n.text.as_str()));
+            if chain_end {
+                flag(out, t.line, &t.text);
+            }
+        }
+        // `for v in map.values() { acc += v; }` — loop-carried reduction.
+        if t.kind == TokenKind::Ident && t.text == "for" {
+            let header: Vec<usize> = (i + 1..tokens.len().min(i + 20))
+                .take_while(|&j| tokens[j].text != "{")
+                .collect();
+            let over_tracked = header.iter().any(|&j| {
+                tokens[j].kind == TokenKind::Ident && tracked.contains(tokens[j].text.as_str())
+            });
+            if !over_tracked {
+                continue;
+            }
+            let Some(&body_open) = header.last().map(|&l| l + 1).as_ref() else {
+                continue;
+            };
+            let mut depth = 0_i32;
+            for j in body_open..tokens.len() {
+                match tokens[j].text.as_str() {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    "+=" | "-=" | "*=" | "/=" => {
+                        let name = header
+                            .iter()
+                            .find_map(|&h| {
+                                (tokens[h].kind == TokenKind::Ident
+                                    && tracked.contains(tokens[h].text.as_str()))
+                                .then(|| tokens[h].text.clone())
+                            })
+                            .unwrap_or_default();
+                        flag(out, t.line, &name);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB_NUMERIC: FileClass = FileClass {
+        is_library: true,
+        is_numeric: true,
+    };
+
+    fn rules_hit(src: &str) -> Vec<&'static str> {
+        lint_source(src, LIB_NUMERIC)
+            .into_iter()
+            .map(|v| v.rule)
+            .collect()
+    }
+
+    #[test]
+    fn unsafe_without_safety_fires() {
+        assert_eq!(
+            rules_hit("fn f(p: *mut f64) { unsafe { *p = 1.5; } }"),
+            vec!["safety-comment"]
+        );
+    }
+
+    #[test]
+    fn unsafe_with_safety_block_above_passes() {
+        let src = "fn f(p: *mut f64) {\n    // SAFETY: p is valid for writes.\n    unsafe { *p = 1.5; }\n}";
+        assert!(rules_hit(src).is_empty());
+    }
+
+    #[test]
+    fn safety_doc_section_covers_unsafe_fn_through_attributes() {
+        let src =
+            "/// # Safety\n/// Caller upholds i < len.\n#[inline]\npub unsafe fn get(i: usize) {}";
+        assert!(rules_hit(src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_library_fires_but_not_in_tests() {
+        assert_eq!(rules_hit("fn f() { x().unwrap(); }"), vec!["no-unwrap"]);
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn f() { x().unwrap(); }\n}";
+        assert!(rules_hit(test_src).is_empty());
+    }
+
+    #[test]
+    fn expect_is_allowed_with_explained_directive_only() {
+        let with_reason =
+            "fn f() { x().expect(\"invariant\"); // tsc-analyze: allow(no-unwrap): ctor checks it\n}";
+        assert!(rules_hit(with_reason).is_empty());
+        let bare = "fn f() { x().expect(\"invariant\"); // tsc-analyze: allow(no-unwrap)\n}";
+        assert_eq!(
+            rules_hit(bare),
+            vec!["allow-missing-reason", "no-unwrap"],
+            "an unexplained allow suppresses nothing and is itself flagged"
+        );
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        assert!(rules_hit("fn f() { x().unwrap_or(0.0); }").is_empty());
+    }
+
+    #[test]
+    fn float_eq_fires_on_literals() {
+        assert_eq!(
+            rules_hit("fn f(x: f64) -> bool { x == 0.0 }"),
+            vec!["float-eq"]
+        );
+        assert_eq!(
+            rules_hit("fn f(x: f64) -> bool { 1e-9 != x }"),
+            vec!["float-eq"]
+        );
+        assert!(rules_hit("fn f(x: usize) -> bool { x == 0 }").is_empty());
+    }
+
+    #[test]
+    fn static_mut_fires_even_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n    static mut COUNTER: usize = 0;\n}";
+        assert_eq!(rules_hit(src), vec!["no-static-mut"]);
+    }
+
+    #[test]
+    fn hash_iteration_into_reduction_fires() {
+        let src = "use std::collections::HashMap;\nfn f(m: &HashMap<u32, f64>) -> f64 { m.values().sum() }";
+        assert_eq!(rules_hit(src), vec!["hash-iter"]);
+    }
+
+    #[test]
+    fn hash_for_loop_reduction_fires() {
+        let src = "use std::collections::HashMap;\nfn f() -> f64 {\n    let m: HashMap<u32, f64> = HashMap::new();\n    let mut acc = 0.0;\n    for (_, v) in &m { acc += v; }\n    acc\n}";
+        assert_eq!(rules_hit(src), vec!["hash-iter"]);
+    }
+
+    #[test]
+    fn hash_lookup_without_iteration_passes() {
+        let src = "use std::collections::HashMap;\nfn f(m: &HashMap<u32, f64>) -> Option<&f64> { m.get(&1) }";
+        assert!(rules_hit(src).is_empty());
+    }
+
+    #[test]
+    fn unknown_rule_directive_is_flagged() {
+        let src = "// tsc-analyze: allow(no-such-rule): whatever\nfn f() {}";
+        assert_eq!(rules_hit(src), vec!["unknown-rule"]);
+    }
+
+    #[test]
+    fn non_numeric_scope_skips_policy_rules_but_not_safety() {
+        let class = FileClass {
+            is_library: true,
+            is_numeric: false,
+        };
+        let src = "fn f(x: f64) { x().unwrap(); let _ = x == 0.0; unsafe { noop(); } }";
+        let rules: Vec<_> = lint_source(src, class)
+            .into_iter()
+            .map(|v| v.rule)
+            .collect();
+        assert_eq!(rules, vec!["safety-comment"]);
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let src = "fn f() {\n    // calling .unwrap() here would be bad; static mut too\n    let s = \"x.unwrap() == 1.0 static mut\";\n    drop(s);\n}";
+        assert!(rules_hit(src).is_empty());
+    }
+}

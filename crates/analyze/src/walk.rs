@@ -1,0 +1,113 @@
+//! Workspace discovery: which `.rs` files exist and how each one is
+//! classified for the lint pass.
+
+use crate::rules::{FileClass, NUMERIC_CRATES};
+use std::path::{Path, PathBuf};
+
+/// Locates the workspace root from the analyzer's own manifest directory
+/// (`crates/analyze` → two levels up), so `cargo run -p tsc-analyze`
+/// works from any working directory.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map_or_else(|| PathBuf::from("."), Path::to_path_buf)
+}
+
+/// Every `.rs` file in the workspace that the lint pass covers: the
+/// member crates plus the root package's `src/`, `tests/` and
+/// `examples/`. Deliberately-bad lint fixtures (any path containing a
+/// `fixtures` component) are excluded, as is `target/`.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in std::fs::read_dir(&crates_dir)? {
+            let p = entry?.path();
+            if p.is_dir() {
+                collect_rs(&p, &mut files)?;
+            }
+        }
+    }
+    for top in ["src", "tests", "examples"] {
+        let p = root.join(top);
+        if p.is_dir() {
+            collect_rs(&p, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let p = entry?.path();
+        let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if p.is_dir() {
+            if name == "target" || name == "fixtures" {
+                continue;
+            }
+            collect_rs(&p, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Classifies a workspace-relative (or absolute) path for the rules.
+pub fn classify(root: &Path, file: &Path) -> FileClass {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    let comps: Vec<&str> = rel
+        .components()
+        .filter_map(|c| c.as_os_str().to_str())
+        .collect();
+    let crate_name = match comps.as_slice() {
+        ["crates", name, ..] => Some(*name),
+        _ => None,
+    };
+    let tail: &[&str] = match comps.as_slice() {
+        ["crates", _, rest @ ..] => rest,
+        rest => rest,
+    };
+    let is_library = tail.first() == Some(&"src") && tail.get(1) != Some(&"bin");
+    FileClass {
+        is_library,
+        is_numeric: crate_name.is_some_and(|c| NUMERIC_CRATES.contains(&c)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_by_path_shape() {
+        let root = Path::new("/ws");
+        let lib = classify(root, Path::new("/ws/crates/thermal/src/solver.rs"));
+        assert!(lib.is_library && lib.is_numeric);
+        let bin = classify(root, Path::new("/ws/crates/bench/src/bin/fig.rs"));
+        assert!(!bin.is_library && !bin.is_numeric);
+        let test = classify(root, Path::new("/ws/crates/core/tests/flow.rs"));
+        assert!(!test.is_library && test.is_numeric);
+        let root_src = classify(root, Path::new("/ws/src/lib.rs"));
+        assert!(root_src.is_library && !root_src.is_numeric);
+        let example = classify(root, Path::new("/ws/examples/quickstart.rs"));
+        assert!(!example.is_library);
+    }
+
+    #[test]
+    fn walker_skips_fixtures_and_finds_this_file() {
+        let root = workspace_root();
+        let files = workspace_files(&root).expect("workspace is readable");
+        assert!(files
+            .iter()
+            .any(|f| f.ends_with("crates/analyze/src/walk.rs")));
+        assert!(
+            files
+                .iter()
+                .all(|f| !f.to_string_lossy().contains("fixtures")),
+            "fixture snippets are deliberately bad and must not be linted"
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Fixture: numeric library code the gate must accept, including
+//! correctly allow-listed and SAFETY-commented sites.
+
+use std::collections::BTreeMap;
+
+pub fn total(power: &BTreeMap<String, f64>) -> f64 {
+    power.values().sum::<f64>()
+}
+
+pub fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-12
+}
+
+pub fn head(xs: &[f64]) -> f64 {
+    // tsc-analyze: allow(no-unwrap): callers guarantee non-empty input
+    *xs.first().expect("non-empty")
+}
+
+pub fn peek(xs: &[f64]) -> f64 {
+    let p = xs.as_ptr();
+    // SAFETY: index 0 is in bounds for any non-empty slice; callers
+    // guarantee non-emptiness.
+    unsafe { *p.add(0) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_is_fine_here() {
+        let v: Result<f64, ()> = Ok(1.0);
+        assert!(close(v.unwrap(), 1.0));
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: `==` / `!=` against float literals.
+
+pub fn is_zero(a: f64) -> bool {
+    a == 0.0
+}
+
+pub fn differs(a: f64) -> bool {
+    a != 0.5
+}

@@ -1,0 +1,15 @@
+//! Fixture: a numeric reduction over `HashMap` iteration order.
+
+use std::collections::HashMap;
+
+pub fn total(power: &HashMap<String, f64>) -> f64 {
+    power.values().sum::<f64>()
+}
+
+pub fn accumulate(power: HashMap<String, f64>) -> f64 {
+    let mut acc = 0.0;
+    for (_k, v) in &power {
+        acc += v;
+    }
+    acc
+}

@@ -1,0 +1,13 @@
+//! Fixture: a `static mut` global.
+
+static mut COUNTER: u64 = 0;
+
+// SAFETY: single-threaded caller (this claim is exactly what the rule
+// refuses to accept — use an atomic instead).
+pub unsafe fn bump() -> u64 {
+    // SAFETY: see above.
+    unsafe {
+        COUNTER += 1;
+        COUNTER
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: an `unsafe` block with no SAFETY comment.
+
+pub fn peek(xs: &[f64]) -> f64 {
+    let p = xs.as_ptr();
+    unsafe { *p.add(0) }
+}

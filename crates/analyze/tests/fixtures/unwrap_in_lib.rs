@@ -1,0 +1,18 @@
+//! Fixture: `.unwrap()` and `.expect()` in numeric library code.
+
+pub fn last(xs: &[f64]) -> f64 {
+    *xs.last().unwrap()
+}
+
+pub fn first(xs: &[f64]) -> f64 {
+    *xs.first().expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Result<i32, ()> = Ok(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,116 @@
+//! Fixture-driven end-to-end tests of the lint gate: each rule must
+//! fire on its bad fixture and stay silent on the clean one.
+
+use tsc_analyze::rules::{lint_source, FileClass};
+
+/// Numeric library code — the strictest classification.
+const NUMERIC_LIB: FileClass = FileClass {
+    is_library: true,
+    is_numeric: true,
+};
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()))
+}
+
+fn rules_fired(name: &str) -> Vec<&'static str> {
+    let mut rules: Vec<_> = lint_source(&fixture(name), NUMERIC_LIB)
+        .into_iter()
+        .map(|v| v.rule)
+        .collect();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn unsafe_without_safety_comment_fires() {
+    assert_eq!(rules_fired("unsafe_no_safety.rs"), ["safety-comment"]);
+}
+
+#[test]
+fn static_mut_fires() {
+    assert_eq!(rules_fired("static_mut.rs"), ["no-static-mut"]);
+}
+
+#[test]
+fn unwrap_in_library_fires_but_not_in_tests() {
+    let violations = lint_source(&fixture("unwrap_in_lib.rs"), NUMERIC_LIB);
+    assert_eq!(violations.len(), 2, "one per non-test unwrap/expect site");
+    assert!(violations.iter().all(|v| v.rule == "no-unwrap"));
+    // The `#[cfg(test)]` module's unwrap (line > 10) must NOT be flagged.
+    assert!(violations.iter().all(|v| v.line < 10), "{violations:?}");
+}
+
+#[test]
+fn unwrap_outside_numeric_crates_is_allowed() {
+    let non_numeric = FileClass {
+        is_library: true,
+        is_numeric: false,
+    };
+    assert!(lint_source(&fixture("unwrap_in_lib.rs"), non_numeric).is_empty());
+}
+
+#[test]
+fn float_eq_fires() {
+    let violations = lint_source(&fixture("float_eq.rs"), NUMERIC_LIB);
+    assert_eq!(violations.len(), 2, "one per comparison: {violations:?}");
+    assert!(violations.iter().all(|v| v.rule == "float-eq"));
+}
+
+#[test]
+fn hash_iteration_reduction_fires() {
+    let rules = rules_fired("hash_iter.rs");
+    assert_eq!(rules, ["hash-iter"], "both reduction styles must trip it");
+    assert_eq!(
+        lint_source(&fixture("hash_iter.rs"), NUMERIC_LIB).len(),
+        2,
+        "iterator-chain sum and for-loop accumulation"
+    );
+}
+
+#[test]
+fn clean_fixture_passes() {
+    let violations = lint_source(&fixture("clean.rs"), NUMERIC_LIB);
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn allow_directive_without_reason_is_itself_flagged() {
+    let src = "pub fn f(xs: &[f64]) -> f64 {\n    \
+               // tsc-analyze: allow(no-unwrap)\n    \
+               *xs.first().unwrap()\n}\n";
+    let violations = lint_source(src, NUMERIC_LIB);
+    assert!(
+        violations.iter().any(|v| v.rule == "allow-missing-reason"),
+        "{violations:?}"
+    );
+}
+
+#[test]
+fn allow_directive_with_unknown_rule_is_flagged() {
+    let src = "// tsc-analyze: allow(no-such-rule): because\npub fn f() {}\n";
+    let violations = lint_source(src, NUMERIC_LIB);
+    assert!(
+        violations.iter().any(|v| v.rule == "unknown-rule"),
+        "{violations:?}"
+    );
+}
+
+/// The gate must pass on the workspace itself — the same invariant CI
+/// enforces via `cargo run -p tsc-analyze`.
+#[test]
+fn workspace_is_lint_clean() {
+    let root = tsc_analyze::walk::workspace_root();
+    let report = tsc_analyze::lint_workspace(&root).expect("workspace walk");
+    let rendered: Vec<String> = report
+        .violations
+        .iter()
+        .map(|(f, v)| format!("{}:{}: [{}] {}", f.display(), v.line, v.rule, v.message))
+        .collect();
+    assert!(report.clean(), "{}", rendered.join("\n"));
+    assert!(report.files > 50, "walk found too few files");
+}

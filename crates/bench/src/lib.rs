@@ -8,6 +8,10 @@
 //! access, so Criterion is replaced by a ~100-line measured-median
 //! harness).
 
+// No crate outside tsc-thermal may contain `unsafe` (enforced
+// statically here and by `cargo run -p tsc-analyze`).
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 
 pub mod json;

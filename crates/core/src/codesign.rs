@@ -195,6 +195,8 @@ pub fn solve_toy_with(
         if painted == 0 {
             // Block smaller than a cell: blend its area fraction into the
             // containing cell.
+            // tsc-analyze: allow(no-unwrap): block centers are placed
+            // inside the domain rect by construction above.
             let ij = bm.locate(&domain_rect, b.center()).expect("inside");
             let cell_area = domain_rect.area().square_meters() / (n * n) as f64;
             bm[ij] = (b.area().square_meters() / cell_area).min(1.0);

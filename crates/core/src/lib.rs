@@ -44,6 +44,10 @@
 //! # Ok::<(), tsc_thermal::SolveError>(())
 //! ```
 
+// No crate outside tsc-thermal may contain `unsafe` (enforced
+// statically here and by `cargo run -p tsc-analyze`).
+#![forbid(unsafe_code)]
+
 pub mod beol;
 pub mod codesign;
 pub mod flows;

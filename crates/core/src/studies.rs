@@ -152,6 +152,8 @@ pub fn macro_hotspot_with(
 
     // Excess of the macro center over the far-field pillared region, on
     // the top tier (worst case).
+    // tsc-analyze: allow(no-unwrap): the stack builder above always
+    // registers at least one device layer.
     let top = *device_layers.last().expect("tiers > 0");
     let layer = sol.temperatures.layer_kelvin(top);
     let center = layer[(n / 2, n / 2)];
@@ -283,6 +285,8 @@ pub fn misaligned_rise_with(
     // Only the top tier dissipates: its heat must descend through both
     // pillar columns below.
     let flux_map = Grid2::filled(n, n, cfg.flux.watts_per_square_meter());
+    // tsc-analyze: allow(no-unwrap): this study builds a fixed
+    // three-tier stack, so device_layers is never empty.
     p.add_flux_map(*device_layers.last().expect("three tiers"), &flux_map);
     // Pillar blocks: tier 0 centered, tier 1 offset; the top tier's own
     // BEOL carries no heat downward and needs no pillar.
@@ -314,6 +318,8 @@ pub fn misaligned_rise_with(
     }
     p.set_bottom_heatsink(heatsink);
     let sol = ctx.solve(&p, &study_solver())?;
+    // tsc-analyze: allow(no-unwrap): this study builds a fixed
+    // three-tier stack, so device_layers is never empty.
     let top = *device_layers.last().expect("three tiers");
     Ok(sol.temperatures.layer_max(top) - heatsink.ambient)
 }

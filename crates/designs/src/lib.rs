@@ -16,6 +16,10 @@
 //! determined by floorplan geometry and the power-density map, both of
 //! which Fig. 8 publishes. [`Design`] carries exactly that.
 
+// No crate outside tsc-thermal may contain `unsafe` (enforced
+// statically here and by `cargo run -p tsc-analyze`).
+#![forbid(unsafe_code)]
+
 mod design;
 pub mod fujitsu;
 pub mod gemmini;

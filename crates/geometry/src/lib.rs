@@ -29,6 +29,10 @@
 //! assert!(map.iter().any(|&v| v == 95.0));
 //! ```
 
+// No crate outside tsc-thermal may contain `unsafe` (enforced
+// statically here and by `cargo run -p tsc-analyze`).
+#![forbid(unsafe_code)]
+
 mod grid2;
 mod grid3;
 mod layer;

@@ -129,6 +129,8 @@ impl Rect {
     /// `true` when either dimension is zero.
     #[must_use]
     pub fn is_empty(&self) -> bool {
+        // tsc-analyze: allow(float-eq): exact-zero is the intended
+        // semantics — a rect is empty only when a side is literally 0.
         self.width.meters() == 0.0 || self.height.meters() == 0.0
     }
 

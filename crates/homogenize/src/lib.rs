@@ -37,6 +37,10 @@
 //! # Ok::<(), tsc_thermal::SolveError>(())
 //! ```
 
+// No crate outside tsc-thermal may contain `unsafe` (enforced
+// statically here and by `cargo run -p tsc-analyze`).
+#![forbid(unsafe_code)]
+
 mod extract;
 pub mod pillar;
 pub mod slice;

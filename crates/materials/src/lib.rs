@@ -32,6 +32,10 @@
 //! assert!(gain > 500.0, "thermal dielectric must beat ultra-low-k by >500x");
 //! ```
 
+// No crate outside tsc-thermal may contain `unsafe` (enforced
+// statically here and by `cargo run -p tsc-analyze`).
+#![forbid(unsafe_code)]
+
 pub mod copper;
 pub mod diamond;
 pub mod dielectric;

@@ -30,6 +30,10 @@
 //! assert!((d1 / d0 - 2.0_f64.sqrt()).abs() < 1e-6);
 //! ```
 
+// No crate outside tsc-thermal may contain `unsafe` (enforced
+// statically here and by `cargo run -p tsc-analyze`).
+#![forbid(unsafe_code)]
+
 mod stack;
 pub mod wire;
 

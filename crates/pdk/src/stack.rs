@@ -158,6 +158,8 @@ impl MetalStack {
     /// with the assigned upper dielectric.
     #[must_use]
     pub fn upper_wire_capacitance_per_length(&self) -> f64 {
+        // tsc-analyze: allow(no-unwrap): every constructor of this stack
+        // lays down the full M1..M9 ladder, so M8 is always present.
         let layer = self.layer("M8").expect("M8 exists");
         let eps = self
             .upper_dielectric
@@ -170,6 +172,8 @@ impl MetalStack {
     /// (M2) with the assigned lower dielectric.
     #[must_use]
     pub fn lower_wire_capacitance_per_length(&self) -> f64 {
+        // tsc-analyze: allow(no-unwrap): every constructor of this stack
+        // lays down the full M1..M9 ladder, so M2 is always present.
         let layer = self.layer("M2").expect("M2 exists");
         let eps = self
             .lower_dielectric
@@ -181,6 +185,8 @@ impl MetalStack {
     /// Repeatered (buffered) signal delay per length on the upper metals.
     #[must_use]
     pub fn upper_repeatered_delay_per_length(&self) -> f64 {
+        // tsc-analyze: allow(no-unwrap): every constructor of this stack
+        // lays down the full M1..M9 ladder, so M8 is always present.
         let layer = self.layer("M8").expect("M8 exists");
         let eps = self
             .upper_dielectric
@@ -192,6 +198,8 @@ impl MetalStack {
     /// Repeatered delay per length on a representative lower metal.
     #[must_use]
     pub fn lower_repeatered_delay_per_length(&self) -> f64 {
+        // tsc-analyze: allow(no-unwrap): every constructor of this stack
+        // lays down the full M1..M9 ladder, so M2 is always present.
         let layer = self.layer("M2").expect("M2 exists");
         let eps = self
             .lower_dielectric
@@ -209,6 +217,8 @@ impl MetalStack {
     /// Panics if `name` is not a metal layer of this stack.
     #[must_use]
     pub fn elmore_delay(&self, name: &str, length: Length) -> Delay {
+        // tsc-analyze: allow(no-unwrap): documented panic contract above
+        // (`# Panics`); callers pass layer names they own.
         let layer = self.layer(name).expect("layer exists");
         assert!(!layer.is_via, "vias do not route signals");
         let eps = self
@@ -229,6 +239,8 @@ impl MetalStack {
     /// Panics if `name` is not a metal layer of this stack.
     #[must_use]
     pub fn wire_capacitance(&self, name: &str, length: Length) -> Capacitance {
+        // tsc-analyze: allow(no-unwrap): documented panic contract above
+        // (`# Panics`); callers pass layer names they own.
         let layer = self.layer(name).expect("layer exists");
         assert!(!layer.is_via, "vias do not route signals");
         let eps = self

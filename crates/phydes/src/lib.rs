@@ -22,6 +22,10 @@
 //!   simulated thermal resistance, give the hottest-running copies the
 //!   coolest tasks (Sec. IIIB).
 
+// No crate outside tsc-thermal may contain `unsafe` (enforced
+// statically here and by `cargo run -p tsc-analyze`).
+#![forbid(unsafe_code)]
+
 pub mod anneal;
 pub mod fill;
 pub mod floorplan;

@@ -49,8 +49,7 @@ pub fn rank_tiers(mut rankings: Vec<TierRanking>) -> Vec<TierRanking> {
     rankings.sort_by(|a, b| {
         a.solo_rise
             .kelvin()
-            .partial_cmp(&b.solo_rise.kelvin())
-            .expect("temperature rises are finite")
+            .total_cmp(&b.solo_rise.kelvin())
             .then(a.tier.cmp(&b.tier))
     });
     rankings
@@ -86,8 +85,7 @@ pub fn assign(rankings: Vec<TierRanking>, tasks: &[Task]) -> Vec<(usize, usize)>
         tasks[b]
             .power
             .watts()
-            .partial_cmp(&tasks[a].power.watts())
-            .expect("powers are finite")
+            .total_cmp(&tasks[a].power.watts())
             .then(a.cmp(&b))
     });
     ranked
@@ -109,10 +107,12 @@ pub fn thermal_work(
     assignment
         .iter()
         .map(|&(tier, task)| {
+            // Assignments are built from these same rankings, so every
+            // assigned tier is present.
             let rise = rankings
                 .iter()
                 .find(|r| r.tier == tier)
-                .expect("tier exists")
+                .expect("tier exists") // tsc-analyze: allow(no-unwrap): tier present by construction
                 .solo_rise
                 .kelvin();
             tasks[task].power.watts() * rise

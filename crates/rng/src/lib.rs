@@ -18,6 +18,10 @@
 //! assert!((0.0..1.0).contains(&f));
 //! ```
 
+// No crate outside tsc-thermal may contain `unsafe` (enforced
+// statically here and by `cargo run -p tsc-analyze`).
+#![forbid(unsafe_code)]
+
 use core::ops::Range;
 
 /// SplitMix64 pseudo-random generator.

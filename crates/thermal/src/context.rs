@@ -212,6 +212,8 @@ impl SolveContext {
             stats,
             ..
         } = self;
+        // tsc-analyze: allow(no-unwrap): the caller populated the cache
+        // in the branch directly above; None is unreachable here.
         let asm = asm.as_ref().expect("operator cached above");
         let rhs = asm.rhs_with_power(p.power_flat());
         let n = asm.dim.len();
@@ -234,7 +236,11 @@ impl SolveContext {
                     *hierarchy = Some(mg);
                     stats.hierarchy_builds += 1;
                 }
+                // Both were just built in the `is_none` branch above;
+                // None is unreachable here.
+                // tsc-analyze: allow(no-unwrap): populated in the branch above
                 let mg = hierarchy.as_ref().expect("hierarchy cached above");
+                // tsc-analyze: allow(no-unwrap): populated in the branch above
                 let ws = workspace.as_mut().expect("workspace cached above");
                 asm.cg_core_mg(&rhs, &mut x, &params, mg, ws)
             }

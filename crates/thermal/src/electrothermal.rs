@@ -180,6 +180,9 @@ pub fn solve_electrothermal_with(
             .iter()
             .zip(&x)
             .map(|(&p0, &t)| {
+                // tsc-analyze: allow(float-eq): exact-zero test — cells
+                // with literally no power must stay at exactly zero
+                // rather than picking up a multiplier.
                 let p = if p0 == 0.0 {
                     0.0
                 } else {

@@ -25,6 +25,13 @@
 //! full observability record ([`SolverStats`]: iteration count, matvec
 //! count, assembly/solve wall time, sampled residual trajectory).
 //!
+//! The engine's safety and determinism claims are *checked*, not just
+//! asserted: the `race-check` feature (see [`race`] when enabled, and
+//! `cargo run -p tsc-analyze`) records per-band write sets in every
+//! parallel region, asserts the red-black discipline dynamically, and
+//! re-runs solves under permuted band schedules to prove bitwise
+//! order-independence.
+//!
 //! # Example: a one-layer slab with a uniform source
 //!
 //! ```
@@ -48,6 +55,11 @@
 //! # Ok::<(), tsc_thermal::SolveError>(())
 //! ```
 
+// The only workspace crate allowed to contain `unsafe` (the engine's
+// `SharedSlice`); every unsafe operation must sit in an explicit block
+// with its own SAFETY argument, enforced by `tsc-analyze`.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 mod analysis;
 mod builder;
 mod context;
@@ -58,6 +70,8 @@ mod heatsink;
 mod multigrid;
 pub mod network;
 mod problem;
+#[cfg(feature = "race-check")]
+pub mod race;
 mod solver;
 pub mod transient;
 

@@ -475,9 +475,11 @@ impl MgHierarchy {
                 chunk[local] = b[c] - chunk[local];
             }
         });
+        // The workspace is built with one buffer per hierarchy level, so
+        // the tail cannot run out while recursing within the depth.
         let (next, rest) = tail
             .split_first_mut()
-            .expect("workspace depth matches hierarchy");
+            .expect("workspace depth matches hierarchy"); // tsc-analyze: allow(no-unwrap): one buffer per level
         restrict(
             self.dims[level],
             self.dims[level + 1],

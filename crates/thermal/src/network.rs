@@ -124,10 +124,11 @@ impl Ladder {
     /// The junction (hottest node) temperature — the top of the ladder.
     #[must_use]
     pub fn junction_temperature(&self) -> Temperature {
+        // node_temperatures() always yields at least the sink node.
         *self
             .node_temperatures()
             .last()
-            .expect("ladder is never empty")
+            .expect("ladder is never empty") // tsc-analyze: allow(no-unwrap): never empty
     }
 
     /// Conduction (ladder) share of the total junction rise —

@@ -1,0 +1,392 @@
+//! Dynamic write-set race checking for the parallel engine
+//! (`--features race-check` only — zero cost otherwise).
+//!
+//! The hermetic workspace cannot use miri, loom or a thread sanitizer,
+//! so the red-black `SharedSlice` discipline in [`crate::engine`] gets a
+//! homegrown detector instead: under this feature every parallel region
+//! records, per band, the flat indices it read and wrote, and after the
+//! region joins, [`check_logs`] asserts
+//!
+//! 1. **write/write disjointness** — no index is written by two bands in
+//!    the same pass (the colour discipline's core claim), and
+//! 2. **read/foreign-write separation** — no band reads an index that a
+//!    *different* band wrote in the same pass (a band may freely read
+//!    its own writes; cross-band reads must target the inactive colour,
+//!    which nobody writes).
+//!
+//! Band-contiguous regions (`map_mut` and friends) are write-disjoint by
+//! construction — `split_at_mut` proves it to the compiler — but they
+//! run through [`check_intervals`] anyway, so every parallel region of a
+//! CG/SOR/multigrid solve shows up in [`regions_checked`] and a
+//! refactoring that breaks band alignment is caught at the same gate.
+//!
+//! The second half of the feature is **schedule perturbation**
+//! ([`set_schedule_seed`]): with a seed installed, every `ExecPlan`
+//! executes its bands *sequentially in a seed-derived permuted order*
+//! instead of spawning. Any cross-band ordering dependence — a reduction
+//! summed in completion order, a sweep reading a neighbour band's
+//! fresh writes — changes the result, so the harness asserts
+//! bitwise-identical temperature fields across seeds against the
+//! unperturbed solve.
+
+use std::fmt;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Per-band record of the flat indices one parallel region accessed
+/// through a `SharedSlice`.
+#[derive(Debug, Default, Clone)]
+pub struct AccessLog {
+    /// Indices written (unsorted, duplicates allowed until checking).
+    pub writes: Vec<usize>,
+    /// Indices read.
+    pub reads: Vec<usize>,
+}
+
+/// One detected violation of the access discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Conflict {
+    /// Two bands wrote the same index in one pass.
+    WriteWrite {
+        band_a: usize,
+        band_b: usize,
+        index: usize,
+    },
+    /// A band read an index another band wrote in the same pass.
+    ReadWrite {
+        reader: usize,
+        writer: usize,
+        index: usize,
+    },
+}
+
+impl fmt::Display for Conflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Self::WriteWrite {
+                band_a,
+                band_b,
+                index,
+            } => write!(f, "bands {band_a} and {band_b} both wrote index {index}"),
+            Self::ReadWrite {
+                reader,
+                writer,
+                index,
+            } => write!(
+                f,
+                "band {reader} read index {index} while band {writer} wrote it"
+            ),
+        }
+    }
+}
+
+/// Everything wrong with one parallel region.
+#[derive(Debug, Clone)]
+pub struct RaceReport {
+    /// Human-readable region label (which engine entry point).
+    pub region: String,
+    /// First [`MAX_REPORTED`] conflicts found.
+    pub conflicts: Vec<Conflict>,
+    /// Total conflicts (may exceed `conflicts.len()`).
+    pub total: usize,
+}
+
+/// Conflicts listed per report before truncation.
+pub const MAX_REPORTED: usize = 16;
+
+impl fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "data-race discipline violated in region `{}` ({} conflict(s)):",
+            self.region, self.total
+        )?;
+        for c in &self.conflicts {
+            writeln!(f, "  {c}")?;
+        }
+        if self.total > self.conflicts.len() {
+            writeln!(f, "  … and {} more", self.total - self.conflicts.len())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for RaceReport {}
+
+static REGIONS_CHECKED: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of parallel regions the checker has inspected since the last
+/// [`reset_regions`] — harnesses assert this moved to prove the
+/// instrumentation actually ran.
+#[must_use]
+pub fn regions_checked() -> usize {
+    REGIONS_CHECKED.load(Ordering::Relaxed)
+}
+
+/// Resets the region counter (test/harness bookkeeping).
+pub fn reset_regions() {
+    REGIONS_CHECKED.store(0, Ordering::Relaxed);
+}
+
+/// Checks one `SharedSlice` region's per-band access logs for
+/// write/write and read/foreign-write conflicts.
+///
+/// Logs are sorted and deduplicated in place.
+///
+/// # Errors
+///
+/// Returns the [`RaceReport`] describing every conflict class found.
+pub fn check_logs(region: &str, logs: &mut [AccessLog]) -> Result<(), RaceReport> {
+    REGIONS_CHECKED.fetch_add(1, Ordering::Relaxed);
+    for log in logs.iter_mut() {
+        log.writes.sort_unstable();
+        log.writes.dedup();
+    }
+    let mut conflicts = Vec::new();
+    let mut total = 0_usize;
+    let record = |c: Conflict, conflicts: &mut Vec<Conflict>, total: &mut usize| {
+        if conflicts.len() < MAX_REPORTED {
+            conflicts.push(c);
+        }
+        *total += 1;
+    };
+    for a in 0..logs.len() {
+        for b in a + 1..logs.len() {
+            let (mut i, mut j) = (0, 0);
+            while i < logs[a].writes.len() && j < logs[b].writes.len() {
+                match logs[a].writes[i].cmp(&logs[b].writes[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        record(
+                            Conflict::WriteWrite {
+                                band_a: a,
+                                band_b: b,
+                                index: logs[a].writes[i],
+                            },
+                            &mut conflicts,
+                            &mut total,
+                        );
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    for (reader, log) in logs.iter().enumerate() {
+        for &idx in &log.reads {
+            for (writer, other) in logs.iter().enumerate() {
+                if writer != reader && other.writes.binary_search(&idx).is_ok() {
+                    record(
+                        Conflict::ReadWrite {
+                            reader,
+                            writer,
+                            index: idx,
+                        },
+                        &mut conflicts,
+                        &mut total,
+                    );
+                }
+            }
+        }
+    }
+    if total == 0 {
+        Ok(())
+    } else {
+        Err(RaceReport {
+            region: region.to_string(),
+            conflicts,
+            total,
+        })
+    }
+}
+
+/// Checks a band-contiguous region (the `map_mut` family): the bands
+/// must be pairwise-disjoint index ranges.
+///
+/// # Errors
+///
+/// Returns a [`RaceReport`] naming the first overlapping index of each
+/// offending band pair.
+pub fn check_intervals(region: &str, bands: &[Range<usize>]) -> Result<(), RaceReport> {
+    REGIONS_CHECKED.fetch_add(1, Ordering::Relaxed);
+    let mut conflicts = Vec::new();
+    let mut total = 0_usize;
+    for a in 0..bands.len() {
+        for b in a + 1..bands.len() {
+            let lo = bands[a].start.max(bands[b].start);
+            let hi = bands[a].end.min(bands[b].end);
+            if lo < hi {
+                if conflicts.len() < MAX_REPORTED {
+                    conflicts.push(Conflict::WriteWrite {
+                        band_a: a,
+                        band_b: b,
+                        index: lo,
+                    });
+                }
+                total += hi - lo;
+            }
+        }
+    }
+    if total == 0 {
+        Ok(())
+    } else {
+        Err(RaceReport {
+            region: region.to_string(),
+            conflicts,
+            total,
+        })
+    }
+}
+
+/// Panics with the report when a region check fails — the engine's
+/// enforcement point.
+///
+/// # Panics
+///
+/// Panics iff `result` is `Err` (that is the feature's entire job).
+pub fn enforce(result: Result<(), RaceReport>) {
+    if let Err(report) = result {
+        panic!("{report}");
+    }
+}
+
+/// Seed 0 is reserved as "no perturbation", so user seeds are offset.
+static SCHEDULE_SEED: AtomicU64 = AtomicU64::new(0);
+
+/// Installs (or clears, with `None`) the schedule-perturbation seed.
+/// While a seed is installed, every newly built `ExecPlan` executes its
+/// bands sequentially in a seed-derived permuted order instead of
+/// spawning workers — deterministically exercising band orderings the
+/// thread scheduler may never produce.
+pub fn set_schedule_seed(seed: Option<u64>) {
+    SCHEDULE_SEED.store(seed.map_or(0, |s| s | 1 << 63), Ordering::SeqCst);
+}
+
+/// The active perturbation seed, if any.
+#[must_use]
+pub(crate) fn schedule_seed() -> Option<u64> {
+    let raw = SCHEDULE_SEED.load(Ordering::SeqCst);
+    (raw != 0).then_some(raw & !(1 << 63))
+}
+
+/// A seed-derived permutation of `0..n` (Fisher–Yates over SplitMix64).
+#[must_use]
+pub(crate) fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = tsc_rng::Rng64::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..i + 1);
+        order.swap(i, j);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_logs_pass() {
+        let mut logs = vec![
+            AccessLog {
+                writes: vec![0, 2, 4],
+                reads: vec![6, 8],
+            },
+            AccessLog {
+                writes: vec![1, 3, 5],
+                reads: vec![7, 9],
+            },
+        ];
+        assert!(check_logs("test", &mut logs).is_ok());
+    }
+
+    #[test]
+    fn overlapping_writes_are_reported() {
+        let mut logs = vec![
+            AccessLog {
+                writes: vec![0, 7, 2],
+                reads: vec![],
+            },
+            AccessLog {
+                writes: vec![9, 7],
+                reads: vec![],
+            },
+        ];
+        let report = check_logs("test", &mut logs).expect_err("must conflict");
+        assert_eq!(report.total, 1);
+        assert_eq!(
+            report.conflicts[0],
+            Conflict::WriteWrite {
+                band_a: 0,
+                band_b: 1,
+                index: 7
+            }
+        );
+    }
+
+    #[test]
+    fn reading_a_foreign_write_is_reported() {
+        let mut logs = vec![
+            AccessLog {
+                writes: vec![0],
+                reads: vec![5],
+            },
+            AccessLog {
+                writes: vec![5],
+                reads: vec![],
+            },
+        ];
+        let report = check_logs("test", &mut logs).expect_err("must conflict");
+        assert!(matches!(
+            report.conflicts[0],
+            Conflict::ReadWrite {
+                reader: 0,
+                writer: 1,
+                index: 5
+            }
+        ));
+    }
+
+    #[test]
+    fn reading_your_own_write_is_fine() {
+        let mut logs = vec![
+            AccessLog {
+                writes: vec![4],
+                reads: vec![4],
+            },
+            AccessLog {
+                writes: vec![5],
+                reads: vec![5],
+            },
+        ];
+        assert!(check_logs("test", &mut logs).is_ok());
+    }
+
+    #[test]
+    fn interval_overlap_is_reported() {
+        assert!(check_intervals("test", &[0..4, 4..8]).is_ok());
+        let report = check_intervals("test", &[0..5, 4..8]).expect_err("overlap");
+        assert_eq!(report.total, 1);
+    }
+
+    #[test]
+    fn permutations_are_deterministic_and_complete() {
+        let p1 = permutation(8, 42);
+        let p2 = permutation(8, 42);
+        assert_eq!(p1, p2);
+        let mut sorted = p1.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..8).collect::<Vec<_>>());
+        assert_ne!(permutation(8, 1), permutation(8, 2), "seeds differ");
+    }
+
+    #[test]
+    fn region_counter_moves() {
+        reset_regions();
+        let _ = check_intervals("test", &[0..1, 1..2]);
+        let _ = check_logs("test", &mut []);
+        assert_eq!(regions_checked(), 2);
+    }
+}

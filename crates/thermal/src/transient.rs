@@ -297,6 +297,8 @@ impl TransientRun {
         for _ in 0..steps {
             last = Some(self.step()?);
         }
+        // tsc-analyze: allow(no-unwrap): the assert above guarantees at
+        // least one loop iteration, so `last` is always Some.
         Ok(last.expect("steps > 0"))
     }
 }

@@ -36,6 +36,10 @@
 //! assert!((rise.kelvin() - 6.36).abs() < 1e-9);
 //! ```
 
+// No crate outside tsc-thermal may contain `unsafe` (enforced
+// statically here and by `cargo run -p tsc-analyze`).
+#![forbid(unsafe_code)]
+
 /// Declares a `Copy` newtype quantity over `f64` with same-unit arithmetic.
 ///
 /// Generates: constructors (`new`), raw accessor, `Add`/`Sub` with `Self`,

@@ -3,6 +3,10 @@
 //! See the crate-level docs of each member crate; the README gives the
 //! architecture overview and EXPERIMENTS.md the paper-vs-measured index.
 
+// No crate outside tsc-thermal may contain `unsafe` (enforced
+// statically here and by `cargo run -p tsc-analyze`).
+#![forbid(unsafe_code)]
+
 pub use tsc_core as core;
 pub use tsc_designs as designs;
 pub use tsc_geometry as geometry;
