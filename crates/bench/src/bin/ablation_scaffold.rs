@@ -1,4 +1,4 @@
-//! Ablation of the scaffolding design choices (the DESIGN.md §8 axes):
+//! Ablation of the scaffolding design choices (the DESIGN.md §9 axes):
 //! which component buys how much of the 12-tier result, plus sensitivity
 //! to the pillar-constellation pitch and pillar conductivity.
 

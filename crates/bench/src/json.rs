@@ -2,8 +2,10 @@
 //!
 //! The hermetic build has no serde, so the few JSON artifacts the bench
 //! targets produce (`BENCH_SOLVER.json`) are written through this
-//! ~100-line value tree instead. Emission only — nothing in the
-//! workspace parses JSON back.
+//! ~100-line value tree instead. Object keys always serialize sorted so
+//! re-blessing a golden snapshot (`tsc-verify`) yields a deterministic
+//! diff regardless of how the record was assembled; `tsc-verify::golden`
+//! carries the matching minimal parser.
 
 use std::fmt::Write as _;
 
@@ -87,6 +89,11 @@ impl Json {
             }
             Self::Object(fields) if fields.is_empty() => out.push_str("{}"),
             Self::Object(fields) => {
+                // Keys emit in sorted order (stable for duplicates) so
+                // re-blessed golden files diff cleanly regardless of
+                // builder insertion order.
+                let mut fields: Vec<&(String, Json)> = fields.iter().collect();
+                fields.sort_by(|a, b| a.0.cmp(&b.0));
                 out.push_str("{\n");
                 for (i, (key, value)) in fields.iter().enumerate() {
                     out.push_str(&pad);
@@ -170,6 +177,20 @@ mod tests {
         assert!(text.contains("\"seconds\": 0.125"));
         assert!(text.contains("\"iterations\": 42"));
         assert!(!text.contains("200704.0"), "integers stay integral");
+    }
+
+    #[test]
+    fn object_keys_serialize_sorted() {
+        let doc = Json::object()
+            .field("zeta", 1.0)
+            .field("alpha", 2.0)
+            .field("mid", Json::object().field("b", 1.0).field("a", 2.0));
+        let text = doc.pretty();
+        let alpha = text.find("\"alpha\"").unwrap();
+        let mid = text.find("\"mid\"").unwrap();
+        let zeta = text.find("\"zeta\"").unwrap();
+        assert!(alpha < mid && mid < zeta, "top-level keys sorted:\n{text}");
+        assert!(text.find("\"a\"").unwrap() < text.find("\"b\"").unwrap());
     }
 
     #[test]

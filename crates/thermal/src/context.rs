@@ -49,6 +49,10 @@ struct OperatorKey {
     dz: Vec<Length>,
     bottom: Option<Heatsink>,
     top: Option<Heatsink>,
+    /// Per-column ambient overrides (the cached `rhs_boundary` bakes
+    /// them in, so a changed map must invalidate the operator).
+    bottom_ambient: Option<Vec<f64>>,
+    top_ambient: Option<Vec<f64>>,
     kz: Vec<f64>,
     kxy: Vec<f64>,
 }
@@ -62,6 +66,8 @@ impl OperatorKey {
             dz: p.dz().to_vec(),
             bottom: p.bottom_heatsink(),
             top: p.top_heatsink(),
+            bottom_ambient: p.bottom_ambient_map().map(|m| m.as_slice().to_vec()),
+            top_ambient: p.top_ambient_map().map(|m| m.as_slice().to_vec()),
             kz: p.kz_flat().to_vec(),
             kxy: p.kxy_flat().to_vec(),
         }
@@ -75,6 +81,8 @@ impl OperatorKey {
             && self.dz.as_slice() == p.dz()
             && self.bottom == p.bottom_heatsink()
             && self.top == p.top_heatsink()
+            && self.bottom_ambient.as_deref() == p.bottom_ambient_map().map(|m| m.as_slice())
+            && self.top_ambient.as_deref() == p.top_ambient_map().map(|m| m.as_slice())
             && self.kz.as_slice() == p.kz_flat()
             && self.kxy.as_slice() == p.kxy_flat()
     }

@@ -65,6 +65,8 @@ mod builder;
 mod context;
 pub mod electrothermal;
 mod engine;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 mod field;
 mod heatsink;
 mod multigrid;

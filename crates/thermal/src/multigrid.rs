@@ -565,6 +565,14 @@ impl Assembled {
         let slab = self.dim.nx * self.dim.ny;
         debug_assert_eq!(rhs.len(), n);
         debug_assert_eq!(x.len(), n);
+        #[cfg(feature = "fault-inject")]
+        let max_iter = {
+            crate::fault::begin_solve();
+            crate::fault::poison_field(x);
+            crate::fault::truncated_budget(params.max_iter)
+        };
+        #[cfg(not(feature = "fault-inject"))]
+        let max_iter = params.max_iter;
         let plan = ExecPlan::new(self.dim, params.threads, params.crossover);
         let b_norm = norm(rhs).max(f64::MIN_POSITIVE);
 
@@ -593,7 +601,7 @@ impl Assembled {
             rz = dot(&r, &z);
         }
 
-        while residual > params.tol && residual.is_finite() && iterations < params.max_iter {
+        while residual > params.tol && residual.is_finite() && iterations < max_iter {
             // Region 1: ap = A·pv, fused with ⟨pv, ap⟩.
             let parts = plan.map_mut(&mut ap, |range, chunk| {
                 self.matvec_range(&pv, chunk, range.clone(), None);
@@ -615,10 +623,14 @@ impl Assembled {
             let rr = ordered_sum(parts.into_iter().flatten());
             residual = rr.sqrt() / b_norm;
             iterations += 1;
+            #[cfg(feature = "fault-inject")]
+            {
+                residual = crate::fault::corrupt_residual(iterations, residual);
+            }
             if iterations.is_multiple_of(params.traj_stride) {
                 trajectory.push((iterations, residual));
             }
-            if residual <= params.tol || !residual.is_finite() || iterations >= params.max_iter {
+            if residual <= params.tol || !residual.is_finite() || iterations >= max_iter {
                 break;
             }
 
@@ -796,6 +808,14 @@ impl MgSolver {
         let plan = ExecPlan::new(asm.dim, self.threads, self.crossover);
         let b_norm = norm(&asm.rhs).max(f64::MIN_POSITIVE);
         let mut x = vec![asm.initial_guess; n];
+        #[cfg(feature = "fault-inject")]
+        let max_cycles = {
+            crate::fault::begin_solve();
+            crate::fault::poison_field(&mut x);
+            crate::fault::truncated_budget(self.max_cycles)
+        };
+        #[cfg(not(feature = "fault-inject"))]
+        let max_cycles = self.max_cycles;
         let mut r = vec![0.0; n];
         let mut e = vec![0.0; n];
         let mut ax = vec![0.0; n];
@@ -806,7 +826,7 @@ impl MgSolver {
         let mut residual = asm.residual_norm(&plan, &x, &asm.rhs, b_norm, &mut ax);
         matvecs += 1;
         let mut trajectory = vec![(0, residual)];
-        while residual > self.tol && residual.is_finite() && cycles < self.max_cycles {
+        while residual > self.tol && residual.is_finite() && cycles < max_cycles {
             for ((rv, bv), av) in r.iter_mut().zip(&asm.rhs).zip(&ax) {
                 *rv = bv - av;
             }
@@ -832,6 +852,10 @@ impl MgSolver {
             cycles += 1;
             residual = asm.residual_norm(&plan, &x, &asm.rhs, b_norm, &mut ax);
             matvecs += 1;
+            #[cfg(feature = "fault-inject")]
+            {
+                residual = crate::fault::corrupt_residual(cycles, residual);
+            }
             trajectory.push((cycles, residual));
         }
 

@@ -11,7 +11,12 @@ use tsc_units::{HeatFlux, Length, Power, ThermalConductivity};
 /// vertically (per-layer thickness `dz[k]`, bottom `k = 0` to top).
 /// Conductivity is anisotropic per cell: `kz` cross-plane, `kxy` in-plane.
 /// Heat sources are stored as watts per cell. Side walls are adiabatic;
-/// the bottom and top faces may carry a convective [`Heatsink`].
+/// the bottom and top faces may carry a convective [`Heatsink`], whose
+/// ambient may optionally vary per column via
+/// [`Problem::set_bottom_ambient_map`] /
+/// [`Problem::set_top_ambient_map`] (the manufactured-solution
+/// verification hook: combined with an `h → ∞` heatsink it prescribes
+/// Dirichlet face data).
 ///
 /// Build one directly, via [`Problem::uniform_block`], or from a layer
 /// stack with [`StackMeshBuilder`](crate::StackMeshBuilder).
@@ -29,6 +34,10 @@ pub struct Problem {
     power: Grid3<f64>,
     bottom: Option<Heatsink>,
     top: Option<Heatsink>,
+    /// Per-column ambient override (K) for the bottom Robin boundary.
+    bottom_ambient: Option<Grid2<f64>>,
+    /// Per-column ambient override (K) for the top Robin boundary.
+    top_ambient: Option<Grid2<f64>>,
 }
 
 impl Problem {
@@ -70,6 +79,8 @@ impl Problem {
             power: Grid3::filled(dim, 0.0),
             bottom: None,
             top: None,
+            bottom_ambient: None,
+            top_ambient: None,
         }
     }
 
@@ -146,6 +157,88 @@ impl Problem {
     /// Attaches a heatsink to the top face (`k = nz − 1`).
     pub fn set_top_heatsink(&mut self, hs: Heatsink) {
         self.top = Some(hs);
+    }
+
+    /// Prescribes a per-column ambient temperature (kelvin) for the
+    /// bottom Robin boundary, overriding the bottom [`Heatsink`]'s
+    /// scalar ambient. With an `h → ∞` film the boundary degenerates to
+    /// Dirichlet face data — the analytic-boundary injection hook used
+    /// by the `tsc-verify` manufactured-solution oracle. Ignored until a
+    /// bottom heatsink is attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the map's dimensions differ from the lateral mesh or
+    /// any entry is non-finite.
+    pub fn set_bottom_ambient_map(&mut self, map: Grid2<f64>) {
+        assert!(
+            map.nx() == self.dim.nx && map.ny() == self.dim.ny,
+            "ambient map must be {}x{}, got {}x{}",
+            self.dim.nx,
+            self.dim.ny,
+            map.nx(),
+            map.ny()
+        );
+        assert!(
+            map.iter().all(|t| t.is_finite()),
+            "ambient map entries must be finite"
+        );
+        self.bottom_ambient = Some(map);
+    }
+
+    /// Prescribes a per-column ambient temperature (kelvin) for the top
+    /// Robin boundary. See [`Problem::set_bottom_ambient_map`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the map's dimensions differ from the lateral mesh or
+    /// any entry is non-finite.
+    pub fn set_top_ambient_map(&mut self, map: Grid2<f64>) {
+        assert!(
+            map.nx() == self.dim.nx && map.ny() == self.dim.ny,
+            "ambient map must be {}x{}, got {}x{}",
+            self.dim.nx,
+            self.dim.ny,
+            map.nx(),
+            map.ny()
+        );
+        assert!(
+            map.iter().all(|t| t.is_finite()),
+            "ambient map entries must be finite"
+        );
+        self.top_ambient = Some(map);
+    }
+
+    /// The bottom-boundary ambient override, if one is set.
+    #[must_use]
+    pub fn bottom_ambient_map(&self) -> Option<&Grid2<f64>> {
+        self.bottom_ambient.as_ref()
+    }
+
+    /// The top-boundary ambient override, if one is set.
+    #[must_use]
+    pub fn top_ambient_map(&self) -> Option<&Grid2<f64>> {
+        self.top_ambient.as_ref()
+    }
+
+    /// Ambient temperature (K) seen by the bottom face of column
+    /// `(i, j)`: the per-column override when present, else the bottom
+    /// heatsink's scalar ambient. Zero without a bottom heatsink.
+    pub(crate) fn bottom_ambient_at(&self, i: usize, j: usize) -> f64 {
+        match (&self.bottom_ambient, self.bottom) {
+            (Some(map), Some(_)) => map[(i, j)],
+            (None, Some(hs)) => hs.ambient.kelvin(),
+            _ => 0.0,
+        }
+    }
+
+    /// Ambient temperature (K) seen by the top face of column `(i, j)`.
+    pub(crate) fn top_ambient_at(&self, i: usize, j: usize) -> f64 {
+        match (&self.top_ambient, self.top) {
+            (Some(map), Some(_)) => map[(i, j)],
+            (None, Some(hs)) => hs.ambient.kelvin(),
+            _ => 0.0,
+        }
     }
 
     /// Sets the anisotropic conductivity of one cell.
@@ -356,13 +449,14 @@ impl Problem {
     /// fixed-temperature faces.
     #[must_use]
     pub fn boundary_power_bottom(&self, field: &crate::TemperatureField) -> Power {
-        let Some(hs) = self.bottom else {
+        if self.bottom.is_none() {
             return Power::ZERO;
-        };
+        }
         let mut w = 0.0;
         for j in 0..self.dim.ny {
             for i in 0..self.dim.nx {
-                w += self.g_bottom(i, j) * (field.at(i, j, 0).kelvin() - hs.ambient.kelvin());
+                w += self.g_bottom(i, j)
+                    * (field.at(i, j, 0).kelvin() - self.bottom_ambient_at(i, j));
             }
         }
         Power::from_watts(w)
@@ -372,14 +466,14 @@ impl Problem {
     /// Zero when no top sink is attached.
     #[must_use]
     pub fn boundary_power_top(&self, field: &crate::TemperatureField) -> Power {
-        let Some(hs) = self.top else {
+        if self.top.is_none() {
             return Power::ZERO;
-        };
+        }
         let top = self.dim.nz - 1;
         let mut w = 0.0;
         for j in 0..self.dim.ny {
             for i in 0..self.dim.nx {
-                w += self.g_top(i, j) * (field.at(i, j, top).kelvin() - hs.ambient.kelvin());
+                w += self.g_top(i, j) * (field.at(i, j, top).kelvin() - self.top_ambient_at(i, j));
             }
         }
         Power::from_watts(w)

@@ -199,8 +199,10 @@ pub(crate) struct Assembled {
     pub(crate) rhs_boundary: Vec<f64>,
     /// Full right-hand side: staged power plus `rhs_boundary`.
     pub(crate) rhs: Vec<f64>,
-    pub(crate) t_bottom: f64,
-    pub(crate) t_top: f64,
+    /// Per-column ambient (K) of the bottom boundary (`nx · ny` long).
+    pub(crate) t_bottom: Vec<f64>,
+    /// Per-column ambient (K) of the top boundary (`nx · ny` long).
+    pub(crate) t_top: Vec<f64>,
     pub(crate) initial_guess: f64,
     /// Wall-clock seconds [`Assembled::build`] took, carried into stats.
     pub(crate) assembly_seconds: f64,
@@ -302,8 +304,8 @@ impl Assembled {
             diag,
             rhs_boundary: vec![0.0; n],
             rhs: vec![0.0; n],
-            t_bottom: 0.0,
-            t_top: 0.0,
+            t_bottom: vec![0.0; nx * ny],
+            t_top: vec![0.0; nx * ny],
             initial_guess: 0.0,
             assembly_seconds: 0.0,
         }
@@ -357,8 +359,14 @@ impl Assembled {
                 g_top[j * nx + i] = p.g_top(i, j);
             }
         }
-        let t_bottom = bottom.map_or(0.0, |hs| hs.ambient.kelvin());
-        let t_top = top.map_or(0.0, |hs| hs.ambient.kelvin());
+        let mut t_bottom = vec![0.0; nx * ny];
+        let mut t_top = vec![0.0; nx * ny];
+        for j in 0..ny {
+            for i in 0..nx {
+                t_bottom[j * nx + i] = p.bottom_ambient_at(i, j);
+                t_top[j * nx + i] = p.top_ambient_at(i, j);
+            }
+        }
 
         let n = dim.len();
         let mut diag = vec![0.0; n];
@@ -389,12 +397,12 @@ impl Assembled {
                     if k == 0 {
                         let g = g_bottom[j * nx + i];
                         d += g;
-                        rhs_boundary[c] += g * t_bottom;
+                        rhs_boundary[c] += g * t_bottom[j * nx + i];
                     }
                     if k == nz - 1 {
                         let g = g_top[j * nx + i];
                         d += g;
-                        rhs_boundary[c] += g * t_top;
+                        rhs_boundary[c] += g * t_top[j * nx + i];
                     }
                     diag[c] = d;
                 }
@@ -406,7 +414,20 @@ impl Assembled {
             .zip(&rhs_boundary)
             .map(|(q, b)| q + b)
             .collect();
-        let initial_guess = if bottom.is_some() { t_bottom } else { t_top };
+        // Scalar-ambient problems keep the historical guess (the sink's
+        // ambient); per-column maps seed from the map's mean instead.
+        let reference = |hs: Option<crate::heatsink::Heatsink>, t: &[f64], mapped: bool| {
+            hs.map(|hs| {
+                if mapped {
+                    t.iter().sum::<f64>() / t.len() as f64
+                } else {
+                    hs.ambient.kelvin()
+                }
+            })
+        };
+        let initial_guess = reference(bottom, &t_bottom, p.bottom_ambient_map().is_some())
+            .or_else(|| reference(top, &t_top, p.top_ambient_map().is_some()))
+            .unwrap_or(0.0);
         Ok(Self {
             dim,
             gx,
@@ -515,6 +536,14 @@ impl Assembled {
         let slab = self.dim.nx * self.dim.ny;
         debug_assert_eq!(rhs.len(), n);
         debug_assert_eq!(x.len(), n);
+        #[cfg(feature = "fault-inject")]
+        let max_iter = {
+            crate::fault::begin_solve();
+            crate::fault::poison_field(x);
+            crate::fault::truncated_budget(params.max_iter)
+        };
+        #[cfg(not(feature = "fault-inject"))]
+        let max_iter = params.max_iter;
         let plan = ExecPlan::new(self.dim, params.threads, params.crossover);
         let b_norm = norm(rhs).max(f64::MIN_POSITIVE);
         let shifted_diag: Vec<f64>;
@@ -552,7 +581,7 @@ impl Assembled {
         let mut iterations = 0_usize;
         let mut trajectory = vec![(0, residual)];
 
-        while residual > params.tol && residual.is_finite() && iterations < params.max_iter {
+        while residual > params.tol && residual.is_finite() && iterations < max_iter {
             // Region 1: ap = (A + shift)·pv, fused with ⟨pv, ap⟩.
             let parts = plan.map_mut(&mut ap, |range, chunk| {
                 self.matvec_range(&pv, chunk, range.clone(), shift);
@@ -590,6 +619,10 @@ impl Assembled {
 
             residual = rr.sqrt() / b_norm;
             iterations += 1;
+            #[cfg(feature = "fault-inject")]
+            {
+                residual = crate::fault::corrupt_residual(iterations, residual);
+            }
             if iterations.is_multiple_of(params.traj_stride) {
                 trajectory.push((iterations, residual));
             }
@@ -704,9 +737,9 @@ impl Assembled {
         for j in 0..ny {
             for i in 0..nx {
                 let cb = self.dim.flat(i, j, 0);
-                extracted += self.g_bottom[j * nx + i] * (t[cb] - self.t_bottom);
+                extracted += self.g_bottom[j * nx + i] * (t[cb] - self.t_bottom[j * nx + i]);
                 let ct = self.dim.flat(i, j, nz - 1);
-                extracted += self.g_top[j * nx + i] * (t[ct] - self.t_top);
+                extracted += self.g_top[j * nx + i] * (t[ct] - self.t_top[j * nx + i]);
             }
         }
         EnergyBalance {
@@ -1050,6 +1083,14 @@ impl SorSolver {
         let plan = ExecPlan::new(asm.dim, self.threads, self.crossover);
         let b_norm = norm(&asm.rhs).max(f64::MIN_POSITIVE);
         let mut x = vec![asm.initial_guess; n];
+        #[cfg(feature = "fault-inject")]
+        let max_sweeps = {
+            crate::fault::begin_solve();
+            crate::fault::poison_field(&mut x);
+            crate::fault::truncated_budget(self.max_sweeps)
+        };
+        #[cfg(not(feature = "fault-inject"))]
+        let max_sweeps = self.max_sweeps;
         let mut scratch = vec![0.0; n];
         let mut sweeps = 0_usize;
         let mut matvecs = 0_usize;
@@ -1058,9 +1099,15 @@ impl SorSolver {
         let residual = loop {
             asm.sor_sweep(&plan, &mut x, self.omega);
             sweeps += 1;
-            let last = sweeps == self.max_sweeps;
+            let last = sweeps == max_sweeps;
             if sweeps.is_multiple_of(self.check_interval) || last {
+                #[cfg(not(feature = "fault-inject"))]
                 let r = asm.residual_norm(&plan, &x, &asm.rhs, b_norm, &mut scratch);
+                #[cfg(feature = "fault-inject")]
+                let r = crate::fault::corrupt_residual(
+                    sweeps,
+                    asm.residual_norm(&plan, &x, &asm.rhs, b_norm, &mut scratch),
+                );
                 matvecs += 1;
                 trajectory.push((sweeps, r));
                 if !r.is_finite() || r <= self.tol || last {

@@ -1,0 +1,365 @@
+//! Golden-flow regression harness.
+//!
+//! A golden test runs one paper flow on a reduced fixture, serializes
+//! the scalars that matter (junction temperature, pillar counts, budget
+//! spends, iteration counts) to a [`Json`] record through
+//! `tsc_bench::json` (sorted keys, so snapshots diff cleanly), and
+//! compares against the checked-in snapshot under `tests/golden/` with
+//! per-field *relative* tolerances.
+//!
+//! * Mismatch → the test fails listing every divergent path, and the
+//!   actual record is written to `target/golden-diffs/<name>.json` so
+//!   CI can upload it as an artifact.
+//! * Intentional change → re-bless with
+//!   `UPDATE_GOLDEN=1 cargo test -p tsc-verify --test golden_flows`
+//!   and commit the rewritten snapshot. Emission is key-sorted and
+//!   deterministic, so the diff is exactly the fields that moved.
+
+use std::fs;
+use std::path::PathBuf;
+
+use tsc_bench::json::Json;
+
+/// Relative tolerances for golden comparison: a default plus per-field
+/// overrides matched by the final path segment.
+#[derive(Debug, Clone)]
+pub struct Tolerances {
+    default_rel: f64,
+    per_field: Vec<(String, f64)>,
+}
+
+impl Tolerances {
+    /// A tolerance set where every numeric field must agree to
+    /// `default_rel` relative error.
+    #[must_use]
+    pub fn new(default_rel: f64) -> Self {
+        Self {
+            default_rel,
+            per_field: Vec::new(),
+        }
+    }
+
+    /// Overrides the tolerance for fields whose *name* (final path
+    /// segment) equals `field`; chainable.
+    #[must_use]
+    pub fn field(mut self, field: &str, rel: f64) -> Self {
+        self.per_field.push((field.to_string(), rel));
+        self
+    }
+
+    fn for_path(&self, path: &str) -> f64 {
+        let leaf = path.rsplit('.').next().unwrap_or(path);
+        self.per_field
+            .iter()
+            .find(|(name, _)| name == leaf)
+            .map_or(self.default_rel, |&(_, rel)| rel)
+    }
+}
+
+/// Compares two records and returns one human-readable line per
+/// divergence (empty = match). Numbers compare relatively per
+/// [`Tolerances`]; everything else compares exactly; object key sets
+/// must match in both directions.
+#[must_use]
+pub fn diff(expected: &Json, actual: &Json, tol: &Tolerances) -> Vec<String> {
+    let mut out = Vec::new();
+    diff_at("$", expected, actual, tol, &mut out);
+    out
+}
+
+fn diff_at(path: &str, expected: &Json, actual: &Json, tol: &Tolerances, out: &mut Vec<String>) {
+    match (expected, actual) {
+        (Json::Num(e), Json::Num(a)) => {
+            let rel = tol.for_path(path);
+            if !crate::close_rel(*e, *a, rel) {
+                out.push(format!(
+                    "{path}: expected {e}, got {a} (rel diff {:.3e} > tolerance {rel:.1e})",
+                    (e - a).abs() / e.abs().max(a.abs()).max(f64::MIN_POSITIVE),
+                ));
+            }
+        }
+        (Json::Array(e), Json::Array(a)) => {
+            if e.len() != a.len() {
+                out.push(format!("{path}: array length {} vs {}", e.len(), a.len()));
+                return;
+            }
+            for (i, (ev, av)) in e.iter().zip(a).enumerate() {
+                diff_at(&format!("{path}[{i}]"), ev, av, tol, out);
+            }
+        }
+        (Json::Object(e), Json::Object(a)) => {
+            for (key, ev) in e {
+                match a.iter().find(|(k, _)| k == key) {
+                    Some((_, av)) => diff_at(&format!("{path}.{key}"), ev, av, tol, out),
+                    None => out.push(format!("{path}.{key}: missing from actual record")),
+                }
+            }
+            for (key, _) in a {
+                if !e.iter().any(|(k, _)| k == key) {
+                    out.push(format!("{path}.{key}: not in golden snapshot"));
+                }
+            }
+        }
+        (e, a) if e == a => {}
+        (e, a) => out.push(format!("{path}: expected {e:?}, got {a:?}")),
+    }
+}
+
+/// The checked-in snapshot directory (`<repo>/tests/golden`).
+#[must_use]
+pub fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+fn diffs_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/golden-diffs")
+}
+
+/// Asserts `actual` matches the snapshot `tests/golden/<name>.json`.
+///
+/// With `UPDATE_GOLDEN=1` in the environment the snapshot is rewritten
+/// from `actual` instead (re-blessing); emission is key-sorted so the
+/// resulting diff is deterministic.
+///
+/// # Panics
+///
+/// Panics when the snapshot is missing (with the bless command), fails
+/// to parse, or any field diverges beyond its tolerance — after writing
+/// the actual record to `target/golden-diffs/<name>.json` for CI
+/// artifact upload.
+pub fn assert_golden(name: &str, actual: &Json, tol: &Tolerances) {
+    let path = golden_dir().join(format!("{name}.json"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some_and(|v| !v.is_empty() && v != "0") {
+        fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        fs::write(&path, actual.pretty()).unwrap_or_else(|e| panic!("bless {path:?}: {e}"));
+        eprintln!("blessed golden snapshot {path:?}");
+        return;
+    }
+    let text = fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing golden snapshot {path:?} — bless it with \
+             `UPDATE_GOLDEN=1 cargo test -p tsc-verify --test golden_flows`"
+        )
+    });
+    let expected = parse(&text).unwrap_or_else(|e| panic!("golden {path:?} unparsable: {e}"));
+    let mismatches = diff(&expected, actual, tol);
+    if !mismatches.is_empty() {
+        let dump = diffs_dir().join(format!("{name}.json"));
+        if fs::create_dir_all(diffs_dir()).is_ok() {
+            let _ = fs::write(&dump, actual.pretty());
+        }
+        panic!(
+            "golden `{name}` diverged ({} field(s)); actual record dumped to {dump:?}:\n  {}\n\
+             intentional change? re-bless with \
+             `UPDATE_GOLDEN=1 cargo test -p tsc-verify --test golden_flows`",
+            mismatches.len(),
+            mismatches.join("\n  "),
+        );
+    }
+}
+
+/// Parses the JSON subset `tsc_bench::json` emits (all of JSON except
+/// `\u` surrogate pairs, which the emitter never produces).
+///
+/// # Errors
+///
+/// Returns a position-annotated message on malformed input.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if b.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {pos}", c as char))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'n') => parse_literal(b, pos, "null", Json::Null),
+        Some(b't') => parse_literal(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(b, pos, "false", Json::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Array(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Object(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                fields.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Object(fields));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        _ => Err(format!("unexpected input at byte {pos}")),
+    }
+}
+
+fn parse_literal(b: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    core::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| core::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .and_then(char::from_u32)
+                            .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
+                        out.push(hex);
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Multi-byte UTF-8 passes through unchanged; find the
+                // char boundary via the str view.
+                let rest = core::str::from_utf8(&b[*pos..])
+                    .map_err(|_| format!("invalid UTF-8 at byte {pos}"))?;
+                let c = rest.chars().next().expect("non-empty by construction");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_emitter_output() {
+        let doc = Json::object()
+            .field("temp_c", 117.25)
+            .field("count", 42usize)
+            .field("name", "scaffolding \"q\"\n")
+            .field("ok", true)
+            .field(
+                "nested",
+                Json::object().field("xs", vec![Json::Num(1.0), Json::Null]),
+            );
+        let parsed = parse(&doc.pretty()).expect("parses");
+        // The emitter sorts keys, so compare via a second emission.
+        assert_eq!(parsed.pretty(), doc.pretty());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn diff_respects_per_field_tolerance() {
+        let expected = Json::object().field("tj", 100.0).field("iters", 50.0);
+        let actual = Json::object().field("tj", 100.4).field("iters", 50.0);
+        let loose = Tolerances::new(1e-9).field("tj", 1e-2);
+        assert!(diff(&expected, &actual, &loose).is_empty());
+        let strict = Tolerances::new(1e-9);
+        let report = diff(&expected, &actual, &strict);
+        assert_eq!(report.len(), 1, "{report:?}");
+        assert!(report[0].starts_with("$.tj:"), "{report:?}");
+    }
+
+    #[test]
+    fn diff_flags_shape_changes() {
+        let expected = Json::object().field("a", 1.0);
+        let actual = Json::object().field("b", 1.0);
+        let report = diff(&expected, &actual, &Tolerances::new(1e-9));
+        assert_eq!(report.len(), 2, "missing + extra: {report:?}");
+    }
+}

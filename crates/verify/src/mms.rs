@@ -1,0 +1,400 @@
+//! Method-of-manufactured-solutions oracle for the thermal solvers.
+//!
+//! Pick a smooth analytic temperature field `T*(x, y, z)`, push it
+//! through the continuum operator `−∇·(k∇T*)` to derive the matching
+//! volumetric source, evaluate the exact Robin ambient data the field
+//! implies on the cooled faces, and hand the lot to
+//! [`tsc_thermal::Problem`]. The FV solution then differs from `T*` at
+//! the cell centers only by the discretization error, so halving the
+//! mesh pitch must shrink the error ~4× — an *observed* convergence
+//! order of ~2 that the `mms_convergence` test suite asserts for every
+//! solver in the workspace.
+//!
+//! Two design choices keep the oracle exact rather than approximate:
+//!
+//! * Lateral profiles are `cos(πx/Lx)·cos(πy/Ly)` — zero normal
+//!   derivative at the side walls, so the mesh's adiabatic boundaries
+//!   are satisfied by the manufactured field itself (no boundary-layer
+//!   pollution of the measured order).
+//! * Boundary data enters through [`Problem::set_bottom_ambient_map`] /
+//!   [`Problem::set_top_ambient_map`]: the Robin ambient that makes
+//!   `T*` exact is `T*_face ± (kz/h)·∂T*/∂z`, and an `h = ∞` film
+//!   degenerates to Dirichlet face data (the `kz/h` correction
+//!   vanishes), so one formula covers both boundary kinds.
+
+use tsc_geometry::Grid2;
+use tsc_thermal::{Heatsink, Problem, Solution, SolveError, TemperatureField};
+use tsc_units::{HeatTransferCoefficient, Length, Power, Temperature, ThermalConductivity};
+
+/// The analytic z-profile of a manufactured solution.
+#[derive(Debug, Clone, Copy)]
+enum Kind {
+    /// `T* = t0 + A·cx·cy·(1 + z/Lz) + B·(z/Lz)²` with uniform
+    /// conductivity: trigonometric laterally, polynomial vertically,
+    /// non-zero gradients on both cooled faces.
+    Trig {
+        /// Quadratic vertical amplitude `B` (kelvin).
+        quad: f64,
+    },
+    /// `T* = t0 + A·cx·cy + C·s(z)` where `s` is the continuous
+    /// piecewise-linear profile carrying a constant vertical flux `C`
+    /// across a face-aligned `kz`/`kxy` contrast interface at `Lz/2`
+    /// (the thermal-scaffolding BEOL-on-silicon situation).
+    Slab {
+        /// Constant vertical heat flux `C` (W/m²).
+        flux: f64,
+    },
+}
+
+/// One manufactured solution over a box `[0,Lx]×[0,Ly]×[0,Lz]`.
+#[derive(Debug, Clone, Copy)]
+pub struct MmsCase {
+    name: &'static str,
+    lx: f64,
+    ly: f64,
+    lz: f64,
+    /// `(kz, kxy)` below the interface (everywhere when uniform).
+    k_lo: (f64, f64),
+    /// `(kz, kxy)` at and above the interface.
+    k_hi: (f64, f64),
+    /// Film coefficient of the bottom boundary; `f64::INFINITY` makes
+    /// it Dirichlet face data.
+    h_bottom: f64,
+    /// Film coefficient of the top boundary.
+    h_top: f64,
+    /// Reference temperature `t0` (kelvin).
+    t0: f64,
+    /// Lateral amplitude `A` (kelvin).
+    amp: f64,
+    kind: Kind,
+}
+
+/// Pointwise errors of one solve against the manufactured field.
+#[derive(Debug, Clone, Copy)]
+pub struct MmsErrors {
+    /// Volume-weighted L2 norm of the cell-center error (kelvin).
+    pub l2: f64,
+    /// Maximum cell-center error (kelvin).
+    pub linf: f64,
+}
+
+/// Observed convergence orders between two consecutive refinements.
+#[derive(Debug, Clone, Copy)]
+pub struct ObservedOrder {
+    /// `log2(e_h / e_{h/2})` of the L2 errors.
+    pub l2: f64,
+    /// Same for the L∞ errors.
+    pub linf: f64,
+}
+
+impl MmsCase {
+    /// Smooth single-material case: Dirichlet bottom (`h = ∞`), Robin
+    /// top, trigonometric × polynomial field.
+    #[must_use]
+    pub fn trig_smooth() -> Self {
+        Self {
+            name: "trig-smooth",
+            lx: 1.0e-3,
+            ly: 1.0e-3,
+            lz: 1.0e-3,
+            k_lo: (100.0, 100.0),
+            k_hi: (100.0, 100.0),
+            h_bottom: f64::INFINITY,
+            h_top: 2.0e5,
+            t0: 320.0,
+            amp: 8.0,
+            kind: Kind::Trig { quad: 5.0 },
+        }
+    }
+
+    /// Anisotropic two-slab case: a 10× `kz` contrast across a
+    /// face-aligned interface at `Lz/2`, Robin bottom, Dirichlet top.
+    #[must_use]
+    pub fn contrast_slab() -> Self {
+        Self {
+            name: "contrast-slab",
+            lx: 1.0e-3,
+            ly: 1.0e-3,
+            lz: 1.0e-3,
+            k_lo: (120.0, 80.0),
+            k_hi: (12.0, 30.0),
+            h_bottom: 1.5e5,
+            h_top: f64::INFINITY,
+            t0: 330.0,
+            amp: 6.0,
+            kind: Kind::Slab { flux: 2.0e6 },
+        }
+    }
+
+    /// Case name (used in failure messages and reports).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn interface(&self) -> f64 {
+        self.lz / 2.0
+    }
+
+    /// `(kz, kxy)` at height `z`.
+    #[must_use]
+    pub fn conductivity(&self, z: f64) -> (f64, f64) {
+        if z < self.interface() {
+            self.k_lo
+        } else {
+            self.k_hi
+        }
+    }
+
+    fn lateral(&self, x: f64, y: f64) -> f64 {
+        (core::f64::consts::PI * x / self.lx).cos() * (core::f64::consts::PI * y / self.ly).cos()
+    }
+
+    /// The exact temperature `T*(x, y, z)` in kelvin.
+    #[must_use]
+    pub fn temperature(&self, x: f64, y: f64, z: f64) -> f64 {
+        let cc = self.lateral(x, y);
+        match self.kind {
+            Kind::Trig { quad } => {
+                self.t0 + self.amp * cc * (1.0 + z / self.lz) + quad * (z / self.lz).powi(2)
+            }
+            Kind::Slab { flux } => {
+                let zi = self.interface();
+                let s = if z <= zi {
+                    z / self.k_lo.0
+                } else {
+                    zi / self.k_lo.0 + (z - zi) / self.k_hi.0
+                };
+                self.t0 + self.amp * cc + flux * s
+            }
+        }
+    }
+
+    /// `∂T*/∂z` in K/m.
+    #[must_use]
+    pub fn dtemperature_dz(&self, x: f64, y: f64, z: f64) -> f64 {
+        match self.kind {
+            Kind::Trig { quad } => {
+                self.amp * self.lateral(x, y) / self.lz + 2.0 * quad * z / self.lz.powi(2)
+            }
+            Kind::Slab { flux } => flux / self.conductivity(z).0,
+        }
+    }
+
+    /// The volumetric source `q = −∇·(k∇T*)` in W/m³.
+    #[must_use]
+    pub fn source_density(&self, x: f64, y: f64, z: f64) -> f64 {
+        let pi = core::f64::consts::PI;
+        let lam = pi.powi(2) * (self.lx.powi(-2) + self.ly.powi(-2));
+        let (kz, kxy) = self.conductivity(z);
+        let cc = self.lateral(x, y);
+        match self.kind {
+            // −kxy·∂²(lateral part) − kz·∂²(vertical part).
+            Kind::Trig { quad } => {
+                kxy * self.amp * lam * cc * (1.0 + z / self.lz) - kz * 2.0 * quad / self.lz.powi(2)
+            }
+            // The piecewise-linear z profile carries a constant flux, so
+            // only the lateral part sources.
+            Kind::Slab { .. } => kxy * self.amp * lam * cc,
+        }
+    }
+
+    /// Builds the FV problem on an `n × n × n` mesh: per-layer
+    /// conductivities, midpoint-rule source powers, and the exact
+    /// Robin/Dirichlet ambient maps on both faces.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is odd (the contrast interface must stay
+    /// face-aligned) or zero.
+    #[must_use]
+    pub fn problem(&self, n: usize) -> Problem {
+        assert!(
+            n > 0 && n.is_multiple_of(2),
+            "mesh count must be positive and even, got {n}"
+        );
+        let (dx, dy, dzc) = (self.lx / n as f64, self.ly / n as f64, self.lz / n as f64);
+        let dz = vec![Length::from_meters(dzc); n];
+        let mut p = Problem::new(
+            n,
+            n,
+            Length::from_meters(dx),
+            Length::from_meters(dy),
+            dz,
+            ThermalConductivity::new(self.k_lo.0.max(self.k_hi.0)),
+        );
+        for k in 0..n {
+            let zc = (k as f64 + 0.5) * dzc;
+            let (kz, kxy) = self.conductivity(zc);
+            p.set_layer_conductivity(
+                k,
+                ThermalConductivity::new(kz),
+                ThermalConductivity::new(kxy),
+            );
+        }
+        let volume = dx * dy * dzc;
+        for k in 0..n {
+            let zc = (k as f64 + 0.5) * dzc;
+            for j in 0..n {
+                let yc = (j as f64 + 0.5) * dy;
+                for i in 0..n {
+                    let xc = (i as f64 + 0.5) * dx;
+                    p.add_power(
+                        i,
+                        j,
+                        k,
+                        Power::from_watts(self.source_density(xc, yc, zc) * volume),
+                    );
+                }
+            }
+        }
+        // Robin ambient that makes T* exact: outward flux through the
+        // top is −kz·∂T*/∂z = h·(T_face − T_amb), so
+        // T_amb = T_face + (kz/h)·∂T*/∂z; the bottom's outward normal
+        // flips the sign. kz/∞ = 0 gives the Dirichlet limit for free.
+        p.set_bottom_heatsink(Heatsink {
+            h: HeatTransferCoefficient::new(self.h_bottom),
+            ambient: Temperature::from_kelvin(self.t0),
+        });
+        p.set_top_heatsink(Heatsink {
+            h: HeatTransferCoefficient::new(self.h_top),
+            ambient: Temperature::from_kelvin(self.t0),
+        });
+        let center = |c: usize, pitch: f64| (c as f64 + 0.5) * pitch;
+        let kz0 = self.conductivity(0.0).0;
+        let kz1 = self.conductivity(self.lz).0;
+        p.set_bottom_ambient_map(Grid2::from_fn(n, n, |i, j| {
+            let (x, y) = (center(i, dx), center(j, dy));
+            self.temperature(x, y, 0.0) - kz0 / self.h_bottom * self.dtemperature_dz(x, y, 0.0)
+        }));
+        p.set_top_ambient_map(Grid2::from_fn(n, n, |i, j| {
+            let (x, y) = (center(i, dx), center(j, dy));
+            self.temperature(x, y, self.lz) + kz1 / self.h_top * self.dtemperature_dz(x, y, self.lz)
+        }));
+        p
+    }
+
+    /// Cell-center error norms of a computed field against `T*`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the field's mesh disagrees with `n × n × n`.
+    #[must_use]
+    pub fn errors(&self, n: usize, field: &TemperatureField) -> MmsErrors {
+        let dim = field.dim();
+        assert!(
+            dim.nx == n && dim.ny == n && dim.nz == n,
+            "field is {}x{}x{}, expected {n}^3",
+            dim.nx,
+            dim.ny,
+            dim.nz
+        );
+        let (dx, dy, dzc) = (self.lx / n as f64, self.ly / n as f64, self.lz / n as f64);
+        let mut sum_sq = 0.0;
+        let mut linf: f64 = 0.0;
+        for k in 0..n {
+            for j in 0..n {
+                for i in 0..n {
+                    let exact = self.temperature(
+                        (i as f64 + 0.5) * dx,
+                        (j as f64 + 0.5) * dy,
+                        (k as f64 + 0.5) * dzc,
+                    );
+                    let err = (field.at(i, j, k).kelvin() - exact).abs();
+                    sum_sq += err * err;
+                    linf = linf.max(err);
+                }
+            }
+        }
+        MmsErrors {
+            l2: (sum_sq / (n * n * n) as f64).sqrt(),
+            linf,
+        }
+    }
+
+    /// Runs `solve` on a sequence of meshes and returns the error at
+    /// each refinement (coarse to fine).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first solver failure.
+    pub fn refine(
+        &self,
+        meshes: &[usize],
+        mut solve: impl FnMut(&Problem) -> Result<Solution, SolveError>,
+    ) -> Result<Vec<MmsErrors>, SolveError> {
+        meshes
+            .iter()
+            .map(|&n| {
+                let p = self.problem(n);
+                let solution = solve(&p)?;
+                Ok(self.errors(n, &solution.temperatures))
+            })
+            .collect()
+    }
+}
+
+/// Observed order between each consecutive pair of a refinement
+/// sequence whose mesh pitch halves each step.
+#[must_use]
+pub fn observed_orders(errors: &[MmsErrors]) -> Vec<ObservedOrder> {
+    errors
+        .windows(2)
+        .map(|w| ObservedOrder {
+            l2: (w[0].l2 / w[1].l2).log2(),
+            linf: (w[0].linf / w[1].linf).log2(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lateral_profile_is_wall_adiabatic() {
+        // ∂T*/∂x = 0 at x ∈ {0, Lx} (finite-difference check).
+        let case = MmsCase::trig_smooth();
+        let eps = 1e-9;
+        for x in [0.0, case.lx] {
+            let g = (case.temperature(x + eps, 3e-4, 5e-4) - case.temperature(x - eps, 3e-4, 5e-4))
+                / (2.0 * eps);
+            assert!(g.abs() < 1e-4, "wall-normal gradient {g} at x={x}");
+        }
+    }
+
+    #[test]
+    fn slab_flux_is_continuous_at_interface() {
+        let case = MmsCase::contrast_slab();
+        let zi = case.lz / 2.0;
+        let below =
+            case.conductivity(zi - 1e-9).0 * case.dtemperature_dz(0.3e-3, 0.2e-3, zi - 1e-9);
+        let above =
+            case.conductivity(zi + 1e-9).0 * case.dtemperature_dz(0.3e-3, 0.2e-3, zi + 1e-9);
+        assert!(
+            (below - above).abs() < 1e-6 * below.abs(),
+            "k·dT/dz jumps across the interface: {below} vs {above}"
+        );
+    }
+
+    #[test]
+    fn problems_assemble_on_even_meshes() {
+        for case in [MmsCase::trig_smooth(), MmsCase::contrast_slab()] {
+            let p = case.problem(4);
+            assert_eq!(p.dim().nx, 4);
+            assert!(p.bottom_ambient_map().is_some() && p.top_ambient_map().is_some());
+        }
+    }
+
+    #[test]
+    fn observed_orders_recover_exact_halving() {
+        let errs = [
+            MmsErrors { l2: 4.0, linf: 8.0 },
+            MmsErrors { l2: 1.0, linf: 2.0 },
+        ];
+        let orders = observed_orders(&errs);
+        assert_eq!(orders.len(), 1);
+        assert!((orders[0].l2 - 2.0).abs() < 1e-12);
+        assert!((orders[0].linf - 2.0).abs() < 1e-12);
+    }
+}

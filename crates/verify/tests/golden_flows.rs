@@ -1,0 +1,140 @@
+//! Golden-flow regression harness: the paper flows on reduced fixtures,
+//! key scalars snapshot to `tests/golden/*.json`.
+//!
+//! Re-bless after an intentional algorithm change with
+//! `UPDATE_GOLDEN=1 cargo test -p tsc-verify --test golden_flows`.
+//! Solves are bitwise deterministic across thread counts, so iteration
+//! counts are snapshot at zero tolerance; physical scalars carry small
+//! relative tolerances to absorb innocuous arithmetic reassociation in
+//! future refactors.
+
+use tsc_bench::json::Json;
+use tsc_core::codesign::{dielectric_sweep, ToyConfig};
+use tsc_core::flows::{run_flow_with, CoolingStrategy, FlowConfig};
+use tsc_core::pillars::{place, PlacementConfig};
+use tsc_core::scaling::min_area_for_tiers;
+use tsc_designs::gemmini;
+use tsc_thermal::SolveContext;
+use tsc_units::{Length, Ratio};
+use tsc_verify::golden::{assert_golden, Tolerances};
+
+/// Default tolerance set: physical temperatures/penalties to 0.1%
+/// relative, counters exact.
+fn tolerances() -> Tolerances {
+    Tolerances::new(1e-3)
+        .field("iterations", 0.0)
+        .field("solves", 0.0)
+        .field("operator_reuses", 0.0)
+        .field("pillar_count", 0.0)
+        .field("tiers", 0.0)
+        .field("meets_limit", 0.0)
+}
+
+fn flow_record(strategy: CoolingStrategy, tiers: usize, area: f64, delay: f64) -> Json {
+    let config = FlowConfig {
+        strategy,
+        tiers,
+        area_budget: Ratio::from_percent(area),
+        delay_budget: Ratio::from_percent(delay),
+        lateral_cells: 8,
+        ..FlowConfig::default()
+    };
+    let mut ctx = SolveContext::new();
+    let result = run_flow_with(&gemmini::design(), &config, &mut ctx).expect("flow solves");
+    let stats = ctx.stats();
+    Json::object()
+        .field("tiers", result.tiers)
+        .field("junction_celsius", result.junction_temperature.celsius())
+        .field("footprint_percent", result.footprint_penalty.percent())
+        .field("delay_percent", result.delay_penalty.percent())
+        .field("pillar_density_percent", result.pillar_density.percent())
+        .field("fill_slack_percent", result.fill_slack.percent())
+        .field("meets_limit", result.meets_limit)
+        .field("iterations", result.solution.solution.stats.iterations)
+        .field("solves", stats.solves)
+        .field("operator_reuses", stats.operator_reuses)
+}
+
+#[test]
+fn golden_flow_scaffolding() {
+    assert_golden(
+        "flow_scaffolding_8t",
+        &flow_record(CoolingStrategy::Scaffolding, 8, 10.0, 3.0),
+        &tolerances(),
+    );
+}
+
+#[test]
+fn golden_flow_vertical_only() {
+    assert_golden(
+        "flow_vertical_only_8t",
+        &flow_record(CoolingStrategy::VerticalOnly, 8, 34.0, 7.0),
+        &tolerances(),
+    );
+}
+
+#[test]
+fn golden_flow_conventional() {
+    assert_golden(
+        "flow_conventional_6t",
+        &flow_record(CoolingStrategy::ConventionalDummyVias, 6, 20.0, 10.0),
+        &tolerances(),
+    );
+}
+
+#[test]
+fn golden_codesign_dielectric_sweep() {
+    let cfg = ToyConfig {
+        cells: 16,
+        ..ToyConfig::default()
+    };
+    let points = dielectric_sweep(&cfg, Length::from_micrometers(2.0), &[0.1, 1.4, 10.0])
+        .expect("sweep solves");
+    let record = Json::object().field(
+        "points",
+        points
+            .iter()
+            .map(|&(k, reduction)| {
+                Json::object()
+                    .field("k_dielectric", k)
+                    .field("rise_reduction_percent", reduction.percent())
+            })
+            .collect::<Vec<_>>(),
+    );
+    assert_golden("codesign_dielectric_sweep", &record, &tolerances());
+}
+
+#[test]
+fn golden_pillar_placement() {
+    let config = PlacementConfig {
+        tiers: 6,
+        lateral_cells: 8,
+        ..PlacementConfig::paper_default()
+    };
+    let plan = place(&gemmini::design(), &config)
+        .expect("placement solves")
+        .expect("6 tiers are coolable with pillars");
+    let record = Json::object()
+        .field("pillar_count", plan.count())
+        .field("replicas", plan.replicas)
+        .field("area_penalty_percent", plan.area_penalty.percent())
+        .field("density_map_mean", plan.density_map.mean());
+    assert_golden("pillar_placement_6t", &record, &tolerances());
+}
+
+#[test]
+fn golden_scaling_min_area() {
+    let area = min_area_for_tiers(
+        &gemmini::design(),
+        CoolingStrategy::Scaffolding,
+        6,
+        Ratio::from_percent(3.0),
+        Ratio::from_percent(60.0),
+        0.5,
+        8,
+    )
+    .expect("bisection solves")
+    .expect("6 tiers feasible within 60% area");
+    let record = Json::object().field("min_area_percent", area.percent());
+    assert_golden("scaling_min_area_6t", &record, &tolerances());
+}

@@ -7,6 +7,7 @@ use thermal_scaffolding::core::stack::{compact_ladder, solve, StackConfig};
 use thermal_scaffolding::designs::{gemmini, rocket};
 use thermal_scaffolding::thermal::Heatsink;
 use thermal_scaffolding::units::{Ratio, Temperature};
+use tsc_verify::assert_close;
 
 fn quick_flow(strategy: CoolingStrategy, tiers: usize) -> FlowConfig {
     FlowConfig {
@@ -110,6 +111,34 @@ fn utilization_lowers_junction_temperature() {
     };
     let sim = run_flow(&d, &cfg).expect("solves");
     assert!(sim.junction_temperature < hot.junction_temperature);
+}
+
+#[test]
+fn flows_are_deterministic_end_to_end() {
+    // The whole pipeline (budget bisection → placement → FVM solve) is
+    // bitwise deterministic: two identical runs must agree exactly
+    // (`rel = 0.0` — the workspace's strictest named tolerance).
+    let d = gemmini::design();
+    let a = run_flow(&d, &quick_flow(CoolingStrategy::Scaffolding, 4)).expect("solves");
+    let b = run_flow(&d, &quick_flow(CoolingStrategy::Scaffolding, 4)).expect("solves");
+    assert_close!(
+        a.junction_temperature.kelvin(),
+        b.junction_temperature.kelvin(),
+        rel = 0.0,
+        "junction temperature must be run-to-run identical"
+    );
+    assert_close!(
+        a.footprint_penalty.percent(),
+        b.footprint_penalty.percent(),
+        rel = 0.0,
+        "footprint spend must be run-to-run identical"
+    );
+    assert_close!(
+        a.delay_penalty.percent(),
+        b.delay_penalty.percent(),
+        rel = 0.0,
+        "delay spend must be run-to-run identical"
+    );
 }
 
 #[test]

@@ -1,7 +1,8 @@
 //! Regression tests pinning the paper's headline numbers (the rows of
 //! EXPERIMENTS.md). Tolerances are bands around the paper's reported
 //! values wide enough to absorb mesh/resolution choices but tight
-//! enough that a physics regression trips them.
+//! enough that a physics regression trips them — each one stated as a
+//! named `assert_close!` tolerance rather than a bare subtraction.
 
 use thermal_scaffolding::core::beol::BeolProperties;
 use thermal_scaffolding::core::flows::{timing_impact, CoolingStrategy};
@@ -15,13 +16,14 @@ use thermal_scaffolding::phydes::timing::DelayModel;
 use thermal_scaffolding::thermal::network::{Ladder, TierRung};
 use thermal_scaffolding::thermal::Heatsink;
 use thermal_scaffolding::units::{HeatFlux, Length, Ratio};
+use tsc_verify::assert_close;
 
 #[test]
 fn fig4_anchor_160nm_film() {
     let k = EtcModel::calibrated()
         .in_plane_conductivity(Length::from_nanometers(160.0))
         .get();
-    assert!((k - 105.7).abs() < 2.0, "Fig. 4: {k}");
+    assert_close!(k, 105.7, abs = 2.0, "Fig. 4: 160 nm ETC film (W/m/K)");
 }
 
 #[test]
@@ -36,7 +38,7 @@ fn fig5_anchor_design_epsilon() {
 #[test]
 fn fig7_anchor_pillar_conductivity() {
     let k = PillarDesign::asap7_100nm().effective_vertical_k().get();
-    assert!((k - 105.0).abs() < 10.0, "Fig. 7 pillar: {k}");
+    assert_close!(k, 105.0, abs = 10.0, "Fig. 7: pillar stack k (W/m/K)");
 }
 
 #[test]
@@ -48,14 +50,14 @@ fn table1_anchor_delay_model() {
             Ratio::from_percent(10.0),
         ))
         .percent();
-    assert!((scaf - 3.0).abs() < 0.3, "scaffolding delay: {scaf}");
+    assert_close!(scaf, 3.0, abs = 0.3, "Table I: scaffolding delay (%)");
     let fill = model
         .delay_penalty(&timing_impact(
             CoolingStrategy::ConventionalDummyVias,
             Ratio::from_percent(78.0),
         ))
         .percent();
-    assert!((fill - 17.0).abs() < 1.0, "dummy-fill delay: {fill}");
+    assert_close!(fill, 17.0, abs = 1.0, "Table I: dummy-fill delay (%)");
 }
 
 #[test]
@@ -77,10 +79,8 @@ fn fig7b_anchor_fill_trend() {
     let fill = FillModel::calibrated();
     let f0 = fill.achievable_fill(Ratio::ZERO).percent();
     let f23 = fill.achievable_fill(Ratio::from_percent(23.0)).percent();
-    assert!(
-        (f0 - 44.0).abs() < 1.0 && (f23 - 54.0).abs() < 1.0,
-        "{f0} -> {f23}"
-    );
+    assert_close!(f0, 44.0, abs = 1.0, "Fig. 7b: fill at zero slack (%)");
+    assert_close!(f23, 54.0, abs = 1.0, "Fig. 7b: fill at 23% slack (%)");
 }
 
 #[test]
