@@ -1,0 +1,501 @@
+//! Seeded closed-loop load generator for the `tsc-serve` solve service.
+//!
+//! Spawns a *real* server process (the `tsc-serve` binary, discovered
+//! next to this one or via `--server-bin` / `TSC_SERVE_BIN`), drives it
+//! with N client threads over keep-alive connections, and runs the same
+//! workload twice — context pool enabled and disabled — to measure what
+//! pooling buys.  The workload mixes a small set of **hot** geometries
+//! (repeated, pool-hittable) with a stream of **cold** geometries (every
+//! request a distinct operator fingerprint), controlled by `--hot-pct`.
+//!
+//! Emits `BENCH_SERVE.json`: throughput, p50/p99 latency, context-pool
+//! hit rate, coalesce counts, and the pooled-vs-no-pool speedup.
+//! Usage: `serve_loadgen [--smoke] [--clients N] [--requests N]
+//! [--hot-pct P] [--seed S] [--out PATH] [--server-bin PATH]`.
+
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use tsc_bench::json::Json;
+use tsc_bench::prom::{sample_value, validate_exposition};
+use tsc_rng::Rng64;
+
+#[derive(Clone)]
+struct Options {
+    clients: usize,
+    requests_per_client: usize,
+    hot_pct: u64,
+    seed: u64,
+    out: PathBuf,
+    server_bin: Option<PathBuf>,
+    smoke: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            clients: 4,
+            requests_per_client: 40,
+            hot_pct: 95,
+            seed: 0x0D1E5E1,
+            out: PathBuf::from("BENCH_SERVE.json"),
+            server_bin: None,
+            smoke: false,
+        }
+    }
+}
+
+/// The reduced Gemmini fixture (the accelerator's memory tier) at two hot
+/// geometries — both fit the context pool, so steady state is all hits.
+const HOT_BODIES: [&str; 2] = [
+    r#"{"design": "gemmini-memory", "tiers": 4, "lateral_cells": 16, "area_budget_percent": 10}"#,
+    r#"{"design": "gemmini-memory", "tiers": 4, "lateral_cells": 16, "area_budget_percent": 12}"#,
+];
+
+/// A cold body: same mesh cost as the hot ones, but a unique pillar
+/// budget — a unique operator fingerprint, hence always a pool miss.
+fn cold_body(unique: u64) -> String {
+    // Budgets 5.00..9.99% — disjoint from the hot budgets.
+    let budget = 5.0 + (unique % 500) as f64 * 0.01;
+    format!(
+        r#"{{"design": "gemmini-memory", "tiers": 4, "lateral_cells": 16, "area_budget_percent": {budget}}}"#
+    )
+}
+
+fn main() {
+    let options = match parse_args(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+
+    tsc_bench::banner("tsc-serve load generator");
+    let pooled = run_phase(&options, 8);
+    let record = if options.smoke {
+        println!(
+            "smoke: {} requests, {:.1} req/s, hit rate {:.1}%",
+            pooled.completed,
+            pooled.throughput_rps,
+            pooled.hot_hit_rate * 100.0
+        );
+        Json::object()
+            .field("mode", "smoke")
+            .field("pooled", pooled.to_json())
+    } else {
+        let no_pool = run_phase(&options, 0);
+        let speedup = if no_pool.throughput_rps > 0.0 {
+            pooled.throughput_rps / no_pool.throughput_rps
+        } else {
+            0.0
+        };
+        println!(
+            "pooled: {:.1} req/s (p50 {:.1} ms, p99 {:.1} ms), hot-key hit rate {:.1}%",
+            pooled.throughput_rps,
+            pooled.p50_us / 1e3,
+            pooled.p99_us / 1e3,
+            pooled.hot_hit_rate * 100.0
+        );
+        println!(
+            "no-pool: {:.1} req/s (p50 {:.1} ms, p99 {:.1} ms)",
+            no_pool.throughput_rps,
+            no_pool.p50_us / 1e3,
+            no_pool.p99_us / 1e3
+        );
+        println!("speedup from context pooling: {speedup:.2}x");
+        Json::object()
+            .field("mode", "full")
+            .field("pooled", pooled.to_json())
+            .field("no_pool", no_pool.to_json())
+            .field("pooling_speedup", speedup)
+            .field("hot_hit_rate_target", 0.9)
+            .field("speedup_target", 5.0)
+            .field("meets_targets", pooled.hot_hit_rate > 0.9 && speedup >= 5.0)
+    }
+    .field(
+        "workload",
+        Json::object()
+            .field("clients", options.clients)
+            .field("requests_per_client", options.requests_per_client)
+            .field("hot_pct", options.hot_pct as usize)
+            .field("hot_keys", HOT_BODIES.len())
+            .field("seed", options.seed as f64)
+            .field("fixture", "gemmini-memory tiers=4 cells=16"),
+    );
+
+    std::fs::write(&options.out, record.pretty()).expect("write BENCH_SERVE.json");
+    println!("wrote {}", options.out.display());
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    const USAGE: &str = "usage: serve_loadgen [--smoke] [--clients N] [--requests N] \
+                         [--hot-pct P] [--seed S] [--out PATH] [--server-bin PATH]";
+    let mut options = Options::default();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = || {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match flag.as_str() {
+            "--smoke" => {
+                options.smoke = true;
+                options.clients = 2;
+                options.requests_per_client = 3;
+            }
+            "--clients" => {
+                options.clients = value()?
+                    .parse::<usize>()
+                    .map_err(|_| "--clients: integer expected".to_string())?
+                    .clamp(1, 64)
+            }
+            "--requests" => {
+                options.requests_per_client = value()?
+                    .parse::<usize>()
+                    .map_err(|_| "--requests: integer expected".to_string())?
+                    .clamp(1, 10_000)
+            }
+            "--hot-pct" => {
+                options.hot_pct = value()?
+                    .parse::<u64>()
+                    .map_err(|_| "--hot-pct: integer expected".to_string())?
+                    .min(100)
+            }
+            "--seed" => {
+                options.seed = value()?
+                    .parse::<u64>()
+                    .map_err(|_| "--seed: integer expected".to_string())?
+            }
+            "--out" => options.out = PathBuf::from(value()?),
+            "--server-bin" => options.server_bin = Some(PathBuf::from(value()?)),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(options)
+}
+
+/// Locate the `tsc-serve` binary: explicit flag, env var, or a sibling of
+/// this executable in the same cargo profile directory.
+fn server_binary(options: &Options) -> PathBuf {
+    if let Some(path) = &options.server_bin {
+        return path.clone();
+    }
+    if let Ok(path) = std::env::var("TSC_SERVE_BIN") {
+        return PathBuf::from(path);
+    }
+    let mut dir = std::env::current_exe().expect("current_exe");
+    dir.pop();
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    dir.join(format!("tsc-serve{}", std::env::consts::EXE_SUFFIX))
+}
+
+struct Phase {
+    pool_cap: usize,
+    completed: u64,
+    failed: u64,
+    wall_seconds: f64,
+    throughput_rps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    hot_sent: u64,
+    cold_sent: u64,
+    pool_hits: f64,
+    pool_misses: f64,
+    coalesced: f64,
+    backend_solves: f64,
+    hot_hit_rate: f64,
+    warm_starts: f64,
+}
+
+impl Phase {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("pool_cap", self.pool_cap)
+            .field("completed", self.completed as f64)
+            .field("failed", self.failed as f64)
+            .field("wall_seconds", self.wall_seconds)
+            .field("throughput_rps", self.throughput_rps)
+            .field("p50_ms", self.p50_us / 1e3)
+            .field("p99_ms", self.p99_us / 1e3)
+            .field("hot_requests", self.hot_sent as f64)
+            .field("cold_requests", self.cold_sent as f64)
+            .field("context_pool_hits", self.pool_hits)
+            .field("context_pool_misses", self.pool_misses)
+            .field("hot_hit_rate", self.hot_hit_rate)
+            .field("coalesced_requests", self.coalesced)
+            .field("backend_solves", self.backend_solves)
+            .field("warm_starts", self.warm_starts)
+    }
+}
+
+/// Spawn a server with the given pool capacity, run the workload, scrape
+/// `/metrics`, shut the server down, and summarize.
+fn run_phase(options: &Options, pool_cap: usize) -> Phase {
+    let bin = server_binary(options);
+    let mut child = Command::new(&bin)
+        .args([
+            "--port",
+            "0",
+            "--workers",
+            "2",
+            "--queue-cap",
+            "64",
+            "--pool-cap",
+            &pool_cap.to_string(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .unwrap_or_else(|e| panic!("spawn {}: {e}", bin.display()));
+    let addr = read_listen_line(&mut child);
+
+    // Warm-up liveness check.
+    let (status, _, _) = http_request(addr, "GET", "/healthz", b"").expect("healthz");
+    assert_eq!(status, 200, "server failed its liveness probe");
+
+    let hot_counter = Arc::new(AtomicU64::new(0));
+    let cold_counter = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let workers: Vec<_> = (0..options.clients)
+        .map(|client_id| {
+            let options = options.clone();
+            let hot_counter = Arc::clone(&hot_counter);
+            let cold_counter = Arc::clone(&cold_counter);
+            thread::spawn(move || {
+                client_loop(addr, client_id, &options, &hot_counter, &cold_counter)
+            })
+        })
+        .collect();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut completed = 0u64;
+    let mut failed = 0u64;
+    for worker in workers {
+        let (ok, bad, mut lat) = worker.join().expect("client thread");
+        completed += ok;
+        failed += bad;
+        latencies.append(&mut lat);
+    }
+    let wall_seconds = started.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+
+    let (status, _, metrics_text) =
+        http_request(addr, "GET", "/metrics", b"").expect("metrics scrape");
+    assert_eq!(status, 200);
+    let metrics_text = String::from_utf8_lossy(&metrics_text).into_owned();
+    validate_exposition(&metrics_text).expect("metrics must be valid Prometheus text");
+
+    let (status, _, _) = http_request(addr, "POST", "/v1/shutdown", b"").expect("shutdown");
+    assert_eq!(status, 200);
+    let _ = child.wait();
+
+    let scrape = |series: &str| sample_value(&metrics_text, series).unwrap_or(0.0);
+    let pool_hits = scrape("tsc_context_pool_hits_total");
+    let pool_misses = scrape("tsc_context_pool_misses_total");
+    let hot_sent = hot_counter.load(Ordering::Relaxed);
+    let cold_sent = cold_counter.load(Ordering::Relaxed);
+    // Cold keys are unique, so every cold backend solve is a miss; the
+    // remaining misses are hot-key cold starts (and evictions).
+    let hot_misses = (pool_misses - cold_sent as f64).max(0.0);
+    let hot_hit_rate = if pool_hits + hot_misses > 0.0 {
+        pool_hits / (pool_hits + hot_misses)
+    } else {
+        0.0
+    };
+
+    Phase {
+        pool_cap,
+        completed,
+        failed,
+        wall_seconds,
+        throughput_rps: completed as f64 / wall_seconds.max(1e-9),
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        hot_sent,
+        cold_sent,
+        pool_hits,
+        pool_misses,
+        coalesced: scrape("tsc_coalesced_requests_total"),
+        backend_solves: scrape("tsc_backend_solves_total"),
+        hot_hit_rate,
+        warm_starts: scrape("tsc_context_warm_starts_total"),
+    }
+}
+
+/// One closed-loop client: a keep-alive connection issuing the seeded
+/// hot/cold mix, reconnecting if the server closes on it.
+fn client_loop(
+    addr: SocketAddr,
+    client_id: usize,
+    options: &Options,
+    hot_counter: &AtomicU64,
+    cold_counter: &AtomicU64,
+) -> (u64, u64, Vec<u64>) {
+    let mut rng = Rng64::seed_from_u64(options.seed ^ (client_id as u64).wrapping_mul(0x9E37));
+    let mut connection = HttpConnection::connect(addr);
+    let mut ok = 0u64;
+    let mut bad = 0u64;
+    let mut latencies = Vec::with_capacity(options.requests_per_client);
+
+    for iteration in 0..options.requests_per_client {
+        let body = if rng.next_u64() % 100 < options.hot_pct {
+            hot_counter.fetch_add(1, Ordering::Relaxed);
+            HOT_BODIES[(rng.next_u64() % HOT_BODIES.len() as u64) as usize].to_string()
+        } else {
+            cold_counter.fetch_add(1, Ordering::Relaxed);
+            cold_body((client_id * 10_000 + iteration) as u64)
+        };
+        let started = Instant::now();
+        let result = connection
+            .request("POST", "/v1/solve", body.as_bytes())
+            .or_else(|| {
+                // The server may close keep-alive connections during its
+                // drain; one reconnect attempt per request.
+                connection = HttpConnection::connect(addr);
+                connection.request("POST", "/v1/solve", body.as_bytes())
+            });
+        match result {
+            Some((200, _, _)) => {
+                ok += 1;
+                latencies.push(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+            }
+            Some((status, _, body)) => {
+                bad += 1;
+                eprintln!(
+                    "client {client_id}: status {status}: {}",
+                    String::from_utf8_lossy(&body)
+                );
+            }
+            None => bad += 1,
+        }
+    }
+    (ok, bad, latencies)
+}
+
+fn percentile(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1] as f64
+}
+
+fn read_listen_line(child: &mut Child) -> SocketAddr {
+    let stdout = child.stdout.take().expect("child stdout piped");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read listen line");
+    // Keep draining the child's stdout in the background so it can never
+    // block on a full pipe.
+    thread::spawn(move || {
+        let mut sink = String::new();
+        while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
+            sink.clear();
+        }
+    });
+    line.trim()
+        .strip_prefix("tsc-serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected server banner: {line:?}"))
+        .parse()
+        .expect("parse server address")
+}
+
+/// A minimal keep-alive HTTP/1.1 client connection (std-only, like
+/// everything else here).
+struct HttpConnection {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl HttpConnection {
+    fn connect(addr: SocketAddr) -> HttpConnection {
+        let stream = TcpStream::connect(addr).expect("connect to tsc-serve");
+        stream
+            .set_read_timeout(Some(Duration::from_millis(200)))
+            .expect("read timeout");
+        // The request head and body go out as two small writes; without
+        // TCP_NODELAY, Nagle + delayed ACK stalls each request ~40ms.
+        stream.set_nodelay(true).expect("nodelay");
+        HttpConnection {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &[u8]) -> Option<(u16, String, Vec<u8>)> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes()).ok()?;
+        self.stream.write_all(body).ok()?;
+        self.read_response(Duration::from_secs(300))
+    }
+
+    fn read_response(&mut self, deadline: Duration) -> Option<(u16, String, Vec<u8>)> {
+        let started = Instant::now();
+        let mut chunk = [0u8; 8192];
+        loop {
+            if let Some((status, headers, payload, consumed)) = parse_response(&self.buf) {
+                self.buf.drain(..consumed);
+                return Some((status, headers, payload));
+            }
+            if started.elapsed() > deadline {
+                return None;
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return None,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+fn parse_response(buf: &[u8]) -> Option<(u16, String, Vec<u8>, usize)> {
+    let head_end = buf.windows(4).position(|w| w == b"\r\n\r\n")? + 4;
+    let head = std::str::from_utf8(&buf[..head_end - 4]).ok()?;
+    let status: u16 = head.split(' ').nth(1)?.parse().ok()?;
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            l.to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::trim)
+                .map(String::from)
+        })
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let total = head_end + content_length;
+    if buf.len() < total {
+        return None;
+    }
+    Some((
+        status,
+        head.to_string(),
+        buf[head_end..total].to_vec(),
+        total,
+    ))
+}
+
+/// One-shot request on a fresh connection.
+fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> Option<(u16, String, Vec<u8>)> {
+    HttpConnection::connect(addr).request(method, path, body)
+}

@@ -1,11 +1,14 @@
-//! Minimal JSON emission for machine-readable bench records.
+//! Minimal JSON value tree: emission *and* parsing, no serde.
 //!
-//! The hermetic build has no serde, so the few JSON artifacts the bench
-//! targets produce (`BENCH_SOLVER.json`) are written through this
-//! ~100-line value tree instead. Object keys always serialize sorted so
-//! re-blessing a golden snapshot (`tsc-verify`) yields a deterministic
-//! diff regardless of how the record was assembled; `tsc-verify::golden`
-//! carries the matching minimal parser.
+//! The hermetic build has no serde, so every JSON artifact and wire
+//! body in the workspace (`BENCH_SOLVER.json`, `BENCH_SERVE.json`, the
+//! `tsc-verify` golden snapshots, the `tsc-serve` request/response
+//! dialect) goes through this value tree instead. Object keys always
+//! serialize sorted so re-blessing a golden snapshot yields a
+//! deterministic diff regardless of how the record was assembled, and
+//! [`parse`] is the single recursive-descent counterpart shared by the
+//! golden harness, the solve service and the load generator
+//! (`tsc-verify` re-exports it for backward compatibility).
 
 use std::fmt::Write as _;
 
@@ -47,6 +50,65 @@ impl Json {
             other => panic!("field() on non-object {other:?}"),
         }
         self
+    }
+
+    /// Looks a field up in an object (first match; the emitter never
+    /// produces duplicate keys). `None` for missing keys and for
+    /// non-object values.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Self::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Self::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if this is a number with an
+    /// exact integral representation.
+    #[must_use]
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Self::Num(x) if x.fract().abs() < f64::EPSILON && *x >= 0.0 && *x < 1e15 => {
+                Some(*x as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Self::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Self::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Self::Array(items) => Some(items),
+            _ => None,
+        }
     }
 
     /// Serializes with two-space indentation and a trailing newline.
@@ -125,6 +187,184 @@ fn write_escaped(out: &mut String, s: &str) {
         }
     }
     out.push('"');
+}
+
+/// Parses a JSON document into a [`Json`] tree (all of JSON except
+/// `\u` surrogate pairs, which the emitter never produces).
+///
+/// This is the single parser behind the golden-snapshot harness
+/// (`tsc-verify`), the solve service (`tsc-serve`) and the load
+/// generator — strictly bounded by its input slice, allocation-sane,
+/// and panic-free on arbitrary bytes.
+///
+/// # Errors
+///
+/// Returns a position-annotated message on malformed input.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let mut depth = 0usize;
+    let value = parse_value(bytes, &mut pos, &mut depth)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+/// Nesting cap for [`parse`]: deeper documents are rejected rather than
+/// risking recursion-driven stack exhaustion on adversarial input (the
+/// service feeds network bytes straight into this parser).
+const MAX_DEPTH: usize = 64;
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if b.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {pos}", c as char))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize, depth: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    if *depth >= MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"));
+    }
+    match b.get(*pos) {
+        Some(b'n') => parse_literal(b, pos, "null", Json::Null),
+        Some(b't') => parse_literal(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(b, pos, "false", Json::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            *depth += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                *depth -= 1;
+                return Ok(Json::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos, depth)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        *depth -= 1;
+                        return Ok(Json::Array(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            *depth += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                *depth -= 1;
+                return Ok(Json::Object(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                fields.push((key, parse_value(b, pos, depth)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        *depth -= 1;
+                        return Ok(Json::Object(fields));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        _ => Err(format!("unexpected input at byte {pos}")),
+    }
+}
+
+fn parse_literal(b: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    core::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|x| x.is_finite())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| core::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .and_then(char::from_u32)
+                            .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
+                        out.push(hex);
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Multi-byte UTF-8 passes through unchanged; find the
+                // char boundary via the str view.
+                let rest = core::str::from_utf8(&b[*pos..])
+                    .map_err(|_| format!("invalid UTF-8 at byte {pos}"))?;
+                let c = rest.chars().next().ok_or("empty string tail")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
 }
 
 impl From<bool> for Json {
@@ -219,5 +459,58 @@ mod tests {
         let text = doc.pretty();
         assert!(text.contains("\"a\": []"));
         assert!(text.contains("\"o\": {}"));
+    }
+
+    #[test]
+    fn parse_round_trips_emitter_output() {
+        let doc = Json::object()
+            .field("temp_c", 117.25)
+            .field("count", 42usize)
+            .field("name", "scaffolding \"q\"\n")
+            .field("ok", true)
+            .field(
+                "nested",
+                Json::object().field("xs", vec![Json::Num(1.0), Json::Null]),
+            );
+        let parsed = parse(&doc.pretty()).expect("parses");
+        // The emitter sorts keys, so compare via a second emission.
+        assert_eq!(parsed.pretty(), doc.pretty());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("1e999").is_err(), "non-finite numbers rejected");
+    }
+
+    #[test]
+    fn parse_caps_nesting_depth() {
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse(&deep).is_err(), "100 levels exceed the cap");
+        let fine = "[".repeat(40) + &"]".repeat(40);
+        assert!(parse(&fine).is_ok(), "40 levels are fine");
+    }
+
+    #[test]
+    fn accessors_navigate_parsed_trees() {
+        let doc = parse(r#"{"a": 3, "b": "x", "c": true, "d": [1, 2], "e": 2.5}"#).expect("parses");
+        assert_eq!(doc.get("a").and_then(Json::as_usize), Some(3));
+        assert_eq!(doc.get("a").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(doc.get("b").and_then(Json::as_str), Some("x"));
+        assert_eq!(doc.get("c").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            doc.get("d").and_then(Json::as_array).map(<[Json]>::len),
+            Some(2)
+        );
+        assert_eq!(
+            doc.get("e").and_then(Json::as_usize),
+            None,
+            "2.5 is not integral"
+        );
+        assert_eq!(doc.get("missing"), None);
+        assert_eq!(Json::Null.get("a"), None);
     }
 }

@@ -15,6 +15,7 @@
 use std::fmt::Display;
 
 pub mod json;
+pub mod prom;
 pub mod timing;
 
 /// Prints a section banner.

@@ -1,0 +1,148 @@
+//! Prometheus text-exposition utilities (hermetic, no client library).
+//!
+//! `tsc-serve` renders its `/metrics` endpoint in the Prometheus text
+//! format; this module holds the consumer side shared by the serve test
+//! suites and the load generator: [`validate_exposition`] checks the
+//! format is structurally sound, and [`sample_value`] scrapes one sample
+//! by exact series name.  Living in `tsc-bench` (not `tsc-serve`) keeps
+//! the dependency direction acyclic — the server depends on the bench
+//! crate for its JSON dialect, and the load generator depends only on
+//! this crate.
+
+/// Minimal validator for the Prometheus text exposition format.
+///
+/// Checks that every non-comment line is `name{labels} value` or
+/// `name value` with a parseable float value and balanced, quoted labels,
+/// and that every `# TYPE` names a metric family that then appears.
+///
+/// # Errors
+///
+/// Returns a line-annotated description of the first violation.
+pub fn validate_exposition(text: &str) -> Result<(), String> {
+    let mut typed: Vec<(String, bool)> = Vec::new(); // (metric family, seen a sample)
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let family = parts
+                .next()
+                .ok_or_else(|| format!("line {n}: TYPE without metric name"))?;
+            let kind = parts
+                .next()
+                .ok_or_else(|| format!("line {n}: TYPE without kind"))?;
+            if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                return Err(format!("line {n}: unknown TYPE kind {kind:?}"));
+            }
+            typed.push((family.to_string(), false));
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+
+        let (name_and_labels, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {n}: no space before value"))?;
+        if value.parse::<f64>().is_err() {
+            return Err(format!("line {n}: unparseable value {value:?}"));
+        }
+
+        let name = match name_and_labels.split_once('{') {
+            Some((name, labels)) => {
+                let labels = labels
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {n}: unbalanced label braces"))?;
+                for pair in labels.split(',').filter(|p| !p.is_empty()) {
+                    let (_, v) = pair
+                        .split_once('=')
+                        .ok_or_else(|| format!("line {n}: label without '='"))?;
+                    if !(v.starts_with('"') && v.ends_with('"') && v.len() >= 2) {
+                        return Err(format!("line {n}: unquoted label value {v:?}"));
+                    }
+                }
+                name
+            }
+            None => name_and_labels,
+        };
+        if name.is_empty()
+            || !name
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b':')
+        {
+            return Err(format!("line {n}: invalid metric name {name:?}"));
+        }
+        for (family, seen) in typed.iter_mut() {
+            if name == family
+                || name
+                    .strip_prefix(family.as_str())
+                    .is_some_and(|suffix| ["_bucket", "_sum", "_count"].contains(&suffix))
+            {
+                *seen = true;
+            }
+        }
+    }
+    for (family, seen) in typed {
+        if !seen {
+            return Err(format!("TYPE declared for {family} but no samples emitted"));
+        }
+    }
+    Ok(())
+}
+
+/// Scrape the value of the sample whose full series name (including any
+/// label set, e.g. `tsc_requests_total{endpoint="solve",status="200"}`)
+/// equals `series`.  `None` when the series is absent.
+#[must_use]
+pub fn sample_value(text: &str, series: &str) -> Option<f64> {
+    text.lines().find_map(|line| {
+        let (name, value) = line.rsplit_once(' ')?;
+        if name == series {
+            value.parse().ok()
+        } else {
+            None
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validator_accepts_well_formed_expositions() {
+        let text = "\
+# HELP x_total Things.
+# TYPE x_total counter
+x_total{kind=\"a\"} 3
+x_total{kind=\"b\"} 4
+# TYPE y_seconds histogram
+y_seconds_bucket{le=\"+Inf\"} 2
+y_seconds_sum 0.5
+y_seconds_count 2
+plain_gauge 7
+";
+        validate_exposition(text).expect("valid exposition");
+    }
+
+    #[test]
+    fn validator_rejects_bad_lines() {
+        assert!(validate_exposition("metric{a=b} 1\n").is_err()); // unquoted label
+        assert!(validate_exposition("metric 1 2\n").is_err()); // space in metric name
+        assert!(validate_exposition("metric{x=\"1\" 2\n").is_err()); // unbalanced braces
+        assert!(validate_exposition("metric nope\n").is_err()); // non-numeric value
+        assert!(validate_exposition("# TYPE ghost counter\n").is_err()); // no samples
+        assert!(validate_exposition("ok_metric 1\n").is_ok());
+    }
+
+    #[test]
+    fn sample_value_scrapes_by_exact_series() {
+        let text = "a_total 3\na_total{k=\"x\"} 5\nb 1.25\n";
+        assert_eq!(sample_value(text, "a_total"), Some(3.0));
+        assert_eq!(sample_value(text, "a_total{k=\"x\"}"), Some(5.0));
+        assert_eq!(sample_value(text, "b"), Some(1.25));
+        assert_eq!(sample_value(text, "missing"), None);
+    }
+}

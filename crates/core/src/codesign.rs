@@ -277,12 +277,28 @@ pub fn dielectric_sweep(
     // One context for the whole sweep: the baseline is dielectric-
     // independent, so it is solved once, and every sweep point
     // warm-starts from its predecessor's field.
-    let mut ctx = SolveContext::new();
+    dielectric_sweep_with(cfg, pillar_side, ks, &mut SolveContext::new())
+}
+
+/// [`dielectric_sweep`] against a caller-owned [`SolveContext`]:
+/// repeated sweeps over the same toy geometry (the solve service, Fig.
+/// 12b refinements) reuse the warm field and cached hierarchy across
+/// whole sweep invocations.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn dielectric_sweep_with(
+    cfg: &ToyConfig,
+    pillar_side: Length,
+    ks: &[f64],
+    ctx: &mut SolveContext,
+) -> Result<Vec<(f64, Ratio)>, SolveError> {
     let base = solve_toy_with(
         cfg,
         crate::beol::upper_ultra_low_k(),
         Arrangement::None,
-        &mut ctx,
+        ctx,
     )?;
     let mut out = Vec::with_capacity(ks.len());
     for &k in ks {
@@ -296,7 +312,7 @@ pub fn dielectric_sweep(
             cfg,
             upper,
             Arrangement::SingleCentral { side: pillar_side },
-            &mut ctx,
+            ctx,
         )?;
         out.push((
             k,

@@ -279,24 +279,38 @@ pub fn grid_place(
 ///
 /// Propagates solver failures.
 pub fn place(design: &Design, config: &PlacementConfig) -> Result<Option<PillarPlan>, SolveError> {
+    // One context for the whole run: every density probe and every
+    // escalation verify solves the same mesh geometry, so warm starts
+    // carry across sources and attempts.
+    place_with(design, config, &mut SolveContext::new())
+}
+
+/// [`place`] against a caller-owned [`SolveContext`]: long-running
+/// callers (the solve service, repeated placement sweeps) keep the
+/// assembled operator, multigrid hierarchy and warm-start field alive
+/// across whole placement runs, not just within one.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn place_with(
+    design: &Design,
+    config: &PlacementConfig,
+    ctx: &mut SolveContext,
+) -> Result<Option<PillarPlan>, SolveError> {
     let macros: Vec<Rect> = design
         .units
         .iter()
         .filter(|u| u.is_macro)
         .map(|u| u.rect)
         .collect();
-    // One context for the whole run: every density probe and every
-    // escalation verify solves the same mesh geometry, so warm starts
-    // carry across sources and attempts.
-    let mut ctx = SolveContext::new();
     // Step 1: per-source minimum uniform-cover densities.
     let mut source_densities = Vec::new();
     for source in design.heat_sources(Ratio::ONE) {
         if source.is_macro {
             continue;
         }
-        let Some(density) = minimum_source_density_with(design, &source.rect, config, &mut ctx)?
-        else {
+        let Some(density) = minimum_source_density_with(design, &source.rect, config, ctx)? else {
             return Ok(None);
         };
         if density.fraction() > 0.0 {
@@ -322,7 +336,7 @@ pub fn place(design: &Design, config: &PlacementConfig) -> Result<Option<PillarP
         let verify = StackConfig::uniform(config.tiers, config.beol, config.heatsink)
             .with_lateral_cells(config.lateral_cells)
             .with_pillar_map(density_map.clone());
-        let tj = solve_with(design, &verify, &mut ctx)?.junction_temperature();
+        let tj = solve_with(design, &verify, ctx)?.junction_temperature();
         if tj <= config.t_target || source_densities.is_empty() {
             let area_penalty = Ratio::from_fraction(
                 positions.len() as f64 * config.pillar.area().square_meters()

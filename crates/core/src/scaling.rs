@@ -1,6 +1,6 @@
 //! Tier-scaling searches and penalty sweeps (Figs. 9–11, Table I).
 
-use crate::flows::{run_flow, run_flow_with, CoolingStrategy, FlowConfig};
+use crate::flows::{run_flow_with, CoolingStrategy, FlowConfig};
 use tsc_designs::Design;
 use tsc_thermal::{SolveContext, SolveError};
 use tsc_units::Ratio;
@@ -27,13 +27,30 @@ pub fn tier_curve(
     base: &FlowConfig,
     max_tiers: usize,
 ) -> Result<Vec<ScalingPoint>, SolveError> {
+    tier_curve_with(design, base, max_tiers, &mut SolveContext::new())
+}
+
+/// [`tier_curve`] against a caller-owned [`SolveContext`]. Each tier
+/// count changes the mesh (cold assembly), but long-running callers
+/// sweeping the same curve repeatedly still skip the final re-assembly
+/// and keep the warm field when cell counts line up.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn tier_curve_with(
+    design: &Design,
+    base: &FlowConfig,
+    max_tiers: usize,
+    ctx: &mut SolveContext,
+) -> Result<Vec<ScalingPoint>, SolveError> {
     let mut out = Vec::with_capacity(max_tiers);
     for n in 1..=max_tiers {
         let cfg = FlowConfig {
             tiers: n,
             ..base.clone()
         };
-        let r = run_flow(design, &cfg)?;
+        let r = run_flow_with(design, &cfg, ctx)?;
         out.push(ScalingPoint {
             tiers: n,
             junction_celsius: r.junction_temperature.celsius(),
@@ -51,13 +68,27 @@ pub fn tier_curve(
 ///
 /// Propagates solver failures.
 pub fn max_tiers(design: &Design, base: &FlowConfig, cap: usize) -> Result<usize, SolveError> {
+    max_tiers_with(design, base, cap, &mut SolveContext::new())
+}
+
+/// [`max_tiers`] against a caller-owned [`SolveContext`].
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn max_tiers_with(
+    design: &Design,
+    base: &FlowConfig,
+    cap: usize,
+    ctx: &mut SolveContext,
+) -> Result<usize, SolveError> {
     let mut best = 0;
     for n in 1..=cap {
         let cfg = FlowConfig {
             tiers: n,
             ..base.clone()
         };
-        if run_flow(design, &cfg)?.meets_limit {
+        if run_flow_with(design, &cfg, ctx)?.meets_limit {
             best = n;
         } else {
             break;
@@ -92,6 +123,9 @@ pub fn penalty_map(
     lateral_cells: usize,
 ) -> Result<Vec<PenaltyCell>, SolveError> {
     let mut out = Vec::with_capacity(area_percents.len() * delay_percents.len());
+    // One context across the whole grid: neighbouring budget cells visit
+    // the same tier counts, so warm fields and cached operators carry.
+    let mut ctx = SolveContext::new();
     for &a in area_percents {
         for &d in delay_percents {
             let base = FlowConfig {
@@ -101,7 +135,7 @@ pub fn penalty_map(
                 lateral_cells,
                 ..FlowConfig::default()
             };
-            let n = max_tiers(design, &base, cap)?;
+            let n = max_tiers_with(design, &base, cap, &mut ctx)?;
             out.push(PenaltyCell {
                 area_percent: a,
                 delay_percent: d,
@@ -131,7 +165,34 @@ pub fn min_area_for_tiers(
 ) -> Result<Option<Ratio>, SolveError> {
     // The mesh is fixed (tier count and resolution never change inside
     // the bisection), so one context warm-starts every probe.
-    let mut ctx = SolveContext::new();
+    min_area_for_tiers_with(
+        design,
+        strategy,
+        tiers,
+        delay_budget,
+        max_area,
+        tol_percent,
+        lateral_cells,
+        &mut SolveContext::new(),
+    )
+}
+
+/// [`min_area_for_tiers`] against a caller-owned [`SolveContext`].
+///
+/// # Errors
+///
+/// Propagates solver failures.
+#[allow(clippy::too_many_arguments)]
+pub fn min_area_for_tiers_with(
+    design: &Design,
+    strategy: CoolingStrategy,
+    tiers: usize,
+    delay_budget: Ratio,
+    max_area: Ratio,
+    tol_percent: f64,
+    lateral_cells: usize,
+    ctx: &mut SolveContext,
+) -> Result<Option<Ratio>, SolveError> {
     let mut feasible = |area: f64| -> Result<bool, SolveError> {
         let cfg = FlowConfig {
             strategy,
@@ -141,7 +202,7 @@ pub fn min_area_for_tiers(
             lateral_cells,
             ..FlowConfig::default()
         };
-        Ok(run_flow_with(design, &cfg, &mut ctx)?.meets_limit)
+        Ok(run_flow_with(design, &cfg, ctx)?.meets_limit)
     };
     let hi0 = max_area.percent();
     if !feasible(hi0)? {

@@ -1,0 +1,686 @@
+//! Request/response model for the solve service.
+//!
+//! Bodies are the `tsc_bench::json` dialect.  Each heavy endpoint has a
+//! typed request struct parsed from JSON with defaults and range
+//! validation, a *canonical* JSON form (defaults applied, keys sorted by
+//! the emitter) whose FNV-1a hash is the coalescing key — two requests
+//! that differ only in field order or omitted defaults coalesce onto the
+//! same in-flight solve — and an executor that runs the solve through a
+//! pooled [`SolveContext`] and renders the response body.
+
+use tsc_bench::json::Json;
+use tsc_core::beol::BeolProperties;
+use tsc_core::flows::{run_flow_with, CoolingStrategy, FlowConfig};
+use tsc_core::pillars::{self, PlacementConfig};
+use tsc_core::stack::{self, StackConfig, StackSolution};
+use tsc_designs::{fujitsu, gemmini, rocket, Design};
+use tsc_thermal::{operator_fingerprint, ContextStats, Heatsink, SolveContext};
+use tsc_units::{Ratio, Temperature};
+
+use crate::metrics::Metrics;
+use crate::pool::{Checkout, ContextPool, ServicePools};
+
+/// FNV-1a over bytes — the service's only hash, used for coalesce and
+/// pool keys.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// The built-in design registry served by `GET /v1/designs` and referenced
+/// by name in requests.
+pub fn registry() -> &'static [(&'static str, Design)] {
+    use std::sync::OnceLock;
+    static REGISTRY: OnceLock<Vec<(&'static str, Design)>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        vec![
+            ("gemmini", gemmini::design()),
+            ("gemmini-memory", gemmini::memory_tier()),
+            ("rocket", rocket::design()),
+            ("fujitsu", fujitsu::design()),
+        ]
+    })
+}
+
+fn lookup_design(name: &str) -> Result<&'static Design, String> {
+    registry()
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, d)| d)
+        .ok_or_else(|| format!("unknown design {name:?}; see GET /v1/designs"))
+}
+
+/// The `GET /v1/designs` body (computed once — the registry is static).
+pub fn designs_body() -> String {
+    let items: Vec<Json> = registry()
+        .iter()
+        .map(|(name, design)| {
+            Json::object()
+                .field("name", *name)
+                .field("units", design.units.len())
+                .field("die_area_mm2", design.die_area().get() * 1e6)
+                .field("total_power_w", design.total_power(Ratio::ONE).get())
+        })
+        .collect();
+    Json::object().field("designs", items).pretty()
+}
+
+fn parse_heatsink(name: &str) -> Result<Heatsink, String> {
+    match name {
+        "two-phase" => Ok(Heatsink::two_phase()),
+        "microfluidic" => Ok(Heatsink::microfluidic()),
+        "forced-air" => Ok(Heatsink::forced_air()),
+        other => Err(format!(
+            "unknown heatsink {other:?} (two-phase | microfluidic | forced-air)"
+        )),
+    }
+}
+
+fn parse_strategy(name: &str) -> Result<CoolingStrategy, String> {
+    match name {
+        "scaffolding" => Ok(CoolingStrategy::Scaffolding),
+        "vertical-only" => Ok(CoolingStrategy::VerticalOnly),
+        "conventional" => Ok(CoolingStrategy::ConventionalDummyVias),
+        other => Err(format!(
+            "unknown strategy {other:?} (scaffolding | vertical-only | conventional)"
+        )),
+    }
+}
+
+fn strategy_name(strategy: CoolingStrategy) -> &'static str {
+    match strategy {
+        CoolingStrategy::Scaffolding => "scaffolding",
+        CoolingStrategy::VerticalOnly => "vertical-only",
+        CoolingStrategy::ConventionalDummyVias => "conventional",
+    }
+}
+
+fn heatsink_name(hs: &Heatsink) -> &'static str {
+    // Reverse lookup by the convective coefficient — the three presets
+    // are the only values the parser admits.
+    let h = hs.h.get();
+    if (h - Heatsink::two_phase().h.get()).abs() < 1e-9 {
+        "two-phase"
+    } else if (h - Heatsink::microfluidic().h.get()).abs() < 1e-9 {
+        "microfluidic"
+    } else {
+        "forced-air"
+    }
+}
+
+/// Pull an integer field with range validation.
+fn int_field(
+    body: &Json,
+    key: &str,
+    default: usize,
+    lo: usize,
+    hi: usize,
+) -> Result<usize, String> {
+    match body.get(key) {
+        None => Ok(default),
+        Some(v) => {
+            let n = v
+                .as_usize()
+                .ok_or_else(|| format!("{key} must be a non-negative integer"))?;
+            if n < lo || n > hi {
+                return Err(format!("{key} must be in [{lo}, {hi}], got {n}"));
+            }
+            Ok(n)
+        }
+    }
+}
+
+/// Pull a float field (percent-style) with range validation.
+fn num_field(body: &Json, key: &str, default: f64, lo: f64, hi: f64) -> Result<f64, String> {
+    match body.get(key) {
+        None => Ok(default),
+        Some(v) => {
+            let x = v
+                .as_f64()
+                .ok_or_else(|| format!("{key} must be a number"))?;
+            if !x.is_finite() || x < lo || x > hi {
+                return Err(format!("{key} must be in [{lo}, {hi}]"));
+            }
+            Ok(x)
+        }
+    }
+}
+
+fn str_field<'a>(body: &'a Json, key: &str, default: &'a str) -> Result<&'a str, String> {
+    match body.get(key) {
+        None => Ok(default),
+        Some(v) => v.as_str().ok_or_else(|| format!("{key} must be a string")),
+    }
+}
+
+fn design_field(body: &Json) -> Result<String, String> {
+    body.get("design")
+        .ok_or_else(|| "missing required field \"design\"".to_string())?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| "design must be a string".to_string())
+}
+
+/// `POST /v1/solve` — one stack solve at a fixed configuration.
+#[derive(Debug, Clone)]
+pub struct SolveRequest {
+    pub design: String,
+    pub tiers: usize,
+    pub lateral_cells: usize,
+    pub utilization_percent: f64,
+    pub strategy: CoolingStrategy,
+    pub heatsink: Heatsink,
+    pub area_budget_percent: f64,
+}
+
+impl SolveRequest {
+    pub fn parse(body: &Json) -> Result<Self, String> {
+        let req = SolveRequest {
+            design: design_field(body)?,
+            tiers: int_field(body, "tiers", 8, 1, 64)?,
+            lateral_cells: int_field(body, "lateral_cells", 12, 4, 64)?,
+            utilization_percent: num_field(body, "utilization_percent", 100.0, 1.0, 100.0)?,
+            strategy: parse_strategy(str_field(body, "strategy", "scaffolding")?)?,
+            heatsink: parse_heatsink(str_field(body, "heatsink", "two-phase")?)?,
+            area_budget_percent: num_field(body, "area_budget_percent", 10.0, 0.0, 30.0)?,
+        };
+        lookup_design(&req.design)?;
+        Ok(req)
+    }
+
+    /// Canonical JSON with defaults applied — the coalescing identity.
+    pub fn canonical(&self) -> Json {
+        Json::object()
+            .field("design", self.design.as_str())
+            .field("tiers", self.tiers)
+            .field("lateral_cells", self.lateral_cells)
+            .field("utilization_percent", self.utilization_percent)
+            .field("strategy", strategy_name(self.strategy))
+            .field("heatsink", heatsink_name(&self.heatsink))
+            .field("area_budget_percent", self.area_budget_percent)
+    }
+
+    fn stack_config(&self, design: &Design) -> StackConfig {
+        let spend = Ratio::from_percent(self.area_budget_percent);
+        let (beol, pillar_map) = match self.strategy {
+            CoolingStrategy::Scaffolding => (
+                BeolProperties::scaffolded(),
+                Some(pillars::uniform_routable_map(
+                    design,
+                    spend,
+                    self.lateral_cells,
+                )),
+            ),
+            CoolingStrategy::VerticalOnly => (
+                BeolProperties::conventional(),
+                Some(pillars::uniform_routable_map(
+                    design,
+                    spend,
+                    self.lateral_cells,
+                )),
+            ),
+            CoolingStrategy::ConventionalDummyVias => {
+                (BeolProperties::with_dummy_fill(spend), None)
+            }
+        };
+        let utilization = Ratio::from_percent(self.utilization_percent);
+        let mut config = StackConfig::uniform(self.tiers, beol, self.heatsink)
+            .with_lateral_cells(self.lateral_cells)
+            .with_utilizations(vec![utilization; self.tiers]);
+        if let Some(map) = pillar_map {
+            config = config.with_pillar_map(map);
+        }
+        config
+    }
+}
+
+/// `POST /v1/flow` — a full co-design flow run ([`run_flow_with`]).
+#[derive(Debug, Clone)]
+pub struct FlowRequest {
+    pub design: String,
+    pub config: FlowConfig,
+}
+
+impl FlowRequest {
+    pub fn parse(body: &Json) -> Result<Self, String> {
+        let defaults = FlowConfig::default();
+        let config = FlowConfig {
+            strategy: parse_strategy(str_field(body, "strategy", "scaffolding")?)?,
+            tiers: int_field(body, "tiers", defaults.tiers, 1, 64)?,
+            heatsink: parse_heatsink(str_field(body, "heatsink", "two-phase")?)?,
+            t_limit: Temperature::from_celsius(num_field(
+                body,
+                "t_limit_celsius",
+                defaults.t_limit.celsius(),
+                50.0,
+                200.0,
+            )?),
+            area_budget: Ratio::from_percent(num_field(
+                body,
+                "area_budget_percent",
+                defaults.area_budget.percent(),
+                0.0,
+                30.0,
+            )?),
+            delay_budget: Ratio::from_percent(num_field(
+                body,
+                "delay_budget_percent",
+                defaults.delay_budget.percent(),
+                0.0,
+                20.0,
+            )?),
+            utilization: Ratio::from_percent(num_field(
+                body,
+                "utilization_percent",
+                100.0,
+                1.0,
+                100.0,
+            )?),
+            lateral_cells: int_field(body, "lateral_cells", defaults.lateral_cells, 4, 64)?,
+        };
+        let req = FlowRequest {
+            design: design_field(body)?,
+            config,
+        };
+        lookup_design(&req.design)?;
+        Ok(req)
+    }
+
+    pub fn canonical(&self) -> Json {
+        Json::object()
+            .field("design", self.design.as_str())
+            .field("strategy", strategy_name(self.config.strategy))
+            .field("tiers", self.config.tiers)
+            .field("heatsink", heatsink_name(&self.config.heatsink))
+            .field("t_limit_celsius", self.config.t_limit.celsius())
+            .field("area_budget_percent", self.config.area_budget.percent())
+            .field("delay_budget_percent", self.config.delay_budget.percent())
+            .field("utilization_percent", self.config.utilization.percent())
+            .field("lateral_cells", self.config.lateral_cells)
+    }
+}
+
+/// `POST /v1/pillars` — a pillar placement run ([`pillars::place_with`]).
+#[derive(Debug, Clone)]
+pub struct PillarsRequest {
+    pub design: String,
+    pub config: PlacementConfig,
+}
+
+impl PillarsRequest {
+    pub fn parse(body: &Json) -> Result<Self, String> {
+        let mut config = PlacementConfig::paper_default();
+        config.tiers = int_field(body, "tiers", config.tiers, 1, 64)?;
+        config.lateral_cells = int_field(body, "lateral_cells", config.lateral_cells, 4, 64)?;
+        config.t_target = Temperature::from_celsius(num_field(
+            body,
+            "t_target_celsius",
+            config.t_target.celsius(),
+            50.0,
+            200.0,
+        )?);
+        config.max_density = Ratio::from_percent(num_field(
+            body,
+            "max_density_percent",
+            config.max_density.percent(),
+            1.0,
+            100.0,
+        )?);
+        config.heatsink = parse_heatsink(str_field(body, "heatsink", "two-phase")?)?;
+        let req = PillarsRequest {
+            design: design_field(body)?,
+            config,
+        };
+        lookup_design(&req.design)?;
+        Ok(req)
+    }
+
+    pub fn canonical(&self) -> Json {
+        Json::object()
+            .field("design", self.design.as_str())
+            .field("tiers", self.config.tiers)
+            .field("lateral_cells", self.config.lateral_cells)
+            .field("t_target_celsius", self.config.t_target.celsius())
+            .field("max_density_percent", self.config.max_density.percent())
+            .field("heatsink", heatsink_name(&self.config.heatsink))
+    }
+}
+
+/// A parsed heavy-endpoint request, ready for a worker.
+#[derive(Debug, Clone)]
+pub enum ApiJob {
+    Solve(SolveRequest),
+    Flow(FlowRequest),
+    Pillars(PillarsRequest),
+}
+
+impl ApiJob {
+    /// Parse the body for `path`, or `None` when `path` is not a heavy
+    /// endpoint.
+    pub fn parse(path: &str, body: &[u8]) -> Option<Result<ApiJob, String>> {
+        let build = |f: fn(&Json) -> Result<ApiJob, String>| -> Result<ApiJob, String> {
+            let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+            let json =
+                tsc_bench::json::parse(text).map_err(|e| format!("invalid JSON body: {e}"))?;
+            f(&json)
+        };
+        match path {
+            "/v1/solve" => Some(build(|j| SolveRequest::parse(j).map(ApiJob::Solve))),
+            "/v1/flow" => Some(build(|j| FlowRequest::parse(j).map(ApiJob::Flow))),
+            "/v1/pillars" => Some(build(|j| PillarsRequest::parse(j).map(ApiJob::Pillars))),
+            _ => None,
+        }
+    }
+
+    /// The metrics endpoint label.
+    pub fn endpoint(&self) -> &'static str {
+        match self {
+            ApiJob::Solve(_) => "solve",
+            ApiJob::Flow(_) => "flow",
+            ApiJob::Pillars(_) => "pillars",
+        }
+    }
+
+    /// The coalescing key: FNV-1a of endpoint + canonical JSON.  Requests
+    /// that differ only in key order or omitted defaults share a key.
+    pub fn coalesce_key(&self) -> u64 {
+        let canonical = match self {
+            ApiJob::Solve(r) => r.canonical(),
+            ApiJob::Flow(r) => r.canonical(),
+            ApiJob::Pillars(r) => r.canonical(),
+        };
+        fnv1a(format!("{}\n{}", self.endpoint(), canonical.pretty()).as_bytes())
+    }
+
+    /// Execute against the service pools, recording pool and solver
+    /// metrics.
+    ///
+    /// # Errors
+    ///
+    /// `(status, message)` — solver failures map to 500.
+    pub fn execute(
+        &self,
+        pools: &ServicePools,
+        metrics: &Metrics,
+    ) -> Result<String, (u16, String)> {
+        let pool = &pools.contexts;
+        match self {
+            ApiJob::Solve(req) => {
+                // lookup_design was validated at parse time; a racing
+                // registry change is impossible (it is a static).
+                let design = lookup_design(&req.design).map_err(|e| (500, e))?;
+                // The built stack (mesh + assembled problem) costs about
+                // as much as a cold solve, so it is cached too — keyed by
+                // the canonical body, which determines the build exactly.
+                let stack_key = self.coalesce_key();
+                let stack = match pools.stacks.take(stack_key) {
+                    Some(stack) => {
+                        metrics.stack_cache_hits.inc();
+                        stack
+                    }
+                    None => {
+                        metrics.stack_cache_misses.inc();
+                        stack::build(design, &req.stack_config(design))
+                    }
+                };
+                // Pool key is the PR-2 operator fingerprint: geometry-true,
+                // so distinct requests that assemble the same operator
+                // share pooled state.
+                let key = operator_fingerprint(&stack.problem);
+                let result = run_pooled(pool, metrics, key, |ctx| {
+                    let solution = ctx
+                        .solve(&stack.problem, &stack::hot_loop_solver())
+                        .map_err(|e| (500, format!("solve failed: {e}")))?;
+                    let stack_solution = StackSolution {
+                        solution,
+                        layout: stack.layout.clone(),
+                    };
+                    Ok(render_solve(req, &stack_solution, ctx.stats()))
+                });
+                pools.stacks.put(stack_key, stack);
+                result
+            }
+            ApiJob::Flow(req) => {
+                let design = lookup_design(&req.design).map_err(|e| (500, e))?;
+                let key = self.coalesce_key();
+                run_pooled(pool, metrics, key, |ctx| {
+                    let result = run_flow_with(design, &req.config, ctx)
+                        .map_err(|e| (500, format!("flow failed: {e}")))?;
+                    Ok(Json::object()
+                        .field("strategy", strategy_name(result.strategy))
+                        .field("tiers", result.tiers)
+                        .field("junction_celsius", result.junction_temperature.celsius())
+                        .field(
+                            "footprint_penalty_percent",
+                            result.footprint_penalty.percent(),
+                        )
+                        .field("delay_penalty_percent", result.delay_penalty.percent())
+                        .field("pillar_density_percent", result.pillar_density.percent())
+                        .field("fill_slack_percent", result.fill_slack.percent())
+                        .field("meets_limit", result.meets_limit)
+                        .pretty())
+                })
+            }
+            ApiJob::Pillars(req) => {
+                let design = lookup_design(&req.design).map_err(|e| (500, e))?;
+                let key = self.coalesce_key();
+                run_pooled(pool, metrics, key, |ctx| {
+                    let plan = pillars::place_with(design, &req.config, ctx)
+                        .map_err(|e| (500, format!("placement failed: {e}")))?;
+                    Ok(match plan {
+                        Some(plan) => Json::object()
+                            .field("found", true)
+                            .field("pillars", plan.positions.len())
+                            .field("replicas", plan.replicas)
+                            .field("area_penalty_percent", plan.area_penalty.percent())
+                            .pretty(),
+                        None => Json::object()
+                            .field("found", false)
+                            .field("reason", "max_density cannot meet the temperature target")
+                            .pretty(),
+                    })
+                })
+            }
+        }
+    }
+}
+
+/// Check a context out of the pool, run `body`, accumulate the context's
+/// stat deltas into the metrics rollup, and check the context back in.
+fn run_pooled<F>(
+    pool: &ContextPool,
+    metrics: &Metrics,
+    key: u64,
+    body: F,
+) -> Result<String, (u16, String)>
+where
+    F: FnOnce(&mut SolveContext) -> Result<String, (u16, String)>,
+{
+    let (mut ctx, outcome) = pool.checkout(key);
+    match outcome {
+        Checkout::Hit => metrics.pool_hits.inc(),
+        Checkout::Miss => metrics.pool_misses.inc(),
+    }
+    let before = ctx.stats();
+    let result = body(&mut ctx);
+    accumulate_context_delta(metrics, &before, &ctx.stats());
+    metrics.backend_solves_total.inc();
+    // Check the context back in even on failure: the context revalidates
+    // itself, so a failed solve cannot poison later requests.
+    let evicted = pool.checkin(key, ctx);
+    metrics.pool_evictions.add(evicted as u64);
+    result
+}
+
+fn accumulate_context_delta(metrics: &Metrics, before: &ContextStats, after: &ContextStats) {
+    let d = |a: usize, b: usize| (a.saturating_sub(b)) as u64;
+    metrics
+        .solver_iterations
+        .add(d(after.total_iterations, before.total_iterations));
+    metrics
+        .solver_matvecs
+        .add(d(after.total_matvecs, before.total_matvecs));
+    metrics
+        .solver_cycles
+        .add(d(after.total_cycles, before.total_cycles));
+    metrics
+        .ctx_operator_reuses
+        .add(d(after.operator_reuses, before.operator_reuses));
+    metrics
+        .ctx_assemblies
+        .add(d(after.assemblies, before.assemblies));
+    metrics
+        .ctx_hierarchy_builds
+        .add(d(after.hierarchy_builds, before.hierarchy_builds));
+    metrics
+        .ctx_warm_starts
+        .add(d(after.warm_starts, before.warm_starts));
+}
+
+fn render_solve(req: &SolveRequest, solved: &StackSolution, totals: ContextStats) -> String {
+    let profile: Vec<Json> = solved
+        .tier_profile()
+        .iter()
+        .map(|t| Json::from(t.celsius()))
+        .collect();
+    let stats = &solved.solution.stats;
+    Json::object()
+        .field("design", req.design.as_str())
+        .field("tiers", req.tiers)
+        .field("strategy", strategy_name(req.strategy))
+        .field("junction_celsius", solved.junction_temperature().celsius())
+        .field("tier_profile_celsius", profile)
+        .field(
+            "solver",
+            Json::object()
+                .field("iterations", stats.iterations)
+                .field("matvecs", stats.matvecs)
+                .field("cycles", stats.cycles)
+                .field("residual", stats.residual),
+        )
+        .field(
+            "context",
+            Json::object()
+                .field("solves", totals.solves)
+                .field("assemblies", totals.assemblies)
+                .field("operator_reuses", totals.operator_reuses)
+                .field("warm_starts", totals.warm_starts),
+        )
+        .pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_json(text: &str) -> Json {
+        tsc_bench::json::parse(text).expect("test JSON must parse")
+    }
+
+    #[test]
+    fn registry_lists_known_designs() {
+        let names: Vec<&str> = registry().iter().map(|(n, _)| *n).collect();
+        assert!(names.contains(&"gemmini"));
+        assert!(names.contains(&"rocket"));
+        let body = designs_body();
+        let parsed = parse_json(&body);
+        let designs = parsed.get("designs").and_then(Json::as_array).unwrap();
+        assert_eq!(designs.len(), registry().len());
+    }
+
+    #[test]
+    fn solve_request_applies_defaults_and_validates() {
+        let req = SolveRequest::parse(&parse_json(r#"{"design": "gemmini"}"#)).unwrap();
+        assert_eq!(req.tiers, 8);
+        assert_eq!(req.lateral_cells, 12);
+        assert_eq!(req.strategy, CoolingStrategy::Scaffolding);
+
+        for bad in [
+            r#"{}"#,
+            r#"{"design": "nope"}"#,
+            r#"{"design": "gemmini", "tiers": 0}"#,
+            r#"{"design": "gemmini", "tiers": 100}"#,
+            r#"{"design": "gemmini", "tiers": 2.5}"#,
+            r#"{"design": "gemmini", "strategy": "magic"}"#,
+            r#"{"design": "gemmini", "heatsink": "water"}"#,
+            r#"{"design": "gemmini", "utilization_percent": -3}"#,
+        ] {
+            assert!(
+                SolveRequest::parse(&parse_json(bad)).is_err(),
+                "input {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn coalesce_key_ignores_field_order_and_explicit_defaults() {
+        let a = ApiJob::parse("/v1/solve", br#"{"design": "gemmini"}"#)
+            .unwrap()
+            .unwrap();
+        let b = ApiJob::parse(
+            "/v1/solve",
+            br#"{"tiers": 8, "design": "gemmini", "strategy": "scaffolding"}"#,
+        )
+        .unwrap()
+        .unwrap();
+        let c = ApiJob::parse("/v1/solve", br#"{"design": "gemmini", "tiers": 6}"#)
+            .unwrap()
+            .unwrap();
+        assert_eq!(a.coalesce_key(), b.coalesce_key());
+        assert_ne!(a.coalesce_key(), c.coalesce_key());
+        // Same body on a different endpoint must not collide.
+        let flow = ApiJob::parse("/v1/flow", br#"{"design": "gemmini"}"#)
+            .unwrap()
+            .unwrap();
+        assert_ne!(a.coalesce_key(), flow.coalesce_key());
+    }
+
+    #[test]
+    fn unknown_paths_are_not_jobs() {
+        assert!(ApiJob::parse("/v1/nope", b"{}").is_none());
+        assert!(ApiJob::parse("/metrics", b"{}").is_none());
+    }
+
+    #[test]
+    fn execute_solve_returns_parseable_body_and_updates_pool_metrics() {
+        let job = ApiJob::parse(
+            "/v1/solve",
+            br#"{"design": "gemmini-memory", "tiers": 2, "lateral_cells": 6}"#,
+        )
+        .unwrap()
+        .unwrap();
+        let pools = ServicePools::new(4);
+        let metrics = Metrics::default();
+        let body = job.execute(&pools, &metrics).expect("solve should succeed");
+        let parsed = parse_json(&body);
+        let junction = parsed
+            .get("junction_celsius")
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!(junction > 20.0 && junction < 400.0, "junction {junction}");
+        assert_eq!(
+            parsed
+                .get("tier_profile_celsius")
+                .and_then(Json::as_array)
+                .unwrap()
+                .len(),
+            2
+        );
+        assert_eq!(metrics.pool_misses.get(), 1);
+        assert_eq!(metrics.pool_hits.get(), 0);
+        assert_eq!(metrics.stack_cache_misses.get(), 1);
+        assert_eq!(metrics.backend_solves_total.get(), 1);
+        assert!(metrics.ctx_assemblies.get() >= 1);
+
+        // A second identical execute hits both pool levels and reuses the
+        // operator.
+        let _ = job.execute(&pools, &metrics).expect("second solve");
+        assert_eq!(metrics.pool_hits.get(), 1);
+        assert_eq!(metrics.stack_cache_hits.get(), 1);
+        assert!(metrics.ctx_operator_reuses.get() >= 1);
+    }
+}

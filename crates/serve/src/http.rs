@@ -1,0 +1,470 @@
+//! A hand-rolled, strictly bounded HTTP/1.1 parser.
+//!
+//! The service accepts bytes from untrusted sockets, so every dimension of
+//! a request is capped *before* allocation: head size, header count, and
+//! body size.  Parsing is incremental — [`parse_request`] is called on a
+//! growing buffer and reports [`Parsed::Partial`] until a full request is
+//! available, which makes split reads and pipelined requests natural to
+//! handle.  Malformed input maps to a typed [`ParseError`] (and hence a
+//! clean 4xx/5xx), never a panic.
+
+use std::fmt;
+
+/// Hard caps applied while parsing.  Exceeding any cap aborts the parse
+/// with a typed error before the offending data is buffered further.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum size of the request line + headers + blank line, in bytes.
+    pub max_head: usize,
+    /// Maximum number of header lines.
+    pub max_headers: usize,
+    /// Maximum declared `Content-Length`, in bytes.
+    pub max_body: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head: 8 * 1024,
+            max_headers: 64,
+            max_body: 1 << 20,
+        }
+    }
+}
+
+/// A fully parsed request.  Header names are stored lowercased; values are
+/// trimmed of surrounding whitespace.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup (names are stored lowercased).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let want = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == want)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked for the connection to be closed.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .map(|v| v.eq_ignore_ascii_case("close"))
+            .unwrap_or(false)
+    }
+}
+
+/// Outcome of an incremental parse attempt.
+#[derive(Debug)]
+pub enum Parsed {
+    /// A complete request plus the number of buffer bytes it consumed.
+    Complete(Request, usize),
+    /// More bytes are needed.
+    Partial,
+}
+
+/// Typed parse failures; each maps to a specific HTTP status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Structurally invalid request (bad request line, bare LF, bad
+    /// content-length syntax, duplicate content-length) → 400.
+    Malformed(&'static str),
+    /// Head or header-count cap exceeded → 431.
+    HeadTooLarge,
+    /// Declared body exceeds the cap → 413.
+    BodyTooLarge,
+    /// `Transfer-Encoding` is not supported by this server → 501.
+    UnsupportedTransferEncoding,
+}
+
+impl ParseError {
+    /// The HTTP status code this error should be answered with.
+    pub fn status(&self) -> u16 {
+        match self {
+            ParseError::Malformed(_) => 400,
+            ParseError::HeadTooLarge => 431,
+            ParseError::BodyTooLarge => 413,
+            ParseError::UnsupportedTransferEncoding => 501,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Malformed(why) => write!(f, "malformed request: {why}"),
+            ParseError::HeadTooLarge => write!(f, "request head too large"),
+            ParseError::BodyTooLarge => write!(f, "request body too large"),
+            ParseError::UnsupportedTransferEncoding => {
+                write!(f, "transfer-encoding not supported")
+            }
+        }
+    }
+}
+
+/// Find the end of the head (`\r\n\r\n`) in `buf`, returning the index one
+/// past the terminator.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}
+
+/// Attempt to parse one request from the front of `buf`.
+///
+/// Returns `Parsed::Partial` when the buffer holds a valid prefix of a
+/// request, `Parsed::Complete(req, consumed)` once the head and declared
+/// body are fully buffered, and an error for any malformed or over-limit
+/// input.  The caller drains `consumed` bytes and may call again with the
+/// remainder (pipelining).
+pub fn parse_request(buf: &[u8], limits: &Limits) -> Result<Parsed, ParseError> {
+    let head_end = match find_head_end(buf) {
+        Some(end) => {
+            if end > limits.max_head {
+                return Err(ParseError::HeadTooLarge);
+            }
+            end
+        }
+        None => {
+            // No terminator yet: reject early if the head can no longer fit,
+            // or if a bare LF line-ending sneaks in.
+            if buf.len() >= limits.max_head {
+                return Err(ParseError::HeadTooLarge);
+            }
+            if has_bare_lf(buf) {
+                return Err(ParseError::Malformed("bare LF line ending"));
+            }
+            return Ok(Parsed::Partial);
+        }
+    };
+
+    let head = &buf[..head_end - 4];
+    let head_str =
+        std::str::from_utf8(head).map_err(|_| ParseError::Malformed("head is not valid UTF-8"))?;
+    if head_str.contains('\u{0}') {
+        return Err(ParseError::Malformed("NUL byte in head"));
+    }
+
+    let mut lines = head_str.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or(ParseError::Malformed("empty request line"))?;
+    if request_line.contains('\n') {
+        return Err(ParseError::Malformed("bare LF line ending"));
+    }
+
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or(ParseError::Malformed("missing method"))?;
+    let path = parts
+        .next()
+        .filter(|p| p.starts_with('/'))
+        .ok_or(ParseError::Malformed("missing or invalid path"))?;
+    let version = parts
+        .next()
+        .ok_or(ParseError::Malformed("missing HTTP version"))?;
+    if parts.next().is_some() {
+        return Err(ParseError::Malformed("extra tokens in request line"));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ParseError::Malformed("unsupported HTTP version"));
+    }
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(ParseError::Malformed("invalid method token"));
+    }
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    let mut content_length: Option<usize> = None;
+    for line in lines {
+        if line.contains('\n') {
+            return Err(ParseError::Malformed("bare LF line ending"));
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(ParseError::HeadTooLarge);
+        }
+        let colon = line
+            .find(':')
+            .ok_or(ParseError::Malformed("header line without colon"))?;
+        let name = &line[..colon];
+        if name.is_empty() || name.contains(' ') || name.contains('\t') {
+            return Err(ParseError::Malformed("invalid header name"));
+        }
+        let name = name.to_ascii_lowercase();
+        let value = line[colon + 1..].trim().to_string();
+
+        if name == "transfer-encoding" {
+            return Err(ParseError::UnsupportedTransferEncoding);
+        }
+        if name == "content-length" {
+            if content_length.is_some() {
+                return Err(ParseError::Malformed("duplicate content-length"));
+            }
+            if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(ParseError::Malformed("non-numeric content-length"));
+            }
+            let parsed: usize = value
+                .parse()
+                .map_err(|_| ParseError::Malformed("content-length overflow"))?;
+            if parsed > limits.max_body {
+                return Err(ParseError::BodyTooLarge);
+            }
+            content_length = Some(parsed);
+        }
+        headers.push((name, value));
+    }
+
+    let body_len = content_length.unwrap_or(0);
+    let total = head_end + body_len;
+    if buf.len() < total {
+        return Ok(Parsed::Partial);
+    }
+
+    Ok(Parsed::Complete(
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            headers,
+            body: buf[head_end..total].to_vec(),
+        },
+        total,
+    ))
+}
+
+/// True when the buffered prefix contains an LF that is not preceded by CR.
+fn has_bare_lf(buf: &[u8]) -> bool {
+    buf.iter()
+        .enumerate()
+        .any(|(i, &b)| b == b'\n' && (i == 0 || buf[i - 1] != b'\r'))
+}
+
+/// An outgoing response.  `to_bytes` renders a complete HTTP/1.1 message
+/// with `Content-Length` always present so responses are self-delimiting.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: Vec<u8>,
+    /// When set, emitted as a `Retry-After` header (seconds) — used by 429s.
+    pub retry_after: Option<u32>,
+    /// When true, emits `Connection: close` and the server drops the socket.
+    pub close: bool,
+}
+
+impl Response {
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            retry_after: None,
+            close: false,
+        }
+    }
+
+    pub fn text(status: u16, body: &str) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.as_bytes().to_vec(),
+            retry_after: None,
+            close: false,
+        }
+    }
+
+    /// A JSON error envelope: `{"error": "..."}`.
+    pub fn error(status: u16, message: &str) -> Self {
+        let body = tsc_bench::json::Json::object()
+            .field("error", message)
+            .pretty();
+        Response::json(status, body)
+    }
+
+    pub fn with_close(mut self) -> Self {
+        self.close = true;
+        self
+    }
+
+    pub fn with_retry_after(mut self, seconds: u32) -> Self {
+        self.retry_after = Some(seconds);
+        self
+    }
+
+    /// Render the full wire message.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.body.len() + 128);
+        out.extend_from_slice(
+            format!(
+                "HTTP/1.1 {} {}\r\n",
+                self.status,
+                status_reason(self.status)
+            )
+            .as_bytes(),
+        );
+        out.extend_from_slice(format!("Content-Type: {}\r\n", self.content_type).as_bytes());
+        out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        if let Some(secs) = self.retry_after {
+            out.extend_from_slice(format!("Retry-After: {secs}\r\n").as_bytes());
+        }
+        if self.close {
+            out.extend_from_slice(b"Connection: close\r\n");
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// Reason phrases for every status the server emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(raw: &[u8]) -> (Request, usize) {
+        match parse_request(raw, &Limits::default()) {
+            Ok(Parsed::Complete(req, used)) => (req, used),
+            other => panic!("expected complete request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_a_minimal_get() {
+        let (req, used) = parse_ok(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(used, 34);
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_reports_consumed_bytes() {
+        let raw = b"POST /v1/solve HTTP/1.1\r\nContent-Length: 4\r\n\r\n{}{}extra";
+        let (req, used) = parse_ok(raw);
+        assert_eq!(req.body, b"{}{}");
+        assert_eq!(&raw[used..], b"extra");
+    }
+
+    #[test]
+    fn split_reads_report_partial_until_complete() {
+        let full = b"POST /v1/solve HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}";
+        for cut in 1..full.len() {
+            match parse_request(&full[..cut], &Limits::default()) {
+                Ok(Parsed::Partial) => {}
+                other => panic!("prefix of {cut} bytes gave {other:?}"),
+            }
+        }
+        let (req, used) = parse_ok(full);
+        assert_eq!(req.body, b"{}");
+        assert_eq!(used, full.len());
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        for raw in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"GET /x\r\n\r\n",
+            b"GET /x HTTP/2.0\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"get /x HTTP/1.1\r\n\r\n",
+            b"GET x HTTP/1.1\r\n\r\n",
+        ] {
+            let err = parse_request(raw, &Limits::default()).unwrap_err();
+            assert_eq!(
+                err.status(),
+                400,
+                "input {:?}",
+                String::from_utf8_lossy(raw)
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_content_length() {
+        for raw in [
+            &b"POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n"[..],
+            b"POST / HTTP/1.1\r\nContent-Length: 1e3\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: \r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 1\r\n\r\nx",
+        ] {
+            let err = parse_request(raw, &Limits::default()).unwrap_err();
+            assert_eq!(err.status(), 400);
+        }
+    }
+
+    #[test]
+    fn enforces_size_caps() {
+        let limits = Limits {
+            max_head: 64,
+            max_headers: 2,
+            max_body: 8,
+        };
+        let long_head = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(100));
+        assert_eq!(
+            parse_request(long_head.as_bytes(), &limits).unwrap_err(),
+            ParseError::HeadTooLarge
+        );
+        let many_headers = b"GET / HTTP/1.1\r\nA: 1\r\nB: 2\r\nC: 3\r\n\r\n";
+        assert_eq!(
+            parse_request(many_headers, &limits).unwrap_err(),
+            ParseError::HeadTooLarge
+        );
+        let big_body = b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n";
+        assert_eq!(
+            parse_request(big_body, &limits).unwrap_err(),
+            ParseError::BodyTooLarge
+        );
+    }
+
+    #[test]
+    fn rejects_transfer_encoding_and_bare_lf() {
+        let te = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+        assert_eq!(
+            parse_request(te, &Limits::default()).unwrap_err().status(),
+            501
+        );
+        let lf = b"GET / HTTP/1.1\nHost: x\n\n";
+        assert_eq!(
+            parse_request(lf, &Limits::default()).unwrap_err().status(),
+            400
+        );
+    }
+
+    #[test]
+    fn response_wire_format_is_self_delimiting() {
+        let bytes = Response::error(429, "queue full")
+            .with_retry_after(1)
+            .with_close()
+            .to_bytes();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("Content-Length: "));
+        assert!(text.contains("\"error\": \"queue full\""));
+    }
+}

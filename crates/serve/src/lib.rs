@@ -1,0 +1,46 @@
+//! `tsc-serve` — a hermetic multi-threaded thermal-solve service.
+//!
+//! The workspace's solvers are libraries; this crate puts them behind a
+//! long-running process so placement sweeps, co-design studies, and CI
+//! harnesses can share one warm solver state instead of paying assembly
+//! and multigrid-hierarchy construction per invocation.  Everything is
+//! `std`-only: the HTTP/1.1 layer is hand-rolled and strictly bounded
+//! ([`http`]), JSON bodies use the `tsc_bench::json` dialect, and the
+//! threading primitives are `Mutex`/`Condvar`/atomics.
+//!
+//! # Endpoints
+//!
+//! | Endpoint            | Semantics                                           |
+//! |---------------------|-----------------------------------------------------|
+//! | `POST /v1/solve`    | One stack solve at a fixed configuration            |
+//! | `POST /v1/flow`     | A full co-design flow run (Sec. III flows)          |
+//! | `POST /v1/pillars`  | A pillar placement run (Sec. IIIA)                  |
+//! | `GET /v1/designs`   | The built-in design registry                        |
+//! | `GET /metrics`      | Prometheus text exposition                          |
+//! | `GET /healthz`      | Liveness probe                                      |
+//! | `POST /v1/shutdown` | Request a graceful drain (the CLI honours it)       |
+//!
+//! # Architecture
+//!
+//! Heavy requests flow: connection thread → [coalescing map] → bounded
+//! job queue (429 + `Retry-After` when full) → worker thread → LRU
+//! [`pool::ContextPool`] of `SolveContext`s keyed by the PR-2 operator
+//! fingerprint → response fanned out to every coalesced waiter as the
+//! same bytes.  Deadlines are waiter-side only (504): an accepted job
+//! always executes, keeping the pool warm.  Shutdown closes the queue
+//! and drains it — accepted work is never dropped.
+
+#![forbid(unsafe_code)]
+
+pub mod api;
+pub mod http;
+pub mod metrics;
+pub mod pool;
+pub mod queue;
+pub mod server;
+
+pub use api::ApiJob;
+pub use http::{Limits, Request, Response};
+pub use metrics::{validate_exposition, Metrics};
+pub use pool::{ContextPool, LruPool, ServicePools};
+pub use server::{Server, ServerConfig};

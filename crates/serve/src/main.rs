@@ -1,0 +1,72 @@
+//! The `tsc-serve` binary: parse flags, start the server, print the bound
+//! address, and drain gracefully when a client POSTs `/v1/shutdown`.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use tsc_serve::{Server, ServerConfig};
+
+const USAGE: &str = "usage: tsc-serve [--port N] [--workers N] [--queue-cap N] \
+                     [--pool-cap N] [--deadline-ms N]";
+
+fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
+    let mut config = ServerConfig {
+        port: 7070,
+        workers: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .max(2),
+        ..ServerConfig::default()
+    };
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| -> Result<u64, String> {
+            iter.next()
+                .ok_or_else(|| format!("{name} requires a value"))?
+                .parse::<u64>()
+                .map_err(|_| format!("{name} requires a non-negative integer"))
+        };
+        match flag.as_str() {
+            "--port" => config.port = value("--port")? as u16,
+            "--workers" => config.workers = (value("--workers")? as usize).clamp(1, 64),
+            "--queue-cap" => config.queue_cap = (value("--queue-cap")? as usize).clamp(1, 4096),
+            "--pool-cap" => config.pool_cap = (value("--pool-cap")? as usize).min(256),
+            "--deadline-ms" => {
+                config.deadline = Duration::from_millis(value("--deadline-ms")?.clamp(1, 600_000));
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&args) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("tsc-serve: bind failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The load generator and the CI smoke test parse this exact line to
+    // discover the ephemeral port — keep the format stable.
+    println!("tsc-serve listening on {}", server.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    server.wait_for_shutdown_request();
+    server.shutdown();
+    println!("tsc-serve: drained and stopped");
+    ExitCode::SUCCESS
+}

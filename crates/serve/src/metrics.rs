@@ -1,0 +1,409 @@
+//! Lock-cheap metrics registry with a Prometheus text exposition.
+//!
+//! Hot-path instrumentation is pure integer atomics: counters are
+//! `AtomicU64`, gauges `AtomicI64`, and latency histograms bucket
+//! microsecond integers — no float math happens on the request path.
+//! Floats appear only at scrape time, when [`Metrics::render`] converts
+//! microseconds to seconds and interpolates p50/p90/p99 from the bucket
+//! CDF.  [`validate_exposition`] is a minimal checker for the text format,
+//! shared by the test suites and the load generator.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Signed instantaneous gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Upper bounds (µs) for the latency histograms.  Spans 500µs…10s, which
+/// covers both cache-hit solves and cold full-mesh assemblies.
+const BUCKET_BOUNDS_US: [u64; 13] = [
+    500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000, 1_000_000,
+    2_500_000, 10_000_000,
+];
+
+/// Fixed-bound microsecond histogram.  `observe` is three relaxed atomic
+/// adds; quantiles are interpolated from the bucket CDF at scrape time.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_BOUNDS_US.len()],
+    sum_us: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    pub fn observe_us(&self, us: u64) {
+        for (i, bound) in BUCKET_BOUNDS_US.iter().enumerate() {
+            if us <= *bound {
+                self.buckets[i].fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+        }
+        // Values above the last bound land only in +Inf (count).
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Interpolated quantile in microseconds (`q` in [0, 1]); 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = (q * total as f64).ceil().max(1.0);
+        let mut cumulative = 0u64;
+        let mut lower = 0u64;
+        for (i, bound) in BUCKET_BOUNDS_US.iter().enumerate() {
+            let in_bucket = self.buckets[i].load(Ordering::Relaxed);
+            let next = cumulative + in_bucket;
+            if (next as f64) >= target && in_bucket > 0 {
+                let into = (target - cumulative as f64) / in_bucket as f64;
+                return lower as f64 + into * (*bound - lower) as f64;
+            }
+            cumulative = next;
+            lower = *bound;
+        }
+        // Tail beyond the last bound: report the last bound.
+        *BUCKET_BOUNDS_US.last().unwrap_or(&0) as f64
+    }
+
+    fn render(&self, name: &str, labels: &str, out: &mut String) {
+        let mut cumulative = 0u64;
+        for (i, bound) in BUCKET_BOUNDS_US.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            let le = *bound as f64 / 1e6;
+            out.push_str(&format!(
+                "{name}_bucket{{{labels}le=\"{le}\"}} {cumulative}\n"
+            ));
+        }
+        let count = self.count();
+        let sum = self.sum_us.load(Ordering::Relaxed) as f64 / 1e6;
+        out.push_str(&format!("{name}_bucket{{{labels}le=\"+Inf\"}} {count}\n"));
+        out.push_str(&format!(
+            "{name}_sum{{{labels_t}}} {sum}\n",
+            labels_t = labels.trim_end_matches(',')
+        ));
+        out.push_str(&format!(
+            "{name}_count{{{labels_t}}} {count}\n",
+            labels_t = labels.trim_end_matches(',')
+        ));
+    }
+}
+
+/// Endpoints tracked with per-status request counters.
+pub const ENDPOINTS: [&str; 8] = [
+    "solve", "flow", "pillars", "designs", "metrics", "healthz", "shutdown", "other",
+];
+
+/// Statuses tracked per endpoint.
+pub const STATUSES: [u16; 12] = [200, 400, 404, 405, 408, 413, 429, 431, 500, 501, 503, 504];
+
+/// Heavy (queued) endpoints that get latency histograms.
+pub const HEAVY_ENDPOINTS: [&str; 3] = ["solve", "flow", "pillars"];
+
+fn endpoint_index(endpoint: &str) -> usize {
+    ENDPOINTS
+        .iter()
+        .position(|e| *e == endpoint)
+        .unwrap_or(ENDPOINTS.len() - 1)
+}
+
+fn status_index(status: u16) -> usize {
+    STATUSES.iter().position(|s| *s == status).unwrap_or(8) // unknown → 500 slot
+}
+
+/// The service-wide metrics registry.  One instance lives in the shared
+/// server state; all fields are updated with relaxed atomics.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    requests: [[Counter; STATUSES.len()]; ENDPOINTS.len()],
+    latency: [Histogram; HEAVY_ENDPOINTS.len()],
+    pub queue_depth: Gauge,
+    pub queue_capacity: Gauge,
+    pub inflight: Gauge,
+    pub connections: Gauge,
+    pub coalesced_total: Counter,
+    pub backend_solves_total: Counter,
+    pub pool_hits: Counter,
+    pub pool_misses: Counter,
+    pub pool_evictions: Counter,
+    pub stack_cache_hits: Counter,
+    pub stack_cache_misses: Counter,
+    pub deadline_timeouts: Counter,
+    pub rejected_queue_full: Counter,
+    pub worker_panics: Counter,
+    // SolverStats / ContextStats rollups, accumulated after each backend solve.
+    pub solver_iterations: Counter,
+    pub solver_matvecs: Counter,
+    pub solver_cycles: Counter,
+    pub ctx_operator_reuses: Counter,
+    pub ctx_assemblies: Counter,
+    pub ctx_hierarchy_builds: Counter,
+    pub ctx_warm_starts: Counter,
+}
+
+impl Metrics {
+    pub fn record_request(&self, endpoint: &str, status: u16) {
+        self.requests[endpoint_index(endpoint)][status_index(status)].inc();
+    }
+
+    pub fn observe_latency_us(&self, endpoint: &str, us: u64) {
+        if let Some(i) = HEAVY_ENDPOINTS.iter().position(|e| *e == endpoint) {
+            self.latency[i].observe_us(us);
+        }
+    }
+
+    pub fn requests_for(&self, endpoint: &str, status: u16) -> u64 {
+        self.requests[endpoint_index(endpoint)][status_index(status)].get()
+    }
+
+    /// Render the full Prometheus text exposition.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(8192);
+
+        out.push_str("# HELP tsc_requests_total Requests handled, by endpoint and status.\n");
+        out.push_str("# TYPE tsc_requests_total counter\n");
+        for (ei, endpoint) in ENDPOINTS.iter().enumerate() {
+            for (si, status) in STATUSES.iter().enumerate() {
+                let n = self.requests[ei][si].get();
+                if n > 0 {
+                    out.push_str(&format!(
+                        "tsc_requests_total{{endpoint=\"{endpoint}\",status=\"{status}\"}} {n}\n"
+                    ));
+                }
+            }
+        }
+
+        out.push_str("# HELP tsc_request_seconds End-to-end latency of queued solve endpoints.\n");
+        out.push_str("# TYPE tsc_request_seconds histogram\n");
+        for (i, endpoint) in HEAVY_ENDPOINTS.iter().enumerate() {
+            self.latency[i].render(
+                "tsc_request_seconds",
+                &format!("endpoint=\"{endpoint}\","),
+                &mut out,
+            );
+        }
+
+        out.push_str(
+            "# HELP tsc_request_seconds_quantile Latency quantiles interpolated at scrape time.\n",
+        );
+        out.push_str("# TYPE tsc_request_seconds_quantile gauge\n");
+        for (i, endpoint) in HEAVY_ENDPOINTS.iter().enumerate() {
+            for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99)] {
+                let seconds = self.latency[i].quantile_us(q) / 1e6;
+                out.push_str(&format!(
+                    "tsc_request_seconds_quantile{{endpoint=\"{endpoint}\",quantile=\"{label}\"}} {seconds}\n"
+                ));
+            }
+        }
+
+        let gauges: [(&str, &str, i64); 4] = [
+            (
+                "tsc_queue_depth",
+                "Jobs waiting in the solve queue.",
+                self.queue_depth.get(),
+            ),
+            (
+                "tsc_queue_capacity",
+                "Configured solve-queue capacity.",
+                self.queue_capacity.get(),
+            ),
+            (
+                "tsc_inflight_jobs",
+                "Jobs currently executing on workers.",
+                self.inflight.get(),
+            ),
+            (
+                "tsc_open_connections",
+                "Open client connections.",
+                self.connections.get(),
+            ),
+        ];
+        for (name, help, value) in gauges {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+            ));
+        }
+
+        let counters: [(&str, &str, u64); 16] = [
+            (
+                "tsc_coalesced_requests_total",
+                "Requests served by piggybacking on an identical in-flight solve.",
+                self.coalesced_total.get(),
+            ),
+            (
+                "tsc_backend_solves_total",
+                "Solves actually executed by the backend (post-coalescing).",
+                self.backend_solves_total.get(),
+            ),
+            (
+                "tsc_context_pool_hits_total",
+                "Context-pool checkouts that found a pooled SolveContext.",
+                self.pool_hits.get(),
+            ),
+            (
+                "tsc_context_pool_misses_total",
+                "Context-pool checkouts that had to build a fresh SolveContext.",
+                self.pool_misses.get(),
+            ),
+            (
+                "tsc_context_pool_evictions_total",
+                "Pooled contexts evicted by the LRU cap.",
+                self.pool_evictions.get(),
+            ),
+            (
+                "tsc_stack_cache_hits_total",
+                "Solve requests that reused a cached built stack (mesh + problem).",
+                self.stack_cache_hits.get(),
+            ),
+            (
+                "tsc_stack_cache_misses_total",
+                "Solve requests that had to build their stack from the design.",
+                self.stack_cache_misses.get(),
+            ),
+            (
+                "tsc_deadline_timeouts_total",
+                "Requests answered 504 because their deadline expired in queue.",
+                self.deadline_timeouts.get(),
+            ),
+            (
+                "tsc_rejected_queue_full_total",
+                "Requests answered 429 because the solve queue was full.",
+                self.rejected_queue_full.get(),
+            ),
+            (
+                "tsc_worker_panics_total",
+                "Worker jobs that panicked and were converted to 500s.",
+                self.worker_panics.get(),
+            ),
+            (
+                "tsc_solver_iterations_total",
+                "Krylov iterations accumulated across backend solves.",
+                self.solver_iterations.get(),
+            ),
+            (
+                "tsc_solver_matvecs_total",
+                "Operator applications accumulated across backend solves.",
+                self.solver_matvecs.get(),
+            ),
+            (
+                "tsc_solver_multigrid_cycles_total",
+                "Multigrid cycles accumulated across backend solves.",
+                self.solver_cycles.get(),
+            ),
+            (
+                "tsc_context_operator_reuses_total",
+                "Solves that reused an already-assembled operator.",
+                self.ctx_operator_reuses.get(),
+            ),
+            (
+                "tsc_context_assemblies_total",
+                "Full operator assemblies performed by pooled contexts.",
+                self.ctx_assemblies.get(),
+            ),
+            (
+                "tsc_context_warm_starts_total",
+                "Solves warm-started from a pooled temperature field.",
+                self.ctx_warm_starts.get(),
+            ),
+        ];
+        for (name, help, value) in counters {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        }
+
+        out
+    }
+}
+
+/// The Prometheus text-format checker shared with the load generator:
+/// re-exported from [`tsc_bench::prom`], where it can be consumed without
+/// linking this crate.
+pub use tsc_bench::prom::validate_exposition;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_interpolate_within_buckets() {
+        let h = Histogram::default();
+        for _ in 0..100 {
+            h.observe_us(400); // all in the first bucket (≤500µs)
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_us(0.5);
+        assert!(p50 > 0.0 && p50 <= 500.0, "p50 = {p50}");
+        // Add a slow tail and check p99 moves into a later bucket.
+        for _ in 0..5 {
+            h.observe_us(90_000);
+        }
+        assert!(h.quantile_us(0.99) > 50_000.0);
+    }
+
+    #[test]
+    fn histogram_tail_beyond_last_bound_still_counts() {
+        let h = Histogram::default();
+        h.observe_us(50_000_000); // beyond 10s bound → +Inf only
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile_us(0.5) > 0.0);
+    }
+
+    #[test]
+    fn render_is_valid_exposition() {
+        let m = Metrics::default();
+        m.record_request("solve", 200);
+        m.record_request("solve", 429);
+        m.record_request("nonsense", 200); // falls into the "other" slot
+        m.observe_latency_us("solve", 1234);
+        m.queue_depth.set(3);
+        m.pool_hits.add(7);
+        let text = m.render();
+        validate_exposition(&text).expect("exposition must validate");
+        assert!(text.contains("tsc_requests_total{endpoint=\"solve\",status=\"200\"} 1"));
+        assert!(text.contains("tsc_requests_total{endpoint=\"other\",status=\"200\"} 1"));
+        assert!(text.contains("tsc_request_seconds_bucket{endpoint=\"solve\",le=\"+Inf\"} 1"));
+        assert!(text.contains("tsc_context_pool_hits_total 7"));
+        assert!(text.contains("tsc_queue_depth 3"));
+    }
+}

@@ -1,0 +1,235 @@
+//! LRU pools for per-geometry service state.
+//!
+//! Two levels, both capped by `--pool-cap` (0 disables both, for no-pool
+//! A/B benchmarking):
+//!
+//! * [`ContextPool`] — [`SolveContext`]s keyed by the PR-2 operator
+//!   fingerprint.  A pooled context carries the assembled operator, the
+//!   multigrid hierarchy, and the last temperature field for one
+//!   geometry, so a repeat solve skips assembly and hierarchy
+//!   construction and warm-starts from the previous field.  A key
+//!   collision is harmless because `SolveContext` revalidates its own
+//!   `OperatorKey` on every solve and rebuilds if the geometry actually
+//!   differs.
+//! * The *stack cache* (an [`LruPool<Stack3d>`] keyed by the canonical
+//!   request hash) — the built mesh/problem for a `POST /v1/solve` body.
+//!   Building a stack (pillar map, homogenization, assembly inputs) costs
+//!   about as much as a cold solve, so without this cache a pooled hot
+//!   request would still pay half its cold cost.  The canonical-body key
+//!   is exact: the build is deterministic in the request, so a hit cannot
+//!   be stale.
+//!
+//! `take`/`checkout` *remove* the entry — state is owned by exactly one
+//! worker at a time, so two concurrent solves on the same geometry get
+//! distinct copies rather than a shared lock.
+
+use std::sync::Mutex;
+
+use tsc_core::stack::Stack3d;
+use tsc_thermal::SolveContext;
+
+/// Outcome of a checkout, for metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Checkout {
+    Hit,
+    Miss,
+}
+
+/// LRU keyed by `u64`.  The backing store is a `Vec` in recency order
+/// (most recent at the back); pool caps are small (tens), so linear scans
+/// beat a hash map + intrusive list in both code size and constant
+/// factor.
+pub struct LruPool<T> {
+    cap: usize,
+    entries: Mutex<Vec<(u64, T)>>,
+}
+
+impl<T> LruPool<T> {
+    /// `cap == 0` disables the pool entirely: every take misses and puts
+    /// are dropped.
+    pub fn new(cap: usize) -> Self {
+        LruPool {
+            cap,
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    pub fn len(&self) -> usize {
+        match self.entries.lock() {
+            Ok(entries) => entries.len(),
+            Err(poisoned) => poisoned.into_inner().len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Remove and return the entry for `key`, if pooled.
+    pub fn take(&self, key: u64) -> Option<T> {
+        if self.cap == 0 {
+            return None;
+        }
+        let mut entries = match self.entries.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let i = entries.iter().position(|(k, _)| *k == key)?;
+        Some(entries.remove(i).1)
+    }
+
+    /// Insert (or refresh) `key`.  Evicts least-recently-used entries when
+    /// over capacity; returns the number of evictions.
+    pub fn put(&self, key: u64, value: T) -> usize {
+        if self.cap == 0 {
+            return 0;
+        }
+        let mut entries = match self.entries.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        // Replace any entry another worker put for the same key while we
+        // held ours — keeping the newest state is the better reuse.
+        if let Some(i) = entries.iter().position(|(k, _)| *k == key) {
+            entries.remove(i);
+        }
+        entries.push((key, value));
+        let mut evicted = 0;
+        while entries.len() > self.cap {
+            entries.remove(0);
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+/// The [`SolveContext`] level: misses manufacture a fresh context.
+pub struct ContextPool {
+    inner: LruPool<SolveContext>,
+}
+
+impl ContextPool {
+    /// `cap == 0` disables pooling entirely: every checkout is a miss and
+    /// checkins are dropped.  Used for no-pool A/B benchmarking.
+    pub fn new(cap: usize) -> Self {
+        ContextPool {
+            inner: LruPool::new(cap),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Take the context for `key` out of the pool, or build a fresh one.
+    pub fn checkout(&self, key: u64) -> (SolveContext, Checkout) {
+        match self.inner.take(key) {
+            Some(ctx) => (ctx, Checkout::Hit),
+            None => (SolveContext::new(), Checkout::Miss),
+        }
+    }
+
+    /// Return a context to the pool.  Evicts the least-recently-used entry
+    /// when over capacity; returns the number of evictions (0 or 1).
+    pub fn checkin(&self, key: u64, ctx: SolveContext) -> usize {
+        self.inner.put(key, ctx)
+    }
+}
+
+/// Both pool levels, built together from one `--pool-cap`.
+pub struct ServicePools {
+    pub contexts: ContextPool,
+    pub stacks: LruPool<Stack3d>,
+}
+
+impl ServicePools {
+    pub fn new(cap: usize) -> Self {
+        ServicePools {
+            contexts: ContextPool::new(cap),
+            stacks: LruPool::new(cap),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_checkout_misses_then_checkin_makes_it_hit() {
+        let pool = ContextPool::new(2);
+        let (ctx, outcome) = pool.checkout(42);
+        assert_eq!(outcome, Checkout::Miss);
+        pool.checkin(42, ctx);
+        assert_eq!(pool.len(), 1);
+        let (_, outcome) = pool.checkout(42);
+        assert_eq!(outcome, Checkout::Hit);
+        // checkout removed the entry: a second checkout of the same key misses.
+        let (_, outcome) = pool.checkout(42);
+        assert_eq!(outcome, Checkout::Miss);
+    }
+
+    #[test]
+    fn lru_eviction_drops_the_oldest_key() {
+        let pool = ContextPool::new(2);
+        for key in [1u64, 2, 3] {
+            let (ctx, _) = pool.checkout(key);
+            pool.checkin(key, ctx);
+        }
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.checkout(1).1, Checkout::Miss, "oldest evicted");
+        assert_eq!(pool.checkout(3).1, Checkout::Hit);
+        assert_eq!(pool.checkout(2).1, Checkout::Hit);
+    }
+
+    #[test]
+    fn touching_a_key_refreshes_its_recency() {
+        let pool = ContextPool::new(2);
+        for key in [1u64, 2] {
+            let (ctx, _) = pool.checkout(key);
+            pool.checkin(key, ctx);
+        }
+        // Touch 1 so that 2 becomes the LRU victim.
+        let (ctx, outcome) = pool.checkout(1);
+        assert_eq!(outcome, Checkout::Hit);
+        pool.checkin(1, ctx);
+        let (ctx, _) = pool.checkout(3);
+        let evicted = pool.checkin(3, ctx);
+        assert_eq!(evicted, 1);
+        assert_eq!(pool.checkout(2).1, Checkout::Miss, "2 was the LRU victim");
+        assert_eq!(pool.checkout(1).1, Checkout::Hit);
+    }
+
+    #[test]
+    fn zero_capacity_disables_pooling() {
+        let pool = ContextPool::new(0);
+        let (ctx, outcome) = pool.checkout(7);
+        assert_eq!(outcome, Checkout::Miss);
+        assert_eq!(pool.checkin(7, ctx), 0);
+        assert_eq!(pool.len(), 0);
+        assert_eq!(pool.checkout(7).1, Checkout::Miss);
+    }
+
+    #[test]
+    fn generic_pool_takes_and_puts_arbitrary_state() {
+        let pool: LruPool<String> = LruPool::new(1);
+        assert!(pool.take(9).is_none());
+        assert_eq!(pool.put(9, "nine".into()), 0);
+        assert_eq!(pool.put(10, "ten".into()), 1, "cap 1 evicts the older key");
+        assert!(pool.take(9).is_none());
+        assert_eq!(pool.take(10).as_deref(), Some("ten"));
+        assert!(pool.is_empty());
+    }
+}

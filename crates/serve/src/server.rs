@@ -1,0 +1,563 @@
+//! The service runtime: acceptor, connection handling, worker pool,
+//! request coalescing, and graceful shutdown.
+//!
+//! Threading model:
+//!
+//! * one **acceptor** thread owns the listener and spawns a thread per
+//!   connection (bounded by `max_connections`, excess answered 503);
+//! * each **connection** thread runs the bounded HTTP parser over a
+//!   growing buffer (split reads and pipelining fall out naturally),
+//!   routes light endpoints inline, and parks heavy requests on a
+//!   coalescing slot;
+//! * `workers` **solver** threads pop jobs from a bounded queue and
+//!   execute them against the shared context pool.
+//!
+//! Backpressure is explicit: a full queue answers 429 + `Retry-After`
+//! without blocking the connection thread, and a request whose deadline
+//! expires while queued answers 504 — but an *accepted* job is always
+//! executed, so the pool stays warm and coalesced waiters never hang.
+
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use crate::api::ApiJob;
+use crate::http::{parse_request, Limits, Parsed, Request, Response};
+use crate::metrics::Metrics;
+use crate::pool::ServicePools;
+use crate::queue::{JobQueue, PushError};
+
+/// Server configuration; `Default` is suitable for tests (ephemeral port,
+/// small pool and queue).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Port to bind on 127.0.0.1; 0 picks an ephemeral port.
+    pub port: u16,
+    /// Solver worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Bounded job-queue capacity.
+    pub queue_cap: usize,
+    /// Context-pool capacity; 0 disables pooling.
+    pub pool_cap: usize,
+    /// Default per-request deadline (overridable per request via the
+    /// `X-Deadline-Ms` header).
+    pub deadline: Duration,
+    /// Maximum simultaneously open connections; excess get 503.
+    pub max_connections: usize,
+    /// Close idle keep-alive connections after this long.
+    pub idle_timeout: Duration,
+    /// Parser caps.
+    pub limits: Limits,
+    /// Whether `POST /v1/shutdown` is honoured (the CLI enables it; tests
+    /// that probe routing may disable it).
+    pub allow_shutdown: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            port: 0,
+            workers: 2,
+            queue_cap: 32,
+            pool_cap: 8,
+            deadline: Duration::from_secs(60),
+            max_connections: 64,
+            idle_timeout: Duration::from_secs(10),
+            limits: Limits::default(),
+            allow_shutdown: true,
+        }
+    }
+}
+
+/// A coalescing slot: the first submitter creates it, every identical
+/// concurrent request waits on it, one worker fills it exactly once.
+struct Slot {
+    result: Mutex<Option<(u16, String)>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Self> {
+        Arc::new(Slot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn fill(&self, status: u16, body: String) {
+        let mut guard = match self.result.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *guard = Some((status, body));
+        drop(guard);
+        self.ready.notify_all();
+    }
+
+    /// Wait until filled or `deadline` elapses.  Every waiter receives a
+    /// clone of the same `(status, body)` — coalesced responses are
+    /// bitwise identical by construction.
+    fn wait(&self, deadline: Duration) -> Option<(u16, String)> {
+        let start = Instant::now();
+        let mut guard = match self.result.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        while guard.is_none() {
+            let elapsed = start.elapsed();
+            if elapsed >= deadline {
+                return None;
+            }
+            let (g, _) = match self.ready.wait_timeout(guard, deadline - elapsed) {
+                Ok(pair) => pair,
+                Err(poisoned) => {
+                    let pair = poisoned.into_inner();
+                    (pair.0, pair.1)
+                }
+            };
+            guard = g;
+        }
+        guard.clone()
+    }
+}
+
+/// A queued unit of work.
+struct Job {
+    key: u64,
+    api: ApiJob,
+    slot: Arc<Slot>,
+}
+
+/// State shared by every thread of the server.
+struct Shared {
+    stop: AtomicBool,
+    shutdown_requested: AtomicBool,
+    shutdown_signal: (Mutex<bool>, Condvar),
+    queue: JobQueue<Job>,
+    coalesce: Mutex<HashMap<u64, Arc<Slot>>>,
+    pools: ServicePools,
+    metrics: Metrics,
+    config: ServerConfig,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn signal_shutdown(&self) {
+        self.shutdown_requested.store(true, Ordering::SeqCst);
+        let (lock, cv) = &self.shutdown_signal;
+        let mut flagged = match lock.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *flagged = true;
+        drop(flagged);
+        cv.notify_all();
+    }
+}
+
+/// A running server.  Dropping it does *not* stop the threads — call
+/// [`Server::shutdown`].
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start accepting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", config.port))?;
+        let addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            shutdown_requested: AtomicBool::new(false),
+            shutdown_signal: (Mutex::new(false), Condvar::new()),
+            queue: JobQueue::new(config.queue_cap.max(1)),
+            coalesce: Mutex::new(HashMap::new()),
+            pools: ServicePools::new(config.pool_cap),
+            metrics: Metrics::default(),
+            config,
+            addr,
+        });
+        shared
+            .metrics
+            .queue_capacity
+            .set(shared.queue.capacity() as i64);
+
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || accept_loop(&listener, &shared))
+        };
+
+        Ok(Server {
+            shared,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (useful with `port: 0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The live metrics registry (test and bench introspection).
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Block until a client POSTs `/v1/shutdown`.
+    pub fn wait_for_shutdown_request(&self) {
+        let (lock, cv) = &self.shared.shutdown_signal;
+        let mut flagged = match lock.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        while !*flagged {
+            flagged = match cv.wait(flagged) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, drain the queue (accepted jobs
+    /// still run), join the workers, and wait for open connections to
+    /// finish their in-flight request.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.shared.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        self.shared.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Connection threads notice `stop` at their next parse/read cycle
+        // and close; give them a bounded grace period.
+        let grace = Instant::now();
+        while self.shared.metrics.connections.get() > 0 && grace.elapsed() < Duration::from_secs(5)
+        {
+            thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        if shared.metrics.connections.get() >= shared.config.max_connections as i64 {
+            refuse_connection(stream, shared);
+            continue;
+        }
+        shared.metrics.connections.inc();
+        let shared = Arc::clone(shared);
+        thread::spawn(move || {
+            handle_connection(stream, &shared);
+            shared.metrics.connections.dec();
+        });
+    }
+}
+
+fn refuse_connection(mut stream: TcpStream, shared: &Shared) {
+    shared.metrics.record_request("other", 503);
+    let response = Response::error(503, "connection limit reached")
+        .with_retry_after(1)
+        .with_close();
+    let _ = stream.write_all(&response.to_bytes());
+}
+
+/// Read/parse loop for one connection.  Handles split reads, pipelined
+/// requests (via the buffer remainder), keep-alive, idle timeout, and
+/// malformed input → 4xx + close.
+fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    // Short poll interval so idle connections notice `stop` promptly.
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .is_err()
+    {
+        return;
+    }
+    // Responses are written whole; never let Nagle hold one back waiting
+    // for an ACK on a keep-alive connection.
+    let _ = stream.set_nodelay(true);
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut idle_since = Instant::now();
+    let mut chunk = [0u8; 4096];
+
+    loop {
+        // Drain every complete request already buffered (pipelining).
+        loop {
+            match parse_request(&buf, &shared.config.limits) {
+                Ok(Parsed::Complete(request, consumed)) => {
+                    buf.drain(..consumed);
+                    idle_since = Instant::now();
+                    let close_after = request.wants_close();
+                    let response = route(&request, shared);
+                    let closing =
+                        response.close || close_after || shared.stop.load(Ordering::SeqCst);
+                    let response = if closing && !response.close {
+                        response.with_close()
+                    } else {
+                        response
+                    };
+                    if stream.write_all(&response.to_bytes()).is_err() || closing {
+                        return;
+                    }
+                }
+                Ok(Parsed::Partial) => break,
+                Err(err) => {
+                    shared.metrics.record_request("other", err.status());
+                    let response = Response::error(err.status(), &err.to_string()).with_close();
+                    let _ = stream.write_all(&response.to_bytes());
+                    return;
+                }
+            }
+        }
+
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                // EOF mid-request is a malformed (truncated) request.
+                if !buf.is_empty() {
+                    shared.metrics.record_request("other", 400);
+                    let response = Response::error(400, "truncated request").with_close();
+                    let _ = stream.write_all(&response.to_bytes());
+                }
+                return;
+            }
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                idle_since = Instant::now();
+            }
+            Err(err)
+                if err.kind() == ErrorKind::WouldBlock || err.kind() == ErrorKind::TimedOut =>
+            {
+                if idle_since.elapsed() >= shared.config.idle_timeout {
+                    if !buf.is_empty() {
+                        // A stalled partial request gets a 408.
+                        shared.metrics.record_request("other", 408);
+                        let response = Response::error(408, "request timeout").with_close();
+                        let _ = stream.write_all(&response.to_bytes());
+                    }
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Endpoint label for metrics.
+fn endpoint_label(path: &str) -> &'static str {
+    match path {
+        "/v1/solve" => "solve",
+        "/v1/flow" => "flow",
+        "/v1/pillars" => "pillars",
+        "/v1/designs" => "designs",
+        "/metrics" => "metrics",
+        "/healthz" => "healthz",
+        "/v1/shutdown" => "shutdown",
+        _ => "other",
+    }
+}
+
+/// Route one request to a response, recording request metrics.
+fn route(request: &Request, shared: &Arc<Shared>) -> Response {
+    let endpoint = endpoint_label(&request.path);
+    let response = route_inner(request, endpoint, shared);
+    shared.metrics.record_request(endpoint, response.status);
+    response
+}
+
+fn route_inner(request: &Request, endpoint: &'static str, shared: &Arc<Shared>) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Response::text(200, "ok\n"),
+        ("GET", "/metrics") => {
+            shared.metrics.queue_depth.set(shared.queue.len() as i64);
+            let mut response = Response::text(200, &shared.metrics.render());
+            response.content_type = "text/plain; version=0.0.4";
+            response
+        }
+        ("GET", "/v1/designs") => Response::json(200, crate::api::designs_body()),
+        ("POST", "/v1/shutdown") => {
+            if shared.config.allow_shutdown {
+                shared.signal_shutdown();
+                Response::json(200, "{\n  \"status\": \"shutting down\"\n}\n".to_string())
+                    .with_close()
+            } else {
+                Response::error(404, "shutdown disabled")
+            }
+        }
+        ("POST", "/v1/solve" | "/v1/flow" | "/v1/pillars") => {
+            match ApiJob::parse(&request.path, &request.body) {
+                Some(Ok(job)) => dispatch_heavy(request, job, endpoint, shared),
+                Some(Err(message)) => Response::error(400, &message),
+                // Unreachable: the path match above is exactly the heavy set.
+                None => Response::error(404, "no such endpoint"),
+            }
+        }
+        (
+            _,
+            "/healthz" | "/metrics" | "/v1/designs" | "/v1/shutdown" | "/v1/solve" | "/v1/flow"
+            | "/v1/pillars",
+        ) => Response::error(405, "method not allowed"),
+        _ => Response::error(404, "no such endpoint"),
+    }
+}
+
+/// Submit a heavy job: coalesce onto an identical in-flight request when
+/// possible, otherwise enqueue; then wait with a deadline.
+fn dispatch_heavy(
+    request: &Request,
+    job: ApiJob,
+    endpoint: &'static str,
+    shared: &Arc<Shared>,
+) -> Response {
+    let started = Instant::now();
+    let deadline = request
+        .header("x-deadline-ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(|ms| Duration::from_millis(ms.clamp(1, 600_000)))
+        .unwrap_or(shared.config.deadline);
+    let key = job.coalesce_key();
+
+    // Register-or-latch under one lock: either we find an identical
+    // in-flight request and share its slot, or we insert ours *before*
+    // enqueueing so no identical request can slip past.
+    let (slot, is_owner) = {
+        let mut coalesce = match shared.coalesce.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        match coalesce.get(&key) {
+            Some(slot) => (Arc::clone(slot), false),
+            None => {
+                let slot = Slot::new();
+                coalesce.insert(key, Arc::clone(&slot));
+                (slot, true)
+            }
+        }
+    };
+
+    if is_owner {
+        let queued = Job {
+            key,
+            api: job,
+            slot: Arc::clone(&slot),
+        };
+        match shared.queue.try_push(queued) {
+            Ok(()) => {
+                shared.metrics.queue_depth.set(shared.queue.len() as i64);
+            }
+            Err(refusal) => {
+                // Un-register and fail the slot so latched waiters (a
+                // window exists between our insert and this failure)
+                // get the same refusal instead of hanging.
+                remove_coalesce_entry(shared, key, &slot);
+                let (status, message) = match refusal {
+                    PushError::Full => {
+                        shared.metrics.rejected_queue_full.inc();
+                        (429, "solve queue full")
+                    }
+                    PushError::Closed => (503, "server shutting down"),
+                };
+                slot.fill(status, error_body(message));
+                let mut response = Response::json(status, error_body(message));
+                if status == 429 {
+                    response = response.with_retry_after(1);
+                }
+                return response;
+            }
+        }
+    } else {
+        shared.metrics.coalesced_total.inc();
+    }
+
+    match slot.wait(deadline) {
+        Some((status, body)) => {
+            let us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+            shared.metrics.observe_latency_us(endpoint, us);
+            if status == 429 {
+                Response::json(429, body).with_retry_after(1)
+            } else {
+                Response::json(status, body)
+            }
+        }
+        None => {
+            // Waiter-side timeout only: the job (if accepted) still runs
+            // to completion and warms the pool.
+            shared.metrics.deadline_timeouts.inc();
+            Response::error(504, "deadline expired before the solve completed")
+        }
+    }
+}
+
+fn remove_coalesce_entry(shared: &Shared, key: u64, slot: &Arc<Slot>) {
+    let mut coalesce = match shared.coalesce.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    // Only remove the entry if it is still *our* slot — a later identical
+    // request may have re-registered after a worker finished ours.
+    if let Some(current) = coalesce.get(&key) {
+        if Arc::ptr_eq(current, slot) {
+            coalesce.remove(&key);
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        shared.metrics.queue_depth.set(shared.queue.len() as i64);
+        shared.metrics.inflight.inc();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            job.api.execute(&shared.pools, &shared.metrics)
+        }));
+        shared.metrics.inflight.dec();
+        // De-register *before* filling: once the result is visible, new
+        // identical requests must start a fresh solve (their inputs may
+        // race a pool eviction, but correctness never depends on reuse).
+        remove_coalesce_entry(shared, job.key, &job.slot);
+        match outcome {
+            Ok(Ok(body)) => job.slot.fill(200, body),
+            Ok(Err((status, message))) => {
+                job.slot.fill(status, error_body(&message));
+            }
+            Err(_) => {
+                shared.metrics.worker_panics.inc();
+                job.slot
+                    .fill(500, error_body("internal error: worker panicked"));
+            }
+        }
+    }
+}
+
+fn error_body(message: &str) -> String {
+    tsc_bench::json::Json::object()
+        .field("error", message)
+        .pretty()
+}

@@ -1,0 +1,156 @@
+//! Shared raw-TCP test client for the serve integration suites.
+//!
+//! Deliberately independent of the server's own HTTP code: responses are
+//! parsed with a separate minimal reader so a server-side framing bug
+//! cannot cancel out in the tests.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// A parsed response.  Shared across suites; not every suite reads every
+/// field.
+#[derive(Debug)]
+pub struct TestResponse {
+    pub status: u16,
+    #[allow(dead_code)]
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl TestResponse {
+    #[allow(dead_code)]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let want = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| k.to_ascii_lowercase() == want)
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// One persistent connection; supports several requests (keep-alive) and
+/// reading multiple pipelined responses.
+pub struct TestClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl TestClient {
+    pub fn connect(addr: SocketAddr) -> TestClient {
+        let stream = TcpStream::connect(addr).expect("connect to test server");
+        stream
+            .set_read_timeout(Some(Duration::from_millis(200)))
+            .expect("set read timeout");
+        TestClient {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    pub fn send_raw(&mut self, bytes: &[u8]) {
+        self.stream.write_all(bytes).expect("write request");
+    }
+
+    /// Half-close the write side (simulates a client that truncates).
+    /// Shared across suites; not every suite exercises truncation.
+    #[allow(dead_code)]
+    pub fn shutdown_write(&mut self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Write);
+    }
+
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> TestResponse {
+        self.send_raw(&format_request(method, path, headers, body));
+        self.read_response(Duration::from_secs(120))
+            .expect("response within deadline")
+    }
+
+    /// Read one response, waiting at most `deadline` for completion.
+    /// `None` if the server closed the connection without a (complete)
+    /// response or the deadline passed.
+    pub fn read_response(&mut self, deadline: Duration) -> Option<TestResponse> {
+        let start = Instant::now();
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some((response, consumed)) = try_parse_response(&self.buf) {
+                self.buf.drain(..consumed);
+                return Some(response);
+            }
+            if start.elapsed() > deadline {
+                return None;
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return None,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+pub fn format_request(method: &str, path: &str, headers: &[(&str, &str)], body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(format!("{method} {path} HTTP/1.1\r\nHost: test\r\n").as_bytes());
+    for (k, v) in headers {
+        out.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
+    }
+    if !body.is_empty() || method == "POST" {
+        out.extend_from_slice(format!("Content-Length: {}\r\n", body.len()).as_bytes());
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body);
+    out
+}
+
+fn try_parse_response(buf: &[u8]) -> Option<(TestResponse, usize)> {
+    let head_end = buf.windows(4).position(|w| w == b"\r\n\r\n")? + 4;
+    let head = std::str::from_utf8(&buf[..head_end - 4]).ok()?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next()?;
+    let status: u16 = status_line.split(' ').nth(1)?.parse().ok()?;
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|line| {
+            let (k, v) = line.split_once(':')?;
+            Some((k.trim().to_string(), v.trim().to_string()))
+        })
+        .collect();
+    let content_length: usize = headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or(0);
+    let total = head_end + content_length;
+    if buf.len() < total {
+        return None;
+    }
+    Some((
+        TestResponse {
+            status,
+            headers,
+            body: buf[head_end..total].to_vec(),
+        },
+        total,
+    ))
+}
+
+/// One-shot request on a fresh connection.
+pub fn one_shot(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> TestResponse {
+    TestClient::connect(addr).request(method, path, headers, body)
+}

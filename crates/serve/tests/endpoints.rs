@@ -1,0 +1,185 @@
+//! End-to-end endpoint tests against an in-process server on an
+//! ephemeral port: routing, JSON round trips, keep-alive, pipelining,
+//! and the Prometheus exposition.
+
+mod common;
+
+use std::time::Duration;
+
+use common::{one_shot, TestClient};
+use tsc_bench::json::{self, Json};
+use tsc_serve::{validate_exposition, Server, ServerConfig};
+
+fn start_server() -> Server {
+    Server::start(ServerConfig::default()).expect("bind ephemeral port")
+}
+
+const SMALL_SOLVE: &[u8] = br#"{"design": "gemmini-memory", "tiers": 2, "lateral_cells": 6}"#;
+
+#[test]
+fn healthz_designs_and_unknown_routes() {
+    let server = start_server();
+    let addr = server.addr();
+
+    let health = one_shot(addr, "GET", "/healthz", &[], b"");
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body_str(), "ok\n");
+
+    let designs = one_shot(addr, "GET", "/v1/designs", &[], b"");
+    assert_eq!(designs.status, 200);
+    let parsed = json::parse(&designs.body_str()).expect("designs body parses");
+    let names: Vec<&str> = parsed
+        .get("designs")
+        .and_then(Json::as_array)
+        .expect("designs array")
+        .iter()
+        .filter_map(|d| d.get("name").and_then(Json::as_str))
+        .collect();
+    assert!(names.contains(&"gemmini"));
+    assert!(names.contains(&"rocket"));
+
+    assert_eq!(one_shot(addr, "GET", "/v1/nope", &[], b"").status, 404);
+    assert_eq!(one_shot(addr, "POST", "/healthz", &[], b"{}").status, 405);
+    assert_eq!(one_shot(addr, "GET", "/v1/solve", &[], b"").status, 405);
+
+    server.shutdown();
+}
+
+#[test]
+fn solve_round_trip_and_bad_bodies() {
+    let server = start_server();
+    let addr = server.addr();
+
+    let ok = one_shot(addr, "POST", "/v1/solve", &[], SMALL_SOLVE);
+    assert_eq!(ok.status, 200, "body: {}", ok.body_str());
+    let parsed = json::parse(&ok.body_str()).expect("solve body parses");
+    let junction = parsed
+        .get("junction_celsius")
+        .and_then(Json::as_f64)
+        .expect("junction field");
+    assert!(junction > 20.0 && junction < 400.0, "junction {junction}");
+    assert_eq!(
+        parsed
+            .get("tier_profile_celsius")
+            .and_then(Json::as_array)
+            .expect("profile")
+            .len(),
+        2
+    );
+
+    for bad in [
+        &b"not json"[..],
+        b"{}",
+        br#"{"design": "nope"}"#,
+        br#"{"design": "gemmini", "tiers": 9999}"#,
+        br#"{"design": "gemmini", "strategy": 7}"#,
+    ] {
+        let resp = one_shot(addr, "POST", "/v1/solve", &[], bad);
+        assert_eq!(resp.status, 400, "body {:?}", String::from_utf8_lossy(bad));
+        assert!(json::parse(&resp.body_str()).is_ok(), "errors are JSON");
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn metrics_exposition_is_valid_and_tracks_requests() {
+    let server = start_server();
+    let addr = server.addr();
+
+    let solve = one_shot(addr, "POST", "/v1/solve", &[], SMALL_SOLVE);
+    assert_eq!(solve.status, 200);
+    let _ = one_shot(addr, "GET", "/healthz", &[], b"");
+
+    let metrics = one_shot(addr, "GET", "/metrics", &[], b"");
+    assert_eq!(metrics.status, 200);
+    assert!(metrics
+        .header("content-type")
+        .is_some_and(|ct| ct.starts_with("text/plain")));
+    let text = metrics.body_str();
+    validate_exposition(&text).expect("exposition validates");
+
+    // The series the issue requires: requests, latency histogram, queue
+    // depth, context pool.
+    assert!(text.contains("tsc_requests_total{endpoint=\"solve\",status=\"200\"} 1"));
+    assert!(text.contains("tsc_requests_total{endpoint=\"healthz\",status=\"200\"}"));
+    assert!(text.contains("tsc_request_seconds_bucket{endpoint=\"solve\",le=\"+Inf\"} 1"));
+    assert!(text.contains("tsc_request_seconds_quantile{endpoint=\"solve\",quantile=\"0.99\"}"));
+    assert!(text.contains("tsc_queue_depth "));
+    assert!(text.contains("tsc_queue_capacity "));
+    assert!(text.contains("tsc_context_pool_misses_total 1"));
+    assert!(text.contains("tsc_backend_solves_total 1"));
+    assert!(text.contains("tsc_context_assemblies_total"));
+
+    server.shutdown();
+}
+
+#[test]
+fn keep_alive_serves_sequential_requests_on_one_connection() {
+    let server = start_server();
+    let mut client = TestClient::connect(server.addr());
+
+    for _ in 0..3 {
+        let resp = client.request("GET", "/healthz", &[], b"");
+        assert_eq!(resp.status, 200);
+    }
+    // The same connection can then do a solve.
+    let resp = client.request("POST", "/v1/solve", &[], SMALL_SOLVE);
+    assert_eq!(resp.status, 200);
+
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let server = start_server();
+    let mut client = TestClient::connect(server.addr());
+
+    let mut burst = Vec::new();
+    burst.extend_from_slice(&common::format_request("GET", "/healthz", &[], b""));
+    burst.extend_from_slice(&common::format_request("GET", "/v1/designs", &[], b""));
+    burst.extend_from_slice(&common::format_request("GET", "/healthz", &[], b""));
+    client.send_raw(&burst);
+
+    let first = client.read_response(Duration::from_secs(10)).expect("r1");
+    let second = client.read_response(Duration::from_secs(10)).expect("r2");
+    let third = client.read_response(Duration::from_secs(10)).expect("r3");
+    assert_eq!(first.status, 200);
+    assert_eq!(first.body_str(), "ok\n");
+    assert_eq!(second.status, 200);
+    assert!(second.body_str().contains("gemmini"));
+    assert_eq!(third.status, 200);
+    assert_eq!(third.body_str(), "ok\n");
+
+    server.shutdown();
+}
+
+#[test]
+fn connection_close_header_is_honoured() {
+    let server = start_server();
+    let mut client = TestClient::connect(server.addr());
+    let resp = client.request("GET", "/healthz", &[("Connection", "close")], b"");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("connection"), Some("close"));
+    // The server closed: the next read sees EOF, not a response.
+    client.send_raw(&common::format_request("GET", "/healthz", &[], b""));
+    assert!(client.read_response(Duration::from_secs(2)).is_none());
+
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_endpoint_triggers_graceful_drain() {
+    let server = start_server();
+    let addr = server.addr();
+
+    let resp = one_shot(addr, "POST", "/v1/shutdown", &[], b"");
+    assert_eq!(resp.status, 200);
+    // Returns promptly because the endpoint signalled.
+    server.wait_for_shutdown_request();
+    server.shutdown();
+
+    // The port no longer accepts (give the OS a moment to settle).
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(std::net::TcpStream::connect(addr).is_err());
+}

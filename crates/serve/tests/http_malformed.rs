@@ -1,0 +1,210 @@
+//! Property tests for the HTTP layer: seeded corpora of malformed,
+//! truncated, and oversized requests against a live server.  The
+//! invariant is always the same — a clean 4xx/5xx (or a clean close for
+//! an empty connection), never a panic, a hang, or a partial write — and
+//! the server must still answer `/healthz` after the whole corpus.
+
+mod common;
+
+use std::time::Duration;
+
+use common::{one_shot, TestClient};
+use tsc_rng::Rng64;
+use tsc_serve::{Server, ServerConfig};
+
+fn start_server() -> Server {
+    Server::start(ServerConfig {
+        // Tight caps so the corpus can trip every limit cheaply.
+        limits: tsc_serve::Limits {
+            max_head: 2048,
+            max_headers: 16,
+            max_body: 4096,
+        },
+        idle_timeout: Duration::from_millis(500),
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port")
+}
+
+fn assert_alive(server: &Server) {
+    let resp = one_shot(server.addr(), "GET", "/healthz", &[], b"");
+    assert_eq!(resp.status, 200, "server must stay alive");
+}
+
+#[test]
+fn random_garbage_never_panics_or_hangs() {
+    let server = start_server();
+    let mut rng = Rng64::seed_from_u64(0x5E21);
+
+    for round in 0..40 {
+        let len = 1 + (rng.next_u64() % 200) as usize;
+        let garbage: Vec<u8> = (0..len)
+            .map(|_| {
+                // Bias toward printable ASCII with occasional control
+                // bytes, CR and LF — the interesting parser edges.
+                match rng.next_u64() % 10 {
+                    0 => b'\r',
+                    1 => b'\n',
+                    2 => (rng.next_u64() % 32) as u8,
+                    _ => 0x20 + (rng.next_u64() % 95) as u8,
+                }
+            })
+            .collect();
+        let mut client = TestClient::connect(server.addr());
+        client.send_raw(&garbage);
+        client.shutdown_write();
+        // Either a clean error response or a clean close — both fine; a
+        // hang (deadline exceeded with no close) is the failure mode.
+        if let Some(resp) = client.read_response(Duration::from_secs(10)) {
+            assert!(
+                (400..=501).contains(&resp.status),
+                "round {round}: garbage got status {}",
+                resp.status
+            );
+        }
+    }
+    assert_alive(&server);
+    assert_eq!(server.metrics().worker_panics.get(), 0);
+    server.shutdown();
+}
+
+#[test]
+fn mutated_valid_requests_get_clean_errors() {
+    let server = start_server();
+    let mut rng = Rng64::seed_from_u64(0xBADC0DE);
+    let valid = common::format_request(
+        "POST",
+        "/v1/solve",
+        &[],
+        br#"{"design": "gemmini-memory", "tiers": 2, "lateral_cells": 6}"#,
+    );
+
+    for round in 0..40 {
+        let mut mutated = valid.clone();
+        match rng.next_u64() % 4 {
+            // Truncate mid-request then EOF.
+            0 => {
+                let cut = 1 + (rng.next_u64() as usize % (mutated.len() - 1));
+                mutated.truncate(cut);
+            }
+            // Flip one byte in the head.
+            1 => {
+                let head_len = mutated.len() - 60;
+                let at = rng.next_u64() as usize % head_len;
+                mutated[at] = mutated[at].wrapping_add(1 + (rng.next_u64() % 200) as u8);
+            }
+            // Corrupt the JSON body.
+            2 => {
+                let at = mutated.len() - 1 - (rng.next_u64() as usize % 20);
+                mutated[at] = b'@';
+            }
+            // Duplicate a chunk of the request line.
+            _ => {
+                let dup: Vec<u8> = mutated[..10].to_vec();
+                mutated.splice(0..0, dup);
+            }
+        }
+        let mut client = TestClient::connect(server.addr());
+        client.send_raw(&mutated);
+        client.shutdown_write();
+        if let Some(resp) = client.read_response(Duration::from_secs(30)) {
+            // A mutation can leave the request valid (e.g. a body-corrupting
+            // flip may still be JSON) — any complete response is fine, as
+            // long as it is a whole one and the server survives.
+            assert!(
+                resp.status == 200 || (400..=501).contains(&resp.status),
+                "round {round}: status {}",
+                resp.status
+            );
+        }
+    }
+    assert_alive(&server);
+    assert_eq!(server.metrics().worker_panics.get(), 0);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_dimensions_trip_the_right_caps() {
+    let server = start_server();
+    let addr = server.addr();
+
+    // Declared body beyond max_body → 413.
+    let mut client = TestClient::connect(addr);
+    client.send_raw(b"POST /v1/solve HTTP/1.1\r\nHost: t\r\nContent-Length: 100000\r\n\r\n");
+    let resp = client.read_response(Duration::from_secs(10)).expect("413");
+    assert_eq!(resp.status, 413);
+
+    // Header overflow → 431.
+    let mut raw = b"GET /healthz HTTP/1.1\r\n".to_vec();
+    for i in 0..32 {
+        raw.extend_from_slice(format!("X-Filler-{i}: {i}\r\n").as_bytes());
+    }
+    raw.extend_from_slice(b"\r\n");
+    let mut client = TestClient::connect(addr);
+    client.send_raw(&raw);
+    let resp = client.read_response(Duration::from_secs(10)).expect("431");
+    assert_eq!(resp.status, 431);
+
+    // A head that can never terminate → 431 once the cap is hit, even
+    // without a blank line.
+    let mut client = TestClient::connect(addr);
+    client.send_raw(format!("GET /{} HTTP/1.1\r\n", "a".repeat(4000)).as_bytes());
+    let resp = client.read_response(Duration::from_secs(10)).expect("431");
+    assert_eq!(resp.status, 431);
+
+    // Non-digit and negative content-lengths → 400.
+    for bad in ["-5", "12x", "1e3", ""] {
+        let mut client = TestClient::connect(addr);
+        client.send_raw(
+            format!("POST /v1/solve HTTP/1.1\r\nContent-Length: {bad}\r\n\r\n").as_bytes(),
+        );
+        let resp = client.read_response(Duration::from_secs(10)).expect("400");
+        assert_eq!(resp.status, 400, "content-length {bad:?}");
+    }
+
+    // Transfer-encoding → 501.
+    let mut client = TestClient::connect(addr);
+    client.send_raw(b"POST /v1/solve HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+    let resp = client.read_response(Duration::from_secs(10)).expect("501");
+    assert_eq!(resp.status, 501);
+
+    assert_alive(&server);
+    server.shutdown();
+}
+
+#[test]
+fn split_reads_reassemble_into_one_request() {
+    let server = start_server();
+    let mut rng = Rng64::seed_from_u64(0x517);
+    let valid = common::format_request("GET", "/v1/designs", &[], b"");
+
+    for _ in 0..10 {
+        let mut client = TestClient::connect(server.addr());
+        let mut sent = 0;
+        while sent < valid.len() {
+            let n = 1 + rng.next_u64() as usize % (valid.len() - sent);
+            client.send_raw(&valid[sent..sent + n]);
+            sent += n;
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let resp = client
+            .read_response(Duration::from_secs(10))
+            .expect("reply");
+        assert_eq!(resp.status, 200);
+        assert!(resp.body_str().contains("gemmini"));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn stalled_partial_request_gets_408() {
+    let server = start_server();
+    let mut client = TestClient::connect(server.addr());
+    // Send half a request line and go silent (without closing).
+    client.send_raw(b"GET /healthz HT");
+    let resp = client
+        .read_response(Duration::from_secs(10))
+        .expect("408 after idle timeout");
+    assert_eq!(resp.status, 408);
+    server.shutdown();
+}

@@ -88,6 +88,86 @@ impl OperatorKey {
     }
 }
 
+/// A 64-bit fingerprint of every [`Problem`] input the assembled
+/// operator depends on — exactly the fields of the [`SolveContext`]
+/// invalidation snapshot (mesh dimensions, cell pitches, layer
+/// thicknesses, heatsinks, per-column ambient maps, both conductivity
+/// grids). Two problems with equal fingerprints share operator geometry
+/// (up to hash collision), so the fingerprint is the natural key for
+/// pooling [`SolveContext`]s across repeated solves: a service keyed on
+/// it routes same-stack requests to a context whose cached operator and
+/// multigrid hierarchy are already valid. Collisions are harmless for
+/// correctness — the context re-validates against the full snapshot on
+/// every solve and simply re-assembles on mismatch.
+///
+/// The power map deliberately does **not** contribute: power-only
+/// deltas are the cheap path the cache exists for.
+#[must_use]
+pub fn operator_fingerprint(p: &Problem) -> u64 {
+    // FNV-1a over the raw bit patterns: deterministic across platforms
+    // and runs (unlike `DefaultHasher`, which is randomly seeded).
+    let mut h = Fnv::new();
+    let dim = p.dim();
+    h.write_usize(dim.nx);
+    h.write_usize(dim.ny);
+    h.write_usize(dim.nz);
+    h.write_f64(p.dx().meters());
+    h.write_f64(p.dy().meters());
+    for dz in p.dz() {
+        h.write_f64(dz.meters());
+    }
+    for hs in [p.bottom_heatsink(), p.top_heatsink()] {
+        match hs {
+            Some(hs) => {
+                h.write_f64(hs.h.get());
+                h.write_f64(hs.ambient.kelvin());
+            }
+            None => h.write_u64(0xA5A5_A5A5),
+        }
+    }
+    for map in [p.bottom_ambient_map(), p.top_ambient_map()] {
+        match map {
+            Some(map) => {
+                for &t in map.as_slice() {
+                    h.write_f64(t);
+                }
+            }
+            None => h.write_u64(0x5A5A_5A5A),
+        }
+    }
+    for &k in p.kz_flat() {
+        h.write_f64(k);
+    }
+    for &k in p.kxy_flat() {
+        h.write_f64(k);
+    }
+    h.finish()
+}
+
+/// FNV-1a, 64-bit.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Self(0xCBF2_9CE4_8422_2325)
+    }
+    fn write_u64(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+    fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 /// Work counters accumulated across every solve through one context —
 /// the observability record behind the cache-effectiveness tests and
 /// the `BENCH_SOLVER.json` entries.
@@ -387,6 +467,40 @@ mod tests {
         let sol = ctx.solve(&clean, &solver).expect("recovered");
         assert!(sol.stats.residual.is_finite());
         assert!(sol.temperatures.iter_kelvin().all(f64::is_finite));
+    }
+
+    #[test]
+    fn fingerprint_tracks_exactly_the_operator_key() {
+        let p = problem();
+        let base = operator_fingerprint(&p);
+        assert_eq!(base, operator_fingerprint(&p), "deterministic");
+
+        // Power-only deltas keep the fingerprint (the reuse fast path).
+        let mut powered = problem();
+        powered.add_power(1, 1, 7, Power::from_watts(3.0));
+        assert_eq!(base, operator_fingerprint(&powered));
+
+        // Conductivity, heatsink, and mesh changes all move it.
+        let mut k = problem();
+        k.set_layer_conductivity(
+            2,
+            ThermalConductivity::new(5.0),
+            ThermalConductivity::new(5.0),
+        );
+        assert_ne!(base, operator_fingerprint(&k));
+        let mut hs = problem();
+        hs.set_top_heatsink(Heatsink::forced_air());
+        assert_ne!(base, operator_fingerprint(&hs));
+        let other = Problem::uniform_block(
+            8,
+            8,
+            9,
+            Length::from_millimeters(1.0),
+            Length::from_millimeters(1.0),
+            Length::from_micrometers(80.0),
+            ThermalConductivity::new(60.0),
+        );
+        assert_ne!(base, operator_fingerprint(&other));
     }
 
     #[test]
