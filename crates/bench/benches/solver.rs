@@ -10,7 +10,9 @@ use tsc_bench::timing::Bench;
 use tsc_core::beol::BeolProperties;
 use tsc_core::stack::{build, StackConfig};
 use tsc_designs::gemmini;
-use tsc_thermal::{CgSolver, Heatsink, MgSolver, Preconditioner, Problem, Solution, SorSolver};
+use tsc_thermal::{
+    CgSolver, Heatsink, MgSolver, Precision, Preconditioner, Problem, Smoother, Solution, SorSolver,
+};
 use tsc_units::{Length, Power, ThermalConductivity};
 
 fn slab(n: usize, nz: usize) -> Problem {
@@ -161,8 +163,10 @@ fn record(mesh: &str, cells: usize, solver: &str, tol: f64, sol: &Solution, seco
         .field("cells", cells)
         .field("solver", solver)
         .field("preconditioner", sol.stats.preconditioner.to_string())
+        .field("precision", sol.stats.precision.to_string())
         .field("tolerance", tol)
         .field("iterations", sol.stats.iterations)
+        .field("refinements", sol.stats.refinements)
         .field("matvecs", sol.stats.matvecs)
         .field("cycles", sol.stats.cycles)
         .field("wall_seconds_median", seconds)
@@ -220,6 +224,25 @@ fn bench_multigrid_gemmini(b: &Bench) {
     );
     println!("  mg-pcg iteration reduction: {reduction:.1}x, max |dT| = {dev_pcg:.3e} K");
 
+    // The mixed-precision path: f32 inner MG-CG with Chebyshev smoothing
+    // under f64 iterative refinement, to the same 1e-11 tolerance.
+    let mixed = mg_pcg
+        .with_precision(Precision::Mixed)
+        .with_smoother(Smoother::Chebyshev);
+    let t_mixed = b.run("cg_mixed_cheb", samples, || mixed.solve(&p).expect("mixed"));
+    let s_mixed = mixed.solve(&p).expect("mixed");
+    let dev_mixed = max_dev_kelvin(&s_jacobi, &s_mixed);
+    assert!(
+        dev_mixed <= 1e-6,
+        "mixed-precision CG deviates from Jacobi-CG by {dev_mixed} K"
+    );
+    let speedup = t_mg_pcg.seconds() / t_mixed.seconds();
+    println!(
+        "  mixed (f32 inner, chebyshev): {} refinements, {} inner iterations, \
+         {} V-cycles; {speedup:.2}x vs f64 mg-pcg, max |dT| = {dev_mixed:.3e} K",
+        s_mixed.stats.refinements, s_mixed.stats.iterations, s_mixed.stats.cycles,
+    );
+
     // Standalone cycle cross-check on the high-contrast slab (the
     // hardest mesh it converges on as a stationary iteration).
     let mut hc = slab(16, 24);
@@ -255,6 +278,7 @@ fn bench_multigrid_gemmini(b: &Bench) {
             vec![
                 record(&mesh, cells, "cg", tol, &s_jacobi, t_jacobi.seconds()),
                 record(&mesh, cells, "cg", tol, &s_mg_pcg, t_mg_pcg.seconds()),
+                record(&mesh, cells, "cg", tol, &s_mixed, t_mixed.seconds()),
                 record(
                     "high_contrast_slab/16x16x24",
                     16 * 16 * 24,
@@ -270,6 +294,12 @@ fn bench_multigrid_gemmini(b: &Bench) {
             Json::object()
                 .field("iteration_reduction", reduction)
                 .field("max_abs_dt_kelvin", dev_pcg),
+        )
+        .field(
+            "mixed_vs_f64",
+            Json::object()
+                .field("wall_clock_speedup", speedup)
+                .field("max_abs_dt_kelvin", dev_mixed),
         );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_SOLVER.json");
     std::fs::write(path, doc.pretty()).expect("write BENCH_SOLVER.json");

@@ -14,11 +14,11 @@ use tsc_core::flows::{run_flow_with, CoolingStrategy, FlowConfig};
 use tsc_core::pillars::{self, PlacementConfig};
 use tsc_core::stack::{self, StackConfig, StackSolution};
 use tsc_designs::{fujitsu, gemmini, rocket, Design};
-use tsc_thermal::{operator_fingerprint, ContextStats, Heatsink, SolveContext};
+use tsc_thermal::{operator_fingerprint, ContextStats, Heatsink, OperatorSignature, SolveContext};
 use tsc_units::{Ratio, Temperature};
 
 use crate::metrics::Metrics;
-use crate::pool::{Checkout, ContextPool, ServicePools};
+use crate::pool::{Checkout, ContextKey, ContextPool, ServicePools};
 
 /// FNV-1a over bytes — the service's only hash, used for coalesce and
 /// pool keys.
@@ -385,15 +385,22 @@ impl ApiJob {
         }
     }
 
-    /// The coalescing key: FNV-1a of endpoint + canonical JSON.  Requests
-    /// that differ only in key order or omitted defaults share a key.
-    pub fn coalesce_key(&self) -> u64 {
+    /// The full canonical identity: endpoint + canonical JSON.  This is
+    /// what pools store beside the hash and compare on every hit.
+    pub fn canonical_id(&self) -> String {
         let canonical = match self {
             ApiJob::Solve(r) => r.canonical(),
             ApiJob::Flow(r) => r.canonical(),
             ApiJob::Pillars(r) => r.canonical(),
         };
-        fnv1a(format!("{}\n{}", self.endpoint(), canonical.pretty()).as_bytes())
+        format!("{}\n{}", self.endpoint(), canonical.pretty())
+    }
+
+    /// The coalescing key: FNV-1a of [`ApiJob::canonical_id`].  Requests
+    /// that differ only in key order or omitted defaults share a key.
+    /// This hash routes; it never stands in for the identity itself.
+    pub fn coalesce_key(&self) -> u64 {
+        fnv1a(self.canonical_id().as_bytes())
     }
 
     /// Execute against the service pools, recording pool and solver
@@ -416,8 +423,9 @@ impl ApiJob {
                 // The built stack (mesh + assembled problem) costs about
                 // as much as a cold solve, so it is cached too — keyed by
                 // the canonical body, which determines the build exactly.
-                let stack_key = self.coalesce_key();
-                let stack = match pools.stacks.take(stack_key) {
+                let stack_id = self.canonical_id();
+                let stack_key = fnv1a(stack_id.as_bytes());
+                let stack = match pools.stacks.take(stack_key, &stack_id) {
                     Some(stack) => {
                         metrics.stack_cache_hits.inc();
                         stack
@@ -429,9 +437,11 @@ impl ApiJob {
                 };
                 // Pool key is the PR-2 operator fingerprint: geometry-true,
                 // so distinct requests that assemble the same operator
-                // share pooled state.
+                // share pooled state.  The full signature rides along so a
+                // 64-bit fingerprint collision degrades to a miss.
                 let key = operator_fingerprint(&stack.problem);
-                let result = run_pooled(pool, metrics, key, |ctx| {
+                let ctx_key = ContextKey::Operator(OperatorSignature::of(&stack.problem));
+                let result = run_pooled(pool, metrics, key, ctx_key, |ctx| {
                     let solution = ctx
                         .solve(&stack.problem, &stack::hot_loop_solver())
                         .map_err(|e| (500, format!("solve failed: {e}")))?;
@@ -441,13 +451,14 @@ impl ApiJob {
                     };
                     Ok(render_solve(req, &stack_solution, ctx.stats()))
                 });
-                pools.stacks.put(stack_key, stack);
+                pools.stacks.put(stack_key, stack_id, stack);
                 result
             }
             ApiJob::Flow(req) => {
                 let design = lookup_design(&req.design).map_err(|e| (500, e))?;
                 let key = self.coalesce_key();
-                run_pooled(pool, metrics, key, |ctx| {
+                let ctx_key = ContextKey::Canonical(self.canonical_id());
+                run_pooled(pool, metrics, key, ctx_key, |ctx| {
                     let result = run_flow_with(design, &req.config, ctx)
                         .map_err(|e| (500, format!("flow failed: {e}")))?;
                     Ok(Json::object()
@@ -468,7 +479,8 @@ impl ApiJob {
             ApiJob::Pillars(req) => {
                 let design = lookup_design(&req.design).map_err(|e| (500, e))?;
                 let key = self.coalesce_key();
-                run_pooled(pool, metrics, key, |ctx| {
+                let ctx_key = ContextKey::Canonical(self.canonical_id());
+                run_pooled(pool, metrics, key, ctx_key, |ctx| {
                     let plan = pillars::place_with(design, &req.config, ctx)
                         .map_err(|e| (500, format!("placement failed: {e}")))?;
                     Ok(match plan {
@@ -495,12 +507,13 @@ fn run_pooled<F>(
     pool: &ContextPool,
     metrics: &Metrics,
     key: u64,
+    ctx_key: ContextKey,
     body: F,
 ) -> Result<String, (u16, String)>
 where
     F: FnOnce(&mut SolveContext) -> Result<String, (u16, String)>,
 {
-    let (mut ctx, outcome) = pool.checkout(key);
+    let (mut ctx, outcome) = pool.checkout(key, &ctx_key);
     match outcome {
         Checkout::Hit => metrics.pool_hits.inc(),
         Checkout::Miss => metrics.pool_misses.inc(),
@@ -511,7 +524,7 @@ where
     metrics.backend_solves_total.inc();
     // Check the context back in even on failure: the context revalidates
     // itself, so a failed solve cannot poison later requests.
-    let evicted = pool.checkin(key, ctx);
+    let evicted = pool.checkin(key, ctx_key, ctx);
     metrics.pool_evictions.add(evicted as u64);
     result
 }

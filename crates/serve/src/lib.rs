@@ -42,5 +42,5 @@ pub mod server;
 pub use api::ApiJob;
 pub use http::{Limits, Request, Response};
 pub use metrics::{validate_exposition, Metrics};
-pub use pool::{ContextPool, LruPool, ServicePools};
+pub use pool::{ContextKey, ContextPool, LruPool, ServicePools};
 pub use server::{Server, ServerConfig};

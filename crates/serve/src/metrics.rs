@@ -83,11 +83,15 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
-    /// Interpolated quantile in microseconds (`q` in [0, 1]); 0 when empty.
-    pub fn quantile_us(&self, q: f64) -> f64 {
+    /// Interpolated quantile in microseconds (`q` in [0, 1]).
+    ///
+    /// `None` while the histogram is empty: an empty histogram has no
+    /// quantiles, and rendering a placeholder 0 would be indistinguishable
+    /// from a genuine zero-latency measurement on a dashboard.
+    pub fn quantile_us(&self, q: f64) -> Option<f64> {
         let total = self.count();
         if total == 0 {
-            return 0.0;
+            return None;
         }
         let target = (q * total as f64).ceil().max(1.0);
         let mut cumulative = 0u64;
@@ -97,13 +101,16 @@ impl Histogram {
             let next = cumulative + in_bucket;
             if (next as f64) >= target && in_bucket > 0 {
                 let into = (target - cumulative as f64) / in_bucket as f64;
-                return lower as f64 + into * (*bound - lower) as f64;
+                return Some(lower as f64 + into * (*bound - lower) as f64);
             }
             cumulative = next;
             lower = *bound;
         }
-        // Tail beyond the last bound: report the last bound.
-        *BUCKET_BOUNDS_US.last().unwrap_or(&0) as f64
+        // The quantile falls in the +Inf bucket (observations beyond the
+        // last finite bound).  That bucket has no upper edge to
+        // interpolate against, so clamp to the largest finite bound
+        // rather than extrapolating an unbounded interval.
+        Some(*BUCKET_BOUNDS_US.last().unwrap_or(&0) as f64)
     }
 
     fn render(&self, name: &str, labels: &str, out: &mut String) {
@@ -223,17 +230,27 @@ impl Metrics {
             );
         }
 
-        out.push_str(
-            "# HELP tsc_request_seconds_quantile Latency quantiles interpolated at scrape time.\n",
-        );
-        out.push_str("# TYPE tsc_request_seconds_quantile gauge\n");
+        // No observations → no quantile series: a placeholder 0 s gauge
+        // would read as a real measurement.  The HELP/TYPE header is also
+        // withheld until at least one series exists (a sample-less TYPE is
+        // invalid exposition).
+        let mut quantiles = String::new();
         for (i, endpoint) in HEAVY_ENDPOINTS.iter().enumerate() {
             for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99)] {
-                let seconds = self.latency[i].quantile_us(q) / 1e6;
-                out.push_str(&format!(
-                    "tsc_request_seconds_quantile{{endpoint=\"{endpoint}\",quantile=\"{label}\"}} {seconds}\n"
-                ));
+                if let Some(us) = self.latency[i].quantile_us(q) {
+                    let seconds = us / 1e6;
+                    quantiles.push_str(&format!(
+                        "tsc_request_seconds_quantile{{endpoint=\"{endpoint}\",quantile=\"{label}\"}} {seconds}\n"
+                    ));
+                }
             }
+        }
+        if !quantiles.is_empty() {
+            out.push_str(
+                "# HELP tsc_request_seconds_quantile Latency quantiles interpolated at scrape time.\n",
+            );
+            out.push_str("# TYPE tsc_request_seconds_quantile gauge\n");
+            out.push_str(&quantiles);
         }
 
         let gauges: [(&str, &str, i64); 4] = [
@@ -372,13 +389,13 @@ mod tests {
             h.observe_us(400); // all in the first bucket (≤500µs)
         }
         assert_eq!(h.count(), 100);
-        let p50 = h.quantile_us(0.5);
+        let p50 = h.quantile_us(0.5).expect("non-empty");
         assert!(p50 > 0.0 && p50 <= 500.0, "p50 = {p50}");
         // Add a slow tail and check p99 moves into a later bucket.
         for _ in 0..5 {
             h.observe_us(90_000);
         }
-        assert!(h.quantile_us(0.99) > 50_000.0);
+        assert!(h.quantile_us(0.99).expect("non-empty") > 50_000.0);
     }
 
     #[test]
@@ -386,7 +403,48 @@ mod tests {
         let h = Histogram::default();
         h.observe_us(50_000_000); // beyond 10s bound → +Inf only
         assert_eq!(h.count(), 1);
-        assert!(h.quantile_us(0.5) > 0.0);
+        assert!(h.quantile_us(0.5).expect("non-empty") > 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_us(0.5), None);
+        assert_eq!(h.quantile_us(0.99), None);
+        // ...and render must omit the quantile series entirely rather than
+        // publishing a fake 0 s gauge.
+        let m = Metrics::default();
+        m.record_request("solve", 200);
+        let text = m.render();
+        validate_exposition(&text).expect("exposition must validate");
+        assert!(
+            !text.contains("tsc_request_seconds_quantile{"),
+            "no quantile series while every histogram is empty"
+        );
+        // The histogram series themselves (all-zero buckets) still render.
+        assert!(text.contains("tsc_request_seconds_bucket{endpoint=\"solve\",le=\"+Inf\"} 0"));
+        m.observe_latency_us("solve", 1_000);
+        let text = m.render();
+        assert!(text.contains("tsc_request_seconds_quantile{endpoint=\"solve\",quantile=\"0.5\"}"));
+        assert!(
+            !text.contains("tsc_request_seconds_quantile{endpoint=\"flow\""),
+            "flow histogram is still empty"
+        );
+    }
+
+    #[test]
+    fn quantile_in_overflow_bucket_clamps_to_last_finite_bound() {
+        let h = Histogram::default();
+        // One fast observation, nine far beyond the last finite bound: the
+        // median sits in +Inf, which has no upper edge to interpolate
+        // against.  It must clamp to the 10 s bound, not extrapolate.
+        h.observe_us(400);
+        for _ in 0..9 {
+            h.observe_us(60_000_000);
+        }
+        let last = *BUCKET_BOUNDS_US.last().unwrap() as f64;
+        assert_eq!(h.quantile_us(0.5), Some(last));
+        assert_eq!(h.quantile_us(0.99), Some(last));
     }
 
     #[test]

@@ -4,20 +4,24 @@
 //! A/B benchmarking):
 //!
 //! * [`ContextPool`] — [`SolveContext`]s keyed by the PR-2 operator
-//!   fingerprint.  A pooled context carries the assembled operator, the
-//!   multigrid hierarchy, and the last temperature field for one
+//!   fingerprint (solve endpoint) or the canonical request body
+//!   (flow/pillars).  A pooled context carries the assembled operator,
+//!   the multigrid hierarchy, and the last temperature field for one
 //!   geometry, so a repeat solve skips assembly and hierarchy
-//!   construction and warm-starts from the previous field.  A key
-//!   collision is harmless because `SolveContext` revalidates its own
-//!   `OperatorKey` on every solve and rebuilds if the geometry actually
-//!   differs.
-//! * The *stack cache* (an [`LruPool<Stack3d>`] keyed by the canonical
-//!   request hash) — the built mesh/problem for a `POST /v1/solve` body.
-//!   Building a stack (pillar map, homogenization, assembly inputs) costs
-//!   about as much as a cold solve, so without this cache a pooled hot
-//!   request would still pay half its cold cost.  The canonical-body key
-//!   is exact: the build is deterministic in the request, so a hit cannot
-//!   be stale.
+//!   construction and warm-starts from the previous field.
+//! * The *stack cache* (an [`LruPool`]`<String, Stack3d>` keyed by the
+//!   canonical request hash) — the built mesh/problem for a
+//!   `POST /v1/solve` body.  Building a stack (pillar map,
+//!   homogenization, assembly inputs) costs about as much as a cold
+//!   solve, so without this cache a pooled hot request would still pay
+//!   half its cold cost.
+//!
+//! Every pool routes on a 64-bit FNV-1a hash but stores the **full key**
+//! beside each entry and equality-checks it on every take.  The hash is
+//! a routing hint, not an identity: a 64-bit collision between two
+//! distinct geometries used to alias their pooled state (handing one
+//! stack's warm-start field and hierarchy to another), which the full
+//! comparison now degrades to an ordinary miss.
 //!
 //! `take`/`checkout` *remove* the entry — state is owned by exactly one
 //! worker at a time, so two concurrent solves on the same geometry get
@@ -26,7 +30,7 @@
 use std::sync::Mutex;
 
 use tsc_core::stack::Stack3d;
-use tsc_thermal::SolveContext;
+use tsc_thermal::{OperatorSignature, SolveContext};
 
 /// Outcome of a checkout, for metrics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,16 +39,16 @@ pub enum Checkout {
     Miss,
 }
 
-/// LRU keyed by `u64`.  The backing store is a `Vec` in recency order
-/// (most recent at the back); pool caps are small (tens), so linear scans
-/// beat a hash map + intrusive list in both code size and constant
-/// factor.
-pub struct LruPool<T> {
+/// LRU routed by a `u64` hash and validated by a full key `K`.  The
+/// backing store is a `Vec` in recency order (most recent at the back);
+/// pool caps are small (tens), so linear scans beat a hash map +
+/// intrusive list in both code size and constant factor.
+pub struct LruPool<K, T> {
     cap: usize,
-    entries: Mutex<Vec<(u64, T)>>,
+    entries: Mutex<Vec<(u64, K, T)>>,
 }
 
-impl<T> LruPool<T> {
+impl<K: PartialEq, T> LruPool<K, T> {
     /// `cap == 0` disables the pool entirely: every take misses and puts
     /// are dropped.
     pub fn new(cap: usize) -> Self {
@@ -69,8 +73,10 @@ impl<T> LruPool<T> {
         self.len() == 0
     }
 
-    /// Remove and return the entry for `key`, if pooled.
-    pub fn take(&self, key: u64) -> Option<T> {
+    /// Remove and return the entry for `hash`, if pooled **and** its
+    /// stored full key equals `key` — a hash collision is a miss, never
+    /// an alias.
+    pub fn take(&self, hash: u64, key: &K) -> Option<T> {
         if self.cap == 0 {
             return None;
         }
@@ -78,13 +84,15 @@ impl<T> LruPool<T> {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
         };
-        let i = entries.iter().position(|(k, _)| *k == key)?;
-        Some(entries.remove(i).1)
+        let i = entries
+            .iter()
+            .position(|(h, k, _)| *h == hash && k == key)?;
+        Some(entries.remove(i).2)
     }
 
-    /// Insert (or refresh) `key`.  Evicts least-recently-used entries when
-    /// over capacity; returns the number of evictions.
-    pub fn put(&self, key: u64, value: T) -> usize {
+    /// Insert (or refresh) `hash`/`key`.  Evicts least-recently-used
+    /// entries when over capacity; returns the number of evictions.
+    pub fn put(&self, hash: u64, key: K, value: T) -> usize {
         if self.cap == 0 {
             return 0;
         }
@@ -93,11 +101,13 @@ impl<T> LruPool<T> {
             Err(poisoned) => poisoned.into_inner(),
         };
         // Replace any entry another worker put for the same key while we
-        // held ours — keeping the newest state is the better reuse.
-        if let Some(i) = entries.iter().position(|(k, _)| *k == key) {
+        // held ours — keeping the newest state is the better reuse.  A
+        // colliding hash with a *different* full key is left alone (it
+        // is someone else's state, not a stale copy of ours).
+        if let Some(i) = entries.iter().position(|(h, k, _)| *h == hash && *k == key) {
             entries.remove(i);
         }
-        entries.push((key, value));
+        entries.push((hash, key, value));
         let mut evicted = 0;
         while entries.len() > self.cap {
             entries.remove(0);
@@ -107,9 +117,21 @@ impl<T> LruPool<T> {
     }
 }
 
+/// Full validation key of a pooled [`SolveContext`] — stored beside the
+/// routing hash and compared on every checkout.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ContextKey {
+    /// Geometry-true operator identity (`POST /v1/solve`): distinct
+    /// requests that assemble the same operator share pooled state.
+    Operator(OperatorSignature),
+    /// Canonical request identity (`POST /v1/flow`, `POST /v1/pillars`):
+    /// endpoint + canonical JSON body.
+    Canonical(String),
+}
+
 /// The [`SolveContext`] level: misses manufacture a fresh context.
 pub struct ContextPool {
-    inner: LruPool<SolveContext>,
+    inner: LruPool<ContextKey, SolveContext>,
 }
 
 impl ContextPool {
@@ -133,9 +155,10 @@ impl ContextPool {
         self.inner.is_empty()
     }
 
-    /// Take the context for `key` out of the pool, or build a fresh one.
-    pub fn checkout(&self, key: u64) -> (SolveContext, Checkout) {
-        match self.inner.take(key) {
+    /// Take the context for `hash`/`key` out of the pool, or build a
+    /// fresh one.
+    pub fn checkout(&self, hash: u64, key: &ContextKey) -> (SolveContext, Checkout) {
+        match self.inner.take(hash, key) {
             Some(ctx) => (ctx, Checkout::Hit),
             None => (SolveContext::new(), Checkout::Miss),
         }
@@ -143,15 +166,15 @@ impl ContextPool {
 
     /// Return a context to the pool.  Evicts the least-recently-used entry
     /// when over capacity; returns the number of evictions (0 or 1).
-    pub fn checkin(&self, key: u64, ctx: SolveContext) -> usize {
-        self.inner.put(key, ctx)
+    pub fn checkin(&self, hash: u64, key: ContextKey, ctx: SolveContext) -> usize {
+        self.inner.put(hash, key, ctx)
     }
 }
 
 /// Both pool levels, built together from one `--pool-cap`.
 pub struct ServicePools {
     pub contexts: ContextPool,
-    pub stacks: LruPool<Stack3d>,
+    pub stacks: LruPool<String, Stack3d>,
 }
 
 impl ServicePools {
@@ -167,69 +190,123 @@ impl ServicePools {
 mod tests {
     use super::*;
 
+    fn key(s: &str) -> ContextKey {
+        ContextKey::Canonical(s.to_string())
+    }
+
     #[test]
     fn cold_checkout_misses_then_checkin_makes_it_hit() {
         let pool = ContextPool::new(2);
-        let (ctx, outcome) = pool.checkout(42);
+        let (ctx, outcome) = pool.checkout(42, &key("a"));
         assert_eq!(outcome, Checkout::Miss);
-        pool.checkin(42, ctx);
+        pool.checkin(42, key("a"), ctx);
         assert_eq!(pool.len(), 1);
-        let (_, outcome) = pool.checkout(42);
+        let (_, outcome) = pool.checkout(42, &key("a"));
         assert_eq!(outcome, Checkout::Hit);
         // checkout removed the entry: a second checkout of the same key misses.
-        let (_, outcome) = pool.checkout(42);
+        let (_, outcome) = pool.checkout(42, &key("a"));
         assert_eq!(outcome, Checkout::Miss);
+    }
+
+    #[test]
+    fn hash_collision_with_different_key_is_a_miss_not_an_alias() {
+        // Regression (fingerprint-collision cache aliasing): two distinct
+        // geometries whose 64-bit fingerprints collide must never share
+        // pooled state.  Crafted here by reusing one routing hash for two
+        // different full keys.
+        let pool = ContextPool::new(4);
+        let (ctx, _) = pool.checkout(0xDEAD_BEEF, &key("stack-a"));
+        pool.checkin(0xDEAD_BEEF, key("stack-a"), ctx);
+        // Same hash, different identity: must miss and must NOT remove
+        // stack-a's entry.
+        let (_, outcome) = pool.checkout(0xDEAD_BEEF, &key("stack-b"));
+        assert_eq!(outcome, Checkout::Miss, "collision must be a miss");
+        assert_eq!(pool.len(), 1, "the colliding entry must survive");
+        let (_, outcome) = pool.checkout(0xDEAD_BEEF, &key("stack-a"));
+        assert_eq!(outcome, Checkout::Hit, "the real owner still hits");
+    }
+
+    #[test]
+    fn generic_pool_rejects_colliding_full_keys() {
+        let pool: LruPool<String, u32> = LruPool::new(4);
+        pool.put(7, "alpha".into(), 1);
+        assert_eq!(pool.take(7, &"beta".to_string()), None);
+        assert_eq!(pool.take(7, &"alpha".to_string()), Some(1));
+    }
+
+    #[test]
+    fn put_replaces_same_key_but_keeps_colliding_neighbours() {
+        let pool: LruPool<String, u32> = LruPool::new(4);
+        pool.put(7, "alpha".into(), 1);
+        pool.put(7, "beta".into(), 2); // collision: distinct entry
+        assert_eq!(pool.len(), 2);
+        pool.put(7, "alpha".into(), 3); // refresh replaces only alpha
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.take(7, &"alpha".to_string()), Some(3));
+        assert_eq!(pool.take(7, &"beta".to_string()), Some(2));
     }
 
     #[test]
     fn lru_eviction_drops_the_oldest_key() {
         let pool = ContextPool::new(2);
-        for key in [1u64, 2, 3] {
-            let (ctx, _) = pool.checkout(key);
-            pool.checkin(key, ctx);
+        for (hash, name) in [(1u64, "a"), (2, "b"), (3, "c")] {
+            let (ctx, _) = pool.checkout(hash, &key(name));
+            pool.checkin(hash, key(name), ctx);
         }
         assert_eq!(pool.len(), 2);
-        assert_eq!(pool.checkout(1).1, Checkout::Miss, "oldest evicted");
-        assert_eq!(pool.checkout(3).1, Checkout::Hit);
-        assert_eq!(pool.checkout(2).1, Checkout::Hit);
+        assert_eq!(
+            pool.checkout(1, &key("a")).1,
+            Checkout::Miss,
+            "oldest evicted"
+        );
+        assert_eq!(pool.checkout(3, &key("c")).1, Checkout::Hit);
+        assert_eq!(pool.checkout(2, &key("b")).1, Checkout::Hit);
     }
 
     #[test]
     fn touching_a_key_refreshes_its_recency() {
         let pool = ContextPool::new(2);
-        for key in [1u64, 2] {
-            let (ctx, _) = pool.checkout(key);
-            pool.checkin(key, ctx);
+        for (hash, name) in [(1u64, "a"), (2, "b")] {
+            let (ctx, _) = pool.checkout(hash, &key(name));
+            pool.checkin(hash, key(name), ctx);
         }
         // Touch 1 so that 2 becomes the LRU victim.
-        let (ctx, outcome) = pool.checkout(1);
+        let (ctx, outcome) = pool.checkout(1, &key("a"));
         assert_eq!(outcome, Checkout::Hit);
-        pool.checkin(1, ctx);
-        let (ctx, _) = pool.checkout(3);
-        let evicted = pool.checkin(3, ctx);
+        pool.checkin(1, key("a"), ctx);
+        let (ctx, _) = pool.checkout(3, &key("c"));
+        let evicted = pool.checkin(3, key("c"), ctx);
         assert_eq!(evicted, 1);
-        assert_eq!(pool.checkout(2).1, Checkout::Miss, "2 was the LRU victim");
-        assert_eq!(pool.checkout(1).1, Checkout::Hit);
+        assert_eq!(
+            pool.checkout(2, &key("b")).1,
+            Checkout::Miss,
+            "2 was the LRU victim"
+        );
+        assert_eq!(pool.checkout(1, &key("a")).1, Checkout::Hit);
     }
 
     #[test]
     fn zero_capacity_disables_pooling() {
         let pool = ContextPool::new(0);
-        let (ctx, outcome) = pool.checkout(7);
+        let (ctx, outcome) = pool.checkout(7, &key("z"));
         assert_eq!(outcome, Checkout::Miss);
-        assert_eq!(pool.checkin(7, ctx), 0);
+        assert_eq!(pool.checkin(7, key("z"), ctx), 0);
         assert_eq!(pool.len(), 0);
-        assert_eq!(pool.checkout(7).1, Checkout::Miss);
+        assert_eq!(pool.checkout(7, &key("z")).1, Checkout::Miss);
     }
 
     #[test]
     fn generic_pool_takes_and_puts_arbitrary_state() {
-        let pool: LruPool<String> = LruPool::new(1);
-        assert!(pool.take(9).is_none());
-        assert_eq!(pool.put(9, "nine".into()), 0);
-        assert_eq!(pool.put(10, "ten".into()), 1, "cap 1 evicts the older key");
-        assert!(pool.take(9).is_none());
-        assert_eq!(pool.take(10).as_deref(), Some("ten"));
+        let pool: LruPool<String, String> = LruPool::new(1);
+        assert!(pool.take(9, &"nine".to_string()).is_none());
+        assert_eq!(pool.put(9, "nine".into(), "nine".into()), 0);
+        assert_eq!(
+            pool.put(10, "ten".into(), "ten".into()),
+            1,
+            "cap 1 evicts the older key"
+        );
+        assert!(pool.take(9, &"nine".to_string()).is_none());
+        assert_eq!(pool.take(10, &"ten".to_string()).as_deref(), Some("ten"));
         assert!(pool.is_empty());
     }
 }

@@ -23,6 +23,10 @@
 //! |                                  | is unchanged (a nearby design's field   |
 //! |                                  | is still an excellent initial guess)    |
 //! | cell count                       | cold start                              |
+//! | solver configuration (tolerance, | warm field dropped: a field converged   |
+//! | preconditioner, precision,       | under looser arithmetic (f32 inner) or  |
+//! | smoother)                        | a looser tolerance must never seed a    |
+//! |                                  | stricter solve                          |
 //! | any failed solve                 | warm field dropped (never seed from a   |
 //! |                                  | possibly-poisoned iterate)              |
 //!
@@ -31,9 +35,10 @@
 //! both heatsinks and both conductivity grids — so a cached operator can
 //! never be silently stale.
 
-use crate::multigrid::{MgHierarchy, MgParams, MgWorkspace};
+use crate::kernels::{HierarchyF32, WorkspaceF32};
+use crate::multigrid::{MgHierarchy, MgWorkspace, Smoother};
 use crate::problem::Problem;
-use crate::solver::{Assembled, CgSolver, Preconditioner, Solution, SolveError};
+use crate::solver::{Assembled, CgSolver, Precision, Preconditioner, Solution, SolveError};
 use tsc_geometry::Dim3;
 use tsc_units::Length;
 
@@ -92,13 +97,14 @@ impl OperatorKey {
 /// operator depends on — exactly the fields of the [`SolveContext`]
 /// invalidation snapshot (mesh dimensions, cell pitches, layer
 /// thicknesses, heatsinks, per-column ambient maps, both conductivity
-/// grids). Two problems with equal fingerprints share operator geometry
-/// (up to hash collision), so the fingerprint is the natural key for
-/// pooling [`SolveContext`]s across repeated solves: a service keyed on
-/// it routes same-stack requests to a context whose cached operator and
-/// multigrid hierarchy are already valid. Collisions are harmless for
-/// correctness — the context re-validates against the full snapshot on
-/// every solve and simply re-assembles on mismatch.
+/// grids). Two problems with equal fingerprints *usually* share
+/// operator geometry, so the fingerprint is the natural **routing hint**
+/// for pooling [`SolveContext`]s across repeated solves. It is a hash,
+/// not an identity: a colliding pair of distinct operators would alias
+/// under the bare `u64`, so any cache keyed on it must store the full
+/// [`OperatorSignature`] beside each entry and compare it on every hit
+/// (a mismatch is a miss). The context itself always re-validates
+/// against the full snapshot before reusing anything.
 ///
 /// The power map deliberately does **not** contribute: power-only
 /// deltas are the cheap path the cache exists for.
@@ -142,6 +148,28 @@ pub fn operator_fingerprint(p: &Problem) -> u64 {
         h.write_f64(k);
     }
     h.finish()
+}
+
+/// The full operator-identity snapshot behind [`operator_fingerprint`],
+/// as an opaque comparable value. Caches that route on the 64-bit
+/// fingerprint store one of these beside each entry and equality-check
+/// it on every hit, so a fingerprint collision degrades to a cache miss
+/// instead of silently reusing another stack's operator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatorSignature(OperatorKey);
+
+impl OperatorSignature {
+    /// Snapshots the operator identity of `p`.
+    #[must_use]
+    pub fn of(p: &Problem) -> Self {
+        Self(OperatorKey::snapshot(p))
+    }
+
+    /// Allocation-free check that `p` still has this operator identity.
+    #[must_use]
+    pub fn matches(&self, p: &Problem) -> bool {
+        self.0.matches(p)
+    }
 }
 
 /// FNV-1a, 64-bit.
@@ -222,9 +250,39 @@ pub struct SolveContext {
     asm: Option<Assembled>,
     hierarchy: Option<MgHierarchy>,
     workspace: Option<MgWorkspace>,
-    warm: Option<Vec<f64>>,
+    /// f32 shadow hierarchy + scratch for mixed-precision solves (built
+    /// lazily, invalidated with the f64 hierarchy).
+    h32: Option<HierarchyF32>,
+    ws32: Option<WorkspaceF32>,
+    warm: Option<(WarmKey, Vec<f64>)>,
     warm_start: bool,
     stats: ContextStats,
+}
+
+/// Validity key of the cached warm-start field: the solver
+/// configuration the field was converged under. A field from a looser
+/// tolerance, a different preconditioner/smoother, or the f32-inner
+/// mixed path must never silently seed a solve with stricter (or merely
+/// different) convergence semantics — reusing it across configurations
+/// would make the second solve's iteration count, trajectory, and
+/// (for golden flows) bit pattern depend on unrelated earlier solves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct WarmKey {
+    tol: f64,
+    precon: Preconditioner,
+    precision: Precision,
+    smoother: Smoother,
+}
+
+impl WarmKey {
+    fn of(solver: &CgSolver) -> Self {
+        Self {
+            tol: solver.tolerance(),
+            precon: solver.preconditioner(),
+            precision: solver.precision(),
+            smoother: solver.smoother(),
+        }
+    }
 }
 
 impl SolveContext {
@@ -262,6 +320,8 @@ impl SolveContext {
         self.asm = None;
         self.hierarchy = None;
         self.workspace = None;
+        self.h32 = None;
+        self.ws32 = None;
         self.warm = None;
     }
 
@@ -287,14 +347,34 @@ impl SolveContext {
             self.asm = Some(asm);
             self.hierarchy = None;
             self.workspace = None;
+            self.h32 = None;
+            self.ws32 = None;
             self.stats.assemblies += 1;
         }
 
         let params = solver.params();
+        let warm_key = WarmKey::of(solver);
+        let needs_mg = solver.precision() == Precision::Mixed
+            || solver.preconditioner() == Preconditioner::Multigrid;
+        // A hierarchy built for a different smoother (no Chebyshev
+        // bounds, or the wrong ones) cannot be reused.
+        if needs_mg
+            && self
+                .hierarchy
+                .as_ref()
+                .is_some_and(|mg| mg.smoother() != solver.smoother())
+        {
+            self.hierarchy = None;
+            self.workspace = None;
+            self.h32 = None;
+            self.ws32 = None;
+        }
         let Self {
             asm,
             hierarchy,
             workspace,
+            h32,
+            ws32,
             warm,
             warm_start,
             stats,
@@ -306,33 +386,42 @@ impl SolveContext {
         let rhs = asm.rhs_with_power(p.power_flat());
         let n = asm.dim.len();
         let mut x = match warm {
-            Some(w) if *warm_start && w.len() == n => {
+            Some((key, w)) if *warm_start && *key == warm_key && w.len() == n => {
                 stats.warm_starts += 1;
                 w.clone()
             }
             _ => vec![asm.initial_guess; n],
         };
 
-        let result = match solver.preconditioner() {
-            Preconditioner::Multigrid => {
-                if hierarchy.is_none() {
-                    let mg = MgHierarchy::build(
-                        asm,
-                        &MgParams::with_exec(params.threads, params.crossover),
-                    )?;
-                    *workspace = Some(mg.workspace());
-                    *hierarchy = Some(mg);
-                    stats.hierarchy_builds += 1;
-                }
-                // Both were just built in the `is_none` branch above;
-                // None is unreachable here.
-                // tsc-analyze: allow(no-unwrap): populated in the branch above
-                let mg = hierarchy.as_ref().expect("hierarchy cached above");
-                // tsc-analyze: allow(no-unwrap): populated in the branch above
-                let ws = workspace.as_mut().expect("workspace cached above");
-                asm.cg_core_mg(&rhs, &mut x, &params, mg, ws)
+        if needs_mg && hierarchy.is_none() {
+            let mg = MgHierarchy::build(asm, &solver.mg_params())?;
+            *workspace = Some(mg.workspace());
+            *hierarchy = Some(mg);
+            stats.hierarchy_builds += 1;
+        }
+        let result = if solver.precision() == Precision::Mixed {
+            // tsc-analyze: allow(no-unwrap): populated in the branch above
+            let mg = hierarchy.as_ref().expect("hierarchy cached above");
+            // tsc-analyze: allow(no-unwrap): populated in the branch above
+            let ws = workspace.as_mut().expect("workspace cached above");
+            if h32.is_none() {
+                let shadow = HierarchyF32::build(asm, mg);
+                *ws32 = Some(shadow.workspace());
+                *h32 = Some(shadow);
             }
-            _ => asm.cg_core(None, &rhs, &mut x, &params),
+            // tsc-analyze: allow(no-unwrap): populated in the branch above
+            let shadow = h32.as_ref().expect("f32 hierarchy cached above");
+            // tsc-analyze: allow(no-unwrap): populated in the branch above
+            let scratch = ws32.as_mut().expect("f32 workspace cached above");
+            asm.cg_core_mixed(&rhs, &mut x, &params, mg, ws, shadow, scratch)
+        } else if solver.preconditioner() == Preconditioner::Multigrid {
+            // tsc-analyze: allow(no-unwrap): populated in the branch above
+            let mg = hierarchy.as_ref().expect("hierarchy cached above");
+            // tsc-analyze: allow(no-unwrap): populated in the branch above
+            let ws = workspace.as_mut().expect("workspace cached above");
+            asm.cg_core_mg(&rhs, &mut x, &params, mg, ws)
+        } else {
+            asm.cg_core(None, &rhs, &mut x, &params)
         };
 
         match result {
@@ -341,7 +430,7 @@ impl SolveContext {
                 stats.total_matvecs += solver_stats.matvecs;
                 stats.total_cycles += solver_stats.cycles;
                 if *warm_start {
-                    *warm = Some(x.clone());
+                    *warm = Some((warm_key, x.clone()));
                 }
                 Ok(asm.solution(&x, solver_stats, p.total_power().watts()))
             }
@@ -501,6 +590,85 @@ mod tests {
             ThermalConductivity::new(60.0),
         );
         assert_ne!(base, operator_fingerprint(&other));
+    }
+
+    #[test]
+    fn solver_config_switch_invalidates_warm_field() {
+        // Regression (stale warm-start field): the warm field used to
+        // survive *any* solve with a matching cell count, so an
+        // f32-converged mixed solve could seed a subsequent strict-f64
+        // solve. The warm key now pins tolerance, preconditioner,
+        // precision and smoother.
+        let p = problem();
+        let mut ctx = SolveContext::new();
+        let f64_solver = mg_solver();
+        let mixed_solver = mg_solver().with_precision(Precision::Mixed);
+
+        ctx.solve(&p, &mixed_solver).expect("mixed cold");
+        ctx.solve(&p, &f64_solver).expect("f64 after mixed");
+        assert_eq!(
+            ctx.stats().warm_starts,
+            0,
+            "precision switch must not warm-start"
+        );
+        ctx.solve(&p, &f64_solver).expect("f64 repeat");
+        assert_eq!(ctx.stats().warm_starts, 1, "same config warm-starts");
+
+        let loose = mg_solver().with_tolerance(1e-6);
+        ctx.solve(&p, &loose).expect("loose");
+        assert_eq!(
+            ctx.stats().warm_starts,
+            1,
+            "tolerance switch must not warm-start"
+        );
+        ctx.solve(&p, &CgSolver::new().with_tolerance(1e-9))
+            .expect("jacobi");
+        assert_eq!(
+            ctx.stats().warm_starts,
+            1,
+            "preconditioner switch must not warm-start"
+        );
+    }
+
+    #[test]
+    fn mixed_solves_reuse_cached_f32_hierarchy() {
+        let mut p = problem();
+        let mut ctx = SolveContext::new();
+        let solver = mg_solver().with_precision(Precision::Mixed);
+        let first = ctx.solve(&p, &solver).expect("first mixed");
+        assert_eq!(first.stats.precision, Precision::Mixed);
+        p.add_power(2, 2, 7, Power::from_watts(0.5));
+        let second = ctx.solve(&p, &solver).expect("second mixed");
+        assert_eq!(second.stats.precision, Precision::Mixed);
+        let s = ctx.stats();
+        assert_eq!(s.assemblies, 1, "operator reused across power delta");
+        assert_eq!(s.hierarchy_builds, 1, "hierarchy reused");
+        assert_eq!(s.warm_starts, 1, "same mixed config warm-starts");
+        // The context path must agree with the direct solver.
+        let direct = solver.solve(&p).expect("direct mixed");
+        let max_diff = second
+            .temperatures
+            .iter_kelvin()
+            .zip(direct.temperatures.iter_kelvin())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0_f64, f64::max)
+            / direct.temperatures.max_temperature().kelvin();
+        assert!(max_diff < 1e-9, "relative deviation {max_diff}");
+    }
+
+    #[test]
+    fn smoother_switch_rebuilds_hierarchy() {
+        let p = problem();
+        let mut ctx = SolveContext::new();
+        ctx.solve(&p, &mg_solver()).expect("red-black");
+        ctx.solve(&p, &mg_solver().with_smoother(Smoother::Chebyshev))
+            .expect("chebyshev");
+        let s = ctx.stats();
+        assert_eq!(s.assemblies, 1, "operator itself is smoother-agnostic");
+        assert_eq!(
+            s.hierarchy_builds, 2,
+            "chebyshev needs its own hierarchy (eigenvalue bounds)"
+        );
     }
 
     #[test]

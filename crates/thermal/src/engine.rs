@@ -99,10 +99,13 @@ impl ExecPlan {
     /// Serial plans call `f` inline; parallel plans fan the bands out
     /// across scoped threads. `f` receives the band's absolute flat
     /// range plus the matching sub-slice of `out` (indexed from 0).
-    pub(crate) fn map_mut<R, F>(&self, out: &mut [f64], f: F) -> Vec<R>
+    /// Generic over the element type so the f64 solvers and the f32
+    /// mixed-precision kernels share one engine.
+    pub(crate) fn map_mut<T, R, F>(&self, out: &mut [T], f: F) -> Vec<R>
     where
+        T: Copy + Send + Sync,
         R: Send,
-        F: Fn(Range<usize>, &mut [f64]) -> R + Sync,
+        F: Fn(Range<usize>, &mut [T]) -> R + Sync,
     {
         if self.bands.len() == 1 {
             let r = self.bands[0].clone();
@@ -143,10 +146,11 @@ impl ExecPlan {
     /// Like [`ExecPlan::map_mut`] but with two banded mutable arrays —
     /// the fused MG-preconditioned CG update (`x`, `r`) region, which
     /// has no Jacobi `z` array to scale in place.
-    pub(crate) fn map2_mut<R, F>(&self, a: &mut [f64], b: &mut [f64], f: F) -> Vec<R>
+    pub(crate) fn map2_mut<T, R, F>(&self, a: &mut [T], b: &mut [T], f: F) -> Vec<R>
     where
+        T: Copy + Send + Sync,
         R: Send,
-        F: Fn(Range<usize>, &mut [f64], &mut [f64]) -> R + Sync,
+        F: Fn(Range<usize>, &mut [T], &mut [T]) -> R + Sync,
     {
         if self.bands.len() == 1 {
             let r = self.bands[0].clone();
@@ -187,10 +191,11 @@ impl ExecPlan {
 
     /// Like [`ExecPlan::map_mut`] but with three banded mutable arrays —
     /// the fused CG update (`x`, `r`, `z`) region.
-    pub(crate) fn map3_mut<R, F>(&self, a: &mut [f64], b: &mut [f64], c: &mut [f64], f: F) -> Vec<R>
+    pub(crate) fn map3_mut<T, R, F>(&self, a: &mut [T], b: &mut [T], c: &mut [T], f: F) -> Vec<R>
     where
+        T: Copy + Send + Sync,
         R: Send,
-        F: Fn(Range<usize>, &mut [f64], &mut [f64], &mut [f64]) -> R + Sync,
+        F: Fn(Range<usize>, &mut [T], &mut [T], &mut [T]) -> R + Sync,
     {
         if self.bands.len() == 1 {
             let r = self.bands[0].clone();
@@ -246,9 +251,10 @@ impl ExecPlan {
     /// Under `race-check`, each band records its accessed indices and
     /// the region is audited after the join (see the module docs).
     #[cfg(not(feature = "race-check"))]
-    pub(crate) fn for_each_shared<F>(&self, x: &mut [f64], f: F)
+    pub(crate) fn for_each_shared<T, F>(&self, x: &mut [T], f: F)
     where
-        F: Fn(Range<usize>, &SharedSlice<'_>) + Sync,
+        T: Copy + Send + Sync,
+        F: Fn(Range<usize>, &SharedSlice<'_, T>) + Sync,
     {
         let shared = SharedSlice::new(x);
         if self.bands.len() == 1 {
@@ -277,9 +283,10 @@ impl ExecPlan {
     /// Race-checked variant: per-band `SharedSlice` views carry their
     /// own access logs, merged and audited after the region completes.
     #[cfg(feature = "race-check")]
-    pub(crate) fn for_each_shared<F>(&self, x: &mut [f64], f: F)
+    pub(crate) fn for_each_shared<T, F>(&self, x: &mut [T], f: F)
     where
-        F: Fn(Range<usize>, &SharedSlice<'_>) + Sync,
+        T: Copy + Send + Sync,
+        F: Fn(Range<usize>, &SharedSlice<'_, T>) + Sync,
     {
         let shared = SharedSlice::new(x);
         if self.bands.len() == 1 {
@@ -301,7 +308,7 @@ impl ExecPlan {
             ));
             return;
         }
-        let views: Vec<SharedSlice<'_>> = self.bands.iter().map(|_| shared.fork()).collect();
+        let views: Vec<SharedSlice<'_, T>> = self.bands.iter().map(|_| shared.fork()).collect();
         let mut logs: Vec<race::AccessLog> = std::thread::scope(|s| {
             let handles: Vec<_> = self
                 .bands
@@ -350,7 +357,7 @@ fn run_permuted<R>(
 
 /// Splits one mutable slice into per-band sub-slices (bands must be a
 /// contiguous partition starting at 0).
-fn split_mut<'a>(mut s: &'a mut [f64], bands: &[Range<usize>]) -> Vec<&'a mut [f64]> {
+fn split_mut<'a, T>(mut s: &'a mut [T], bands: &[Range<usize>]) -> Vec<&'a mut [T]> {
     let mut out = Vec::with_capacity(bands.len());
     for r in bands {
         let (head, tail) = s.split_at_mut(r.len());
@@ -361,8 +368,10 @@ fn split_mut<'a>(mut s: &'a mut [f64], bands: &[Range<usize>]) -> Vec<&'a mut [f
     out
 }
 
-/// A shared view of a mutable `f64` slice for stencil passes whose write
-/// pattern is provably disjoint but not band-contiguous.
+/// A shared view of a mutable scalar slice for stencil passes whose
+/// write pattern is provably disjoint but not band-contiguous. Generic
+/// over the scalar (`f64` for the PR-1 solvers, `f32` for the
+/// mixed-precision kernels).
 ///
 /// Red-black SOR writes only cells of the active colour
 /// (`(i + j + k) % 2 == colour`) inside the worker's own k-band, and
@@ -372,31 +381,31 @@ fn split_mut<'a>(mut s: &'a mut [f64], bands: &[Range<usize>]) -> Vec<&'a mut [f
 /// surface is confined to this type; callers uphold the invariant above,
 /// and the `race-check` feature verifies it dynamically
 /// (see [`crate::race`]).
-pub(crate) struct SharedSlice<'a> {
-    ptr: *mut f64,
+pub(crate) struct SharedSlice<'a, T> {
+    ptr: *mut T,
     len: usize,
     /// Indices this view accessed (one view per band under race-check).
     #[cfg(feature = "race-check")]
     log: core::cell::RefCell<race::AccessLog>,
-    _marker: std::marker::PhantomData<&'a mut [f64]>,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
 }
 
-// SAFETY: the pointer refers to a live `&mut [f64]` (held exclusively by
+// SAFETY: the pointer refers to a live `&mut [T]` (held exclusively by
 // the engine for the duration of the region) and the access discipline
 // is delegated to the caller per the type-level contract (disjoint
 // writes, no read of a concurrently written cell), so cross-thread
 // shared access through `&SharedSlice` cannot produce a data race when
-// the contract holds.
+// the contract holds. `T: Send + Sync` keeps non-thread-safe scalars out.
 #[cfg(not(feature = "race-check"))]
-unsafe impl Sync for SharedSlice<'_> {}
+unsafe impl<T: Send + Sync> Sync for SharedSlice<'_, T> {}
 
 // SAFETY: sending the view to another thread moves only a pointer (plus
 // the race-check log, which is owned data); the underlying slice outlives
 // the scoped threads the engine hands the view to.
-unsafe impl Send for SharedSlice<'_> {}
+unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
 
-impl<'a> SharedSlice<'a> {
-    pub(crate) fn new(s: &'a mut [f64]) -> Self {
+impl<'a, T: Copy> SharedSlice<'a, T> {
+    pub(crate) fn new(s: &'a mut [T]) -> Self {
         Self {
             ptr: s.as_mut_ptr(),
             len: s.len(),
@@ -411,7 +420,7 @@ impl<'a> SharedSlice<'a> {
     /// contract is unchanged: all views share the region-level access
     /// discipline documented on the type.
     #[cfg(feature = "race-check")]
-    fn fork(&self) -> SharedSlice<'a> {
+    fn fork(&self) -> SharedSlice<'a, T> {
         SharedSlice {
             ptr: self.ptr,
             len: self.len,
@@ -433,7 +442,7 @@ impl<'a> SharedSlice<'a> {
     /// `i < len`, and no concurrent writer may target `i` during this
     /// pass (guaranteed by the colour discipline).
     #[inline]
-    pub(crate) unsafe fn get(&self, i: usize) -> f64 {
+    pub(crate) unsafe fn get(&self, i: usize) -> T {
         debug_assert!(i < self.len);
         #[cfg(feature = "race-check")]
         self.log.borrow_mut().reads.push(i);
@@ -450,7 +459,7 @@ impl<'a> SharedSlice<'a> {
     /// `i < len`, and `i` must belong exclusively to the calling worker
     /// for this pass (own band, active colour).
     #[inline]
-    pub(crate) unsafe fn set(&self, i: usize, v: f64) {
+    pub(crate) unsafe fn set(&self, i: usize, v: T) {
         debug_assert!(i < self.len);
         #[cfg(feature = "race-check")]
         self.log.borrow_mut().writes.push(i);

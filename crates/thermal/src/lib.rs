@@ -69,6 +69,7 @@ mod engine;
 pub mod fault;
 mod field;
 mod heatsink;
+mod kernels;
 mod multigrid;
 pub mod network;
 mod problem;
@@ -79,12 +80,12 @@ pub mod transient;
 
 pub use analysis::{line_profile, render_layer_ascii, EnergyBalance};
 pub use builder::{SlabSpec, StackMeshBuilder};
-pub use context::{operator_fingerprint, ContextStats, SolveContext};
+pub use context::{operator_fingerprint, ContextStats, OperatorSignature, SolveContext};
 pub use field::TemperatureField;
 pub use heatsink::Heatsink;
-pub use multigrid::MgSolver;
+pub use multigrid::{MgSolver, Smoother};
 pub use problem::Problem;
 pub use solver::{
-    CgSolver, Preconditioner, Solution, SolveError, SolverStats, SorSolver,
+    CgSolver, Precision, Preconditioner, Solution, SolveError, SolverStats, SorSolver,
     DEFAULT_PARALLEL_CROSSOVER,
 };

@@ -40,8 +40,8 @@
 use crate::engine::ExecPlan;
 use crate::problem::Problem;
 use crate::solver::{
-    default_threads, dot, norm, ordered_sum, slab_sums, Assembled, CgParams, Preconditioner,
-    Solution, SolveError, SolverStats, DEFAULT_PARALLEL_CROSSOVER,
+    default_threads, dot, norm, ordered_sum, slab_dot_parts, Assembled, CgParams, Precision,
+    Preconditioner, Solution, SolveError, SolverStats, DEFAULT_PARALLEL_CROSSOVER,
 };
 use std::time::Instant;
 use tsc_geometry::Dim3;
@@ -49,6 +49,37 @@ use tsc_geometry::Dim3;
 /// A direction is coarsened when its mean face conductance is at least
 /// this fraction of the strongest coarsenable direction's mean.
 const SEMI_THRESHOLD: f64 = 0.25;
+
+/// Polynomial degree of one Chebyshev smoothing application — three
+/// matvecs per application, comparable work to the two colour passes of
+/// a red-black sweep but expressed as branch-free streaming loops.
+pub(crate) const CHEB_DEGREE: usize = 3;
+
+/// Which relaxation the multigrid levels smooth with (selected by
+/// [`crate::CgSolver::with_smoother`] / [`MgSolver::with_smoother`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Smoother {
+    /// Symmetric red-black Gauss-Seidel: colours `[0, 1]` before the
+    /// coarse correction, `[1, 0]` after — the PR-2 default.
+    #[default]
+    RedBlack,
+    /// Fixed-degree Chebyshev polynomial in `D⁻¹A` on the upper quarter
+    /// of its spectrum: matvec + AXPY only, no inner reductions and no
+    /// coloured scatter, so it autovectorizes and has no cross-band
+    /// coupling. `D⁻¹A` is self-adjoint in the `A`-inner product, so
+    /// identical pre/post applications keep the V-cycle a symmetric
+    /// operator — still a valid CG preconditioner.
+    Chebyshev,
+}
+
+impl core::fmt::Display for Smoother {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Self::RedBlack => "redblack",
+            Self::Chebyshev => "chebyshev",
+        })
+    }
+}
 
 /// Hierarchy construction and cycling knobs.
 #[derive(Debug, Clone, Copy)]
@@ -66,6 +97,8 @@ pub(crate) struct MgParams {
     pub(crate) coarse_max: usize,
     pub(crate) threads: usize,
     pub(crate) crossover: usize,
+    /// Relaxation family for every level's smoothing passes.
+    pub(crate) smoother: Smoother,
 }
 
 impl MgParams {
@@ -78,14 +111,21 @@ impl MgParams {
             coarse_max: 512,
             threads,
             crossover,
+            smoother: Smoother::RedBlack,
         }
+    }
+
+    /// Returns the parameters with a different smoother.
+    pub(crate) fn with_smoother(mut self, smoother: Smoother) -> Self {
+        self.smoother = smoother;
+        self
     }
 }
 
 /// Per-direction coarsening factors for one level transition (1 = keep,
 /// 2 = aggregate pairs; ceil sizing, so odd extents leave a lone
 /// trailing aggregate).
-type Factors = [usize; 3];
+pub(crate) type Factors = [usize; 3];
 
 /// Chooses which directions to coarsen based on the mean face
 /// conductance per direction: only directions within
@@ -93,6 +133,13 @@ type Factors = [usize; 3];
 /// (semicoarsening), and `None` means no direction can coarsen (all
 /// extents are already 1).
 fn coarsen_factors(op: &Assembled) -> Option<Factors> {
+    coarsen_factors_with(op, SEMI_THRESHOLD)
+}
+
+/// [`coarsen_factors`] with an explicit lateral-join threshold — the
+/// f32 shadow hierarchy coarsens more aggressively than the f64 one
+/// (see [`crate::kernels::HierarchyF32::build`]).
+pub(crate) fn coarsen_factors_with(op: &Assembled, threshold: f64) -> Option<Factors> {
     let d = op.dim;
     let mean = |v: &[f64]| {
         if v.is_empty() {
@@ -112,7 +159,7 @@ fn coarsen_factors(op: &Assembled) -> Option<Factors> {
         .fold(0.0_f64, f64::max);
     let mut f = [1_usize; 3];
     for a in 0..3 {
-        if ns[a] >= 2 && means[a] >= SEMI_THRESHOLD * max_mean {
+        if ns[a] >= 2 && means[a] >= threshold * max_mean {
             f[a] = 2;
         }
     }
@@ -144,7 +191,7 @@ fn coarse_extent(n: usize, f: usize) -> usize {
 /// vanish, and boundary conductances sum over each aggregate's footprint
 /// on the boundary slab. With piecewise-constant transfer operators this
 /// reproduces `Pᵀ·A·P` exactly (verified by the unit tests below).
-fn coarsen(op: &Assembled, f: Factors) -> Assembled {
+pub(crate) fn coarsen(op: &Assembled, f: Factors) -> Assembled {
     let (nx, ny, nz) = (op.dim.nx, op.dim.ny, op.dim.nz);
     let (ncx, ncy, ncz) = (
         coarse_extent(nx, f[0]),
@@ -191,9 +238,13 @@ fn coarsen(op: &Assembled, f: Factors) -> Assembled {
 
 /// Restriction `b_c = Pᵀ·r`: sums each aggregate's fine values (serial —
 /// transfer cost is negligible next to smoothing and must stay
-/// deterministic).
-fn restrict(fd: Dim3, cd: Dim3, f: Factors, fine: &[f64], coarse: &mut [f64]) {
-    coarse.fill(0.0);
+/// deterministic). Generic over the scalar so the f32 hierarchy in
+/// `crate::kernels` reuses the same transfer.
+pub(crate) fn restrict<T>(fd: Dim3, cd: Dim3, f: Factors, fine: &[T], coarse: &mut [T])
+where
+    T: Copy + Default + core::ops::AddAssign,
+{
+    coarse.fill(T::default());
     for k in 0..fd.nz {
         let ck = k / f[2];
         for j in 0..fd.ny {
@@ -208,7 +259,10 @@ fn restrict(fd: Dim3, cd: Dim3, f: Factors, fine: &[f64], coarse: &mut [f64]) {
 
 /// Prolongation `x += P·x_c`: piecewise-constant injection of each
 /// aggregate's correction into its fine cells.
-fn prolong_add(fd: Dim3, cd: Dim3, f: Factors, coarse: &[f64], fine: &mut [f64]) {
+pub(crate) fn prolong_add<T>(fd: Dim3, cd: Dim3, f: Factors, coarse: &[T], fine: &mut [T])
+where
+    T: Copy + core::ops::AddAssign,
+{
     for k in 0..fd.nz {
         let ck = k / f[2];
         for j in 0..fd.ny {
@@ -221,10 +275,103 @@ fn prolong_add(fd: Dim3, cd: Dim3, f: Factors, coarse: &[f64], fine: &mut [f64])
     }
 }
 
+/// Chebyshev interval of `D⁻¹A` for one level: a deterministic power
+/// iteration (serial, f64, all-ones start) estimates the largest
+/// eigenvalue, padded by 10 % and clamped to the Gershgorin bound of 2
+/// (the diagonal is the sum of the incident off-diagonals plus a
+/// non-negative boundary conductance, so every row sum of `D⁻¹A` is at
+/// most 2). The smoother targets the upper three quarters of the
+/// spectrum, `[λ_hi/4, λ_hi]`; the coarse grids handle the rest.
+pub(crate) fn cheb_bounds(op: &Assembled) -> (f64, f64) {
+    let n = op.dim.len();
+    let mut v = vec![1.0; n];
+    let mut av = vec![0.0; n];
+    let mut est = 2.0;
+    for _ in 0..12 {
+        let nv = norm(&v);
+        if !nv.is_finite() || nv <= 0.0 {
+            est = 2.0;
+            break;
+        }
+        for val in v.iter_mut() {
+            *val /= nv;
+        }
+        op.matvec_range(&v, &mut av, 0..n, None);
+        for (a, dv) in av.iter_mut().zip(&op.diag) {
+            *a /= dv;
+        }
+        est = norm(&av);
+        std::mem::swap(&mut v, &mut av);
+    }
+    if !est.is_finite() || est <= 0.0 {
+        est = 2.0;
+    }
+    let hi = (est * 1.1).min(2.0);
+    (hi * 0.25, hi)
+}
+
+/// One Chebyshev smoothing application of degree [`CHEB_DEGREE`] on
+/// `A·x = b` over the interval `[lo, hi]` of `D⁻¹A` — the standard
+/// three-term recurrence in difference form (`d` is the running
+/// direction, `r` the freshly recomputed residual). Every pass is a
+/// banded matvec or element-wise update with **no reductions**, so the
+/// result is bitwise independent of the band schedule and thread count.
+#[allow(clippy::too_many_arguments)] // level-local scratch, not an API
+pub(crate) fn cheb_smooth(
+    op: &Assembled,
+    plan: &ExecPlan,
+    lo: f64,
+    hi: f64,
+    b: &[f64],
+    x: &mut [f64],
+    r: &mut [f64],
+    d: &mut [f64],
+) {
+    let theta = 0.5 * (hi + lo);
+    let delta = 0.5 * (hi - lo);
+    let sigma = theta / delta;
+    let mut rho = 1.0 / sigma;
+    plan.map_mut(r, |range, chunk| {
+        op.matvec_range(x, chunk, range.clone(), None);
+        for (o, bv) in chunk.iter_mut().zip(&b[range]) {
+            *o = bv - *o;
+        }
+    });
+    plan.map2_mut(x, d, |range, xs, ds| {
+        let rr = &r[range.clone()];
+        let dg = &op.diag[range];
+        for (((xv, dv), rv), dgv) in xs.iter_mut().zip(ds.iter_mut()).zip(rr).zip(dg) {
+            let v = rv / (theta * dgv);
+            *dv = v;
+            *xv += v;
+        }
+    });
+    for _ in 1..CHEB_DEGREE {
+        let rho_next = 1.0 / (2.0 * sigma - rho);
+        plan.map_mut(r, |range, chunk| {
+            op.matvec_range(x, chunk, range.clone(), None);
+            for (o, bv) in chunk.iter_mut().zip(&b[range]) {
+                *o = bv - *o;
+            }
+        });
+        let gain = 2.0 * rho_next / delta;
+        plan.map2_mut(x, d, |range, xs, ds| {
+            let rr = &r[range.clone()];
+            let dg = &op.diag[range];
+            for (((xv, dv), rv), dgv) in xs.iter_mut().zip(ds.iter_mut()).zip(rr).zip(dg) {
+                let v = rho_next * rho * *dv + gain * rv / dgv;
+                *dv = v;
+                *xv += v;
+            }
+        });
+        rho = rho_next;
+    }
+}
+
 /// Dense Cholesky factorization of the coarsest-level operator — exact,
 /// dependency-free, and tiny (≤ [`MgParams::coarse_max`] unknowns).
 #[derive(Debug, Clone)]
-struct DenseCholesky {
+pub(crate) struct DenseCholesky {
     n: usize,
     /// Row-major lower-triangular factor (upper triangle unused).
     l: Vec<f64>,
@@ -237,7 +384,7 @@ impl DenseCholesky {
     ///
     /// [`SolveError::Diverged`] when a pivot is non-positive or
     /// non-finite — the operator is not SPD (poisoned conductances).
-    fn factor(op: &Assembled) -> Result<Self, SolveError> {
+    pub(crate) fn factor(op: &Assembled) -> Result<Self, SolveError> {
         let n = op.dim.len();
         let (nx, ny, nz) = (op.dim.nx, op.dim.ny, op.dim.nz);
         let slab = nx * ny;
@@ -283,7 +430,7 @@ impl DenseCholesky {
     }
 
     /// Solves `A·x = b` by forward/backward substitution.
-    fn solve(&self, b: &[f64], x: &mut [f64]) {
+    pub(crate) fn solve(&self, b: &[f64], x: &mut [f64]) {
         let n = self.n;
         debug_assert_eq!(b.len(), n);
         debug_assert_eq!(x.len(), n);
@@ -304,12 +451,14 @@ impl DenseCholesky {
     }
 }
 
-/// Per-level scratch vectors of one V-cycle.
+/// Per-level scratch vectors of one V-cycle (`d` is the Chebyshev
+/// direction buffer, idle under red-black smoothing).
 #[derive(Debug, Clone)]
 struct LevelBufs {
     x: Vec<f64>,
     b: Vec<f64>,
     r: Vec<f64>,
+    d: Vec<f64>,
 }
 
 /// Reusable scratch space for V-cycles over one [`MgHierarchy`] — kept
@@ -319,6 +468,8 @@ struct LevelBufs {
 pub(crate) struct MgWorkspace {
     /// Finest-level residual buffer.
     r0: Vec<f64>,
+    /// Finest-level Chebyshev direction buffer.
+    d0: Vec<f64>,
     /// Buffers for levels `1..L` (the finest level's `x`/`b` are the
     /// caller's slices).
     tail: Vec<LevelBufs>,
@@ -342,6 +493,11 @@ pub(crate) struct MgHierarchy {
     nu_pre: usize,
     nu_post: usize,
     omega: f64,
+    smoother: Smoother,
+    /// Per-level Chebyshev interval `(λ_lo, λ_hi)` of `D⁻¹A` (empty when
+    /// the smoother is red-black — the bounds are only computed when
+    /// they are needed).
+    cheb: Vec<(f64, f64)>,
 }
 
 impl MgHierarchy {
@@ -375,6 +531,13 @@ impl MgHierarchy {
             .iter()
             .map(|&d| ExecPlan::new(d, params.threads, params.crossover))
             .collect();
+        let cheb = if params.smoother == Smoother::Chebyshev {
+            (0..dims.len())
+                .map(|l| cheb_bounds(if l == 0 { fine } else { &coarse_ops[l - 1] }))
+                .collect()
+        } else {
+            Vec::new()
+        };
         Ok(Self {
             dims,
             factors,
@@ -384,6 +547,8 @@ impl MgHierarchy {
             nu_pre: params.nu_pre,
             nu_post: params.nu_post,
             omega: params.omega,
+            smoother: params.smoother,
+            cheb,
         })
     }
 
@@ -393,27 +558,60 @@ impl MgHierarchy {
     }
 
     /// Mesh dimensions per level, finest first.
-    #[cfg(test)]
     pub(crate) fn dims(&self) -> &[Dim3] {
         &self.dims
     }
 
+    /// Level-to-level coarsening factors (`factors[l]`: level `l` →
+    /// level `l + 1`).
+    pub(crate) fn factors(&self) -> &[Factors] {
+        &self.factors
+    }
+
+    /// Per-level execution plans, finest first.
+    pub(crate) fn plans(&self) -> &[ExecPlan] {
+        &self.plans
+    }
+
+    /// The factored coarsest-level direct solver.
+    pub(crate) fn chol(&self) -> &DenseCholesky {
+        &self.chol
+    }
+
+    /// The smoother family this hierarchy was built for.
+    pub(crate) fn smoother(&self) -> Smoother {
+        self.smoother
+    }
+
+    /// `(nu_pre, nu_post)` smoothing sweeps per level.
+    pub(crate) fn sweeps(&self) -> (usize, usize) {
+        (self.nu_pre, self.nu_post)
+    }
+
+    /// Relaxation factor of the red-black smoother.
+    pub(crate) fn relax_omega(&self) -> f64 {
+        self.omega
+    }
+
     /// Fresh scratch space sized for this hierarchy.
     pub(crate) fn workspace(&self) -> MgWorkspace {
+        let n0 = self.dims[0].len();
         MgWorkspace {
-            r0: vec![0.0; self.dims[0].len()],
+            r0: vec![0.0; n0],
+            d0: vec![0.0; n0],
             tail: self.dims[1..]
                 .iter()
                 .map(|d| LevelBufs {
                     x: vec![0.0; d.len()],
                     b: vec![0.0; d.len()],
                     r: vec![0.0; d.len()],
+                    d: vec![0.0; d.len()],
                 })
                 .collect(),
         }
     }
 
-    fn op<'a>(&'a self, fine: &'a Assembled, level: usize) -> &'a Assembled {
+    pub(crate) fn op<'a>(&'a self, fine: &'a Assembled, level: usize) -> &'a Assembled {
         if level == 0 {
             fine
         } else {
@@ -421,12 +619,18 @@ impl MgHierarchy {
         }
     }
 
+    /// Per-level Chebyshev intervals (empty unless built with
+    /// [`Smoother::Chebyshev`]).
+    pub(crate) fn cheb_intervals(&self) -> &[(f64, f64)] {
+        &self.cheb
+    }
+
     /// One V-cycle on `A·x = b` at the finest level: `x` is improved in
     /// place (pass zeros to apply the cycle as a preconditioner). The
     /// cycle is a fixed symmetric linear operator — safe inside CG.
     pub(crate) fn v_cycle(&self, fine: &Assembled, ws: &mut MgWorkspace, b: &[f64], x: &mut [f64]) {
-        let MgWorkspace { r0, tail } = ws;
-        self.cycle(fine, 0, b, x, r0, tail, false);
+        let MgWorkspace { r0, d0, tail } = ws;
+        self.cycle(fine, 0, b, x, r0, d0, tail, false);
     }
 
     /// [`Self::v_cycle`] with a line search on every coarse-grid
@@ -445,8 +649,39 @@ impl MgHierarchy {
         b: &[f64],
         x: &mut [f64],
     ) {
-        let MgWorkspace { r0, tail } = ws;
-        self.cycle(fine, 0, b, x, r0, tail, true);
+        let MgWorkspace { r0, d0, tail } = ws;
+        self.cycle(fine, 0, b, x, r0, d0, tail, true);
+    }
+
+    /// Smoothing passes at one level: `nu` red-black sweeps in the given
+    /// colour order, or `nu` Chebyshev applications (self-adjoint, so
+    /// the colour order is irrelevant and pre/post are identical).
+    #[allow(clippy::too_many_arguments)] // recursion state, not an API
+    fn smooth(
+        &self,
+        op: &Assembled,
+        plan: &ExecPlan,
+        level: usize,
+        b: &[f64],
+        x: &mut [f64],
+        r: &mut [f64],
+        d: &mut [f64],
+        nu: usize,
+        colours: [usize; 2],
+    ) {
+        match self.smoother {
+            Smoother::RedBlack => {
+                for _ in 0..nu {
+                    op.rb_sweep(plan, x, b, self.omega, colours);
+                }
+            }
+            Smoother::Chebyshev => {
+                let (lo, hi) = self.cheb[level];
+                for _ in 0..nu {
+                    cheb_smooth(op, plan, lo, hi, b, x, r, d);
+                }
+            }
+        }
     }
 
     #[allow(clippy::too_many_arguments)] // recursion state, not an API
@@ -457,6 +692,7 @@ impl MgHierarchy {
         b: &[f64],
         x: &mut [f64],
         r: &mut [f64],
+        d: &mut [f64],
         tail: &mut [LevelBufs],
         scaled: bool,
     ) {
@@ -466,13 +702,11 @@ impl MgHierarchy {
             return;
         }
         let plan = &self.plans[level];
-        for _ in 0..self.nu_pre {
-            op.rb_sweep(plan, x, b, self.omega, [0, 1]);
-        }
+        self.smooth(op, plan, level, b, x, r, d, self.nu_pre, [0, 1]);
         plan.map_mut(r, |range, chunk| {
             op.matvec_range(x, chunk, range.clone(), None);
-            for (local, c) in range.enumerate() {
-                chunk[local] = b[c] - chunk[local];
+            for (o, bv) in chunk.iter_mut().zip(&b[range]) {
+                *o = bv - *o;
             }
         });
         // The workspace is built with one buffer per hierarchy level, so
@@ -492,8 +726,9 @@ impl MgHierarchy {
             x: cx,
             b: cb,
             r: cr,
+            d: cd,
         } = next;
-        self.cycle(fine, level + 1, cb, cx, cr, rest, scaled);
+        self.cycle(fine, level + 1, cb, cx, cr, cd, rest, scaled);
         if scaled && level + 2 < self.levels() {
             // Energy-optimal step for the prolongated correction
             // `e = P·cx`, computed entirely on the coarse level through
@@ -519,9 +754,7 @@ impl MgHierarchy {
             cx,
             x,
         );
-        for _ in 0..self.nu_post {
-            op.rb_sweep(plan, x, b, self.omega, [1, 0]);
-        }
+        self.smooth(op, plan, level, b, x, r, d, self.nu_post, [1, 0]);
     }
 
     /// 2-norm of the residual restricted to each level, finest first —
@@ -602,23 +835,26 @@ impl Assembled {
         }
 
         while residual > params.tol && residual.is_finite() && iterations < max_iter {
-            // Region 1: ap = A·pv, fused with ⟨pv, ap⟩.
+            // Region 1: ap = A·pv, then ⟨pv, ap⟩ as a streaming slab dot
+            // (same per-slab accumulation order as the historical fused
+            // closure — bitwise identical).
             let parts = plan.map_mut(&mut ap, |range, chunk| {
                 self.matvec_range(&pv, chunk, range.clone(), None);
-                slab_sums(range, slab, |c, local| pv[c] * chunk[local])
+                slab_dot_parts(&pv[range], chunk, slab)
             });
             matvecs += 1;
             let p_ap = ordered_sum(parts.into_iter().flatten());
             let alpha = rz / p_ap;
 
-            // Region 2: x += α·pv, r -= α·ap, fused with ⟨r, r⟩.
+            // Region 2: x += α·pv, r -= α·ap as zips, then ⟨r, r⟩.
             let parts = plan.map2_mut(x, &mut r, |range, xs, rs| {
-                slab_sums(range, slab, |c, local| {
-                    xs[local] += alpha * pv[c];
-                    let rv = rs[local] - alpha * ap[c];
-                    rs[local] = rv;
-                    rv * rv
-                })
+                for (xv, p) in xs.iter_mut().zip(&pv[range.clone()]) {
+                    *xv += alpha * p;
+                }
+                for (rv, av) in rs.iter_mut().zip(&ap[range]) {
+                    *rv -= alpha * av;
+                }
+                slab_dot_parts(rs, rs, slab)
             });
             let rr = ordered_sum(parts.into_iter().flatten());
             residual = rr.sqrt() / b_norm;
@@ -642,8 +878,8 @@ impl Assembled {
             let beta = rz_next / rz;
             rz = rz_next;
             plan.map_mut(&mut pv, |range, chunk| {
-                for (local, c) in range.enumerate() {
-                    chunk[local] = z[c] + beta * chunk[local];
+                for (o, zv) in chunk.iter_mut().zip(&z[range]) {
+                    *o = zv + beta * *o;
                 }
             });
         }
@@ -671,6 +907,8 @@ impl Assembled {
             cycles,
             level_residuals,
             preconditioner: Preconditioner::Multigrid,
+            precision: Precision::F64,
+            refinements: 0,
             assembly_seconds: self.assembly_seconds,
             solve_seconds: t0.elapsed().as_secs_f64(),
             threads: plan.threads(),
@@ -704,6 +942,7 @@ pub struct MgSolver {
     coarse_max: usize,
     threads: usize,
     crossover: usize,
+    smoother: Smoother,
 }
 
 impl MgSolver {
@@ -717,7 +956,21 @@ impl MgSolver {
             coarse_max: 512,
             threads: default_threads(),
             crossover: DEFAULT_PARALLEL_CROSSOVER,
+            smoother: Smoother::RedBlack,
         }
+    }
+
+    /// Builder: relaxation family for every level of the hierarchy.
+    #[must_use]
+    pub fn with_smoother(mut self, smoother: Smoother) -> Self {
+        self.smoother = smoother;
+        self
+    }
+
+    /// Configured smoother.
+    #[must_use]
+    pub fn smoother(&self) -> Smoother {
+        self.smoother
     }
 
     /// Builder: relative residual tolerance.
@@ -788,6 +1041,7 @@ impl MgSolver {
     pub(crate) fn mg_params(&self) -> MgParams {
         MgParams {
             coarse_max: self.coarse_max,
+            smoother: self.smoother,
             ..MgParams::with_exec(self.threads, self.crossover)
         }
     }
@@ -882,6 +1136,8 @@ impl MgSolver {
             cycles,
             level_residuals,
             preconditioner: Preconditioner::Multigrid,
+            precision: Precision::F64,
+            refinements: 0,
             assembly_seconds: asm.assembly_seconds,
             solve_seconds: t0.elapsed().as_secs_f64() - asm.assembly_seconds,
             threads: plan.threads(),

@@ -128,6 +128,31 @@ impl core::fmt::Display for Preconditioner {
     }
 }
 
+/// Floating-point scheme of a solve (recorded in
+/// [`SolverStats::precision`], selected by [`CgSolver::with_precision`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Pure f64 arithmetic end to end — bitwise thread-count
+    /// independent, the baseline every other path is checked against.
+    #[default]
+    F64,
+    /// f64-corrected iterative refinement over an f32 inner MG-PCG
+    /// (see `crate::kernels`): the outer residual, the correction
+    /// accumulation and every convergence decision stay in f64, so the
+    /// requested tolerance is honest; the bandwidth-bound smoothing and
+    /// stencil work runs in f32 at roughly half the memory traffic.
+    Mixed,
+}
+
+impl core::fmt::Display for Precision {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Self::F64 => "f64",
+            Self::Mixed => "mixed",
+        })
+    }
+}
+
 /// Observability record of a solve: convergence, work and timing.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolverStats {
@@ -147,6 +172,11 @@ pub struct SolverStats {
     pub level_residuals: Vec<f64>,
     /// The preconditioner that drove the iteration.
     pub preconditioner: Preconditioner,
+    /// The floating-point scheme that drove the iteration.
+    pub precision: Precision,
+    /// Outer iterative-refinement passes of a mixed-precision solve
+    /// (0 for pure-f64 solves).
+    pub refinements: usize,
     /// Wall-clock seconds spent assembling the operator.
     pub assembly_seconds: f64,
     /// Wall-clock seconds spent iterating (excludes assembly).
@@ -207,6 +237,16 @@ pub(crate) struct Assembled {
     /// Wall-clock seconds [`Assembled::build`] took, carried into stats.
     pub(crate) assembly_seconds: f64,
 }
+
+/// L2 budget per j-stripe of the blocked f64 matvec, in bytes — kept
+/// below typical per-core L2 so the neighbouring slabs' stripes the
+/// z-sweep reuses stay resident too (the f32 twin lives in
+/// `kernels::L2_TARGET_BYTES`).
+const MATVEC_L2_TARGET_BYTES: usize = 256 * 1024;
+
+/// f64 streams touched per cell of the blocked matvec: out, x and its
+/// two z-neighbour rows, diag, gx, gy×2, gz×2 ≈ 9 rows of 8 bytes.
+const MATVEC_STREAM_BYTES_PER_CELL: usize = 9 * 8;
 
 impl Assembled {
     /// Mesh dimensions of the assembled system.
@@ -445,10 +485,16 @@ impl Assembled {
         })
     }
 
-    /// Gather-form `y[range] = (A + diag(shift))·x` over one slab-aligned
-    /// band: every cell of the band computes its own output from its
-    /// neighbours, so bands never write outside themselves and the same
-    /// code serves the serial and parallel paths.
+    /// `y[range] = (A + diag(shift))·x` over one slab-aligned band, as
+    /// cache-blocked branch-free row passes: for each j-stripe (sized so
+    /// a stripe's streams fit in L2, see [`MATVEC_L2_TARGET_BYTES`]) the
+    /// sweep runs through all z before the next stripe, and every pass
+    /// is a straight-line slice zip the autovectorizer packs. Each
+    /// output element accumulates its terms in the exact order of the
+    /// historical scalar gather loop — `diag`, `−gx⁺`, `−gx⁻`, `−gy⁺`,
+    /// `−gy⁻`, `−gz⁺`, `−gz⁻`, `+shift` — so the result is bitwise
+    /// identical to it (and independent of banding and thread count:
+    /// bands never write outside themselves).
     pub(crate) fn matvec_range(
         &self,
         x: &[f64],
@@ -461,33 +507,64 @@ impl Assembled {
         debug_assert_eq!(range.start % slab, 0, "bands must be slab-aligned");
         debug_assert_eq!(range.end % slab, 0, "bands must be slab-aligned");
         let (k_lo, k_hi) = (range.start / slab, range.end / slab);
-        for k in k_lo..k_hi {
-            for j in 0..ny {
-                for i in 0..nx {
-                    let c = (k * ny + j) * nx + i;
-                    let mut acc = self.diag[c] * x[c];
-                    if i + 1 < nx {
-                        acc -= self.gx[(k * ny + j) * (nx - 1) + i] * x[c + 1];
+        let row_bytes = nx * MATVEC_STREAM_BYTES_PER_CELL;
+        let tile_j = (MATVEC_L2_TARGET_BYTES / row_bytes.max(1))
+            .max(8)
+            .min(ny.max(1));
+        for jt in (0..ny).step_by(tile_j) {
+            let j_end = (jt + tile_j).min(ny);
+            for k in k_lo..k_hi {
+                for j in jt..j_end {
+                    let row = (k * ny + j) * nx;
+                    let or = &mut out[row - range.start..row - range.start + nx];
+                    let xr = &x[row..row + nx];
+                    let dr = &self.diag[row..row + nx];
+                    for ((o, d), xv) in or.iter_mut().zip(dr).zip(xr) {
+                        *o = d * xv;
                     }
-                    if i > 0 {
-                        acc -= self.gx[(k * ny + j) * (nx - 1) + i - 1] * x[c - 1];
+                    if nx > 1 {
+                        let gxr = &self.gx[(k * ny + j) * (nx - 1)..][..nx - 1];
+                        for ((o, g), xn) in or[..nx - 1].iter_mut().zip(gxr).zip(&xr[1..]) {
+                            *o -= g * xn;
+                        }
+                        for ((o, g), xp) in or[1..].iter_mut().zip(gxr).zip(xr) {
+                            *o -= g * xp;
+                        }
                     }
                     if j + 1 < ny {
-                        acc -= self.gy[(k * (ny - 1) + j) * nx + i] * x[c + nx];
+                        let gyr = &self.gy[(k * (ny - 1) + j) * nx..][..nx];
+                        let xn = &x[row + nx..][..nx];
+                        for ((o, g), xv) in or.iter_mut().zip(gyr).zip(xn) {
+                            *o -= g * xv;
+                        }
                     }
                     if j > 0 {
-                        acc -= self.gy[(k * (ny - 1) + j - 1) * nx + i] * x[c - nx];
+                        let gyr = &self.gy[(k * (ny - 1) + j - 1) * nx..][..nx];
+                        let xp = &x[row - nx..][..nx];
+                        for ((o, g), xv) in or.iter_mut().zip(gyr).zip(xp) {
+                            *o -= g * xv;
+                        }
                     }
                     if k + 1 < nz {
-                        acc -= self.gz[(k * ny + j) * nx + i] * x[c + slab];
+                        let gzr = &self.gz[(k * ny + j) * nx..][..nx];
+                        let xn = &x[row + slab..][..nx];
+                        for ((o, g), xv) in or.iter_mut().zip(gzr).zip(xn) {
+                            *o -= g * xv;
+                        }
                     }
                     if k > 0 {
-                        acc -= self.gz[((k - 1) * ny + j) * nx + i] * x[c - slab];
+                        let gzr = &self.gz[((k - 1) * ny + j) * nx..][..nx];
+                        let xp = &x[row - slab..][..nx];
+                        for ((o, g), xv) in or.iter_mut().zip(gzr).zip(xp) {
+                            *o -= g * xv;
+                        }
                     }
                     if let Some(s) = shift {
-                        acc += s[c] * x[c];
+                        let sr = &s[row..row + nx];
+                        for ((o, sv), xv) in or.iter_mut().zip(sr).zip(xr) {
+                            *o += sv * xv;
+                        }
                     }
-                    out[c - range.start] = acc;
                 }
             }
         }
@@ -506,10 +583,7 @@ impl Assembled {
         let slab = self.dim.nx * self.dim.ny;
         let parts = plan.map_mut(ax, |range, chunk| {
             self.matvec_range(x, chunk, range.clone(), None);
-            slab_sums(range, slab, |c, local| {
-                let d = b[c] - chunk[local];
-                d * d
-            })
+            slab_norm2_diff_parts(&b[range], chunk, slab)
         });
         ordered_sum(parts.into_iter().flatten()).sqrt() / b_norm
     }
@@ -582,28 +656,30 @@ impl Assembled {
         let mut trajectory = vec![(0, residual)];
 
         while residual > params.tol && residual.is_finite() && iterations < max_iter {
-            // Region 1: ap = (A + shift)·pv, fused with ⟨pv, ap⟩.
+            // Region 1: ap = (A + shift)·pv, then ⟨pv, ap⟩ as a
+            // streaming slab dot (same per-slab accumulation order as
+            // the historical fused closure — bitwise identical).
             let parts = plan.map_mut(&mut ap, |range, chunk| {
                 self.matvec_range(&pv, chunk, range.clone(), shift);
-                slab_sums(range, slab, |c, local| pv[c] * chunk[local])
+                slab_dot_parts(&pv[range], chunk, slab)
             });
             matvecs += 1;
             let p_ap = ordered_sum(parts.into_iter().flatten());
             let alpha = rz / p_ap;
 
-            // Region 2: x += α·pv, r -= α·ap, z = M⁻¹r, fused with
-            // ⟨r, z⟩ and ⟨r, r⟩.
+            // Region 2: x += α·pv, r -= α·ap, z = M⁻¹r as straight-line
+            // zips, then ⟨r, z⟩ and ⟨r, r⟩.
             let parts = plan.map3_mut(x, &mut r, &mut z, |range, xs, rs, zs| {
-                let rz_parts = slab_sums(range.clone(), slab, |c, local| {
-                    xs[local] += alpha * pv[c];
-                    let rv = rs[local] - alpha * ap[c];
-                    rs[local] = rv;
-                    let zv = rv / diag[c];
-                    zs[local] = zv;
-                    rv * zv
-                });
-                let rr_parts = slab_sums(range, slab, |_, local| rs[local] * rs[local]);
-                (rz_parts, rr_parts)
+                for (xv, p) in xs.iter_mut().zip(&pv[range.clone()]) {
+                    *xv += alpha * p;
+                }
+                for (rv, av) in rs.iter_mut().zip(&ap[range.clone()]) {
+                    *rv -= alpha * av;
+                }
+                for ((zv, rv), dv) in zs.iter_mut().zip(rs.iter()).zip(&diag[range]) {
+                    *zv = rv / dv;
+                }
+                (slab_dot_parts(rs, zs, slab), slab_dot_parts(rs, rs, slab))
             });
             let rz_next = ordered_sum(parts.iter().flat_map(|(a, _)| a.iter().copied()));
             let rr = ordered_sum(parts.iter().flat_map(|(_, b)| b.iter().copied()));
@@ -612,8 +688,8 @@ impl Assembled {
 
             // Region 3: pv = z + β·pv.
             plan.map_mut(&mut pv, |range, chunk| {
-                for (local, c) in range.enumerate() {
-                    chunk[local] = z[c] + beta * chunk[local];
+                for (o, zv) in chunk.iter_mut().zip(&z[range]) {
+                    *o = zv + beta * *o;
                 }
             });
 
@@ -650,6 +726,8 @@ impl Assembled {
             cycles: 0,
             level_residuals: Vec::new(),
             preconditioner: Preconditioner::Jacobi,
+            precision: Precision::F64,
+            refinements: 0,
             assembly_seconds: self.assembly_seconds,
             solve_seconds: t0.elapsed().as_secs_f64(),
             threads: plan.threads(),
@@ -763,31 +841,55 @@ impl Assembled {
     }
 }
 
-/// Per-slab partial sums of `f(c, local)` over a slab-aligned band —
-/// the building block that keeps reductions independent of the band
-/// partitioning (see the module docs).
-pub(crate) fn slab_sums<F>(range: std::ops::Range<usize>, slab: usize, mut f: F) -> Vec<f64>
-where
-    F: FnMut(usize, usize) -> f64,
-{
-    let start = range.start;
-    let mut out = Vec::with_capacity(range.len() / slab);
-    let mut c = range.start;
-    while c < range.end {
-        let mut acc = 0.0;
-        for cc in c..c + slab {
-            acc += f(cc, cc - start);
-        }
-        out.push(acc);
-        c += slab;
-    }
-    out
-}
-
 /// Sequential left-to-right sum — the deterministic final reduction over
 /// per-slab partials.
 pub(crate) fn ordered_sum(parts: impl Iterator<Item = f64>) -> f64 {
     parts.fold(0.0, |acc, v| acc + v)
+}
+
+/// Per-slab partial dots of two equally-banded slices — sequential
+/// accumulation per slab (bitwise-compatible with the historical fused
+/// per-element closure form), written as a slice zip so the loads
+/// stream. Per-slab partials keep reductions independent of the band
+/// partitioning (see the module docs).
+pub(crate) fn slab_dot_parts(a: &[f64], b: &[f64], slab: usize) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert!(a.len().is_multiple_of(slab.max(1)));
+    a.chunks_exact(slab)
+        .zip(b.chunks_exact(slab))
+        .map(|(ca, cb)| ca.iter().zip(cb).fold(0.0, |acc, (x, y)| acc + x * y))
+        .collect()
+}
+
+/// Per-slab partials of `Σ (a − b)²` without touching either input —
+/// the residual-norm reduction (`b` keeps holding `A·x` for the caller).
+pub(crate) fn slab_norm2_diff_parts(a: &[f64], b: &[f64], slab: usize) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert!(a.len().is_multiple_of(slab.max(1)));
+    a.chunks_exact(slab)
+        .zip(b.chunks_exact(slab))
+        .map(|(ca, cb)| {
+            ca.iter().zip(cb).fold(0.0, |acc, (x, y)| {
+                let d = x - y;
+                acc + d * d
+            })
+        })
+        .collect()
+}
+
+/// Per-slab partial dots of two f32 slices, accumulated in f64 in the
+/// same sequential per-slab order as [`slab_dot_parts`].
+pub(crate) fn slab_dot_wide_parts(a: &[f32], b: &[f32], slab: usize) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert!(a.len().is_multiple_of(slab.max(1)));
+    a.chunks_exact(slab)
+        .zip(b.chunks_exact(slab))
+        .map(|(ca, cb)| {
+            ca.iter()
+                .zip(cb)
+                .fold(0.0, |acc, (&x, &y)| acc + f64::from(x) * f64::from(y))
+        })
+        .collect()
 }
 
 pub(crate) fn dot(a: &[f64], b: &[f64]) -> f64 {
@@ -813,12 +915,14 @@ pub struct CgSolver {
     crossover: usize,
     traj_stride: usize,
     precon: Preconditioner,
+    precision: Precision,
+    smoother: crate::multigrid::Smoother,
 }
 
 impl CgSolver {
     /// Default solver: relative tolerance `1e-9`, generous iteration cap,
     /// one worker per available core above the parallel crossover,
-    /// Jacobi preconditioning.
+    /// Jacobi preconditioning, pure-f64 arithmetic.
     #[must_use]
     pub fn new() -> Self {
         Self {
@@ -828,6 +932,8 @@ impl CgSolver {
             crossover: DEFAULT_PARALLEL_CROSSOVER,
             traj_stride: 100,
             precon: Preconditioner::Jacobi,
+            precision: Precision::F64,
+            smoother: crate::multigrid::Smoother::RedBlack,
         }
     }
 
@@ -848,6 +954,47 @@ impl CgSolver {
     #[must_use]
     pub fn preconditioner(&self) -> Preconditioner {
         self.precon
+    }
+
+    /// Builder: selects the floating-point scheme.
+    /// [`Precision::Mixed`] runs f64-corrected iterative refinement over
+    /// an f32 inner MG-PCG (cache-blocked SoA kernels, see
+    /// `crate::kernels`): each outer pass computes the true residual in
+    /// f64, solves the correction equation in f32 to a loose inner
+    /// tolerance, and applies the correction in f64 — the requested
+    /// tolerance (down to `1e-11` and beyond) is met against the f64
+    /// residual. A mixed solve always preconditions with multigrid
+    /// internally, whatever [`CgSolver::with_preconditioner`] says, and
+    /// falls back to the pure-f64 multigrid path if refinement stalls.
+    #[must_use]
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Configured floating-point scheme.
+    #[must_use]
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Builder: selects the multigrid smoother (effective for
+    /// [`Preconditioner::Multigrid`] and for every mixed-precision
+    /// solve). [`crate::multigrid::Smoother::Chebyshev`] replaces the
+    /// red-black sweeps with a fixed-degree Chebyshev polynomial in
+    /// `D⁻¹A` — matvec plus AXPY only, no inner reductions or coloured
+    /// scatter, so it autovectorizes and scales better in parallel while
+    /// keeping the V-cycle symmetric (valid inside CG).
+    #[must_use]
+    pub fn with_smoother(mut self, smoother: crate::multigrid::Smoother) -> Self {
+        self.smoother = smoother;
+        self
+    }
+
+    /// Configured multigrid smoother.
+    #[must_use]
+    pub fn smoother(&self) -> crate::multigrid::Smoother {
+        self.smoother
     }
 
     /// Builder: sets the relative residual tolerance.
@@ -926,6 +1073,11 @@ impl CgSolver {
         }
     }
 
+    pub(crate) fn mg_params(&self) -> crate::multigrid::MgParams {
+        crate::multigrid::MgParams::with_exec(self.threads, self.crossover)
+            .with_smoother(self.smoother)
+    }
+
     /// Solves the problem.
     ///
     /// # Errors
@@ -937,12 +1089,24 @@ impl CgSolver {
     pub fn solve(&self, p: &Problem) -> Result<Solution, SolveError> {
         let asm = Assembled::build(p)?;
         let mut x = vec![asm.initial_guess; asm.dim.len()];
-        let stats = match self.precon {
-            Preconditioner::Multigrid => {
-                let mg = crate::multigrid::MgHierarchy::build(
-                    &asm,
-                    &crate::multigrid::MgParams::with_exec(self.threads, self.crossover),
-                )?;
+        let stats = match (self.precision, self.precon) {
+            (Precision::Mixed, _) => {
+                let mg = crate::multigrid::MgHierarchy::build(&asm, &self.mg_params())?;
+                let mut ws = mg.workspace();
+                let h32 = crate::kernels::HierarchyF32::build(&asm, &mg);
+                let mut ws32 = h32.workspace();
+                asm.cg_core_mixed(
+                    &asm.rhs,
+                    &mut x,
+                    &self.params(),
+                    &mg,
+                    &mut ws,
+                    &h32,
+                    &mut ws32,
+                )?
+            }
+            (Precision::F64, Preconditioner::Multigrid) => {
+                let mg = crate::multigrid::MgHierarchy::build(&asm, &self.mg_params())?;
                 let mut ws = mg.workspace();
                 asm.cg_core_mg(&asm.rhs, &mut x, &self.params(), &mg, &mut ws)?
             }
@@ -1136,6 +1300,8 @@ impl SorSolver {
             cycles: 0,
             level_residuals: Vec::new(),
             preconditioner: Preconditioner::None,
+            precision: Precision::F64,
+            refinements: 0,
             assembly_seconds: asm.assembly_seconds,
             solve_seconds: t0.elapsed().as_secs_f64() - asm.assembly_seconds,
             threads: plan.threads(),

@@ -10,7 +10,8 @@
 use std::sync::{Mutex, MutexGuard};
 use tsc_thermal::race;
 use tsc_thermal::{
-    CgSolver, Heatsink, MgSolver, Preconditioner, Problem, Solution, SolveError, SorSolver,
+    CgSolver, Heatsink, MgSolver, Precision, Preconditioner, Problem, Smoother, Solution,
+    SolveError, SorSolver,
 };
 use tsc_units::{HeatFlux, Length, ThermalConductivity};
 
@@ -110,6 +111,33 @@ fn mg_preconditioned_cg_is_race_checked() {
     assert!(sol.temperatures.max_temperature().kelvin().is_finite());
 }
 
+#[test]
+fn mixed_precision_solve_is_race_checked() {
+    let _g = lock();
+    let sol = solve_checked("cg-mixed", |p| {
+        CgSolver::new()
+            .with_precision(Precision::Mixed)
+            .with_threads(4)
+            .with_parallel_crossover(0)
+            .solve(p)
+    });
+    assert!(sol.temperatures.max_temperature().kelvin().is_finite());
+}
+
+#[test]
+fn chebyshev_multigrid_solve_is_race_checked() {
+    let _g = lock();
+    let sol = solve_checked("cg+mg-cheb", |p| {
+        CgSolver::new()
+            .with_preconditioner(Preconditioner::Multigrid)
+            .with_smoother(Smoother::Chebyshev)
+            .with_threads(4)
+            .with_parallel_crossover(0)
+            .solve(p)
+    });
+    assert!(sol.temperatures.max_temperature().kelvin().is_finite());
+}
+
 /// Permuting the band execution order must not change a single bit of
 /// the solution — the engine's order-independence claim, tested for
 /// each solver family.
@@ -117,7 +145,7 @@ fn mg_preconditioned_cg_is_race_checked() {
 fn permuted_schedules_are_bitwise_identical() {
     let _g = lock();
     let p = problem();
-    let solvers: [(&str, SolveFn); 3] = [
+    let solvers: [(&str, SolveFn); 5] = [
         ("cg", |p| {
             CgSolver::new()
                 .with_threads(4)
@@ -136,11 +164,26 @@ fn permuted_schedules_are_bitwise_identical() {
                 .with_parallel_crossover(0)
                 .solve(p)
         }),
+        ("cg-mixed", |p| {
+            CgSolver::new()
+                .with_precision(Precision::Mixed)
+                .with_threads(4)
+                .with_parallel_crossover(0)
+                .solve(p)
+        }),
+        ("cg+mg-cheb", |p| {
+            CgSolver::new()
+                .with_preconditioner(Preconditioner::Multigrid)
+                .with_smoother(Smoother::Chebyshev)
+                .with_threads(4)
+                .with_parallel_crossover(0)
+                .solve(p)
+        }),
     ];
     for (name, solve) in solvers {
         race::set_schedule_seed(None);
         let baseline = field_bits(&solve(&p).unwrap_or_else(|e| panic!("{name}: {e}")));
-        for seed in [5_u64, 17] {
+        for seed in [5_u64, 17, 29] {
             race::set_schedule_seed(Some(seed));
             let perturbed = solve(&p);
             race::set_schedule_seed(None);

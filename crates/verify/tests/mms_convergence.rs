@@ -4,7 +4,10 @@
 //! pre-asymptotic wobble, and the absolute error on the finest mesh
 //! must be small in kelvin terms).
 
-use tsc_thermal::{CgSolver, MgSolver, Preconditioner, Problem, Solution, SolveError, SorSolver};
+use tsc_thermal::{
+    CgSolver, MgSolver, Precision, Preconditioner, Problem, Smoother, Solution, SolveError,
+    SorSolver,
+};
 use tsc_verify::mms::{observed_orders, MmsCase};
 
 const CASES: [fn() -> MmsCase; 2] = [MmsCase::trig_smooth, MmsCase::contrast_slab];
@@ -61,6 +64,31 @@ fn cg_multigrid_is_second_order() {
     assert_second_order("cg-mg", &[8, 16, 32], |p| {
         CgSolver::new()
             .with_preconditioner(Preconditioner::Multigrid)
+            .with_tolerance(1e-10)
+            .solve(p)
+    });
+}
+
+#[test]
+fn cg_mixed_is_second_order() {
+    // The f32-inner / f64-refined path must hit the same discretization
+    // order as the pure-f64 solvers: the refinement loop, not the f32
+    // arithmetic, owns the solver tolerance, so any order loss here
+    // means single-precision error is leaking into the answer.
+    assert_second_order("cg-mixed", &[8, 16, 32], |p| {
+        CgSolver::new()
+            .with_precision(Precision::Mixed)
+            .with_tolerance(1e-10)
+            .solve(p)
+    });
+}
+
+#[test]
+fn cg_mixed_chebyshev_is_second_order() {
+    assert_second_order("cg-mixed-cheb", &[8, 16, 32], |p| {
+        CgSolver::new()
+            .with_precision(Precision::Mixed)
+            .with_smoother(Smoother::Chebyshev)
             .with_tolerance(1e-10)
             .solve(p)
     });
