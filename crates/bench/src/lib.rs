@@ -14,6 +14,7 @@
 
 use std::fmt::Display;
 
+pub mod httpc;
 pub mod json;
 pub mod prom;
 pub mod timing;

@@ -107,6 +107,53 @@ pub fn sample_value(text: &str, series: &str) -> Option<f64> {
     })
 }
 
+/// A parsed text exposition, in document order: `# TYPE` declarations
+/// as `(family, kind)` and samples as `(full series name, value)`.
+/// The shard router merges per-backend expositions through this.
+#[derive(Debug, Default, Clone)]
+pub struct ParsedExposition {
+    pub types: Vec<(String, String)>,
+    pub helps: Vec<(String, String)>,
+    pub samples: Vec<(String, f64)>,
+}
+
+/// Parse an exposition into its type declarations and samples.
+///
+/// # Errors
+///
+/// Returns a line-annotated description of the first malformed line
+/// (same strictness as [`validate_exposition`]).
+pub fn parse_exposition(text: &str) -> Result<ParsedExposition, String> {
+    validate_exposition(text)?;
+    let mut parsed = ParsedExposition::default();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            if let Some((family, kind)) = rest.split_once(' ') {
+                parsed.types.push((family.to_string(), kind.to_string()));
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            if let Some((family, help)) = rest.split_once(' ') {
+                parsed.helps.push((family.to_string(), help.to_string()));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        if let Some((series, value)) = line.rsplit_once(' ') {
+            if let Ok(v) = value.parse::<f64>() {
+                parsed.samples.push((series.to_string(), v));
+            }
+        }
+    }
+    Ok(parsed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +182,29 @@ plain_gauge 7
         assert!(validate_exposition("metric nope\n").is_err()); // non-numeric value
         assert!(validate_exposition("# TYPE ghost counter\n").is_err()); // no samples
         assert!(validate_exposition("ok_metric 1\n").is_ok());
+    }
+
+    #[test]
+    fn parse_exposition_round_trips_types_and_samples() {
+        let text = "\
+# HELP x_total Things.
+# TYPE x_total counter
+x_total{kind=\"a\"} 3
+x_total{kind=\"b\"} 4
+plain_gauge 7
+";
+        let parsed = parse_exposition(text).expect("parses");
+        assert_eq!(parsed.types, vec![("x_total".into(), "counter".into())]);
+        assert_eq!(parsed.helps, vec![("x_total".into(), "Things.".into())]);
+        assert_eq!(
+            parsed.samples,
+            vec![
+                ("x_total{kind=\"a\"}".to_string(), 3.0),
+                ("x_total{kind=\"b\"}".to_string(), 4.0),
+                ("plain_gauge".to_string(), 7.0),
+            ]
+        );
+        assert!(parse_exposition("metric{a=b} 1\n").is_err());
     }
 
     #[test]

@@ -333,6 +333,60 @@ pub fn build_hetero(designs: &[&Design], config: &StackConfig) -> Stack3d {
     }
 }
 
+/// Repaints a built stack's power maps in place for a *power-only*
+/// reconfiguration — same design, tier count, lateral resolution,
+/// BEOL/pillar/heatsink geometry, different per-tier `utilization` /
+/// `power_scale`.  This is the batch-endpoint fast path: the operator
+/// identity (geometry, conductivity, sinks) is untouched, so re-solving
+/// the repowered problem through a pooled `SolveContext` is a warm
+/// power-delta solve instead of a rebuild plus cold solve.
+///
+/// The caller is responsible for the "same geometry" contract beyond
+/// what is asserted here (tier count and mesh footprint are checked;
+/// conductivity knobs are not re-derived).
+///
+/// # Panics
+///
+/// Panics if `config.tiers`/`config.utilization` disagree with the
+/// stack's layout or the mesh resolution differs.
+pub fn repower(stack: &mut Stack3d, design: &Design, config: &StackConfig) {
+    repower_hetero(stack, &vec![design; config.tiers.max(1)], config);
+}
+
+/// Heterogeneous-stack twin of [`repower`]: one design per tier.
+///
+/// # Panics
+///
+/// See [`repower`].
+pub fn repower_hetero(stack: &mut Stack3d, designs: &[&Design], config: &StackConfig) {
+    assert_eq!(
+        stack.layout.device_layers.len(),
+        config.tiers,
+        "repower must keep the tier count"
+    );
+    assert_eq!(designs.len(), config.tiers, "one design per tier");
+    assert_eq!(
+        config.utilization.len(),
+        config.tiers,
+        "one utilization per tier"
+    );
+    let n = config.lateral_cells;
+    let dim = stack.problem.dim();
+    assert!(
+        dim.nx == n && dim.ny == n,
+        "repower must keep the lateral resolution ({n} vs {}x{})",
+        dim.nx,
+        dim.ny
+    );
+    stack.problem.clear_power();
+    for (t, &dev_k) in stack.layout.device_layers.iter().enumerate() {
+        let map = designs[t]
+            .power_map(n, n, config.utilization[t])
+            .map(|&f| f * config.power_scale);
+        stack.problem.add_flux_map(dev_k, &map);
+    }
+}
+
 /// A solved stack with junction bookkeeping.
 #[derive(Debug, Clone)]
 pub struct StackSolution {
@@ -620,6 +674,55 @@ mod tests {
                 .sum()
         };
         assert!(p1 < 0.25 * p0, "gated tier leaks only: {p1} vs {p0}");
+    }
+
+    #[test]
+    fn repower_matches_a_fresh_build() {
+        let d = gemmini::design();
+        let base = quick(3, BeolProperties::scaffolded())
+            .with_pillar_map(Grid2::filled(12, 12, 0.08))
+            .with_utilizations(vec![Ratio::ONE; 3]);
+        let target = {
+            let mut cfg = base.clone();
+            cfg.utilization = vec![
+                Ratio::from_fraction(0.25),
+                Ratio::ONE,
+                Ratio::from_fraction(0.5),
+            ];
+            cfg.power_scale = 0.8;
+            cfg
+        };
+        let mut repowered = build(&d, &base);
+        repower(&mut repowered, &d, &target);
+        let fresh = build(&d, &target);
+        let dim = fresh.problem.dim();
+        assert!(
+            (repowered.problem.total_power().watts() - fresh.problem.total_power().watts()).abs()
+                < 1e-12
+        );
+        for k in 0..dim.nz {
+            for j in 0..dim.ny {
+                for i in 0..dim.nx {
+                    let a = repowered.problem.cell_power(i, j, k).watts();
+                    let b = fresh.problem.cell_power(i, j, k).watts();
+                    assert!((a - b).abs() < 1e-15, "cell ({i},{j},{k}): {a} vs {b}");
+                }
+            }
+        }
+        // The operator identity must survive the repaint — that is the
+        // whole point of the fast path.
+        assert_eq!(
+            tsc_thermal::operator_fingerprint(&repowered.problem),
+            tsc_thermal::operator_fingerprint(&fresh.problem)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "keep the tier count")]
+    fn repower_rejects_tier_count_changes() {
+        let d = gemmini::design();
+        let mut stack = build(&d, &quick(3, BeolProperties::conventional()));
+        repower(&mut stack, &d, &quick(2, BeolProperties::conventional()));
     }
 
     #[test]

@@ -14,7 +14,9 @@ use tsc_core::flows::{run_flow_with, CoolingStrategy, FlowConfig};
 use tsc_core::pillars::{self, PlacementConfig};
 use tsc_core::stack::{self, StackConfig, StackSolution};
 use tsc_designs::{fujitsu, gemmini, rocket, Design};
-use tsc_thermal::{operator_fingerprint, ContextStats, Heatsink, OperatorSignature, SolveContext};
+use tsc_thermal::{
+    operator_fingerprint, ContextStats, Heatsink, OperatorSignature, Solution, SolveContext,
+};
 use tsc_units::{Ratio, Temperature};
 
 use crate::metrics::Metrics;
@@ -204,6 +206,22 @@ impl SolveRequest {
             .field("area_budget_percent", self.area_budget_percent)
     }
 
+    /// The canonical form *minus* the power-only knob.  Utilization
+    /// enters the built stack solely through the per-tier power maps
+    /// (never the operator), so two solve requests that agree on this
+    /// form assemble the same operator — a computable proxy for the
+    /// operator fingerprint that needs no stack build.  Batch grouping
+    /// and shard routing key on it.
+    pub fn operator_canonical(&self) -> Json {
+        Json::object()
+            .field("design", self.design.as_str())
+            .field("tiers", self.tiers)
+            .field("lateral_cells", self.lateral_cells)
+            .field("strategy", strategy_name(self.strategy))
+            .field("heatsink", heatsink_name(&self.heatsink))
+            .field("area_budget_percent", self.area_budget_percent)
+    }
+
     fn stack_config(&self, design: &Design) -> StackConfig {
         let spend = Ratio::from_percent(self.area_budget_percent);
         let (beol, pillar_map) = match self.strategy {
@@ -362,17 +380,35 @@ impl ApiJob {
     /// Parse the body for `path`, or `None` when `path` is not a heavy
     /// endpoint.
     pub fn parse(path: &str, body: &[u8]) -> Option<Result<ApiJob, String>> {
-        let build = |f: fn(&Json) -> Result<ApiJob, String>| -> Result<ApiJob, String> {
+        let endpoint = match path {
+            "/v1/solve" => "solve",
+            "/v1/flow" => "flow",
+            "/v1/pillars" => "pillars",
+            _ => return None,
+        };
+        let parsed = (|| {
             let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
             let json =
                 tsc_bench::json::parse(text).map_err(|e| format!("invalid JSON body: {e}"))?;
-            f(&json)
-        };
-        match path {
-            "/v1/solve" => Some(build(|j| SolveRequest::parse(j).map(ApiJob::Solve))),
-            "/v1/flow" => Some(build(|j| FlowRequest::parse(j).map(ApiJob::Flow))),
-            "/v1/pillars" => Some(build(|j| PillarsRequest::parse(j).map(ApiJob::Pillars))),
-            _ => None,
+            ApiJob::parse_item(endpoint, &json)
+        })();
+        Some(parsed)
+    }
+
+    /// Parse one already-decoded JSON object for an endpoint name —
+    /// shared by the single-request paths and the batch envelope.
+    ///
+    /// # Errors
+    ///
+    /// The validation message, for a 400 (or per-item error).
+    pub fn parse_item(endpoint: &str, json: &Json) -> Result<ApiJob, String> {
+        match endpoint {
+            "solve" => SolveRequest::parse(json).map(ApiJob::Solve),
+            "flow" => FlowRequest::parse(json).map(ApiJob::Flow),
+            "pillars" => PillarsRequest::parse(json).map(ApiJob::Pillars),
+            other => Err(format!(
+                "unknown endpoint {other:?} (solve | flow | pillars)"
+            )),
         }
     }
 
@@ -401,6 +437,21 @@ impl ApiJob {
     /// This hash routes; it never stands in for the identity itself.
     pub fn coalesce_key(&self) -> u64 {
         fnv1a(self.canonical_id().as_bytes())
+    }
+
+    /// The operator-affinity key: solve requests that assemble the same
+    /// operator (identical geometry, utilization free) share one key, so
+    /// the batch endpoint can run them through a single checked-out
+    /// context and the shard router keeps a design's contexts hot on one
+    /// shard.  Flow/pillars runs have no power-only delta, so their
+    /// affinity is their full identity.
+    pub fn affinity_key(&self) -> u64 {
+        match self {
+            ApiJob::Solve(r) => {
+                fnv1a(format!("solve-operator\n{}", r.operator_canonical().pretty()).as_bytes())
+            }
+            ApiJob::Flow(_) | ApiJob::Pillars(_) => self.coalesce_key(),
+        }
     }
 
     /// Execute against the service pools, recording pool and solver
@@ -499,6 +550,288 @@ impl ApiJob {
             }
         }
     }
+}
+
+/// Largest number of items one `POST /v1/batch` envelope may carry.
+pub const MAX_BATCH_ITEMS: usize = 256;
+
+/// A parsed `POST /v1/batch` envelope.  Envelope-level problems (not
+/// JSON, missing/empty/oversized `items`) fail the whole request;
+/// item-level validation failures are carried per item so one bad item
+/// never fails the batch.
+pub struct BatchRequest {
+    pub items: Vec<Result<ApiJob, String>>,
+}
+
+impl BatchRequest {
+    /// Parse the envelope: `{"items": [{...}, ...]}`, each item an
+    /// object for one heavy endpoint, selected by its optional
+    /// `"endpoint"` field (`solve` default, or `flow` / `pillars`).
+    ///
+    /// # Errors
+    ///
+    /// Envelope-level validation message, for a 400.
+    pub fn parse(body: &[u8]) -> Result<BatchRequest, String> {
+        let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+        let json = tsc_bench::json::parse(text).map_err(|e| format!("invalid JSON body: {e}"))?;
+        let items = json
+            .get("items")
+            .ok_or_else(|| "missing required field \"items\"".to_string())?
+            .as_array()
+            .ok_or_else(|| "items must be an array".to_string())?;
+        if items.is_empty() {
+            return Err("items must not be empty".to_string());
+        }
+        if items.len() > MAX_BATCH_ITEMS {
+            return Err(format!(
+                "too many items: {} (max {MAX_BATCH_ITEMS})",
+                items.len()
+            ));
+        }
+        let items = items
+            .iter()
+            .map(|item| {
+                let endpoint = str_field(item, "endpoint", "solve")?;
+                ApiJob::parse_item(endpoint, item)
+            })
+            .collect();
+        Ok(BatchRequest { items })
+    }
+}
+
+/// Run one job with a per-item panic boundary: a panicking solve becomes
+/// a per-item 500 instead of killing the worker (or the batch).
+pub fn catch_execute(
+    job: &ApiJob,
+    pools: &ServicePools,
+    metrics: &Metrics,
+) -> Result<String, (u16, String)> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.execute(pools, metrics))) {
+        Ok(result) => result,
+        Err(_) => {
+            metrics.worker_panics.inc();
+            Err((500, "internal error: worker panicked".to_string()))
+        }
+    }
+}
+
+/// Execute a group of jobs that share an [`ApiJob::affinity_key`],
+/// returning per-item results in order.
+///
+/// Solve groups of two or more take the power-delta fast path: the
+/// stack is built (or taken from cache) once, the `SolveContext` is
+/// checked out once, and every item after the first only *repaints the
+/// power maps* ([`stack::repower`]) before re-solving — an operator
+/// reuse plus warm start instead of a rebuild plus cold solve.  Mixed
+/// or non-solve groups (and any item after an in-group panic) fall back
+/// to independent execution.  Every item has its own panic boundary.
+pub fn execute_group(
+    jobs: &[&ApiJob],
+    pools: &ServicePools,
+    metrics: &Metrics,
+) -> Vec<Result<String, (u16, String)>> {
+    let solves: Option<Vec<&SolveRequest>> = jobs
+        .iter()
+        .map(|job| match job {
+            ApiJob::Solve(r) => Some(r),
+            _ => None,
+        })
+        .collect();
+    let groupable = jobs.len() >= 2
+        && solves.is_some()
+        && jobs
+            .windows(2)
+            .all(|w| w[0].affinity_key() == w[1].affinity_key());
+    let Some(reqs) = solves.filter(|_| groupable) else {
+        return jobs
+            .iter()
+            .map(|job| catch_execute(job, pools, metrics))
+            .collect();
+    };
+
+    execute_solve_group(jobs, &reqs, pools, metrics)
+}
+
+fn execute_solve_group(
+    jobs: &[&ApiJob],
+    reqs: &[&SolveRequest],
+    pools: &ServicePools,
+    metrics: &Metrics,
+) -> Vec<Result<String, (u16, String)>> {
+    metrics.batch_groups_total.inc();
+    let design = match lookup_design(&reqs[0].design) {
+        Ok(design) => design,
+        // Unreachable (validated at parse), but never panic a worker.
+        Err(e) => return jobs.iter().map(|_| Err((500, e.clone()))).collect(),
+    };
+
+    // One stack for the whole group, keyed (initially) by the first
+    // item's identity; one context checkout for the whole group.
+    let stack_id = jobs[0].canonical_id();
+    let stack_key = fnv1a(stack_id.as_bytes());
+    let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        match pools.stacks.take(stack_key, &stack_id) {
+            Some(stack) => {
+                metrics.stack_cache_hits.inc();
+                stack
+            }
+            None => {
+                metrics.stack_cache_misses.inc();
+                stack::build(design, &reqs[0].stack_config(design))
+            }
+        }
+    }));
+    let Ok(mut stack) = built else {
+        metrics.worker_panics.inc();
+        return jobs
+            .iter()
+            .map(|_| Err((500, "internal error: worker panicked".to_string())))
+            .collect();
+    };
+
+    let key = operator_fingerprint(&stack.problem);
+    let ctx_key = ContextKey::Operator(OperatorSignature::of(&stack.problem));
+    let (mut ctx, outcome) = pools.contexts.checkout(key, &ctx_key);
+    match outcome {
+        Checkout::Hit => metrics.pool_hits.inc(),
+        Checkout::Miss => metrics.pool_misses.inc(),
+    }
+    let before = ctx.stats();
+
+    let mut results = Vec::with_capacity(jobs.len());
+    // Identity of the power state currently painted on `stack` — the
+    // key it must be re-cached under.
+    let mut cached_id = stack_id;
+    let mut poisoned = false;
+    let mut superposed = false;
+    // Whether the planning pass below repainted the stack, so the
+    // fallback loop can no longer trust item 0's cached power state.
+    let mut repainted = false;
+
+    // Affine fast path: within a group the operator is fixed (only
+    // utilization differs, and pillar placement ignores utilization),
+    // and power density is affine in utilization — so the group's power
+    // vectors usually sit on one line.  Paint each item's power (cheap:
+    // no mesh or operator work), fit the family, and when membership
+    // verifies elementwise, price the whole sweep with the two extreme
+    // solves plus exact superposition of everything in between.
+    if jobs.len() >= 3 {
+        let planned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut powers = Vec::with_capacity(reqs.len());
+            for req in reqs {
+                stack::repower(&mut stack, design, &req.stack_config(design));
+                powers.push(stack.problem.power_flat().to_vec());
+            }
+            tsc_thermal::affine_family(&powers)
+        }));
+        repainted = true;
+        match planned {
+            Ok(Some(family)) => {
+                let anchors = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                    || -> Result<(Solution, Solution), (u16, String)> {
+                        let mut solve_anchor = |stack: &mut _, which: usize| {
+                            stack::repower(stack, design, &reqs[which].stack_config(design));
+                            ctx.solve(&stack.problem, &stack::hot_loop_solver())
+                                .map_err(|e| (500, format!("solve failed: {e}")))
+                        };
+                        let low = solve_anchor(&mut stack, family.anchor_low)?;
+                        let high = solve_anchor(&mut stack, family.anchor_high)?;
+                        Ok((low, high))
+                    },
+                ));
+                match anchors {
+                    Ok(Ok((low, high))) => {
+                        metrics.backend_solves_total.add(2);
+                        // The high anchor rides the low anchor's operator
+                        // and warm start, like any power-delta item.
+                        metrics.batch_group_warm_items_total.inc();
+                        cached_id = jobs[family.anchor_high].canonical_id();
+                        for (i, req) in reqs.iter().enumerate() {
+                            let solution = if i == family.anchor_low {
+                                low.clone()
+                            } else if i == family.anchor_high {
+                                high.clone()
+                            } else {
+                                metrics.batch_affine_rescales_total.inc();
+                                tsc_thermal::blend_solutions(&low, &high, family.alphas[i])
+                            };
+                            let stack_solution = StackSolution {
+                                solution,
+                                layout: stack.layout.clone(),
+                            };
+                            results.push(Ok(render_solve(req, &stack_solution, ctx.stats())));
+                        }
+                        superposed = true;
+                    }
+                    // Anchor solve error: stack and context are intact;
+                    // fall through and let per-item solves report it.
+                    Ok(Err(_)) => {}
+                    Err(_) => {
+                        metrics.worker_panics.inc();
+                        poisoned = true;
+                    }
+                }
+            }
+            // Not an affine family — per-item solves below.
+            Ok(None) => {}
+            Err(_) => {
+                metrics.worker_panics.inc();
+                poisoned = true;
+            }
+        }
+    }
+
+    for (i, (job, req)) in jobs.iter().zip(reqs).enumerate() {
+        if superposed {
+            break;
+        }
+        if poisoned {
+            // A panic left the shared stack/context in an unknown state;
+            // finish the group on the independent path.
+            results.push(catch_execute(job, pools, metrics));
+            continue;
+        }
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+            || -> Result<String, (u16, String)> {
+                if i > 0 || repainted {
+                    stack::repower(&mut stack, design, &req.stack_config(design));
+                }
+                let solution = ctx
+                    .solve(&stack.problem, &stack::hot_loop_solver())
+                    .map_err(|e| (500, format!("solve failed: {e}")))?;
+                let stack_solution = StackSolution {
+                    solution,
+                    layout: stack.layout.clone(),
+                };
+                Ok(render_solve(req, &stack_solution, ctx.stats()))
+            },
+        ));
+        match attempt {
+            Ok(result) => {
+                metrics.backend_solves_total.inc();
+                if i > 0 {
+                    metrics.batch_group_warm_items_total.inc();
+                }
+                cached_id = job.canonical_id();
+                results.push(result);
+            }
+            Err(_) => {
+                metrics.worker_panics.inc();
+                results.push(Err((500, "internal error: worker panicked".to_string())));
+                poisoned = true;
+            }
+        }
+    }
+
+    accumulate_context_delta(metrics, &before, &ctx.stats());
+    if !poisoned {
+        let evicted = pools.contexts.checkin(key, ctx_key, ctx);
+        metrics.pool_evictions.add(evicted as u64);
+        pools
+            .stacks
+            .put(fnv1a(cached_id.as_bytes()), cached_id, stack);
+    }
+    results
 }
 
 /// Check a context out of the pool, run `body`, accumulate the context's
@@ -695,5 +1028,156 @@ mod tests {
         assert_eq!(metrics.pool_hits.get(), 1);
         assert_eq!(metrics.stack_cache_hits.get(), 1);
         assert!(metrics.ctx_operator_reuses.get() >= 1);
+    }
+
+    #[test]
+    fn affinity_key_ignores_utilization_but_nothing_else() {
+        let base = ApiJob::parse(
+            "/v1/solve",
+            br#"{"design": "gemmini", "utilization_percent": 100}"#,
+        )
+        .unwrap()
+        .unwrap();
+        let dimmed = ApiJob::parse(
+            "/v1/solve",
+            br#"{"design": "gemmini", "utilization_percent": 55}"#,
+        )
+        .unwrap()
+        .unwrap();
+        let resized = ApiJob::parse(
+            "/v1/solve",
+            br#"{"design": "gemmini", "lateral_cells": 16}"#,
+        )
+        .unwrap()
+        .unwrap();
+        // Power-only variants share an operator; geometry changes do not.
+        assert_ne!(base.coalesce_key(), dimmed.coalesce_key());
+        assert_eq!(base.affinity_key(), dimmed.affinity_key());
+        assert_ne!(base.affinity_key(), resized.affinity_key());
+        // Flow jobs have no power-only delta: affinity is full identity.
+        let flow = ApiJob::parse("/v1/flow", br#"{"design": "gemmini"}"#)
+            .unwrap()
+            .unwrap();
+        assert_eq!(flow.affinity_key(), flow.coalesce_key());
+    }
+
+    #[test]
+    fn batch_parse_separates_envelope_and_item_errors() {
+        // Envelope-level failures reject the whole request.
+        assert!(BatchRequest::parse(b"not json").is_err());
+        assert!(BatchRequest::parse(br#"{"no_items": 1}"#).is_err());
+        assert!(BatchRequest::parse(br#"{"items": 3}"#).is_err());
+        assert!(BatchRequest::parse(br#"{"items": []}"#).is_err());
+        let oversized = format!(
+            r#"{{"items": [{}]}}"#,
+            vec![r#"{"design": "gemmini"}"#; MAX_BATCH_ITEMS + 1].join(",")
+        );
+        assert!(BatchRequest::parse(oversized.as_bytes()).is_err());
+
+        // Item-level failures are carried per item, in order.
+        let batch = BatchRequest::parse(
+            br#"{"items": [
+                {"design": "gemmini"},
+                {"design": "nope"},
+                {"endpoint": "flow", "design": "gemmini"},
+                {"endpoint": "teleport"}
+            ]}"#,
+        )
+        .expect("envelope is valid");
+        assert_eq!(batch.items.len(), 4);
+        assert!(batch.items[0].is_ok());
+        assert!(batch.items[1].is_err());
+        assert!(matches!(batch.items[2], Ok(ApiJob::Flow(_))));
+        assert!(batch.items[3]
+            .as_ref()
+            .is_err_and(|e| e.contains("unknown endpoint")));
+    }
+
+    #[test]
+    fn execute_group_runs_warm_deltas_and_isolates_failures() {
+        let utils = [100.0_f64, 70.0, 40.0];
+        let jobs: Vec<ApiJob> = utils
+            .iter()
+            .map(|u| {
+                ApiJob::parse(
+                    "/v1/solve",
+                    format!(
+                        r#"{{"design": "gemmini-memory", "tiers": 2, "lateral_cells": 6,
+                            "utilization_percent": {u}}}"#
+                    )
+                    .as_bytes(),
+                )
+                .unwrap()
+                .unwrap()
+            })
+            .collect();
+        let refs: Vec<&ApiJob> = jobs.iter().collect();
+        assert!(refs
+            .windows(2)
+            .all(|w| w[0].affinity_key() == w[1].affinity_key()));
+
+        let pools = ServicePools::new(4);
+        let metrics = Metrics::default();
+        let results = execute_group(&refs, &pools, &metrics);
+        assert_eq!(results.len(), 3);
+        for (i, result) in results.iter().enumerate() {
+            let body = result
+                .as_ref()
+                .unwrap_or_else(|e| panic!("item {i}: {e:?}"));
+            let junction = parse_json(body)
+                .get("junction_celsius")
+                .and_then(Json::as_f64)
+                .unwrap();
+            assert!(junction > 20.0 && junction < 400.0, "item {i}: {junction}");
+        }
+        // One stack build, one context.  A pure utilization sweep is an
+        // affine power family: two anchor solves (u=100 and u=40, the
+        // high anchor a repowered warm delta) and the middle item
+        // superposed exactly, no third solver run.
+        assert_eq!(metrics.batch_groups_total.get(), 1);
+        assert_eq!(metrics.batch_group_warm_items_total.get(), 1);
+        assert_eq!(metrics.batch_affine_rescales_total.get(), 1);
+        assert_eq!(metrics.stack_cache_misses.get(), 1);
+        assert_eq!(metrics.pool_misses.get(), 1);
+        assert_eq!(metrics.backend_solves_total.get(), 2);
+
+        // Lower utilization must strictly reduce the junction temperature —
+        // each item really answers with its own power map (anchors by
+        // direct solve, the middle item by superposition).
+        let temps: Vec<f64> = results
+            .iter()
+            .map(|r| {
+                parse_json(r.as_ref().unwrap())
+                    .get("junction_celsius")
+                    .and_then(Json::as_f64)
+                    .unwrap()
+            })
+            .collect();
+        assert!(
+            temps[0] > temps[1] && temps[1] > temps[2],
+            "temps {temps:?}"
+        );
+
+        // The group's context and stack went back to the pools (the
+        // stack keyed by the last-painted anchor): a follow-up solve of
+        // the high anchor is a pure hit.
+        let _ = jobs[0].execute(&pools, &metrics).expect("follow-up");
+        assert_eq!(metrics.pool_hits.get(), 1);
+        assert_eq!(metrics.stack_cache_hits.get(), 1);
+
+        // A mixed group (solve + flow) is not groupable and falls back to
+        // independent execution, still one result per job, in order.
+        let flow = ApiJob::parse("/v1/flow", br#"{"design": "gemmini", "tiers": 2}"#)
+            .unwrap()
+            .unwrap();
+        let mixed: Vec<&ApiJob> = vec![&jobs[0], &flow];
+        let mixed_results = execute_group(&mixed, &pools, &metrics);
+        assert_eq!(mixed_results.len(), 2);
+        assert!(mixed_results.iter().all(Result::is_ok));
+        assert_eq!(
+            metrics.batch_groups_total.get(),
+            1,
+            "ungroupable jobs bypass the grouped path"
+        );
     }
 }

@@ -1,0 +1,170 @@
+//! The `tsc-route` binary: a consistent-hash shard router in front of
+//! N `tsc-serve` backends.
+//!
+//! Two modes:
+//!
+//! * `--shards N` spawns N `tsc-serve` children on ephemeral ports (the
+//!   `tsc-serve` binary is found next to this one, or via
+//!   `TSC_SERVE_BIN`) and fronts them;
+//! * `--backends host:port,host:port` fronts externally managed
+//!   backends.
+//!
+//! A client `POST /v1/shutdown` propagates to every backend and drains
+//! the router.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use tsc_serve::router::{Affinity, Router, RouterConfig};
+use tsc_serve::shard::{ShardProcess, ShardSpec};
+
+const USAGE: &str = "usage: tsc-route [--port N] (--shards N | --backends a:p,a:p) \
+                     [--replicas N] [--retry-budget N] [--probe-interval-ms N] \
+                     [--affinity hash|random] [--shard-workers N] \
+                     [--shard-queue-cap N] [--shard-pool-cap N]";
+
+struct Options {
+    config: RouterConfig,
+    shards: usize,
+    spec: ShardSpec,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        config: RouterConfig {
+            port: 7071,
+            ..RouterConfig::default()
+        },
+        shards: 0,
+        spec: ShardSpec::default(),
+    };
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut text = |name: &str| -> Result<&String, String> {
+            iter.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--port" => {
+                options.config.port = text("--port")?
+                    .parse()
+                    .map_err(|_| "--port requires a port number".to_string())?;
+            }
+            "--shards" => {
+                options.shards = text("--shards")?
+                    .parse::<usize>()
+                    .map_err(|_| "--shards requires a count".to_string())?
+                    .clamp(1, 64);
+            }
+            "--backends" => {
+                options.config.backends = text("--backends")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--replicas" => {
+                options.config.replicas = text("--replicas")?
+                    .parse::<usize>()
+                    .map_err(|_| "--replicas requires a count".to_string())?
+                    .clamp(1, 1024);
+            }
+            "--retry-budget" => {
+                options.config.retry_budget = text("--retry-budget")?
+                    .parse::<usize>()
+                    .map_err(|_| "--retry-budget requires a count".to_string())?
+                    .clamp(1, 16);
+            }
+            "--probe-interval-ms" => {
+                let ms = text("--probe-interval-ms")?
+                    .parse::<u64>()
+                    .map_err(|_| "--probe-interval-ms requires milliseconds".to_string())?;
+                options.config.probe_interval = Duration::from_millis(ms.clamp(20, 60_000));
+            }
+            "--affinity" => {
+                options.config.affinity = Affinity::parse(text("--affinity")?)?;
+            }
+            "--shard-workers" => {
+                options.spec.workers = text("--shard-workers")?
+                    .parse::<usize>()
+                    .map_err(|_| "--shard-workers requires a count".to_string())?
+                    .clamp(1, 64);
+            }
+            "--shard-queue-cap" => {
+                options.spec.queue_cap = text("--shard-queue-cap")?
+                    .parse::<usize>()
+                    .map_err(|_| "--shard-queue-cap requires a count".to_string())?
+                    .clamp(1, 4096);
+            }
+            "--shard-pool-cap" => {
+                options.spec.pool_cap = text("--shard-pool-cap")?
+                    .parse::<usize>()
+                    .map_err(|_| "--shard-pool-cap requires a count".to_string())?
+                    .min(256);
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    if options.shards == 0 && options.config.backends.is_empty() {
+        return Err(format!("need --shards or --backends\n{USAGE}"));
+    }
+    if options.shards > 0 && !options.config.backends.is_empty() {
+        return Err("--shards and --backends are mutually exclusive".to_string());
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Spawn-my-own-shards mode: children die with this process (kill on
+    // drop) unless a graceful shutdown already drained them.
+    let mut children: Vec<ShardProcess> = Vec::new();
+    for i in 0..options.shards {
+        match ShardProcess::spawn(&options.spec) {
+            Ok(shard) => {
+                println!("tsc-route: shard {i} at {}", shard.addr());
+                options.config.backends.push(shard.addr().to_string());
+                children.push(shard);
+            }
+            Err(err) => {
+                eprintln!("tsc-route: failed to spawn shard {i}: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let router = match Router::start(options.config) {
+        Ok(router) => router,
+        Err(err) => {
+            eprintln!("tsc-route: start failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The load generator and the CI smoke test parse this exact line to
+    // discover the ephemeral port — keep the format stable.
+    println!("tsc-route listening on {}", router.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    router.wait_for_shutdown_request();
+    router.shutdown();
+    // Shutdown was already propagated to the backends; give them a
+    // moment to drain, then make sure nothing lingers.
+    std::thread::sleep(Duration::from_millis(200));
+    for child in &mut children {
+        child.kill();
+    }
+    println!("tsc-route: drained and stopped");
+    ExitCode::SUCCESS
+}

@@ -252,6 +252,10 @@ pub struct Response {
     pub body: Vec<u8>,
     /// When set, emitted as a `Retry-After` header (seconds) — used by 429s.
     pub retry_after: Option<u32>,
+    /// Additional headers appended verbatim (e.g. the sub-second
+    /// `X-Retry-After-Ms` hint).  Names and values must be header-safe;
+    /// all call sites pass literals or rendered integers.
+    pub extra_headers: Vec<(String, String)>,
     /// When true, emits `Connection: close` and the server drops the socket.
     pub close: bool,
 }
@@ -263,6 +267,7 @@ impl Response {
             content_type: "application/json",
             body: body.into_bytes(),
             retry_after: None,
+            extra_headers: Vec::new(),
             close: false,
         }
     }
@@ -273,6 +278,7 @@ impl Response {
             content_type: "text/plain; charset=utf-8",
             body: body.as_bytes().to_vec(),
             retry_after: None,
+            extra_headers: Vec::new(),
             close: false,
         }
     }
@@ -295,6 +301,12 @@ impl Response {
         self
     }
 
+    /// Append an extra header.
+    pub fn with_header(mut self, name: &str, value: String) -> Self {
+        self.extra_headers.push((name.to_string(), value));
+        self
+    }
+
     /// Render the full wire message.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.body.len() + 128);
@@ -310,6 +322,9 @@ impl Response {
         out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
         if let Some(secs) = self.retry_after {
             out.extend_from_slice(format!("Retry-After: {secs}\r\n").as_bytes());
+        }
+        for (name, value) in &self.extra_headers {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
         }
         if self.close {
             out.extend_from_slice(b"Connection: close\r\n");
@@ -333,6 +348,7 @@ pub fn status_reason(status: u16) -> &'static str {
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         501 => "Not Implemented",
+        502 => "Bad Gateway",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "Unknown",

@@ -37,10 +37,17 @@ pub mod http;
 pub mod metrics;
 pub mod pool;
 pub mod queue;
+pub mod ring;
+pub mod router;
 pub mod server;
+pub mod shard;
 
 pub use api::ApiJob;
 pub use http::{Limits, Request, Response};
 pub use metrics::{validate_exposition, Metrics};
 pub use pool::{ContextKey, ContextPool, LruPool, ServicePools};
+pub use queue::Priority;
+pub use ring::HashRing;
+pub use router::{Affinity, Router, RouterConfig};
 pub use server::{Server, ServerConfig};
+pub use shard::{ShardProcess, ShardSpec};

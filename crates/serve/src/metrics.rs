@@ -137,15 +137,20 @@ impl Histogram {
 }
 
 /// Endpoints tracked with per-status request counters.
-pub const ENDPOINTS: [&str; 8] = [
-    "solve", "flow", "pillars", "designs", "metrics", "healthz", "shutdown", "other",
+pub const ENDPOINTS: [&str; 9] = [
+    "solve", "flow", "pillars", "batch", "designs", "metrics", "healthz", "shutdown", "other",
 ];
 
 /// Statuses tracked per endpoint.
-pub const STATUSES: [u16; 12] = [200, 400, 404, 405, 408, 413, 429, 431, 500, 501, 503, 504];
+pub const STATUSES: [u16; 13] = [
+    200, 400, 404, 405, 408, 413, 429, 431, 500, 501, 502, 503, 504,
+];
 
 /// Heavy (queued) endpoints that get latency histograms.
-pub const HEAVY_ENDPOINTS: [&str; 3] = ["solve", "flow", "pillars"];
+pub const HEAVY_ENDPOINTS: [&str; 4] = ["solve", "flow", "pillars", "batch"];
+
+/// Admission-class labels, aligned with `Priority::index`.
+pub const CLASSES: [&str; 3] = ["interactive", "batch", "background"];
 
 fn endpoint_index(endpoint: &str) -> usize {
     ENDPOINTS
@@ -178,6 +183,17 @@ pub struct Metrics {
     pub deadline_timeouts: Counter,
     pub rejected_queue_full: Counter,
     pub worker_panics: Counter,
+    // Admission control: per-class admitted / shed counts, indexed by
+    // `Priority::index` (see `CLASSES`).
+    pub class_admitted: [Counter; CLASSES.len()],
+    pub class_shed: [Counter; CLASSES.len()],
+    // Batch endpoint rollups.
+    pub batch_requests_total: Counter,
+    pub batch_items_total: Counter,
+    pub batch_item_errors_total: Counter,
+    pub batch_groups_total: Counter,
+    pub batch_group_warm_items_total: Counter,
+    pub batch_affine_rescales_total: Counter,
     // SolverStats / ContextStats rollups, accumulated after each backend solve.
     pub solver_iterations: Counter,
     pub solver_matvecs: Counter,
@@ -281,7 +297,26 @@ impl Metrics {
             ));
         }
 
-        let counters: [(&str, &str, u64); 16] = [
+        out.push_str(
+            "# HELP tsc_admitted_total Heavy jobs admitted to the solve queue, by class.\n",
+        );
+        out.push_str("# TYPE tsc_admitted_total counter\n");
+        for (i, class) in CLASSES.iter().enumerate() {
+            out.push_str(&format!(
+                "tsc_admitted_total{{class=\"{class}\"}} {}\n",
+                self.class_admitted[i].get()
+            ));
+        }
+        out.push_str("# HELP tsc_shed_total Heavy jobs refused (429) at admission, by class.\n");
+        out.push_str("# TYPE tsc_shed_total counter\n");
+        for (i, class) in CLASSES.iter().enumerate() {
+            out.push_str(&format!(
+                "tsc_shed_total{{class=\"{class}\"}} {}\n",
+                self.class_shed[i].get()
+            ));
+        }
+
+        let counters: [(&str, &str, u64); 22] = [
             (
                 "tsc_coalesced_requests_total",
                 "Requests served by piggybacking on an identical in-flight solve.",
@@ -361,6 +396,37 @@ impl Metrics {
                 "tsc_context_warm_starts_total",
                 "Solves warm-started from a pooled temperature field.",
                 self.ctx_warm_starts.get(),
+            ),
+            (
+                "tsc_batch_requests_total",
+                "POST /v1/batch envelopes accepted.",
+                self.batch_requests_total.get(),
+            ),
+            (
+                "tsc_batch_items_total",
+                "Individual items carried by batch envelopes.",
+                self.batch_items_total.get(),
+            ),
+            (
+                "tsc_batch_item_errors_total",
+                "Batch items that returned a per-item error.",
+                self.batch_item_errors_total.get(),
+            ),
+            (
+                "tsc_batch_groups_total",
+                "Operator-fingerprint groups executed by the batch endpoint.",
+                self.batch_groups_total.get(),
+            ),
+            (
+                "tsc_batch_group_warm_items_total",
+                "Batch items solved as repowered warm deltas (after a group's first item).",
+                self.batch_group_warm_items_total.get(),
+            ),
+            (
+                "tsc_batch_affine_rescales_total",
+                "Batch items answered by exact affine superposition of the group's \
+                 two anchor solves instead of a solver run.",
+                self.batch_affine_rescales_total.get(),
             ),
         ];
         for (name, help, value) in counters {

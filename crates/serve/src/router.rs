@@ -1,0 +1,1020 @@
+//! The shard router: a thin HTTP tier that fronts N `tsc-serve`
+//! backends, routing heavy requests by **operator affinity** over a
+//! consistent-hash ring so each design's warm `SolveContext`s
+//! concentrate on one shard.
+//!
+//! * `/v1/solve`, `/v1/flow`, `/v1/pillars` — the body is parsed just
+//!   enough to compute [`crate::api::ApiJob::affinity_key`]; the request
+//!   is then forwarded verbatim to the owning shard, with a bounded,
+//!   jitter-backed retry budget on connect failure and retryable 5xx.
+//!   Placement uses consistent hashing **with bounded loads**
+//!   ([`crate::ring::BoundedTable`]): a key whose ring-home shard is
+//!   already over its fair share of distinct hot keys walks forward to
+//!   the next under-loaded shard and sticks there, so a handful of hot
+//!   designs cannot pile onto one shard while its neighbours idle.
+//! * `/v1/batch` — the envelope is split into per-shard sub-batches by
+//!   item affinity and the per-item results are merged back in envelope
+//!   order; a dead shard fails only its own items.
+//! * `/metrics` — every healthy shard's exposition is fetched, parsed
+//!   ([`tsc_bench::prom::parse_exposition`]) and summed by series
+//!   (quantile gauges are dropped: bucket counts sum, quantiles do not),
+//!   with the router's own `tsc_router_*` series appended.
+//! * `/healthz` probes run on a background thread: a failing shard is
+//!   ejected from routing and readmitted when it answers again.
+//!
+//! Degradation is typed, never hung: exhausted retries and an empty
+//! ring answer 503 + `Retry-After`; a backend that responds with bytes
+//! that do not parse as HTTP answers 502 and is never retried (the
+//! request may have executed — replaying it could double work).
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use tsc_bench::httpc::{ClientError, HttpClient, HttpResponse};
+use tsc_bench::json::Json;
+use tsc_bench::prom::parse_exposition;
+
+use crate::api::{fnv1a, ApiJob, MAX_BATCH_ITEMS};
+use crate::http::{Limits, Request, Response};
+use crate::metrics::{Counter, Gauge};
+use crate::ring::{BoundedTable, DEFAULT_EXPANSION, DEFAULT_TABLE_CAPACITY};
+use crate::server::{drive_connection, ConnectionHandler};
+
+/// How a request picks its shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Affinity {
+    /// Consistent hash on the operator-affinity key (the default): a
+    /// design's solves keep hitting the shard that holds its warm
+    /// contexts.
+    Hash,
+    /// Uniform random over healthy shards — the A/B baseline that shows
+    /// what affinity buys; context hit rates collapse as N grows.
+    Random,
+}
+
+impl Affinity {
+    /// Parse a `--affinity` flag value.
+    ///
+    /// # Errors
+    ///
+    /// The unrecognised value.
+    pub fn parse(value: &str) -> Result<Affinity, String> {
+        match value.to_ascii_lowercase().as_str() {
+            "hash" => Ok(Affinity::Hash),
+            "random" => Ok(Affinity::Random),
+            other => Err(format!("unknown affinity {other:?} (hash | random)")),
+        }
+    }
+}
+
+/// Router configuration.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Port to bind on 127.0.0.1; 0 picks an ephemeral port.
+    pub port: u16,
+    /// Backend `host:port` addresses (spawned or external).
+    pub backends: Vec<String>,
+    /// Virtual nodes per shard on the hash ring.
+    pub replicas: usize,
+    /// Total attempts per upstream request (first try + retries).
+    pub retry_budget: usize,
+    /// Health-probe cadence.
+    pub probe_interval: Duration,
+    /// Shard selection policy.
+    pub affinity: Affinity,
+    /// Upstream connect timeout.
+    pub connect_timeout: Duration,
+    /// Upstream end-to-end response deadline (per attempt).
+    pub upstream_deadline: Duration,
+    /// Client-side parser caps (same meaning as the server's).
+    pub limits: Limits,
+    /// Close idle client connections after this long.
+    pub idle_timeout: Duration,
+    /// Whether `POST /v1/shutdown` is honoured and propagated.
+    pub allow_shutdown: bool,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            port: 0,
+            backends: Vec::new(),
+            replicas: crate::ring::DEFAULT_REPLICAS,
+            retry_budget: 3,
+            probe_interval: Duration::from_millis(200),
+            affinity: Affinity::Hash,
+            connect_timeout: Duration::from_millis(500),
+            upstream_deadline: Duration::from_secs(120),
+            limits: Limits::default(),
+            idle_timeout: Duration::from_secs(10),
+            allow_shutdown: true,
+        }
+    }
+}
+
+/// The router's own counters, rendered under the `tsc_router_*` prefix
+/// and appended to the aggregated shard exposition.
+#[derive(Debug, Default)]
+pub struct RouterMetrics {
+    pub requests_total: Counter,
+    pub retries_total: Counter,
+    pub upstream_errors_total: Counter,
+    pub bad_gateway_total: Counter,
+    pub no_backend_total: Counter,
+    pub shard_ejections_total: Counter,
+    pub shard_readmissions_total: Counter,
+    pub batch_subbatches_total: Counter,
+    pub rebalanced_keys_total: Counter,
+    pub healthy_shards: Gauge,
+    pub shards: Gauge,
+}
+
+impl RouterMetrics {
+    fn render(&self) -> String {
+        let counters: [(&str, &str, u64); 9] = [
+            (
+                "tsc_router_requests_total",
+                "Client requests handled by the router.",
+                self.requests_total.get(),
+            ),
+            (
+                "tsc_router_retries_total",
+                "Upstream attempts beyond the first, across all requests.",
+                self.retries_total.get(),
+            ),
+            (
+                "tsc_router_upstream_errors_total",
+                "Upstream attempts that failed at the transport (connect/read/timeout).",
+                self.upstream_errors_total.get(),
+            ),
+            (
+                "tsc_router_bad_gateway_total",
+                "Responses answered 502 because a backend returned malformed HTTP.",
+                self.bad_gateway_total.get(),
+            ),
+            (
+                "tsc_router_no_backend_total",
+                "Responses answered 503 because no healthy backend remained.",
+                self.no_backend_total.get(),
+            ),
+            (
+                "tsc_router_shard_ejections_total",
+                "Shards ejected from routing after a failed health probe.",
+                self.shard_ejections_total.get(),
+            ),
+            (
+                "tsc_router_shard_readmissions_total",
+                "Ejected shards readmitted after a passing health probe.",
+                self.shard_readmissions_total.get(),
+            ),
+            (
+                "tsc_router_batch_subbatches_total",
+                "Per-shard sub-batches fanned out by /v1/batch splitting.",
+                self.batch_subbatches_total.get(),
+            ),
+            (
+                "tsc_router_rebalanced_keys_total",
+                "Affinity keys placed off their ring-home shard by the bounded-load cap.",
+                self.rebalanced_keys_total.get(),
+            ),
+        ];
+        let mut out = String::with_capacity(1024);
+        for (name, help, value) in counters {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        }
+        for (name, help, value) in [
+            (
+                "tsc_router_healthy_shards",
+                "Backends currently passing health probes.",
+                self.healthy_shards.get(),
+            ),
+            (
+                "tsc_router_shards",
+                "Backends configured behind the router.",
+                self.shards.get(),
+            ),
+        ] {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+            ));
+        }
+        out
+    }
+}
+
+struct RouterShared {
+    stop: AtomicBool,
+    shutdown_signal: (Mutex<bool>, Condvar),
+    config: RouterConfig,
+    ring: crate::ring::HashRing,
+    /// Bounded-load placement table: sticky key → shard assignments
+    /// capped at ~1.25× each shard's fair share of distinct keys.
+    table: Mutex<BoundedTable>,
+    healthy: Vec<AtomicBool>,
+    metrics: RouterMetrics,
+    addr: SocketAddr,
+    jitter_state: AtomicU64,
+}
+
+/// How a request selects its shard.
+#[derive(Debug, Clone, Copy)]
+enum RouteKey {
+    /// Operator-affinity key: bounded-load consistent hashing.
+    Affinity(u64),
+    /// Any healthy shard (static content) — never touches the sticky
+    /// table, so per-request spreading cannot pollute it.
+    AnyHealthy,
+}
+
+impl RouterShared {
+    fn healthy_count(&self) -> usize {
+        self.healthy
+            .iter()
+            .filter(|flag| flag.load(Ordering::Relaxed))
+            .count()
+    }
+
+    fn is_healthy(&self, shard: usize) -> bool {
+        self.healthy
+            .get(shard)
+            .is_some_and(|flag| flag.load(Ordering::Relaxed))
+    }
+
+    /// Mark a shard unhealthy after a transport failure — the prober
+    /// readmits it once it answers `/healthz` again.
+    fn eject(&self, shard: usize) {
+        if let Some(flag) = self.healthy.get(shard) {
+            if flag.swap(false, Ordering::Relaxed) {
+                self.metrics.shard_ejections_total.inc();
+                self.metrics.healthy_shards.set(self.healthy_count() as i64);
+            }
+        }
+    }
+
+    fn jitter_unit(&self) -> f64 {
+        let mut z = self
+            .jitter_state
+            .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Pick the shard for `key` under the configured affinity policy,
+    /// optionally excluding a shard that just failed.
+    ///
+    /// First placements go through the bounded-load table and stick;
+    /// retry picks (`exclude` set) are a *transient* ring walk that
+    /// leaves the table alone — a timeout on a healthy shard must not
+    /// permanently migrate the key and strand its warm contexts.
+    fn pick_shard(&self, key: RouteKey, exclude: Option<usize>) -> Option<usize> {
+        let healthy = |shard: usize| self.is_healthy(shard) && Some(shard) != exclude;
+        let affinity_key = match (key, self.config.affinity) {
+            (RouteKey::Affinity(k), Affinity::Hash) => k,
+            _ => return self.pick_uniform(&healthy),
+        };
+        if exclude.is_some() {
+            return self.ring.route(affinity_key, healthy);
+        }
+        let mut table = match self.table.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let (shard, overflowed) = table.route(&self.ring, affinity_key, |s| self.is_healthy(s))?;
+        if overflowed {
+            self.metrics.rebalanced_keys_total.inc();
+        }
+        Some(shard)
+    }
+
+    /// Uniform pick over healthy shards — the `Random` A/B policy, and
+    /// the path for unkeyed (static) requests under any policy.
+    fn pick_uniform(&self, healthy: &impl Fn(usize) -> bool) -> Option<usize> {
+        let candidates: Vec<usize> = (0..self.config.backends.len())
+            .filter(|s| healthy(*s))
+            .collect();
+        if candidates.is_empty() {
+            None
+        } else {
+            let i = (self.jitter_unit() * candidates.len() as f64) as usize;
+            Some(candidates[i.min(candidates.len() - 1)])
+        }
+    }
+
+    fn signal_shutdown(&self) {
+        let (lock, cv) = &self.shutdown_signal;
+        let mut flagged = match lock.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *flagged = true;
+        drop(flagged);
+        cv.notify_all();
+    }
+}
+
+/// Connect to a backend given as a `host:port` string.
+fn connect_backend(addr: &str, timeout: Duration) -> Result<HttpClient, ClientError> {
+    let addr: SocketAddr = addr.parse().map_err(|_| ClientError::Io)?;
+    HttpClient::connect(addr, timeout)
+}
+
+/// One upstream round trip to `shard`: connect, send, read.
+fn upstream_request(
+    shared: &RouterShared,
+    shard: usize,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+    deadline: Duration,
+) -> Result<HttpResponse, ClientError> {
+    let addr = &shared.config.backends[shard];
+    let mut client = connect_backend(addr, shared.config.connect_timeout)?.with_deadline(deadline);
+    client.request(method, path, headers, body)
+}
+
+/// The outcome of a routed upstream request.
+enum ForwardOutcome {
+    /// A backend answered (any status — 4xx/5xx pass through).
+    Upstream(HttpResponse),
+    /// Retries exhausted or no healthy backend: typed 503.
+    Unavailable,
+    /// A backend produced bytes that do not parse as HTTP: typed 502.
+    BadGateway,
+}
+
+/// Forward one request to the shard owning `key`, retrying transport
+/// failures and retryable 5xx on other shards within the retry budget,
+/// with jittered exponential backoff between attempts.
+fn forward(
+    shared: &RouterShared,
+    key: RouteKey,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> ForwardOutcome {
+    let budget = shared.config.retry_budget.max(1);
+    let mut exclude: Option<usize> = None;
+    for attempt in 0..budget {
+        let Some(shard) = shared.pick_shard(key, exclude) else {
+            // Nothing healthy (or only the excluded failure remains).
+            shared.metrics.no_backend_total.inc();
+            return ForwardOutcome::Unavailable;
+        };
+        if attempt > 0 {
+            shared.metrics.retries_total.inc();
+            // 25ms, 50ms, 100ms... ±50% jitter, capped well below any
+            // sane request deadline.
+            let base = 25u64.saturating_mul(1 << (attempt - 1).min(4));
+            let jittered = (base as f64 * (0.5 + shared.jitter_unit())).round() as u64;
+            thread::sleep(Duration::from_millis(jittered.clamp(5, 400)));
+        }
+        match upstream_request(
+            shared,
+            shard,
+            method,
+            path,
+            headers,
+            body,
+            shared.config.upstream_deadline,
+        ) {
+            Ok(response) if retryable_status(response.status) => {
+                // The backend is alive but refusing (shutting down,
+                // internal error): try another shard for this request,
+                // but leave health to the prober.
+                exclude = Some(shard);
+                if attempt + 1 == budget {
+                    return ForwardOutcome::Upstream(response);
+                }
+            }
+            Ok(response) => return ForwardOutcome::Upstream(response),
+            Err(ClientError::Malformed) => {
+                // The backend spoke, but not HTTP.  The request may have
+                // executed — never replay it.
+                shared.metrics.bad_gateway_total.inc();
+                return ForwardOutcome::BadGateway;
+            }
+            Err(ClientError::Io) => {
+                // Connect/read failure: the shard is gone; eject it now
+                // rather than waiting a probe interval.
+                shared.metrics.upstream_errors_total.inc();
+                shared.eject(shard);
+                exclude = Some(shard);
+            }
+            Err(ClientError::Timeout) => {
+                // Slow is not dead: retry elsewhere, let probes decide
+                // health.
+                shared.metrics.upstream_errors_total.inc();
+                exclude = Some(shard);
+            }
+        }
+    }
+    shared.metrics.no_backend_total.inc();
+    ForwardOutcome::Unavailable
+}
+
+/// 5xx statuses worth retrying on another shard.  504 passes through:
+/// it already consumed the client's deadline waiting, and replaying a
+/// full solve elsewhere would double the damage.
+fn retryable_status(status: u16) -> bool {
+    matches!(status, 500 | 502 | 503)
+}
+
+/// Convert an upstream response to a client response, preserving the
+/// backpressure headers.
+fn passthrough(upstream: &HttpResponse) -> Response {
+    let mut response = Response::json(upstream.status, upstream.body_string());
+    if let Some(secs) = upstream
+        .header("retry-after")
+        .and_then(|v| v.parse::<u32>().ok())
+    {
+        response = response.with_retry_after(secs);
+    }
+    if let Some(ms) = upstream.header("x-retry-after-ms") {
+        response = response.with_header("X-Retry-After-Ms", ms.to_string());
+    }
+    response
+}
+
+fn unavailable_response() -> Response {
+    Response::error(503, "no healthy backend (retries exhausted)").with_retry_after(1)
+}
+
+fn bad_gateway_response() -> Response {
+    Response::error(502, "bad gateway: backend returned malformed HTTP")
+}
+
+/// Headers forwarded from the client to the shard.
+fn forwarded_headers(request: &Request) -> Vec<(String, String)> {
+    let mut headers = Vec::new();
+    for name in ["x-priority", "x-deadline-ms"] {
+        if let Some(value) = request.header(name) {
+            headers.push((name.to_string(), value.to_string()));
+        }
+    }
+    headers
+}
+
+fn as_header_refs(headers: &[(String, String)]) -> Vec<(&str, &str)> {
+    headers
+        .iter()
+        .map(|(n, v)| (n.as_str(), v.as_str()))
+        .collect()
+}
+
+/// A running router.
+pub struct Router {
+    shared: Arc<RouterShared>,
+    acceptor: Option<JoinHandle<()>>,
+    prober: Option<JoinHandle<()>>,
+}
+
+impl Router {
+    /// Bind and start routing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure, or an empty backend list.
+    pub fn start(config: RouterConfig) -> std::io::Result<Router> {
+        if config.backends.is_empty() {
+            return Err(std::io::Error::other("router needs at least one backend"));
+        }
+        let listener = TcpListener::bind(("127.0.0.1", config.port))?;
+        let addr = listener.local_addr()?;
+        let ring = crate::ring::HashRing::build(&config.backends, config.replicas);
+        let healthy = config
+            .backends
+            .iter()
+            .map(|_| AtomicBool::new(true))
+            .collect();
+        let table = Mutex::new(BoundedTable::new(
+            config.backends.len(),
+            DEFAULT_TABLE_CAPACITY,
+            DEFAULT_EXPANSION,
+        ));
+        let shared = Arc::new(RouterShared {
+            stop: AtomicBool::new(false),
+            shutdown_signal: (Mutex::new(false), Condvar::new()),
+            ring,
+            table,
+            healthy,
+            metrics: RouterMetrics::default(),
+            addr,
+            jitter_state: AtomicU64::new(
+                u64::from(std::process::id()) ^ (u64::from(addr.port()) << 32) ^ 0x0707,
+            ),
+            config,
+        });
+        shared
+            .metrics
+            .shards
+            .set(shared.config.backends.len() as i64);
+        shared
+            .metrics
+            .healthy_shards
+            .set(shared.config.backends.len() as i64);
+
+        let prober = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || probe_loop(&shared))
+        };
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        Ok(Router {
+            shared,
+            acceptor: Some(acceptor),
+            prober: Some(prober),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The router's own metrics (test introspection).
+    pub fn metrics(&self) -> &RouterMetrics {
+        &self.shared.metrics
+    }
+
+    /// Block until a client POSTs `/v1/shutdown`.
+    pub fn wait_for_shutdown_request(&self) {
+        let (lock, cv) = &self.shared.shutdown_signal;
+        let mut flagged = match lock.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        while !*flagged {
+            flagged = match cv.wait(flagged) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    /// Stop accepting and join the router threads.  Backends are not
+    /// touched — their owner (the binary, or a test) decides their fate.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.shared.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        if let Some(prober) = self.prober.take() {
+            let _ = prober.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<RouterShared>) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        thread::spawn(move || drive_connection(stream, &shared));
+    }
+}
+
+/// Background health probing: eject on a failed `/healthz`, readmit on
+/// the next success.
+fn probe_loop(shared: &Arc<RouterShared>) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        for (shard, addr) in shared.config.backends.iter().enumerate() {
+            let alive = connect_backend(addr, shared.config.connect_timeout)
+                .map(|c| c.with_deadline(Duration::from_millis(750)))
+                .and_then(|mut c| c.request("GET", "/healthz", &[], b""))
+                .map(|r| r.status == 200)
+                .unwrap_or(false);
+            let was = shared.healthy[shard].swap(alive, Ordering::Relaxed);
+            if was && !alive {
+                shared.metrics.shard_ejections_total.inc();
+            } else if !was && alive {
+                shared.metrics.shard_readmissions_total.inc();
+            }
+        }
+        shared
+            .metrics
+            .healthy_shards
+            .set(shared.healthy_count() as i64);
+        // Sleep in short slices so shutdown is prompt.
+        let deadline = Instant::now() + shared.config.probe_interval;
+        while Instant::now() < deadline && !shared.stop.load(Ordering::SeqCst) {
+            thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+impl ConnectionHandler for Arc<RouterShared> {
+    fn handle(&self, request: &Request) -> Response {
+        self.metrics.requests_total.inc();
+        route_router(request, self)
+    }
+
+    fn record_error(&self, _status: u16) {}
+
+    fn limits(&self) -> &Limits {
+        &self.config.limits
+    }
+
+    fn idle_timeout(&self) -> Duration {
+        self.config.idle_timeout
+    }
+
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+}
+
+fn route_router(request: &Request, shared: &Arc<RouterShared>) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            if shared.healthy_count() > 0 {
+                Response::text(200, "ok\n")
+            } else {
+                Response::error(503, "no healthy backend").with_retry_after(1)
+            }
+        }
+        ("GET", "/metrics") => aggregate_metrics(shared),
+        ("GET", "/v1/designs") => {
+            // Any healthy shard serves the static registry.
+            match forward(shared, RouteKey::AnyHealthy, "GET", "/v1/designs", &[], b"") {
+                ForwardOutcome::Upstream(upstream) => passthrough(&upstream),
+                ForwardOutcome::Unavailable => unavailable_response(),
+                ForwardOutcome::BadGateway => bad_gateway_response(),
+            }
+        }
+        ("POST", "/v1/shutdown") => {
+            if !shared.config.allow_shutdown {
+                return Response::error(404, "shutdown disabled");
+            }
+            // Best-effort propagation to every backend, then drain self.
+            for (shard, _) in shared.config.backends.iter().enumerate() {
+                let _ = upstream_request(
+                    shared,
+                    shard,
+                    "POST",
+                    "/v1/shutdown",
+                    &[],
+                    b"",
+                    Duration::from_secs(2),
+                );
+            }
+            shared.signal_shutdown();
+            Response::json(200, "{\n  \"status\": \"shutting down\"\n}\n".to_string()).with_close()
+        }
+        ("POST", "/v1/solve" | "/v1/flow" | "/v1/pillars") => {
+            let key = match ApiJob::parse(&request.path, &request.body) {
+                Some(Ok(job)) => job.affinity_key(),
+                Some(Err(message)) => return Response::error(400, &message),
+                None => return Response::error(404, "no such endpoint"),
+            };
+            let headers = forwarded_headers(request);
+            match forward(
+                shared,
+                RouteKey::Affinity(key),
+                "POST",
+                &request.path,
+                &as_header_refs(&headers),
+                &request.body,
+            ) {
+                ForwardOutcome::Upstream(upstream) => passthrough(&upstream),
+                ForwardOutcome::Unavailable => unavailable_response(),
+                ForwardOutcome::BadGateway => bad_gateway_response(),
+            }
+        }
+        ("POST", "/v1/batch") => route_batch(request, shared),
+        (
+            _,
+            "/healthz" | "/metrics" | "/v1/designs" | "/v1/shutdown" | "/v1/solve" | "/v1/flow"
+            | "/v1/pillars" | "/v1/batch",
+        ) => Response::error(405, "method not allowed"),
+        _ => Response::error(404, "no such endpoint"),
+    }
+}
+
+/// Split a batch envelope into per-shard sub-batches by item affinity,
+/// forward them concurrently, and merge per-item results back in
+/// envelope order.
+fn route_batch(request: &Request, shared: &Arc<RouterShared>) -> Response {
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return Response::error(400, "body is not UTF-8");
+    };
+    let json = match tsc_bench::json::parse(text) {
+        Ok(json) => json,
+        Err(e) => return Response::error(400, &format!("invalid JSON body: {e}")),
+    };
+    let Some(items) = json.get("items").and_then(Json::as_array) else {
+        return Response::error(400, "missing required field \"items\" (array)");
+    };
+    if items.is_empty() {
+        return Response::error(400, "items must not be empty");
+    }
+    if items.len() > MAX_BATCH_ITEMS {
+        return Response::error(400, &format!("too many items (max {MAX_BATCH_ITEMS})"));
+    }
+
+    // Assign each item a shard by affinity.  An unparseable item still
+    // routes (hash of its raw text) so the owning backend reports the
+    // per-item 400 — router and single-server behaviour stay identical.
+    let mut assignment: Vec<Option<usize>> = Vec::with_capacity(items.len());
+    for item in items {
+        let raw = item.pretty();
+        let endpoint = item
+            .get("endpoint")
+            .and_then(Json::as_str)
+            .unwrap_or("solve");
+        let key = match ApiJob::parse_item(endpoint, item) {
+            Ok(job) => job.affinity_key(),
+            Err(_) => fnv1a(raw.as_bytes()),
+        };
+        assignment.push(shared.pick_shard(RouteKey::Affinity(key), None));
+    }
+
+    // Group item indices per shard, preserving envelope order.
+    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (index, shard) in assignment.iter().enumerate() {
+        let Some(shard) = *shard else { continue };
+        match groups.iter_mut().find(|(s, _)| *s == shard) {
+            Some((_, indices)) => indices.push(index),
+            None => groups.push((shard, vec![index])),
+        }
+    }
+
+    let headers = forwarded_headers(request);
+    let mut merged: Vec<Option<Json>> = vec![None; items.len()];
+
+    // Fan the sub-batches out concurrently — shards solve in parallel.
+    let outcomes: Vec<(Vec<usize>, ForwardOutcome)> = thread::scope(|scope| {
+        let handles: Vec<_> = groups
+            .into_iter()
+            .map(|(shard, indices)| {
+                let sub_items: Vec<Json> = indices.iter().map(|i| items[*i].clone()).collect();
+                let body = Json::object()
+                    .field("items", sub_items)
+                    .pretty()
+                    .into_bytes();
+                let headers = &headers;
+                let shared = Arc::clone(shared);
+                scope.spawn(move || {
+                    shared.metrics.batch_subbatches_total.inc();
+                    // Route by a key pinned to this shard's group: use the
+                    // first item's affinity so retries of a dead shard
+                    // re-route the whole sub-batch coherently.
+                    let outcome = forward_to_shard_with_retry(
+                        &shared,
+                        shard,
+                        "POST",
+                        "/v1/batch",
+                        &as_header_refs(headers),
+                        &body,
+                    );
+                    (indices, outcome)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| {
+                handle
+                    .join()
+                    .unwrap_or((Vec::new(), ForwardOutcome::Unavailable))
+            })
+            .collect()
+    });
+
+    for (indices, outcome) in outcomes {
+        match outcome {
+            ForwardOutcome::Upstream(upstream) => {
+                let body = upstream.body_string();
+                let sub_items: Vec<Json> = tsc_bench::json::parse(&body)
+                    .ok()
+                    .and_then(|j| {
+                        j.get("items")
+                            .and_then(Json::as_array)
+                            .map(<[Json]>::to_vec)
+                    })
+                    .unwrap_or_default();
+                if upstream.status != 200 || sub_items.len() != indices.len() {
+                    // The whole sub-batch was refused (e.g. shard 429) or
+                    // came back inconsistent: surface it per item.
+                    let status = if upstream.status == 200 {
+                        502
+                    } else {
+                        upstream.status
+                    };
+                    let error = tsc_bench::json::parse(&body).unwrap_or_else(|_| {
+                        Json::object().field("error", "bad sub-batch response")
+                    });
+                    for index in indices {
+                        merged[index] = Some(
+                            Json::object()
+                                .field("status", status as usize)
+                                .field("body", error.clone()),
+                        );
+                    }
+                } else {
+                    for (index, item) in indices.into_iter().zip(sub_items) {
+                        merged[index] = Some(item);
+                    }
+                }
+            }
+            ForwardOutcome::Unavailable => {
+                for index in indices {
+                    merged[index] = Some(item_error(503, "no healthy backend (retries exhausted)"));
+                }
+            }
+            ForwardOutcome::BadGateway => {
+                for index in indices {
+                    merged[index] = Some(item_error(
+                        502,
+                        "bad gateway: backend returned malformed HTTP",
+                    ));
+                }
+            }
+        }
+    }
+
+    let results: Vec<Json> = merged
+        .into_iter()
+        .map(|slot| slot.unwrap_or_else(|| item_error(503, "no healthy backend")))
+        .collect();
+    let errors = results
+        .iter()
+        .filter(|item| {
+            item.get("status")
+                .and_then(Json::as_usize)
+                .is_none_or(|status| status != 200)
+        })
+        .count();
+    let envelope = Json::object()
+        .field("count", results.len())
+        .field("errors", errors)
+        .field("items", results);
+    Response::json(200, envelope.pretty())
+}
+
+fn item_error(status: u16, message: &str) -> Json {
+    Json::object()
+        .field("status", status as usize)
+        .field("body", Json::object().field("error", message))
+}
+
+/// Forward to a preferred shard with the same retry/backoff budget as
+/// [`forward`], falling back to other healthy shards if it dies.
+fn forward_to_shard_with_retry(
+    shared: &RouterShared,
+    preferred: usize,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> ForwardOutcome {
+    let budget = shared.config.retry_budget.max(1);
+    let mut target = Some(preferred);
+    for attempt in 0..budget {
+        let Some(shard) = target else {
+            shared.metrics.no_backend_total.inc();
+            return ForwardOutcome::Unavailable;
+        };
+        if attempt > 0 {
+            shared.metrics.retries_total.inc();
+            let base = 25u64.saturating_mul(1 << (attempt - 1).min(4));
+            let jittered = (base as f64 * (0.5 + shared.jitter_unit())).round() as u64;
+            thread::sleep(Duration::from_millis(jittered.clamp(5, 400)));
+        }
+        match upstream_request(
+            shared,
+            shard,
+            method,
+            path,
+            headers,
+            body,
+            shared.config.upstream_deadline,
+        ) {
+            Ok(response) if retryable_status(response.status) => {
+                if attempt + 1 == budget {
+                    return ForwardOutcome::Upstream(response);
+                }
+                target = shared.pick_shard(RouteKey::Affinity(fnv1a(path.as_bytes())), Some(shard));
+            }
+            Ok(response) => return ForwardOutcome::Upstream(response),
+            Err(ClientError::Malformed) => {
+                shared.metrics.bad_gateway_total.inc();
+                return ForwardOutcome::BadGateway;
+            }
+            Err(err) => {
+                shared.metrics.upstream_errors_total.inc();
+                if matches!(err, ClientError::Io) {
+                    shared.eject(shard);
+                }
+                target = shared.pick_shard(RouteKey::Affinity(fnv1a(path.as_bytes())), Some(shard));
+            }
+        }
+    }
+    shared.metrics.no_backend_total.inc();
+    ForwardOutcome::Unavailable
+}
+
+/// Fetch `/metrics` from every healthy shard, sum samples by series
+/// (dropping scrape-time quantile gauges — bucket counts sum, quantiles
+/// do not), and append the router's own series.
+fn aggregate_metrics(shared: &Arc<RouterShared>) -> Response {
+    let mut order: Vec<String> = Vec::new();
+    let mut sums: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+    let mut types: Vec<(String, String)> = Vec::new();
+    let mut helps: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+    let mut scraped = 0usize;
+
+    for (shard, addr) in shared.config.backends.iter().enumerate() {
+        if !shared.is_healthy(shard) {
+            continue;
+        }
+        let exposition = connect_backend(addr, shared.config.connect_timeout)
+            .map(|c| c.with_deadline(Duration::from_secs(5)))
+            .and_then(|mut c| c.request("GET", "/metrics", &[], b""));
+        let Ok(response) = exposition else { continue };
+        if response.status != 200 {
+            continue;
+        }
+        let Ok(parsed) = parse_exposition(&response.body_string()) else {
+            continue;
+        };
+        scraped += 1;
+        for (family, kind) in parsed.types {
+            if family.contains("_quantile") {
+                continue;
+            }
+            if !types.iter().any(|(f, _)| *f == family) {
+                types.push((family, kind));
+            }
+        }
+        for (family, help) in parsed.helps {
+            helps.entry(family).or_insert(help);
+        }
+        for (series, value) in parsed.samples {
+            let base = series.split('{').next().unwrap_or(&series);
+            if base.ends_with("_quantile") {
+                continue;
+            }
+            if let Some(sum) = sums.get_mut(&series) {
+                *sum += value;
+            } else {
+                order.push(series.clone());
+                sums.insert(series, value);
+            }
+        }
+    }
+
+    // Emit family-grouped: HELP/TYPE then every series of that family,
+    // then any leftover (untyped) series, then the router's own block.
+    let mut out = String::with_capacity(16 * 1024);
+    let mut emitted = vec![false; order.len()];
+    for (family, kind) in &types {
+        if let Some(help) = helps.get(family) {
+            out.push_str(&format!("# HELP {family} {help}\n"));
+        }
+        out.push_str(&format!("# TYPE {family} {kind}\n"));
+        for (i, series) in order.iter().enumerate() {
+            if emitted[i] {
+                continue;
+            }
+            let base = series.split('{').next().unwrap_or(series);
+            let of_family = base == family
+                || base
+                    .strip_prefix(family.as_str())
+                    .is_some_and(|suffix| ["_bucket", "_sum", "_count"].contains(&suffix));
+            if of_family {
+                emitted[i] = true;
+                let value = sums[series];
+                out.push_str(&format!("{series} {value}\n"));
+            }
+        }
+    }
+    for (i, series) in order.iter().enumerate() {
+        if !emitted[i] {
+            let value = sums[series];
+            out.push_str(&format!("{series} {value}\n"));
+        }
+    }
+    out.push_str(&format!(
+        "# HELP tsc_router_scraped_shards Shards whose exposition merged into this scrape.\n# TYPE tsc_router_scraped_shards gauge\ntsc_router_scraped_shards {scraped}\n"
+    ));
+    out.push_str(&shared.metrics.render());
+
+    let mut response = Response::text(200, &out);
+    response.content_type = "text/plain; version=0.0.4";
+    response
+}

@@ -25,11 +25,13 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use crate::api::ApiJob;
+use std::sync::atomic::AtomicU64;
+
+use crate::api::{self, ApiJob, BatchRequest};
 use crate::http::{parse_request, Limits, Parsed, Request, Response};
 use crate::metrics::Metrics;
 use crate::pool::ServicePools;
-use crate::queue::{JobQueue, PushError};
+use crate::queue::{JobQueue, Priority, PushError};
 
 /// Server configuration; `Default` is suitable for tests (ephemeral port,
 /// small pool and queue).
@@ -125,11 +127,18 @@ impl Slot {
     }
 }
 
-/// A queued unit of work.
-struct Job {
+/// One coalesce-owned item of a queued job: the owner's request plus the
+/// slot its waiters share.
+struct JobItem {
     key: u64,
     api: ApiJob,
     slot: Arc<Slot>,
+}
+
+/// A queued unit of work: one item for the single-request endpoints, an
+/// operator-affine group for `/v1/batch`.
+struct Job {
+    items: Vec<JobItem>,
 }
 
 /// State shared by every thread of the server.
@@ -143,6 +152,9 @@ struct Shared {
     metrics: Metrics,
     config: ServerConfig,
     addr: SocketAddr,
+    /// SplitMix64 state for retry-hint jitter — lock-free, seeded per
+    /// process so synchronized clients de-synchronize.
+    jitter_state: AtomicU64,
 }
 
 impl Shared {
@@ -156,6 +168,55 @@ impl Shared {
         *flagged = true;
         drop(flagged);
         cv.notify_all();
+    }
+
+    /// A uniform draw in `[0, 1)` from the shared SplitMix64 stream.
+    fn jitter_unit(&self) -> f64 {
+        let mut z = self
+            .jitter_state
+            .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Load-scaled, per-class, jittered retry hint for a 429: grows with
+    /// queue fullness, is larger for lower classes (they should back off
+    /// longer), and carries ±25 % jitter so synchronized clients do not
+    /// thundering-herd the queue on the same tick.  Returns
+    /// `(whole seconds for Retry-After, milliseconds for
+    /// X-Retry-After-Ms)`.
+    fn retry_hint(&self, class: Priority) -> (u32, u64) {
+        let capacity = self.queue.capacity().max(1) as f64;
+        let fullness = (self.queue.len() as f64 / capacity).clamp(0.0, 1.0);
+        let base_ms = match class {
+            Priority::Interactive => 200.0,
+            Priority::Batch => 750.0,
+            Priority::Background => 2_000.0,
+        };
+        let scaled = base_ms * (0.5 + 1.5 * fullness);
+        let jittered = scaled * (0.75 + 0.5 * self.jitter_unit());
+        let ms = (jittered.round() as u64).max(25);
+        (u32::try_from(ms.div_ceil(1_000)).unwrap_or(1).max(1), ms)
+    }
+}
+
+/// Attach the retry hints to a 429 response.
+fn with_retry_hints(response: Response, shared: &Shared, class: Priority) -> Response {
+    let (secs, ms) = shared.retry_hint(class);
+    response
+        .with_retry_after(secs)
+        .with_header("X-Retry-After-Ms", ms.to_string())
+}
+
+/// The admission class of a request: `X-Priority` header if present,
+/// endpoint default otherwise.
+fn request_priority(request: &Request, default: Priority) -> Result<Priority, String> {
+    match request.header("x-priority") {
+        Some(value) => Priority::parse(value),
+        None => Ok(default),
     }
 }
 
@@ -187,6 +248,9 @@ impl Server {
             metrics: Metrics::default(),
             config,
             addr,
+            jitter_state: AtomicU64::new(
+                u64::from(std::process::id()) ^ (u64::from(addr.port()) << 32),
+            ),
         });
         shared
             .metrics
@@ -273,7 +337,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         shared.metrics.connections.inc();
         let shared = Arc::clone(shared);
         thread::spawn(move || {
-            handle_connection(stream, &shared);
+            drive_connection(stream, &shared);
             shared.metrics.connections.dec();
         });
     }
@@ -287,10 +351,47 @@ fn refuse_connection(mut stream: TcpStream, shared: &Shared) {
     let _ = stream.write_all(&response.to_bytes());
 }
 
+/// The per-service hooks [`drive_connection`] needs: routing, parse-error
+/// accounting, and the shared lifecycle/limits knobs.  Implemented by the
+/// solve server here and by the shard router in [`crate::router`].
+pub(crate) trait ConnectionHandler {
+    /// Route one parsed request to a response.
+    fn handle(&self, request: &Request) -> Response;
+    /// Record a request that failed before routing (parse error, timeout).
+    fn record_error(&self, status: u16);
+    fn limits(&self) -> &Limits;
+    fn idle_timeout(&self) -> Duration;
+    /// True once the service is draining; connections close after their
+    /// in-flight response.
+    fn stopping(&self) -> bool;
+}
+
+impl ConnectionHandler for Arc<Shared> {
+    fn handle(&self, request: &Request) -> Response {
+        route(request, self)
+    }
+
+    fn record_error(&self, status: u16) {
+        self.metrics.record_request("other", status);
+    }
+
+    fn limits(&self) -> &Limits {
+        &self.config.limits
+    }
+
+    fn idle_timeout(&self) -> Duration {
+        self.config.idle_timeout
+    }
+
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+}
+
 /// Read/parse loop for one connection.  Handles split reads, pipelined
 /// requests (via the buffer remainder), keep-alive, idle timeout, and
 /// malformed input → 4xx + close.
-fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+pub(crate) fn drive_connection(mut stream: TcpStream, handler: &impl ConnectionHandler) {
     // Short poll interval so idle connections notice `stop` promptly.
     if stream
         .set_read_timeout(Some(Duration::from_millis(200)))
@@ -308,14 +409,13 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     loop {
         // Drain every complete request already buffered (pipelining).
         loop {
-            match parse_request(&buf, &shared.config.limits) {
+            match parse_request(&buf, handler.limits()) {
                 Ok(Parsed::Complete(request, consumed)) => {
                     buf.drain(..consumed);
                     idle_since = Instant::now();
                     let close_after = request.wants_close();
-                    let response = route(&request, shared);
-                    let closing =
-                        response.close || close_after || shared.stop.load(Ordering::SeqCst);
+                    let response = handler.handle(&request);
+                    let closing = response.close || close_after || handler.stopping();
                     let response = if closing && !response.close {
                         response.with_close()
                     } else {
@@ -327,7 +427,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
                 }
                 Ok(Parsed::Partial) => break,
                 Err(err) => {
-                    shared.metrics.record_request("other", err.status());
+                    handler.record_error(err.status());
                     let response = Response::error(err.status(), &err.to_string()).with_close();
                     let _ = stream.write_all(&response.to_bytes());
                     return;
@@ -335,7 +435,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
             }
         }
 
-        if shared.stop.load(Ordering::SeqCst) {
+        if handler.stopping() {
             return;
         }
 
@@ -343,7 +443,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
             Ok(0) => {
                 // EOF mid-request is a malformed (truncated) request.
                 if !buf.is_empty() {
-                    shared.metrics.record_request("other", 400);
+                    handler.record_error(400);
                     let response = Response::error(400, "truncated request").with_close();
                     let _ = stream.write_all(&response.to_bytes());
                 }
@@ -356,10 +456,10 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
             Err(err)
                 if err.kind() == ErrorKind::WouldBlock || err.kind() == ErrorKind::TimedOut =>
             {
-                if idle_since.elapsed() >= shared.config.idle_timeout {
+                if idle_since.elapsed() >= handler.idle_timeout() {
                     if !buf.is_empty() {
                         // A stalled partial request gets a 408.
-                        shared.metrics.record_request("other", 408);
+                        handler.record_error(408);
                         let response = Response::error(408, "request timeout").with_close();
                         let _ = stream.write_all(&response.to_bytes());
                     }
@@ -377,6 +477,7 @@ fn endpoint_label(path: &str) -> &'static str {
         "/v1/solve" => "solve",
         "/v1/flow" => "flow",
         "/v1/pillars" => "pillars",
+        "/v1/batch" => "batch",
         "/v1/designs" => "designs",
         "/metrics" => "metrics",
         "/healthz" => "healthz",
@@ -420,10 +521,14 @@ fn route_inner(request: &Request, endpoint: &'static str, shared: &Arc<Shared>) 
                 None => Response::error(404, "no such endpoint"),
             }
         }
+        ("POST", "/v1/batch") => match BatchRequest::parse(&request.body) {
+            Ok(batch) => dispatch_batch(request, batch, shared),
+            Err(message) => Response::error(400, &message),
+        },
         (
             _,
             "/healthz" | "/metrics" | "/v1/designs" | "/v1/shutdown" | "/v1/solve" | "/v1/flow"
-            | "/v1/pillars",
+            | "/v1/pillars" | "/v1/batch",
         ) => Response::error(405, "method not allowed"),
         _ => Response::error(404, "no such endpoint"),
     }
@@ -438,39 +543,29 @@ fn dispatch_heavy(
     shared: &Arc<Shared>,
 ) -> Response {
     let started = Instant::now();
-    let deadline = request
-        .header("x-deadline-ms")
-        .and_then(|v| v.parse::<u64>().ok())
-        .map(|ms| Duration::from_millis(ms.clamp(1, 600_000)))
-        .unwrap_or(shared.config.deadline);
+    let deadline = request_deadline(request, shared);
+    let class = match request_priority(request, Priority::Interactive) {
+        Ok(class) => class,
+        Err(message) => return Response::error(400, &message),
+    };
     let key = job.coalesce_key();
 
     // Register-or-latch under one lock: either we find an identical
     // in-flight request and share its slot, or we insert ours *before*
     // enqueueing so no identical request can slip past.
-    let (slot, is_owner) = {
-        let mut coalesce = match shared.coalesce.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
-        };
-        match coalesce.get(&key) {
-            Some(slot) => (Arc::clone(slot), false),
-            None => {
-                let slot = Slot::new();
-                coalesce.insert(key, Arc::clone(&slot));
-                (slot, true)
-            }
-        }
-    };
+    let (slot, is_owner) = register_or_latch(shared, key);
 
     if is_owner {
         let queued = Job {
-            key,
-            api: job,
-            slot: Arc::clone(&slot),
+            items: vec![JobItem {
+                key,
+                api: job,
+                slot: Arc::clone(&slot),
+            }],
         };
-        match shared.queue.try_push(queued) {
+        match shared.queue.try_push(queued, class) {
             Ok(()) => {
+                shared.metrics.class_admitted[class.index()].inc();
                 shared.metrics.queue_depth.set(shared.queue.len() as i64);
             }
             Err(refusal) => {
@@ -481,6 +576,7 @@ fn dispatch_heavy(
                 let (status, message) = match refusal {
                     PushError::Full => {
                         shared.metrics.rejected_queue_full.inc();
+                        shared.metrics.class_shed[class.index()].inc();
                         (429, "solve queue full")
                     }
                     PushError::Closed => (503, "server shutting down"),
@@ -488,7 +584,7 @@ fn dispatch_heavy(
                 slot.fill(status, error_body(message));
                 let mut response = Response::json(status, error_body(message));
                 if status == 429 {
-                    response = response.with_retry_after(1);
+                    response = with_retry_hints(response, shared, class);
                 }
                 return response;
             }
@@ -502,7 +598,7 @@ fn dispatch_heavy(
             let us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
             shared.metrics.observe_latency_us(endpoint, us);
             if status == 429 {
-                Response::json(429, body).with_retry_after(1)
+                with_retry_hints(Response::json(429, body), shared, class)
             } else {
                 Response::json(status, body)
             }
@@ -514,6 +610,197 @@ fn dispatch_heavy(
             Response::error(504, "deadline expired before the solve completed")
         }
     }
+}
+
+/// Per-request deadline: `X-Deadline-Ms` header clamped to sane bounds,
+/// the configured default otherwise.
+fn request_deadline(request: &Request, shared: &Shared) -> Duration {
+    request
+        .header("x-deadline-ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(|ms| Duration::from_millis(ms.clamp(1, 600_000)))
+        .unwrap_or(shared.config.deadline)
+}
+
+/// Register-or-latch on the coalescing map: returns the slot for `key`
+/// and whether the caller became its owner (and must enqueue / fill it).
+fn register_or_latch(shared: &Shared, key: u64) -> (Arc<Slot>, bool) {
+    let mut coalesce = match shared.coalesce.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    match coalesce.get(&key) {
+        Some(slot) => (Arc::clone(slot), false),
+        None => {
+            let slot = Slot::new();
+            coalesce.insert(key, Arc::clone(&slot));
+            (slot, true)
+        }
+    }
+}
+
+/// The per-item state a batch dispatch tracks between its phases.
+enum BatchItem {
+    /// Item-level validation failure, reported in place.
+    Invalid(String),
+    /// This request owns the slot: a worker will fill it once its group
+    /// executes (or phase 3 fills the refusal).
+    Owned { slot: Arc<Slot> },
+    /// An identical request (in-flight `/v1/solve`, or an earlier item of
+    /// this same batch) already owns a slot; share its result.
+    Latched { slot: Arc<Slot> },
+}
+
+/// Submit a `/v1/batch` envelope: coalesce each item individually, group
+/// the owned items by operator affinity so each group runs through one
+/// checked-out context, enqueue the groups, then collect per-item results
+/// in order.  One failed item (or one refused group) never fails the
+/// envelope — every item reports its own status.
+fn dispatch_batch(request: &Request, batch: BatchRequest, shared: &Arc<Shared>) -> Response {
+    let started = Instant::now();
+    let deadline = request_deadline(request, shared);
+    let class = match request_priority(request, Priority::Batch) {
+        Ok(class) => class,
+        Err(message) => return Response::error(400, &message),
+    };
+    shared.metrics.batch_requests_total.inc();
+    shared
+        .metrics
+        .batch_items_total
+        .add(batch.items.len() as u64);
+
+    // Phase 1: register-or-latch every valid item.  Identical items inside
+    // the batch latch onto the first occurrence's slot, and a batch item
+    // identical to an in-flight /v1/solve shares that solve's result.
+    let mut states: Vec<BatchItem> = Vec::with_capacity(batch.items.len());
+    let mut owned: Vec<(u64, ApiJob, Arc<Slot>)> = Vec::new();
+    for item in batch.items {
+        match item {
+            Err(message) => states.push(BatchItem::Invalid(message)),
+            Ok(job) => {
+                let key = job.coalesce_key();
+                let (slot, is_owner) = register_or_latch(shared, key);
+                if is_owner {
+                    owned.push((key, job, Arc::clone(&slot)));
+                    states.push(BatchItem::Owned { slot });
+                } else {
+                    shared.metrics.coalesced_total.inc();
+                    states.push(BatchItem::Latched { slot });
+                }
+            }
+        }
+    }
+
+    // Phase 2: group owned items by operator affinity, preserving batch
+    // order within each group (the first item of a group pays the stack
+    // build; the rest are repowered warm solves).
+    let mut groups: Vec<(u64, Vec<JobItem>)> = Vec::new();
+    for (key, job, slot) in owned {
+        let affinity = job.affinity_key();
+        let item = JobItem {
+            key,
+            api: job,
+            slot,
+        };
+        match groups.iter_mut().find(|(a, _)| *a == affinity) {
+            Some((_, items)) => items.push(item),
+            None => groups.push((affinity, vec![item])),
+        }
+    }
+
+    // Phase 3: enqueue each group as one job.  A refused group fails only
+    // its own items (and their latched waiters), never the whole batch —
+    // the refusal is filled into the group's slots, so every item still
+    // reports a status in phase 4.
+    for (_, items) in groups {
+        let members: Vec<(u64, Arc<Slot>)> = items
+            .iter()
+            .map(|item| (item.key, Arc::clone(&item.slot)))
+            .collect();
+        match shared.queue.try_push(Job { items }, class) {
+            Ok(()) => {
+                shared.metrics.class_admitted[class.index()].inc();
+                shared.metrics.queue_depth.set(shared.queue.len() as i64);
+            }
+            Err(refusal) => {
+                let (status, message) = match refusal {
+                    PushError::Full => {
+                        shared.metrics.rejected_queue_full.inc();
+                        shared.metrics.class_shed[class.index()].inc();
+                        (429, "solve queue full")
+                    }
+                    PushError::Closed => (503, "server shutting down"),
+                };
+                for (key, slot) in members {
+                    remove_coalesce_entry(shared, key, &slot);
+                    slot.fill(status, error_body(message));
+                }
+            }
+        }
+    }
+
+    // Phase 4: collect results in the envelope's item order.  Each item
+    // waits on its own slot with whatever is left of the shared deadline;
+    // a timed-out item reports its own 504 without sinking the rest.
+    let (_, retry_ms) = shared.retry_hint(class);
+    let mut results: Vec<tsc_bench::json::Json> = Vec::with_capacity(states.len());
+    let mut item_errors = 0u64;
+    for state in states {
+        let item = match state {
+            BatchItem::Invalid(message) => tsc_bench::json::Json::object()
+                .field("status", 400usize)
+                .field(
+                    "body",
+                    tsc_bench::json::parse(&error_body(&message))
+                        .unwrap_or(tsc_bench::json::Json::Null),
+                ),
+            BatchItem::Owned { slot, .. } | BatchItem::Latched { slot } => {
+                let remaining = deadline.saturating_sub(started.elapsed());
+                match slot.wait(remaining) {
+                    Some((status, body)) => {
+                        let parsed = tsc_bench::json::parse(&body)
+                            .unwrap_or(tsc_bench::json::Json::Str(body));
+                        let mut item = tsc_bench::json::Json::object()
+                            .field("status", status as usize)
+                            .field("body", parsed);
+                        if status == 429 {
+                            item = item.field("retry_after_ms", retry_ms as usize);
+                        }
+                        item
+                    }
+                    None => {
+                        shared.metrics.deadline_timeouts.inc();
+                        tsc_bench::json::Json::object()
+                            .field("status", 504usize)
+                            .field(
+                                "body",
+                                tsc_bench::json::parse(&error_body(
+                                    "deadline expired before the solve completed",
+                                ))
+                                .unwrap_or(tsc_bench::json::Json::Null),
+                            )
+                    }
+                }
+            }
+        };
+        let failed = item
+            .get("status")
+            .and_then(tsc_bench::json::Json::as_usize)
+            .is_none_or(|status| status != 200);
+        if failed {
+            item_errors += 1;
+        }
+        results.push(item);
+    }
+    shared.metrics.batch_item_errors_total.add(item_errors);
+
+    let us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    shared.metrics.observe_latency_us("batch", us);
+    let envelope = tsc_bench::json::Json::object()
+        .field("count", results.len())
+        .field("errors", item_errors as usize)
+        .field("items", results);
+    Response::json(200, envelope.pretty())
 }
 
 fn remove_coalesce_entry(shared: &Shared, key: u64, slot: &Arc<Slot>) {
@@ -534,23 +821,32 @@ fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
         shared.metrics.queue_depth.set(shared.queue.len() as i64);
         shared.metrics.inflight.inc();
+        let jobs: Vec<&ApiJob> = job.items.iter().map(|item| &item.api).collect();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            job.api.execute(&shared.pools, &shared.metrics)
+            api::execute_group(&jobs, &shared.pools, &shared.metrics)
         }));
         shared.metrics.inflight.dec();
-        // De-register *before* filling: once the result is visible, new
-        // identical requests must start a fresh solve (their inputs may
-        // race a pool eviction, but correctness never depends on reuse).
-        remove_coalesce_entry(shared, job.key, &job.slot);
-        match outcome {
-            Ok(Ok(body)) => job.slot.fill(200, body),
-            Ok(Err((status, message))) => {
-                job.slot.fill(status, error_body(&message));
-            }
+        let results = match outcome {
+            Ok(results) => results,
+            // execute_group catches per-item panics itself; this outer
+            // guard is a last line of defence for the grouping logic.
             Err(_) => {
                 shared.metrics.worker_panics.inc();
-                job.slot
-                    .fill(500, error_body("internal error: worker panicked"));
+                job.items
+                    .iter()
+                    .map(|_| Err((500, "internal error: worker panicked".to_string())))
+                    .collect()
+            }
+        };
+        for (item, result) in job.items.iter().zip(results) {
+            // De-register *before* filling: once the result is visible,
+            // new identical requests must start a fresh solve (their
+            // inputs may race a pool eviction, but correctness never
+            // depends on reuse).
+            remove_coalesce_entry(shared, item.key, &item.slot);
+            match result {
+                Ok(body) => item.slot.fill(200, body),
+                Err((status, message)) => item.slot.fill(status, error_body(&message)),
             }
         }
     }

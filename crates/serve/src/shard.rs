@@ -1,0 +1,132 @@
+//! Child-process management for the shard router: spawn `tsc-serve`
+//! backends on ephemeral ports and discover their addresses from the
+//! stable listen banner.
+//!
+//! The router can also front externally managed backends (pass their
+//! addresses directly); this module only covers the "spawn my own
+//! shards" mode of the `tsc-route` binary and the failover tests.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+/// The banner prefix `tsc-serve` prints once bound; the port discovery
+/// here and the load generator both parse it, so it must stay stable.
+pub const LISTEN_BANNER: &str = "tsc-serve listening on ";
+
+/// A spawned backend process and the address it bound.
+pub struct ShardProcess {
+    child: Child,
+    addr: String,
+}
+
+/// Flags forwarded to each spawned `tsc-serve` child.
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    pub workers: usize,
+    pub queue_cap: usize,
+    pub pool_cap: usize,
+}
+
+impl Default for ShardSpec {
+    fn default() -> Self {
+        ShardSpec {
+            workers: 2,
+            queue_cap: 64,
+            pool_cap: 8,
+        }
+    }
+}
+
+impl ShardProcess {
+    /// Spawn one `tsc-serve` child on an ephemeral port and wait for its
+    /// listen banner.
+    ///
+    /// # Errors
+    ///
+    /// Spawn failures, or a child that exits / prints garbage before the
+    /// banner.
+    pub fn spawn(spec: &ShardSpec) -> std::io::Result<ShardProcess> {
+        let mut child = Command::new(serve_binary()?)
+            .args([
+                "--port",
+                "0",
+                "--workers",
+                &spec.workers.to_string(),
+                "--queue-cap",
+                &spec.queue_cap.to_string(),
+                "--pool-cap",
+                &spec.pool_cap.to_string(),
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()?;
+        let stdout = child
+            .stdout
+            .take()
+            .ok_or_else(|| std::io::Error::other("child stdout not captured"))?;
+        let mut lines = BufReader::new(stdout).lines();
+        let banner = match lines.next() {
+            Some(Ok(line)) => line,
+            Some(Err(err)) => {
+                let _ = child.kill();
+                return Err(err);
+            }
+            None => {
+                let _ = child.kill();
+                return Err(std::io::Error::other("shard exited before its banner"));
+            }
+        };
+        let Some(addr) = banner.strip_prefix(LISTEN_BANNER) else {
+            let _ = child.kill();
+            return Err(std::io::Error::other(format!(
+                "unexpected shard banner: {banner:?}"
+            )));
+        };
+        let addr = addr.trim().to_string();
+        // Let the (now unread) stdout pipe fill harmlessly: tsc-serve
+        // prints nothing else until shutdown.
+        Ok(ShardProcess { child, addr })
+    }
+
+    /// The backend's `host:port` address.
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Kill the child (used when graceful shutdown was not requested or
+    /// did not take).
+    pub fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for ShardProcess {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// Locate the `tsc-serve` binary: `TSC_SERVE_BIN` wins, otherwise look
+/// next to the current executable (cargo puts workspace binaries in the
+/// same target directory).
+fn serve_binary() -> std::io::Result<std::path::PathBuf> {
+    if let Ok(path) = std::env::var("TSC_SERVE_BIN") {
+        return Ok(std::path::PathBuf::from(path));
+    }
+    let me = std::env::current_exe()?;
+    let dir = me
+        .parent()
+        .ok_or_else(|| std::io::Error::other("current executable has no parent directory"))?;
+    // Integration tests live one level down in target/debug/deps.
+    for dir in [dir, dir.parent().unwrap_or(dir)] {
+        let candidate = dir.join("tsc-serve");
+        if candidate.is_file() {
+            return Ok(candidate);
+        }
+    }
+    Err(std::io::Error::other(
+        "tsc-serve binary not found; set TSC_SERVE_BIN",
+    ))
+}

@@ -1,0 +1,296 @@
+//! `/v1/batch` and admission-control integration tests against an
+//! in-process server.
+
+mod common;
+
+use std::time::Duration;
+
+use common::one_shot;
+use tsc_bench::json::{self, Json};
+use tsc_serve::{Server, ServerConfig};
+
+fn start_server() -> Server {
+    Server::start(ServerConfig::default()).expect("bind ephemeral port")
+}
+
+fn item_status(items: &[Json], i: usize) -> usize {
+    items[i]
+        .get("status")
+        .and_then(Json::as_usize)
+        .unwrap_or_else(|| panic!("item {i} has no status: {:?}", items[i]))
+}
+
+#[test]
+fn batch_preserves_order_and_isolates_bad_items() {
+    let server = start_server();
+    let addr = server.addr();
+
+    let body = br#"{"items": [
+        {"design": "gemmini-memory", "tiers": 2, "lateral_cells": 6},
+        {"design": "not-a-design"},
+        {"endpoint": "flow", "design": "gemmini", "tiers": 2, "max_tiers": 2},
+        {"endpoint": "teleport"},
+        {"design": "gemmini-memory", "tiers": 2, "lateral_cells": 6, "utilization_percent": 50}
+    ]}"#;
+    let response = one_shot(addr, "POST", "/v1/batch", &[], body);
+    assert_eq!(response.status, 200, "body: {}", response.body_str());
+    let envelope = json::parse(&response.body_str()).expect("envelope parses");
+    let items = envelope
+        .get("items")
+        .and_then(Json::as_array)
+        .expect("items array");
+    assert_eq!(items.len(), 5);
+    assert_eq!(envelope.get("count").and_then(Json::as_usize), Some(5));
+    assert_eq!(envelope.get("errors").and_then(Json::as_usize), Some(2));
+
+    // Results come back in envelope order: good, bad, good, bad, good.
+    assert_eq!(item_status(items, 0), 200);
+    assert_eq!(item_status(items, 1), 400);
+    assert_eq!(item_status(items, 2), 200, "flow item: {:?}", items[2]);
+    assert_eq!(item_status(items, 3), 400);
+    assert_eq!(item_status(items, 4), 200);
+
+    // Successful solve items carry the normal solve body, nested.
+    let junction = items[0]
+        .get("body")
+        .and_then(|b| b.get("junction_celsius"))
+        .and_then(Json::as_f64)
+        .expect("nested solve body");
+    assert!(junction > 20.0 && junction < 400.0);
+    // The bad items carry the parse error.
+    assert!(items[1]
+        .get("body")
+        .and_then(|b| b.get("error"))
+        .and_then(Json::as_str)
+        .is_some());
+
+    // Items 0 and 4 differ only in utilization: one operator group, one
+    // stack build, one repowered warm item.
+    assert_eq!(server.metrics().batch_requests_total.get(), 1);
+    assert_eq!(server.metrics().batch_items_total.get(), 5);
+    assert_eq!(server.metrics().batch_item_errors_total.get(), 2);
+    assert!(server.metrics().batch_groups_total.get() >= 1);
+    assert_eq!(server.metrics().batch_group_warm_items_total.get(), 1);
+
+    server.shutdown();
+}
+
+#[test]
+fn batch_envelope_errors_fail_whole_request() {
+    let server = start_server();
+    let addr = server.addr();
+    for bad in [
+        &b"garbage"[..],
+        br#"{"no_items": true}"#,
+        br#"{"items": {}}"#,
+        br#"{"items": []}"#,
+    ] {
+        let response = one_shot(addr, "POST", "/v1/batch", &[], bad);
+        assert_eq!(response.status, 400, "input {bad:?}");
+    }
+    // Method guard.
+    assert_eq!(one_shot(addr, "GET", "/v1/batch", &[], b"").status, 405);
+    server.shutdown();
+}
+
+#[test]
+fn identical_batch_items_coalesce_to_one_solve() {
+    let server = start_server();
+    let addr = server.addr();
+
+    let body = br#"{"items": [
+        {"design": "gemmini-memory", "tiers": 2, "lateral_cells": 6},
+        {"design": "gemmini-memory", "tiers": 2, "lateral_cells": 6},
+        {"design": "gemmini-memory", "tiers": 2, "lateral_cells": 6}
+    ]}"#;
+    let response = one_shot(addr, "POST", "/v1/batch", &[], body);
+    assert_eq!(response.status, 200, "body: {}", response.body_str());
+    let envelope = json::parse(&response.body_str()).expect("envelope parses");
+    let items = envelope.get("items").and_then(Json::as_array).unwrap();
+    assert!(items
+        .iter()
+        .enumerate()
+        .all(|(i, _)| item_status(items, i) == 200));
+
+    // One owner, two latched duplicates, one backend solve.
+    assert_eq!(server.metrics().coalesced_total.get(), 2);
+    assert_eq!(server.metrics().backend_solves_total.get(), 1);
+    // All three items carry identical bodies.
+    let bodies: Vec<String> = items
+        .iter()
+        .map(|i| i.get("body").expect("body").pretty())
+        .collect();
+    assert_eq!(bodies[0], bodies[1]);
+    assert_eq!(bodies[1], bodies[2]);
+
+    server.shutdown();
+}
+
+/// A batch utilization sweep over one design is an affine power family:
+/// the service answers it with the two extreme solves plus exact
+/// superposition, not one solver run per item.
+#[test]
+fn utilization_sweep_superposes_instead_of_resolving() {
+    let server = start_server();
+    let addr = server.addr();
+
+    let items: Vec<String> = (0..8)
+        .map(|i| {
+            format!(
+                r#"{{"design": "gemmini-memory", "tiers": 2, "lateral_cells": 8,
+                    "utilization_percent": {}}}"#,
+                30 + 8 * i
+            )
+        })
+        .collect();
+    let body = format!(r#"{{"items": [{}]}}"#, items.join(","));
+    let response = one_shot(addr, "POST", "/v1/batch", &[], body.as_bytes());
+    assert_eq!(response.status, 200, "body: {}", response.body_str());
+    let envelope = json::parse(&response.body_str()).expect("envelope parses");
+    let items = envelope.get("items").and_then(Json::as_array).unwrap();
+    assert_eq!(items.len(), 8);
+    assert_eq!(envelope.get("errors").and_then(Json::as_usize), Some(0));
+
+    // Junction temperature strictly increases with utilization: the
+    // superposed items really carry their own power level.
+    let temps: Vec<f64> = items
+        .iter()
+        .map(|item| {
+            item.get("body")
+                .and_then(|b| b.get("junction_celsius"))
+                .and_then(Json::as_f64)
+                .expect("solve body")
+        })
+        .collect();
+    assert!(
+        temps.windows(2).all(|w| w[0] < w[1]),
+        "temps not monotone in utilization: {temps:?}"
+    );
+
+    // Two anchor solves priced the whole sweep; the six interior items
+    // were superposed.
+    assert_eq!(server.metrics().backend_solves_total.get(), 2);
+    assert_eq!(server.metrics().batch_affine_rescales_total.get(), 6);
+    assert_eq!(server.metrics().batch_group_warm_items_total.get(), 1);
+
+    server.shutdown();
+}
+
+#[test]
+fn invalid_priority_header_is_a_400() {
+    let server = start_server();
+    let addr = server.addr();
+    let response = one_shot(
+        addr,
+        "POST",
+        "/v1/solve",
+        &[("X-Priority", "urgent")],
+        br#"{"design": "gemmini-memory", "tiers": 2, "lateral_cells": 6}"#,
+    );
+    assert_eq!(response.status, 400);
+    assert!(response.body_str().contains("unknown priority"));
+    server.shutdown();
+}
+
+/// Under a deliberately tiny queue, background requests shed first (429
+/// with both retry hints), while interactive requests keep being
+/// admitted up to the full capacity.
+#[test]
+fn background_sheds_before_interactive_under_overload() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_cap: 2, // background quota 1, interactive quota 2
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = server.addr();
+
+    // Occupy the single worker with a large cold solve so subsequent
+    // pushes stay queued for the whole assertion sequence.
+    let blocker = std::thread::spawn(move || {
+        one_shot(
+            addr,
+            "POST",
+            "/v1/solve",
+            &[],
+            br#"{"design": "gemmini", "tiers": 8, "lateral_cells": 48}"#,
+        )
+    });
+    let wait_start = std::time::Instant::now();
+    while server.metrics().inflight.get() == 0 {
+        assert!(
+            wait_start.elapsed() < Duration::from_secs(30),
+            "worker never picked up the blocking solve"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Queue a background job (distinct body, so no coalescing).  It is
+    // admitted (total 0 < quota 1) — use a 1ms deadline so the waiter
+    // returns 504 immediately while the job stays queued.
+    let queued_bg = one_shot(
+        addr,
+        "POST",
+        "/v1/solve",
+        &[("X-Priority", "background"), ("X-Deadline-Ms", "1")],
+        br#"{"design": "gemmini-memory", "tiers": 2, "lateral_cells": 6, "area_budget_percent": 11}"#,
+    );
+    assert_eq!(queued_bg.status, 504, "admitted, then waiter deadline");
+
+    // Second background job: total occupancy 1 >= background quota 1 →
+    // shed with load-scaled jittered hints.
+    let shed = one_shot(
+        addr,
+        "POST",
+        "/v1/solve",
+        &[("X-Priority", "background")],
+        br#"{"design": "gemmini-memory", "tiers": 2, "lateral_cells": 6, "area_budget_percent": 12}"#,
+    );
+    assert_eq!(shed.status, 429);
+    let retry_after: u32 = shed
+        .header("retry-after")
+        .expect("Retry-After on 429")
+        .parse()
+        .expect("integral seconds");
+    assert!(retry_after >= 1);
+    let retry_ms: u64 = shed
+        .header("x-retry-after-ms")
+        .expect("X-Retry-After-Ms on 429")
+        .parse()
+        .expect("integral milliseconds");
+    // Background base is 2000ms scaled by fullness 0.5..2.0 and ±25%
+    // jitter: must be comfortably above the interactive base.
+    assert!(
+        (500..=8000).contains(&retry_ms),
+        "retry hint {retry_ms}ms out of the background band"
+    );
+
+    // Interactive still has headroom (total 1 < cap 2).
+    let interactive = one_shot(
+        addr,
+        "POST",
+        "/v1/solve",
+        &[("X-Priority", "interactive"), ("X-Deadline-Ms", "1")],
+        br#"{"design": "gemmini-memory", "tiers": 2, "lateral_cells": 6, "area_budget_percent": 13}"#,
+    );
+    assert_eq!(interactive.status, 504, "admitted, then waiter deadline");
+
+    // Now the queue is truly full: even interactive sheds.
+    let full = one_shot(
+        addr,
+        "POST",
+        "/v1/solve",
+        &[("X-Priority", "interactive")],
+        br#"{"design": "gemmini-memory", "tiers": 2, "lateral_cells": 6, "area_budget_percent": 14}"#,
+    );
+    assert_eq!(full.status, 429);
+
+    assert_eq!(server.metrics().class_shed[2].get(), 1, "background shed");
+    assert_eq!(server.metrics().class_shed[0].get(), 1, "interactive shed");
+    assert_eq!(server.metrics().class_admitted[2].get(), 1);
+    assert!(server.metrics().class_admitted[0].get() >= 2);
+
+    let blocked = blocker.join().expect("blocker thread");
+    assert_eq!(blocked.status, 200, "body: {}", blocked.body_str());
+    server.shutdown();
+}

@@ -1,0 +1,339 @@
+//! Router integration tests: failover, readmission, typed degradation
+//! (502/503), batch fan-out, and aggregated metrics.
+
+mod common;
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::time::{Duration, Instant};
+
+use common::one_shot;
+use tsc_bench::json::{self, Json};
+use tsc_bench::prom::parse_exposition;
+use tsc_serve::router::{Router, RouterConfig};
+use tsc_serve::{validate_exposition, Server, ServerConfig};
+
+const SMALL_SOLVE: &[u8] = br#"{"design": "gemmini-memory", "tiers": 2, "lateral_cells": 6}"#;
+
+fn start_backend(port: u16) -> Server {
+    Server::start(ServerConfig {
+        port,
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .expect("bind backend")
+}
+
+fn start_router(backends: Vec<String>, probe_interval: Duration) -> Router {
+    Router::start(RouterConfig {
+        backends,
+        probe_interval,
+        retry_budget: 3,
+        ..RouterConfig::default()
+    })
+    .expect("bind router")
+}
+
+fn wait_until(what: &str, timeout: Duration, mut predicate: impl FnMut() -> bool) {
+    let start = Instant::now();
+    while !predicate() {
+        assert!(start.elapsed() < timeout, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// A key-varied solve body, so consistent hashing spreads requests over
+/// both shards (utilization does not vary the affinity key, but
+/// `lateral_cells` does).
+fn keyed_solve(i: usize) -> Vec<u8> {
+    format!(
+        r#"{{"design": "gemmini-memory", "tiers": 2, "lateral_cells": {}}}"#,
+        6 + 2 * (i % 6)
+    )
+    .into_bytes()
+}
+
+#[test]
+fn failover_reroutes_and_readmits_a_restarted_backend() {
+    let backend_a = start_backend(0);
+    let backend_b = start_backend(0);
+    let addr_a = backend_a.addr();
+    let router = start_router(
+        vec![addr_a.to_string(), backend_b.addr().to_string()],
+        Duration::from_millis(50),
+    );
+    let raddr = router.addr();
+
+    // Warm both shards through the router: every request must succeed.
+    for i in 0..8 {
+        let response = one_shot(raddr, "POST", "/v1/solve", &[], &keyed_solve(i));
+        assert_eq!(response.status, 200, "warm {i}: {}", response.body_str());
+    }
+
+    // Kill shard A mid-run.  Every subsequent request must still come
+    // back 200 — keys owned by A re-route to B within the retry budget.
+    backend_a.shutdown();
+    for i in 0..8 {
+        let response = one_shot(raddr, "POST", "/v1/solve", &[], &keyed_solve(i));
+        assert_eq!(
+            response.status,
+            200,
+            "failover {i}: {}",
+            response.body_str()
+        );
+    }
+    wait_until("shard A ejection", Duration::from_secs(10), || {
+        router.metrics().shard_ejections_total.get() >= 1
+    });
+
+    // Restart shard A on its old port (the router knows it by address).
+    // Std listeners use SO_REUSEADDR, but retry anyway in case the old
+    // socket lingers.
+    let mut restarted = None;
+    for _ in 0..100 {
+        match Server::start(ServerConfig {
+            port: addr_a.port(),
+            workers: 1,
+            ..ServerConfig::default()
+        }) {
+            Ok(server) => {
+                restarted = Some(server);
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+    let restarted = restarted.expect("rebind shard A's port");
+
+    // The prober readmits it, and traffic keeps flowing.
+    wait_until("shard A readmission", Duration::from_secs(10), || {
+        router.metrics().shard_readmissions_total.get() >= 1
+    });
+    wait_until("both shards healthy", Duration::from_secs(10), || {
+        router.metrics().healthy_shards.get() == 2
+    });
+    for i in 0..8 {
+        let response = one_shot(raddr, "POST", "/v1/solve", &[], &keyed_solve(i));
+        assert_eq!(response.status, 200, "readmitted {i}");
+    }
+    // The restarted (cold) shard is actually serving probes again.
+    wait_until("restarted shard serves", Duration::from_secs(10), || {
+        restarted.metrics().requests_for("healthz", 200) > 0
+    });
+
+    router.shutdown();
+    restarted.shutdown();
+    backend_b.shutdown();
+}
+
+#[test]
+fn batch_through_router_preserves_order_and_isolates_errors() {
+    let backend_a = start_backend(0);
+    let backend_b = start_backend(0);
+    let router = start_router(
+        vec![backend_a.addr().to_string(), backend_b.addr().to_string()],
+        Duration::from_millis(100),
+    );
+
+    // Items with three distinct affinity keys plus two invalid items —
+    // the router splits per shard and must reassemble in order.
+    let body = br#"{"items": [
+        {"design": "gemmini-memory", "tiers": 2, "lateral_cells": 6},
+        {"design": "nope"},
+        {"design": "gemmini-memory", "tiers": 2, "lateral_cells": 8},
+        "not an object",
+        {"design": "gemmini-memory", "tiers": 2, "lateral_cells": 10, "utilization_percent": 60},
+        {"design": "gemmini-memory", "tiers": 2, "lateral_cells": 10, "utilization_percent": 30}
+    ]}"#;
+    let response = one_shot(router.addr(), "POST", "/v1/batch", &[], body);
+    assert_eq!(response.status, 200, "body: {}", response.body_str());
+    let envelope = json::parse(&response.body_str()).expect("envelope parses");
+    assert_eq!(envelope.get("count").and_then(Json::as_usize), Some(6));
+    assert_eq!(envelope.get("errors").and_then(Json::as_usize), Some(2));
+    let items = envelope.get("items").and_then(Json::as_array).unwrap();
+    let statuses: Vec<usize> = items
+        .iter()
+        .map(|item| item.get("status").and_then(Json::as_usize).unwrap_or(0))
+        .collect();
+    assert_eq!(statuses, vec![200, 400, 200, 400, 200, 200]);
+    assert!(router.metrics().batch_subbatches_total.get() >= 1);
+
+    // Envelope-level garbage is a router-side 400, not a fan-out.
+    let bad = one_shot(router.addr(), "POST", "/v1/batch", &[], b"not json");
+    assert_eq!(bad.status, 400);
+
+    router.shutdown();
+    backend_a.shutdown();
+    backend_b.shutdown();
+}
+
+#[test]
+fn aggregated_metrics_validate_and_sum_shard_counters() {
+    let backend_a = start_backend(0);
+    let backend_b = start_backend(0);
+    let router = start_router(
+        vec![backend_a.addr().to_string(), backend_b.addr().to_string()],
+        Duration::from_millis(100),
+    );
+
+    for i in 0..10 {
+        let response = one_shot(router.addr(), "POST", "/v1/solve", &[], &keyed_solve(i));
+        assert_eq!(response.status, 200);
+    }
+
+    let aggregated = one_shot(router.addr(), "GET", "/metrics", &[], b"");
+    assert_eq!(aggregated.status, 200);
+    let text = aggregated.body_str();
+    validate_exposition(&text).expect("aggregated exposition is valid");
+    let parsed = parse_exposition(&text).expect("aggregated exposition parses");
+    let aggregated_solves: f64 = parsed
+        .samples
+        .iter()
+        .find(|(name, _)| name == "tsc_backend_solves_total")
+        .map(|(_, value)| *value)
+        .expect("summed backend counter present");
+
+    // The aggregate equals the sum of the two shards' own counters.
+    let mut direct_sum = 0.0;
+    for backend in [&backend_a, &backend_b] {
+        let scrape = one_shot(backend.addr(), "GET", "/metrics", &[], b"");
+        let parsed = parse_exposition(&scrape.body_str()).expect("shard exposition");
+        direct_sum += parsed
+            .samples
+            .iter()
+            .find(|(name, _)| name == "tsc_backend_solves_total")
+            .map(|(_, value)| *value)
+            .unwrap_or(0.0);
+    }
+    assert!(
+        (aggregated_solves - direct_sum).abs() < 0.5,
+        "aggregated {aggregated_solves} != shard sum {direct_sum}"
+    );
+    // Router-side series ride along in the same exposition.
+    assert!(text.contains("tsc_router_requests_total"));
+    assert!(text.contains("tsc_router_scraped_shards 2"));
+    // Quantile gauges cannot be summed and must be dropped.
+    assert!(!text.contains("_quantile"));
+
+    router.shutdown();
+    backend_a.shutdown();
+    backend_b.shutdown();
+}
+
+/// A fake backend that passes health probes but answers everything else
+/// with bytes that are not HTTP.
+fn spawn_garbage_backend() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake backend");
+    let addr = listener.local_addr().expect("local addr");
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { continue };
+            std::thread::spawn(move || {
+                let mut buffer = [0u8; 4096];
+                let mut head = Vec::new();
+                while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+                    match stream.read(&mut buffer) {
+                        Ok(0) | Err(_) => return,
+                        Ok(n) => head.extend_from_slice(&buffer[..n]),
+                    }
+                }
+                let request = String::from_utf8_lossy(&head);
+                let reply: &[u8] = if request.starts_with("GET /healthz") {
+                    b"HTTP/1.1 200 OK\r\nContent-Length: 3\r\nConnection: close\r\n\r\nok\n"
+                } else {
+                    b"\x00\xffTHIS IS NOT HTTP\x00garbage"
+                };
+                let _ = stream.write_all(reply);
+                let _ = stream.flush();
+            });
+        }
+    });
+    addr
+}
+
+#[test]
+fn malformed_backend_is_a_typed_502_and_never_retried() {
+    let fake = spawn_garbage_backend();
+    let router = start_router(vec![fake.to_string()], Duration::from_millis(100));
+
+    let response = one_shot(router.addr(), "POST", "/v1/solve", &[], SMALL_SOLVE);
+    assert_eq!(response.status, 502, "body: {}", response.body_str());
+    assert!(response.body_str().contains("malformed"));
+    // Malformed responses are terminal: the request may have executed,
+    // so the router must not have replayed it.
+    assert_eq!(router.metrics().bad_gateway_total.get(), 1);
+    assert_eq!(router.metrics().retries_total.get(), 0);
+
+    router.shutdown();
+}
+
+#[test]
+fn dead_backends_degrade_to_typed_503_with_retry_after() {
+    // Two addresses where nothing listens: connect refused on both.
+    let dead: Vec<String> = (0..2)
+        .map(|_| {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind probe");
+            let addr = listener.local_addr().expect("local addr");
+            drop(listener);
+            addr.to_string()
+        })
+        .collect();
+    let router = start_router(dead, Duration::from_secs(60));
+
+    let start = Instant::now();
+    let response = one_shot(router.addr(), "POST", "/v1/solve", &[], SMALL_SOLVE);
+    assert_eq!(response.status, 503, "body: {}", response.body_str());
+    assert!(response.header("retry-after").is_some(), "typed 503 hint");
+    // Degradation is prompt — retries and backoff, not a hang.
+    assert!(start.elapsed() < Duration::from_secs(10));
+    assert!(router.metrics().no_backend_total.get() >= 1);
+
+    // The router itself stays alive and reports the outage.
+    let health = one_shot(router.addr(), "GET", "/healthz", &[], b"");
+    assert_eq!(health.status, 503);
+
+    router.shutdown();
+}
+
+/// Seeded garbage requests against the router must produce clean 4xx
+/// closes, never hangs or panics, with the router still serving after.
+#[test]
+fn garbage_client_requests_do_not_wedge_the_router() {
+    let backend = start_backend(0);
+    let router = start_router(vec![backend.addr().to_string()], Duration::from_millis(100));
+    let raddr = router.addr();
+
+    let corpus: &[&[u8]] = &[
+        b"\x00\x01\x02\x03\x04\r\n\r\n",
+        b"GET\r\n\r\n",
+        b"POST /v1/solve HTTP/1.1\r\nContent-Length: notanumber\r\n\r\n",
+        b"POST /v1/solve HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n",
+        b"FROB /v1/solve HTTP/1.1\r\nHost: x\r\n\r\n",
+        b"POST /v1/solve HTTP/2.0\r\nHost: x\r\n\r\n",
+    ];
+    for raw in corpus {
+        let mut stream = std::net::TcpStream::connect(raddr).expect("connect router");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let _ = stream.write_all(raw);
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let mut reply = Vec::new();
+        let _ = stream.read_to_end(&mut reply);
+        let text = String::from_utf8_lossy(&reply);
+        // Either a clean 4xx or an empty close — never a 5xx, never a hang.
+        if !text.is_empty() {
+            assert!(
+                text.starts_with("HTTP/1.1 4"),
+                "garbage {raw:?} produced: {text}"
+            );
+        }
+    }
+
+    // Router is still routing after the abuse.
+    let response = one_shot(raddr, "POST", "/v1/solve", &[], SMALL_SOLVE);
+    assert_eq!(response.status, 200, "body: {}", response.body_str());
+
+    router.shutdown();
+    backend.shutdown();
+}

@@ -76,6 +76,7 @@ mod problem;
 #[cfg(feature = "race-check")]
 pub mod race;
 mod solver;
+mod superpose;
 pub mod transient;
 
 pub use analysis::{line_profile, render_layer_ascii, EnergyBalance};
@@ -89,3 +90,4 @@ pub use solver::{
     CgSolver, Precision, Preconditioner, Solution, SolveError, SolverStats, SorSolver,
     DEFAULT_PARALLEL_CROSSOVER,
 };
+pub use superpose::{affine_family, blend_solutions, AffineFamily};

@@ -351,6 +351,18 @@ impl Problem {
         }
     }
 
+    /// Zeroes every cell's injected power while leaving geometry,
+    /// conductivity and boundary conditions untouched.  The operator
+    /// identity ([`crate::operator_fingerprint`] deliberately excludes
+    /// power) is preserved, so a repowered problem re-solved through a
+    /// [`crate::SolveContext`] is a pure power-delta: operator and
+    /// hierarchy reuse plus a warm start.
+    pub fn clear_power(&mut self) {
+        for p in self.power.as_mut_slice() {
+            *p = 0.0;
+        }
+    }
+
     /// Total injected power.
     #[must_use]
     pub fn total_power(&self) -> Power {
@@ -427,7 +439,11 @@ impl Problem {
     }
 
     /// Raw power slice (W per cell) in flat order.
-    pub(crate) fn power_flat(&self) -> &[f64] {
+    ///
+    /// Public so batch planners can fingerprint a family of repainted
+    /// loads (see [`crate::affine_family`]) without re-deriving the
+    /// staging order.
+    pub fn power_flat(&self) -> &[f64] {
         self.power.as_slice()
     }
 
