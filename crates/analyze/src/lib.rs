@@ -15,7 +15,16 @@
 //!    individually allow-listable with an explained
 //!    `// tsc-analyze: allow(<rule>): <reason>` directive.
 //!
-//! 2. **A dynamic write-set race checker** (behind the `race-check`
+//! 2. **A cross-file concurrency pass** ([`lockgraph`], fed by the
+//!    per-function syntactic model in [`model`]): a static lock-order
+//!    graph over every named lock field in the workspace with cycle
+//!    detection (potential deadlocks reported as `lock-order`
+//!    diagnostics carrying both acquisition chains), plus the
+//!    `guard-across-await-free-blocking`, `no-alloc-hot` and
+//!    `no-wallclock-numeric` lints. The static graph is cross-checked at
+//!    runtime by `tsc-serve`'s `lock-order` feature (`RankedMutex`).
+//!
+//! 3. **A dynamic write-set race checker** (behind the `race-check`
 //!    feature, implemented in `tsc-thermal::race` and driven by this
 //!    crate's binary with `--race-check`): the engine records per-band
 //!    read/write index sets in every parallel region and asserts
@@ -32,6 +41,8 @@
 #![forbid(unsafe_code)]
 
 pub mod lexer;
+pub mod lockgraph;
+pub mod model;
 pub mod rules;
 pub mod walk;
 

@@ -1,0 +1,941 @@
+//! The cross-file concurrency pass: static lock-order graph, deadlock
+//! cycle detection, and the hot-path hygiene lints that ride the same
+//! per-function model ([`crate::model`]).
+//!
+//! **Graph.** Nodes are named lock fields (`JobQueue.inner`,
+//! `RouterShared.table`, …), collected from every workspace file outside
+//! `#[cfg(test)]` regions. An edge `A → B` means "somewhere, a guard of
+//! `A` is live while `B` is acquired" — directly, or through exactly one
+//! level of workspace-internal calls (the callee must have a *unique*
+//! definition workspace-wide and a non-generic name; `len`, `get`,
+//! `push`-style names are denied so a `Vec::len` call never manufactures
+//! a false self-edge). A cycle in the graph is a potential deadlock and
+//! is reported with both acquisition chains as `file:line` diagnostics;
+//! a `// tsc-analyze: allow(lock-order): <reason>` at any edge site
+//! removes that edge (and so any cycle through it).
+//!
+//! **Approximation bias.** Guard scopes are over-approximated (live to
+//! the end of their block unless explicitly `drop`ped), which can only
+//! add edges; name resolution is under-approximated (an acquisition on a
+//! receiver that names no known lock field, e.g. a local
+//! `Arc<Mutex<_>>`, is skipped; ambiguous field names resolve same-file
+//! first, else require a unique workspace match), which can only drop
+//! them. The runtime rank checker (`tsc-serve --features lock-order`)
+//! covers the dropped side dynamically.
+//!
+//! **Lints.**
+//! * `no-alloc-hot` — no `Vec::new`/`vec![…]`/`.to_vec()`/`.collect()`/
+//!   `Box::new`/`format!` inside hot regions of `engine.rs`/`kernels.rs`
+//!   (parallel-region closures and smoother/matvec bodies).
+//! * `guard-across-await-free-blocking` — no lock guard held across a
+//!   `Condvar` wait on a *different* lock, nor across blocking TCP/HTTP
+//!   I/O.
+//! * `no-wallclock-numeric` — no `Instant::now`/`SystemTime` in numeric
+//!   library code; wall-clock timing belongs in `SolverStats`, where the
+//!   determinism audit can see it.
+
+use crate::lexer::{lex, Lexed, TokenKind};
+use crate::model::{self, FileModel};
+use crate::rules::{Context, FileClass, Violation};
+use crate::walk;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Method/function names never followed through for call edges: they are
+/// ubiquitous (std containers, local helpers) and following them would
+/// manufacture edges out of name collisions.
+const COMMON_CALLEES: &[&str] = &[
+    "len", "is_empty", "new", "clone", "get", "set", "push", "pop", "insert", "remove", "take",
+    "put", "next", "wait", "fill", "drop", "lock", "parse", "render", "capacity", "iter", "close",
+    "total", "index", "default",
+];
+
+/// One graph node.
+#[derive(Debug, Clone)]
+pub struct LockNode {
+    /// Qualified name, `Struct.field` or a static's name.
+    pub name: String,
+    /// Workspace-relative declaration site.
+    pub file: String,
+    pub line: usize,
+}
+
+/// One acquisition-under-guard witness for an edge.
+#[derive(Debug, Clone)]
+pub struct EdgeSite {
+    /// Where the outer guard is taken.
+    pub hold_file: String,
+    pub hold_line: usize,
+    /// Where the inner lock is acquired.
+    pub acq_file: String,
+    pub acq_line: usize,
+    /// The called fn the acquisition sits in, when the edge crosses one
+    /// level of calls.
+    pub via: Option<String>,
+}
+
+/// One directed edge with every witness site.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    pub from: String,
+    pub to: String,
+    pub sites: Vec<EdgeSite>,
+}
+
+/// The pass output: the graph plus every surviving diagnostic.
+#[derive(Debug, Default)]
+pub struct ConcurrencyReport {
+    pub files: usize,
+    pub nodes: Vec<LockNode>,
+    pub edges: Vec<LockEdge>,
+    /// Surviving violations as `(file, violation)` pairs.
+    pub violations: Vec<(PathBuf, Violation)>,
+}
+
+impl ConcurrencyReport {
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Human-readable graph summary for the gate binary.
+    #[must_use]
+    pub fn render_graph(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "lock-order graph: {} node(s), {} edge(s)\n",
+            self.nodes.len(),
+            self.edges.len()
+        ));
+        for n in &self.nodes {
+            out.push_str(&format!("  node {} ({}:{})\n", n.name, n.file, n.line));
+        }
+        for e in &self.edges {
+            let s = &e.sites[0];
+            let via = s
+                .via
+                .as_deref()
+                .map(|f| format!(" via {f}()"))
+                .unwrap_or_default();
+            out.push_str(&format!(
+                "  edge {} -> {} (guard at {}:{}, acquires at {}:{}{})\n",
+                e.from, e.to, s.hold_file, s.hold_line, s.acq_file, s.acq_line, via
+            ));
+        }
+        out
+    }
+}
+
+/// One loaded file with everything the passes need.
+struct FileEntry {
+    path: PathBuf,
+    rel: String,
+    class: FileClass,
+    lexed: Lexed,
+    model: FileModel,
+    ctx: Context,
+}
+
+/// A resolved acquisition: file index, acquisition index, node index.
+#[derive(Debug, Clone, Copy)]
+struct Resolved {
+    file: usize,
+    acq: usize,
+    node: usize,
+}
+
+/// Runs the concurrency pass over the workspace rooted at `root`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from walking or reading the tree.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<ConcurrencyReport> {
+    let files = walk::workspace_files(root)?;
+    analyze_files(root, &files)
+}
+
+/// Runs the concurrency pass over an explicit file set (the `--root`
+/// mode, used to point the gate at fixture trees).
+///
+/// # Errors
+///
+/// Propagates file-read errors.
+pub fn analyze_files(root: &Path, files: &[PathBuf]) -> std::io::Result<ConcurrencyReport> {
+    let mut entries = Vec::with_capacity(files.len());
+    for file in files {
+        let src = std::fs::read_to_string(file)?;
+        let lexed = lex(&src);
+        let model = model::build(&lexed);
+        let ctx = Context::build(&lexed.tokens, &lexed.comments);
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .display()
+            .to_string();
+        entries.push(FileEntry {
+            path: file.clone(),
+            rel,
+            class: walk::classify(root, file),
+            lexed,
+            model,
+            ctx,
+        });
+    }
+
+    let mut report = ConcurrencyReport {
+        files: entries.len(),
+        ..ConcurrencyReport::default()
+    };
+
+    let nodes = collect_nodes(&entries);
+    let resolved = resolve_acquisitions(&entries, &nodes);
+    let edges = collect_edges(&entries, &nodes, &resolved);
+    report_cycles(&entries, &nodes, &edges, &mut report);
+    report.nodes = nodes
+        .iter()
+        .map(|(name, file, line)| LockNode {
+            name: name.clone(),
+            file: entries[*file].rel.clone(),
+            line: *line,
+        })
+        .collect();
+    report.edges = edges;
+
+    for (i, entry) in entries.iter().enumerate() {
+        lint_guard_across_blocking(entry, &resolved, i, &mut report);
+        lint_no_alloc_hot_entry(entry, &mut report);
+        lint_no_wallclock_numeric(entry, &mut report);
+    }
+    report
+        .violations
+        .sort_by(|a, b| (&a.0, a.1.line, a.1.rule).cmp(&(&b.0, b.1.line, b.1.rule)));
+    Ok(report)
+}
+
+/// Every lock field declared outside test regions:
+/// `(qualified name, file index, line)`.
+fn collect_nodes(entries: &[FileEntry]) -> Vec<(String, usize, usize)> {
+    let mut nodes = Vec::new();
+    for (i, e) in entries.iter().enumerate() {
+        // Locks declared inside integration-test or bench trees are
+        // harness scaffolding, not workspace shared state.
+        if Path::new(&e.rel)
+            .components()
+            .any(|c| c.as_os_str() == "tests" || c.as_os_str() == "benches")
+        {
+            continue;
+        }
+        for f in &e.model.lock_fields {
+            if e.ctx.in_test(f.line) {
+                continue;
+            }
+            let q = f.qualified();
+            if !nodes.iter().any(|(n, _, _)| *n == q) {
+                nodes.push((q, i, f.line));
+            }
+        }
+    }
+    nodes.sort();
+    nodes
+}
+
+/// Resolve each non-test acquisition's written field name to a node:
+/// a lock field declared in the *same file* wins; otherwise the name
+/// must match exactly one lock field workspace-wide. Unresolvable
+/// receivers (locals, std handles) are skipped — see the module docs.
+fn resolve_acquisitions(entries: &[FileEntry], nodes: &[(String, usize, usize)]) -> Vec<Resolved> {
+    let mut out = Vec::new();
+    for (fi, e) in entries.iter().enumerate() {
+        for (ai, a) in e.model.acquisitions.iter().enumerate() {
+            if e.ctx.in_test(a.line) {
+                continue;
+            }
+            let same_file: Vec<usize> = nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, (n, nf, _))| {
+                    *nf == fi && (n == &a.field || n.ends_with(&format!(".{}", a.field)))
+                })
+                .map(|(i, _)| i)
+                .collect();
+            let node = match same_file.as_slice() {
+                [one] => Some(*one),
+                [] => {
+                    let global: Vec<usize> = nodes
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, (n, _, _))| {
+                            n == &a.field || n.ends_with(&format!(".{}", a.field))
+                        })
+                        .map(|(i, _)| i)
+                        .collect();
+                    match global.as_slice() {
+                        [one] => Some(*one),
+                        _ => None,
+                    }
+                }
+                _ => None,
+            };
+            if let Some(node) = node {
+                out.push(Resolved {
+                    file: fi,
+                    acq: ai,
+                    node,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Fn-name registry for one-level call edges: names defined exactly once
+/// workspace-wide and not on the deny list.
+fn unique_fns(entries: &[FileEntry]) -> BTreeMap<String, (usize, usize)> {
+    let mut counts: BTreeMap<&str, Vec<(usize, usize)>> = BTreeMap::new();
+    for (fi, e) in entries.iter().enumerate() {
+        for (gi, f) in e.model.fns.iter().enumerate() {
+            counts.entry(f.name.as_str()).or_default().push((fi, gi));
+        }
+    }
+    counts
+        .into_iter()
+        .filter(|(name, defs)| defs.len() == 1 && !COMMON_CALLEES.contains(name))
+        .map(|(name, defs)| (name.to_string(), defs[0]))
+        .collect()
+}
+
+fn collect_edges(
+    entries: &[FileEntry],
+    nodes: &[(String, usize, usize)],
+    resolved: &[Resolved],
+) -> Vec<LockEdge> {
+    let fns = unique_fns(entries);
+    let mut edges: Vec<LockEdge> = Vec::new();
+    let mut add = |from: usize, to: usize, site: EdgeSite| {
+        let (fname, tname) = (&nodes[from].0, &nodes[to].0);
+        match edges
+            .iter_mut()
+            .find(|e| &e.from == fname && &e.to == tname)
+        {
+            Some(e) => e.sites.push(site),
+            None => edges.push(LockEdge {
+                from: fname.clone(),
+                to: tname.clone(),
+                sites: vec![site],
+            }),
+        }
+    };
+
+    for outer in resolved {
+        let e = &entries[outer.file];
+        let a = &e.model.acquisitions[outer.acq];
+        // A waived hold site removes every edge out of it.
+        if e.ctx.suppressed(a.line, "lock-order") {
+            continue;
+        }
+
+        // Direct: another resolved acquisition inside the guard scope.
+        for inner in resolved.iter().filter(|r| r.file == outer.file) {
+            let b = &e.model.acquisitions[inner.acq];
+            if b.token > a.token && b.token < a.scope_end && !e.ctx.suppressed(b.line, "lock-order")
+            {
+                add(
+                    outer.node,
+                    inner.node,
+                    EdgeSite {
+                        hold_file: e.rel.clone(),
+                        hold_line: a.line,
+                        acq_file: e.rel.clone(),
+                        acq_line: b.line,
+                        via: None,
+                    },
+                );
+            }
+        }
+
+        // One level of calls: a uniquely-defined callee invoked inside
+        // the guard scope contributes its own resolved acquisitions.
+        for call in &e.model.calls {
+            if call.token <= a.token || call.token >= a.scope_end {
+                continue;
+            }
+            let Some(&(cf, cg)) = fns.get(&call.callee) else {
+                continue;
+            };
+            let callee = &entries[cf].model.fns[cg];
+            for inner in resolved.iter().filter(|r| r.file == cf) {
+                let b = &entries[cf].model.acquisitions[inner.acq];
+                if b.token > callee.body_start
+                    && b.token < callee.body_end
+                    && !entries[cf].ctx.suppressed(b.line, "lock-order")
+                {
+                    add(
+                        outer.node,
+                        inner.node,
+                        EdgeSite {
+                            hold_file: e.rel.clone(),
+                            hold_line: a.line,
+                            acq_file: entries[cf].rel.clone(),
+                            acq_line: b.line,
+                            via: Some(call.callee.clone()),
+                        },
+                    );
+                }
+            }
+        }
+    }
+    edges.sort_by(|a, b| (&a.from, &a.to).cmp(&(&b.from, &b.to)));
+    edges
+}
+
+/// DFS cycle detection over the edge list; every distinct cycle becomes
+/// one `lock-order` violation carrying both acquisition chains.
+fn report_cycles(
+    entries: &[FileEntry],
+    nodes: &[(String, usize, usize)],
+    edges: &[LockEdge],
+    report: &mut ConcurrencyReport,
+) {
+    let names: Vec<&str> = nodes.iter().map(|(n, _, _)| n.as_str()).collect();
+    let adj: Vec<Vec<usize>> = names
+        .iter()
+        .map(|n| {
+            edges
+                .iter()
+                .filter(|e| e.from == **n)
+                .filter_map(|e| names.iter().position(|m| *m == e.to))
+                .collect()
+        })
+        .collect();
+
+    // Colored DFS from every node; a back edge closes a cycle. Cycles
+    // are deduplicated by their normalized (smallest-first) rotation.
+    let mut seen_cycles: Vec<Vec<usize>> = Vec::new();
+    for start in 0..names.len() {
+        let mut stack = vec![(start, 0usize)];
+        let mut path = vec![start];
+        let mut on_path = vec![false; names.len()];
+        on_path[start] = true;
+        while let Some((node, next)) = stack.last_mut() {
+            if let Some(&succ) = adj[*node].get(*next) {
+                *next += 1;
+                if on_path[succ] {
+                    let pos = path.iter().position(|&p| p == succ).unwrap_or(0);
+                    let mut cycle: Vec<usize> = path[pos..].to_vec();
+                    let min = cycle
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, v)| **v)
+                        .map_or(0, |(i, _)| i);
+                    cycle.rotate_left(min);
+                    if !seen_cycles.contains(&cycle) {
+                        seen_cycles.push(cycle);
+                    }
+                } else if path.len() < names.len() {
+                    on_path[succ] = true;
+                    path.push(succ);
+                    stack.push((succ, 0));
+                }
+            } else {
+                on_path[*node] = false;
+                path.pop();
+                stack.pop();
+            }
+        }
+    }
+
+    for cycle in seen_cycles {
+        let mut chain = String::new();
+        let mut first_site: Option<(&EdgeSite, usize)> = None;
+        for (k, &n) in cycle.iter().enumerate() {
+            let m = cycle[(k + 1) % cycle.len()];
+            let Some(edge) = edges
+                .iter()
+                .find(|e| e.from == names[n] && e.to == names[m])
+            else {
+                continue;
+            };
+            let s = &edge.sites[0];
+            if first_site.is_none() {
+                let fi = entries
+                    .iter()
+                    .position(|e| e.rel == s.hold_file)
+                    .unwrap_or(0);
+                first_site = Some((s, fi));
+            }
+            let via = s
+                .via
+                .as_deref()
+                .map(|f| format!(" via {f}()"))
+                .unwrap_or_default();
+            chain.push_str(&format!(
+                "; {} -> {} (guard {}:{}, acquire {}:{}{})",
+                names[n], names[m], s.hold_file, s.hold_line, s.acq_file, s.acq_line, via
+            ));
+        }
+        let names_in_cycle: Vec<&str> = cycle.iter().map(|&n| names[n]).collect();
+        let Some((site, fi)) = first_site else {
+            continue;
+        };
+        report.violations.push((
+            entries[fi].path.clone(),
+            Violation {
+                line: site.hold_line,
+                rule: "lock-order",
+                message: format!(
+                    "potential deadlock: lock-order cycle {}{}",
+                    names_in_cycle.join(" -> "),
+                    chain
+                ),
+            },
+        ));
+    }
+}
+
+/// `guard-across-await-free-blocking`: a live guard (other than the one
+/// being waited on) across a `Condvar` wait, or any live guard across
+/// blocking I/O.
+fn lint_guard_across_blocking(
+    entry: &FileEntry,
+    resolved: &[Resolved],
+    file_index: usize,
+    report: &mut ConcurrencyReport,
+) {
+    let live_at = |token: usize| {
+        resolved
+            .iter()
+            .filter(|r| r.file == file_index)
+            .map(|r| &entry.model.acquisitions[r.acq])
+            .filter(move |a| a.token < token && token < a.scope_end)
+    };
+
+    for w in &entry.model.waits {
+        if entry.ctx.in_test(w.line) {
+            continue;
+        }
+        for a in live_at(w.token) {
+            let exempt = a
+                .guard
+                .as_ref()
+                .is_some_and(|g| w.involved.iter().any(|i| i == g));
+            if exempt
+                || entry
+                    .ctx
+                    .suppressed(w.line, "guard-across-await-free-blocking")
+            {
+                continue;
+            }
+            report.violations.push((
+                entry.path.clone(),
+                Violation {
+                    line: w.line,
+                    rule: "guard-across-await-free-blocking",
+                    message: format!(
+                        "guard of `{}` (taken line {}) is held across a condvar wait on a \
+                         different lock — release it first or wait on its own condvar",
+                        a.field, a.line
+                    ),
+                },
+            ));
+        }
+    }
+
+    for io in &entry.model.io_sites {
+        if entry.ctx.in_test(io.line) {
+            continue;
+        }
+        for a in live_at(io.token) {
+            if entry
+                .ctx
+                .suppressed(io.line, "guard-across-await-free-blocking")
+            {
+                continue;
+            }
+            report.violations.push((
+                entry.path.clone(),
+                Violation {
+                    line: io.line,
+                    rule: "guard-across-await-free-blocking",
+                    message: format!(
+                        "guard of `{}` (taken line {}) is held across blocking `{}` I/O — \
+                         drop the guard before touching the network",
+                        a.field, a.line, io.what
+                    ),
+                },
+            ));
+        }
+    }
+}
+
+/// `no-alloc-hot` applies to the thermal hot-path files by name.
+fn lint_no_alloc_hot_entry(entry: &FileEntry, report: &mut ConcurrencyReport) {
+    let name = entry
+        .path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("");
+    if name != "engine.rs" && name != "kernels.rs" {
+        return;
+    }
+    for v in lint_no_alloc_hot(&entry.lexed, &entry.model, &entry.ctx) {
+        report.violations.push((entry.path.clone(), v));
+    }
+}
+
+/// The allocation patterns `no-alloc-hot` rejects inside hot regions.
+/// Exposed for the fixture tests.
+#[must_use]
+pub fn lint_no_alloc_hot(lexed: &Lexed, model: &FileModel, ctx: &Context) -> Vec<Violation> {
+    let tokens = &lexed.tokens;
+    let mut out = Vec::new();
+    let mut flag = |line: usize, what: &str, via: &str| {
+        if !ctx.suppressed(line, "no-alloc-hot") {
+            out.push(Violation {
+                line,
+                rule: "no-alloc-hot",
+                message: format!(
+                    "`{what}` allocates inside the hot region `{via}` — hoist the buffer into \
+                     a workspace (preallocated) or restructure the loop"
+                ),
+            });
+        }
+    };
+    for region in &model.hot_regions {
+        for i in region.start..=region.end.min(tokens.len().saturating_sub(1)) {
+            let t = &tokens[i];
+            if t.kind != TokenKind::Ident || ctx.in_test(t.line) {
+                continue;
+            }
+            let prev = i.checked_sub(1).map(|p| tokens[p].text.as_str());
+            let next = tokens.get(i + 1).map(|n| n.text.as_str());
+            let next2 = tokens.get(i + 2).map(|n| n.text.as_str());
+            match t.text.as_str() {
+                "Vec" if next == Some("::") && next2 == Some("new") => {
+                    flag(t.line, "Vec::new", &region.via);
+                }
+                "Box" if next == Some("::") && next2 == Some("new") => {
+                    flag(t.line, "Box::new", &region.via);
+                }
+                "vec" if next == Some("!") => flag(t.line, "vec!", &region.via),
+                "format" if next == Some("!") => flag(t.line, "format!", &region.via),
+                "to_vec" if prev == Some(".") && next == Some("(") => {
+                    flag(t.line, ".to_vec()", &region.via);
+                }
+                "collect" if prev == Some(".") && next == Some("(") => {
+                    flag(t.line, ".collect()", &region.via);
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// `no-wallclock-numeric`: wall-clock reads in numeric library code.
+fn lint_no_wallclock_numeric(entry: &FileEntry, report: &mut ConcurrencyReport) {
+    if !(entry.class.is_numeric && entry.class.is_library) {
+        return;
+    }
+    let tokens = &entry.lexed.tokens;
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident || entry.ctx.in_test(t.line) {
+            continue;
+        }
+        let hit = match t.text.as_str() {
+            "Instant" => {
+                tokens.get(i + 1).is_some_and(|n| n.text == "::")
+                    && tokens.get(i + 2).is_some_and(|n| n.text == "now")
+            }
+            "SystemTime" => tokens.get(i + 1).is_some_and(|n| n.text == "::"),
+            _ => false,
+        };
+        if hit && !entry.ctx.suppressed(t.line, "no-wallclock-numeric") {
+            report.violations.push((
+                entry.path.clone(),
+                Violation {
+                    line: t.line,
+                    rule: "no-wallclock-numeric",
+                    message: format!(
+                        "`{}` read in numeric library code — wall-clock values must only feed \
+                         `SolverStats` timing, never the numerics; waive with the stats-only \
+                         argument if that is the case",
+                        t.text
+                    ),
+                },
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn write_tree(files: &[(&str, &str)]) -> tempdir::TempDir {
+        let dir = tempdir::TempDir::new();
+        for (name, src) in files {
+            let path = dir.path.join(name);
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent).expect("mkdir");
+            }
+            let mut f = std::fs::File::create(&path).expect("create");
+            f.write_all(src.as_bytes()).expect("write");
+        }
+        dir
+    }
+
+    fn run(files: &[(&str, &str)]) -> ConcurrencyReport {
+        let dir = write_tree(files);
+        let paths: Vec<PathBuf> = files.iter().map(|(n, _)| dir.path.join(n)).collect();
+        analyze_files(&dir.path, &paths).expect("analyze")
+    }
+
+    /// Minimal std-only tempdir (no crates.io in this workspace).
+    mod tempdir {
+        use std::path::PathBuf;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+
+        pub struct TempDir {
+            pub path: PathBuf,
+        }
+
+        impl TempDir {
+            pub fn new() -> Self {
+                let path = std::env::temp_dir().join(format!(
+                    "tsc-analyze-test-{}-{}",
+                    std::process::id(),
+                    NEXT.fetch_add(1, Ordering::Relaxed)
+                ));
+                std::fs::create_dir_all(&path).expect("tempdir");
+                TempDir { path }
+            }
+        }
+
+        impl Drop for TempDir {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_dir_all(&self.path);
+            }
+        }
+    }
+
+    const CYCLE_A: &str = "use std::sync::Mutex;\n\
+        pub struct Alpha { pub a_state: Mutex<u32> }\n\
+        pub struct Beta { pub b_state: Mutex<u32> }\n\
+        pub fn forward(x: &Alpha, y: &Beta) -> u32 {\n\
+            let a = x.a_state.lock().unwrap();\n\
+            let b = y.b_state.lock().unwrap();\n\
+            *a + *b\n\
+        }\n\
+        pub fn backward(x: &Alpha, y: &Beta) -> u32 {\n\
+            let b = y.b_state.lock().unwrap();\n\
+            let a = x.a_state.lock().unwrap();\n\
+            *a + *b\n\
+        }\n";
+
+    #[test]
+    fn opposite_nesting_orders_report_a_cycle() {
+        let report = run(&[("cycle.rs", CYCLE_A)]);
+        assert_eq!(report.nodes.len(), 2);
+        let cycles: Vec<_> = report
+            .violations
+            .iter()
+            .filter(|(_, v)| v.rule == "lock-order")
+            .collect();
+        assert_eq!(cycles.len(), 1, "one deduplicated cycle: {report:?}");
+        assert!(cycles[0].1.message.contains("Alpha.a_state"));
+        assert!(cycles[0].1.message.contains("Beta.b_state"));
+    }
+
+    #[test]
+    fn consistent_nesting_is_clean_and_produces_edges() {
+        let src = "use std::sync::Mutex;\n\
+            pub struct Alpha { pub a_state: Mutex<u32> }\n\
+            pub struct Beta { pub b_state: Mutex<u32> }\n\
+            pub fn one(x: &Alpha, y: &Beta) -> u32 {\n\
+                let a = x.a_state.lock().unwrap();\n\
+                let b = y.b_state.lock().unwrap();\n\
+                *a + *b\n\
+            }\n";
+        let report = run(&[("clean.rs", src)]);
+        assert!(report.clean(), "{:?}", report.violations);
+        assert_eq!(report.edges.len(), 1);
+        assert_eq!(report.edges[0].from, "Alpha.a_state");
+        assert_eq!(report.edges[0].to, "Beta.b_state");
+    }
+
+    #[test]
+    fn drop_before_reacquire_breaks_the_edge() {
+        let src = "use std::sync::Mutex;\n\
+            pub struct Alpha { pub a_state: Mutex<u32> }\n\
+            pub struct Beta { pub b_state: Mutex<u32> }\n\
+            pub fn one(x: &Alpha, y: &Beta) {\n\
+                let a = x.a_state.lock().unwrap();\n\
+                drop(a);\n\
+                let _b = y.b_state.lock().unwrap();\n\
+            }\n\
+            pub fn two(x: &Alpha, y: &Beta) {\n\
+                let b = y.b_state.lock().unwrap();\n\
+                drop(b);\n\
+                let _a = x.a_state.lock().unwrap();\n\
+            }\n";
+        let report = run(&[("dropped.rs", src)]);
+        assert!(report.clean(), "{:?}", report.violations);
+        assert!(report.edges.is_empty());
+    }
+
+    #[test]
+    fn one_level_call_edges_close_the_cycle() {
+        let a = "use std::sync::Mutex;\n\
+            pub struct Alpha { pub a_state: Mutex<u32> }\n\
+            pub fn with_a(x: &Alpha, y: &crate::Beta) {\n\
+                let a = x.a_state.lock().unwrap();\n\
+                grab_b_only(y);\n\
+                drop(a);\n\
+            }\n";
+        let b = "use std::sync::Mutex;\n\
+            pub struct Beta { pub b_state: Mutex<u32> }\n\
+            pub fn grab_b_only(y: &Beta) {\n\
+                let _b = y.b_state.lock().unwrap();\n\
+            }\n\
+            pub fn with_b(y: &Beta, x: &crate::Alpha) {\n\
+                let b = y.b_state.lock().unwrap();\n\
+                let _a = x.a_state.lock().unwrap();\n\
+                drop(b);\n\
+            }\n";
+        let report = run(&[("a.rs", a), ("b.rs", b)]);
+        let cycles: Vec<_> = report
+            .violations
+            .iter()
+            .filter(|(_, v)| v.rule == "lock-order")
+            .collect();
+        assert_eq!(cycles.len(), 1, "{report:?}");
+        assert!(cycles[0].1.message.contains("via grab_b_only()"));
+    }
+
+    #[test]
+    fn waiver_at_the_site_suppresses_the_cycle() {
+        let src = CYCLE_A.replace(
+            "let b = y.b_state.lock().unwrap();\nlet a = x.a_state.lock().unwrap();",
+            "// tsc-analyze: allow(lock-order): test harness only ever runs single-threaded\nlet b = y.b_state.lock().unwrap();\nlet a = x.a_state.lock().unwrap();",
+        );
+        assert_ne!(src, CYCLE_A, "waiver insertion must not be a no-op");
+        let report = run(&[("waived.rs", &src)]);
+        assert!(
+            report
+                .violations
+                .iter()
+                .all(|(_, v)| v.rule != "lock-order"),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn guard_across_foreign_condvar_wait_fires() {
+        let src = "use std::sync::{Condvar, Mutex};\n\
+            pub struct S { pub state: Mutex<u32>, pub other: Mutex<u32>, pub cv: Condvar }\n\
+            impl S {\n\
+                pub fn bad(&self) {\n\
+                    let held = self.other.lock().unwrap();\n\
+                    let g = self.state.lock().unwrap();\n\
+                    let _g = self.cv.wait(g).unwrap();\n\
+                    drop(held);\n\
+                }\n\
+            }\n";
+        let report = run(&[("waiting.rs", src)]);
+        assert!(report
+            .violations
+            .iter()
+            .any(|(_, v)| v.rule == "guard-across-await-free-blocking"
+                && v.message.contains("other")));
+    }
+
+    #[test]
+    fn waiting_on_your_own_guard_is_fine() {
+        let src = "use std::sync::{Condvar, Mutex};\n\
+            pub struct S { pub state: Mutex<u32>, pub cv: Condvar }\n\
+            impl S {\n\
+                pub fn ok(&self) {\n\
+                    let mut g = self.state.lock().unwrap();\n\
+                    while *g == 0 { g = self.cv.wait(g).unwrap(); }\n\
+                }\n\
+            }\n";
+        let report = run(&[("ok_wait.rs", src)]);
+        assert!(report.clean(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn guard_across_tcp_io_fires() {
+        let src = "use std::sync::Mutex;\n\
+            use std::io::Write;\n\
+            pub struct S { pub state: Mutex<u32> }\n\
+            impl S {\n\
+                pub fn bad(&self, stream: &mut std::net::TcpStream) {\n\
+                    let g = self.state.lock().unwrap();\n\
+                    stream.write_all(b\"x\").unwrap();\n\
+                    drop(g);\n\
+                }\n\
+            }\n";
+        let report = run(&[("io.rs", src)]);
+        assert!(report
+            .violations
+            .iter()
+            .any(|(_, v)| v.rule == "guard-across-await-free-blocking"
+                && v.message.contains("write_all")));
+    }
+
+    #[test]
+    fn alloc_in_hot_closure_fires_per_pattern() {
+        let src = "fn step(plan: &ExecPlan, x: &mut [f64]) {\n\
+                plan.map_mut(x, |range, chunk| {\n\
+                    let v = Vec::new();\n\
+                    let w = vec![0.0; 4];\n\
+                    let b = Box::new(1.0);\n\
+                    let s = format!(\"{range:?}\");\n\
+                    let t = chunk.to_vec();\n\
+                    let c: Vec<f64> = chunk.iter().copied().collect();\n\
+                    (v, w, b, s, t, c)\n\
+                });\n\
+            }\n";
+        let lexed = lex(src);
+        let model = model::build(&lexed);
+        let ctx = Context::build(&lexed.tokens, &lexed.comments);
+        let hits = lint_no_alloc_hot(&lexed, &model, &ctx);
+        assert_eq!(hits.len(), 6, "{hits:?}");
+    }
+
+    #[test]
+    fn alloc_outside_hot_regions_passes() {
+        let src = "fn setup() -> Vec<f64> {\n    let v = Vec::new();\n    v\n}\n";
+        let lexed = lex(src);
+        let model = model::build(&lexed);
+        let ctx = Context::build(&lexed.tokens, &lexed.comments);
+        assert!(lint_no_alloc_hot(&lexed, &model, &ctx).is_empty());
+    }
+
+    #[test]
+    fn wallclock_in_numeric_library_fires_and_waives() {
+        let bare = "use std::time::Instant;\npub fn f() { let _t = Instant::now(); }\n";
+        let dir = write_tree(&[("crates/thermal/src/x.rs", bare)]);
+        let paths = vec![dir.path.join("crates/thermal/src/x.rs")];
+        let report = analyze_files(&dir.path, &paths).expect("analyze");
+        assert!(report
+            .violations
+            .iter()
+            .any(|(_, v)| v.rule == "no-wallclock-numeric"));
+
+        let waived = "use std::time::Instant;\n\
+            pub fn f() {\n\
+                // tsc-analyze: allow(no-wallclock-numeric): feeds SolverStats.wall_ms only\n\
+                let _t = Instant::now();\n\
+            }\n";
+        let dir = write_tree(&[("crates/thermal/src/x.rs", waived)]);
+        let paths = vec![dir.path.join("crates/thermal/src/x.rs")];
+        let report = analyze_files(&dir.path, &paths).expect("analyze");
+        assert!(report.clean(), "{:?}", report.violations);
+    }
+}

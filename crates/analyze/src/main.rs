@@ -1,9 +1,10 @@
 //! The `tsc-analyze` gate binary.
 //!
 //! ```text
-//! cargo run -p tsc-analyze                                   # lint pass
+//! cargo run -p tsc-analyze                                   # lint + lock-order pass
 //! cargo run -p tsc-analyze --features race-check -- --race-check
-//!                                                            # lint + dynamic race checks
+//!                                                            # + dynamic race checks
+//! cargo run -p tsc-analyze -- --root path/to/tree            # analyze an arbitrary tree
 //! ```
 //!
 //! Exit status: `0` clean, `1` violations or race-check failures,
@@ -11,24 +12,37 @@
 
 #![forbid(unsafe_code)]
 
+use std::path::PathBuf;
 use std::process::ExitCode;
-use tsc_analyze::{lint_workspace, walk};
+use tsc_analyze::{lint_workspace, lockgraph, walk};
 
 fn main() -> ExitCode {
     let mut race_check = false;
     let mut lint = true;
-    for arg in std::env::args().skip(1) {
+    let mut root_override: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--race-check" => race_check = true,
             "--no-lint" => lint = false,
+            "--root" => match args.next() {
+                Some(dir) => root_override = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("tsc-analyze: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
                 println!(
                     "tsc-analyze: in-repo static-analysis gate\n\n\
-                     USAGE: tsc-analyze [--race-check] [--no-lint]\n\n\
+                     USAGE: tsc-analyze [--race-check] [--no-lint] [--root DIR]\n\n\
                      --race-check  also run the dynamic write-set race checker and the\n\
                      \x20             schedule-perturbation harness (requires building with\n\
                      \x20             `--features race-check`)\n\
-                     --no-lint     skip the source lint pass"
+                     --no-lint     skip the source lint pass (the lock-order pass still runs)\n\
+                     --root DIR    analyze every .rs file under DIR instead of the workspace\n\
+                     \x20             (lock-order pass only; the lint pass stays on the\n\
+                     \x20             workspace classification rules)"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -40,9 +54,9 @@ fn main() -> ExitCode {
     }
 
     let mut failed = false;
+    let root = root_override.clone().unwrap_or_else(walk::workspace_root);
 
-    if lint {
-        let root = walk::workspace_root();
+    if lint && root_override.is_none() {
         match lint_workspace(&root) {
             Ok(report) => {
                 for (file, v) in &report.violations {
@@ -64,6 +78,40 @@ fn main() -> ExitCode {
                 eprintln!("tsc-analyze: cannot walk workspace: {e}");
                 return ExitCode::from(2);
             }
+        }
+    }
+
+    // The cross-file concurrency pass always runs: over the workspace by
+    // default, or over an arbitrary tree with --root.
+    let concurrency = if let Some(dir) = &root_override {
+        walk::rs_files_under(dir).and_then(|files| lockgraph::analyze_files(dir, &files))
+    } else {
+        lockgraph::analyze_workspace(&root)
+    };
+    match concurrency {
+        Ok(report) => {
+            print!("{}", report.render_graph());
+            for (file, v) in &report.violations {
+                let rel = file.strip_prefix(&root).unwrap_or(file);
+                eprintln!("{}:{}: [{}] {}", rel.display(), v.line, v.rule, v.message);
+            }
+            if report.clean() {
+                println!(
+                    "tsc-analyze: concurrency pass clean ({} files)",
+                    report.files
+                );
+            } else {
+                eprintln!(
+                    "tsc-analyze: {} concurrency violation(s) across {} files",
+                    report.violations.len(),
+                    report.files
+                );
+                failed = true;
+            }
+        }
+        Err(e) => {
+            eprintln!("tsc-analyze: cannot run concurrency pass: {e}");
+            return ExitCode::from(2);
         }
     }
 

@@ -19,6 +19,11 @@
 //! | `float-eq`      | numeric library code     | no `==` / `!=` against float literals (use tolerance helpers) |
 //! | `hash-iter`     | numeric library code     | no `HashMap`/`HashSet` iteration feeding numeric reductions (nondeterministic order) |
 //!
+//! Four further rules share the same allow-list names but are emitted by
+//! the cross-file concurrency pass ([`crate::lockgraph`]): `lock-order`,
+//! `no-alloc-hot`, `guard-across-await-free-blocking`, and
+//! `no-wallclock-numeric`.
+//!
 //! "Numeric library code" means `src/` (excluding `src/bin/`) of the
 //! numeric crates ([`NUMERIC_CRATES`]), outside `#[cfg(test)]` items —
 //! tests and benches legitimately unwrap and compare bitwise.
@@ -40,13 +45,19 @@ pub const NUMERIC_CRATES: &[&str] = &[
     "designs",
 ];
 
-/// Every rule name the allow-list accepts.
+/// Every rule name the allow-list accepts. The last four are emitted by
+/// the cross-file concurrency pass ([`crate::lockgraph`]), not by
+/// [`lint_source`]; they share the directive discipline.
 pub const RULES: &[&str] = &[
     "safety-comment",
     "no-static-mut",
     "no-unwrap",
     "float-eq",
     "hash-iter",
+    "lock-order",
+    "no-alloc-hot",
+    "guard-across-await-free-blocking",
+    "no-wallclock-numeric",
 ];
 
 /// How a file participates in the lint pass (derived from its path by
@@ -149,8 +160,10 @@ pub fn lint_source(src: &str, class: FileClass) -> Vec<Violation> {
     out
 }
 
-/// Per-file line/region knowledge shared by the rules.
-struct Context {
+/// Per-file line/region knowledge shared by the rules (and by the
+/// cross-file passes in [`crate::lockgraph`], which reuse the directive
+/// and test-region machinery).
+pub struct Context {
     /// Lines whose only content is comments (no tokens at all).
     comment_only: BTreeSet<usize>,
     /// Lines whose tokens all belong to `#[...]` attributes.
@@ -163,7 +176,8 @@ struct Context {
 }
 
 impl Context {
-    fn build(tokens: &[Token], comments: &[Comment]) -> Self {
+    #[must_use]
+    pub fn build(tokens: &[Token], comments: &[Comment]) -> Self {
         let attr_spans = attribute_spans(tokens);
         let mut token_lines = BTreeSet::new();
         let mut code_lines = BTreeSet::new();
@@ -194,7 +208,8 @@ impl Context {
         }
     }
 
-    fn in_test(&self, line: usize) -> bool {
+    #[must_use]
+    pub fn in_test(&self, line: usize) -> bool {
         self.test_regions
             .iter()
             .any(|&(a, b)| line >= a && line <= b)
@@ -216,7 +231,8 @@ impl Context {
         lines
     }
 
-    fn suppressed(&self, line: usize, rule: &str) -> bool {
+    #[must_use]
+    pub fn suppressed(&self, line: usize, rule: &str) -> bool {
         let reach = self.reachable_lines(line);
         self.directives
             .iter()

@@ -39,6 +39,32 @@ pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(files)
 }
 
+/// Every `.rs` file under an arbitrary directory tree — the `--root`
+/// mode, used to point the gate at fixture trees that are not laid out
+/// as a cargo workspace. `target/` directories are still skipped, but
+/// `fixtures/` components are *not* (the whole point is analysing them).
+pub fn rs_files_under(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+        for entry in std::fs::read_dir(dir)? {
+            let p = entry?.path();
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if p.is_dir() {
+                if name == "target" {
+                    continue;
+                }
+                collect(&p, out)?;
+            } else if name.ends_with(".rs") {
+                out.push(p);
+            }
+        }
+        Ok(())
+    }
+    let mut files = Vec::new();
+    collect(root, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     for entry in std::fs::read_dir(dir)? {
         let p = entry?.path();

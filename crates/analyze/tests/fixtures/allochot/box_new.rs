@@ -1,0 +1,7 @@
+//! `Box::new` inside a parallel-region closure.
+pub fn step(plan: &ExecPlan, x: &mut [f64]) {
+    plan.map_mut(x, |_range, chunk| {
+        let boxed = Box::new(chunk[0]);
+        let _ = boxed;
+    });
+}

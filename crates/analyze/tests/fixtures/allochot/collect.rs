@@ -1,0 +1,7 @@
+//! `.collect()` inside a parallel-region closure.
+pub fn step(plan: &ExecPlan, x: &mut [f64]) {
+    plan.map_mut(x, |_range, chunk| {
+        let doubled: Vec<f64> = chunk.iter().map(|v| v * 2.0).collect();
+        let _ = doubled;
+    });
+}

@@ -1,0 +1,7 @@
+//! `format!` inside a parallel-region closure.
+pub fn step(plan: &ExecPlan, x: &mut [f64]) {
+    plan.map_mut(x, |range, chunk| {
+        let label = format!("band {range:?}");
+        let _ = (label, chunk);
+    });
+}

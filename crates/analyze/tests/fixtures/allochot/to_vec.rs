@@ -1,0 +1,7 @@
+//! `.to_vec()` inside a parallel-region closure.
+pub fn step(plan: &ExecPlan, x: &mut [f64]) {
+    plan.map_mut(x, |_range, chunk| {
+        let copy = chunk.to_vec();
+        let _ = copy;
+    });
+}

@@ -1,0 +1,5 @@
+//! `vec![...]` inside a smoother body (hot by fn-name heuristic).
+pub fn red_black_smooth(x: &mut [f64]) {
+    let scratch = vec![0.0; x.len()];
+    let _ = scratch;
+}

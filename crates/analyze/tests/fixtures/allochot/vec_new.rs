@@ -1,0 +1,7 @@
+//! `Vec::new` inside a parallel-region closure.
+pub fn step(plan: &ExecPlan, x: &mut [f64]) {
+    plan.map_mut(x, |_range, chunk| {
+        let scratch: Vec<f64> = Vec::new();
+        let _ = (scratch, chunk);
+    });
+}

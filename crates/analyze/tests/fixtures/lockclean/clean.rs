@@ -1,0 +1,29 @@
+//! Rank-respecting fixture: every path acquires `Alpha.a_state` before
+//! `Beta.b_state`, and the reversed path releases the first guard before
+//! taking the second. The lock-order pass must produce the single edge
+//! `Alpha.a_state -> Beta.b_state` and no cycle.
+
+use std::sync::Mutex;
+
+pub struct Alpha {
+    pub a_state: Mutex<u32>,
+}
+
+pub struct Beta {
+    pub b_state: Mutex<u32>,
+}
+
+pub fn nested(x: &Alpha, y: &Beta) -> u32 {
+    let a = x.a_state.lock().unwrap();
+    let b = y.b_state.lock().unwrap();
+    *a + *b
+}
+
+pub fn sequential(x: &Alpha, y: &Beta) -> u32 {
+    let b = {
+        let guard = y.b_state.lock().unwrap();
+        *guard
+    };
+    let a = x.a_state.lock().unwrap();
+    *a + b
+}

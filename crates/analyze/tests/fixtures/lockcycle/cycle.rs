@@ -1,0 +1,26 @@
+//! Deliberately-deadlockable fixture: two locks acquired in opposite
+//! orders on two code paths. The lock-order pass must report exactly one
+//! cycle (`Alpha.a_state -> Beta.b_state -> Alpha.a_state`) and the gate
+//! binary must exit nonzero when pointed here with `--root`.
+
+use std::sync::Mutex;
+
+pub struct Alpha {
+    pub a_state: Mutex<u32>,
+}
+
+pub struct Beta {
+    pub b_state: Mutex<u32>,
+}
+
+pub fn forward(x: &Alpha, y: &Beta) -> u32 {
+    let a = x.a_state.lock().unwrap();
+    let b = y.b_state.lock().unwrap();
+    *a + *b
+}
+
+pub fn backward(x: &Alpha, y: &Beta) -> u32 {
+    let b = y.b_state.lock().unwrap();
+    let a = x.a_state.lock().unwrap();
+    *a + *b
+}

@@ -34,6 +34,7 @@
 
 pub mod api;
 pub mod http;
+pub mod locks;
 pub mod metrics;
 pub mod pool;
 pub mod queue;
@@ -44,6 +45,7 @@ pub mod shard;
 
 pub use api::ApiJob;
 pub use http::{Limits, Request, Response};
+pub use locks::{lock_or_recover, RankedMutex};
 pub use metrics::{validate_exposition, Metrics};
 pub use pool::{ContextKey, ContextPool, LruPool, ServicePools};
 pub use queue::Priority;

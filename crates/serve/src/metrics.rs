@@ -316,7 +316,7 @@ impl Metrics {
             ));
         }
 
-        let counters: [(&str, &str, u64); 22] = [
+        let counters: [(&str, &str, u64); 23] = [
             (
                 "tsc_coalesced_requests_total",
                 "Requests served by piggybacking on an identical in-flight solve.",
@@ -427,6 +427,12 @@ impl Metrics {
                 "Batch items answered by exact affine superposition of the group's \
                  two anchor solves instead of a solver run.",
                 self.batch_affine_rescales_total.get(),
+            ),
+            (
+                "tsc_lock_poisoned_total",
+                "Mutex guards recovered from a poisoned state (a worker panicked \
+                 mid-critical-section; state was reconstructed).",
+                crate::locks::poisoned_total(),
             ),
         ];
         for (name, help, value) in counters {

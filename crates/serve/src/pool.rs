@@ -27,8 +27,7 @@
 //! worker at a time, so two concurrent solves on the same geometry get
 //! distinct copies rather than a shared lock.
 
-use std::sync::Mutex;
-
+use crate::locks::{rank, RankedMutex};
 use tsc_core::stack::Stack3d;
 use tsc_thermal::{OperatorSignature, SolveContext};
 
@@ -45,7 +44,7 @@ pub enum Checkout {
 /// intrusive list in both code size and constant factor.
 pub struct LruPool<K, T> {
     cap: usize,
-    entries: Mutex<Vec<(u64, K, T)>>,
+    entries: RankedMutex<Vec<(u64, K, T)>>,
 }
 
 impl<K: PartialEq, T> LruPool<K, T> {
@@ -54,7 +53,7 @@ impl<K: PartialEq, T> LruPool<K, T> {
     pub fn new(cap: usize) -> Self {
         LruPool {
             cap,
-            entries: Mutex::new(Vec::new()),
+            entries: RankedMutex::new(Vec::new(), rank::POOL_ENTRIES, "LruPool.entries"),
         }
     }
 
@@ -63,10 +62,7 @@ impl<K: PartialEq, T> LruPool<K, T> {
     }
 
     pub fn len(&self) -> usize {
-        match self.entries.lock() {
-            Ok(entries) => entries.len(),
-            Err(poisoned) => poisoned.into_inner().len(),
-        }
+        self.entries.lock().len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -80,10 +76,7 @@ impl<K: PartialEq, T> LruPool<K, T> {
         if self.cap == 0 {
             return None;
         }
-        let mut entries = match self.entries.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
-        };
+        let mut entries = self.entries.lock();
         let i = entries
             .iter()
             .position(|(h, k, _)| *h == hash && k == key)?;
@@ -96,10 +89,7 @@ impl<K: PartialEq, T> LruPool<K, T> {
         if self.cap == 0 {
             return 0;
         }
-        let mut entries = match self.entries.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
-        };
+        let mut entries = self.entries.lock();
         // Replace any entry another worker put for the same key while we
         // held ours — keeping the newest state is the better reuse.  A
         // colliding hash with a *different* full key is left alone (it

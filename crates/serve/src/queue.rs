@@ -17,8 +17,9 @@
 //! within a class, so queued background work can never delay queued
 //! interactive work.
 
+use crate::locks::{rank, RankedMutex};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::Condvar;
 
 /// Request priority classes, highest first.  Parsed from the
 /// `X-Priority` header; `/v1/batch` defaults to [`Priority::Batch`],
@@ -108,7 +109,7 @@ impl<T> Inner<T> {
 /// Bounded MPMC priority queue.  All methods take `&self`; share via
 /// `Arc`.
 pub struct JobQueue<T> {
-    inner: Mutex<Inner<T>>,
+    inner: RankedMutex<Inner<T>>,
     available: Condvar,
     capacity: usize,
 }
@@ -116,10 +117,14 @@ pub struct JobQueue<T> {
 impl<T> JobQueue<T> {
     pub fn new(capacity: usize) -> Self {
         JobQueue {
-            inner: Mutex::new(Inner {
-                classes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
-                closed: false,
-            }),
+            inner: RankedMutex::new(
+                Inner {
+                    classes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+                    closed: false,
+                },
+                rank::QUEUE_INNER,
+                "JobQueue.inner",
+            ),
             available: Condvar::new(),
             capacity,
         }
@@ -131,18 +136,12 @@ impl<T> JobQueue<T> {
 
     /// Current number of queued (not yet popped) jobs across all classes.
     pub fn len(&self) -> usize {
-        match self.inner.lock() {
-            Ok(inner) => inner.total(),
-            Err(poisoned) => poisoned.into_inner().total(),
-        }
+        self.inner.lock().total()
     }
 
     /// Queued jobs of one class.
     pub fn class_len(&self, class: Priority) -> usize {
-        match self.inner.lock() {
-            Ok(inner) => inner.classes[class.index()].len(),
-            Err(poisoned) => poisoned.into_inner().classes[class.index()].len(),
-        }
+        self.inner.lock().classes[class.index()].len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -157,10 +156,7 @@ impl<T> JobQueue<T> {
     /// quota (the shared cap, for interactive), `PushError::Closed`
     /// after `close`.
     pub fn try_push(&self, job: T, class: Priority) -> Result<(), PushError> {
-        let mut inner = match self.inner.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
-        };
+        let mut inner = self.inner.lock();
         if inner.closed {
             return Err(PushError::Closed);
         }
@@ -177,10 +173,7 @@ impl<T> JobQueue<T> {
     /// once the queue is closed and every queued job has been handed
     /// out — accepted work is never dropped by shutdown.
     pub fn pop(&self) -> Option<T> {
-        let mut inner = match self.inner.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
-        };
+        let mut inner = self.inner.lock();
         loop {
             if let Some(job) = inner.classes.iter_mut().find_map(|queue| queue.pop_front()) {
                 return Some(job);
@@ -188,20 +181,14 @@ impl<T> JobQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = match self.available.wait(inner) {
-                Ok(guard) => guard,
-                Err(poisoned) => poisoned.into_inner(),
-            };
+            inner = inner.wait(&self.available);
         }
     }
 
     /// Close the queue: future pushes fail, blocked `pop`s wake, queued
     /// jobs still drain.
     pub fn close(&self) {
-        let mut inner = match self.inner.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
-        };
+        let mut inner = self.inner.lock();
         inner.closed = true;
         drop(inner);
         self.available.notify_all();

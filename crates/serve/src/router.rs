@@ -29,7 +29,7 @@
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -39,6 +39,7 @@ use tsc_bench::prom::parse_exposition;
 
 use crate::api::{fnv1a, ApiJob, MAX_BATCH_ITEMS};
 use crate::http::{Limits, Request, Response};
+use crate::locks::{rank, RankedMutex};
 use crate::metrics::{Counter, Gauge};
 use crate::ring::{BoundedTable, DEFAULT_EXPANSION, DEFAULT_TABLE_CAPACITY};
 use crate::server::{drive_connection, ConnectionHandler};
@@ -134,7 +135,7 @@ pub struct RouterMetrics {
 
 impl RouterMetrics {
     fn render(&self) -> String {
-        let counters: [(&str, &str, u64); 9] = [
+        let counters: [(&str, &str, u64); 10] = [
             (
                 "tsc_router_requests_total",
                 "Client requests handled by the router.",
@@ -180,6 +181,11 @@ impl RouterMetrics {
                 "Affinity keys placed off their ring-home shard by the bounded-load cap.",
                 self.rebalanced_keys_total.get(),
             ),
+            (
+                "tsc_router_lock_poisoned_total",
+                "Router-process mutex guards recovered from a poisoned state.",
+                crate::locks::poisoned_total(),
+            ),
         ];
         let mut out = String::with_capacity(1024);
         for (name, help, value) in counters {
@@ -209,12 +215,13 @@ impl RouterMetrics {
 
 struct RouterShared {
     stop: AtomicBool,
-    shutdown_signal: (Mutex<bool>, Condvar),
+    shutdown_flag: RankedMutex<bool>,
+    shutdown_cv: Condvar,
     config: RouterConfig,
     ring: crate::ring::HashRing,
     /// Bounded-load placement table: sticky key → shard assignments
     /// capped at ~1.25× each shard's fair share of distinct keys.
-    table: Mutex<BoundedTable>,
+    table: RankedMutex<BoundedTable>,
     healthy: Vec<AtomicBool>,
     metrics: RouterMetrics,
     addr: SocketAddr,
@@ -283,10 +290,7 @@ impl RouterShared {
         if exclude.is_some() {
             return self.ring.route(affinity_key, healthy);
         }
-        let mut table = match self.table.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
-        };
+        let mut table = self.table.lock();
         let (shard, overflowed) = table.route(&self.ring, affinity_key, |s| self.is_healthy(s))?;
         if overflowed {
             self.metrics.rebalanced_keys_total.inc();
@@ -309,14 +313,10 @@ impl RouterShared {
     }
 
     fn signal_shutdown(&self) {
-        let (lock, cv) = &self.shutdown_signal;
-        let mut flagged = match lock.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
-        };
+        let mut flagged = self.shutdown_flag.lock();
         *flagged = true;
         drop(flagged);
-        cv.notify_all();
+        self.shutdown_cv.notify_all();
     }
 }
 
@@ -496,14 +496,19 @@ impl Router {
             .iter()
             .map(|_| AtomicBool::new(true))
             .collect();
-        let table = Mutex::new(BoundedTable::new(
-            config.backends.len(),
-            DEFAULT_TABLE_CAPACITY,
-            DEFAULT_EXPANSION,
-        ));
+        let table = RankedMutex::new(
+            BoundedTable::new(
+                config.backends.len(),
+                DEFAULT_TABLE_CAPACITY,
+                DEFAULT_EXPANSION,
+            ),
+            rank::ROUTER_TABLE,
+            "RouterShared.table",
+        );
         let shared = Arc::new(RouterShared {
             stop: AtomicBool::new(false),
-            shutdown_signal: (Mutex::new(false), Condvar::new()),
+            shutdown_flag: RankedMutex::new(false, rank::SHUTDOWN, "RouterShared.shutdown_flag"),
+            shutdown_cv: Condvar::new(),
             ring,
             table,
             healthy,
@@ -550,16 +555,9 @@ impl Router {
 
     /// Block until a client POSTs `/v1/shutdown`.
     pub fn wait_for_shutdown_request(&self) {
-        let (lock, cv) = &self.shared.shutdown_signal;
-        let mut flagged = match lock.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
-        };
+        let mut flagged = self.shared.shutdown_flag.lock();
         while !*flagged {
-            flagged = match cv.wait(flagged) {
-                Ok(guard) => guard,
-                Err(poisoned) => poisoned.into_inner(),
-            };
+            flagged = flagged.wait(&self.shared.shutdown_cv);
         }
     }
 

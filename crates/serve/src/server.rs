@@ -21,7 +21,7 @@ use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -29,6 +29,7 @@ use std::sync::atomic::AtomicU64;
 
 use crate::api::{self, ApiJob, BatchRequest};
 use crate::http::{parse_request, Limits, Parsed, Request, Response};
+use crate::locks::{rank, RankedMutex};
 use crate::metrics::Metrics;
 use crate::pool::ServicePools;
 use crate::queue::{JobQueue, Priority, PushError};
@@ -78,23 +79,20 @@ impl Default for ServerConfig {
 /// A coalescing slot: the first submitter creates it, every identical
 /// concurrent request waits on it, one worker fills it exactly once.
 struct Slot {
-    result: Mutex<Option<(u16, String)>>,
+    result: RankedMutex<Option<(u16, String)>>,
     ready: Condvar,
 }
 
 impl Slot {
     fn new() -> Arc<Self> {
         Arc::new(Slot {
-            result: Mutex::new(None),
+            result: RankedMutex::new(None, rank::SLOT_RESULT, "Slot.result"),
             ready: Condvar::new(),
         })
     }
 
     fn fill(&self, status: u16, body: String) {
-        let mut guard = match self.result.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
-        };
+        let mut guard = self.result.lock();
         *guard = Some((status, body));
         drop(guard);
         self.ready.notify_all();
@@ -105,25 +103,16 @@ impl Slot {
     /// bitwise identical by construction.
     fn wait(&self, deadline: Duration) -> Option<(u16, String)> {
         let start = Instant::now();
-        let mut guard = match self.result.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
-        };
+        let mut guard = self.result.lock();
         while guard.is_none() {
             let elapsed = start.elapsed();
             if elapsed >= deadline {
                 return None;
             }
-            let (g, _) = match self.ready.wait_timeout(guard, deadline - elapsed) {
-                Ok(pair) => pair,
-                Err(poisoned) => {
-                    let pair = poisoned.into_inner();
-                    (pair.0, pair.1)
-                }
-            };
+            let (g, _) = guard.wait_timeout(&self.ready, deadline - elapsed);
             guard = g;
         }
-        guard.clone()
+        (*guard).clone()
     }
 }
 
@@ -145,9 +134,10 @@ struct Job {
 struct Shared {
     stop: AtomicBool,
     shutdown_requested: AtomicBool,
-    shutdown_signal: (Mutex<bool>, Condvar),
+    shutdown_flag: RankedMutex<bool>,
+    shutdown_cv: Condvar,
     queue: JobQueue<Job>,
-    coalesce: Mutex<HashMap<u64, Arc<Slot>>>,
+    coalesce: RankedMutex<HashMap<u64, Arc<Slot>>>,
     pools: ServicePools,
     metrics: Metrics,
     config: ServerConfig,
@@ -160,14 +150,10 @@ struct Shared {
 impl Shared {
     fn signal_shutdown(&self) {
         self.shutdown_requested.store(true, Ordering::SeqCst);
-        let (lock, cv) = &self.shutdown_signal;
-        let mut flagged = match lock.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
-        };
+        let mut flagged = self.shutdown_flag.lock();
         *flagged = true;
         drop(flagged);
-        cv.notify_all();
+        self.shutdown_cv.notify_all();
     }
 
     /// A uniform draw in `[0, 1)` from the shared SplitMix64 stream.
@@ -241,9 +227,10 @@ impl Server {
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
             shutdown_requested: AtomicBool::new(false),
-            shutdown_signal: (Mutex::new(false), Condvar::new()),
+            shutdown_flag: RankedMutex::new(false, rank::SHUTDOWN, "Shared.shutdown_flag"),
+            shutdown_cv: Condvar::new(),
             queue: JobQueue::new(config.queue_cap.max(1)),
-            coalesce: Mutex::new(HashMap::new()),
+            coalesce: RankedMutex::new(HashMap::new(), rank::COALESCE, "Shared.coalesce"),
             pools: ServicePools::new(config.pool_cap),
             metrics: Metrics::default(),
             config,
@@ -287,16 +274,9 @@ impl Server {
 
     /// Block until a client POSTs `/v1/shutdown`.
     pub fn wait_for_shutdown_request(&self) {
-        let (lock, cv) = &self.shared.shutdown_signal;
-        let mut flagged = match lock.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
-        };
+        let mut flagged = self.shared.shutdown_flag.lock();
         while !*flagged {
-            flagged = match cv.wait(flagged) {
-                Ok(guard) => guard,
-                Err(poisoned) => poisoned.into_inner(),
-            };
+            flagged = flagged.wait(&self.shared.shutdown_cv);
         }
     }
 
@@ -625,10 +605,7 @@ fn request_deadline(request: &Request, shared: &Shared) -> Duration {
 /// Register-or-latch on the coalescing map: returns the slot for `key`
 /// and whether the caller became its owner (and must enqueue / fill it).
 fn register_or_latch(shared: &Shared, key: u64) -> (Arc<Slot>, bool) {
-    let mut coalesce = match shared.coalesce.lock() {
-        Ok(guard) => guard,
-        Err(poisoned) => poisoned.into_inner(),
-    };
+    let mut coalesce = shared.coalesce.lock();
     match coalesce.get(&key) {
         Some(slot) => (Arc::clone(slot), false),
         None => {
@@ -804,10 +781,7 @@ fn dispatch_batch(request: &Request, batch: BatchRequest, shared: &Arc<Shared>) 
 }
 
 fn remove_coalesce_entry(shared: &Shared, key: u64, slot: &Arc<Slot>) {
-    let mut coalesce = match shared.coalesce.lock() {
-        Ok(guard) => guard,
-        Err(poisoned) => poisoned.into_inner(),
-    };
+    let mut coalesce = shared.coalesce.lock();
     // Only remove the entry if it is still *our* slot — a later identical
     // request may have re-registered after a worker finished ours.
     if let Some(current) = coalesce.get(&key) {

@@ -803,6 +803,7 @@ impl Assembled {
         h32: &HierarchyF32,
         ws32: &mut WorkspaceF32,
     ) -> Result<SolverStats, SolveError> {
+        // tsc-analyze: allow(no-wallclock-numeric): feeds SolverStats wall-time only, never the numerics
         let t0 = Instant::now();
         let n = self.dim.len();
         debug_assert_eq!(rhs.len(), n);

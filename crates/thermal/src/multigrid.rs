@@ -793,6 +793,7 @@ impl Assembled {
         mg: &MgHierarchy,
         ws: &mut MgWorkspace,
     ) -> Result<SolverStats, SolveError> {
+        // tsc-analyze: allow(no-wallclock-numeric): feeds SolverStats wall-time only, never the numerics
         let t0 = Instant::now();
         let n = self.dim.len();
         let slab = self.dim.nx * self.dim.ny;
@@ -1054,6 +1055,7 @@ impl MgSolver {
     /// a non-SPD coarsest level surfaces as [`SolveError::Diverged`]
     /// during hierarchy construction.
     pub fn solve(&self, p: &Problem) -> Result<Solution, SolveError> {
+        // tsc-analyze: allow(no-wallclock-numeric): feeds SolverStats wall-time only, never the numerics
         let t0 = Instant::now();
         let asm = Assembled::build(p)?;
         let mg = MgHierarchy::build(&asm, &self.mg_params())?;
