@@ -17,6 +17,10 @@
 //!    context hit rate survives horizontal scale-out.
 //! 4. **Priority overload** — interactive p50/p99 alone vs under a
 //!    background flood, with per-class shed counts.
+//! 5. **Transient sessions** — streamed `POST /v1/transient` sessions
+//!    (NDJSON over one connection): steps/sec under a DVFS toggle,
+//!    open→first-step latency, pooled-state reuse on reopen, and the
+//!    in-band `thermal_runaway` alarm path.
 //!
 //! Clients honor the server's 429 backpressure hints
 //! (`X-Retry-After-Ms`) instead of hammering a full queue.
@@ -167,6 +171,9 @@ fn main() {
     if wants("priority") && !options.smoke {
         record = record.field("priority", run_priority_phase(&options));
     }
+    if wants("transient") {
+        record = record.field("transient", run_transient_phase(&options));
+    }
 
     let record = record.field(
         "workload",
@@ -186,7 +193,8 @@ fn main() {
 fn parse_args(args: &[String]) -> Result<Options, String> {
     const USAGE: &str = "usage: serve_loadgen [--smoke] [--clients N] [--requests N] \
                          [--hot-pct P] [--seed S] [--out PATH] [--server-bin PATH] \
-                         [--route-bin PATH] [--phase all|pool|batch|sharded|priority]";
+                         [--route-bin PATH] \
+                         [--phase all|pool|batch|sharded|priority|transient]";
     let mut options = Options::default();
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -229,7 +237,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--route-bin" => options.route_bin = Some(PathBuf::from(value()?)),
             "--phase" => {
                 let phase = value()?;
-                if !["all", "pool", "batch", "sharded", "priority"].contains(&phase.as_str()) {
+                if !["all", "pool", "batch", "sharded", "priority", "transient"]
+                    .contains(&phase.as_str())
+                {
                     return Err(format!("unknown phase {phase:?}\n{USAGE}"));
                 }
                 options.phase = phase;
@@ -926,6 +936,217 @@ fn run_priority_phase(options: &Options) -> Json {
             "meets_target",
             ratio <= 1.5 && contended.3 == 0 && background_shed_serverside > 0.0,
         )
+}
+
+/// Transient sessions: streamed NDJSON stepping over one connection.
+///
+/// Measures steady stepping throughput under a DVFS utilization toggle,
+/// the open→first-step latency (which includes staging the implicit
+/// operator on a pool miss), whether a reopened session reuses the
+/// pooled state, and — in full mode — that a runaway trace delivers the
+/// in-band alarm.  Smoke mode is the CI gate: open, 3 steps with a
+/// trajectory line each, clean close.
+fn run_transient_phase(options: &Options) -> Json {
+    let steps: usize = if options.smoke { 3 } else { 120 };
+    let body = r#"{"design": "gemmini-memory", "tiers": 4, "lateral_cells": 16,
+                   "dt_seconds": 0.0005}"#;
+    let server = spawn_server(
+        options,
+        &["--port", "0", "--workers", "2", "--pool-cap", "8"],
+    );
+    let addr = server.addr;
+
+    // First session: pool miss, staged from scratch.
+    let open_start = Instant::now();
+    let mut session = TransientSession::open(addr, body);
+    let open = session.next_event();
+    assert_eq!(event_field(&open, "event"), "open");
+    let first_miss = event_field(&open, "pool") == "miss";
+    session.send(r#"{"op": "step"}"#);
+    let first = session.next_event();
+    assert_eq!(event_field(&first, "event"), "step");
+    let open_to_first_step = open_start.elapsed();
+
+    // DVFS toggle halfway through the stepping run.
+    let stepping_start = Instant::now();
+    let half = (steps.saturating_sub(1) / 2).max(1);
+    session.send(&format!(r#"{{"op": "step", "steps": {half}}}"#));
+    for _ in 0..half {
+        let event = session.next_event();
+        assert_eq!(event_field(&event, "event"), "step", "{}", event.pretty());
+        assert!(
+            event.get("peak_celsius").and_then(Json::as_f64).is_some(),
+            "step events must carry the trajectory"
+        );
+    }
+    session.send(r#"{"op": "power", "utilization_percent": 30}"#);
+    assert_eq!(event_field(&session.next_event(), "event"), "power");
+    let rest = steps - 1 - half;
+    if rest > 0 {
+        session.send(&format!(r#"{{"op": "step", "steps": {rest}}}"#));
+        for _ in 0..rest {
+            assert_eq!(event_field(&session.next_event(), "event"), "step");
+        }
+    }
+    let stepping_seconds = stepping_start.elapsed().as_secs_f64();
+    session.send(r#"{"op": "close"}"#);
+    let closed = session.next_event();
+    assert_eq!(event_field(&closed, "event"), "closed");
+    drop(session);
+
+    // Reopen on the same geometry: the pooled state must be reused.
+    let mut session = TransientSession::open(addr, body);
+    let reopened = session.next_event();
+    let reopen_hit = event_field(&reopened, "pool") == "hit";
+    session.send(r#"{"op": "close"}"#);
+    assert_eq!(event_field(&session.next_event(), "event"), "closed");
+    drop(session);
+
+    // Full mode only: a trace that must trip the runaway detector.
+    let mut alarms_seen = 0u64;
+    if !options.smoke {
+        let runaway_body = r#"{"design": "gemmini-memory", "tiers": 4, "lateral_cells": 16,
+                               "dt_seconds": 0.001, "runaway_celsius": 30.0}"#;
+        let mut session = TransientSession::open(addr, runaway_body);
+        assert_eq!(event_field(&session.next_event(), "event"), "open");
+        session.send(r#"{"op": "step", "steps": 200}"#);
+        session.send(r#"{"op": "close"}"#);
+        loop {
+            let event = session.next_event();
+            match event_field(&event, "event").as_str() {
+                "alarm" => alarms_seen += 1,
+                "closed" => break,
+                _ => {}
+            }
+        }
+        assert!(alarms_seen > 0, "runaway trace must deliver an alarm");
+    }
+
+    let metrics_text = scrape_metrics(addr);
+    let scrape = |series: &str| sample_value(&metrics_text, series).unwrap_or(0.0);
+    let sessions_total = scrape("tsc_transient_sessions_total");
+    let steps_total = scrape("tsc_transient_steps_total");
+    let alarms_total = scrape("tsc_transient_runaway_alarms_total");
+    server.shutdown();
+
+    let stepped = (steps - 1) as f64;
+    let steps_per_second = if stepping_seconds > 0.0 {
+        stepped / stepping_seconds
+    } else {
+        0.0
+    };
+    println!(
+        "transient: {steps} steps streamed ({steps_per_second:.0} steps/s), \
+         open→first-step {:.1} ms, reopen pool {}, {alarms_seen} alarm(s)",
+        open_to_first_step.as_secs_f64() * 1e3,
+        if reopen_hit { "hit" } else { "miss" },
+    );
+    Json::object()
+        .field("steps_streamed", steps)
+        .field("steps_per_second", steps_per_second)
+        .field(
+            "open_to_first_step_ms",
+            open_to_first_step.as_secs_f64() * 1e3,
+        )
+        .field("first_open_pool_miss", first_miss)
+        .field("reopen_pool_hit", reopen_hit)
+        .field("runaway_alarms", alarms_seen as f64)
+        .field("sessions_total", sessions_total)
+        .field("steps_total_serverside", steps_total)
+        .field("alarms_total_serverside", alarms_total)
+        .field(
+            "fixture",
+            "gemmini-memory tiers=4 cells=16, dt=0.5ms, DVFS toggle to 30%",
+        )
+}
+
+fn event_field(event: &Json, key: &str) -> String {
+    event
+        .get(key)
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("missing {key:?} in {}", event.pretty()))
+        .to_string()
+}
+
+/// A streamed `POST /v1/transient` session: close-delimited NDJSON, so
+/// it cannot share [`HttpConnection`]'s Content-Length framing.
+struct TransientSession {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl TransientSession {
+    fn open(addr: SocketAddr, body: &str) -> TransientSession {
+        let stream = TcpStream::connect(addr).expect("connect transient session");
+        stream
+            .set_read_timeout(Some(Duration::from_millis(200)))
+            .expect("read timeout");
+        stream.set_nodelay(true).expect("nodelay");
+        let mut session = TransientSession {
+            stream,
+            buf: Vec::new(),
+        };
+        let head = format!(
+            "POST /v1/transient HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        session
+            .stream
+            .write_all(head.as_bytes())
+            .expect("send open");
+        session
+            .stream
+            .write_all(body.as_bytes())
+            .expect("send open");
+        // Consume the streaming response head.
+        let head =
+            session.read_until(|buf| buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4));
+        let head = String::from_utf8_lossy(&head).into_owned();
+        let status: u16 = head
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad session head: {head:?}"));
+        assert_eq!(status, 200, "session refused: {head:?}");
+        session
+    }
+
+    fn read_until(&mut self, until: impl Fn(&[u8]) -> Option<usize>) -> Vec<u8> {
+        let started = Instant::now();
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(end) = until(&self.buf) {
+                return self.buf.drain(..end).collect();
+            }
+            assert!(
+                started.elapsed() < Duration::from_secs(300),
+                "transient session stalled; buffered: {:?}",
+                String::from_utf8_lossy(&self.buf)
+            );
+            match self.stream.read(&mut chunk) {
+                Ok(0) => panic!(
+                    "server closed the session early; buffered: {:?}",
+                    String::from_utf8_lossy(&self.buf)
+                ),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+                Err(e) => panic!("session read failed: {e}"),
+            }
+        }
+    }
+
+    fn next_event(&mut self) -> Json {
+        let line = self.read_until(|buf| buf.iter().position(|&b| b == b'\n').map(|p| p + 1));
+        let text = String::from_utf8_lossy(&line).into_owned();
+        tsc_bench::json::parse(text.trim())
+            .unwrap_or_else(|e| panic!("bad session event {text:?}: {e}"))
+    }
+
+    fn send(&mut self, line: &str) {
+        self.stream
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send session command");
+    }
 }
 
 /// Sequentially issue `count` interactive solves and return

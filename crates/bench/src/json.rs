@@ -120,6 +120,49 @@ impl Json {
         out
     }
 
+    /// Serializes onto a single line with no trailing newline — the
+    /// NDJSON framing used by the streaming endpoints, where a record
+    /// must never contain an embedded line break.  Same key ordering
+    /// and number formatting as [`Json::pretty`].
+    #[must_use]
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Self::Null | Self::Bool(_) | Self::Num(_) | Self::Str(_) => {
+                self.write_into(out, 0);
+            }
+            Self::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Self::Object(fields) => {
+                let mut fields: Vec<&(String, Json)> = fields.iter().collect();
+                fields.sort_by(|a, b| a.0.cmp(&b.0));
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write_into(&self, out: &mut String, depth: usize) {
         let pad = "  ".repeat(depth + 1);
         let close = "  ".repeat(depth);
@@ -401,6 +444,35 @@ impl From<Vec<Json>> for Json {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn compact_is_single_line_and_round_trips() {
+        let doc = Json::object()
+            .field("event", "step")
+            .field("peak_celsius", 97.25)
+            .field(
+                "hotspot",
+                Json::Array(vec![2usize.into(), 3usize.into(), 1usize.into()]),
+            )
+            .field("note", "line one\nline two");
+        let line = doc.compact();
+        assert!(
+            !line.contains('\n'),
+            "compact output must hold no raw newline: {line:?}"
+        );
+        let back = parse(&line).expect("compact output parses");
+        assert_eq!(back.get("event").and_then(Json::as_str), Some("step"));
+        assert_eq!(
+            back.get("note").and_then(Json::as_str),
+            Some("line one\nline two")
+        );
+        assert_eq!(
+            back.get("hotspot")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(3)
+        );
+    }
 
     #[test]
     fn renders_nested_structure() {

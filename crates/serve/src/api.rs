@@ -14,13 +14,15 @@ use tsc_core::flows::{run_flow_with, CoolingStrategy, FlowConfig};
 use tsc_core::pillars::{self, PlacementConfig};
 use tsc_core::stack::{self, StackConfig, StackSolution};
 use tsc_designs::{fujitsu, gemmini, rocket, Design};
+use tsc_geometry::Grid3;
+use tsc_thermal::transient::{capacity, TransientRun};
 use tsc_thermal::{
     operator_fingerprint, ContextStats, Heatsink, OperatorSignature, Solution, SolveContext,
 };
 use tsc_units::{Ratio, Temperature};
 
 use crate::metrics::Metrics;
-use crate::pool::{Checkout, ContextKey, ContextPool, ServicePools};
+use crate::pool::{Checkout, ContextKey, ContextPool, ServicePools, TransientState};
 
 /// FNV-1a over bytes — the service's only hash, used for coalesce and
 /// pool keys.
@@ -365,6 +367,113 @@ impl PillarsRequest {
             .field("t_target_celsius", self.config.t_target.celsius())
             .field("max_density_percent", self.config.max_density.percent())
             .field("heatsink", heatsink_name(&self.config.heatsink))
+    }
+}
+
+/// `POST /v1/transient` — opens a stateful streaming session over one
+/// stack: the embedded [`SolveRequest`] fixes the geometry and initial
+/// power, and the session knobs bound how long the implicit scheme may
+/// be stepped.
+#[derive(Debug, Clone)]
+pub struct TransientRequest {
+    pub solve: SolveRequest,
+    pub dt_seconds: f64,
+    pub max_steps: u64,
+    /// Peak-temperature threshold for in-band `thermal_runaway` alarms;
+    /// `None` disables the detector.
+    pub runaway_celsius: Option<f64>,
+}
+
+impl TransientRequest {
+    pub fn parse(body: &Json) -> Result<Self, String> {
+        let runaway_celsius = match body.get("runaway_celsius") {
+            None => None,
+            Some(_) => Some(num_field(body, "runaway_celsius", 0.0, 0.0, 1000.0)?),
+        };
+        Ok(TransientRequest {
+            solve: SolveRequest::parse(body)?,
+            dt_seconds: num_field(body, "dt_seconds", 5e-6, 1e-9, 1.0)?,
+            max_steps: int_field(body, "max_steps", 100_000, 1, 10_000_000)? as u64,
+            runaway_celsius,
+        })
+    }
+
+    /// The pooled-state identity: the operator canonical (utilization is
+    /// power-only and re-staged on reuse) plus the exact timestep bits —
+    /// the shifted operator `C/Δt + A` bakes `Δt` in, so sessions with
+    /// different timesteps must never share a pooled scheme.
+    pub fn session_pool_id(&self) -> String {
+        format!(
+            "transient\n{}\ndt_bits={:016x}",
+            self.solve.operator_canonical().pretty(),
+            self.dt_seconds.to_bits()
+        )
+    }
+
+    /// Shard-affinity key: sessions land beside the steady solves for
+    /// the same operator, where the contexts are already warm.
+    pub fn affinity_key(&self) -> u64 {
+        fnv1a(
+            format!(
+                "solve-operator\n{}",
+                self.solve.operator_canonical().pretty()
+            )
+            .as_bytes(),
+        )
+    }
+
+    /// Build fresh session state: stack build, transient staging, and
+    /// multigrid hierarchy construction.
+    ///
+    /// # Errors
+    ///
+    /// `(status, message)` — staging failures map to 500.
+    pub fn build_state(&self) -> Result<TransientState, (u16, String)> {
+        let design = lookup_design(&self.solve.design).map_err(|e| (500, e))?;
+        let stack = stack::build(design, &self.solve.stack_config(design));
+        let caps = Grid3::filled(stack.problem.dim(), capacity::SILICON);
+        let run = TransientRun::new(
+            &stack.problem,
+            &caps,
+            self.dt_seconds,
+            self.solve.heatsink.ambient,
+        )
+        .map_err(|e| (500, format!("transient staging failed: {e}")))?
+        .with_multigrid()
+        .map_err(|e| (500, format!("transient staging failed: {e}")))?;
+        Ok(TransientState { run, stack })
+    }
+
+    /// Re-initialise pooled state for a new session: reset the field to
+    /// this request's ambient and delta-restage this request's power.
+    /// The pooled scheme shares this request's operator and timestep by
+    /// key construction, so only field + rhs need replaying — the
+    /// trajectory is bitwise the one a freshly built state produces.
+    pub fn reuse_state(&self, state: &mut TransientState) -> Result<(), (u16, String)> {
+        let design = lookup_design(&self.solve.design).map_err(|e| (500, e))?;
+        state.run.reset(self.solve.heatsink.ambient);
+        stack::repower(&mut state.stack, design, &self.solve.stack_config(design));
+        state
+            .run
+            .restage_power_delta(state.stack.problem.power_flat());
+        Ok(())
+    }
+
+    /// Apply a mid-session power update: repaint the stack's power maps
+    /// at `utilization_percent` and delta-restage the running scheme.
+    pub fn set_power(
+        &self,
+        state: &mut TransientState,
+        utilization_percent: f64,
+    ) -> Result<(), (u16, String)> {
+        let design = lookup_design(&self.solve.design).map_err(|e| (500, e))?;
+        let mut dimmed = self.solve.clone();
+        dimmed.utilization_percent = utilization_percent;
+        stack::repower(&mut state.stack, design, &dimmed.stack_config(design));
+        state
+            .run
+            .restage_power_delta(state.stack.problem.power_flat());
+        Ok(())
     }
 }
 
@@ -1059,6 +1168,43 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(flow.affinity_key(), flow.coalesce_key());
+    }
+
+    #[test]
+    fn transient_request_keys_sessions_by_operator_and_dt() {
+        let req = TransientRequest::parse(&parse_json(r#"{"design": "gemmini"}"#)).unwrap();
+        assert_eq!(req.dt_seconds, 5e-6);
+        assert_eq!(req.max_steps, 100_000);
+        assert!(req.runaway_celsius.is_none());
+        // Utilization is power-only: same pooled scheme, restaged on reuse.
+        let dimmed = TransientRequest::parse(&parse_json(
+            r#"{"design": "gemmini", "utilization_percent": 50}"#,
+        ))
+        .unwrap();
+        assert_eq!(req.session_pool_id(), dimmed.session_pool_id());
+        assert_eq!(req.affinity_key(), dimmed.affinity_key());
+        // The timestep is baked into the shifted operator: different dt,
+        // different pooled state — but the shard affinity still follows
+        // the operator geometry.
+        let slower =
+            TransientRequest::parse(&parse_json(r#"{"design": "gemmini", "dt_seconds": 1e-5}"#))
+                .unwrap();
+        assert_ne!(req.session_pool_id(), slower.session_pool_id());
+        assert_eq!(req.affinity_key(), slower.affinity_key());
+        // Transient sessions share the steady-solve affinity space.
+        let steady = ApiJob::parse("/v1/solve", br#"{"design": "gemmini"}"#)
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.affinity_key(), steady.affinity_key());
+
+        for bad in [
+            r#"{"design": "gemmini", "dt_seconds": 0}"#,
+            r#"{"design": "gemmini", "max_steps": 0}"#,
+            r#"{"design": "gemmini", "runaway_celsius": -4}"#,
+            r#"{"design": "nope"}"#,
+        ] {
+            assert!(TransientRequest::parse(&parse_json(bad)).is_err(), "{bad}");
+        }
     }
 
     #[test]

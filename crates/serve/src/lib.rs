@@ -15,6 +15,7 @@
 //! | `POST /v1/solve`    | One stack solve at a fixed configuration            |
 //! | `POST /v1/flow`     | A full co-design flow run (Sec. III flows)          |
 //! | `POST /v1/pillars`  | A pillar placement run (Sec. IIIA)                  |
+//! | `POST /v1/transient`| A stateful streamed transient session ([`session`]) |
 //! | `GET /v1/designs`   | The built-in design registry                        |
 //! | `GET /metrics`      | Prometheus text exposition                          |
 //! | `GET /healthz`      | Liveness probe                                      |
@@ -41,6 +42,7 @@ pub mod queue;
 pub mod ring;
 pub mod router;
 pub mod server;
+pub mod session;
 pub mod shard;
 
 pub use api::ApiJob;

@@ -9,7 +9,7 @@ use std::time::Duration;
 use tsc_serve::{Server, ServerConfig};
 
 const USAGE: &str = "usage: tsc-serve [--port N] [--workers N] [--queue-cap N] \
-                     [--pool-cap N] [--deadline-ms N]";
+                     [--pool-cap N] [--deadline-ms N] [--session-cap N]";
 
 fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
     let mut config = ServerConfig {
@@ -35,6 +35,9 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
             "--pool-cap" => config.pool_cap = (value("--pool-cap")? as usize).min(256),
             "--deadline-ms" => {
                 config.deadline = Duration::from_millis(value("--deadline-ms")?.clamp(1, 600_000));
+            }
+            "--session-cap" => {
+                config.session_cap = (value("--session-cap")? as usize).clamp(1, 256);
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),

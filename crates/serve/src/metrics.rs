@@ -137,8 +137,17 @@ impl Histogram {
 }
 
 /// Endpoints tracked with per-status request counters.
-pub const ENDPOINTS: [&str; 9] = [
-    "solve", "flow", "pillars", "batch", "designs", "metrics", "healthz", "shutdown", "other",
+pub const ENDPOINTS: [&str; 10] = [
+    "solve",
+    "flow",
+    "pillars",
+    "batch",
+    "transient",
+    "designs",
+    "metrics",
+    "healthz",
+    "shutdown",
+    "other",
 ];
 
 /// Statuses tracked per endpoint.
@@ -202,6 +211,14 @@ pub struct Metrics {
     pub ctx_assemblies: Counter,
     pub ctx_hierarchy_builds: Counter,
     pub ctx_warm_starts: Counter,
+    // Transient session rollups (`POST /v1/transient`).
+    pub transient_sessions_active: Gauge,
+    pub transient_pinned: Gauge,
+    pub transient_sessions_total: Counter,
+    pub transient_steps_total: Counter,
+    pub transient_runaway_alarms_total: Counter,
+    pub transient_session_errors_total: Counter,
+    pub transient_step_latency: Histogram,
 }
 
 impl Metrics {
@@ -269,7 +286,12 @@ impl Metrics {
             out.push_str(&quantiles);
         }
 
-        let gauges: [(&str, &str, i64); 4] = [
+        out.push_str("# HELP tsc_transient_step_seconds Per-step latency of transient sessions.\n");
+        out.push_str("# TYPE tsc_transient_step_seconds histogram\n");
+        self.transient_step_latency
+            .render("tsc_transient_step_seconds", "", &mut out);
+
+        let gauges: [(&str, &str, i64); 6] = [
             (
                 "tsc_queue_depth",
                 "Jobs waiting in the solve queue.",
@@ -289,6 +311,16 @@ impl Metrics {
                 "tsc_open_connections",
                 "Open client connections.",
                 self.connections.get(),
+            ),
+            (
+                "tsc_transient_sessions_active",
+                "Transient streaming sessions currently open.",
+                self.transient_sessions_active.get(),
+            ),
+            (
+                "tsc_transient_pinned",
+                "Transient contexts pinned out of the LRU pool by live sessions.",
+                self.transient_pinned.get(),
             ),
         ];
         for (name, help, value) in gauges {
@@ -316,7 +348,7 @@ impl Metrics {
             ));
         }
 
-        let counters: [(&str, &str, u64); 23] = [
+        let counters: [(&str, &str, u64); 27] = [
             (
                 "tsc_coalesced_requests_total",
                 "Requests served by piggybacking on an identical in-flight solve.",
@@ -429,6 +461,26 @@ impl Metrics {
                 self.batch_affine_rescales_total.get(),
             ),
             (
+                "tsc_transient_sessions_total",
+                "Transient streaming sessions opened.",
+                self.transient_sessions_total.get(),
+            ),
+            (
+                "tsc_transient_steps_total",
+                "Implicit-Euler steps executed inside transient sessions.",
+                self.transient_steps_total.get(),
+            ),
+            (
+                "tsc_transient_runaway_alarms_total",
+                "ThermalRunaway alarms streamed in-band to transient sessions.",
+                self.transient_runaway_alarms_total.get(),
+            ),
+            (
+                "tsc_transient_session_errors_total",
+                "Transient sessions ended by a typed in-band error event.",
+                self.transient_session_errors_total.get(),
+            ),
+            (
                 "tsc_lock_poisoned_total",
                 "Mutex guards recovered from a poisoned state (a worker panicked \
                  mid-critical-section; state was reconstructed).",
@@ -517,6 +569,27 @@ mod tests {
         let last = *BUCKET_BOUNDS_US.last().unwrap() as f64;
         assert_eq!(h.quantile_us(0.5), Some(last));
         assert_eq!(h.quantile_us(0.99), Some(last));
+    }
+
+    #[test]
+    fn transient_series_render_and_validate() {
+        let m = Metrics::default();
+        m.record_request("transient", 200);
+        m.transient_sessions_total.inc();
+        m.transient_steps_total.add(3);
+        m.transient_runaway_alarms_total.inc();
+        m.transient_step_latency.observe_us(800);
+        m.transient_sessions_active.set(1);
+        m.transient_pinned.set(1);
+        let text = m.render();
+        validate_exposition(&text).expect("exposition must validate");
+        assert!(text.contains("tsc_requests_total{endpoint=\"transient\",status=\"200\"} 1"));
+        assert!(text.contains("tsc_transient_sessions_active 1"));
+        assert!(text.contains("tsc_transient_pinned 1"));
+        assert!(text.contains("tsc_transient_sessions_total 1"));
+        assert!(text.contains("tsc_transient_steps_total 3"));
+        assert!(text.contains("tsc_transient_runaway_alarms_total 1"));
+        assert!(text.contains("tsc_transient_step_seconds_count{} 1"));
     }
 
     #[test]

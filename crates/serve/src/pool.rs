@@ -28,7 +28,9 @@
 //! distinct copies rather than a shared lock.
 
 use crate::locks::{rank, RankedMutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use tsc_core::stack::Stack3d;
+use tsc_thermal::transient::TransientRun;
 use tsc_thermal::{OperatorSignature, SolveContext};
 
 /// Outcome of a checkout, for metrics.
@@ -45,6 +47,10 @@ pub enum Checkout {
 pub struct LruPool<K, T> {
     cap: usize,
     entries: RankedMutex<Vec<(u64, K, T)>>,
+    /// Entries currently checked out under a [`Pinned`] guard — live
+    /// session state that the LRU must not count against its capacity
+    /// (it is not *in* the pool) but operators still want to see.
+    pinned: AtomicUsize,
 }
 
 impl<K: PartialEq, T> LruPool<K, T> {
@@ -54,6 +60,7 @@ impl<K: PartialEq, T> LruPool<K, T> {
         LruPool {
             cap,
             entries: RankedMutex::new(Vec::new(), rank::POOL_ENTRIES, "LruPool.entries"),
+            pinned: AtomicUsize::new(0),
         }
     }
 
@@ -63,6 +70,27 @@ impl<K: PartialEq, T> LruPool<K, T> {
 
     pub fn len(&self) -> usize {
         self.entries.lock().len()
+    }
+
+    /// Entries currently held out of the pool by [`Pinned`] guards.
+    pub fn pinned(&self) -> usize {
+        self.pinned.load(Ordering::Relaxed)
+    }
+
+    /// Wrap `value` in a pinning guard: the value stays owned by the
+    /// caller for as long as the guard lives and is returned to the pool
+    /// by the guard's `Drop` — on clean close, early return, *and* panic
+    /// unwind alike, so an abruptly disconnected session can never leak
+    /// its checked-out state.  The pin is counted in
+    /// [`LruPool::pinned`] until the guard resolves.
+    pub fn pin(&self, hash: u64, key: K, value: T) -> Pinned<'_, K, T> {
+        self.pinned.fetch_add(1, Ordering::Relaxed);
+        Pinned {
+            pool: self,
+            hash,
+            key: Some(key),
+            value: Some(value),
+        }
     }
 
     pub fn is_empty(&self) -> bool {
@@ -105,6 +133,62 @@ impl<K: PartialEq, T> LruPool<K, T> {
         }
         evicted
     }
+}
+
+/// RAII checkout of pooled state.  Holds the value by ownership for the
+/// guard's lifetime (sessions hold it across many steps of socket I/O —
+/// no pool lock is held while pinned) and returns it to the pool on
+/// `Drop`.  [`Pinned::discard`] consumes the guard without the put-back,
+/// for state known to be poisoned.
+pub struct Pinned<'p, K: PartialEq, T> {
+    pool: &'p LruPool<K, T>,
+    hash: u64,
+    key: Option<K>,
+    value: Option<T>,
+}
+
+impl<K: PartialEq, T> std::ops::Deref for Pinned<'_, K, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.value
+            .as_ref()
+            .expect("pinned value present until drop")
+    }
+}
+
+impl<K: PartialEq, T> std::ops::DerefMut for Pinned<'_, K, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.value
+            .as_mut()
+            .expect("pinned value present until drop")
+    }
+}
+
+impl<K: PartialEq, T> Pinned<'_, K, T> {
+    /// Drop the pinned state instead of returning it to the pool.
+    pub fn discard(mut self) {
+        self.key = None;
+        self.value = None;
+        // Drop runs next and sees the emptied slots: unpins, no put-back.
+    }
+}
+
+impl<K: PartialEq, T> Drop for Pinned<'_, K, T> {
+    fn drop(&mut self) {
+        self.pool.pinned.fetch_sub(1, Ordering::Relaxed);
+        if let (Some(key), Some(value)) = (self.key.take(), self.value.take()) {
+            self.pool.put(self.hash, key, value);
+        }
+    }
+}
+
+/// Pooled state for one transient session: the stepped implicit scheme
+/// plus the built stack it was assembled from.  The stack rides along
+/// because mid-session power updates re-derive the power map from the
+/// design layout (`stack::repower`) before delta-restaging the run.
+pub struct TransientState {
+    pub run: TransientRun,
+    pub stack: Stack3d,
 }
 
 /// Full validation key of a pooled [`SolveContext`] — stored beside the
@@ -165,6 +249,11 @@ impl ContextPool {
 pub struct ServicePools {
     pub contexts: ContextPool,
     pub stacks: LruPool<String, Stack3d>,
+    /// Transient sessions, keyed by the canonical session id (operator
+    /// canonical + timestep bits).  Entries are *pinned* while a session
+    /// is live, so concurrent sessions on the same geometry each own a
+    /// private copy, like every other pool level.
+    pub transients: LruPool<String, TransientState>,
 }
 
 impl ServicePools {
@@ -172,6 +261,7 @@ impl ServicePools {
         ServicePools {
             contexts: ContextPool::new(cap),
             stacks: LruPool::new(cap),
+            transients: LruPool::new(cap),
         }
     }
 }
@@ -283,6 +373,59 @@ mod tests {
         assert_eq!(pool.checkin(7, key("z"), ctx), 0);
         assert_eq!(pool.len(), 0);
         assert_eq!(pool.checkout(7, &key("z")).1, Checkout::Miss);
+    }
+
+    #[test]
+    fn pinned_guard_counts_and_returns_on_drop() {
+        let pool: LruPool<String, u32> = LruPool::new(2);
+        {
+            let mut pinned = pool.pin(7, "alpha".into(), 41);
+            assert_eq!(pool.pinned(), 1);
+            assert_eq!(pool.len(), 0, "pinned state is not in the pool");
+            *pinned += 1;
+            assert_eq!(*pinned, 42);
+        }
+        assert_eq!(pool.pinned(), 0);
+        assert_eq!(pool.take(7, &"alpha".to_string()), Some(42));
+    }
+
+    #[test]
+    fn pinned_guard_returns_even_across_panic_unwind() {
+        let pool: LruPool<String, u32> = LruPool::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _pinned = pool.pin(3, "session".into(), 9);
+            panic!("simulated session thread death");
+        }));
+        assert!(result.is_err());
+        assert_eq!(pool.pinned(), 0, "unwind must unpin");
+        assert_eq!(
+            pool.take(3, &"session".to_string()),
+            Some(9),
+            "unwind must still return the state to the pool"
+        );
+    }
+
+    #[test]
+    fn discard_unpins_without_put_back() {
+        let pool: LruPool<String, u32> = LruPool::new(2);
+        let pinned = pool.pin(5, "poisoned".into(), 1);
+        pinned.discard();
+        assert_eq!(pool.pinned(), 0);
+        assert_eq!(pool.take(5, &"poisoned".to_string()), None);
+    }
+
+    #[test]
+    fn pin_works_with_zero_capacity_pool() {
+        // cap 0 disables storage but sessions still need leak-proof
+        // ownership: the guard must work, the final put is just a no-op.
+        let pool: LruPool<String, u32> = LruPool::new(0);
+        {
+            let pinned = pool.pin(1, "one".into(), 1);
+            assert_eq!(pool.pinned(), 1);
+            assert_eq!(*pinned, 1);
+        }
+        assert_eq!(pool.pinned(), 0);
+        assert_eq!(pool.take(1, &"one".to_string()), None);
     }
 
     #[test]

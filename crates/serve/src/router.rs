@@ -27,7 +27,8 @@
 //! that do not parse as HTTP answers 502 and is never retried (the
 //! request may have executed — replaying it could double work).
 
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar};
 use std::thread::{self, JoinHandle};
@@ -37,7 +38,7 @@ use tsc_bench::httpc::{ClientError, HttpClient, HttpResponse};
 use tsc_bench::json::Json;
 use tsc_bench::prom::parse_exposition;
 
-use crate::api::{fnv1a, ApiJob, MAX_BATCH_ITEMS};
+use crate::api::{fnv1a, ApiJob, TransientRequest, MAX_BATCH_ITEMS};
 use crate::http::{Limits, Request, Response};
 use crate::locks::{rank, RankedMutex};
 use crate::metrics::{Counter, Gauge};
@@ -129,13 +130,14 @@ pub struct RouterMetrics {
     pub shard_readmissions_total: Counter,
     pub batch_subbatches_total: Counter,
     pub rebalanced_keys_total: Counter,
+    pub transient_tunnels_total: Counter,
     pub healthy_shards: Gauge,
     pub shards: Gauge,
 }
 
 impl RouterMetrics {
     fn render(&self) -> String {
-        let counters: [(&str, &str, u64); 10] = [
+        let counters: [(&str, &str, u64); 11] = [
             (
                 "tsc_router_requests_total",
                 "Client requests handled by the router.",
@@ -180,6 +182,11 @@ impl RouterMetrics {
                 "tsc_router_rebalanced_keys_total",
                 "Affinity keys placed off their ring-home shard by the bounded-load cap.",
                 self.rebalanced_keys_total.get(),
+            ),
+            (
+                "tsc_router_transient_tunnels_total",
+                "Transient sessions tunnelled byte-for-byte to their sticky shard.",
+                self.transient_tunnels_total.get(),
             ),
             (
                 "tsc_router_lock_poisoned_total",
@@ -621,6 +628,15 @@ impl ConnectionHandler for Arc<RouterShared> {
         route_router(request, self)
     }
 
+    fn handle_stream(&self, request: &Request, stream: &mut TcpStream, leftover: &[u8]) -> bool {
+        if request.method != "POST" || request.path != "/v1/transient" {
+            return false;
+        }
+        self.metrics.requests_total.inc();
+        tunnel_transient(self, request, stream, leftover);
+        true
+    }
+
     fn record_error(&self, _status: u16) {}
 
     fn limits(&self) -> &Limits {
@@ -697,10 +713,127 @@ fn route_router(request: &Request, shared: &Arc<RouterShared>) -> Response {
         (
             _,
             "/healthz" | "/metrics" | "/v1/designs" | "/v1/shutdown" | "/v1/solve" | "/v1/flow"
-            | "/v1/pillars" | "/v1/batch",
+            | "/v1/pillars" | "/v1/batch" | "/v1/transient",
         ) => Response::error(405, "method not allowed"),
         _ => Response::error(404, "no such endpoint"),
     }
+}
+
+/// Tunnel a transient session to its sticky shard: sessions ride the
+/// same operator-affinity placement as the solves for their geometry, so
+/// they land where the warm contexts already live.  After re-sending the
+/// opening request, the router degrades to a byte pump — the NDJSON
+/// protocol flows through untouched in both directions until either side
+/// closes.  Sessions are never retried: a mid-session replay would
+/// silently restart the trajectory.
+fn tunnel_transient(
+    shared: &Arc<RouterShared>,
+    request: &Request,
+    client: &mut TcpStream,
+    leftover: &[u8],
+) {
+    let write_response = |client: &mut TcpStream, response: Response| {
+        let _ = client.write_all(&response.with_close().to_bytes());
+    };
+    let parsed = std::str::from_utf8(&request.body)
+        .map_err(|_| "body is not UTF-8".to_string())
+        .and_then(|text| {
+            tsc_bench::json::parse(text).map_err(|e| format!("invalid JSON body: {e}"))
+        })
+        .and_then(|json| TransientRequest::parse(&json));
+    let req = match parsed {
+        Ok(req) => req,
+        Err(message) => {
+            write_response(client, Response::error(400, &message));
+            return;
+        }
+    };
+
+    let Some(shard) = shared.pick_shard(RouteKey::Affinity(req.affinity_key()), None) else {
+        shared.metrics.no_backend_total.inc();
+        write_response(client, unavailable_response());
+        return;
+    };
+    let backend_addr = &shared.config.backends[shard];
+    let connected = backend_addr
+        .parse::<SocketAddr>()
+        .ok()
+        .and_then(|addr| TcpStream::connect_timeout(&addr, shared.config.connect_timeout).ok());
+    let Some(mut backend) = connected else {
+        shared.metrics.upstream_errors_total.inc();
+        shared.eject(shard);
+        write_response(client, unavailable_response());
+        return;
+    };
+    let _ = backend.set_nodelay(true);
+    // Short read timeout so both pump directions notice the other side
+    // finishing (and router shutdown) promptly.
+    if backend
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .is_err()
+    {
+        write_response(client, unavailable_response());
+        return;
+    }
+
+    let mut head = format!(
+        "POST /v1/transient HTTP/1.1\r\nHost: {backend_addr}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        request.body.len()
+    );
+    for (name, value) in forwarded_headers(request) {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    if backend
+        .write_all(head.as_bytes())
+        .and_then(|()| backend.write_all(&request.body))
+        .is_err()
+    {
+        shared.metrics.upstream_errors_total.inc();
+        shared.eject(shard);
+        write_response(client, unavailable_response());
+        return;
+    }
+    shared.metrics.transient_tunnels_total.inc();
+
+    let (Ok(mut backend_read), Ok(mut client_write)) = (backend.try_clone(), client.try_clone())
+    else {
+        return;
+    };
+    // Commands the client pipelined behind the opening request belong to
+    // the backend session.
+    if !leftover.is_empty() && backend.write_all(leftover).is_err() {
+        return;
+    }
+    let done = AtomicBool::new(false);
+    thread::scope(|scope| {
+        scope.spawn(|| pump(&mut backend_read, &mut client_write, &done, shared));
+        pump(client, &mut backend, &done, shared);
+    });
+}
+
+/// Copy bytes `from` → `to` until EOF, a write failure, the opposite
+/// pump finishing, or router shutdown.  Half-closes the destination on
+/// exit so the peer sees a clean end-of-stream.
+fn pump(from: &mut TcpStream, to: &mut TcpStream, done: &AtomicBool, shared: &RouterShared) {
+    let mut buf = [0u8; 4096];
+    loop {
+        if done.load(Ordering::Relaxed) || shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                if to.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(_) => break,
+        }
+    }
+    done.store(true, Ordering::Relaxed);
+    let _ = to.shutdown(Shutdown::Write);
 }
 
 /// Split a batch envelope into per-shard sub-batches by item affinity,

@@ -20,7 +20,7 @@
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -51,6 +51,10 @@ pub struct ServerConfig {
     pub deadline: Duration,
     /// Maximum simultaneously open connections; excess get 503.
     pub max_connections: usize,
+    /// Maximum simultaneously open transient sessions; excess get 429.
+    /// Sessions run on their connection thread, so this caps long-lived
+    /// solver state, not worker occupancy.
+    pub session_cap: usize,
     /// Close idle keep-alive connections after this long.
     pub idle_timeout: Duration,
     /// Parser caps.
@@ -69,6 +73,7 @@ impl Default for ServerConfig {
             pool_cap: 8,
             deadline: Duration::from_secs(60),
             max_connections: 64,
+            session_cap: 8,
             idle_timeout: Duration::from_secs(10),
             limits: Limits::default(),
             allow_shutdown: true,
@@ -142,6 +147,8 @@ struct Shared {
     metrics: Metrics,
     config: ServerConfig,
     addr: SocketAddr,
+    /// Live transient sessions, for the admission cap and `/metrics`.
+    sessions: AtomicUsize,
     /// SplitMix64 state for retry-hint jitter — lock-free, seeded per
     /// process so synchronized clients de-synchronize.
     jitter_state: AtomicU64,
@@ -235,6 +242,7 @@ impl Server {
             metrics: Metrics::default(),
             config,
             addr,
+            sessions: AtomicUsize::new(0),
             jitter_state: AtomicU64::new(
                 u64::from(std::process::id()) ^ (u64::from(addr.port()) << 32),
             ),
@@ -270,6 +278,11 @@ impl Server {
     /// The live metrics registry (test and bench introspection).
     pub fn metrics(&self) -> &Metrics {
         &self.shared.metrics
+    }
+
+    /// The live service pools (test introspection: pin counts, depth).
+    pub fn pools(&self) -> &ServicePools {
+        &self.shared.pools
     }
 
     /// Block until a client POSTs `/v1/shutdown`.
@@ -337,6 +350,14 @@ fn refuse_connection(mut stream: TcpStream, shared: &Shared) {
 pub(crate) trait ConnectionHandler {
     /// Route one parsed request to a response.
     fn handle(&self, request: &Request) -> Response;
+    /// Offer the request a chance to take over the raw connection (the
+    /// transient session endpoint; sticky tunnelling in the router).
+    /// `leftover` is any already-buffered bytes beyond the request.
+    /// Returning `true` means the connection was consumed: the stream is
+    /// close-delimited and the driver must not reuse it.
+    fn handle_stream(&self, _request: &Request, _stream: &mut TcpStream, _leftover: &[u8]) -> bool {
+        false
+    }
     /// Record a request that failed before routing (parse error, timeout).
     fn record_error(&self, status: u16);
     fn limits(&self) -> &Limits;
@@ -349,6 +370,23 @@ pub(crate) trait ConnectionHandler {
 impl ConnectionHandler for Arc<Shared> {
     fn handle(&self, request: &Request) -> Response {
         route(request, self)
+    }
+
+    fn handle_stream(&self, request: &Request, stream: &mut TcpStream, leftover: &[u8]) -> bool {
+        if request.method != "POST" || request.path != "/v1/transient" {
+            return false;
+        }
+        let host = crate::session::SessionHost {
+            pools: &self.pools,
+            metrics: &self.metrics,
+            active: &self.sessions,
+            cap: self.config.session_cap,
+            deadline: request_deadline(request, self),
+        };
+        host.serve(request, stream, leftover, &|| {
+            self.stop.load(Ordering::SeqCst)
+        });
+        true
     }
 
     fn record_error(&self, status: u16) {
@@ -393,6 +431,9 @@ pub(crate) fn drive_connection(mut stream: TcpStream, handler: &impl ConnectionH
                 Ok(Parsed::Complete(request, consumed)) => {
                     buf.drain(..consumed);
                     idle_since = Instant::now();
+                    if handler.handle_stream(&request, &mut stream, &buf) {
+                        return;
+                    }
                     let close_after = request.wants_close();
                     let response = handler.handle(&request);
                     let closing = response.close || close_after || handler.stopping();
@@ -458,6 +499,7 @@ fn endpoint_label(path: &str) -> &'static str {
         "/v1/flow" => "flow",
         "/v1/pillars" => "pillars",
         "/v1/batch" => "batch",
+        "/v1/transient" => "transient",
         "/v1/designs" => "designs",
         "/metrics" => "metrics",
         "/healthz" => "healthz",
@@ -479,6 +521,14 @@ fn route_inner(request: &Request, endpoint: &'static str, shared: &Arc<Shared>) 
         ("GET", "/healthz") => Response::text(200, "ok\n"),
         ("GET", "/metrics") => {
             shared.metrics.queue_depth.set(shared.queue.len() as i64);
+            shared
+                .metrics
+                .transient_sessions_active
+                .set(shared.sessions.load(Ordering::Relaxed) as i64);
+            shared
+                .metrics
+                .transient_pinned
+                .set(shared.pools.transients.pinned() as i64);
             let mut response = Response::text(200, &shared.metrics.render());
             response.content_type = "text/plain; version=0.0.4";
             response
@@ -508,7 +558,7 @@ fn route_inner(request: &Request, endpoint: &'static str, shared: &Arc<Shared>) 
         (
             _,
             "/healthz" | "/metrics" | "/v1/designs" | "/v1/shutdown" | "/v1/solve" | "/v1/flow"
-            | "/v1/pillars" | "/v1/batch",
+            | "/v1/pillars" | "/v1/batch" | "/v1/transient",
         ) => Response::error(405, "method not allowed"),
         _ => Response::error(404, "no such endpoint"),
     }

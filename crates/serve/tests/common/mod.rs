@@ -4,9 +4,16 @@
 //! parsed with a separate minimal reader so a server-side framing bug
 //! cannot cancel out in the tests.
 
+// Each integration-test binary compiles this module separately, and not
+// every suite uses every helper (the transient suite only needs request
+// formatting — its NDJSON framing is incompatible with `TestClient`).
+#![allow(dead_code)]
+
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
+
+use tsc_bench::json::{self, Json};
 
 /// A parsed response.  Shared across suites; not every suite reads every
 /// field.
@@ -153,4 +160,126 @@ pub fn one_shot(
     body: &[u8],
 ) -> TestResponse {
     TestClient::connect(addr).request(method, path, headers, body)
+}
+
+/// A raw NDJSON client for `/v1/transient` streaming sessions.
+/// `TestClient` cannot read these: the stream is close-delimited, not
+/// `Content-Length`-framed.
+pub struct SessionClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl SessionClient {
+    /// Connect and send the opening `POST /v1/transient`.
+    pub fn open(addr: SocketAddr, body: &str, headers: &[(&str, &str)]) -> SessionClient {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_millis(200)))
+            .expect("read timeout");
+        let request = format_request("POST", "/v1/transient", headers, body.as_bytes());
+        stream.write_all(&request).expect("send open request");
+        SessionClient {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    fn fill(&mut self, deadline: Duration, until: impl Fn(&[u8]) -> Option<usize>) -> Vec<u8> {
+        let start = Instant::now();
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(end) = until(&self.buf) {
+                return self.buf.drain(..end).collect();
+            }
+            assert!(
+                start.elapsed() < deadline,
+                "no data within {deadline:?}; buffered: {:?}",
+                String::from_utf8_lossy(&self.buf)
+            );
+            match self.stream.read(&mut chunk) {
+                Ok(0) => panic!(
+                    "server closed early; buffered: {:?}",
+                    String::from_utf8_lossy(&self.buf)
+                ),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+                Err(e) => panic!("read failed: {e}"),
+            }
+        }
+    }
+
+    /// Read the HTTP response head; returns the status code.
+    pub fn read_head(&mut self, deadline: Duration) -> u16 {
+        let head = self.fill(deadline, |buf| {
+            buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+        });
+        let text = String::from_utf8_lossy(&head);
+        let status = text
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad status line: {text:?}"));
+        if status == 200 {
+            assert!(
+                text.to_ascii_lowercase().contains("application/x-ndjson"),
+                "streaming head must advertise NDJSON: {text:?}"
+            );
+        }
+        status
+    }
+
+    pub fn send(&mut self, line: &str) {
+        self.stream
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send command");
+    }
+
+    /// Read the next event line as JSON.
+    pub fn next_event(&mut self, deadline: Duration) -> Json {
+        let line = self.fill(deadline, |buf| {
+            buf.iter().position(|&b| b == b'\n').map(|p| p + 1)
+        });
+        let text = String::from_utf8(line).expect("event is UTF-8");
+        json::parse(text.trim()).unwrap_or_else(|e| panic!("bad event {text:?}: {e}"))
+    }
+
+    /// True once the server closes the stream (close-delimited framing).
+    pub fn at_eof(&mut self, deadline: Duration) -> bool {
+        let start = Instant::now();
+        let mut chunk = [0u8; 256];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return true,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+                Err(_) => return true,
+            }
+            if start.elapsed() > deadline {
+                return false;
+            }
+        }
+    }
+}
+
+/// Extract a required string field from a session event.
+pub fn field_str(event: &Json, key: &str) -> String {
+    event
+        .get(key)
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("missing {key:?} in {}", event.pretty()))
+        .to_string()
+}
+
+/// Extract a required numeric field from a session event.
+pub fn field_num(event: &Json, key: &str) -> f64 {
+    event
+        .get(key)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("missing {key:?} in {}", event.pretty()))
+}
+
+/// The `event` discriminator of a session event.
+pub fn event_kind(event: &Json) -> String {
+    field_str(event, "event")
 }

@@ -220,6 +220,69 @@ fn aggregated_metrics_validate_and_sum_shard_counters() {
     backend_b.shutdown();
 }
 
+#[test]
+fn transient_sessions_tunnel_through_the_router_and_stick_to_a_shard() {
+    let backend_a = start_backend(0);
+    let backend_b = start_backend(0);
+    let router = start_router(
+        vec![backend_a.addr().to_string(), backend_b.addr().to_string()],
+        Duration::from_millis(100),
+    );
+    let body = r#"{"design": "gemmini-memory", "tiers": 2, "lateral_cells": 6,
+                   "dt_seconds": 0.001}"#;
+    let wait = Duration::from_secs(60);
+
+    // A full session through the tunnel: open, steps, DVFS update, close.
+    let mut session = common::SessionClient::open(router.addr(), body, &[]);
+    assert_eq!(session.read_head(wait), 200);
+    let open = session.next_event(wait);
+    assert_eq!(common::event_kind(&open), "open");
+    assert_eq!(common::field_str(&open, "pool"), "miss");
+    session.send(r#"{"op": "step", "steps": 2}"#);
+    for i in 1..=2 {
+        let step = session.next_event(wait);
+        assert_eq!(common::event_kind(&step), "step");
+        assert_eq!(common::field_num(&step, "step"), f64::from(i));
+    }
+    session.send(r#"{"op": "power", "utilization_percent": 40}"#);
+    assert_eq!(common::event_kind(&session.next_event(wait)), "power");
+    session.send(r#"{"op": "close"}"#);
+    let closed = session.next_event(wait);
+    assert_eq!(common::event_kind(&closed), "closed");
+    assert_eq!(common::field_num(&closed, "steps"), 2.0);
+    assert!(session.at_eof(Duration::from_secs(5)), "close-delimited");
+
+    // Sticky affinity: the reopened session must land on the shard that
+    // pooled the state — observable as a pool hit through the tunnel.
+    let mut session = common::SessionClient::open(router.addr(), body, &[]);
+    assert_eq!(session.read_head(wait), 200);
+    let reopened = session.next_event(wait);
+    assert_eq!(common::field_str(&reopened, "pool"), "hit");
+    session.send(r#"{"op": "close"}"#);
+    assert_eq!(common::event_kind(&session.next_event(wait)), "closed");
+
+    // A malformed opening body is refused with a plain 400, not tunneled.
+    let mut refused = common::SessionClient::open(router.addr(), "{not json", &[]);
+    assert_eq!(refused.read_head(wait), 400);
+
+    let scrape = one_shot(router.addr(), "GET", "/metrics", &[], b"");
+    let parsed = parse_exposition(&scrape.body_str()).expect("router exposition");
+    let tunnels = parsed
+        .samples
+        .iter()
+        .find(|(name, _)| name == "tsc_router_transient_tunnels_total")
+        .map(|(_, value)| *value)
+        .expect("tunnel counter present");
+    assert!(
+        (tunnels - 2.0).abs() < 0.5,
+        "two sessions tunneled, counter says {tunnels}"
+    );
+
+    router.shutdown();
+    backend_a.shutdown();
+    backend_b.shutdown();
+}
+
 /// A fake backend that passes health probes but answers everything else
 /// with bytes that are not HTTP.
 fn spawn_garbage_backend() -> SocketAddr {

@@ -15,7 +15,9 @@ use crate::field::TemperatureField;
 use crate::multigrid::{MgHierarchy, MgParams, MgWorkspace};
 use crate::problem::Problem;
 use crate::solver::{Assembled, CgParams, SolveError, SolverStats, DEFAULT_PARALLEL_CROSSOVER};
-use tsc_geometry::Grid3;
+use std::fmt;
+use std::time::Instant;
+use tsc_geometry::{Grid3, Index3};
 use tsc_units::Temperature;
 
 /// Volumetric heat capacities (J/m³/K) of the stack materials, for
@@ -63,6 +65,7 @@ pub struct TransientRun {
     temperatures: Vec<f64>,
     dt: f64,
     time: f64,
+    steps: u64,
     tol: f64,
     max_iter: usize,
     threads: usize,
@@ -147,6 +150,7 @@ impl TransientRun {
             temperatures: vec![initial.kelvin(); dim.len()],
             dt,
             time: 0.0,
+            steps: 0,
             tol: 1e-9,
             max_iter: 20_000,
             threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
@@ -197,6 +201,67 @@ impl TransientRun {
     #[must_use]
     pub fn time_seconds(&self) -> f64 {
         self.time
+    }
+
+    /// Number of implicit-Euler steps taken since construction (or the
+    /// last [`TransientRun::reset`]).
+    #[must_use]
+    pub fn steps_taken(&self) -> u64 {
+        self.steps
+    }
+
+    /// Mesh dimensions of the staged problem.
+    #[must_use]
+    pub fn dim(&self) -> tsc_geometry::Dim3 {
+        self.asm.dim()
+    }
+
+    /// The current peak temperature and its cell — the per-step sample a
+    /// streamed trajectory reports.  Argmax ties resolve to the lowest
+    /// flat index, so the hotspot is deterministic.
+    #[must_use]
+    pub fn peak(&self) -> PeakSample {
+        let mut best = 0;
+        for (idx, &t) in self.temperatures.iter().enumerate() {
+            if t > self.temperatures[best] {
+                best = idx;
+            }
+        }
+        PeakSample {
+            kelvin: self.temperatures[best],
+            hotspot: self.asm.dim().unflat(best),
+        }
+    }
+
+    /// Rewinds the run to a uniform initial temperature, keeping the
+    /// assembled operator, capacity staging, and multigrid hierarchy.
+    /// A reset run's trajectory is bitwise identical to a freshly
+    /// constructed run's: the reused state is deterministic in the
+    /// problem, and the temperature vector is refilled exactly.
+    pub fn reset(&mut self, initial: Temperature) {
+        self.temperatures.fill(initial.kelvin());
+        self.time = 0.0;
+        self.steps = 0;
+    }
+
+    /// Re-stages only the heat sources (watts per cell) over the
+    /// unchanged operator — the delta path for streamed power updates.
+    /// Equivalent to [`TransientRun::restage_power`] with a problem that
+    /// differs only in power, but skips reassembly and the multigrid
+    /// hierarchy rebuild entirely; the resulting right-hand side is
+    /// bitwise identical to the full restage (IEEE addition of the same
+    /// two addends).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power_watts` does not have one entry per cell.
+    pub fn restage_power_delta(&mut self, power_watts: &[f64]) {
+        assert_eq!(
+            power_watts.len(),
+            self.temperatures.len(),
+            "power delta must cover every cell"
+        );
+        self.asm.rhs = self.asm.rhs_with_power(power_watts);
     }
 
     /// Time step in seconds.
@@ -279,7 +344,27 @@ impl TransientRun {
             )?,
         };
         self.time += self.dt;
+        self.steps += 1;
         Ok(stats)
+    }
+
+    /// Checks the session guards *before* a step would run: `None` means
+    /// the step may proceed.  Kept separate from [`TransientRun::step`]
+    /// so a caller can surface the halt as a typed in-band event rather
+    /// than a solver error — a guard trip is a policy outcome, not a
+    /// numerical failure.
+    #[must_use]
+    pub fn check_limits(&self, limits: &StepLimits) -> Option<StepHalt> {
+        if self.steps >= limits.max_steps {
+            return Some(StepHalt::BudgetExhausted { steps: self.steps });
+        }
+        if let Some(deadline) = limits.deadline {
+            // tsc-analyze: allow(no-wallclock-numeric): guards session wall time only, never the numerics
+            if Instant::now() >= deadline {
+                return Some(StepHalt::DeadlineExpired { steps: self.steps });
+            }
+        }
+        None
     }
 
     /// Advances `steps` steps, returning the stats of the last one.
@@ -300,6 +385,153 @@ impl TransientRun {
         // tsc-analyze: allow(no-unwrap): the assert above guarantees at
         // least one loop iteration, so `last` is always Some.
         Ok(last.expect("steps > 0"))
+    }
+}
+
+/// One trajectory sample: the field's peak and where it sits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeakSample {
+    /// Peak temperature in kelvin (bitwise comparable across runs).
+    pub kelvin: f64,
+    /// The cell holding the peak (lowest flat index on ties).
+    pub hotspot: Index3,
+}
+
+impl PeakSample {
+    /// The peak in celsius, for rendering.
+    #[must_use]
+    pub fn celsius(&self) -> f64 {
+        Temperature::from_kelvin(self.kelvin).celsius()
+    }
+}
+
+/// Guards on a long-running stepped simulation: a hard step budget and
+/// an optional wall-clock deadline.  Both are *session* policy — a trip
+/// surfaces as a typed [`StepHalt`], never a solver error.
+#[derive(Debug, Clone, Copy)]
+pub struct StepLimits {
+    /// Maximum steps the run may take in total ([`TransientRun::steps_taken`]).
+    pub max_steps: u64,
+    /// Absolute wall-clock deadline, if any.
+    pub deadline: Option<Instant>,
+}
+
+impl StepLimits {
+    /// A budget-only guard.
+    #[must_use]
+    pub fn budget(max_steps: u64) -> Self {
+        StepLimits {
+            max_steps,
+            deadline: None,
+        }
+    }
+
+    /// Adds a wall-clock deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Why a guarded run must stop.  Carries the step count at the halt so
+/// the caller can report progress alongside the reason.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepHalt {
+    /// The step budget is exhausted.
+    BudgetExhausted {
+        /// Steps taken when the budget tripped.
+        steps: u64,
+    },
+    /// The wall-clock deadline passed.
+    DeadlineExpired {
+        /// Steps taken when the deadline tripped.
+        steps: u64,
+    },
+}
+
+impl fmt::Display for StepHalt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepHalt::BudgetExhausted { steps } => {
+                write!(f, "step budget exhausted after {steps} steps")
+            }
+            StepHalt::DeadlineExpired { steps } => {
+                write!(f, "session deadline expired after {steps} steps")
+            }
+        }
+    }
+}
+
+/// Thermal-runaway alarm logic for streamed trajectories: promotes the
+/// PR-4 `ThermalRunaway` fault class into a live in-band signal.
+///
+/// Fires when the peak crosses the threshold *while rising*, then
+/// latches so a simmering hotspot raises one alarm, not one per step;
+/// it re-arms only after the peak falls below `threshold − hysteresis`.
+/// The alarm is advisory — stepping continues — so a what-if loop can
+/// watch an excursion play out.
+#[derive(Debug, Clone)]
+pub struct RunawayDetector {
+    threshold: f64,
+    hysteresis: f64,
+    latched: bool,
+    last: f64,
+}
+
+impl RunawayDetector {
+    /// Default re-arm hysteresis below the threshold, in kelvin.
+    pub const DEFAULT_HYSTERESIS: f64 = 5.0;
+
+    /// A detector with the default hysteresis.
+    #[must_use]
+    pub fn new(threshold: Temperature) -> Self {
+        RunawayDetector {
+            threshold: threshold.kelvin(),
+            hysteresis: Self::DEFAULT_HYSTERESIS,
+            latched: false,
+            last: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Overrides the re-arm hysteresis (kelvin below the threshold).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kelvin` is negative or non-finite.
+    #[must_use]
+    pub fn with_hysteresis(mut self, kelvin: f64) -> Self {
+        assert!(
+            kelvin.is_finite() && kelvin >= 0.0,
+            "hysteresis must be a non-negative temperature span"
+        );
+        self.hysteresis = kelvin;
+        self
+    }
+
+    /// The alarm threshold.
+    #[must_use]
+    pub fn threshold(&self) -> Temperature {
+        Temperature::from_kelvin(self.threshold)
+    }
+
+    /// Feeds one trajectory sample; `true` exactly when a new alarm
+    /// fires on this sample.
+    pub fn observe(&mut self, peak: Temperature) -> bool {
+        let t = peak.kelvin();
+        let rising = t > self.last;
+        self.last = t;
+        if self.latched {
+            if t < self.threshold - self.hysteresis {
+                self.latched = false;
+            }
+            return false;
+        }
+        if t >= self.threshold && rising {
+            self.latched = true;
+            return true;
+        }
+        false
     }
 }
 
@@ -453,6 +685,128 @@ mod tests {
             max_dev < 1e-5,
             "MG and Jacobi trajectories must agree, max |dT| = {max_dev}"
         );
+    }
+
+    #[test]
+    fn delta_restage_is_bitwise_identical_to_full_restage() {
+        let p_on = problem(true);
+        let p_off = problem(false);
+        let amb = Heatsink::two_phase().ambient;
+        let mut full = TransientRun::new(&p_on, &caps(&p_on), 5e-6, amb)
+            .expect("well-posed")
+            .with_multigrid()
+            .expect("spd operator");
+        let mut delta = TransientRun::new(&p_on, &caps(&p_on), 5e-6, amb)
+            .expect("well-posed")
+            .with_multigrid()
+            .expect("spd operator");
+        full.run(8).expect("heat up");
+        delta.run(8).expect("heat up");
+        full.restage_power(&p_off).expect("same mesh");
+        delta.restage_power_delta(p_off.power_flat());
+        for _ in 0..8 {
+            full.step().expect("full step");
+            delta.step().expect("delta step");
+            let same = full
+                .temperatures()
+                .iter_kelvin()
+                .zip(delta.temperatures().iter_kelvin())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "delta restaging must be bitwise-equal to full");
+        }
+    }
+
+    #[test]
+    fn reset_replays_a_fresh_trajectory_bitwise() {
+        let p = problem(true);
+        let amb = Heatsink::two_phase().ambient;
+        let mut fresh = TransientRun::new(&p, &caps(&p), 5e-6, amb).expect("well-posed");
+        let mut reused = TransientRun::new(&p, &caps(&p), 5e-6, amb).expect("well-posed");
+        reused.run(13).expect("pre-use");
+        reused.reset(amb);
+        assert_eq!(reused.steps_taken(), 0);
+        assert_eq!(reused.time_seconds(), 0.0);
+        for _ in 0..6 {
+            fresh.step().expect("fresh step");
+            reused.step().expect("reused step");
+            assert_eq!(
+                fresh.peak().kelvin.to_bits(),
+                reused.peak().kelvin.to_bits(),
+                "a reset run must replay the fresh trajectory bitwise"
+            );
+        }
+        assert_eq!(fresh.peak().hotspot, reused.peak().hotspot);
+    }
+
+    #[test]
+    fn step_counter_and_peak_sample_track_the_run() {
+        let p = problem(true);
+        let mut run =
+            TransientRun::new(&p, &caps(&p), 5e-6, Heatsink::two_phase().ambient).expect("ok");
+        assert_eq!(run.steps_taken(), 0);
+        run.run(3).expect("steps");
+        assert_eq!(run.steps_taken(), 3);
+        let peak = run.peak();
+        assert_eq!(
+            peak.kelvin,
+            run.temperatures().max_temperature().kelvin(),
+            "peak sample must agree with the field argmax"
+        );
+        // The 2 W source sits at (2,2,2); the hotspot must be there.
+        assert_eq!(peak.hotspot, Index3 { i: 2, j: 2, k: 2 });
+    }
+
+    #[test]
+    fn limits_trip_as_typed_halts() {
+        let p = problem(true);
+        let mut run =
+            TransientRun::new(&p, &caps(&p), 5e-6, Heatsink::two_phase().ambient).expect("ok");
+        let limits = StepLimits::budget(2);
+        assert_eq!(run.check_limits(&limits), None);
+        run.run(2).expect("steps");
+        assert_eq!(
+            run.check_limits(&limits),
+            Some(StepHalt::BudgetExhausted { steps: 2 })
+        );
+        let expired = StepLimits::budget(u64::MAX)
+            .with_deadline(Instant::now() - std::time::Duration::from_millis(1));
+        assert_eq!(
+            run.check_limits(&expired),
+            Some(StepHalt::DeadlineExpired { steps: 2 })
+        );
+        let generous = StepLimits::budget(u64::MAX)
+            .with_deadline(Instant::now() + std::time::Duration::from_secs(3600));
+        assert_eq!(run.check_limits(&generous), None);
+    }
+
+    #[test]
+    fn runaway_detector_fires_latches_and_rearms() {
+        let c = Temperature::from_celsius;
+        let mut det = RunawayDetector::new(c(120.0)).with_hysteresis(5.0);
+        assert!(!det.observe(c(100.0)), "below threshold");
+        assert!(!det.observe(c(119.9)), "still below");
+        assert!(det.observe(c(121.0)), "crossing while rising fires");
+        assert!(!det.observe(c(130.0)), "latched: no re-fire while hot");
+        assert!(!det.observe(c(118.0)), "above re-arm point: still latched");
+        assert!(
+            !det.observe(c(114.0)),
+            "below threshold - hysteresis: re-arms"
+        );
+        assert!(det.observe(c(125.0)), "re-armed detector fires again");
+        // Falling *through* the threshold never fires.
+        let mut cooling = RunawayDetector::new(c(120.0));
+        assert!(cooling.observe(c(150.0)), "first hot sample fires");
+        assert!(!cooling.observe(c(100.0)));
+        assert!(!cooling.observe(c(90.0)), "falling samples never fire");
+    }
+
+    #[test]
+    #[should_panic(expected = "power delta must cover every cell")]
+    fn delta_restage_rejects_wrong_length() {
+        let p = problem(true);
+        let mut run =
+            TransientRun::new(&p, &caps(&p), 5e-6, Heatsink::two_phase().ambient).expect("ok");
+        run.restage_power_delta(&[0.0; 3]);
     }
 
     #[test]
