@@ -40,7 +40,10 @@ use std::time::{Duration, Instant};
 
 use tsc_bench::json::Json;
 use tsc_bench::prom::{sample_value, validate_exposition};
+use tsc_phydes::anneal::{anneal, AnnealState, Schedule};
+use tsc_phydes::floorplan::{FloorplanProblem, Module, Net, SpCandidate};
 use tsc_rng::Rng64;
+use tsc_units::Ratio;
 
 #[derive(Clone)]
 struct Options {
@@ -174,6 +177,9 @@ fn main() {
     if wants("transient") {
         record = record.field("transient", run_transient_phase(&options));
     }
+    if wants("jobs") {
+        record = record.field("jobs", run_jobs_phase(&options));
+    }
 
     let record = record.field(
         "workload",
@@ -194,7 +200,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     const USAGE: &str = "usage: serve_loadgen [--smoke] [--clients N] [--requests N] \
                          [--hot-pct P] [--seed S] [--out PATH] [--server-bin PATH] \
                          [--route-bin PATH] \
-                         [--phase all|pool|batch|sharded|priority|transient]";
+                         [--phase all|pool|batch|sharded|priority|transient|jobs]";
     let mut options = Options::default();
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -237,8 +243,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--route-bin" => options.route_bin = Some(PathBuf::from(value()?)),
             "--phase" => {
                 let phase = value()?;
-                if !["all", "pool", "batch", "sharded", "priority", "transient"]
-                    .contains(&phase.as_str())
+                if ![
+                    "all",
+                    "pool",
+                    "batch",
+                    "sharded",
+                    "priority",
+                    "transient",
+                    "jobs",
+                ]
+                .contains(&phase.as_str())
                 {
                     return Err(format!("unknown phase {phase:?}\n{USAGE}"));
                 }
@@ -1146,6 +1160,290 @@ impl TransientSession {
         self.stream
             .write_all(format!("{line}\n").as_bytes())
             .expect("send session command");
+    }
+}
+
+/// The offline twin of the service's `floorplan_sa` job state: an
+/// `AnnealState` over the shared sequence-pair problem.  Kept local so
+/// the baseline goes through exactly the public `anneal()` entry point
+/// a user without the service would call.
+#[derive(Clone)]
+struct OfflineFpState {
+    problem: Arc<FloorplanProblem>,
+    cand: SpCandidate,
+}
+
+impl AnnealState for OfflineFpState {
+    fn neighbour(&self, rng: &mut Rng64) -> Self {
+        OfflineFpState {
+            problem: Arc::clone(&self.problem),
+            cand: self.problem.neighbour(&self.cand, rng),
+        }
+    }
+
+    fn cost(&self) -> f64 {
+        self.problem.cost(&self.cand)
+    }
+}
+
+/// The Gemmini floorplan fixture, derived identically to the service's
+/// `tsc_jobs::floorplan_problem_for("gemmini", 0.3, 1.2)` so offline and
+/// job anneal the same objective.  `tsc-bench` cannot import `tsc-jobs`
+/// (the jobs crate depends on this one for its JSON dialect), so the
+/// derivation is mirrored here; keep the two in sync.
+fn gemmini_floorplan_problem() -> FloorplanProblem {
+    let design = tsc_designs::gemmini::design();
+    let utilization = Ratio::from_percent(70.0);
+    let mut units: Vec<&tsc_designs::DesignUnit> = design.units.iter().collect();
+    units.sort_by(|a, b| {
+        b.rect
+            .area()
+            .square_meters()
+            .total_cmp(&a.rect.area().square_meters())
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    units.truncate(32);
+    let modules: Vec<Module> = units
+        .iter()
+        .map(|u| {
+            let power = u.power(utilization, design.clock);
+            if u.is_macro {
+                Module::hard_macro(u.name.clone(), u.rect.width(), u.rect.height(), power)
+            } else {
+                Module::soft(u.name.clone(), u.rect.width(), u.rect.height(), power)
+            }
+        })
+        .collect();
+    let n = modules.len();
+    let mut nets: Vec<Net> = (1..n).map(|i| Net { a: 0, b: i }).collect();
+    nets.extend((1..n.saturating_sub(1)).map(|i| Net { a: i, b: i + 1 }));
+    FloorplanProblem::new(
+        modules,
+        nets,
+        Ratio::from_fraction(0.3),
+        Ratio::from_fraction(1.2),
+    )
+}
+
+/// Jobs phase: the same Gemmini floorplan search is run twice — offline
+/// as `replicas` sequential `anneal()` multi-starts (what a user
+/// without the service runs to explore that many chains), and as one
+/// parallel-tempered `/v1/jobs` submission covering the same number of
+/// chains.  The service wins on wall-clock from two independent
+/// mechanisms: the cross-replica fingerprint memo skips re-evaluating
+/// revisited candidates even on a single core, and on multi-core hosts
+/// the replica shards additionally run in parallel.  A second job then
+/// runs while interactive `/v1/solve` latency is sampled, to show
+/// background slices do not starve foreground traffic.
+fn run_jobs_phase(options: &Options) -> Json {
+    let (schedule, schedule_label, replicas) = if options.smoke {
+        (Schedule::quick(), "quick", 2usize)
+    } else {
+        (Schedule::standard(), "standard", 4usize)
+    };
+    let seed = options.seed;
+
+    // Offline baseline: `replicas` independent sequential chains, no
+    // memoization, no service.  Seeds match the breadth of the tempered
+    // search, not its exact streams (tempering couples chains through
+    // swaps; "offline SA" has no analogue of that).
+    let problem = Arc::new(gemmini_floorplan_problem());
+    let started = Instant::now();
+    let mut offline_best = f64::INFINITY;
+    let mut offline_proposals = 0usize;
+    for chain in 0..replicas {
+        let initial = OfflineFpState {
+            problem: Arc::clone(&problem),
+            cand: problem.initial(),
+        };
+        let outcome = anneal(initial, &schedule, seed.wrapping_add(chain as u64));
+        offline_best = offline_best.min(outcome.best_cost);
+        offline_proposals += outcome.proposals;
+    }
+    let offline_wall = started.elapsed().as_secs_f64();
+    println!(
+        "jobs: offline {replicas}-start sequential anneal ({schedule_label}): \
+         {offline_wall:.2}s, best cost {offline_best:.4}, {offline_proposals} proposals"
+    );
+
+    let server = spawn_server(
+        options,
+        &[
+            "--port",
+            "0",
+            "--workers",
+            "4",
+            "--queue-cap",
+            "64",
+            "--pool-cap",
+            "8",
+        ],
+    );
+    let addr = server.addr;
+    let spec = format!(
+        r#"{{"kind": "floorplan_sa", "design": "gemmini", "schedule": "{schedule_label}", "replicas": {replicas}, "seed": {seed}}}"#
+    );
+
+    // Timed service run: the tempered job with the box to itself, so the
+    // speedup number is job-vs-baseline, not job-vs-(baseline + probe
+    // traffic stealing the worker pool).
+    let started = Instant::now();
+    let id = submit_job(addr, &spec);
+    let done = poll_job(addr, &id, |state| state == "done");
+    let job_wall = started.elapsed().as_secs_f64();
+
+    let result = done.get("result").expect("done job carries its result");
+    let field = |key: &str| {
+        result
+            .get(key)
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("result field {key:?}: {}", result.pretty()))
+    };
+    let job_best_cost = field("best_cost");
+    let job_evals = field("evals");
+    let dedup_hits = field("dedup_hits");
+
+    // Interference run: a fresh job occupies the background class while
+    // a foreground client measures interactive solve latency.
+    let measured = if options.smoke { 8 } else { 40 };
+    let (idle_p50, idle_p99, _, _) = interactive_latencies(addr, measured);
+    let flood_id = submit_job(addr, &spec);
+    let (busy_p50, busy_p99, busy_samples, busy_rejected) = interactive_latencies(addr, measured);
+    let flood_doc = poll_job(addr, &flood_id, |_| true);
+    let flood_live = matches!(
+        flood_doc.get("state").and_then(Json::as_str),
+        Some("queued") | Some("running")
+    );
+    let (status, _, _) = http_request(
+        addr,
+        "POST",
+        &format!("/v1/jobs/{flood_id}/cancel"),
+        &[],
+        b"",
+    )
+    .expect("cancel interference job");
+    assert_eq!(status, 200, "cancel interference job");
+
+    let metrics_text = scrape_metrics(addr);
+    server.shutdown();
+
+    let speedup = if job_wall > 0.0 {
+        offline_wall / job_wall
+    } else {
+        0.0
+    };
+    println!(
+        "jobs: tempered /v1/jobs run ({replicas} replicas): {job_wall:.2}s, \
+         best cost {job_best_cost:.4}, {job_evals} fresh evals, {dedup_hits} dedup hits"
+    );
+    println!(
+        "jobs: wall-clock speedup vs offline {speedup:.2}x; interactive p99 \
+         {:.1} ms idle -> {:.1} ms during job ({busy_samples} samples, {busy_rejected} shed)",
+        idle_p99 / 1e3,
+        busy_p99 / 1e3
+    );
+    if !options.smoke {
+        assert!(
+            speedup > 1.0,
+            "tempered job ({job_wall:.2}s) must beat the {replicas}-start sequential \
+             offline anneal ({offline_wall:.2}s)"
+        );
+        assert!(dedup_hits > 0.0, "fingerprint memo never hit");
+        assert!(
+            flood_live,
+            "interference job finished before the latency sweep; during-job p99 is \
+             not a during-job measurement"
+        );
+    }
+
+    Json::object()
+        .field("schedule", schedule_label)
+        .field("replicas", replicas)
+        .field("seed", seed as f64)
+        .field(
+            "offline",
+            Json::object()
+                .field("chains", replicas)
+                .field("wall_seconds", offline_wall)
+                .field("best_cost", offline_best)
+                .field("proposals", offline_proposals),
+        )
+        .field(
+            "service",
+            Json::object()
+                .field("wall_seconds", job_wall)
+                .field("best_cost", job_best_cost)
+                .field("evals", job_evals)
+                .field("dedup_hits", dedup_hits)
+                .field(
+                    "slices",
+                    sample_value(&metrics_text, "tsc_job_slices_total").unwrap_or(0.0),
+                ),
+        )
+        .field("speedup_vs_offline", speedup)
+        .field(
+            "interactive",
+            Json::object()
+                .field("idle_p50_ms", idle_p50 / 1e3)
+                .field("idle_p99_ms", idle_p99 / 1e3)
+                .field("during_job_p50_ms", busy_p50 / 1e3)
+                .field("during_job_p99_ms", busy_p99 / 1e3)
+                .field("samples", busy_samples)
+                .field("rejected_429", busy_rejected as f64)
+                .field("job_live_throughout", flood_live),
+        )
+}
+
+/// Submit a job spec; returns the job id after asserting a 202.
+fn submit_job(addr: SocketAddr, spec: &str) -> String {
+    let (status, _, body) =
+        http_request(addr, "POST", "/v1/jobs", &[], spec.as_bytes()).expect("job submission");
+    assert_eq!(
+        status,
+        202,
+        "job submission: {}",
+        String::from_utf8_lossy(&body)
+    );
+    let accepted =
+        tsc_bench::json::parse(&String::from_utf8_lossy(&body)).expect("submit envelope");
+    accepted
+        .get("id")
+        .and_then(Json::as_str)
+        .expect("submit envelope has an id")
+        .to_string()
+}
+
+/// Poll a job's status doc until `until(state)` holds; panics on
+/// `failed` (a bench job must never fail) and on a 10-minute stall.
+fn poll_job(addr: SocketAddr, id: &str, until: impl Fn(&str) -> bool) -> Json {
+    let path = format!("/v1/jobs/{id}");
+    let started = Instant::now();
+    loop {
+        assert!(
+            started.elapsed() < Duration::from_secs(600),
+            "job {id} did not reach the polled state within 600s"
+        );
+        let (status, _, body) = http_request(addr, "GET", &path, &[], b"").expect("job status");
+        assert_eq!(
+            status,
+            200,
+            "job status: {}",
+            String::from_utf8_lossy(&body)
+        );
+        let doc = tsc_bench::json::parse(&String::from_utf8_lossy(&body)).expect("status doc");
+        let state = doc
+            .get("state")
+            .and_then(Json::as_str)
+            .expect("status doc has a state")
+            .to_string();
+        assert_ne!(state, "failed", "job failed: {}", doc.pretty());
+        if until(&state) {
+            return doc;
+        }
+        // A coarse poll: each status GET costs the server a table lock
+        // and a progress render, which on small hosts competes with the
+        // job's own slices.
+        thread::sleep(Duration::from_millis(100));
     }
 }
 

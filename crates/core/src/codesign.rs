@@ -294,32 +294,65 @@ pub fn dielectric_sweep_with(
     ks: &[f64],
     ctx: &mut SolveContext,
 ) -> Result<Vec<(f64, Ratio)>, SolveError> {
-    let base = solve_toy_with(
+    let base = sweep_baseline_with(cfg, ctx)?;
+    let mut out = Vec::with_capacity(ks.len());
+    for &k in ks {
+        out.push(sweep_point_with(cfg, pillar_side, k, &base, ctx)?);
+    }
+    Ok(out)
+}
+
+/// The dielectric-independent baseline of a Fig. 12b sweep (no pillars,
+/// ultra-low-k upper dielectric). Step-sliced callers (the `tsc-jobs`
+/// sweep engine) solve this once as its own work unit, then fan the
+/// [`sweep_point_with`] evaluations across workers.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn sweep_baseline_with(
+    cfg: &ToyConfig,
+    ctx: &mut SolveContext,
+) -> Result<ToyResult, SolveError> {
+    solve_toy_with(
         cfg,
         crate::beol::upper_ultra_low_k(),
         Arrangement::None,
         ctx,
+    )
+}
+
+/// One Fig. 12b sweep point: the reduction of the single-central-pillar
+/// arrangement at lateral dielectric conductivity `k` relative to
+/// `baseline` (from [`sweep_baseline_with`]). Points are independent of
+/// each other given the baseline, so they parallelize freely.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn sweep_point_with(
+    cfg: &ToyConfig,
+    pillar_side: Length,
+    k: f64,
+    baseline: &ToyResult,
+    ctx: &mut SolveContext,
+) -> Result<(f64, Ratio), SolveError> {
+    // Through-plane tracks in-plane at the ETC ratio of the design
+    // point (88/105.7).
+    let upper = Anisotropic::new(
+        ThermalConductivity::new((k * 88.0 / 105.7).max(0.2)),
+        ThermalConductivity::new(k.max(0.2)),
+    );
+    let with = solve_toy_with(
+        cfg,
+        upper,
+        Arrangement::SingleCentral { side: pillar_side },
+        ctx,
     )?;
-    let mut out = Vec::with_capacity(ks.len());
-    for &k in ks {
-        // Through-plane tracks in-plane at the ETC ratio of the design
-        // point (88/105.7).
-        let upper = Anisotropic::new(
-            ThermalConductivity::new((k * 88.0 / 105.7).max(0.2)),
-            ThermalConductivity::new(k.max(0.2)),
-        );
-        let with = solve_toy_with(
-            cfg,
-            upper,
-            Arrangement::SingleCentral { side: pillar_side },
-            ctx,
-        )?;
-        out.push((
-            k,
-            Ratio::from_fraction(1.0 - with.peak_rise.kelvin() / base.peak_rise.kelvin()),
-        ));
-    }
-    Ok(out)
+    Ok((
+        k,
+        Ratio::from_fraction(1.0 - with.peak_rise.kelvin() / baseline.peak_rise.kelvin()),
+    ))
 }
 
 #[cfg(test)]

@@ -298,61 +298,103 @@ pub fn place_with(
     config: &PlacementConfig,
     ctx: &mut SolveContext,
 ) -> Result<Option<PillarPlan>, SolveError> {
-    let macros: Vec<Rect> = design
-        .units
-        .iter()
-        .filter(|u| u.is_macro)
-        .map(|u| u.rect)
-        .collect();
     // Step 1: per-source minimum uniform-cover densities.
     let mut source_densities = Vec::new();
-    for source in design.heat_sources(Ratio::ONE) {
-        if source.is_macro {
-            continue;
-        }
-        let Some(density) = minimum_source_density_with(design, &source.rect, config, ctx)? else {
+    for rect in placement_sources(design) {
+        let Some(density) = minimum_source_density_with(design, &rect, config, ctx)? else {
             return Ok(None);
         };
         if density.fraction() > 0.0 {
-            source_densities.push((source.rect, density));
+            source_densities.push((rect, density));
         }
     }
 
     // Steps 2-3 with escalation: grid-place P_min per source; if the
     // realized (non-uniform, macro-displaced) placement misses the
     // target, increase the fill past P_min and retry.
-    let cells = config.lateral_cells.max(24);
     let mut escalation = 1.0_f64;
-    for _attempt in 0..5 {
-        let mut positions = Vec::new();
-        for (rect, density) in &source_densities {
-            let escalated = Ratio::from_fraction(
-                (density.fraction() * escalation).min(config.max_density.fraction()),
-            );
-            let p_min = count_for_density(escalated, rect.area(), &config.pillar);
-            positions.extend(grid_place(rect, p_min, &config.pillar, &macros));
+    for _attempt in 0..MAX_ESCALATIONS {
+        if let Some(plan) = place_attempt_with(design, config, &source_densities, escalation, ctx)?
+        {
+            return Ok(Some(plan));
         }
-        let density_map = rasterize(design, &positions, &config.pillar, cells);
-        let verify = StackConfig::uniform(config.tiers, config.beol, config.heatsink)
-            .with_lateral_cells(config.lateral_cells)
-            .with_pillar_map(density_map.clone());
-        let tj = solve_with(design, &verify, ctx)?.junction_temperature();
-        if tj <= config.t_target || source_densities.is_empty() {
-            let area_penalty = Ratio::from_fraction(
-                positions.len() as f64 * config.pillar.area().square_meters()
-                    / design.die_area().square_meters(),
-            );
-            return Ok(Some(PillarPlan {
-                positions,
-                replicas: 1,
-                design: config.pillar.clone(),
-                density_map,
-                area_penalty,
-            }));
-        }
-        escalation *= 1.3;
+        escalation *= ESCALATION_FACTOR;
     }
     // Even escalated fill could not reach the target: infeasible.
+    Ok(None)
+}
+
+/// Escalation attempts [`place_with`] makes before declaring the design
+/// infeasible.
+pub const MAX_ESCALATIONS: usize = 5;
+
+/// Per-attempt fill escalation factor past `P_min`.
+pub const ESCALATION_FACTOR: f64 = 1.3;
+
+/// The heat sources step 1 searches: every non-macro source rect, in
+/// design order. Step-sliced callers fan one
+/// [`minimum_source_density_with`] per rect across workers.
+#[must_use]
+pub fn placement_sources(design: &Design) -> Vec<Rect> {
+    design
+        .heat_sources(Ratio::ONE)
+        .iter()
+        .filter(|s| !s.is_macro)
+        .map(|s| s.rect)
+        .collect()
+}
+
+/// One escalation attempt of steps 2–3: grid-place each source's
+/// density escalated by `escalation` (clamped at the config cap), then
+/// verify the realized map against the junction target. Returns
+/// `Ok(Some(plan))` when the attempt meets the target, `Ok(None)` when
+/// the next escalation should run. Attempts are sequential by
+/// construction (attempt `n+1` only exists because `n` failed), so
+/// step-sliced callers run one attempt per slice.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn place_attempt_with(
+    design: &Design,
+    config: &PlacementConfig,
+    source_densities: &[(Rect, Ratio)],
+    escalation: f64,
+    ctx: &mut SolveContext,
+) -> Result<Option<PillarPlan>, SolveError> {
+    let macros: Vec<Rect> = design
+        .units
+        .iter()
+        .filter(|u| u.is_macro)
+        .map(|u| u.rect)
+        .collect();
+    let cells = config.lateral_cells.max(24);
+    let mut positions = Vec::new();
+    for (rect, density) in source_densities {
+        let escalated = Ratio::from_fraction(
+            (density.fraction() * escalation).min(config.max_density.fraction()),
+        );
+        let p_min = count_for_density(escalated, rect.area(), &config.pillar);
+        positions.extend(grid_place(rect, p_min, &config.pillar, &macros));
+    }
+    let density_map = rasterize(design, &positions, &config.pillar, cells);
+    let verify = StackConfig::uniform(config.tiers, config.beol, config.heatsink)
+        .with_lateral_cells(config.lateral_cells)
+        .with_pillar_map(density_map.clone());
+    let tj = solve_with(design, &verify, ctx)?.junction_temperature();
+    if tj <= config.t_target || source_densities.is_empty() {
+        let area_penalty = Ratio::from_fraction(
+            positions.len() as f64 * config.pillar.area().square_meters()
+                / design.die_area().square_meters(),
+        );
+        return Ok(Some(PillarPlan {
+            positions,
+            replicas: 1,
+            design: config.pillar.clone(),
+            density_map,
+            area_penalty,
+        }));
+    }
     Ok(None)
 }
 

@@ -1,0 +1,141 @@
+//! Checkpoint serialization helpers for the `tsc_bench::json` dialect.
+//!
+//! The dialect's only number type is `f64`, which cannot carry a full
+//! `u64` RNG word, and its decimal formatting is not guaranteed to
+//! round-trip the last bits of a double. Checkpoints therefore encode
+//! both as 16-hex-digit strings (the same convention the transient
+//! session stream uses for bitwise peak temperatures), so a resumed
+//! run restarts from *exactly* the serialized state.
+
+use tsc_bench::json::Json;
+
+/// A `u64` as a 16-hex-digit JSON string.
+#[must_use]
+pub fn hex_u64(v: u64) -> Json {
+    Json::Str(format!("{v:016x}"))
+}
+
+/// Parses a [`hex_u64`] value.
+///
+/// # Errors
+///
+/// Returns a message when the value is not a 16-hex-digit string.
+pub fn parse_hex_u64(value: &Json) -> Result<u64, String> {
+    let s = value
+        .as_str()
+        .ok_or_else(|| "expected a hex string".to_string())?;
+    if s.len() != 16 {
+        return Err(format!("expected 16 hex digits, got {:?}", s));
+    }
+    u64::from_str_radix(s, 16).map_err(|e| format!("bad hex word {s:?}: {e}"))
+}
+
+/// An `f64` as its raw bits in 16-hex-digit form (exact round-trip).
+#[must_use]
+pub fn bits_f64(v: f64) -> Json {
+    hex_u64(v.to_bits())
+}
+
+/// Parses a [`bits_f64`] value.
+///
+/// # Errors
+///
+/// Returns a message when the value is not a 16-hex-digit string.
+pub fn parse_bits_f64(value: &Json) -> Result<f64, String> {
+    parse_hex_u64(value).map(f64::from_bits)
+}
+
+/// A `usize` slice as a JSON array of numbers.
+#[must_use]
+pub fn usize_array(values: &[usize]) -> Json {
+    Json::Array(values.iter().map(|&v| Json::from(v)).collect())
+}
+
+/// Parses a [`usize_array`] value.
+///
+/// # Errors
+///
+/// Returns a message when any element is not an integral number.
+pub fn parse_usize_array(value: &Json) -> Result<Vec<usize>, String> {
+    value
+        .as_array()
+        .ok_or_else(|| "expected an array".to_string())?
+        .iter()
+        .map(|v| v.as_usize().ok_or_else(|| format!("bad index {v:?}")))
+        .collect()
+}
+
+/// A `bool` slice as a JSON array.
+#[must_use]
+pub fn bool_array(values: &[bool]) -> Json {
+    Json::Array(values.iter().map(|&v| Json::from(v)).collect())
+}
+
+/// Parses a [`bool_array`] value.
+///
+/// # Errors
+///
+/// Returns a message when any element is not a boolean.
+pub fn parse_bool_array(value: &Json) -> Result<Vec<bool>, String> {
+    value
+        .as_array()
+        .ok_or_else(|| "expected an array".to_string())?
+        .iter()
+        .map(|v| v.as_bool().ok_or_else(|| format!("bad flag {v:?}")))
+        .collect()
+}
+
+/// Fetches a required field from a checkpoint object.
+///
+/// # Errors
+///
+/// Returns a message naming the missing field.
+pub fn require<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("checkpoint missing field {key:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_words_round_trip() {
+        for v in [0_u64, 1, u64::MAX, 0x9E37_79B9_7F4A_7C15] {
+            assert_eq!(parse_hex_u64(&hex_u64(v)).expect("round trip"), v);
+        }
+    }
+
+    #[test]
+    fn f64_bits_round_trip_exactly() {
+        for v in [0.0, -0.0, 1.5, f64::MIN_POSITIVE, 1.0 / 3.0, -2.5e300] {
+            let back = parse_bits_f64(&bits_f64(v)).expect("round trip");
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn arrays_round_trip_through_serialization() {
+        let idx = vec![3_usize, 1, 2, 0];
+        let flags = vec![true, false, true];
+        let doc = Json::object()
+            .field("idx", usize_array(&idx))
+            .field("flags", bool_array(&flags));
+        let parsed = tsc_bench::json::parse(&doc.pretty()).expect("parses");
+        assert_eq!(
+            parse_usize_array(require(&parsed, "idx").expect("idx")).expect("idx"),
+            idx
+        );
+        assert_eq!(
+            parse_bool_array(require(&parsed, "flags").expect("flags")).expect("flags"),
+            flags
+        );
+    }
+
+    #[test]
+    fn malformed_words_are_rejected() {
+        assert!(parse_hex_u64(&Json::Str("abc".into())).is_err());
+        assert!(parse_hex_u64(&Json::Num(5.0)).is_err());
+        assert!(parse_hex_u64(&Json::Str("zzzzzzzzzzzzzzzz".into())).is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! The engine dispatch layer: one enum over the three job kinds, with
+//! the uniform step-sliced contract the scheduler drives:
+//!
+//! * [`Engine::next_work`] checks out an independent [`ShardWork`] unit
+//!   (or `None` while the engine waits at a barrier / is finished);
+//! * [`ShardWork::run`] executes lock-free on any worker thread;
+//! * [`Engine::complete_shard`] returns the unit, advancing barriers
+//!   and yielding progress events for streaming clients.
+
+use tsc_bench::json::Json;
+
+use crate::floorplan_job::{FloorplanJob, FloorplanShard};
+use crate::pillars_job::{PillarJob, PillarShard};
+use crate::spec::{JobKind, JobSpec};
+use crate::sweep_job::{SweepJob, SweepShard};
+
+/// A typed progress snapshot for status responses.
+#[derive(Debug, Clone)]
+pub struct Progress {
+    /// Engine phase label.
+    pub phase: &'static str,
+    /// Completed fraction in `[0, 1]`.
+    pub fraction: f64,
+    /// Best cost so far (`floorplan_sa` only).
+    pub best_cost: Option<f64>,
+    /// Completed rounds / shards.
+    pub round: usize,
+    /// Total rounds / shards.
+    pub rounds: usize,
+    /// Fresh evaluations performed.
+    pub evals: u64,
+    /// Evaluations served from the dedupe memo.
+    pub dedup_hits: u64,
+}
+
+impl Progress {
+    /// The status-document form.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let doc = Json::object()
+            .field("phase", self.phase)
+            .field("fraction", self.fraction.clamp(0.0, 1.0))
+            .field("round", self.round)
+            .field("rounds", self.rounds)
+            .field("evals", self.evals as f64)
+            .field("dedup_hits", self.dedup_hits as f64);
+        match self.best_cost {
+            Some(c) => doc.field("best_cost", c),
+            None => doc,
+        }
+    }
+}
+
+/// One checked-out work unit. Owns everything it needs, so workers run
+/// it without touching the job table.
+#[derive(Debug)]
+pub enum ShardWork {
+    /// A tempering replica's move round.
+    Floorplan(FloorplanShard),
+    /// A sweep baseline or point solve.
+    Sweep(SweepShard),
+    /// A density bisection or an escalation attempt.
+    Pillar(PillarShard),
+}
+
+impl ShardWork {
+    /// Executes the unit (lock-free; call off the table lock).
+    pub fn run(&mut self) {
+        match self {
+            Self::Floorplan(s) => s.run(),
+            Self::Sweep(s) => s.run(),
+            Self::Pillar(s) => s.run(),
+        }
+    }
+}
+
+/// A job engine: the step-sliced state machine behind one `/v1/jobs`
+/// entry.
+#[derive(Debug)]
+pub enum Engine {
+    /// Parallel-tempered floorplanning.
+    Floorplan(FloorplanJob),
+    /// The Fig. 12b sweep.
+    Sweep(SweepJob),
+    /// Sec. IIIA pillar placement.
+    Pillar(PillarJob),
+}
+
+impl Engine {
+    /// Builds the engine a spec asks for (resuming from the spec's
+    /// checkpoint when present).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message suitable for a 400 response.
+    pub fn from_spec(spec: &JobSpec) -> Result<Self, String> {
+        Ok(match spec.kind {
+            JobKind::FloorplanSa => Self::Floorplan(FloorplanJob::from_spec(spec)?),
+            JobKind::DielectricSweep => Self::Sweep(SweepJob::from_spec(spec)?),
+            JobKind::PillarPlace => Self::Pillar(PillarJob::from_spec(spec)?),
+        })
+    }
+
+    /// The engine's kind.
+    #[must_use]
+    pub fn kind(&self) -> JobKind {
+        match self {
+            Self::Floorplan(_) => JobKind::FloorplanSa,
+            Self::Sweep(_) => JobKind::DielectricSweep,
+            Self::Pillar(_) => JobKind::PillarPlace,
+        }
+    }
+
+    /// Checks out the next work unit, if one is ready.
+    pub fn next_work(&mut self) -> Option<ShardWork> {
+        match self {
+            Self::Floorplan(job) => job.next_work().map(ShardWork::Floorplan),
+            Self::Sweep(job) => job.next_work().map(ShardWork::Sweep),
+            Self::Pillar(job) => job.next_work().map(ShardWork::Pillar),
+        }
+    }
+
+    /// Returns a completed unit; yields progress events. A unit of the
+    /// wrong kind is dropped (the table pairs units with their entry,
+    /// so this only guards against scheduler bugs).
+    pub fn complete_shard(&mut self, work: ShardWork) -> Vec<Json> {
+        match (self, work) {
+            (Self::Floorplan(job), ShardWork::Floorplan(s)) => job.complete_shard(s),
+            (Self::Sweep(job), ShardWork::Sweep(s)) => job.complete_shard(s),
+            (Self::Pillar(job), ShardWork::Pillar(s)) => job.complete_shard(s),
+            _ => Vec::new(),
+        }
+    }
+
+    /// `true` once the engine has a result.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        match self {
+            Self::Floorplan(job) => job.is_done(),
+            Self::Sweep(job) => job.is_done(),
+            Self::Pillar(job) => job.is_done(),
+        }
+    }
+
+    /// Fatal error, if the engine failed.
+    #[must_use]
+    pub fn failed(&self) -> Option<&str> {
+        match self {
+            Self::Floorplan(_) => None,
+            Self::Sweep(job) => job.failed(),
+            Self::Pillar(job) => job.failed(),
+        }
+    }
+
+    /// Progress snapshot.
+    #[must_use]
+    pub fn progress(&self) -> Progress {
+        match self {
+            Self::Floorplan(job) => job.progress(),
+            Self::Sweep(job) => job.progress(),
+            Self::Pillar(job) => job.progress(),
+        }
+    }
+
+    /// The last-barrier checkpoint (resume token).
+    #[must_use]
+    pub fn checkpoint(&self) -> Json {
+        match self {
+            Self::Floorplan(job) => job.checkpoint(),
+            Self::Sweep(job) => job.checkpoint(),
+            Self::Pillar(job) => job.checkpoint(),
+        }
+    }
+
+    /// The result document, once done.
+    #[must_use]
+    pub fn result(&self) -> Option<Json> {
+        match self {
+            Self::Floorplan(job) => job.result(),
+            Self::Sweep(job) => job.result(),
+            Self::Pillar(job) => job.result(),
+        }
+    }
+}

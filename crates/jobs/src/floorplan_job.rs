@@ -1,0 +1,605 @@
+//! The `floorplan_sa` engine: parallel-tempered thermal-aware
+//! floorplanning over a design fixture.
+//!
+//! Each work unit is one replica's move round at its rung temperature;
+//! replicas synchronize only at the per-round barrier, where the engine
+//! runs the deterministic even/odd swap sweep, merges memo overlays,
+//! emits a progress event and refreshes the checkpoint. Because every
+//! replica owns its RNG stream, the schedule order of the shards cannot
+//! affect the result — a resumed run replays the interrupted round from
+//! the last barrier and lands on the same best cost and RNG states,
+//! bitwise.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use tsc_bench::json::Json;
+use tsc_designs::Design;
+use tsc_phydes::anneal::{AnnealState, Replica, Schedule, TemperedRun};
+use tsc_phydes::floorplan::{FloorplanProblem, Module, Net, SpCandidate};
+use tsc_rng::Rng64;
+use tsc_units::Ratio;
+
+use crate::checkpoint::{
+    bits_f64, bool_array, hex_u64, parse_bits_f64, parse_bool_array, parse_hex_u64,
+    parse_usize_array, require, usize_array,
+};
+use crate::memo::{EvalMemo, FNV_OFFSET, FNV_PRIME};
+use crate::spec::JobSpec;
+use crate::Progress;
+
+/// Sequence-pair state over a shared problem, movable across threads.
+#[derive(Debug, Clone)]
+pub struct FpState {
+    /// The (immutable, shared) problem instance.
+    pub problem: Arc<FloorplanProblem>,
+    /// The candidate this state represents.
+    pub cand: SpCandidate,
+}
+
+impl AnnealState for FpState {
+    fn neighbour(&self, rng: &mut Rng64) -> Self {
+        Self {
+            problem: Arc::clone(&self.problem),
+            cand: self.problem.neighbour(&self.cand, rng),
+        }
+    }
+
+    fn cost(&self) -> f64 {
+        self.problem.cost(&self.cand)
+    }
+}
+
+/// FNV-1a fingerprint of a candidate — the memo key. Collisions map two
+/// candidates to one cached cost; with a 64-bit digest over ≤32-module
+/// permutations the chance is negligible against the ~10⁴ evaluations
+/// of a run.
+#[must_use]
+pub fn candidate_fingerprint(cand: &SpCandidate) -> u64 {
+    let mut hash = FNV_OFFSET;
+    let mut eat = |b: u8| {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    };
+    for &v in cand.gamma_pos.iter().chain(cand.gamma_neg.iter()) {
+        for b in (v as u64).to_le_bytes() {
+            eat(b);
+        }
+    }
+    for &r in &cand.rotated {
+        eat(u8::from(r));
+    }
+    hash
+}
+
+/// Derives the floorplanning instance for a named design fixture: one
+/// module per functional unit (hard macros stay macros) powered at the
+/// 70 % utilization operating point, a star net from the first unit
+/// plus a chain in unit order. Designs larger than 32 units keep the 32
+/// largest by area so the O(n²) sequence-pair placement stays
+/// interactive-friendly.
+///
+/// # Errors
+///
+/// Returns a message for unknown design names.
+pub fn floorplan_problem_for(
+    design_name: &str,
+    temperature_weight: f64,
+    wirelength_budget: f64,
+) -> Result<FloorplanProblem, String> {
+    let design: Design = match design_name {
+        "gemmini" => tsc_designs::gemmini::design(),
+        "rocket" => tsc_designs::rocket::design(),
+        other => return Err(format!("unknown design {other:?}")),
+    };
+    let utilization = Ratio::from_percent(70.0);
+    let mut units: Vec<&tsc_designs::DesignUnit> = design.units.iter().collect();
+    // Deterministic truncation: largest area first, name breaks ties.
+    units.sort_by(|a, b| {
+        b.rect
+            .area()
+            .square_meters()
+            .total_cmp(&a.rect.area().square_meters())
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    units.truncate(32);
+    let modules: Vec<Module> = units
+        .iter()
+        .map(|u| {
+            let power = u.power(utilization, design.clock);
+            if u.is_macro {
+                Module::hard_macro(u.name.clone(), u.rect.width(), u.rect.height(), power)
+            } else {
+                Module::soft(u.name.clone(), u.rect.width(), u.rect.height(), power)
+            }
+        })
+        .collect();
+    let n = modules.len();
+    let mut nets: Vec<Net> = (1..n).map(|i| Net { a: 0, b: i }).collect();
+    nets.extend((1..n.saturating_sub(1)).map(|i| Net { a: i, b: i + 1 }));
+    Ok(FloorplanProblem::new(
+        modules,
+        nets,
+        Ratio::from_fraction(temperature_weight),
+        Ratio::from_fraction(wirelength_budget),
+    ))
+}
+
+/// One replica's move round, checked out of the engine. Runs lock-free
+/// on any worker thread.
+#[derive(Debug)]
+pub struct FloorplanShard {
+    /// Which rung this replica sits on.
+    pub replica_idx: usize,
+    /// The rung temperature.
+    pub temperature: f64,
+    /// Proposals to make.
+    pub moves: usize,
+    /// The checked-out replica.
+    pub replica: Replica<FpState>,
+    /// Shard-local memo view (barrier snapshot + private overlay).
+    pub memo: EvalMemo,
+}
+
+impl FloorplanShard {
+    /// Runs the move round, deduping evaluations through the memo.
+    pub fn run(&mut self) {
+        let Self { replica, memo, .. } = self;
+        let mut eval = |s: &FpState| memo.cost_or_eval(candidate_fingerprint(&s.cand), || s.cost());
+        replica.round(self.temperature, self.moves, &mut eval);
+    }
+}
+
+/// The `floorplan_sa` engine state machine.
+#[derive(Debug)]
+pub struct FloorplanJob {
+    design: String,
+    schedule_label: &'static str,
+    seed: u64,
+    temperature_weight: f64,
+    wirelength_budget: f64,
+    problem: Arc<FloorplanProblem>,
+    run: TemperedRun<FpState>,
+    /// Per-replica "issued this round" flags; reset at the barrier.
+    checked_out: Vec<bool>,
+    /// Replicas returned this round.
+    returned: usize,
+    memo_master: HashMap<u64, u64>,
+    memo_snapshot: Arc<HashMap<u64, u64>>,
+    evals: u64,
+    dedup_hits: u64,
+    last_checkpoint: Json,
+}
+
+fn schedule_label_of(schedule: &Schedule) -> &'static str {
+    if *schedule == Schedule::standard() {
+        "standard"
+    } else {
+        "quick"
+    }
+}
+
+fn placeholder_replica(problem: &Arc<FloorplanProblem>) -> Replica<FpState> {
+    // Struct literal (fields are public) so no cost evaluation happens
+    // for the placeholder left behind by a checkout.
+    let dummy = FpState {
+        problem: Arc::clone(problem),
+        cand: problem.initial(),
+    };
+    Replica {
+        rng: Rng64::seed_from_u64(0),
+        current: dummy.clone(),
+        current_cost: f64::INFINITY,
+        best: dummy,
+        best_cost: f64::INFINITY,
+        proposals: 0,
+        accepted: 0,
+    }
+}
+
+impl FloorplanJob {
+    /// Builds the engine from a parsed spec, resuming from the spec's
+    /// checkpoint when present.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown designs or malformed checkpoints.
+    pub fn from_spec(spec: &JobSpec) -> Result<Self, String> {
+        if let Some(cp) = &spec.resume {
+            return Self::resume(cp);
+        }
+        let problem = Arc::new(floorplan_problem_for(
+            &spec.design,
+            spec.temperature_weight,
+            spec.wirelength_budget,
+        )?);
+        let initial = FpState {
+            problem: Arc::clone(&problem),
+            cand: problem.initial(),
+        };
+        let run = TemperedRun::new(initial, &spec.schedule, spec.replicas, spec.seed);
+        let rungs = run.replicas.len();
+        let mut job = Self {
+            design: spec.design.clone(),
+            schedule_label: schedule_label_of(&spec.schedule),
+            seed: spec.seed,
+            temperature_weight: spec.temperature_weight,
+            wirelength_budget: spec.wirelength_budget,
+            problem,
+            run,
+            checked_out: vec![false; rungs],
+            returned: 0,
+            memo_master: HashMap::new(),
+            memo_snapshot: Arc::new(HashMap::new()),
+            evals: 0,
+            dedup_hits: 0,
+            last_checkpoint: Json::Null,
+        };
+        job.last_checkpoint = job.make_checkpoint();
+        Ok(job)
+    }
+
+    fn resume(cp: &Json) -> Result<Self, String> {
+        let design = require(cp, "design")?
+            .as_str()
+            .ok_or_else(|| "checkpoint field \"design\" must be a string".to_string())?
+            .to_string();
+        let schedule_label = require(cp, "schedule")?
+            .as_str()
+            .ok_or_else(|| "checkpoint field \"schedule\" must be a string".to_string())?;
+        let (schedule, schedule_label) = match schedule_label {
+            "standard" => (Schedule::standard(), "standard"),
+            "quick" => (Schedule::quick(), "quick"),
+            other => return Err(format!("checkpoint has unknown schedule {other:?}")),
+        };
+        let seed = parse_hex_u64(require(cp, "seed")?)?;
+        let temperature_weight = parse_bits_f64(require(cp, "temperature_weight")?)?;
+        let wirelength_budget = parse_bits_f64(require(cp, "wirelength_budget")?)?;
+        let problem = Arc::new(floorplan_problem_for(
+            &design,
+            temperature_weight,
+            wirelength_budget,
+        )?);
+        let round = require(cp, "round")?
+            .as_usize()
+            .ok_or_else(|| "checkpoint field \"round\" must be an integer".to_string())?;
+        let swaps_accepted = require(cp, "swaps_accepted")?
+            .as_usize()
+            .ok_or_else(|| "checkpoint field \"swaps_accepted\" must be an integer".to_string())?
+            as u64;
+        let swap_rng = Rng64::from_state(parse_hex_u64(require(cp, "swap_rng")?)?);
+        let replica_docs = require(cp, "replicas")?
+            .as_array()
+            .ok_or_else(|| "checkpoint field \"replicas\" must be an array".to_string())?;
+        if replica_docs.is_empty() || replica_docs.len() > 16 {
+            return Err("checkpoint must hold 1..=16 replicas".to_string());
+        }
+        let parse_cand = |doc: &Json| -> Result<SpCandidate, String> {
+            Ok(SpCandidate {
+                gamma_pos: parse_usize_array(require(doc, "gp")?)?,
+                gamma_neg: parse_usize_array(require(doc, "gn")?)?,
+                rotated: parse_bool_array(require(doc, "rot")?)?,
+            })
+        };
+        let n = problem.modules().len();
+        let mut replicas = Vec::with_capacity(replica_docs.len());
+        for doc in replica_docs {
+            let current = parse_cand(require(doc, "current")?)?;
+            let best = parse_cand(require(doc, "best")?)?;
+            for cand in [&current, &best] {
+                if cand.gamma_pos.len() != n || cand.gamma_neg.len() != n || cand.rotated.len() != n
+                {
+                    return Err("checkpoint candidate does not match the design".to_string());
+                }
+            }
+            replicas.push(Replica {
+                rng: Rng64::from_state(parse_hex_u64(require(doc, "rng")?)?),
+                current: FpState {
+                    problem: Arc::clone(&problem),
+                    cand: current,
+                },
+                current_cost: parse_bits_f64(require(doc, "current_cost")?)?,
+                best: FpState {
+                    problem: Arc::clone(&problem),
+                    cand: best,
+                },
+                best_cost: parse_bits_f64(require(doc, "best_cost")?)?,
+                proposals: require(doc, "proposals")?
+                    .as_usize()
+                    .ok_or_else(|| "replica \"proposals\" must be an integer".to_string())?
+                    as u64,
+                accepted: require(doc, "accepted")?
+                    .as_usize()
+                    .ok_or_else(|| "replica \"accepted\" must be an integer".to_string())?
+                    as u64,
+            });
+        }
+        let rungs = replicas.len();
+        let run = TemperedRun {
+            ladder: tsc_phydes::anneal::temperature_ladder(&schedule, rungs),
+            moves_per_round: schedule.moves_per_round,
+            rounds: tsc_phydes::anneal::schedule_rounds(&schedule),
+            round,
+            replicas,
+            swap_rng,
+            swaps_accepted,
+        };
+        let mut job = Self {
+            design,
+            schedule_label,
+            seed,
+            temperature_weight,
+            wirelength_budget,
+            problem,
+            run,
+            checked_out: vec![false; rungs],
+            returned: 0,
+            // The memo is a cache, not state: it restarts empty, and so
+            // do the dedupe counters (they are the one thing allowed to
+            // differ between a resumed and an uninterrupted run).
+            memo_master: HashMap::new(),
+            memo_snapshot: Arc::new(HashMap::new()),
+            evals: 0,
+            dedup_hits: 0,
+            last_checkpoint: Json::Null,
+        };
+        job.last_checkpoint = job.make_checkpoint();
+        Ok(job)
+    }
+
+    /// Checks out the next replica round, if any.
+    pub fn next_work(&mut self) -> Option<FloorplanShard> {
+        if self.run.is_done() {
+            return None;
+        }
+        let idx = self.checked_out.iter().position(|&c| !c)?;
+        self.checked_out[idx] = true;
+        let replica = std::mem::replace(
+            &mut self.run.replicas[idx],
+            placeholder_replica(&self.problem),
+        );
+        Some(FloorplanShard {
+            replica_idx: idx,
+            temperature: self.run.ladder[idx],
+            moves: self.run.moves_per_round,
+            replica,
+            memo: EvalMemo::with_snapshot(Arc::clone(&self.memo_snapshot)),
+        })
+    }
+
+    /// Returns a completed shard; at the round barrier runs the swap
+    /// sweep, merges memo overlays and emits a progress event.
+    pub fn complete_shard(&mut self, shard: FloorplanShard) -> Vec<Json> {
+        let FloorplanShard {
+            replica_idx,
+            replica,
+            memo,
+            ..
+        } = shard;
+        self.run.replicas[replica_idx] = replica;
+        let (hits, misses) = memo.merge_into(&mut self.memo_master);
+        self.dedup_hits += hits;
+        self.evals += misses;
+        self.returned += 1;
+        if self.returned < self.run.replicas.len() {
+            return Vec::new();
+        }
+        // Barrier: swap sweep, fresh memo snapshot, checkpoint, event.
+        self.run.swap_round();
+        self.memo_snapshot = Arc::new(self.memo_master.clone());
+        self.checked_out.iter_mut().for_each(|c| *c = false);
+        self.returned = 0;
+        self.last_checkpoint = self.make_checkpoint();
+        let (_, best_cost) = self.run.best();
+        vec![Json::object()
+            .field("event", "progress")
+            .field("phase", "anneal")
+            .field("round", self.run.round)
+            .field("rounds", self.run.rounds)
+            .field("best_cost", best_cost)
+            .field("evals", self.evals as f64)
+            .field("dedup_hits", self.dedup_hits as f64)
+            .field("swaps_accepted", self.run.swaps_accepted as f64)]
+    }
+
+    /// `true` once every round (and its barrier) has completed.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.run.is_done()
+    }
+
+    /// Progress snapshot.
+    #[must_use]
+    pub fn progress(&self) -> Progress {
+        let (_, best_cost) = self.run.best();
+        Progress {
+            phase: "anneal",
+            fraction: self.run.round as f64 / self.run.rounds.max(1) as f64,
+            best_cost: Some(best_cost),
+            round: self.run.round,
+            rounds: self.run.rounds,
+            evals: self.evals,
+            dedup_hits: self.dedup_hits,
+        }
+    }
+
+    /// The checkpoint captured at the last round barrier.
+    #[must_use]
+    pub fn checkpoint(&self) -> Json {
+        self.last_checkpoint.clone()
+    }
+
+    fn make_checkpoint(&self) -> Json {
+        let cand_doc = |cand: &SpCandidate| {
+            Json::object()
+                .field("gp", usize_array(&cand.gamma_pos))
+                .field("gn", usize_array(&cand.gamma_neg))
+                .field("rot", bool_array(&cand.rotated))
+        };
+        let replicas: Vec<Json> = self
+            .run
+            .replicas
+            .iter()
+            .map(|r| {
+                Json::object()
+                    .field("rng", hex_u64(r.rng.state()))
+                    .field("current", cand_doc(&r.current.cand))
+                    .field("current_cost", bits_f64(r.current_cost))
+                    .field("best", cand_doc(&r.best.cand))
+                    .field("best_cost", bits_f64(r.best_cost))
+                    .field("proposals", r.proposals as f64)
+                    .field("accepted", r.accepted as f64)
+            })
+            .collect();
+        Json::object()
+            .field("kind", "floorplan_sa")
+            .field("design", self.design.as_str())
+            .field("schedule", self.schedule_label)
+            .field("seed", hex_u64(self.seed))
+            .field("temperature_weight", bits_f64(self.temperature_weight))
+            .field("wirelength_budget", bits_f64(self.wirelength_budget))
+            .field("round", self.run.round)
+            .field("swaps_accepted", self.run.swaps_accepted as f64)
+            .field("swap_rng", hex_u64(self.run.swap_rng.state()))
+            .field("replicas", Json::Array(replicas))
+    }
+
+    /// The result document, once done.
+    #[must_use]
+    pub fn result(&self) -> Option<Json> {
+        if !self.is_done() {
+            return None;
+        }
+        let (best, best_cost) = self.run.best();
+        let outcome = self.problem.evaluate(&best.cand);
+        let (proposals, accepted) = self.run.totals();
+        Some(
+            Json::object()
+                .field("kind", "floorplan_sa")
+                .field("design", self.design.as_str())
+                .field("best_cost", best_cost)
+                .field("best_cost_bits", bits_f64(best_cost))
+                .field("rounds", self.run.rounds)
+                .field("replicas", self.run.replicas.len())
+                .field("proposals", proposals as f64)
+                .field("accepted", accepted as f64)
+                .field("swaps_accepted", self.run.swaps_accepted as f64)
+                .field("evals", self.evals as f64)
+                .field("dedup_hits", self.dedup_hits as f64)
+                .field("hpwl_um", outcome.wirelength.meters() * 1e6)
+                .field(
+                    "hotspot_w_cm2",
+                    outcome.hotspot.watts_per_square_meter() / 1e4,
+                )
+                .field("area_um2", outcome.plan.area().square_meters() * 1e12)
+                .field(
+                    "best",
+                    Json::object()
+                        .field("gp", usize_array(&best.cand.gamma_pos))
+                        .field("gn", usize_array(&best.cand.gamma_neg))
+                        .field("rot", bool_array(&best.cand.rotated)),
+                ),
+        )
+    }
+
+    /// Total dedupe hits so far.
+    #[must_use]
+    pub fn dedup_hits(&self) -> u64 {
+        self.dedup_hits
+    }
+
+    /// Final RNG words `(replica streams…, swap stream)` — the bitwise
+    /// resume property asserts on these.
+    #[must_use]
+    pub fn rng_states(&self) -> Vec<u64> {
+        let mut words: Vec<u64> = self.run.replicas.iter().map(|r| r.rng.state()).collect();
+        words.push(self.run.swap_rng.state());
+        words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsc_bench::json::parse;
+
+    fn spec(seed: u64) -> JobSpec {
+        let body = parse(&format!(
+            r#"{{"kind": "floorplan_sa", "design": "rocket", "replicas": 3, "seed": {seed}}}"#
+        ))
+        .expect("json");
+        JobSpec::parse(&body).expect("spec")
+    }
+
+    fn drive_to_completion(job: &mut FloorplanJob) {
+        while !job.is_done() {
+            let mut batch = Vec::new();
+            while let Some(mut shard) = job.next_work() {
+                shard.run();
+                batch.push(shard);
+            }
+            assert!(!batch.is_empty(), "engine stalled before completion");
+            // Return shards out of order to prove schedule-independence.
+            batch.reverse();
+            for shard in batch {
+                let _ = job.complete_shard(shard);
+            }
+        }
+    }
+
+    #[test]
+    fn kill_and_resume_is_bitwise_identical() {
+        let mut uninterrupted = FloorplanJob::from_spec(&spec(11)).expect("job");
+        drive_to_completion(&mut uninterrupted);
+
+        // Run a second copy, "kill" it after five barriers, and resume
+        // from the serialized checkpoint (through a JSON round trip).
+        let mut killed = FloorplanJob::from_spec(&spec(11)).expect("job");
+        for _ in 0..5 {
+            let mut batch = Vec::new();
+            while let Some(mut shard) = killed.next_work() {
+                shard.run();
+                batch.push(shard);
+            }
+            for shard in batch {
+                let _ = killed.complete_shard(shard);
+            }
+        }
+        let wire = killed.checkpoint().pretty();
+        let cp = parse(&wire).expect("checkpoint parses");
+        let body = Json::object()
+            .field("kind", "floorplan_sa")
+            .field("resume", cp);
+        let spec = JobSpec::parse(&body).expect("resume spec");
+        let mut resumed = FloorplanJob::from_spec(&spec).expect("resumed job");
+        drive_to_completion(&mut resumed);
+
+        let a = uninterrupted.result().expect("result");
+        let b = resumed.result().expect("result");
+        assert_eq!(
+            a.get("best_cost_bits").and_then(Json::as_str),
+            b.get("best_cost_bits").and_then(Json::as_str),
+            "resumed best cost must match bitwise"
+        );
+        assert_eq!(
+            uninterrupted.rng_states(),
+            resumed.rng_states(),
+            "resumed RNG streams must land on identical words"
+        );
+    }
+
+    #[test]
+    fn dedupe_memo_catches_repeat_candidates() {
+        let mut job = FloorplanJob::from_spec(&spec(3)).expect("job");
+        drive_to_completion(&mut job);
+        assert!(
+            job.dedup_hits() > 0,
+            "an SA run revisits states; the memo must catch some"
+        );
+    }
+
+    #[test]
+    fn unknown_design_is_rejected() {
+        assert!(floorplan_problem_for("does-not-exist", 0.3, 1.2).is_err());
+    }
+}

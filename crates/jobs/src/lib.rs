@@ -1,0 +1,57 @@
+//! Optimization-as-a-service engines for `tsc-serve`'s `/v1/jobs`.
+//!
+//! The paper's headline results are co-design *searches* — SA
+//! floorplanning (Sec. IIIB), dielectric sweeps (Fig. 12b), pillar
+//! placement (Sec. IIIA) — each hundreds of nearby evaluations. This
+//! crate packages those searches as **step-sliced, checkpointable job
+//! engines** so the serving tier can interleave them with interactive
+//! traffic:
+//!
+//! * [`JobSpec`] parses a `POST /v1/jobs` body into one of three kinds
+//!   ([`JobKind`]): `floorplan_sa`, `dielectric_sweep`, `pillar_place`;
+//! * [`Engine`] turns a spec into a sequence of independent
+//!   [`ShardWork`] units — a tempering replica's move round, one sweep
+//!   point, one source's density bisection — that run lock-free on any
+//!   worker thread and synchronize only at engine barriers;
+//! * [`EvalMemo`] dedupes identical candidate evaluations through an
+//!   FNV-1a fingerprint memo (layered on the same hashing the serve
+//!   tier's coalescing keys use);
+//! * [`Engine::checkpoint`] serializes the search (seeded RNG words,
+//!   current/best candidates, the temperature ladder) into the
+//!   `tsc_bench::json` dialect, and [`Engine::from_spec`] resumes it —
+//!   **bitwise-identically**: a resumed run reaches the same best cost
+//!   and final RNG state as the uninterrupted run, per seed. To keep
+//!   that property, every solver-backed work unit uses a fresh
+//!   [`tsc_thermal::SolveContext`] (warm starts stay *within* a shard,
+//!   where they matter, never across the checkpoint boundary);
+//! * [`JobTable`] is the bounded, quota'd table the scheduler runs jobs
+//!   from — a plain data structure (no locking) that `tsc-serve` wraps
+//!   in its ranked mutex.
+//!
+//! No wall-clock value ever feeds an engine: randomness is seeded
+//! [`tsc_rng::Rng64`] streams throughout, so results are reproducible
+//! regardless of worker interleaving.
+
+// No crate outside tsc-thermal may contain `unsafe` (enforced
+// statically here and by `cargo run -p tsc-analyze`).
+#![forbid(unsafe_code)]
+
+mod checkpoint;
+mod engine;
+mod floorplan_job;
+mod memo;
+mod pillars_job;
+mod spec;
+mod sweep_job;
+mod table;
+
+pub use checkpoint::{bits_f64, hex_u64, parse_bits_f64, parse_hex_u64};
+pub use engine::{Engine, Progress, ShardWork};
+pub use floorplan_job::{
+    candidate_fingerprint, floorplan_problem_for, FloorplanJob, FloorplanShard, FpState,
+};
+pub use memo::{fnv1a_bytes, EvalMemo, FNV_OFFSET, FNV_PRIME};
+pub use pillars_job::{PillarJob, PillarOutcome, PillarShard, PillarShardKind, PlanSummary};
+pub use spec::{JobKind, JobSpec};
+pub use sweep_job::{SweepJob, SweepOutcome, SweepShard, SweepShardKind};
+pub use table::{JobClass, JobEntry, JobState, JobTable, SubmitError, TableConfig, TableCounters};

@@ -1,0 +1,141 @@
+//! Candidate-evaluation dedupe: an FNV-1a fingerprint memo.
+//!
+//! SA chains revisit states (accept A→B then B→A), tempering replicas
+//! cross paths after swap rounds, and sweep requests repeat points —
+//! all producing *identical* candidate evaluations. The memo keys each
+//! candidate by the same FNV-1a hash family the serve tier's coalescing
+//! keys use and returns the cached cost instead of re-evaluating.
+//!
+//! Concurrency model: shards run lock-free, so each [`ShardWork`]
+//! carries an immutable [`EvalMemo`] snapshot (an `Arc` taken at the
+//! last barrier) plus a private overlay of its own evaluations; the
+//! engine merges overlays back at the barrier. Memoization never
+//! changes results — identical candidates have identical costs — so
+//! dedupe counters are the only thing that varies with cache state
+//! (and they are deliberately excluded from checkpoints).
+//!
+//! [`ShardWork`]: crate::ShardWork
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// FNV-1a 64-bit offset basis (matches the serve tier's coalescing-key
+/// hash).
+pub const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// FNV-1a over a byte slice.
+#[must_use]
+pub fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// A shard-local view of the evaluation memo: an immutable snapshot
+/// shared across concurrent shards plus a private overlay.
+///
+/// Costs are stored as raw `f64` bits so lookups are exact — a memo hit
+/// returns the cached evaluation bit-for-bit.
+#[derive(Debug, Clone, Default)]
+pub struct EvalMemo {
+    snapshot: Arc<HashMap<u64, u64>>,
+    local: HashMap<u64, u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl EvalMemo {
+    /// A view over the barrier snapshot.
+    #[must_use]
+    pub fn with_snapshot(snapshot: Arc<HashMap<u64, u64>>) -> Self {
+        Self {
+            snapshot,
+            ..Self::default()
+        }
+    }
+
+    /// Returns the memoized cost for `fingerprint`, or computes it via
+    /// `eval`, recording it in the private overlay.
+    pub fn cost_or_eval(&mut self, fingerprint: u64, eval: impl FnOnce() -> f64) -> f64 {
+        if let Some(&bits) = self
+            .snapshot
+            .get(&fingerprint)
+            .or_else(|| self.local.get(&fingerprint))
+        {
+            self.hits += 1;
+            return f64::from_bits(bits);
+        }
+        let cost = eval();
+        self.misses += 1;
+        self.local.insert(fingerprint, cost.to_bits());
+        cost
+    }
+
+    /// Memo hits recorded by this view.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Fresh evaluations recorded by this view.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drains the private overlay and counters into the master map the
+    /// engine keeps; called under the barrier.
+    pub fn merge_into(self, master: &mut HashMap<u64, u64>) -> (u64, u64) {
+        for (k, v) in self.local {
+            master.entry(k).or_insert(v);
+        }
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_candidates_evaluate_once() {
+        let mut memo = EvalMemo::default();
+        let mut evals = 0;
+        let a = memo.cost_or_eval(42, || {
+            evals += 1;
+            1.5
+        });
+        let b = memo.cost_or_eval(42, || {
+            evals += 1;
+            999.0
+        });
+        assert_eq!(evals, 1, "identical fingerprint must evaluate once");
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_eq!(memo.hits(), 1);
+        assert_eq!(memo.misses(), 1);
+    }
+
+    #[test]
+    fn snapshot_hits_count_and_merge_preserves_entries() {
+        let mut master = HashMap::new();
+        master.insert(7_u64, 2.0_f64.to_bits());
+        let snapshot = Arc::new(master.clone());
+        let mut memo = EvalMemo::with_snapshot(snapshot);
+        assert_eq!(memo.cost_or_eval(7, || unreachable!()), 2.0);
+        let _ = memo.cost_or_eval(8, || 3.0);
+        let (hits, misses) = memo.merge_into(&mut master);
+        assert_eq!((hits, misses), (1, 1));
+        assert_eq!(master.len(), 2);
+    }
+
+    #[test]
+    fn fnv_matches_reference_vector() {
+        // FNV-1a("a") — the classic published test vector.
+        assert_eq!(fnv1a_bytes(b"a"), 0xAF63_DC4C_8601_EC8C);
+    }
+}

@@ -1,0 +1,493 @@
+//! The `pillar_place` engine: Sec. IIIA pillar placement as work units.
+//!
+//! Phase 1 fans one density-bisection shard per heat source (they are
+//! independent); phase 2 runs the escalation attempts sequentially —
+//! attempt `n+1` only exists because attempt `n` missed the junction
+//! target. Every shard solves against a **fresh** `SolveContext`, so
+//! the realized densities and verdicts cannot depend on which shards
+//! ran before a checkpoint: a resumed placement is bitwise-identical
+//! to an uninterrupted one. (Within a shard the bisection still
+//! warm-starts probe-to-probe, where it actually pays.)
+
+use tsc_bench::json::Json;
+use tsc_core::pillars::{
+    minimum_source_density_with, place_attempt_with, placement_sources, PlacementConfig,
+    ESCALATION_FACTOR, MAX_ESCALATIONS,
+};
+use tsc_designs::Design;
+use tsc_geometry::Rect;
+use tsc_thermal::SolveContext;
+use tsc_units::{Ratio, Temperature};
+
+use crate::checkpoint::{bits_f64, parse_bits_f64, require};
+use crate::memo::fnv1a_bytes;
+use crate::spec::JobSpec;
+use crate::Progress;
+
+/// What a pillar shard computes.
+#[derive(Debug, Clone)]
+pub enum PillarShardKind {
+    /// Phase 1: the minimum uniform-cover density for one source.
+    Density {
+        /// Index into the engine's source list.
+        source_idx: usize,
+        /// The source rect.
+        source: Rect,
+    },
+    /// Phase 2: one escalation attempt over the realized densities.
+    Attempt {
+        /// Zero-based attempt number.
+        attempt: usize,
+        /// Fill escalation past `P_min` (`1.3^attempt`, iterated).
+        escalation: f64,
+        /// The positive per-source densities from phase 1.
+        source_densities: Vec<(Rect, Ratio)>,
+    },
+}
+
+/// The outcome a pillar shard carries back.
+#[derive(Debug, Clone)]
+pub enum PillarOutcome {
+    /// Phase-1 density (`None`: even the cap cannot cool this source).
+    Density(Option<f64>),
+    /// Phase-2 verdict: a plan summary, or `None` to escalate.
+    Attempt(Option<PlanSummary>),
+}
+
+/// The serializable summary of a found [`tsc_core::pillars::PillarPlan`].
+#[derive(Debug, Clone)]
+pub struct PlanSummary {
+    /// Placed pillar blocks.
+    pub count: usize,
+    /// Die-area fraction spent on pillars.
+    pub area_penalty: f64,
+    /// The attempt that met the target.
+    pub attempt: usize,
+}
+
+/// One placement work unit, checked out of the engine.
+#[derive(Debug)]
+pub struct PillarShard {
+    /// What to compute.
+    pub kind: PillarShardKind,
+    /// The design under placement.
+    pub design: Design,
+    /// Placement configuration.
+    pub config: PlacementConfig,
+    /// Filled in by [`PillarShard::run`].
+    pub outcome: Option<Result<PillarOutcome, String>>,
+}
+
+impl PillarShard {
+    /// Runs the shard against a fresh context.
+    pub fn run(&mut self) {
+        let mut ctx = SolveContext::new();
+        self.outcome = Some(match &self.kind {
+            PillarShardKind::Density { source, .. } => {
+                minimum_source_density_with(&self.design, source, &self.config, &mut ctx)
+                    .map(|d| PillarOutcome::Density(d.map(Ratio::fraction)))
+                    .map_err(|e| e.to_string())
+            }
+            PillarShardKind::Attempt {
+                attempt,
+                escalation,
+                source_densities,
+            } => place_attempt_with(
+                &self.design,
+                &self.config,
+                source_densities,
+                *escalation,
+                &mut ctx,
+            )
+            .map(|plan| {
+                PillarOutcome::Attempt(plan.map(|p| PlanSummary {
+                    count: p.positions.len(),
+                    area_penalty: p.area_penalty.fraction(),
+                    attempt: *attempt,
+                }))
+            })
+            .map_err(|e| e.to_string()),
+        });
+    }
+}
+
+/// Replays `place_with`'s iterated escalation for attempt `n`.
+fn escalation_for(attempt: usize) -> f64 {
+    let mut e = 1.0_f64;
+    for _ in 0..attempt {
+        e *= ESCALATION_FACTOR;
+    }
+    e
+}
+
+fn rect_fingerprint(rect: &Rect) -> u64 {
+    let mut bytes = Vec::with_capacity(32);
+    for v in [
+        rect.min_x().meters(),
+        rect.min_y().meters(),
+        rect.width().meters(),
+        rect.height().meters(),
+    ] {
+        bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    fnv1a_bytes(&bytes)
+}
+
+/// The `pillar_place` engine state machine.
+#[derive(Debug)]
+pub struct PillarJob {
+    design_name: String,
+    design: Design,
+    config: PlacementConfig,
+    sources: Vec<Rect>,
+    issued: Vec<bool>,
+    /// `None` = pending; `Some(None)` = infeasible source;
+    /// `Some(Some(d))` = minimum density fraction.
+    densities: Vec<Option<Option<f64>>>,
+    attempts_failed: usize,
+    attempt_in_flight: bool,
+    found: Option<PlanSummary>,
+    infeasible: bool,
+    error: Option<String>,
+    evals: u64,
+    dedup_hits: u64,
+}
+
+impl PillarJob {
+    /// Builds the engine from a parsed spec, resuming from the spec's
+    /// checkpoint when present.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown designs or malformed checkpoints.
+    pub fn from_spec(spec: &JobSpec) -> Result<Self, String> {
+        let design: Design = match spec.design.as_str() {
+            "gemmini" => tsc_designs::gemmini::design(),
+            "rocket" => tsc_designs::rocket::design(),
+            other => return Err(format!("unknown design {other:?}")),
+        };
+        let config = PlacementConfig {
+            tiers: spec.tiers,
+            lateral_cells: spec.cells.min(16),
+            t_target: Temperature::from_celsius(125.0),
+            ..PlacementConfig::paper_default()
+        };
+        let sources = placement_sources(&design);
+        let n = sources.len();
+        let mut job = Self {
+            design_name: spec.design.clone(),
+            design,
+            config,
+            sources,
+            issued: vec![false; n],
+            densities: vec![None; n],
+            attempts_failed: 0,
+            attempt_in_flight: false,
+            found: None,
+            infeasible: false,
+            error: None,
+            evals: 0,
+            dedup_hits: 0,
+        };
+        if let Some(cp) = &spec.resume {
+            job.restore(cp)?;
+        }
+        Ok(job)
+    }
+
+    fn restore(&mut self, cp: &Json) -> Result<(), String> {
+        let docs = require(cp, "densities")?
+            .as_array()
+            .ok_or_else(|| "checkpoint field \"densities\" must be an array".to_string())?;
+        if docs.len() != self.sources.len() {
+            return Err("checkpoint does not match the design's source count".to_string());
+        }
+        for (idx, doc) in docs.iter().enumerate() {
+            match doc {
+                Json::Null => {}
+                doc => {
+                    let feasible = require(doc, "feasible")?
+                        .as_bool()
+                        .ok_or_else(|| "density \"feasible\" must be a bool".to_string())?;
+                    let density = if feasible {
+                        Some(parse_bits_f64(require(doc, "density")?)?)
+                    } else {
+                        self.infeasible = true;
+                        None
+                    };
+                    self.issued[idx] = true;
+                    self.densities[idx] = Some(density);
+                    self.evals += 1;
+                }
+            }
+        }
+        self.attempts_failed = require(cp, "attempts_failed")?
+            .as_usize()
+            .ok_or_else(|| "checkpoint \"attempts_failed\" must be an integer".to_string())?;
+        if self.attempts_failed > MAX_ESCALATIONS {
+            return Err("checkpoint attempts exceed the escalation cap".to_string());
+        }
+        self.evals += self.attempts_failed as u64;
+        Ok(())
+    }
+
+    fn positive_densities(&self) -> Vec<(Rect, Ratio)> {
+        self.sources
+            .iter()
+            .zip(&self.densities)
+            .filter_map(|(rect, d)| match d {
+                Some(Some(f)) if *f > 0.0 => Some((*rect, Ratio::from_fraction(*f))),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn phase1_done(&self) -> bool {
+        self.densities.iter().all(Option::is_some)
+    }
+
+    /// Checks out the next shard: phase-1 densities fan out, phase-2
+    /// attempts run one at a time.
+    pub fn next_work(&mut self) -> Option<PillarShard> {
+        if self.error.is_some() || self.infeasible || self.found.is_some() {
+            return None;
+        }
+        if let Some(idx) = self.issued.iter().position(|&c| !c) {
+            self.issued[idx] = true;
+            // Identical source rects have identical minimum densities:
+            // serve them from the already-completed twin instead of
+            // re-running the bisection.
+            let fp = rect_fingerprint(&self.sources[idx]);
+            let twin = self
+                .sources
+                .iter()
+                .zip(&self.densities)
+                .find_map(|(rect, d)| {
+                    (rect_fingerprint(rect) == fp)
+                        .then_some(d.as_ref().copied())
+                        .flatten()
+                });
+            if let Some(d) = twin {
+                self.densities[idx] = Some(d);
+                self.dedup_hits += 1;
+                self.infeasible |= d.is_none();
+                return self.next_work();
+            }
+            return Some(PillarShard {
+                kind: PillarShardKind::Density {
+                    source_idx: idx,
+                    source: self.sources[idx],
+                },
+                design: self.design.clone(),
+                config: self.config.clone(),
+                outcome: None,
+            });
+        }
+        if !self.phase1_done() || self.attempt_in_flight {
+            return None;
+        }
+        if self.attempts_failed >= MAX_ESCALATIONS {
+            return None;
+        }
+        self.attempt_in_flight = true;
+        Some(PillarShard {
+            kind: PillarShardKind::Attempt {
+                attempt: self.attempts_failed,
+                escalation: escalation_for(self.attempts_failed),
+                source_densities: self.positive_densities(),
+            },
+            design: self.design.clone(),
+            config: self.config.clone(),
+            outcome: None,
+        })
+    }
+
+    /// Returns a completed shard, emitting progress events.
+    pub fn complete_shard(&mut self, shard: PillarShard) -> Vec<Json> {
+        let outcome = match shard.outcome {
+            None => {
+                self.error = Some("pillar shard returned without running".to_string());
+                return Vec::new();
+            }
+            Some(Err(msg)) => {
+                self.error = Some(msg);
+                return Vec::new();
+            }
+            Some(Ok(outcome)) => outcome,
+        };
+        self.evals += 1;
+        match (shard.kind, outcome) {
+            (PillarShardKind::Density { source_idx, .. }, PillarOutcome::Density(d)) => {
+                self.infeasible |= d.is_none();
+                self.densities[source_idx] = Some(d);
+            }
+            (PillarShardKind::Attempt { .. }, PillarOutcome::Attempt(verdict)) => {
+                self.attempt_in_flight = false;
+                match verdict {
+                    Some(summary) => self.found = Some(summary),
+                    None => self.attempts_failed += 1,
+                }
+            }
+            _ => {
+                self.error = Some("pillar shard kind/outcome mismatch".to_string());
+                return Vec::new();
+            }
+        }
+        vec![self.progress_event()]
+    }
+
+    fn progress_event(&self) -> Json {
+        let p = self.progress();
+        Json::object()
+            .field("event", "progress")
+            .field("phase", p.phase)
+            .field("round", p.round)
+            .field("rounds", p.rounds)
+            .field("dedup_hits", self.dedup_hits as f64)
+    }
+
+    /// `true` once a plan is found or the design is proven infeasible.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.infeasible
+            || self.found.is_some()
+            || (self.phase1_done() && self.attempts_failed >= MAX_ESCALATIONS)
+    }
+
+    /// Fatal solver error, if any.
+    #[must_use]
+    pub fn failed(&self) -> Option<&str> {
+        self.error.as_deref()
+    }
+
+    /// Progress snapshot.
+    #[must_use]
+    pub fn progress(&self) -> Progress {
+        let total = self.sources.len() + MAX_ESCALATIONS;
+        let done = self.densities.iter().filter(|d| d.is_some()).count() + self.attempts_failed;
+        Progress {
+            phase: if self.phase1_done() {
+                "escalate"
+            } else {
+                "densities"
+            },
+            fraction: done as f64 / total.max(1) as f64,
+            best_cost: None,
+            round: done,
+            rounds: total,
+            evals: self.evals,
+            dedup_hits: self.dedup_hits,
+        }
+    }
+
+    /// Serializes progress so far. Phase-1 shards are independent and
+    /// phase-2 is sequential, so every completion is a barrier.
+    #[must_use]
+    pub fn checkpoint(&self) -> Json {
+        let densities: Vec<Json> = self
+            .densities
+            .iter()
+            .map(|d| match d {
+                None => Json::Null,
+                Some(None) => Json::object().field("feasible", false),
+                Some(Some(f)) => Json::object()
+                    .field("feasible", true)
+                    .field("density", bits_f64(*f)),
+            })
+            .collect();
+        Json::object()
+            .field("kind", "pillar_place")
+            .field("design", self.design_name.as_str())
+            .field("tiers", self.config.tiers)
+            .field("cells", self.config.lateral_cells)
+            .field("densities", Json::Array(densities))
+            .field("attempts_failed", self.attempts_failed)
+    }
+
+    /// The result document, once done.
+    #[must_use]
+    pub fn result(&self) -> Option<Json> {
+        if !self.is_done() {
+            return None;
+        }
+        let doc = Json::object()
+            .field("kind", "pillar_place")
+            .field("design", self.design_name.as_str())
+            .field("feasible", self.found.is_some())
+            .field("evals", self.evals as f64)
+            .field("dedup_hits", self.dedup_hits as f64);
+        Some(match &self.found {
+            Some(plan) => doc
+                .field("pillars", plan.count)
+                .field("area_penalty", plan.area_penalty)
+                .field("area_penalty_bits", bits_f64(plan.area_penalty))
+                .field("attempt", plan.attempt),
+            None => doc,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsc_bench::json::parse;
+
+    fn spec(body: &str) -> JobSpec {
+        JobSpec::parse(&parse(body).expect("json")).expect("spec")
+    }
+
+    fn drive(job: &mut PillarJob) {
+        while !job.is_done() {
+            let mut batch = Vec::new();
+            while let Some(mut shard) = job.next_work() {
+                shard.run();
+                batch.push(shard);
+            }
+            assert!(!batch.is_empty(), "placement stalled");
+            for shard in batch {
+                let _ = job.complete_shard(shard);
+            }
+            assert!(job.failed().is_none(), "failed: {:?}", job.failed());
+        }
+    }
+
+    #[test]
+    fn resume_mid_phase1_is_bitwise() {
+        let body = r#"{"kind": "pillar_place", "design": "rocket", "tiers": 4, "cells": 8}"#;
+        let mut full = PillarJob::from_spec(&spec(body)).expect("job");
+        drive(&mut full);
+        let full_result = full.result().expect("result");
+
+        let mut killed = PillarJob::from_spec(&spec(body)).expect("job");
+        let mut first = killed.next_work().expect("a density shard");
+        first.run();
+        let _ = killed.complete_shard(first);
+        let cp = parse(&killed.checkpoint().pretty()).expect("checkpoint parses");
+        let resume_body = parse(body).expect("json").field("resume", cp);
+        let mut resumed =
+            PillarJob::from_spec(&JobSpec::parse(&resume_body).expect("spec")).expect("job");
+        drive(&mut resumed);
+        let resumed_result = resumed.result().expect("result");
+        assert_eq!(
+            full_result.get("feasible").and_then(Json::as_bool),
+            resumed_result.get("feasible").and_then(Json::as_bool)
+        );
+        assert_eq!(
+            full_result.get("area_penalty_bits").and_then(Json::as_str),
+            resumed_result
+                .get("area_penalty_bits")
+                .and_then(Json::as_str),
+            "resumed plan must match bitwise"
+        );
+    }
+
+    #[test]
+    fn escalation_replays_place_with_exactly() {
+        // Iterated, not powf — the last bits matter for bitwise resume.
+        let mut e = 1.0_f64;
+        for n in 0..MAX_ESCALATIONS {
+            assert_eq!(escalation_for(n).to_bits(), e.to_bits());
+            e *= ESCALATION_FACTOR;
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! `POST /v1/jobs` body parsing.
+
+use tsc_bench::json::Json;
+use tsc_phydes::anneal::Schedule;
+
+/// The optimization a job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// Parallel-tempered thermal-aware floorplanning (Sec. IIIB).
+    FloorplanSa,
+    /// The Fig. 12b dielectric-conductivity sweep.
+    DielectricSweep,
+    /// Sec. IIIA pillar placement.
+    PillarPlace,
+}
+
+impl JobKind {
+    /// Wire label, also used in metrics.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::FloorplanSa => "floorplan_sa",
+            Self::DielectricSweep => "dielectric_sweep",
+            Self::PillarPlace => "pillar_place",
+        }
+    }
+
+    /// Parses a wire label.
+    #[must_use]
+    pub fn parse(label: &str) -> Option<Self> {
+        match label {
+            "floorplan_sa" => Some(Self::FloorplanSa),
+            "dielectric_sweep" => Some(Self::DielectricSweep),
+            "pillar_place" => Some(Self::PillarPlace),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed, validated job submission.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// What to run.
+    pub kind: JobKind,
+    /// Design fixture name (`floorplan_sa`, `pillar_place`).
+    pub design: String,
+    /// Annealing schedule (`"quick"` or `"standard"`).
+    pub schedule: Schedule,
+    /// Tempering rungs (`floorplan_sa`).
+    pub replicas: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Temperature weight in `[0, 1]` (`floorplan_sa`).
+    pub temperature_weight: f64,
+    /// HPWL budget relative to the identity placement (`floorplan_sa`).
+    pub wirelength_budget: f64,
+    /// Sweep points, W/m/K (`dielectric_sweep`).
+    pub ks: Vec<f64>,
+    /// Lateral mesh cells (`dielectric_sweep`, `pillar_place`).
+    pub cells: usize,
+    /// Pillar-block side in µm (`dielectric_sweep`).
+    pub pillar_side_um: f64,
+    /// Stack tier count (`pillar_place`).
+    pub tiers: usize,
+    /// Checkpoint to resume from, if any.
+    pub resume: Option<Json>,
+}
+
+fn schedule_from(label: &str) -> Result<Schedule, String> {
+    match label {
+        "quick" => Ok(Schedule::quick()),
+        "standard" => Ok(Schedule::standard()),
+        other => Err(format!(
+            "unknown schedule {other:?} (expected \"quick\" or \"standard\")"
+        )),
+    }
+}
+
+fn opt_usize(body: &Json, key: &str, default: usize) -> Result<usize, String> {
+    match body.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_usize()
+            .ok_or_else(|| format!("field {key:?} must be a non-negative integer")),
+    }
+}
+
+fn opt_f64(body: &Json, key: &str, default: f64) -> Result<f64, String> {
+    match body.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| format!("field {key:?} must be a number")),
+    }
+}
+
+impl JobSpec {
+    /// Parses a submission body. Unknown kinds, malformed fields and
+    /// out-of-range parameters are rejected with a message suitable for
+    /// a 400 response.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation message.
+    pub fn parse(body: &Json) -> Result<Self, String> {
+        let kind_label = body
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "field \"kind\" is required".to_string())?;
+        let kind =
+            JobKind::parse(kind_label).ok_or_else(|| format!("unknown job kind {kind_label:?}"))?;
+        let design = body
+            .get("design")
+            .and_then(Json::as_str)
+            .unwrap_or("gemmini")
+            .to_string();
+        let schedule = schedule_from(
+            body.get("schedule")
+                .and_then(Json::as_str)
+                .unwrap_or("quick"),
+        )?;
+        let replicas = opt_usize(body, "replicas", 4)?;
+        if !(1..=16).contains(&replicas) {
+            return Err("field \"replicas\" must be within 1..=16".to_string());
+        }
+        let seed = match body.get("seed") {
+            None => 7,
+            Some(v) => v
+                .as_f64()
+                .filter(|s| s.fract().abs() < f64::EPSILON && *s >= 0.0 && *s < 9e15)
+                .map(|s| s as u64)
+                .ok_or_else(|| "field \"seed\" must be a non-negative integer".to_string())?,
+        };
+        let temperature_weight = opt_f64(body, "temperature_weight", 0.3)?;
+        if !(0.0..=1.0).contains(&temperature_weight) {
+            return Err("field \"temperature_weight\" must be within [0, 1]".to_string());
+        }
+        let wirelength_budget = opt_f64(body, "wirelength_budget", 1.2)?;
+        if !(1.0..=10.0).contains(&wirelength_budget) {
+            return Err("field \"wirelength_budget\" must be within [1, 10]".to_string());
+        }
+        let ks = match body.get("ks") {
+            None => vec![5.0, 50.0, 200.0, 500.0],
+            Some(v) => {
+                let items = v
+                    .as_array()
+                    .ok_or_else(|| "field \"ks\" must be an array of numbers".to_string())?;
+                if items.is_empty() || items.len() > 64 {
+                    return Err("field \"ks\" must hold 1..=64 points".to_string());
+                }
+                items
+                    .iter()
+                    .map(|k| {
+                        k.as_f64()
+                            .filter(|k| k.is_finite() && *k > 0.0)
+                            .ok_or_else(|| "sweep points must be positive numbers".to_string())
+                    })
+                    .collect::<Result<Vec<f64>, String>>()?
+            }
+        };
+        let cells = opt_usize(body, "cells", 16)?;
+        if !(8..=64).contains(&cells) {
+            return Err("field \"cells\" must be within 8..=64".to_string());
+        }
+        let pillar_side_um = opt_f64(body, "pillar_side_um", 1.0)?;
+        if !pillar_side_um.is_finite() || pillar_side_um <= 0.0 || pillar_side_um > 10.0 {
+            return Err("field \"pillar_side_um\" must be within (0, 10]".to_string());
+        }
+        let tiers = opt_usize(body, "tiers", 8)?;
+        if !(2..=16).contains(&tiers) {
+            return Err("field \"tiers\" must be within 2..=16".to_string());
+        }
+        let resume = body.get("resume").cloned();
+        if let Some(cp) = &resume {
+            let cp_kind = cp.get("kind").and_then(Json::as_str);
+            if cp_kind != Some(kind.label()) {
+                return Err(format!(
+                    "resume checkpoint kind {cp_kind:?} does not match job kind {:?}",
+                    kind.label()
+                ));
+            }
+        }
+        Ok(Self {
+            kind,
+            design,
+            schedule,
+            replicas,
+            seed,
+            temperature_weight,
+            wirelength_budget,
+            ks,
+            cells,
+            pillar_side_um,
+            tiers,
+            resume,
+        })
+    }
+
+    /// Summary fields echoed in status responses.
+    #[must_use]
+    pub fn summary(&self) -> Json {
+        Json::object()
+            .field("kind", self.kind.label())
+            .field("design", self.design.as_str())
+            .field("seed", self.seed as f64)
+            .field("replicas", self.replicas)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsc_bench::json::parse;
+
+    #[test]
+    fn parses_minimal_floorplan_spec_with_defaults() {
+        let body = parse(r#"{"kind": "floorplan_sa"}"#).expect("json");
+        let spec = JobSpec::parse(&body).expect("spec");
+        assert_eq!(spec.kind, JobKind::FloorplanSa);
+        assert_eq!(spec.design, "gemmini");
+        assert_eq!(spec.replicas, 4);
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.schedule, Schedule::quick());
+    }
+
+    #[test]
+    fn rejects_bad_kinds_and_ranges() {
+        for bad in [
+            r#"{"kind": "mine_bitcoin"}"#,
+            r#"{"kind": "floorplan_sa", "replicas": 0}"#,
+            r#"{"kind": "floorplan_sa", "schedule": "glacial"}"#,
+            r#"{"kind": "dielectric_sweep", "ks": []}"#,
+            r#"{"kind": "dielectric_sweep", "ks": [-5.0]}"#,
+            r#"{"kind": "pillar_place", "tiers": 99}"#,
+            r#"{"kind": "floorplan_sa", "temperature_weight": 1.5}"#,
+        ] {
+            let body = parse(bad).expect("json");
+            assert!(JobSpec::parse(&body).is_err(), "{bad} must be rejected");
+        }
+    }
+
+    #[test]
+    fn resume_kind_must_match() {
+        let body = parse(r#"{"kind": "floorplan_sa", "resume": {"kind": "dielectric_sweep"}}"#)
+            .expect("json");
+        assert!(JobSpec::parse(&body).is_err());
+    }
+}

@@ -1,0 +1,397 @@
+//! The `dielectric_sweep` engine: the Fig. 12b conductivity sweep as
+//! independent work units.
+//!
+//! Shard 0 solves the dielectric-independent baseline; once it lands,
+//! every *unique* sweep point becomes its own shard (requested
+//! duplicates are deduped up front and counted as memo hits). Each
+//! shard solves against a **fresh** `SolveContext`, so a point's result
+//! never depends on which points ran before it — that is what makes a
+//! resumed sweep bitwise-identical to an uninterrupted one.
+
+use tsc_bench::json::Json;
+use tsc_core::codesign::{sweep_baseline_with, sweep_point_with, ToyConfig, ToyResult};
+use tsc_thermal::SolveContext;
+use tsc_units::{Length, Ratio, TempDelta};
+
+use crate::checkpoint::{bits_f64, parse_bits_f64, require};
+use crate::spec::JobSpec;
+use crate::Progress;
+
+/// What a sweep shard solves.
+#[derive(Debug, Clone)]
+pub enum SweepShardKind {
+    /// The no-pillar ultra-low-k baseline.
+    Baseline,
+    /// One conductivity point (W/m/K).
+    Point {
+        /// Lateral conductivity of the point.
+        k: f64,
+    },
+}
+
+/// The outcome a sweep shard carries back.
+#[derive(Debug, Clone)]
+pub enum SweepOutcome {
+    /// Baseline result.
+    Baseline(ToyResult),
+    /// `(k, reduction fraction)`.
+    Point {
+        /// Lateral conductivity of the point.
+        k: f64,
+        /// Peak-rise reduction vs the baseline.
+        reduction: f64,
+    },
+}
+
+/// One sweep work unit, checked out of the engine.
+#[derive(Debug)]
+pub struct SweepShard {
+    /// What to solve.
+    pub kind: SweepShardKind,
+    /// Toy geometry.
+    pub cfg: ToyConfig,
+    /// Pillar-block side for the point shards.
+    pub pillar_side: Length,
+    /// The baseline (present on point shards).
+    pub baseline: Option<ToyResult>,
+    /// Filled in by [`SweepShard::run`].
+    pub outcome: Option<Result<SweepOutcome, String>>,
+}
+
+impl SweepShard {
+    /// Solves the shard against a fresh context.
+    pub fn run(&mut self) {
+        let mut ctx = SolveContext::new();
+        self.outcome = Some(match &self.kind {
+            SweepShardKind::Baseline => sweep_baseline_with(&self.cfg, &mut ctx)
+                .map(SweepOutcome::Baseline)
+                .map_err(|e| e.to_string()),
+            SweepShardKind::Point { k } => {
+                let Some(base) = &self.baseline else {
+                    self.outcome = Some(Err("point shard issued without baseline".to_string()));
+                    return;
+                };
+                sweep_point_with(&self.cfg, self.pillar_side, *k, base, &mut ctx)
+                    .map(|(k, reduction)| SweepOutcome::Point {
+                        k,
+                        reduction: reduction.fraction(),
+                    })
+                    .map_err(|e| e.to_string())
+            }
+        });
+    }
+}
+
+/// The `dielectric_sweep` engine state machine.
+#[derive(Debug)]
+pub struct SweepJob {
+    cfg: ToyConfig,
+    pillar_side: Length,
+    /// Requested points, duplicates included (result order).
+    ks: Vec<f64>,
+    /// First-occurrence unique points (the actual work).
+    unique: Vec<f64>,
+    issued: Vec<bool>,
+    baseline_issued: bool,
+    baseline: Option<ToyResult>,
+    /// `k.to_bits() → reduction` for completed points.
+    done_points: Vec<(u64, f64)>,
+    error: Option<String>,
+    evals: u64,
+    dedup_hits: u64,
+}
+
+impl SweepJob {
+    /// Builds the engine from a parsed spec, resuming from the spec's
+    /// checkpoint when present.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed checkpoints.
+    pub fn from_spec(spec: &JobSpec) -> Result<Self, String> {
+        let cfg = ToyConfig {
+            cells: spec.cells,
+            ..ToyConfig::default()
+        };
+        let pillar_side = Length::from_micrometers(spec.pillar_side_um);
+        let ks = spec.ks.clone();
+        let mut unique: Vec<f64> = Vec::new();
+        for &k in &ks {
+            if !unique.iter().any(|u| u.to_bits() == k.to_bits()) {
+                unique.push(k);
+            }
+        }
+        // Requested duplicates never solve: they are memo hits by
+        // construction.
+        let dedup_hits = (ks.len() - unique.len()) as u64;
+        let issued = vec![false; unique.len()];
+        let mut job = Self {
+            cfg,
+            pillar_side,
+            ks,
+            unique,
+            issued,
+            baseline_issued: false,
+            baseline: None,
+            done_points: Vec::new(),
+            error: None,
+            evals: 0,
+            dedup_hits,
+        };
+        if let Some(cp) = &spec.resume {
+            job.restore(cp)?;
+        }
+        Ok(job)
+    }
+
+    fn restore(&mut self, cp: &Json) -> Result<(), String> {
+        if let Some(base) = cp.get("baseline").filter(|b| !matches!(b, Json::Null)) {
+            self.baseline = Some(ToyResult {
+                peak_rise: TempDelta::new(parse_bits_f64(require(base, "peak_rise_k")?)?),
+                pillar_area: Ratio::from_fraction(parse_bits_f64(require(base, "pillar_area")?)?),
+            });
+            self.evals += 1;
+        }
+        let points = require(cp, "points")?
+            .as_array()
+            .ok_or_else(|| "checkpoint field \"points\" must be an array".to_string())?;
+        for doc in points {
+            let k = parse_bits_f64(require(doc, "k")?)?;
+            let reduction = parse_bits_f64(require(doc, "reduction")?)?;
+            let Some(idx) = self.unique.iter().position(|u| u.to_bits() == k.to_bits()) else {
+                return Err(format!("checkpoint point k={k} is not in the sweep"));
+            };
+            if !self.issued[idx] {
+                self.issued[idx] = true;
+                self.done_points.push((k.to_bits(), reduction));
+                self.evals += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks out the next shard: the baseline first (alone — points
+    /// need its result), then any unsolved unique point.
+    pub fn next_work(&mut self) -> Option<SweepShard> {
+        if self.error.is_some() {
+            return None;
+        }
+        let Some(baseline) = &self.baseline else {
+            if self.baseline_issued {
+                return None;
+            }
+            self.baseline_issued = true;
+            return Some(SweepShard {
+                kind: SweepShardKind::Baseline,
+                cfg: self.cfg.clone(),
+                pillar_side: self.pillar_side,
+                baseline: None,
+                outcome: None,
+            });
+        };
+        let idx = self.issued.iter().position(|&c| !c)?;
+        self.issued[idx] = true;
+        Some(SweepShard {
+            kind: SweepShardKind::Point {
+                k: self.unique[idx],
+            },
+            cfg: self.cfg.clone(),
+            pillar_side: self.pillar_side,
+            baseline: Some(baseline.clone()),
+            outcome: None,
+        })
+    }
+
+    /// Returns a completed shard, emitting progress events.
+    pub fn complete_shard(&mut self, shard: SweepShard) -> Vec<Json> {
+        match shard.outcome {
+            None => {
+                self.error = Some("sweep shard returned without running".to_string());
+                Vec::new()
+            }
+            Some(Err(msg)) => {
+                self.error = Some(msg);
+                Vec::new()
+            }
+            Some(Ok(SweepOutcome::Baseline(result))) => {
+                self.baseline = Some(result);
+                self.evals += 1;
+                vec![self.progress_event()]
+            }
+            Some(Ok(SweepOutcome::Point { k, reduction })) => {
+                self.done_points.push((k.to_bits(), reduction));
+                self.evals += 1;
+                vec![self.progress_event()]
+            }
+        }
+    }
+
+    fn progress_event(&self) -> Json {
+        Json::object()
+            .field("event", "progress")
+            .field("phase", "sweep")
+            .field("round", self.evals as f64)
+            .field("rounds", self.unique.len() + 1)
+            .field("dedup_hits", self.dedup_hits as f64)
+    }
+
+    /// `true` once the baseline and every unique point are solved.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.baseline.is_some() && self.done_points.len() == self.unique.len()
+    }
+
+    /// Fatal solver error, if any.
+    #[must_use]
+    pub fn failed(&self) -> Option<&str> {
+        self.error.as_deref()
+    }
+
+    /// Progress snapshot.
+    #[must_use]
+    pub fn progress(&self) -> Progress {
+        let total = (self.unique.len() + 1) as f64;
+        Progress {
+            phase: "sweep",
+            fraction: self.evals as f64 / total,
+            best_cost: None,
+            round: self.evals as usize,
+            rounds: self.unique.len() + 1,
+            evals: self.evals,
+            dedup_hits: self.dedup_hits,
+        }
+    }
+
+    /// Serializes progress so far. Sweep shards are independent, so
+    /// every completion is a barrier and the checkpoint is always
+    /// current.
+    #[must_use]
+    pub fn checkpoint(&self) -> Json {
+        let baseline = self.baseline.as_ref().map_or(Json::Null, |b| {
+            Json::object()
+                .field("peak_rise_k", bits_f64(b.peak_rise.kelvin()))
+                .field("pillar_area", bits_f64(b.pillar_area.fraction()))
+        });
+        let points: Vec<Json> = self
+            .done_points
+            .iter()
+            .map(|&(k_bits, reduction)| {
+                Json::object()
+                    .field("k", bits_f64(f64::from_bits(k_bits)))
+                    .field("reduction", bits_f64(reduction))
+            })
+            .collect();
+        Json::object()
+            .field("kind", "dielectric_sweep")
+            .field("cells", self.cfg.cells)
+            .field("pillar_side_um", bits_f64(self.pillar_side.meters() * 1e6))
+            .field("baseline", baseline)
+            .field("points", Json::Array(points))
+    }
+
+    /// The result document (points in request order, duplicates served
+    /// from the memo), once done.
+    #[must_use]
+    pub fn result(&self) -> Option<Json> {
+        if !self.is_done() {
+            return None;
+        }
+        let points: Vec<Json> = self
+            .ks
+            .iter()
+            .map(|k| {
+                let reduction = self
+                    .done_points
+                    .iter()
+                    .find(|(bits, _)| *bits == k.to_bits())
+                    .map_or(f64::NAN, |&(_, r)| r);
+                Json::object()
+                    .field("k_w_mk", *k)
+                    .field("reduction", reduction)
+                    .field("reduction_bits", bits_f64(reduction))
+            })
+            .collect();
+        Some(
+            Json::object()
+                .field("kind", "dielectric_sweep")
+                .field("points", Json::Array(points))
+                .field("evals", self.evals as f64)
+                .field("dedup_hits", self.dedup_hits as f64),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsc_bench::json::parse;
+
+    fn spec(body: &str) -> JobSpec {
+        JobSpec::parse(&parse(body).expect("json")).expect("spec")
+    }
+
+    fn drive(job: &mut SweepJob) {
+        while !job.is_done() {
+            let mut batch = Vec::new();
+            while let Some(mut shard) = job.next_work() {
+                shard.run();
+                batch.push(shard);
+            }
+            assert!(!batch.is_empty(), "sweep stalled");
+            for shard in batch {
+                let _ = job.complete_shard(shard);
+            }
+            assert!(job.failed().is_none(), "sweep failed: {:?}", job.failed());
+        }
+    }
+
+    #[test]
+    fn duplicate_points_dedupe_and_resume_is_bitwise() {
+        let body = r#"{"kind": "dielectric_sweep", "ks": [5.0, 200.0, 5.0], "cells": 12}"#;
+        let mut full = SweepJob::from_spec(&spec(body)).expect("job");
+        drive(&mut full);
+        let full_result = full.result().expect("result");
+        assert_eq!(full.dedup_hits, 1, "the repeated 5.0 point must dedupe");
+
+        // Kill after the baseline + first point, resume from checkpoint.
+        let mut killed = SweepJob::from_spec(&spec(body)).expect("job");
+        let mut base = killed.next_work().expect("baseline shard");
+        base.run();
+        let _ = killed.complete_shard(base);
+        let mut first = killed.next_work().expect("first point");
+        first.run();
+        let _ = killed.complete_shard(first);
+        let cp = parse(&killed.checkpoint().pretty()).expect("checkpoint parses");
+        let resume_body = Json::object()
+            .field("kind", "dielectric_sweep")
+            .field(
+                "ks",
+                Json::Array(vec![5.0.into(), 200.0.into(), 5.0.into()]),
+            )
+            .field("cells", 12)
+            .field("resume", cp);
+        let mut resumed =
+            SweepJob::from_spec(&JobSpec::parse(&resume_body).expect("spec")).expect("job");
+        drive(&mut resumed);
+        let resumed_result = resumed.result().expect("result");
+
+        let bits = |doc: &Json| -> Vec<String> {
+            doc.get("points")
+                .and_then(Json::as_array)
+                .expect("points")
+                .iter()
+                .map(|p| {
+                    p.get("reduction_bits")
+                        .and_then(Json::as_str)
+                        .expect("bits")
+                        .to_string()
+                })
+                .collect()
+        };
+        assert_eq!(
+            bits(&full_result),
+            bits(&resumed_result),
+            "resumed sweep must reproduce every point bitwise"
+        );
+    }
+}

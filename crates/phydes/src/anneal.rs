@@ -1,7 +1,22 @@
 //! A small, generic simulated-annealing engine.
 //!
 //! Used by the thermal-aware floorplanner (the Corblivar substitute) and
-//! available for any other combinatorial search in the workspace.
+//! available for any other combinatorial search in the workspace. Two
+//! execution shapes are offered:
+//!
+//! * [`anneal`] — the classic run-to-completion loop, a thin wrapper
+//!   over [`AnnealRun`];
+//! * [`AnnealRun`] — a step-sliced run that can stop after any number of
+//!   proposals, serialize itself into an [`AnnealCheckpoint`], and
+//!   resume bitwise-identically. This is what the `tsc-jobs` scheduler
+//!   interleaves with interactive traffic.
+//!
+//! On top of the single chain, [`TemperedRun`] generalizes the search to
+//! parallel tempering: `K` replicas at fixed rung temperatures
+//! ([`temperature_ladder`]) exchange configurations in deterministic
+//! even/odd swap rounds. All randomness flows through seeded [`Rng64`]
+//! streams — no wall clock anywhere — so every run is reproducible
+//! per seed regardless of how its rounds are scheduled across threads.
 
 use tsc_rng::Rng64;
 
@@ -18,7 +33,9 @@ pub trait AnnealState: Clone {
 pub struct Schedule {
     /// Initial acceptance temperature (in cost units).
     pub t_start: f64,
-    /// Final temperature; the run stops when reached.
+    /// Final temperature. A round runs whenever the temperature is still
+    /// *above* this value, so the last executed round sits just above
+    /// `t_end`; no round runs at `t_end` itself.
     pub t_end: f64,
     /// Geometric cooling factor per round, in `(0, 1)`.
     pub cooling: f64,
@@ -27,7 +44,9 @@ pub struct Schedule {
 }
 
 impl Schedule {
-    /// A schedule sized for floorplans of tens of modules.
+    /// The production schedule: cools 1.0 → 1e-4 at 0.92 per round,
+    /// which is ~111 rounds of 120 proposals (~13 k evaluations) — sized
+    /// for floorplans of tens of modules.
     #[must_use]
     pub fn standard() -> Self {
         Self {
@@ -38,7 +57,8 @@ impl Schedule {
         }
     }
 
-    /// A fast schedule for tests.
+    /// A fast schedule for tests: cools 0.5 → 1e-3 at 0.85 per round,
+    /// which is ~39 rounds of 40 proposals (~1.5 k evaluations).
     #[must_use]
     pub fn quick() -> Self {
         Self {
@@ -62,6 +82,21 @@ impl Schedule {
     }
 }
 
+/// Number of temperature rounds the schedule executes before reaching
+/// `t_end`. Computed by the same iterated multiplication the run uses,
+/// so it matches the run exactly (a closed-form `powf` would not).
+#[must_use]
+pub fn schedule_rounds(schedule: &Schedule) -> usize {
+    schedule.validate();
+    let mut t = schedule.t_start;
+    let mut rounds = 0;
+    while t > schedule.t_end {
+        rounds += 1;
+        t *= schedule.cooling;
+    }
+    rounds
+}
+
 /// Outcome of an annealing run.
 #[derive(Debug, Clone)]
 pub struct AnnealResult<S> {
@@ -75,6 +110,172 @@ pub struct AnnealResult<S> {
     pub accepted: usize,
 }
 
+/// Everything needed to resume an [`AnnealRun`] bitwise-identically:
+/// the RNG word, the global step index, and the current/best states.
+/// The temperature is stored explicitly (not recomputed from the step
+/// index) because iterated cooling and a closed-form power differ in
+/// the last bits.
+#[derive(Debug, Clone)]
+pub struct AnnealCheckpoint<S> {
+    /// Raw RNG word ([`Rng64::state`]).
+    pub rng_state: u64,
+    /// Global step index: proposals evaluated so far.
+    pub step: usize,
+    /// Proposals already made in the in-progress temperature round.
+    pub round_move: usize,
+    /// Exact temperature of the in-progress round.
+    pub temperature: f64,
+    /// Current chain state.
+    pub current: S,
+    /// Cost of `current`.
+    pub current_cost: f64,
+    /// Best state seen so far.
+    pub best: S,
+    /// Cost of `best`.
+    pub best_cost: f64,
+    /// Proposals accepted so far.
+    pub accepted: usize,
+}
+
+/// A step-sliced annealing run: the same chain [`anneal`] walks, but
+/// pausable after any proposal and checkpointable in between.
+#[derive(Debug, Clone)]
+pub struct AnnealRun<S> {
+    schedule: Schedule,
+    rng: Rng64,
+    temperature: f64,
+    round_move: usize,
+    current: S,
+    current_cost: f64,
+    best: S,
+    best_cost: f64,
+    proposals: usize,
+    accepted: usize,
+}
+
+impl<S: AnnealState> AnnealRun<S> {
+    /// Starts a fresh run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule is invalid (see [`Schedule`] field docs).
+    #[must_use]
+    pub fn new(initial: S, schedule: &Schedule, seed: u64) -> Self {
+        schedule.validate();
+        let current = initial.clone();
+        let current_cost = current.cost();
+        Self {
+            schedule: *schedule,
+            rng: Rng64::seed_from_u64(seed),
+            temperature: schedule.t_start,
+            round_move: 0,
+            best: initial,
+            best_cost: current_cost,
+            current,
+            current_cost,
+            proposals: 0,
+            accepted: 0,
+        }
+    }
+
+    /// Resumes a run from a checkpoint. The continuation is
+    /// bitwise-identical to the run the checkpoint was taken from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule is invalid.
+    #[must_use]
+    pub fn from_checkpoint(schedule: &Schedule, cp: AnnealCheckpoint<S>) -> Self {
+        schedule.validate();
+        Self {
+            schedule: *schedule,
+            rng: Rng64::from_state(cp.rng_state),
+            temperature: cp.temperature,
+            round_move: cp.round_move,
+            current: cp.current,
+            current_cost: cp.current_cost,
+            best: cp.best,
+            best_cost: cp.best_cost,
+            proposals: cp.step,
+            accepted: cp.accepted,
+        }
+    }
+
+    /// Snapshot of the run, valid at any proposal boundary.
+    #[must_use]
+    pub fn checkpoint(&self) -> AnnealCheckpoint<S> {
+        AnnealCheckpoint {
+            rng_state: self.rng.state(),
+            step: self.proposals,
+            round_move: self.round_move,
+            temperature: self.temperature,
+            current: self.current.clone(),
+            current_cost: self.current_cost,
+            best: self.best.clone(),
+            best_cost: self.best_cost,
+            accepted: self.accepted,
+        }
+    }
+
+    /// `true` once the schedule has cooled past `t_end`.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.temperature <= self.schedule.t_end
+    }
+
+    /// Performs up to `max_moves` proposals; returns how many ran
+    /// (fewer only when the schedule completes mid-slice).
+    pub fn step(&mut self, max_moves: usize) -> usize {
+        let mut done = 0;
+        while done < max_moves && !self.is_done() {
+            let cand = self.current.neighbour(&mut self.rng);
+            let cand_cost = cand.cost();
+            self.proposals += 1;
+            let delta = cand_cost - self.current_cost;
+            if delta <= 0.0 || self.rng.gen_f64() < (-delta / self.temperature).exp() {
+                self.current = cand;
+                self.current_cost = cand_cost;
+                self.accepted += 1;
+                if self.current_cost < self.best_cost {
+                    self.best = self.current.clone();
+                    self.best_cost = self.current_cost;
+                }
+            }
+            done += 1;
+            self.round_move += 1;
+            if self.round_move == self.schedule.moves_per_round {
+                self.round_move = 0;
+                self.temperature *= self.schedule.cooling;
+            }
+        }
+        done
+    }
+
+    /// Best state and cost so far.
+    #[must_use]
+    pub fn best(&self) -> (&S, f64) {
+        (&self.best, self.best_cost)
+    }
+
+    /// Raw RNG word (for resume-equivalence assertions).
+    #[must_use]
+    pub fn rng_state(&self) -> u64 {
+        self.rng.state()
+    }
+
+    /// Finishes the run into a result (valid at any point; callers
+    /// normally wait for [`AnnealRun::is_done`]).
+    #[must_use]
+    pub fn into_result(self) -> AnnealResult<S> {
+        AnnealResult {
+            best: self.best,
+            best_cost: self.best_cost,
+            proposals: self.proposals,
+            accepted: self.accepted,
+        }
+    }
+}
+
 /// Runs simulated annealing from `initial` with the given schedule and
 /// RNG seed (runs are deterministic per seed).
 ///
@@ -82,40 +283,241 @@ pub struct AnnealResult<S> {
 ///
 /// Panics if the schedule is invalid (see [`Schedule`] field docs).
 pub fn anneal<S: AnnealState>(initial: S, schedule: &Schedule, seed: u64) -> AnnealResult<S> {
-    schedule.validate();
-    let mut rng = Rng64::seed_from_u64(seed);
-    let mut current = initial.clone();
-    let mut current_cost = current.cost();
-    let mut best = initial;
-    let mut best_cost = current_cost;
-    let mut proposals = 0;
-    let mut accepted = 0;
+    let mut run = AnnealRun::new(initial, schedule, seed);
+    while !run.is_done() {
+        run.step(schedule.moves_per_round);
+    }
+    run.into_result()
+}
 
-    let mut t = schedule.t_start;
-    while t > schedule.t_end {
-        for _ in 0..schedule.moves_per_round {
-            let cand = current.neighbour(&mut rng);
-            let cand_cost = cand.cost();
-            proposals += 1;
-            let delta = cand_cost - current_cost;
-            if delta <= 0.0 || rng.gen_f64() < (-delta / t).exp() {
-                current = cand;
-                current_cost = cand_cost;
-                accepted += 1;
-                if current_cost < best_cost {
-                    best = current.clone();
-                    best_cost = current_cost;
+/// Geometric temperature ladder for parallel tempering: rung 0 is the
+/// hottest (`t_start`), the last rung the coldest (`t_end`).
+///
+/// # Panics
+///
+/// Panics if `rungs` is zero or the schedule is invalid.
+#[must_use]
+pub fn temperature_ladder(schedule: &Schedule, rungs: usize) -> Vec<f64> {
+    schedule.validate();
+    assert!(rungs > 0, "need at least one tempering rung");
+    if rungs == 1 {
+        return vec![schedule.t_start];
+    }
+    let ratio = schedule.t_end / schedule.t_start;
+    (0..rungs)
+        .map(|i| schedule.t_start * ratio.powf(i as f64 / (rungs - 1) as f64))
+        .collect()
+}
+
+/// One tempering replica: a Metropolis chain at a fixed rung
+/// temperature with its own RNG stream. Fields are public so external
+/// schedulers (the `tsc-jobs` fan-out) can move replicas across
+/// threads between rounds and serialize them into checkpoints.
+#[derive(Debug, Clone)]
+pub struct Replica<S> {
+    /// The replica's private RNG stream.
+    pub rng: Rng64,
+    /// Current chain state.
+    pub current: S,
+    /// Cost of `current`.
+    pub current_cost: f64,
+    /// Best state this replica has seen.
+    pub best: S,
+    /// Cost of `best`.
+    pub best_cost: f64,
+    /// Proposals evaluated by this replica.
+    pub proposals: u64,
+    /// Proposals accepted by this replica.
+    pub accepted: u64,
+}
+
+impl<S: AnnealState> Replica<S> {
+    /// Fresh replica from `initial` with its own seed.
+    #[must_use]
+    pub fn new(initial: S, seed: u64) -> Self {
+        let current = initial.clone();
+        let current_cost = current.cost();
+        Self {
+            rng: Rng64::seed_from_u64(seed),
+            best: initial,
+            best_cost: current_cost,
+            current,
+            current_cost,
+            proposals: 0,
+            accepted: 0,
+        }
+    }
+
+    /// One move round at temperature `t`. Candidate costs flow through
+    /// `eval` so callers can layer a memo over [`AnnealState::cost`];
+    /// `eval` must return exactly what `cost()` would (memoized values
+    /// are fine — identical states have identical costs — but any other
+    /// substitution breaks bitwise reproducibility).
+    pub fn round(&mut self, t: f64, moves: usize, eval: &mut dyn FnMut(&S) -> f64) {
+        for _ in 0..moves {
+            let cand = self.current.neighbour(&mut self.rng);
+            let cand_cost = eval(&cand);
+            self.proposals += 1;
+            let delta = cand_cost - self.current_cost;
+            if delta <= 0.0 || self.rng.gen_f64() < (-delta / t).exp() {
+                self.current = cand;
+                self.current_cost = cand_cost;
+                self.accepted += 1;
+                if self.current_cost < self.best_cost {
+                    self.best = self.current.clone();
+                    self.best_cost = self.current_cost;
                 }
             }
         }
-        t *= schedule.cooling;
+    }
+}
+
+/// A deterministic parallel-tempering run: `K` replicas at the
+/// [`temperature_ladder`] rungs, with even/odd configuration swaps
+/// between adjacent rungs after every round.
+///
+/// Replica move rounds within one round are *independent* (each replica
+/// owns its RNG), so a scheduler may run them in any order or on any
+/// thread; the swap round is the only synchronization point. Results
+/// are therefore bitwise-identical however the rounds are scheduled.
+#[derive(Debug, Clone)]
+pub struct TemperedRun<S> {
+    /// Rung temperatures, hottest first.
+    pub ladder: Vec<f64>,
+    /// Proposals per replica per round.
+    pub moves_per_round: usize,
+    /// Total rounds (matches [`schedule_rounds`] of the source
+    /// schedule so a tempered run costs `K×` the sequential chain).
+    pub rounds: usize,
+    /// Rounds completed.
+    pub round: usize,
+    /// The replicas, parallel to `ladder`.
+    pub replicas: Vec<Replica<S>>,
+    /// Dedicated stream for swap decisions — seeded, never wall-clock.
+    pub swap_rng: Rng64,
+    /// Accepted configuration swaps.
+    pub swaps_accepted: u64,
+}
+
+impl<S: AnnealState> TemperedRun<S> {
+    /// Builds a run with `rungs` replicas of `initial`. Replica seeds
+    /// and the swap seed all derive from `seed` through a seeder
+    /// stream, so the whole ensemble is reproducible per seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rungs` is zero or the schedule is invalid.
+    #[must_use]
+    pub fn new(initial: S, schedule: &Schedule, rungs: usize, seed: u64) -> Self {
+        let ladder = temperature_ladder(schedule, rungs);
+        let rounds = schedule_rounds(schedule);
+        let mut seeder = Rng64::seed_from_u64(seed);
+        let replicas: Vec<Replica<S>> = (0..rungs)
+            .map(|_| Replica::new(initial.clone(), seeder.next_u64()))
+            .collect();
+        let swap_rng = Rng64::from_state(seeder.next_u64());
+        Self {
+            ladder,
+            moves_per_round: schedule.moves_per_round,
+            rounds,
+            round: 0,
+            replicas,
+            swap_rng,
+            swaps_accepted: 0,
+        }
     }
 
-    AnnealResult {
-        best,
-        best_cost,
-        proposals,
-        accepted,
+    /// `true` once all rounds have run.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.round >= self.rounds
+    }
+
+    /// Runs one full round sequentially: every replica's move round,
+    /// then the swap round. Fan-out schedulers instead run the move
+    /// rounds themselves and call [`TemperedRun::swap_round`].
+    pub fn step_round(&mut self, eval: &mut dyn FnMut(&S) -> f64) {
+        if self.is_done() {
+            return;
+        }
+        for (i, replica) in self.replicas.iter_mut().enumerate() {
+            replica.round(self.ladder[i], self.moves_per_round, eval);
+        }
+        self.swap_round();
+    }
+
+    /// The deterministic even/odd swap sweep: even rounds pair rungs
+    /// `(0,1) (2,3) …`, odd rounds `(1,2) (3,4) …`. Each pair draws one
+    /// uniform variate (always, so RNG consumption is shape-stable) and
+    /// swaps configurations with the Metropolis tempering probability.
+    /// Advances the round counter.
+    pub fn swap_round(&mut self) {
+        let start = self.round % 2;
+        let k = self.replicas.len();
+        let mut i = start;
+        while i + 1 < k {
+            let (t_hot, t_cold) = (self.ladder[i], self.ladder[i + 1]);
+            let (e_hot, e_cold) = (
+                self.replicas[i].current_cost,
+                self.replicas[i + 1].current_cost,
+            );
+            let u = self.swap_rng.gen_f64();
+            // p = exp((β_cold − β_hot)(E_cold − E_hot)): a colder rung
+            // always adopts a better configuration from its hotter
+            // neighbour, and occasionally a worse one.
+            let p = ((1.0 / t_cold - 1.0 / t_hot) * (e_cold - e_hot)).exp();
+            if u < p {
+                let (a, b) = self.replicas.split_at_mut(i + 1);
+                std::mem::swap(&mut a[i].current, &mut b[0].current);
+                std::mem::swap(&mut a[i].current_cost, &mut b[0].current_cost);
+                self.swaps_accepted += 1;
+            }
+            i += 2;
+        }
+        self.round += 1;
+    }
+
+    /// Best state and cost over all replicas (ties resolved by rung
+    /// index, deterministically).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run has no replicas (constructor forbids this).
+    #[must_use]
+    pub fn best(&self) -> (&S, f64) {
+        let mut idx = 0;
+        for (i, r) in self.replicas.iter().enumerate() {
+            if r.best_cost < self.replicas[idx].best_cost {
+                idx = i;
+            }
+        }
+        (&self.replicas[idx].best, self.replicas[idx].best_cost)
+    }
+
+    /// Sums of proposals/accepted over all replicas.
+    #[must_use]
+    pub fn totals(&self) -> (u64, u64) {
+        self.replicas
+            .iter()
+            .fold((0, 0), |(p, a), r| (p + r.proposals, a + r.accepted))
+    }
+
+    /// Runs to completion sequentially and returns the ensemble best.
+    #[must_use]
+    pub fn run_to_completion(mut self) -> AnnealResult<S> {
+        let mut eval = |s: &S| s.cost();
+        while !self.is_done() {
+            self.step_round(&mut eval);
+        }
+        let (best, best_cost) = self.best();
+        let best = best.clone();
+        let (proposals, accepted) = self.totals();
+        AnnealResult {
+            best,
+            best_cost,
+            proposals: proposals as usize,
+            accepted: accepted as usize,
+        }
     }
 }
 
@@ -124,7 +526,7 @@ mod tests {
     use super::*;
 
     /// Toy problem: minimize (x - 7)² over integers via ±1 moves.
-    #[derive(Clone, Debug)]
+    #[derive(Clone, Debug, PartialEq)]
     struct Quad(i64);
 
     impl AnnealState for Quad {
@@ -152,6 +554,20 @@ mod tests {
         assert_eq!(a.best.0, b.best.0);
         assert_eq!(a.proposals, b.proposals);
         assert_eq!(a.accepted, b.accepted);
+        // The tempered ensemble is deterministic per seed too: swap
+        // decisions draw from a dedicated seeded stream, never the
+        // wall clock.
+        let ta = TemperedRun::new(Quad(-40), &Schedule::quick(), 4, 42).run_to_completion();
+        let tb = TemperedRun::new(Quad(-40), &Schedule::quick(), 4, 42).run_to_completion();
+        assert_eq!(ta.best.0, tb.best.0);
+        assert_eq!(ta.best_cost.to_bits(), tb.best_cost.to_bits());
+        assert_eq!(ta.proposals, tb.proposals);
+        assert_eq!(ta.accepted, tb.accepted);
+        let tc = TemperedRun::new(Quad(-40), &Schedule::quick(), 4, 43).run_to_completion();
+        assert!(
+            tc.accepted != ta.accepted || tc.best.0 != ta.best.0 || tc.proposals == ta.proposals,
+            "different seeds explore differently"
+        );
     }
 
     #[test]
@@ -172,5 +588,111 @@ mod tests {
             ..Schedule::quick()
         };
         let _ = anneal(Quad(0), &bad, 0);
+    }
+
+    #[test]
+    fn stepped_run_matches_run_to_completion() {
+        // The sliced runner is the same chain as `anneal` regardless of
+        // slice size.
+        let whole = anneal(Quad(-40), &Schedule::quick(), 5);
+        for slice in [1_usize, 7, 40, 1000] {
+            let mut run = AnnealRun::new(Quad(-40), &Schedule::quick(), 5);
+            while !run.is_done() {
+                run.step(slice);
+            }
+            let r = run.into_result();
+            assert_eq!(r.best.0, whole.best.0, "slice {slice}");
+            assert_eq!(r.proposals, whole.proposals);
+            assert_eq!(r.accepted, whole.accepted);
+        }
+    }
+
+    #[test]
+    fn resume_equivalence() {
+        // Checkpoint mid-run (at an awkward, non-round boundary) and
+        // resume: the continuation must be bitwise-identical to the
+        // uninterrupted run.
+        let schedule = Schedule::standard();
+        let mut uninterrupted = AnnealRun::new(Quad(-40), &schedule, 9);
+        while !uninterrupted.is_done() {
+            uninterrupted.step(schedule.moves_per_round);
+        }
+
+        let mut first = AnnealRun::new(Quad(-40), &schedule, 9);
+        first.step(503);
+        let cp = first.checkpoint();
+        assert_eq!(cp.step, 503);
+        let mut resumed = AnnealRun::from_checkpoint(&schedule, cp);
+        while !resumed.is_done() {
+            resumed.step(17);
+        }
+
+        assert_eq!(resumed.rng_state(), uninterrupted.rng_state());
+        let (rb, rc) = resumed.best();
+        let (ub, uc) = uninterrupted.best();
+        assert_eq!(rb, ub);
+        assert_eq!(rc.to_bits(), uc.to_bits());
+        let r = resumed.into_result();
+        let u = uninterrupted.into_result();
+        assert_eq!(r.proposals, u.proposals);
+        assert_eq!(r.accepted, u.accepted);
+    }
+
+    #[test]
+    fn ladder_spans_the_schedule() {
+        let s = Schedule::standard();
+        let ladder = temperature_ladder(&s, 5);
+        assert_eq!(ladder.len(), 5);
+        assert!((ladder[0] - s.t_start).abs() < 1e-12);
+        assert!((ladder[4] - s.t_end).abs() < 1e-12);
+        for w in ladder.windows(2) {
+            assert!(w[1] < w[0], "ladder must cool monotonically");
+        }
+        assert_eq!(temperature_ladder(&s, 1), vec![s.t_start]);
+    }
+
+    #[test]
+    fn schedule_rounds_counts_executed_rounds() {
+        let s = Schedule::quick();
+        let r = anneal(Quad(0), &s, 0);
+        assert_eq!(r.proposals, schedule_rounds(&s) * s.moves_per_round);
+    }
+
+    #[test]
+    fn tempered_finds_the_minimum_and_swaps() {
+        let run = TemperedRun::new(Quad(-40), &Schedule::standard(), 4, 1);
+        let mut live = run;
+        let mut eval = |s: &Quad| s.cost();
+        while !live.is_done() {
+            live.step_round(&mut eval);
+        }
+        assert!(live.swaps_accepted > 0, "adjacent rungs should exchange");
+        let (best, best_cost) = live.best();
+        assert_eq!(best.0, 7);
+        assert_eq!(best_cost, 0.0);
+    }
+
+    #[test]
+    fn tempered_is_schedule_order_independent() {
+        // Running replica rounds out of order (as a fan-out scheduler
+        // would) yields bit-identical results to the sequential path.
+        let schedule = Schedule::quick();
+        let sequential = TemperedRun::new(Quad(-40), &schedule, 3, 11).run_to_completion();
+        let mut shuffled = TemperedRun::new(Quad(-40), &schedule, 3, 11);
+        while !shuffled.is_done() {
+            // Reverse order within the round.
+            for i in (0..shuffled.replicas.len()).rev() {
+                let t = shuffled.ladder[i];
+                let moves = shuffled.moves_per_round;
+                shuffled.replicas[i].round(t, moves, &mut |s| s.cost());
+            }
+            shuffled.swap_round();
+        }
+        let (best, best_cost) = shuffled.best();
+        assert_eq!(best.0, sequential.best.0);
+        assert_eq!(best_cost.to_bits(), sequential.best_cost.to_bits());
+        let (p, a) = shuffled.totals();
+        assert_eq!(p as usize, sequential.proposals);
+        assert_eq!(a as usize, sequential.accepted);
     }
 }

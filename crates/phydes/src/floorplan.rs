@@ -218,6 +218,179 @@ impl Default for FloorplanConfig {
     }
 }
 
+/// An owned sequence-pair candidate: the serializable core of a
+/// floorplanning state (what a job checkpoint persists).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpCandidate {
+    /// The Γ⁺ sequence (a permutation of `0..n`).
+    pub gamma_pos: Vec<usize>,
+    /// The Γ⁻ sequence (a permutation of `0..n`).
+    pub gamma_neg: Vec<usize>,
+    /// Per-module rotation flags (always `false` for hard macros).
+    pub rotated: Vec<bool>,
+}
+
+impl SpCandidate {
+    /// The identity candidate: both sequences `0..n`, nothing rotated
+    /// (a single row).
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        Self {
+            gamma_pos: (0..n).collect(),
+            gamma_neg: (0..n).collect(),
+            rotated: vec![false; n],
+        }
+    }
+}
+
+/// An owned floorplanning problem: modules, nets, and the fixed cost
+/// normalizers, detached from any borrow so long-running jobs can hold
+/// it across step slices and threads.
+///
+/// The cost function and neighbourhood are exactly those the in-process
+/// [`floorplan`] annealer explores; this type exists so external
+/// schedulers (parallel-tempered jobs) can drive the same search in an
+/// owned, checkpointable form.
+#[derive(Debug, Clone)]
+pub struct FloorplanProblem {
+    modules: Vec<Module>,
+    nets: Vec<Net>,
+    temperature_weight: f64,
+    area_norm: f64,
+    flux_norm: f64,
+    hpwl_limit: f64,
+}
+
+impl FloorplanProblem {
+    /// Builds the problem with the same normalizers [`floorplan`] uses:
+    /// area normalized by total module area, flux by the identity
+    /// placement's hotspot proxy. The HPWL budget is taken relative to
+    /// the identity placement (jobs skip the pure-area reference pass;
+    /// pass `f64::INFINITY` via a large `wirelength_budget` to disable
+    /// the budget entirely).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modules` is empty or `temperature_weight` is outside
+    /// `[0, 1]`.
+    #[must_use]
+    pub fn new(
+        modules: Vec<Module>,
+        nets: Vec<Net>,
+        temperature_weight: Ratio,
+        wirelength_budget: Ratio,
+    ) -> Self {
+        assert!(!modules.is_empty(), "floorplan needs at least one module");
+        assert!(
+            temperature_weight.is_proper(),
+            "temperature weight must be within [0, 1]"
+        );
+        let n = modules.len();
+        let initial = SpCandidate::identity(n);
+        let initial_plan = place_sequence_pair(
+            &modules,
+            &initial.gamma_pos,
+            &initial.gamma_neg,
+            &initial.rotated,
+        );
+        let total_area: f64 = modules.iter().map(|m| m.area().square_meters()).sum();
+        let flux_norm = hotspot_proxy(&modules, &initial_plan)
+            .watts_per_square_meter()
+            .max(1e-9);
+        let hpwl_limit =
+            initial_plan.hpwl(&nets).meters().max(1e-12) * wirelength_budget.fraction();
+        Self {
+            modules,
+            nets,
+            temperature_weight: temperature_weight.fraction(),
+            area_norm: total_area.max(1e-18),
+            flux_norm,
+            hpwl_limit,
+        }
+    }
+
+    /// The problem's modules.
+    #[must_use]
+    pub fn modules(&self) -> &[Module] {
+        &self.modules
+    }
+
+    /// The identity starting candidate.
+    #[must_use]
+    pub fn initial(&self) -> SpCandidate {
+        SpCandidate::identity(self.modules.len())
+    }
+
+    /// Proposes a neighbour with the same three moves the in-process
+    /// annealer uses (swap Γ⁺, swap both, rotate a soft module).
+    #[must_use]
+    pub fn neighbour(&self, cand: &SpCandidate, rng: &mut Rng64) -> SpCandidate {
+        let mut s = cand.clone();
+        let n = s.gamma_pos.len();
+        if n < 2 {
+            return s;
+        }
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        match rng.gen_range(0..3) {
+            0 => s.gamma_pos.swap(i, j),
+            1 => {
+                s.gamma_pos.swap(i, j);
+                s.gamma_neg.swap(i, j);
+            }
+            _ => {
+                let m = rng.gen_range(0..n);
+                if !self.modules[m].is_macro {
+                    s.rotated[m] = !s.rotated[m];
+                }
+            }
+        }
+        s
+    }
+
+    /// The blended area/temperature cost with the HPWL overshoot
+    /// penalty — identical arithmetic to the in-process annealer.
+    #[must_use]
+    pub fn cost(&self, cand: &SpCandidate) -> f64 {
+        let plan = self.place(cand);
+        let area = plan.area().square_meters() / self.area_norm;
+        let flux = hotspot_proxy(&self.modules, &plan).watts_per_square_meter() / self.flux_norm;
+        let hpwl = plan.hpwl(&self.nets).meters();
+        let over = (hpwl / self.hpwl_limit - 1.0).max(0.0);
+        let w = self.temperature_weight;
+        (1.0 - w) * area + w * flux + 10.0 * over
+    }
+
+    /// Places a candidate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the candidate's sequences are not permutations of
+    /// `0..modules.len()`.
+    #[must_use]
+    pub fn place(&self, cand: &SpCandidate) -> Floorplan {
+        place_sequence_pair(
+            &self.modules,
+            &cand.gamma_pos,
+            &cand.gamma_neg,
+            &cand.rotated,
+        )
+    }
+
+    /// Full result bookkeeping for a candidate (plan, hotspot, HPWL).
+    #[must_use]
+    pub fn evaluate(&self, cand: &SpCandidate) -> FloorplanResult {
+        let plan = self.place(cand);
+        let hotspot = hotspot_proxy(&self.modules, &plan);
+        let wirelength = plan.hpwl(&self.nets);
+        FloorplanResult {
+            plan,
+            hotspot,
+            wirelength,
+        }
+    }
+}
+
 /// Sequence-pair state explored by the annealer.
 #[derive(Clone)]
 struct SpState<'a> {
@@ -599,5 +772,36 @@ mod tests {
     #[should_panic(expected = "at least one module")]
     fn empty_module_list_rejected() {
         let _ = floorplan(&[], &[], &FloorplanConfig::default());
+    }
+
+    #[test]
+    fn owned_problem_matches_borrowed_cost_shape() {
+        use tsc_rng::Rng64;
+        let problem = FloorplanProblem::new(
+            modules(),
+            nets(),
+            Ratio::from_percent(30.0),
+            Ratio::from_percent(400.0),
+        );
+        let initial = problem.initial();
+        let c0 = problem.cost(&initial);
+        assert!(c0.is_finite() && c0 > 0.0);
+        // Neighbour moves are deterministic per RNG stream and keep
+        // placements legal; hard macros never rotate.
+        let mut a = Rng64::seed_from_u64(5);
+        let mut b = Rng64::seed_from_u64(5);
+        let mut cand = initial.clone();
+        for _ in 0..50 {
+            let na = problem.neighbour(&cand, &mut a);
+            let nb = problem.neighbour(&cand, &mut b);
+            assert_eq!(na, nb);
+            cand = na;
+        }
+        for (m, rot) in problem.modules().iter().zip(&cand.rotated) {
+            if m.is_macro {
+                assert!(!rot, "macro {} must not rotate", m.name);
+            }
+        }
+        assert!(problem.place(&cand).is_legal());
     }
 }

@@ -16,6 +16,9 @@
 //! | `POST /v1/flow`     | A full co-design flow run (Sec. III flows)          |
 //! | `POST /v1/pillars`  | A pillar placement run (Sec. IIIA)                  |
 //! | `POST /v1/transient`| A stateful streamed transient session ([`session`]) |
+//! | `POST /v1/jobs`     | Submit a long-running optimization job (`jobs.rs`)  |
+//! | `GET /v1/jobs/{id}` | Job status (`/events` streams NDJSON progress,      |
+//! |                     | `POST …/cancel` stops, `GET …/checkpoint` resumes)  |
 //! | `GET /v1/designs`   | The built-in design registry                        |
 //! | `GET /metrics`      | Prometheus text exposition                          |
 //! | `GET /healthz`      | Liveness probe                                      |
@@ -35,6 +38,7 @@
 
 pub mod api;
 pub mod http;
+pub(crate) mod jobs;
 pub mod locks;
 pub mod metrics;
 pub mod pool;

@@ -59,8 +59,15 @@ pub fn lock_or_recover<'a, T>(lock: &'a Mutex<T>) -> MutexGuard<'a, T> {
 pub mod rank {
     /// `RouterShared.table` — shard routing table (outermost).
     pub const ROUTER_TABLE: u16 = 10;
+    /// `RouterShared.jobs` — job-id → shard affinity map (routing
+    /// decisions precede everything else on the shard).
+    pub const ROUTER_JOBS: u16 = 15;
     /// `Shared.coalesce` — in-flight request coalescing map.
     pub const COALESCE: u16 = 20;
+    /// `JobsHost.table` — the optimization-job table.  Sits above the
+    /// admission queue: the pump enqueues checked-out slices while
+    /// holding it.
+    pub const JOB_TABLE: u16 = 25;
     /// `JobQueue.inner` — admission queue state.
     pub const QUEUE_INNER: u16 = 30;
     /// `LruPool.entries` — context pool entries.

@@ -23,6 +23,14 @@ impl Counter {
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Raises the counter to `target` if it is currently below it (and
+    /// never lowers it).  Used to mirror monotone totals owned by another
+    /// data structure — the job table's lifetime counters — without
+    /// double counting when several scrapers sync concurrently.
+    pub fn advance_to(&self, target: u64) {
+        self.0.fetch_max(target, Ordering::Relaxed);
+    }
+
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
@@ -137,12 +145,13 @@ impl Histogram {
 }
 
 /// Endpoints tracked with per-status request counters.
-pub const ENDPOINTS: [&str; 10] = [
+pub const ENDPOINTS: [&str; 11] = [
     "solve",
     "flow",
     "pillars",
     "batch",
     "transient",
+    "jobs",
     "designs",
     "metrics",
     "healthz",
@@ -151,8 +160,8 @@ pub const ENDPOINTS: [&str; 10] = [
 ];
 
 /// Statuses tracked per endpoint.
-pub const STATUSES: [u16; 13] = [
-    200, 400, 404, 405, 408, 413, 429, 431, 500, 501, 502, 503, 504,
+pub const STATUSES: [u16; 14] = [
+    200, 202, 400, 404, 405, 408, 413, 429, 431, 500, 501, 502, 503, 504,
 ];
 
 /// Heavy (queued) endpoints that get latency histograms.
@@ -169,7 +178,7 @@ fn endpoint_index(endpoint: &str) -> usize {
 }
 
 fn status_index(status: u16) -> usize {
-    STATUSES.iter().position(|s| *s == status).unwrap_or(8) // unknown → 500 slot
+    STATUSES.iter().position(|s| *s == status).unwrap_or(9) // unknown → 500 slot
 }
 
 /// The service-wide metrics registry.  One instance lives in the shared
@@ -219,6 +228,19 @@ pub struct Metrics {
     pub transient_runaway_alarms_total: Counter,
     pub transient_session_errors_total: Counter,
     pub transient_step_latency: Histogram,
+    // Optimization-job rollups (`/v1/jobs`).  The terminal/eval counters
+    // mirror the job table's lifetime totals via `Counter::advance_to`.
+    pub jobs_active: Gauge,
+    pub jobs_queued: Gauge,
+    pub jobs_submitted_total: Counter,
+    pub jobs_completed_total: Counter,
+    pub jobs_failed_total: Counter,
+    pub jobs_cancelled_total: Counter,
+    pub jobs_evicted_total: Counter,
+    pub jobs_rejected_table_full_total: Counter,
+    pub job_slices_total: Counter,
+    pub job_evals_total: Counter,
+    pub job_dedup_hits_total: Counter,
 }
 
 impl Metrics {
@@ -291,7 +313,7 @@ impl Metrics {
         self.transient_step_latency
             .render("tsc_transient_step_seconds", "", &mut out);
 
-        let gauges: [(&str, &str, i64); 6] = [
+        let gauges: [(&str, &str, i64); 8] = [
             (
                 "tsc_queue_depth",
                 "Jobs waiting in the solve queue.",
@@ -322,6 +344,16 @@ impl Metrics {
                 "Transient contexts pinned out of the LRU pool by live sessions.",
                 self.transient_pinned.get(),
             ),
+            (
+                "tsc_jobs_active",
+                "Optimization jobs currently running.",
+                self.jobs_active.get(),
+            ),
+            (
+                "tsc_jobs_queued",
+                "Optimization jobs admitted but waiting for a class slot.",
+                self.jobs_queued.get(),
+            ),
         ];
         for (name, help, value) in gauges {
             out.push_str(&format!(
@@ -348,7 +380,7 @@ impl Metrics {
             ));
         }
 
-        let counters: [(&str, &str, u64); 27] = [
+        let counters: [(&str, &str, u64); 36] = [
             (
                 "tsc_coalesced_requests_total",
                 "Requests served by piggybacking on an identical in-flight solve.",
@@ -479,6 +511,51 @@ impl Metrics {
                 "tsc_transient_session_errors_total",
                 "Transient sessions ended by a typed in-band error event.",
                 self.transient_session_errors_total.get(),
+            ),
+            (
+                "tsc_jobs_submitted_total",
+                "Optimization jobs admitted by POST /v1/jobs.",
+                self.jobs_submitted_total.get(),
+            ),
+            (
+                "tsc_jobs_completed_total",
+                "Optimization jobs that finished with a result.",
+                self.jobs_completed_total.get(),
+            ),
+            (
+                "tsc_jobs_failed_total",
+                "Optimization jobs that ended in a fatal error.",
+                self.jobs_failed_total.get(),
+            ),
+            (
+                "tsc_jobs_cancelled_total",
+                "Optimization jobs cancelled by the client.",
+                self.jobs_cancelled_total.get(),
+            ),
+            (
+                "tsc_jobs_evicted_total",
+                "Terminal job entries evicted after their TTL.",
+                self.jobs_evicted_total.get(),
+            ),
+            (
+                "tsc_jobs_rejected_table_full_total",
+                "Job submissions refused because the job table was full.",
+                self.jobs_rejected_table_full_total.get(),
+            ),
+            (
+                "tsc_job_slices_total",
+                "Job work slices executed by solver workers.",
+                self.job_slices_total.get(),
+            ),
+            (
+                "tsc_job_evals_total",
+                "Fresh candidate evaluations performed by terminal jobs.",
+                self.job_evals_total.get(),
+            ),
+            (
+                "tsc_job_dedup_hits_total",
+                "Candidate evaluations served from the fingerprint memo by terminal jobs.",
+                self.job_dedup_hits_total.get(),
             ),
             (
                 "tsc_lock_poisoned_total",

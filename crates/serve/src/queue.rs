@@ -156,12 +156,23 @@ impl<T> JobQueue<T> {
     /// quota (the shared cap, for interactive), `PushError::Closed`
     /// after `close`.
     pub fn try_push(&self, job: T, class: Priority) -> Result<(), PushError> {
+        self.try_push_reclaim(job, class).map_err(|(_, e)| e)
+    }
+
+    /// [`try_push`](Self::try_push), but a refused job is handed back to
+    /// the caller instead of dropped — the jobs pump retries checked-out
+    /// work slices on the next tick rather than losing them.
+    ///
+    /// # Errors
+    ///
+    /// The refused job together with the reason.
+    pub fn try_push_reclaim(&self, job: T, class: Priority) -> Result<(), (T, PushError)> {
         let mut inner = self.inner.lock();
         if inner.closed {
-            return Err(PushError::Closed);
+            return Err((job, PushError::Closed));
         }
         if inner.total() >= class.quota(self.capacity) {
-            return Err(PushError::Full);
+            return Err((job, PushError::Full));
         }
         inner.classes[class.index()].push_back(job);
         drop(inner);

@@ -15,6 +15,11 @@
 //! * `/v1/batch` — the envelope is split into per-shard sub-batches by
 //!   item affinity and the per-item results are merged back in envelope
 //!   order; a dead shard fails only its own items.
+//! * `/v1/jobs` — submission routes by a hash of the spec body and the
+//!   202 response's job id is recorded in a sticky id → shard map;
+//!   status/cancel/checkpoint forward to the owning shard (with a
+//!   broadcast probe as fallback after a router restart), and `/events`
+//!   streams tunnel byte-for-byte like transient sessions.
 //! * `/metrics` — every healthy shard's exposition is fetched, parsed
 //!   ([`tsc_bench::prom::parse_exposition`]) and summed by series
 //!   (quantile gauges are dropped: bucket counts sum, quantiles do not),
@@ -27,6 +32,7 @@
 //! that do not parse as HTTP answers 502 and is never retried (the
 //! request may have executed — replaying it could double work).
 
+use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -131,13 +137,16 @@ pub struct RouterMetrics {
     pub batch_subbatches_total: Counter,
     pub rebalanced_keys_total: Counter,
     pub transient_tunnels_total: Counter,
+    pub job_stickies_total: Counter,
+    pub job_broadcasts_total: Counter,
+    pub job_event_tunnels_total: Counter,
     pub healthy_shards: Gauge,
     pub shards: Gauge,
 }
 
 impl RouterMetrics {
     fn render(&self) -> String {
-        let counters: [(&str, &str, u64); 11] = [
+        let counters: [(&str, &str, u64); 14] = [
             (
                 "tsc_router_requests_total",
                 "Client requests handled by the router.",
@@ -189,6 +198,21 @@ impl RouterMetrics {
                 self.transient_tunnels_total.get(),
             ),
             (
+                "tsc_router_job_stickies_total",
+                "Job ids recorded in the sticky id-to-shard affinity map.",
+                self.job_stickies_total.get(),
+            ),
+            (
+                "tsc_router_job_broadcasts_total",
+                "Job lookups that probed every shard because the id was not in the sticky map.",
+                self.job_broadcasts_total.get(),
+            ),
+            (
+                "tsc_router_job_event_tunnels_total",
+                "Job event streams tunnelled byte-for-byte to the owning shard.",
+                self.job_event_tunnels_total.get(),
+            ),
+            (
                 "tsc_router_lock_poisoned_total",
                 "Router-process mutex guards recovered from a poisoned state.",
                 crate::locks::poisoned_total(),
@@ -229,11 +253,22 @@ struct RouterShared {
     /// Bounded-load placement table: sticky key → shard assignments
     /// capped at ~1.25× each shard's fair share of distinct keys.
     table: RankedMutex<BoundedTable>,
+    /// Sticky job-id → shard affinity: status/cancel/checkpoint/events
+    /// for a job must reach the shard that admitted it.  Bounded at
+    /// [`JOB_AFFINITY_CAP`]; a missing id falls back to a broadcast
+    /// probe, so eviction costs latency, never correctness.
+    jobs: RankedMutex<HashMap<u64, usize>>,
     healthy: Vec<AtomicBool>,
     metrics: RouterMetrics,
     addr: SocketAddr,
     jitter_state: AtomicU64,
 }
+
+/// Most job ids the router remembers shard affinity for.  Shards evict
+/// finished jobs on a TTL anyway, so the map only needs to cover the
+/// live working set; overflow evicts an arbitrary entry and the next
+/// lookup for it re-resolves by broadcast.
+const JOB_AFFINITY_CAP: usize = 4096;
 
 /// How a request selects its shard.
 #[derive(Debug, Clone, Copy)]
@@ -317,6 +352,50 @@ impl RouterShared {
             let i = (self.jitter_unit() * candidates.len() as f64) as usize;
             Some(candidates[i.min(candidates.len() - 1)])
         }
+    }
+
+    /// Record that `shard` owns job `id`, evicting an arbitrary entry
+    /// when the map is at capacity (the victim re-resolves by broadcast
+    /// on its next lookup).
+    fn remember_job(&self, id: u64, shard: usize) {
+        let mut jobs = self.jobs.lock();
+        if jobs.len() >= JOB_AFFINITY_CAP && !jobs.contains_key(&id) {
+            if let Some(victim) = jobs.keys().next().copied() {
+                jobs.remove(&victim);
+            }
+        }
+        if jobs.insert(id, shard).is_none() {
+            self.metrics.job_stickies_total.inc();
+        }
+    }
+
+    /// Resolve the shard owning job `id`: the sticky map if it still
+    /// points at a healthy shard, else a broadcast `GET /v1/jobs/{id}`
+    /// probe across healthy shards (a router restart loses the map; the
+    /// jobs themselves live on the shards).
+    fn job_owner(&self, id: u64) -> Option<usize> {
+        let jobs = self.jobs.lock();
+        let known = jobs.get(&id).copied();
+        drop(jobs);
+        if let Some(shard) = known {
+            if self.is_healthy(shard) {
+                return Some(shard);
+            }
+        }
+        self.metrics.job_broadcasts_total.inc();
+        let path = format!("/v1/jobs/{id:016x}");
+        for shard in 0..self.config.backends.len() {
+            if !self.is_healthy(shard) {
+                continue;
+            }
+            let probe =
+                upstream_request(self, shard, "GET", &path, &[], b"", Duration::from_secs(5));
+            if probe.map(|r| r.status == 200).unwrap_or(false) {
+                self.remember_job(id, shard);
+                return Some(shard);
+            }
+        }
+        None
     }
 
     fn signal_shutdown(&self) {
@@ -518,6 +597,7 @@ impl Router {
             shutdown_cv: Condvar::new(),
             ring,
             table,
+            jobs: RankedMutex::new(HashMap::new(), rank::ROUTER_JOBS, "RouterShared.jobs"),
             healthy,
             metrics: RouterMetrics::default(),
             addr,
@@ -629,6 +709,14 @@ impl ConnectionHandler for Arc<RouterShared> {
     }
 
     fn handle_stream(&self, request: &Request, stream: &mut TcpStream, leftover: &[u8]) -> bool {
+        if request.method == "GET"
+            && request.path.starts_with("/v1/jobs/")
+            && request.path.ends_with("/events")
+        {
+            self.metrics.requests_total.inc();
+            tunnel_job_events(self, request, stream);
+            return true;
+        }
         if request.method != "POST" || request.path != "/v1/transient" {
             return false;
         }
@@ -710,10 +798,12 @@ fn route_router(request: &Request, shared: &Arc<RouterShared>) -> Response {
             }
         }
         ("POST", "/v1/batch") => route_batch(request, shared),
+        ("POST", "/v1/jobs") => route_job_submit(request, shared),
+        (_, path) if path.starts_with("/v1/jobs/") => route_job_entry(request, shared),
         (
             _,
             "/healthz" | "/metrics" | "/v1/designs" | "/v1/shutdown" | "/v1/solve" | "/v1/flow"
-            | "/v1/pillars" | "/v1/batch" | "/v1/transient",
+            | "/v1/pillars" | "/v1/batch" | "/v1/transient" | "/v1/jobs",
         ) => Response::error(405, "method not allowed"),
         _ => Response::error(404, "no such endpoint"),
     }
@@ -834,6 +924,195 @@ fn pump(from: &mut TcpStream, to: &mut TcpStream, done: &AtomicBool, shared: &Ro
     }
     done.store(true, Ordering::Relaxed);
     let _ = to.shutdown(Shutdown::Write);
+}
+
+/// Extracts the 16-hex job id segment from `/v1/jobs/{id}[/action]`.
+fn job_id_from_path(path: &str) -> Option<u64> {
+    let rest = path.strip_prefix("/v1/jobs/")?;
+    let id_part = rest.split('/').next().unwrap_or(rest);
+    if id_part.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(id_part, 16).ok()
+}
+
+/// `POST /v1/jobs`: route by a hash of the spec body (same-spec
+/// resubmits land on the same shard, next to any memoised evaluations),
+/// then record the admitted id in the sticky map so every follow-up
+/// finds the owning shard without a broadcast.
+fn route_job_submit(request: &Request, shared: &Arc<RouterShared>) -> Response {
+    let key = fnv1a(&request.body);
+    let headers = forwarded_headers(request);
+    let budget = shared.config.retry_budget.max(1);
+    let mut exclude: Option<usize> = None;
+    for attempt in 0..budget {
+        let Some(shard) = shared.pick_shard(RouteKey::Affinity(key), exclude) else {
+            break;
+        };
+        if attempt > 0 {
+            shared.metrics.retries_total.inc();
+            let base = 25u64.saturating_mul(1 << (attempt - 1).min(4));
+            let jittered = (base as f64 * (0.5 + shared.jitter_unit())).round() as u64;
+            thread::sleep(Duration::from_millis(jittered.clamp(5, 400)));
+        }
+        match upstream_request(
+            shared,
+            shard,
+            "POST",
+            "/v1/jobs",
+            &as_header_refs(&headers),
+            &request.body,
+            shared.config.upstream_deadline,
+        ) {
+            Ok(response) if retryable_status(response.status) => {
+                exclude = Some(shard);
+                if attempt + 1 == budget {
+                    return passthrough(&response);
+                }
+            }
+            Ok(response) => {
+                if response.status == 202 {
+                    let id = tsc_bench::json::parse(&response.body_string())
+                        .ok()
+                        .and_then(|json| {
+                            json.get("id")
+                                .and_then(Json::as_str)
+                                .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+                        });
+                    if let Some(id) = id {
+                        shared.remember_job(id, shard);
+                    }
+                }
+                return passthrough(&response);
+            }
+            Err(ClientError::Malformed) => {
+                shared.metrics.bad_gateway_total.inc();
+                return bad_gateway_response();
+            }
+            Err(ClientError::Io) => {
+                shared.metrics.upstream_errors_total.inc();
+                shared.eject(shard);
+                exclude = Some(shard);
+            }
+            Err(ClientError::Timeout) => {
+                shared.metrics.upstream_errors_total.inc();
+                exclude = Some(shard);
+            }
+        }
+    }
+    shared.metrics.no_backend_total.inc();
+    unavailable_response()
+}
+
+/// `/v1/jobs/{id}[/action]` (status, cancel, checkpoint, and wrong-verb
+/// variants): forward to the owning shard.  Job state lives on exactly
+/// one shard, so a refused response retries the *same* shard — trying a
+/// neighbour would only manufacture a misleading 404.
+fn route_job_entry(request: &Request, shared: &Arc<RouterShared>) -> Response {
+    let Some(id) = job_id_from_path(&request.path) else {
+        return Response::error(404, "no such job");
+    };
+    let Some(shard) = shared.job_owner(id) else {
+        return Response::error(404, "no such job");
+    };
+    let headers = forwarded_headers(request);
+    let budget = shared.config.retry_budget.max(1);
+    for attempt in 0..budget {
+        if attempt > 0 {
+            shared.metrics.retries_total.inc();
+            let base = 25u64.saturating_mul(1 << (attempt - 1).min(4));
+            let jittered = (base as f64 * (0.5 + shared.jitter_unit())).round() as u64;
+            thread::sleep(Duration::from_millis(jittered.clamp(5, 400)));
+        }
+        match upstream_request(
+            shared,
+            shard,
+            &request.method,
+            &request.path,
+            &as_header_refs(&headers),
+            &request.body,
+            shared.config.upstream_deadline,
+        ) {
+            Ok(response) if retryable_status(response.status) && attempt + 1 < budget => {}
+            Ok(response) => return passthrough(&response),
+            Err(ClientError::Malformed) => {
+                shared.metrics.bad_gateway_total.inc();
+                return bad_gateway_response();
+            }
+            Err(ClientError::Io) => {
+                shared.metrics.upstream_errors_total.inc();
+                shared.eject(shard);
+                shared.metrics.no_backend_total.inc();
+                return unavailable_response();
+            }
+            Err(ClientError::Timeout) => {
+                shared.metrics.upstream_errors_total.inc();
+            }
+        }
+    }
+    shared.metrics.no_backend_total.inc();
+    unavailable_response()
+}
+
+/// Tunnel a `GET /v1/jobs/{id}/events` stream to the owning shard: the
+/// router re-sends the request head and degrades to a byte pump, so the
+/// NDJSON progress lines (and the shard's in-band error events) flow
+/// through untouched until the job ends or either side closes.
+fn tunnel_job_events(shared: &Arc<RouterShared>, request: &Request, client: &mut TcpStream) {
+    let write_response = |client: &mut TcpStream, response: Response| {
+        let _ = client.write_all(&response.with_close().to_bytes());
+    };
+    let Some(id) = job_id_from_path(&request.path) else {
+        write_response(client, Response::error(404, "no such job"));
+        return;
+    };
+    let Some(shard) = shared.job_owner(id) else {
+        write_response(client, Response::error(404, "no such job"));
+        return;
+    };
+    let backend_addr = &shared.config.backends[shard];
+    let connected = backend_addr
+        .parse::<SocketAddr>()
+        .ok()
+        .and_then(|addr| TcpStream::connect_timeout(&addr, shared.config.connect_timeout).ok());
+    let Some(mut backend) = connected else {
+        shared.metrics.upstream_errors_total.inc();
+        shared.eject(shard);
+        write_response(client, unavailable_response());
+        return;
+    };
+    let _ = backend.set_nodelay(true);
+    if backend
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .is_err()
+    {
+        write_response(client, unavailable_response());
+        return;
+    }
+    let mut head = format!(
+        "GET {} HTTP/1.1\r\nHost: {backend_addr}\r\nConnection: close\r\n",
+        request.path
+    );
+    for (name, value) in forwarded_headers(request) {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    if backend.write_all(head.as_bytes()).is_err() {
+        shared.metrics.upstream_errors_total.inc();
+        shared.eject(shard);
+        write_response(client, unavailable_response());
+        return;
+    }
+    shared.metrics.job_event_tunnels_total.inc();
+    let (Ok(mut backend_read), Ok(mut client_write)) = (backend.try_clone(), client.try_clone())
+    else {
+        return;
+    };
+    let done = AtomicBool::new(false);
+    thread::scope(|scope| {
+        scope.spawn(|| pump(&mut backend_read, &mut client_write, &done, shared));
+        pump(client, &mut backend, &done, shared);
+    });
 }
 
 /// Split a batch envelope into per-shard sub-batches by item affinity,

@@ -17,7 +17,7 @@
 //! expires while queued answers 504 — but an *accepted* job is always
 //! executed, so the pool stays warm and coalesced waiters never hang.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -27,8 +27,11 @@ use std::time::{Duration, Instant};
 
 use std::sync::atomic::AtomicU64;
 
+use tsc_jobs::{ShardWork, TableConfig};
+
 use crate::api::{self, ApiJob, BatchRequest};
 use crate::http::{parse_request, Limits, Parsed, Request, Response};
+use crate::jobs::JobsHost;
 use crate::locks::{rank, RankedMutex};
 use crate::metrics::Metrics;
 use crate::pool::ServicePools;
@@ -62,6 +65,9 @@ pub struct ServerConfig {
     /// Whether `POST /v1/shutdown` is honoured (the CLI enables it; tests
     /// that probe routing may disable it).
     pub allow_shutdown: bool,
+    /// Optimization-job table sizing: capacity, per-class concurrency
+    /// quota, and result TTL (`/v1/jobs`).
+    pub job_table: TableConfig,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +83,7 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(10),
             limits: Limits::default(),
             allow_shutdown: true,
+            job_table: TableConfig::default(),
         }
     }
 }
@@ -129,10 +136,14 @@ struct JobItem {
     slot: Arc<Slot>,
 }
 
-/// A queued unit of work: one item for the single-request endpoints, an
-/// operator-affine group for `/v1/batch`.
-struct Job {
-    items: Vec<JobItem>,
+/// A queued unit of work.
+enum Job {
+    /// A request-driven solve: one item for the single-request
+    /// endpoints, an operator-affine group for `/v1/batch`.
+    Solve { items: Vec<JobItem> },
+    /// One checked-out optimization-job slice (`/v1/jobs`), enqueued by
+    /// the pump at background priority.
+    Slice { id: u64, work: Box<ShardWork> },
 }
 
 /// State shared by every thread of the server.
@@ -149,6 +160,8 @@ struct Shared {
     addr: SocketAddr,
     /// Live transient sessions, for the admission cap and `/metrics`.
     sessions: AtomicUsize,
+    /// The optimization-job table and its wakeup condvar.
+    jobs: JobsHost,
     /// SplitMix64 state for retry-hint jitter — lock-free, seeded per
     /// process so synchronized clients de-synchronize.
     jitter_state: AtomicU64,
@@ -219,6 +232,7 @@ pub struct Server {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    pump: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -231,6 +245,7 @@ impl Server {
         let listener = TcpListener::bind(("127.0.0.1", config.port))?;
         let addr = listener.local_addr()?;
         let workers = config.workers.max(1);
+        let job_table = config.job_table;
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
             shutdown_requested: AtomicBool::new(false),
@@ -243,6 +258,12 @@ impl Server {
             config,
             addr,
             sessions: AtomicUsize::new(0),
+            jobs: JobsHost::new(
+                job_table,
+                u64::from(std::process::id())
+                    .rotate_left(17)
+                    .wrapping_add(u64::from(addr.port())),
+            ),
             jitter_state: AtomicU64::new(
                 u64::from(std::process::id()) ^ (u64::from(addr.port()) << 32),
             ),
@@ -262,11 +283,16 @@ impl Server {
             let shared = Arc::clone(&shared);
             thread::spawn(move || accept_loop(&listener, &shared))
         };
+        let pump = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || jobs_pump(&shared))
+        };
 
         Ok(Server {
             shared,
             acceptor: Some(acceptor),
             workers: worker_handles,
+            pump: Some(pump),
         })
     }
 
@@ -302,6 +328,13 @@ impl Server {
         let _ = TcpStream::connect(self.shared.addr);
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
+        }
+        // The pump notices `stop` on its next wakeup; in-flight job
+        // slices still drain through the queue below, and jobs resume
+        // from their last checkpoint (the resume token clients fetched).
+        self.shared.jobs.notify();
+        if let Some(pump) = self.pump.take() {
+            let _ = pump.join();
         }
         self.shared.queue.close();
         for worker in self.workers.drain(..) {
@@ -373,6 +406,20 @@ impl ConnectionHandler for Arc<Shared> {
     }
 
     fn handle_stream(&self, request: &Request, stream: &mut TcpStream, leftover: &[u8]) -> bool {
+        if request.method == "GET"
+            && request.path.starts_with("/v1/jobs/")
+            && request.path.ends_with("/events")
+        {
+            crate::jobs::stream_events(
+                &self.jobs,
+                &self.metrics,
+                &request.path,
+                stream,
+                request_deadline(request, self),
+                &|| self.stop.load(Ordering::SeqCst),
+            );
+            return true;
+        }
         if request.method != "POST" || request.path != "/v1/transient" {
             return false;
         }
@@ -494,6 +541,9 @@ pub(crate) fn drive_connection(mut stream: TcpStream, handler: &impl ConnectionH
 
 /// Endpoint label for metrics.
 fn endpoint_label(path: &str) -> &'static str {
+    if path == "/v1/jobs" || path.starts_with("/v1/jobs/") {
+        return "jobs";
+    }
     match path {
         "/v1/solve" => "solve",
         "/v1/flow" => "flow",
@@ -520,6 +570,7 @@ fn route_inner(request: &Request, endpoint: &'static str, shared: &Arc<Shared>) 
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => Response::text(200, "ok\n"),
         ("GET", "/metrics") => {
+            shared.jobs.sync_metrics(&shared.metrics);
             shared.metrics.queue_depth.set(shared.queue.len() as i64);
             shared
                 .metrics
@@ -555,10 +606,14 @@ fn route_inner(request: &Request, endpoint: &'static str, shared: &Arc<Shared>) 
             Ok(batch) => dispatch_batch(request, batch, shared),
             Err(message) => Response::error(400, &message),
         },
+        ("POST", "/v1/jobs") => crate::jobs::submit(&shared.jobs, &shared.metrics, request),
+        (method, path) if path.starts_with("/v1/jobs/") => {
+            crate::jobs::route_entry(&shared.jobs, &shared.metrics, method, path)
+        }
         (
             _,
             "/healthz" | "/metrics" | "/v1/designs" | "/v1/shutdown" | "/v1/solve" | "/v1/flow"
-            | "/v1/pillars" | "/v1/batch" | "/v1/transient",
+            | "/v1/pillars" | "/v1/batch" | "/v1/transient" | "/v1/jobs",
         ) => Response::error(405, "method not allowed"),
         _ => Response::error(404, "no such endpoint"),
     }
@@ -586,7 +641,7 @@ fn dispatch_heavy(
     let (slot, is_owner) = register_or_latch(shared, key);
 
     if is_owner {
-        let queued = Job {
+        let queued = Job::Solve {
             items: vec![JobItem {
                 key,
                 api: job,
@@ -744,7 +799,7 @@ fn dispatch_batch(request: &Request, batch: BatchRequest, shared: &Arc<Shared>) 
             .iter()
             .map(|item| (item.key, Arc::clone(&item.slot)))
             .collect();
-        match shared.queue.try_push(Job { items }, class) {
+        match shared.queue.try_push(Job::Solve { items }, class) {
             Ok(()) => {
                 shared.metrics.class_admitted[class.index()].inc();
                 shared.metrics.queue_depth.set(shared.queue.len() as i64);
@@ -844,35 +899,128 @@ fn remove_coalesce_entry(shared: &Shared, key: u64, slot: &Arc<Slot>) {
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
         shared.metrics.queue_depth.set(shared.queue.len() as i64);
-        shared.metrics.inflight.inc();
-        let jobs: Vec<&ApiJob> = job.items.iter().map(|item| &item.api).collect();
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            api::execute_group(&jobs, &shared.pools, &shared.metrics)
-        }));
-        shared.metrics.inflight.dec();
-        let results = match outcome {
-            Ok(results) => results,
-            // execute_group catches per-item panics itself; this outer
-            // guard is a last line of defence for the grouping logic.
+        match job {
+            Job::Solve { items } => run_solve_group(shared, &items),
+            Job::Slice { id, work } => run_job_slice(shared, id, *work),
+        }
+    }
+}
+
+/// Executes one request-driven solve group and fans its results out to
+/// every coalesced waiter.
+fn run_solve_group(shared: &Arc<Shared>, items: &[JobItem]) {
+    shared.metrics.inflight.inc();
+    let jobs: Vec<&ApiJob> = items.iter().map(|item| &item.api).collect();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        api::execute_group(&jobs, &shared.pools, &shared.metrics)
+    }));
+    shared.metrics.inflight.dec();
+    let results = match outcome {
+        Ok(results) => results,
+        // execute_group catches per-item panics itself; this outer
+        // guard is a last line of defence for the grouping logic.
+        Err(_) => {
+            shared.metrics.worker_panics.inc();
+            items
+                .iter()
+                .map(|_| Err((500, "internal error: worker panicked".to_string())))
+                .collect()
+        }
+    };
+    for (item, result) in items.iter().zip(results) {
+        // De-register *before* filling: once the result is visible,
+        // new identical requests must start a fresh solve (their
+        // inputs may race a pool eviction, but correctness never
+        // depends on reuse).
+        remove_coalesce_entry(shared, item.key, &item.slot);
+        match result {
+            Ok(body) => item.slot.fill(200, body),
+            Err((status, message)) => item.slot.fill(status, error_body(&message)),
+        }
+    }
+}
+
+/// Executes one optimization-job work slice lock-free, then returns it
+/// to the table (which advances barriers and settles terminal states)
+/// and wakes the pump.
+fn run_job_slice(shared: &Arc<Shared>, id: u64, mut work: ShardWork) {
+    shared.metrics.inflight.inc();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        work.run();
+        work
+    }));
+    shared.metrics.inflight.dec();
+    shared.metrics.job_slices_total.inc();
+    let now = Instant::now();
+    {
+        let mut table = shared.jobs.table.lock();
+        match outcome {
+            Ok(work) => table.complete(id, work, now),
             Err(_) => {
+                // The slice's state is gone with the panic; the engine
+                // can never be advanced consistently again.
                 shared.metrics.worker_panics.inc();
-                job.items
-                    .iter()
-                    .map(|_| Err((500, "internal error: worker panicked".to_string())))
-                    .collect()
-            }
-        };
-        for (item, result) in job.items.iter().zip(results) {
-            // De-register *before* filling: once the result is visible,
-            // new identical requests must start a fresh solve (their
-            // inputs may race a pool eviction, but correctness never
-            // depends on reuse).
-            remove_coalesce_entry(shared, item.key, &item.slot);
-            match result {
-                Ok(body) => item.slot.fill(200, body),
-                Err((status, message)) => item.slot.fill(status, error_body(&message)),
+                table.abandon(id, "internal error: worker panicked mid-slice", now);
             }
         }
+    }
+    shared.jobs.notify();
+    shared.jobs.sync_metrics(&shared.metrics);
+}
+
+/// How long the jobs pump sleeps when it has nothing to do (a condvar
+/// notify wakes it sooner).
+const PUMP_TICK: Duration = Duration::from_millis(25);
+
+/// Work slices the pump keeps checked out at a time.  Bounds how much of
+/// the worker pool a job fleet can occupy; the queue pops interactive
+/// and batch requests first regardless.
+const SLICE_BATCH: usize = 4;
+
+/// The job scheduler: promotes admitted jobs within per-class quotas,
+/// checks out step slices, and feeds them to the solve queue at
+/// background priority.  Slices refused by a full queue are retried (the
+/// table still counts them in flight), never dropped.
+fn jobs_pump(shared: &Arc<Shared>) {
+    let mut pending: VecDeque<Job> = VecDeque::new();
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut progressed = false;
+        while let Some(job) = pending.pop_front() {
+            match shared.queue.try_push_reclaim(job, Priority::Background) {
+                Ok(()) => {
+                    progressed = true;
+                    shared.metrics.class_admitted[Priority::Background.index()].inc();
+                    shared.metrics.queue_depth.set(shared.queue.len() as i64);
+                }
+                Err((job, PushError::Full)) => {
+                    pending.push_front(job);
+                    break;
+                }
+                Err((_, PushError::Closed)) => return,
+            }
+        }
+        {
+            let now = Instant::now();
+            let mut table = shared.jobs.table.lock();
+            table.evict_expired(now);
+            if pending.is_empty() {
+                for (id, work) in table.next_slices(SLICE_BATCH, now) {
+                    progressed = true;
+                    pending.push_back(Job::Slice {
+                        id,
+                        work: Box::new(work),
+                    });
+                }
+            }
+            if !progressed {
+                let (guard, _timed_out) = table.wait_timeout(&shared.jobs.changed, PUMP_TICK);
+                drop(guard);
+            }
+        }
+        shared.jobs.sync_metrics(&shared.metrics);
     }
 }
 

@@ -173,11 +173,23 @@ pub struct SessionClient {
 impl SessionClient {
     /// Connect and send the opening `POST /v1/transient`.
     pub fn open(addr: SocketAddr, body: &str, headers: &[(&str, &str)]) -> SessionClient {
+        Self::open_raw(addr, "POST", "/v1/transient", headers, body.as_bytes())
+    }
+
+    /// Connect and send an arbitrary stream-opening request (the jobs
+    /// suite uses `GET /v1/jobs/{id}/events`).
+    pub fn open_raw(
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> SessionClient {
         let mut stream = TcpStream::connect(addr).expect("connect");
         stream
             .set_read_timeout(Some(Duration::from_millis(200)))
             .expect("read timeout");
-        let request = format_request("POST", "/v1/transient", headers, body.as_bytes());
+        let request = format_request(method, path, headers, body);
         stream.write_all(&request).expect("send open request");
         SessionClient {
             stream,

@@ -1,0 +1,507 @@
+//! Integration tests for the `/v1/jobs` optimization-job endpoints,
+//! over a real socket.
+//!
+//! Covers the full lifecycle (submit → poll → result), NDJSON event
+//! streaming, cooperative cancellation, TTL eviction, table-full
+//! backpressure, scheduler/interactive isolation, and the acceptance
+//! criterion that a job killed mid-run and resumed from its fetched
+//! checkpoint lands on the uninterrupted run's best cost and final RNG
+//! words, bitwise.
+
+mod common;
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use common::{event_kind, one_shot, SessionClient};
+use tsc_bench::json::{parse, Json};
+use tsc_jobs::{Engine, JobSpec, TableConfig};
+use tsc_serve::{Server, ServerConfig};
+
+const POLL_WAIT: Duration = Duration::from_secs(240);
+
+/// A small fast parallel-tempered run on the Rocket fixture.
+const QUICK_SA: &str = r#"{"kind": "floorplan_sa", "design": "rocket", "replicas": 2, "seed": 11}"#;
+
+/// A long run (standard schedule) that stays running while tests probe
+/// around it.
+const LONG_SA: &str = r#"{"kind": "floorplan_sa", "design": "rocket", "replicas": 2, "seed": 3,
+        "schedule": "standard"}"#;
+
+/// Submits a job and returns its id (asserting the 202 contract).
+fn submit(addr: SocketAddr, body: &str) -> String {
+    let response = one_shot(addr, "POST", "/v1/jobs", &[], body.as_bytes());
+    assert_eq!(response.status, 202, "submit: {}", response.body_str());
+    let doc = parse(&response.body_str()).expect("submit response is JSON");
+    assert_eq!(doc.get("state").and_then(Json::as_str), Some("queued"));
+    let id = doc
+        .get("id")
+        .and_then(Json::as_str)
+        .expect("submit response carries an id")
+        .to_string();
+    assert_eq!(id.len(), 16, "ids are 16 hex digits: {id:?}");
+    id
+}
+
+/// Polls `GET /v1/jobs/{id}` until `predicate` accepts the status doc.
+fn poll_until(addr: SocketAddr, id: &str, what: &str, predicate: impl Fn(&Json) -> bool) -> Json {
+    let start = Instant::now();
+    loop {
+        let response = one_shot(addr, "GET", &format!("/v1/jobs/{id}"), &[], b"");
+        assert_eq!(response.status, 200, "poll: {}", response.body_str());
+        let doc = parse(&response.body_str()).expect("status is JSON");
+        if predicate(&doc) {
+            return doc;
+        }
+        assert!(
+            start.elapsed() < POLL_WAIT,
+            "timed out waiting for {what}; last status: {}",
+            doc.pretty()
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn state_of(doc: &Json) -> &str {
+    doc.get("state").and_then(Json::as_str).unwrap_or("?")
+}
+
+#[test]
+fn job_lifecycle_submit_poll_result_and_metrics() {
+    let server = Server::start(ServerConfig::default()).expect("start");
+    let id = submit(server.addr(), QUICK_SA);
+
+    let done = poll_until(server.addr(), &id, "job completion", |doc| {
+        state_of(doc) == "done"
+    });
+    assert_eq!(done.get("class").and_then(Json::as_str), Some("background"));
+    let progress = done.get("progress").expect("progress");
+    assert!(
+        progress
+            .get("fraction")
+            .and_then(Json::as_f64)
+            .is_some_and(|f| (f - 1.0).abs() < 1e-12),
+        "finished jobs report fraction 1.0"
+    );
+    let result = done.get("result").expect("done status carries the result");
+    assert!(result
+        .get("best_cost_bits")
+        .and_then(Json::as_str)
+        .is_some());
+    assert!(
+        result
+            .get("dedup_hits")
+            .and_then(Json::as_f64)
+            .is_some_and(|h| h > 0.0),
+        "the eval memo must serve repeats: {}",
+        result.pretty()
+    );
+
+    // The rollup counters made it into the exposition.
+    let metrics = one_shot(server.addr(), "GET", "/metrics", &[], b"");
+    assert_eq!(metrics.status, 200);
+    let text = metrics.body_str();
+    tsc_serve::validate_exposition(&text).expect("valid exposition");
+    assert!(text.contains("tsc_jobs_submitted_total 1"), "{text}");
+    assert!(text.contains("tsc_jobs_completed_total 1"), "{text}");
+    let dedup = text
+        .lines()
+        .find_map(|l| l.strip_prefix("tsc_job_dedup_hits_total "))
+        .and_then(|v| v.parse::<f64>().ok())
+        .expect("dedup counter exposed");
+    assert!(dedup > 0.0, "dedupe counter must be positive");
+    server.shutdown();
+}
+
+#[test]
+fn events_stream_replays_progress_and_ends() {
+    let server = Server::start(ServerConfig::default()).expect("start");
+    let id = submit(server.addr(), QUICK_SA);
+
+    let mut stream = SessionClient::open_raw(
+        server.addr(),
+        "GET",
+        &format!("/v1/jobs/{id}/events"),
+        &[],
+        b"",
+    );
+    assert_eq!(stream.read_head(POLL_WAIT), 200);
+    let mut states = Vec::new();
+    let mut progress_events = 0usize;
+    let mut last_best = f64::INFINITY;
+    loop {
+        let event = stream.next_event(POLL_WAIT);
+        match event_kind(&event).as_str() {
+            "state" => states.push(common::field_str(&event, "state")),
+            "progress" => {
+                progress_events += 1;
+                let best = common::field_num(&event, "best_cost");
+                assert!(
+                    best <= last_best + 1e-12,
+                    "best cost must be monotone non-increasing"
+                );
+                last_best = best;
+            }
+            "end" => {
+                assert_eq!(common::field_str(&event, "state"), "done");
+                break;
+            }
+            other => panic!("unexpected event kind {other:?}: {}", event.pretty()),
+        }
+    }
+    assert!(
+        states.contains(&"queued".to_string()) && states.contains(&"running".to_string()),
+        "the stream replays buffered lifecycle events: {states:?}"
+    );
+    assert!(progress_events > 0, "at least one barrier event");
+    assert!(
+        stream.at_eof(Duration::from_secs(10)),
+        "close-delimited framing: the server closes after \"end\""
+    );
+
+    // A stream for an unknown id refuses with a plain 404 before any
+    // NDJSON framing starts.
+    let mut bogus = SessionClient::open_raw(
+        server.addr(),
+        "GET",
+        "/v1/jobs/00000000deadbeef/events",
+        &[],
+        b"",
+    );
+    assert_eq!(bogus.read_head(Duration::from_secs(30)), 404);
+    server.shutdown();
+}
+
+#[test]
+fn cancel_stops_a_running_job() {
+    let server = Server::start(ServerConfig::default()).expect("start");
+    let id = submit(server.addr(), LONG_SA);
+    poll_until(server.addr(), &id, "job to start", |doc| {
+        state_of(doc) == "running"
+    });
+
+    let response = one_shot(
+        server.addr(),
+        "POST",
+        &format!("/v1/jobs/{id}/cancel"),
+        &[],
+        b"",
+    );
+    assert_eq!(response.status, 200, "{}", response.body_str());
+    let doc = parse(&response.body_str()).expect("cancel response is JSON");
+    assert!(
+        matches!(state_of(&doc), "running" | "cancelled"),
+        "in-flight slices may still be draining: {}",
+        doc.pretty()
+    );
+
+    let final_doc = poll_until(server.addr(), &id, "cancellation to settle", |doc| {
+        state_of(doc) == "cancelled"
+    });
+    assert!(
+        final_doc.get("result").is_none(),
+        "cancelled jobs expose no result"
+    );
+    // Cancelling a terminal job is an idempotent 200.
+    let again = one_shot(
+        server.addr(),
+        "POST",
+        &format!("/v1/jobs/{id}/cancel"),
+        &[],
+        b"",
+    );
+    assert_eq!(again.status, 200);
+
+    let metrics = one_shot(server.addr(), "GET", "/metrics", &[], b"");
+    assert!(metrics.body_str().contains("tsc_jobs_cancelled_total 1"));
+    server.shutdown();
+}
+
+#[test]
+fn ttl_evicts_terminal_jobs() {
+    let server = Server::start(ServerConfig {
+        job_table: TableConfig {
+            ttl: Duration::from_millis(300),
+            ..TableConfig::default()
+        },
+        ..ServerConfig::default()
+    })
+    .expect("start");
+    let id = submit(server.addr(), QUICK_SA);
+    poll_until(server.addr(), &id, "job completion", |doc| {
+        state_of(doc) == "done"
+    });
+
+    // The pump evicts on its next tick after the TTL lapses.
+    let start = Instant::now();
+    loop {
+        let response = one_shot(server.addr(), "GET", &format!("/v1/jobs/{id}"), &[], b"");
+        if response.status == 404 {
+            break;
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "job must evict after its TTL"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let metrics = one_shot(server.addr(), "GET", "/metrics", &[], b"");
+    assert!(metrics.body_str().contains("tsc_jobs_evicted_total 1"));
+    server.shutdown();
+}
+
+#[test]
+fn full_table_answers_429_with_retry_after() {
+    let server = Server::start(ServerConfig {
+        job_table: TableConfig {
+            capacity: 1,
+            ..TableConfig::default()
+        },
+        ..ServerConfig::default()
+    })
+    .expect("start");
+    let id = submit(server.addr(), LONG_SA);
+
+    let refused = one_shot(server.addr(), "POST", "/v1/jobs", &[], QUICK_SA.as_bytes());
+    assert_eq!(refused.status, 429, "{}", refused.body_str());
+    assert!(
+        refused.header("retry-after").is_some(),
+        "429 must carry Retry-After"
+    );
+
+    let _ = one_shot(
+        server.addr(),
+        "POST",
+        &format!("/v1/jobs/{id}/cancel"),
+        &[],
+        b"",
+    );
+    poll_until(server.addr(), &id, "cancellation", |doc| {
+        state_of(doc) == "cancelled"
+    });
+    server.shutdown();
+}
+
+#[test]
+fn submission_and_routing_errors_are_typed() {
+    let server = Server::start(ServerConfig::default()).expect("start");
+    let addr = server.addr();
+
+    for (body, fragment) in [
+        (&b"not json"[..], "invalid JSON"),
+        (br#"{"design": "rocket"}"#, "is required"),
+        (br#"{"kind": "mine_bitcoin"}"#, "unknown job kind"),
+        (
+            br#"{"kind": "floorplan_sa", "design": "warp-core"}"#,
+            "warp-core",
+        ),
+        (br#"{"kind": "floorplan_sa", "replicas": 99}"#, "replicas"),
+    ] {
+        let response = one_shot(addr, "POST", "/v1/jobs", &[], body);
+        assert_eq!(response.status, 400, "{}", response.body_str());
+        assert!(
+            response.body_str().contains(fragment),
+            "{} should mention {fragment:?}",
+            response.body_str()
+        );
+    }
+
+    // Collection-level and entry-level misroutes.
+    assert_eq!(one_shot(addr, "GET", "/v1/jobs", &[], b"").status, 405);
+    assert_eq!(
+        one_shot(addr, "GET", "/v1/jobs/not-a-hex-id-xx", &[], b"").status,
+        404
+    );
+    assert_eq!(
+        one_shot(addr, "GET", "/v1/jobs/00000000deadbeef", &[], b"").status,
+        404
+    );
+    assert_eq!(
+        one_shot(addr, "DELETE", "/v1/jobs/00000000deadbeef", &[], b"").status,
+        405
+    );
+    let id = submit(addr, QUICK_SA);
+    assert_eq!(
+        one_shot(addr, "POST", &format!("/v1/jobs/{id}"), &[], b"").status,
+        405
+    );
+    assert_eq!(
+        one_shot(addr, "GET", &format!("/v1/jobs/{id}/cancel"), &[], b"").status,
+        405
+    );
+    assert_eq!(
+        one_shot(addr, "GET", &format!("/v1/jobs/{id}/bogus"), &[], b"").status,
+        404
+    );
+    server.shutdown();
+}
+
+/// The acceptance criterion: kill a job mid-run, resume it on a fresh
+/// server from the checkpoint fetched over the wire, and land on the
+/// uninterrupted run's best cost and final RNG words, bitwise.
+#[test]
+fn checkpoint_kill_resume_is_bitwise_identical_over_sockets() {
+    // Reference: the same spec driven to completion in-process.
+    let spec_body = parse(QUICK_SA).expect("json");
+    let spec = JobSpec::parse(&spec_body).expect("spec");
+    let mut reference = Engine::from_spec(&spec).expect("engine");
+    while !reference.is_done() {
+        let mut batch = Vec::new();
+        while let Some(mut work) = reference.next_work() {
+            work.run();
+            batch.push(work);
+        }
+        assert!(!batch.is_empty(), "engine stalled");
+        for work in batch {
+            let _ = reference.complete_shard(work);
+        }
+    }
+    let reference_result = reference.result().expect("reference result");
+    let reference_cp = reference.checkpoint();
+
+    // Server A: run the job partway, fetch its checkpoint, then kill it.
+    let server_a = Server::start(ServerConfig::default()).expect("start A");
+    let id = submit(server_a.addr(), QUICK_SA);
+    poll_until(server_a.addr(), &id, "a few barriers", |doc| {
+        doc.get("progress")
+            .and_then(|p| p.get("round"))
+            .and_then(Json::as_usize)
+            .is_some_and(|r| r >= 3)
+    });
+    let response = one_shot(
+        server_a.addr(),
+        "GET",
+        &format!("/v1/jobs/{id}/checkpoint"),
+        &[],
+        b"",
+    );
+    assert_eq!(response.status, 200, "{}", response.body_str());
+    let doc = parse(&response.body_str()).expect("checkpoint doc");
+    let checkpoint = doc.get("checkpoint").expect("checkpoint field").clone();
+    let killed_round = checkpoint
+        .get("round")
+        .and_then(Json::as_usize)
+        .expect("checkpoint carries the barrier round");
+    assert!(killed_round >= 3, "checkpoint is from a mid-run barrier");
+    server_a.shutdown();
+
+    // Server B: resume from the wire checkpoint and run to completion.
+    let server_b = Server::start(ServerConfig::default()).expect("start B");
+    let resume_body = Json::object()
+        .field("kind", "floorplan_sa")
+        .field("resume", checkpoint)
+        .pretty();
+    let resumed_id = submit(server_b.addr(), &resume_body);
+    let done = poll_until(server_b.addr(), &resumed_id, "resumed completion", |doc| {
+        state_of(doc) == "done"
+    });
+    let resumed_result = done.get("result").expect("resumed result");
+    assert_eq!(
+        resumed_result.get("best_cost_bits").and_then(Json::as_str),
+        reference_result
+            .get("best_cost_bits")
+            .and_then(Json::as_str),
+        "resumed best cost must match the uninterrupted run bitwise"
+    );
+
+    // Final RNG words, compared through the post-completion checkpoints.
+    let response = one_shot(
+        server_b.addr(),
+        "GET",
+        &format!("/v1/jobs/{resumed_id}/checkpoint"),
+        &[],
+        b"",
+    );
+    let final_cp = parse(&response.body_str())
+        .expect("final checkpoint doc")
+        .get("checkpoint")
+        .expect("checkpoint field")
+        .clone();
+    let rng_words = |cp: &Json| -> Vec<String> {
+        let mut words: Vec<String> = cp
+            .get("replicas")
+            .and_then(Json::as_array)
+            .expect("replicas")
+            .iter()
+            .map(|r| {
+                r.get("rng")
+                    .and_then(Json::as_str)
+                    .expect("rng")
+                    .to_string()
+            })
+            .collect();
+        words.push(
+            cp.get("swap_rng")
+                .and_then(Json::as_str)
+                .expect("swap_rng")
+                .to_string(),
+        );
+        words
+    };
+    assert_eq!(
+        rng_words(&final_cp),
+        rng_words(&reference_cp),
+        "resumed RNG streams must land on identical words"
+    );
+    server_b.shutdown();
+}
+
+/// Scheduler/interactive isolation: with the background quota saturated
+/// by long jobs, interactive solves keep flowing and stay fast — job
+/// slices ride the queue at background priority, behind every request.
+#[test]
+fn job_flood_leaves_interactive_traffic_responsive() {
+    let server = Server::start(ServerConfig::default()).expect("start");
+    let addr = server.addr();
+    let first = submit(addr, LONG_SA);
+    let second = submit(
+        addr,
+        r#"{"kind": "floorplan_sa", "design": "rocket", "replicas": 2, "seed": 4,
+            "schedule": "standard"}"#,
+    );
+    poll_until(addr, &first, "background work to start", |doc| {
+        state_of(doc) == "running"
+    });
+
+    let mut worst = Duration::ZERO;
+    for _ in 0..10 {
+        let start = Instant::now();
+        let response = one_shot(
+            addr,
+            "POST",
+            "/v1/solve",
+            &[],
+            br#"{"design": "gemmini-memory", "tiers": 2, "lateral_cells": 6}"#,
+        );
+        assert_eq!(response.status, 200, "{}", response.body_str());
+        worst = worst.max(start.elapsed());
+    }
+    assert!(
+        worst < Duration::from_secs(30),
+        "interactive solves must not starve behind the job flood (worst {worst:?})"
+    );
+
+    // The jobs were genuinely live while the flood ran.
+    let status = one_shot(addr, "GET", &format!("/v1/jobs/{first}"), &[], b"");
+    assert!(
+        matches!(
+            parse(&status.body_str())
+                .ok()
+                .as_ref()
+                .map(state_of)
+                .unwrap_or("?"),
+            "running" | "queued"
+        ),
+        "the long job is still live: {}",
+        status.body_str()
+    );
+    for id in [&first, &second] {
+        let _ = one_shot(addr, "POST", &format!("/v1/jobs/{id}/cancel"), &[], b"");
+    }
+    for id in [&first, &second] {
+        poll_until(addr, id, "teardown cancellation", |doc| {
+            state_of(doc) == "cancelled"
+        });
+    }
+    server.shutdown();
+}

@@ -400,3 +400,123 @@ fn garbage_client_requests_do_not_wedge_the_router() {
     router.shutdown();
     backend.shutdown();
 }
+
+/// End-to-end jobs smoke over a 2-shard router: submit routes to one
+/// shard and sticks, status/checkpoint/cancel find the owner, the
+/// events stream tunnels through, and the aggregated exposition carries
+/// both the shard rollups and the router's own affinity counters.
+#[test]
+fn jobs_route_sticky_through_a_two_shard_router() {
+    let backend_a = start_backend(0);
+    let backend_b = start_backend(0);
+    let router = start_router(
+        vec![backend_a.addr().to_string(), backend_b.addr().to_string()],
+        Duration::from_millis(100),
+    );
+    let raddr = router.addr();
+
+    let submit = one_shot(
+        raddr,
+        "POST",
+        "/v1/jobs",
+        &[],
+        br#"{"kind": "floorplan_sa", "design": "rocket", "replicas": 2, "seed": 11}"#,
+    );
+    assert_eq!(submit.status, 202, "body: {}", submit.body_str());
+    let id = json::parse(&submit.body_str())
+        .expect("submit doc")
+        .get("id")
+        .and_then(Json::as_str)
+        .expect("job id")
+        .to_string();
+    assert_eq!(router.metrics().job_stickies_total.get(), 1);
+
+    // Status polls through the router reach the owning shard.
+    let start = Instant::now();
+    let done = loop {
+        let response = one_shot(raddr, "GET", &format!("/v1/jobs/{id}"), &[], b"");
+        assert_eq!(response.status, 200, "body: {}", response.body_str());
+        let doc = json::parse(&response.body_str()).expect("status doc");
+        if doc.get("state").and_then(Json::as_str) == Some("done") {
+            break doc;
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(240),
+            "job must finish; last: {}",
+            doc.pretty()
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(done.get("result").is_some());
+
+    // The finished job's events tunnel through byte-for-byte and end.
+    let mut stream =
+        common::SessionClient::open_raw(raddr, "GET", &format!("/v1/jobs/{id}/events"), &[], b"");
+    assert_eq!(stream.read_head(Duration::from_secs(30)), 200);
+    let mut saw_end = false;
+    for _ in 0..10_000 {
+        let event = stream.next_event(Duration::from_secs(30));
+        if common::event_kind(&event) == "end" {
+            saw_end = true;
+            break;
+        }
+    }
+    assert!(saw_end, "tunnelled stream must replay to the end event");
+    assert!(router.metrics().job_event_tunnels_total.get() >= 1);
+
+    // The checkpoint forwards too, and an unknown id is a clean 404
+    // (after a broadcast probe across both shards).
+    let checkpoint = one_shot(raddr, "GET", &format!("/v1/jobs/{id}/checkpoint"), &[], b"");
+    assert_eq!(checkpoint.status, 200);
+    let missing = one_shot(raddr, "POST", "/v1/jobs/00000000deadbeef/cancel", &[], b"");
+    assert_eq!(missing.status, 404);
+    assert!(router.metrics().job_broadcasts_total.get() >= 1);
+
+    // A job submitted behind the router's back (directly to a shard) is
+    // still found by the broadcast fallback.
+    let direct = one_shot(
+        backend_b.addr(),
+        "POST",
+        "/v1/jobs",
+        &[],
+        br#"{"kind": "floorplan_sa", "design": "rocket", "replicas": 2, "seed": 5}"#,
+    );
+    assert_eq!(direct.status, 202);
+    let direct_id = json::parse(&direct.body_str())
+        .expect("doc")
+        .get("id")
+        .and_then(Json::as_str)
+        .expect("id")
+        .to_string();
+    let via_router = one_shot(raddr, "GET", &format!("/v1/jobs/{direct_id}"), &[], b"");
+    assert_eq!(via_router.status, 200, "body: {}", via_router.body_str());
+    let cancelled = one_shot(
+        raddr,
+        "POST",
+        &format!("/v1/jobs/{direct_id}/cancel"),
+        &[],
+        b"",
+    );
+    assert_eq!(cancelled.status, 200);
+
+    // Aggregated metrics: shard rollups summed, router series appended.
+    let metrics = one_shot(raddr, "GET", "/metrics", &[], b"");
+    assert_eq!(metrics.status, 200);
+    let text = metrics.body_str();
+    let samples = parse_exposition(&text).expect("parse aggregated").samples;
+    let value = |name: &str| -> f64 {
+        samples
+            .iter()
+            .find(|(series, _)| series == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("missing series {name}"))
+    };
+    assert!(value("tsc_jobs_submitted_total") >= 2.0);
+    assert!(value("tsc_jobs_completed_total") >= 1.0);
+    assert!(value("tsc_job_dedup_hits_total") > 0.0);
+    assert!(value("tsc_router_job_stickies_total") >= 2.0);
+
+    router.shutdown();
+    backend_a.shutdown();
+    backend_b.shutdown();
+}
